@@ -1,0 +1,61 @@
+// Command cacheserver runs a mobile-device clip cache behind an HTTP API —
+// a minimal service harness showing the library embedded in a long-running
+// program rather than a batch simulation.
+//
+// Endpoints:
+//
+//	GET  /clips/{id}   service a reference to clip id; returns the outcome,
+//	                   whether it hit, and the startup latency the device
+//	                   would observe at the configured link bandwidth
+//	GET  /stats        accumulated cache statistics
+//	GET  /resident     currently resident clip ids and byte usage
+//	POST /reset        clear the cache, statistics and policy state
+//
+// Usage:
+//
+//	cacheserver -addr :8377 -policy dynsimple:2 -ratio 0.125 -alloc 4000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"mediacache/internal/media"
+	"mediacache/internal/sim"
+	"mediacache/internal/zipf"
+)
+
+func main() {
+	fs := flag.NewFlagSet("cacheserver", flag.ExitOnError)
+	addr := fs.String("addr", ":8377", "listen address")
+	policy := fs.String("policy", "dynsimple:2", "replacement policy spec")
+	ratio := fs.Float64("ratio", 0.125, "cache size as a fraction of the repository")
+	alloc := fs.Int64("alloc", 4_000_000, "per-stream network bandwidth in bits/second")
+	admission := fs.Float64("admission", 0.5, "admission-control overhead in seconds")
+	seed := fs.Uint64("seed", sim.DefaultSeed, "policy tie-break seed")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+
+	srv, err := newServer(*policy, *ratio, media.BitsPerSecond(*alloc), *admission, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cacheserver: %v\n", err)
+		os.Exit(1)
+	}
+	log.Printf("cacheserver: %s on %s (cache %v, link %v)",
+		srv.cache.Policy().Name(), *addr, srv.cache.Capacity(), srv.alloc)
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}
+
+// pmfFor computes the true request frequencies the off-line Simple policy
+// needs; on-line policies ignore it.
+func pmfFor(repo *media.Repository) ([]float64, error) {
+	dist, err := zipf.New(repo.N(), zipf.DefaultMean)
+	if err != nil {
+		return nil, err
+	}
+	return dist.PMF(), nil
+}

@@ -1,0 +1,232 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"mediacache/internal/core"
+	"mediacache/internal/media"
+	"mediacache/internal/netsim"
+	"mediacache/internal/sim"
+)
+
+// server wires a device cache into an http.Handler. The core engine is
+// single-threaded by design (it models one device); the server serializes
+// requests with a mutex, which is also the honest model — a device displays
+// one clip at a time.
+type server struct {
+	mu        sync.Mutex
+	cache     *core.Cache
+	alloc     media.BitsPerSecond
+	admission netsim.Seconds
+	mux       *http.ServeMux
+}
+
+// newServer builds the cache per the CLI configuration and mounts the API.
+func newServer(policySpec string, ratio float64, alloc media.BitsPerSecond, admission float64, seed uint64) (*server, error) {
+	if alloc <= 0 {
+		return nil, fmt.Errorf("link bandwidth must be positive, got %v", alloc)
+	}
+	repo := media.PaperRepository()
+	pmf, err := pmfFor(repo)
+	if err != nil {
+		return nil, err
+	}
+	cache, err := sim.NewCache(policySpec, repo, repo.CacheSizeForRatio(ratio), pmf, seed)
+	if err != nil {
+		return nil, err
+	}
+	s := &server{
+		cache:     cache,
+		alloc:     alloc,
+		admission: netsim.Seconds(admission),
+		mux:       http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/clips/", s.handleClip)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/resident", s.handleResident)
+	s.mux.HandleFunc("/reset", s.handleReset)
+	s.mux.HandleFunc("/snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("/restore", s.handleRestore)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// clipResponse is the JSON body of GET /clips/{id}.
+type clipResponse struct {
+	Clip           media.ClipID `json:"clip"`
+	Kind           string       `json:"kind"`
+	SizeBytes      int64        `json:"sizeBytes"`
+	Outcome        string       `json:"outcome"`
+	Hit            bool         `json:"hit"`
+	LatencySeconds float64      `json:"latencySeconds"`
+}
+
+// handleClip services GET /clips/{id}.
+func (s *server) handleClip(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	raw := strings.TrimPrefix(r.URL.Path, "/clips/")
+	id, err := strconv.Atoi(raw)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("bad clip id %q", raw), http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	clip, ok := s.cache.Repository().Lookup(media.ClipID(id))
+	if !ok {
+		http.Error(w, fmt.Sprintf("clip %d not in repository", id), http.StatusNotFound)
+		return
+	}
+	out, err := s.cache.Request(clip.ID)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	resp := clipResponse{
+		Clip:      clip.ID,
+		Kind:      clip.Kind.String(),
+		SizeBytes: int64(clip.Size),
+		Outcome:   out.String(),
+		Hit:       out.IsHit(),
+	}
+	if !out.IsHit() {
+		lat, err := netsim.StartupLatency(clip, s.alloc, s.admission)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		resp.LatencySeconds = float64(lat)
+	}
+	writeJSON(w, resp)
+}
+
+// statsResponse is the JSON body of GET /stats.
+type statsResponse struct {
+	Policy          string  `json:"policy"`
+	Requests        uint64  `json:"requests"`
+	Hits            uint64  `json:"hits"`
+	HitRate         float64 `json:"hitRate"`
+	ByteHitRate     float64 `json:"byteHitRate"`
+	Evictions       uint64  `json:"evictions"`
+	BytesFetched    int64   `json:"bytesFetched"`
+	ResidentClips   int     `json:"residentClips"`
+	UsedBytes       int64   `json:"usedBytes"`
+	CapacityBytes   int64   `json:"capacityBytes"`
+	BypassedMisses  uint64  `json:"bypassedMisses"`
+	TheoreticalNote string  `json:"note,omitempty"`
+}
+
+// handleStats services GET /stats.
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.cache.Stats()
+	writeJSON(w, statsResponse{
+		Policy:         s.cache.Policy().Name(),
+		Requests:       st.Requests,
+		Hits:           st.Hits,
+		HitRate:        st.HitRate(),
+		ByteHitRate:    st.ByteHitRate(),
+		Evictions:      st.Evictions,
+		BytesFetched:   int64(st.BytesFetched),
+		ResidentClips:  s.cache.NumResident(),
+		UsedBytes:      int64(s.cache.UsedBytes()),
+		CapacityBytes:  int64(s.cache.Capacity()),
+		BypassedMisses: st.Bypassed,
+	})
+}
+
+// residentResponse is the JSON body of GET /resident.
+type residentResponse struct {
+	Clips     []media.ClipID `json:"clips"`
+	UsedBytes int64          `json:"usedBytes"`
+	FreeBytes int64          `json:"freeBytes"`
+}
+
+// handleResident services GET /resident.
+func (s *server) handleResident(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	writeJSON(w, residentResponse{
+		Clips:     s.cache.ResidentIDs(),
+		UsedBytes: int64(s.cache.UsedBytes()),
+		FreeBytes: int64(s.cache.FreeBytes()),
+	})
+}
+
+// handleReset services POST /reset.
+func (s *server) handleReset(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cache.Reset()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleSnapshot services GET /snapshot: the cache's persistent state as a
+// gob-encoded core.Snapshot, suitable for POSTing back to /restore after a
+// restart (the FMC device's disk-backed cache surviving a power cycle).
+func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.Lock()
+	snap := s.cache.Snapshot()
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if err := snap.WriteSnapshot(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// handleRestore services POST /restore with a gob snapshot body.
+func (s *server) handleRestore(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	snap, err := core.ReadSnapshot(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.cache.Restore(snap); err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// writeJSON encodes v with an application/json content type.
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,224 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"mediacache/internal/media"
+)
+
+func newTestServer(t *testing.T) (*server, *httptest.Server) {
+	t.Helper()
+	srv, err := newServer("dynsimple:2", 0.125, 4*media.Mbps, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func getJSON(t *testing.T, url string, v interface{}) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK && v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp
+}
+
+func TestNewServerValidation(t *testing.T) {
+	if _, err := newServer("bogus", 0.125, 4*media.Mbps, 0.5, 1); err == nil {
+		t.Error("bad policy should fail")
+	}
+	if _, err := newServer("lru", 0.125, 0, 0.5, 1); err == nil {
+		t.Error("zero bandwidth should fail")
+	}
+	if _, err := newServer("lru", 2.0, 4*media.Mbps, 0.5, 1); err == nil {
+		t.Error("ratio >= 1 should fail")
+	}
+}
+
+func TestClipMissThenHit(t *testing.T) {
+	_, ts := newTestServer(t)
+	var first, second clipResponse
+	resp := getJSON(t, ts.URL+"/clips/2", &first)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if first.Hit || first.Outcome != "miss-cached" {
+		t.Fatalf("first request = %+v, want miss-cached", first)
+	}
+	if first.LatencySeconds <= 0 {
+		t.Fatal("miss should report startup latency")
+	}
+	getJSON(t, ts.URL+"/clips/2", &second)
+	if !second.Hit || second.LatencySeconds != 0 {
+		t.Fatalf("second request = %+v, want zero-latency hit", second)
+	}
+	if second.Kind != "audio" || second.SizeBytes <= 0 {
+		t.Fatalf("clip metadata wrong: %+v", second)
+	}
+}
+
+func TestClipErrors(t *testing.T) {
+	_, ts := newTestServer(t)
+	if resp := getJSON(t, ts.URL+"/clips/notanumber", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad id status = %d", resp.StatusCode)
+	}
+	if resp := getJSON(t, ts.URL+"/clips/99999", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown clip status = %d", resp.StatusCode)
+	}
+	resp, err := http.Post(ts.URL+"/clips/1", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /clips status = %d", resp.StatusCode)
+	}
+}
+
+func TestStatsAndResident(t *testing.T) {
+	_, ts := newTestServer(t)
+	for i := 1; i <= 6; i++ {
+		getJSON(t, fmt.Sprintf("%s/clips/%d", ts.URL, i), nil)
+	}
+	getJSON(t, ts.URL+"/clips/2", nil) // a hit
+	var st statsResponse
+	getJSON(t, ts.URL+"/stats", &st)
+	if st.Requests != 7 || st.Hits < 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Policy != "DYNSimple(K=2)" {
+		t.Fatalf("policy = %q", st.Policy)
+	}
+	if st.CapacityBytes <= 0 || st.UsedBytes <= 0 {
+		t.Fatalf("byte accounting = %+v", st)
+	}
+	var res residentResponse
+	getJSON(t, ts.URL+"/resident", &res)
+	if len(res.Clips) == 0 {
+		t.Fatal("no resident clips after requests")
+	}
+	if res.UsedBytes+res.FreeBytes != st.CapacityBytes {
+		t.Fatal("used + free != capacity")
+	}
+}
+
+func TestReset(t *testing.T) {
+	_, ts := newTestServer(t)
+	getJSON(t, ts.URL+"/clips/1", nil)
+	resp, err := http.Post(ts.URL+"/reset", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("reset status = %d", resp.StatusCode)
+	}
+	var st statsResponse
+	getJSON(t, ts.URL+"/stats", &st)
+	if st.Requests != 0 || st.ResidentClips != 0 {
+		t.Fatalf("stats after reset = %+v", st)
+	}
+	if resp := getJSON(t, ts.URL+"/reset", nil); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /reset status = %d", resp.StatusCode)
+	}
+}
+
+func TestConcurrentRequestsSafe(t *testing.T) {
+	_, ts := newTestServer(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				resp, err := http.Get(fmt.Sprintf("%s/clips/%d", ts.URL, (g*30+i)%576+1))
+				if err == nil {
+					resp.Body.Close()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	var st statsResponse
+	getJSON(t, ts.URL+"/stats", &st)
+	if st.Requests != 240 {
+		t.Fatalf("requests = %d, want 240 (lost updates under concurrency?)", st.Requests)
+	}
+	if st.UsedBytes > st.CapacityBytes {
+		t.Fatal("capacity invariant violated under concurrency")
+	}
+}
+
+func TestSnapshotRestoreCycle(t *testing.T) {
+	_, ts := newTestServer(t)
+	for i := 1; i <= 4; i++ {
+		getJSON(t, fmt.Sprintf("%s/clips/%d", ts.URL, i), nil)
+	}
+	// Capture the snapshot ("power down").
+	resp, err := http.Get(ts.URL + "/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot status %d err %v", resp.StatusCode, err)
+	}
+
+	// A fresh server ("after reboot") restores it.
+	_, ts2 := newTestServer(t)
+	resp, err = http.Post(ts2.URL+"/restore", "application/octet-stream", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("restore status %d", resp.StatusCode)
+	}
+	var st statsResponse
+	getJSON(t, ts2.URL+"/stats", &st)
+	if st.Requests != 4 || st.ResidentClips == 0 {
+		t.Fatalf("restored stats = %+v", st)
+	}
+	// Restored residency turns repeats into hits.
+	var clip clipResponse
+	getJSON(t, ts2.URL+"/clips/2", &clip)
+	if !clip.Hit {
+		t.Fatal("restored clip should hit")
+	}
+}
+
+func TestRestoreRejectsGarbage(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/restore", "application/octet-stream",
+		bytes.NewReader([]byte("junk")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage restore status %d", resp.StatusCode)
+	}
+	// Wrong methods.
+	resp, _ = http.Post(ts.URL+"/snapshot", "", nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /snapshot status %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,192 @@
+// Command cachesim runs a single cache simulation: one repository, one or
+// more replacement policies, one workload, and prints the resulting
+// metrics.
+//
+// Usage examples:
+//
+//	cachesim -policy dynsimple:2 -ratio 0.125 -requests 10000
+//	cachesim -policy greedydual -repo equi -ratio 0.25
+//	cachesim -policy lrusk:2 -ratio 0.1 -shift 200 -window 1000
+//	cachesim -policy simple -ratio 0.05 -trace trace.csv
+//	cachesim -policy dynsimple:2,igd:2,greedydual -ratio 0.125   (comparison)
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"flag"
+
+	"mediacache/internal/media"
+	"mediacache/internal/sim"
+	"mediacache/internal/workload"
+	"mediacache/internal/zipf"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "cachesim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the CLI against args, writing human-readable output to out.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("cachesim", flag.ContinueOnError)
+	policySpec := fs.String("policy", "dynsimple:2",
+		"replacement policy, or a comma-separated list for a comparison table ("+strings.Join(sim.PolicyNames, ", ")+")")
+	repoKind := fs.String("repo", "paper", "repository: paper (576 variable-size clips) or equi (576 equal clips)")
+	repoFile := fs.String("repofile", "", "load a custom repository from a CSV catalog (id,kind,sizeBytes,displayBps); overrides -repo")
+	ratio := fs.Float64("ratio", 0.125, "cache size as a fraction of the repository (S_T/S_DB)")
+	requests := fs.Int("requests", sim.DefaultRequests, "number of requests to issue")
+	seed := fs.Uint64("seed", sim.DefaultSeed, "random seed for the workload and policy tie-breaks")
+	mean := fs.Float64("zipf", zipf.DefaultMean, "Zipfian mean (theta) of the request distribution")
+	shift := fs.Int("shift", 0, "identity shift g of the distribution (Section 4.4.1)")
+	window := fs.Int("window", 0, "print the hit rate every N requests (0 = off)")
+	tracePath := fs.String("trace", "", "replay a CSV trace instead of generating requests")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var repo *media.Repository
+	if *repoFile != "" {
+		f, err := os.Open(*repoFile)
+		if err != nil {
+			return err
+		}
+		repo, err = media.ReadRepositoryCSV(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		*repoKind = *repoFile
+	} else {
+		switch *repoKind {
+		case "paper":
+			repo = media.PaperRepository()
+		case "equi":
+			repo = media.PaperEquiRepository()
+		default:
+			return fmt.Errorf("unknown repository kind %q (want paper or equi)", *repoKind)
+		}
+	}
+
+	dist, err := zipf.New(repo.N(), *mean)
+	if err != nil {
+		return err
+	}
+	capacity := repo.CacheSizeForRatio(*ratio)
+	specs := strings.Split(*policySpec, ",")
+
+	var trace *workload.Trace
+	if *tracePath != "" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		trace, err = workload.ReadCSV(f)
+		if err != nil {
+			return err
+		}
+		if trace.NumClips != repo.N() {
+			return fmt.Errorf("trace %q targets %d clips; repository has %d",
+				trace.Name, trace.NumClips, repo.N())
+		}
+	}
+
+	fmt.Fprintf(out, "repository  %s (%d clips, %v)\n", *repoKind, repo.N(), repo.TotalSize())
+	fmt.Fprintf(out, "cache       %v (S_T/S_DB = %.4f)\n", capacity, *ratio)
+	if trace != nil {
+		fmt.Fprintf(out, "trace       %s (%d requests)\n", trace.Name, len(trace.Requests))
+	} else {
+		fmt.Fprintf(out, "workload    Zipf(theta=%.2f) shift=%d seed=%d, %d requests\n",
+			*mean, *shift, *seed, *requests)
+	}
+	fmt.Fprintln(out)
+
+	if len(specs) > 1 {
+		return runComparison(out, specs, repo, dist, capacity, trace, *seed, *shift, *requests)
+	}
+	return runSingle(out, specs[0], repo, dist, capacity, trace, *seed, *shift, *requests, *window)
+}
+
+// runSingle runs one policy and prints the full metric panel.
+func runSingle(out io.Writer, spec string, repo *media.Repository, dist *zipf.Distribution,
+	capacity media.Bytes, trace *workload.Trace, seed uint64, shift, requests, window int) error {
+	gen, err := workload.NewGenerator(dist, seed)
+	if err != nil {
+		return err
+	}
+	cache, err := sim.NewCache(spec, repo, capacity, gen.PMF(), seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "policy      %s\n\n", cache.Policy().Name())
+
+	var res *sim.Result
+	if trace != nil {
+		res, err = sim.RunTrace(cache.Policy().Name(), cache, trace)
+	} else {
+		cfg := sim.RunConfig{WindowSize: window}
+		res, err = sim.Run(cache.Policy().Name(), cache, gen,
+			workload.Schedule{{Shift: shift, Requests: requests}}, cfg)
+	}
+	if err != nil {
+		return err
+	}
+
+	if window > 0 {
+		fmt.Fprintln(out, "request   window-hit-rate   theoretical")
+		for _, w := range res.Windows {
+			fmt.Fprintf(out, "%-9d %-17.1f %.1f\n", w.EndRequest, w.HitRate*100, w.Theoretical*100)
+		}
+		fmt.Fprintln(out)
+	}
+	s := res.Stats
+	fmt.Fprintf(out, "requests          %d\n", s.Requests)
+	fmt.Fprintf(out, "cache hit rate    %.2f%%\n", s.HitRate()*100)
+	fmt.Fprintf(out, "byte hit rate     %.2f%%\n", s.ByteHitRate()*100)
+	fmt.Fprintf(out, "theoretical rate  %.2f%%\n", res.Theoretical*100)
+	fmt.Fprintf(out, "evictions         %d (%v)\n", s.Evictions, s.BytesEvicted)
+	fmt.Fprintf(out, "bytes fetched     %v (network utilization)\n", s.BytesFetched)
+	fmt.Fprintf(out, "bypassed misses   %d\n", s.Bypassed)
+	fmt.Fprintf(out, "resident clips    %d (%v used of %v)\n",
+		cache.NumResident(), cache.UsedBytes(), cache.Capacity())
+	return nil
+}
+
+// runComparison runs every policy against the identical workload and prints
+// a side-by-side table.
+func runComparison(out io.Writer, specs []string, repo *media.Repository, dist *zipf.Distribution,
+	capacity media.Bytes, trace *workload.Trace, seed uint64, shift, requests int) error {
+	fmt.Fprintf(out, "%-26s %10s %10s %12s %10s\n", "policy", "hit", "byte-hit", "theoretical", "evictions")
+	for _, spec := range specs {
+		spec = strings.TrimSpace(spec)
+		gen, err := workload.NewGenerator(dist, seed)
+		if err != nil {
+			return err
+		}
+		cache, err := sim.NewCache(spec, repo, capacity, gen.PMF(), seed)
+		if err != nil {
+			return err
+		}
+		var res *sim.Result
+		if trace != nil {
+			res, err = sim.RunTrace(cache.Policy().Name(), cache, trace)
+		} else {
+			res, err = sim.Run(cache.Policy().Name(), cache, gen,
+				workload.Schedule{{Shift: shift, Requests: requests}}, sim.RunConfig{})
+		}
+		if err != nil {
+			return err
+		}
+		s := res.Stats
+		fmt.Fprintf(out, "%-26s %9.2f%% %9.2f%% %11.2f%% %10d\n",
+			cache.Policy().Name(), s.HitRate()*100, s.ByteHitRate()*100,
+			res.Theoretical*100, s.Evictions)
+	}
+	return nil
+}

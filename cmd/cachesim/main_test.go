@@ -1,0 +1,158 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mediacache/internal/workload"
+	"mediacache/internal/zipf"
+)
+
+func TestRunSinglePolicy(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-policy", "dynsimple:2", "-ratio", "0.125", "-requests", "2000"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"DYNSimple(K=2)", "cache hit rate", "byte hit rate", "resident clips"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunEquiRepo(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-repo", "equi", "-policy", "lruk:2", "-requests", "1000"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "equi (576 clips") {
+		t.Errorf("output missing equi repo header:\n%s", out.String())
+	}
+}
+
+func TestRunWindowedOutput(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-policy", "lru", "-requests", "1000", "-window", "500"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "window-hit-rate") {
+		t.Errorf("output missing window table:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "500") || !strings.Contains(out.String(), "1000") {
+		t.Errorf("window rows missing:\n%s", out.String())
+	}
+}
+
+func TestRunComparison(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-policy", "dynsimple:2,greedydual,random", "-requests", "1500"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"DYNSimple(K=2)", "GreedyDual", "Random", "theoretical"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("comparison missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunTraceReplay(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.csv")
+	gen := workload.MustNewGenerator(zipf.MustNew(576, zipf.DefaultMean), 9)
+	trace := workload.Record("clitest", gen, 500)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteCSV(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var out strings.Builder
+	if err := run([]string{"-policy", "igd:2", "-trace", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "clitest") {
+		t.Errorf("trace name missing:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "requests          500") {
+		t.Errorf("request count missing:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-repo", "bogus"},
+		{"-policy", "bogus"},
+		{"-policy", "lruk:0"},
+		{"-trace", "/nonexistent/trace.csv"},
+		{"-ratio", "2.0"}, // capacity >= repository
+	}
+	for _, args := range cases {
+		var out strings.Builder
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v should fail", args)
+		}
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-definitely-not-a-flag"}, &out); err == nil {
+		t.Fatal("unknown flag should fail")
+	}
+}
+
+func TestTraceClipCountMismatch(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "small.csv")
+	gen := workload.MustNewGenerator(zipf.MustNew(10, zipf.DefaultMean), 9)
+	trace := workload.Record("small", gen, 50)
+	f, _ := os.Create(path)
+	if err := trace.WriteCSV(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	var out strings.Builder
+	if err := run([]string{"-trace", path}, &out); err == nil {
+		t.Fatal("clip-count mismatch should fail")
+	}
+}
+
+func TestRunCustomRepoFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "repo.csv")
+	catalog := "id,kind,sizeBytes,displayBps\n"
+	for i := 1; i <= 12; i++ {
+		kind := "audio"
+		size := 1000 * i
+		if i%2 == 1 {
+			kind = "video"
+			size = 100000 * i
+		}
+		catalog += fmt.Sprintf("%d,%s,%d,300000\n", i, kind, size)
+	}
+	if err := os.WriteFile(path, []byte(catalog), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	err := run([]string{"-repofile", path, "-policy", "lrusk:2", "-requests", "500"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "12 clips") {
+		t.Errorf("custom repo not loaded:\n%s", out.String())
+	}
+	// Missing file errors.
+	if err := run([]string{"-repofile", "/nope.csv"}, &out); err == nil {
+		t.Fatal("missing repofile should fail")
+	}
+}

@@ -1,0 +1,101 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section, plus this repository's extension experiments.
+//
+// Usage:
+//
+//	experiments [-seed N] [-requests N] [-seeds N] [-csv] [all|2a|2b|3|...]...
+//
+// With no arguments (or "all") every experiment runs in order. Hit rates
+// are printed as percentages; -csv emits machine-readable CSV instead;
+// -seeds N replicates each experiment across N consecutive seeds and prints
+// the across-seed mean and standard-deviation tables.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"mediacache/internal/sim"
+	"mediacache/internal/texttable"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the CLI against args, writing output to out.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	seed := fs.Uint64("seed", sim.DefaultSeed, "master random seed (paper footnote 5)")
+	requests := fs.Int("requests", sim.DefaultRequests, "requests per run")
+	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
+	plot := fs.Bool("plot", false, "render ASCII plots instead of tables (best for 6b/7b transients)")
+	seeds := fs.Int("seeds", 1, "replicate each experiment across N consecutive seeds and report means (+ std dev table)")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: experiments [flags] [experiment]...\n\nexperiments:\n")
+		for _, e := range sim.Experiments {
+			fmt.Fprintf(fs.Output(), "  %s\n", e.ID)
+		}
+		fmt.Fprintln(fs.Output(), "\nflags:")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ids := fs.Args()
+	if len(ids) == 0 || (len(ids) == 1 && ids[0] == "all") {
+		ids = nil
+		for _, e := range sim.Experiments {
+			ids = append(ids, e.ID)
+		}
+	}
+	opt := sim.Options{Seed: *seed, Requests: *requests}
+	for _, id := range ids {
+		runExp, ok := sim.ByID(id)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (see -h for the list)", id)
+		}
+		start := time.Now()
+		var fig, stdFig *sim.Figure
+		var err error
+		if *seeds > 1 {
+			fig, stdFig, err = sim.Replicate(runExp, opt, *seeds)
+		} else {
+			fig, err = runExp(opt)
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		render := texttable.Percent
+		if id == "quality" || id == "latency" {
+			render = texttable.Scientific
+		}
+		for _, f := range []*sim.Figure{fig, stdFig} {
+			if f == nil {
+				continue
+			}
+			switch {
+			case *csv:
+				err = texttable.RenderCSV(out, f)
+			case *plot:
+				err = texttable.RenderPlot(out, f, 0, 0)
+			default:
+				err = texttable.RenderFigure(out, f, render)
+			}
+			if err != nil {
+				return fmt.Errorf("rendering %s: %w", id, err)
+			}
+		}
+		if !*csv {
+			fmt.Fprintf(out, "(%.1fs)\n\n", time.Since(start).Seconds())
+		}
+	}
+	return nil
+}

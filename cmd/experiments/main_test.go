@@ -1,0 +1,74 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSingleFigure(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-requests", "1200", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Figure 3", "LRU-2", "GreedyDual", "0.75"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-csv", "-requests", "1200", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "S_T/S_DB,LRU-2,GreedyDual") {
+		t.Fatalf("unexpected CSV header:\n%s", out.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 7 { // header + 6 ratios
+		t.Fatalf("lines = %d", len(lines))
+	}
+}
+
+func TestRunMultiSeed(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-seeds", "2", "-requests", "800", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "mean of 2 seeds") {
+		t.Errorf("mean table missing:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "std dev across 2 seeds") {
+		t.Errorf("std table missing:\n%s", out.String())
+	}
+}
+
+func TestRunMultipleExperiments(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-requests", "800", "3", "quality"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Figure 3") || !strings.Contains(out.String(), "Figure quality") {
+		t.Errorf("multiple experiments missing:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"definitely-not-an-experiment"}, &out); err == nil {
+		t.Fatal("unknown experiment should fail")
+	}
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Fatal("unknown flag should fail")
+	}
+}
+
+func TestExperimentListStable(t *testing.T) {
+	// Every id printed in usage resolves; the "all" expansion matches the
+	// registry order.
+	var out strings.Builder
+	if err := run([]string{"-requests", "600", "quality"}, &out); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,126 @@
+// Command tracegen generates, inspects and converts reference-string
+// traces for the cache simulator.
+//
+// Usage examples:
+//
+//	tracegen -out trace.csv -requests 10000 -seed 42
+//	tracegen -out shifted.csv -shift 200
+//	tracegen -inspect trace.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"mediacache/internal/media"
+	"mediacache/internal/sim"
+	"mediacache/internal/workload"
+	"mediacache/internal/zipf"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the CLI against args, writing human-readable output to out.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	outPath := fs.String("out", "", "write a generated trace to this CSV file")
+	inspect := fs.String("inspect", "", "print summary statistics of an existing CSV trace")
+	requests := fs.Int("requests", sim.DefaultRequests, "requests to generate")
+	seed := fs.Uint64("seed", sim.DefaultSeed, "workload seed")
+	mean := fs.Float64("zipf", zipf.DefaultMean, "Zipfian mean (theta)")
+	shift := fs.Int("shift", 0, "identity shift g")
+	clips := fs.Int("clips", media.PaperRepositorySize, "repository size the trace targets")
+	name := fs.String("name", "", "trace name (defaults to a parameter summary)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *inspect != "" {
+		return inspectTrace(out, *inspect)
+	}
+	if *outPath == "" {
+		return fmt.Errorf("either -out or -inspect is required")
+	}
+	dist, err := zipf.New(*clips, *mean)
+	if err != nil {
+		return err
+	}
+	gen, err := workload.NewGenerator(dist, *seed)
+	if err != nil {
+		return err
+	}
+	if err := gen.SetShift(*shift); err != nil {
+		return err
+	}
+	traceName := *name
+	if traceName == "" {
+		traceName = fmt.Sprintf("zipf%.2f-shift%d-seed%d", *mean, *shift, *seed)
+	}
+	trace := workload.Record(traceName, gen, *requests)
+	f, err := os.Create(*outPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := trace.WriteCSV(f); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %d requests to %s (trace %q, %d clips)\n",
+		len(trace.Requests), *outPath, trace.Name, trace.NumClips)
+	return nil
+}
+
+// inspectTrace prints summary statistics of a stored trace.
+func inspectTrace(out io.Writer, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	trace, err := workload.ReadCSV(f)
+	if err != nil {
+		return err
+	}
+	counts := make(map[media.ClipID]int)
+	for _, id := range trace.Requests {
+		counts[id]++
+	}
+	type pair struct {
+		id media.ClipID
+		n  int
+	}
+	top := make([]pair, 0, len(counts))
+	for id, n := range counts {
+		top = append(top, pair{id, n})
+	}
+	sort.Slice(top, func(i, j int) bool {
+		if top[i].n != top[j].n {
+			return top[i].n > top[j].n
+		}
+		return top[i].id < top[j].id
+	})
+	fmt.Fprintf(out, "trace      %s\n", trace.Name)
+	fmt.Fprintf(out, "clips      %d in repository, %d distinct referenced\n", trace.NumClips, len(counts))
+	fmt.Fprintf(out, "requests   %d\n", len(trace.Requests))
+	countVec := make([]int, trace.NumClips)
+	for id, n := range counts {
+		countVec[id-1] = n
+	}
+	if theta, err := zipf.EstimateMean(countVec); err == nil {
+		fmt.Fprintf(out, "zipf fit   theta ~ %.2f (log-log rank/frequency regression)\n", theta)
+	}
+	fmt.Fprintln(out, "top 10 clips:")
+	for i := 0; i < 10 && i < len(top); i++ {
+		fmt.Fprintf(out, "  clip %-5d %6d requests (%.2f%%)\n",
+			top[i].id, top[i].n, 100*float64(top[i].n)/float64(len(trace.Requests)))
+	}
+	return nil
+}

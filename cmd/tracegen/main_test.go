@@ -1,0 +1,88 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mediacache/internal/workload"
+)
+
+func TestGenerateAndInspectRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.csv")
+	var out strings.Builder
+	err := run([]string{"-out", path, "-requests", "800", "-seed", "5"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "wrote 800 requests") {
+		t.Fatalf("unexpected output: %s", out.String())
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := workload.ReadCSV(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace.Requests) != 800 || trace.NumClips != 576 {
+		t.Fatalf("trace = %d requests, %d clips", len(trace.Requests), trace.NumClips)
+	}
+
+	out.Reset()
+	if err := run([]string{"-inspect", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"zipf0.27-shift0-seed5", "requests   800", "top 10 clips"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("inspect output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestCustomNameAndShift(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s.csv")
+	var out strings.Builder
+	err := run([]string{"-out", path, "-requests", "100", "-shift", "200", "-name", "myTrace"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"myTrace"`) {
+		t.Fatalf("name missing: %s", out.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := [][]string{
+		{},                               // neither -out nor -inspect
+		{"-inspect", "/nope"},            // missing file
+		{"-out", "/nope/x.csv"},          // unwritable path
+		{"-out", "x.csv", "-zipf", "5"},  // bad zipf mean
+		{"-out", "x.csv", "-clips", "0"}, // bad clip count
+		{"-bogus-flag"},
+	}
+	for _, args := range cases {
+		var out strings.Builder
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v should fail", args)
+		}
+	}
+}
+
+func TestInspectRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "garbage.csv")
+	if err := os.WriteFile(path, []byte("not a trace"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-inspect", path}, &out); err == nil {
+		t.Fatal("garbage trace should fail")
+	}
+}

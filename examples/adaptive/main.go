@@ -1,0 +1,86 @@
+// Adaptive: reproduce the paper's evolving-access-pattern story
+// (Section 4.4.1) interactively. The workload's popular clips shift
+// mid-run; the example prints how quickly each technique's theoretical hit
+// rate recovers, showing DYNSimple adapting within a few hundred requests
+// while GreedyDual-Freq lags.
+//
+// Run with:
+//
+//	go run ./examples/adaptive
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mediacache/internal/media"
+	"mediacache/internal/sim"
+	"mediacache/internal/workload"
+	"mediacache/internal/zipf"
+)
+
+func main() {
+	repo := media.PaperRepository()
+	dist, err := zipf.New(repo.N(), zipf.DefaultMean)
+	if err != nil {
+		log.Fatal(err)
+	}
+	capacity := repo.CacheSizeForRatio(0.125)
+
+	// The popular clips shift by 200 identities after 10,000 requests.
+	schedule := workload.Schedule{
+		{Shift: 0, Requests: 10000},
+		{Shift: 200, Requests: 10000},
+	}
+
+	specs := []string{"dynsimple:2", "igd:2", "gdfreq", "greedydual"}
+	fmt.Println("Theoretical hit rate (%) around the popularity shift at request 10,000")
+	fmt.Println()
+	header := fmt.Sprintf("%-10s", "request")
+	results := make(map[string]*sim.Result, len(specs))
+	var order []string
+	for _, spec := range specs {
+		gen, err := workload.NewGenerator(dist, sim.DefaultSeed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cache, err := sim.NewCache(spec, repo, capacity, gen.PMF(), sim.DefaultSeed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		name := cache.Policy().Name()
+		res, err := sim.Run(name, cache, gen, schedule, sim.RunConfig{WindowSize: 100})
+		if err != nil {
+			log.Fatal(err)
+		}
+		results[name] = res
+		order = append(order, name)
+		header += fmt.Sprintf("  %-16s", name)
+	}
+	fmt.Println(header)
+
+	// Print a window every 500 requests from 9,000 to 13,000 — the
+	// interesting region around the shift.
+	for req := 9000; req <= 13000; req += 500 {
+		row := fmt.Sprintf("%-10d", req)
+		for _, name := range order {
+			y := sampleAt(results[name], req)
+			row += fmt.Sprintf("  %-16.1f", y*100)
+		}
+		fmt.Println(row)
+	}
+	fmt.Println()
+	fmt.Println("DYNSimple recovers within a few hundred requests; GreedyDual-Freq's")
+	fmt.Println("monotone reference counts keep stale clips resident far longer.")
+}
+
+// sampleAt returns the windowed theoretical rate at the window ending at
+// request req.
+func sampleAt(res *sim.Result, req int) float64 {
+	for _, w := range res.Windows {
+		if w.EndRequest == req {
+			return w.Theoretical
+		}
+	}
+	return 0
+}

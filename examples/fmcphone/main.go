@@ -1,0 +1,116 @@
+// FMC phone: simulate the paper's motivating scenario (Section 1). A
+// fixed-mobile-convergence phone alternates between three connectivity
+// regimes over a simulated day:
+//
+//   - home Wi-Fi (fast: 20 Mbps allocated per stream),
+//   - cellular on the road (slow: 1 Mbps allocated per stream),
+//   - disconnected (no base station: only cache hits can be serviced).
+//
+// The example reports, per regime, the fraction of requests serviced and
+// the average startup latency — showing how the cache turns into the only
+// source of data availability while disconnected, and how it slashes
+// startup latency on the slow cellular link.
+//
+// Run with:
+//
+//	go run ./examples/fmcphone
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mediacache/internal/media"
+	"mediacache/internal/netsim"
+	"mediacache/internal/sim"
+	"mediacache/internal/workload"
+	"mediacache/internal/zipf"
+)
+
+// regime is one connectivity phase of the day.
+type regime struct {
+	name     string
+	requests int
+	// alloc is the per-stream bandwidth allocation; 0 means disconnected.
+	alloc media.BitsPerSecond
+	// admission is the bandwidth-reservation overhead in seconds.
+	admission netsim.Seconds
+}
+
+func main() {
+	repo := media.PaperRepository()
+	dist, err := zipf.New(repo.N(), zipf.DefaultMean)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gen, err := workload.NewGenerator(dist, sim.DefaultSeed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A phone with a disk-backed cache holding 12.5% of the repository,
+	// managed by DYNSimple.
+	cache, err := sim.NewCache("dynsimple:2", repo, repo.CacheSizeForRatio(0.125), nil, sim.DefaultSeed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	day := []regime{
+		{name: "home Wi-Fi (morning)", requests: 3000, alloc: 20 * media.Mbps, admission: 0.05},
+		{name: "cellular (commute)", requests: 1000, alloc: 1 * media.Mbps, admission: 0.5},
+		{name: "disconnected (subway)", requests: 500, alloc: 0},
+		{name: "cellular (day)", requests: 1500, alloc: 1 * media.Mbps, admission: 0.5},
+		{name: "home Wi-Fi (evening)", requests: 4000, alloc: 20 * media.Mbps, admission: 0.05},
+	}
+
+	fmt.Println("A day in the life of an FMC phone cache (DYNSimple, 12.5% cache)")
+	fmt.Println()
+	fmt.Printf("%-24s %9s %8s %9s %14s\n", "regime", "requests", "hits", "serviced", "avg latency")
+	for _, r := range day {
+		served, hits := 0, 0
+		var latency netsim.Seconds
+		for i := 0; i < r.requests; i++ {
+			id := gen.Next()
+			if r.alloc == 0 {
+				// Disconnected: only cache hits are serviceable. The cache
+				// must not materialize anything (no network), so requests
+				// that miss are simply unserviced; we do not drive the
+				// cache to avoid phantom fetches.
+				if cache.Resident(id) {
+					if _, err := cache.Request(id); err != nil {
+						log.Fatal(err)
+					}
+					hits++
+					served++
+				}
+				continue
+			}
+			out, err := cache.Request(id)
+			if err != nil {
+				log.Fatal(err)
+			}
+			served++
+			if out.IsHit() {
+				hits++
+				continue // local storage: negligible startup latency
+			}
+			clip := repo.Clip(id)
+			lat, err := netsim.StartupLatency(clip, r.alloc, r.admission)
+			if err != nil {
+				log.Fatal(err)
+			}
+			latency += lat
+		}
+		avgLatency := 0.0
+		if misses := served - hits; misses > 0 {
+			avgLatency = float64(latency) / float64(misses)
+		}
+		fmt.Printf("%-24s %9d %8d %8.1f%% %12.1fs\n",
+			r.name, r.requests, hits, 100*float64(served)/float64(r.requests), avgLatency)
+	}
+	fmt.Println()
+	s := cache.Stats()
+	fmt.Printf("end of day: %.1f%% overall hit rate, %v fetched over the air\n",
+		s.HitRate()*100, s.BytesFetched)
+	fmt.Println("while disconnected the cache was the only source of data availability;")
+	fmt.Println("on cellular, misses pay a large prefetch latency (B_net < B_display).")
+}

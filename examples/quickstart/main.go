@@ -1,0 +1,66 @@
+// Quickstart: build the paper's 576-clip repository, attach a DYNSimple
+// cache sized at 12.5% of the repository, drive it with a Zipfian workload
+// and print the headline metrics.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mediacache/internal/core"
+	"mediacache/internal/media"
+	"mediacache/internal/policy/dynsimple"
+	"mediacache/internal/workload"
+	"mediacache/internal/zipf"
+)
+
+func main() {
+	// The repository of Section 3.3: 288 video + 288 audio clips with sizes
+	// from 2.2 MB to 3.5 GB.
+	repo := media.PaperRepository()
+
+	// DYNSimple with the paper-recommended history depth K=2.
+	policy, err := dynsimple.New(repo.N(), dynsimple.DefaultK)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A cache holding 12.5% of the repository bytes.
+	cache, err := core.New(repo, repo.CacheSizeForRatio(0.125), policy)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A seeded Zipfian request stream (theta = 0.27, the movie-popularity
+	// model the paper cites).
+	dist, err := zipf.New(repo.N(), zipf.DefaultMean)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gen, err := workload.NewGenerator(dist, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const requests = 10000
+	for i := 0; i < requests; i++ {
+		if _, err := cache.Request(gen.Next()); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	s := cache.Stats()
+	fmt.Printf("policy          %s\n", policy.Name())
+	fmt.Printf("repository      %d clips, %v\n", repo.N(), repo.TotalSize())
+	fmt.Printf("cache           %v\n", cache.Capacity())
+	fmt.Printf("requests        %d\n", s.Requests)
+	fmt.Printf("hit rate        %.2f%%\n", s.HitRate()*100)
+	fmt.Printf("byte hit rate   %.2f%%\n", s.ByteHitRate()*100)
+	fmt.Printf("theoretical     %.2f%% of future requests hit the current content\n",
+		cache.TheoreticalHitRate(gen.PMF())*100)
+	fmt.Printf("resident clips  %d\n", cache.NumResident())
+}

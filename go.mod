@@ -1,0 +1,3 @@
+module mediacache
+
+go 1.22

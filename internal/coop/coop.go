@@ -1,0 +1,250 @@
+// Package coop implements the cooperative-caching extension the paper
+// leaves as future work (Sections 1 and 5): multiple FMC devices in the
+// same radio range form an ad hoc network and exchange clips with one
+// another, optimizing a global criterion — the number of references
+// serviced without accessing the base station.
+//
+// Two modes are provided:
+//
+//   - Greedy: every device runs its own replacement policy in isolation.
+//     Peers still serve each other's misses when they happen to hold the
+//     clip, but placement is uncoordinated, so popular clips are replicated
+//     on every device.
+//   - Dedup: a simple cooperative placement rule layered on the greedy
+//     policies — a device declines to materialize a clip already held by at
+//     least MaxCopies peers, steering its cache toward clips the
+//     neighborhood lacks and raising the union coverage.
+//
+// The cooperative hit rate (local + peer hits over requests) is the global
+// metric; per-device greedy hit rates remain observable through each
+// device's cache statistics, enabling the greedy-vs-cooperative comparison
+// the paper calls for.
+package coop
+
+import (
+	"errors"
+	"fmt"
+
+	"mediacache/internal/core"
+	"mediacache/internal/media"
+	"mediacache/internal/vtime"
+	"mediacache/internal/workload"
+)
+
+// Outcome classifies how a cooperative request was serviced.
+type Outcome uint8
+
+// Cooperative outcomes.
+const (
+	// LocalHit: the device's own cache held the clip.
+	LocalHit Outcome = iota
+	// PeerHit: a device in radio range held the clip; streamed over the ad
+	// hoc network, no base-station access.
+	PeerHit
+	// ServerFetch: no copy in the neighborhood; streamed from the base
+	// station.
+	ServerFetch
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case LocalHit:
+		return "local-hit"
+	case PeerHit:
+		return "peer-hit"
+	case ServerFetch:
+		return "server-fetch"
+	default:
+		return fmt.Sprintf("Outcome(%d)", uint8(o))
+	}
+}
+
+// Stats accumulates the global cooperative metrics.
+type Stats struct {
+	Requests       uint64
+	LocalHits      uint64
+	PeerHits       uint64
+	ServerFetches  uint64
+	BytesFromPeers media.Bytes
+	BytesFromBase  media.Bytes
+}
+
+// CooperativeHitRate returns the fraction of requests serviced without the
+// base station — the global criterion of Section 5.
+func (s Stats) CooperativeHitRate() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.LocalHits+s.PeerHits) / float64(s.Requests)
+}
+
+// LocalHitRate returns the fraction serviced from devices' own caches.
+func (s Stats) LocalHitRate() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.LocalHits) / float64(s.Requests)
+}
+
+// Network is an ad hoc neighborhood of devices.
+type Network struct {
+	devices []*Device
+	// maxCopies bounds neighborhood replication under the Dedup rule;
+	// 0 disables coordination (pure greedy).
+	maxCopies int
+	stats     Stats
+}
+
+// Config configures a Network.
+type Config struct {
+	// MaxCopies, when positive, enables the Dedup placement rule: a device
+	// declines to cache a clip already held by MaxCopies or more peers.
+	MaxCopies int
+}
+
+// NewNetwork returns an empty neighborhood.
+func NewNetwork(cfg Config) *Network {
+	return &Network{maxCopies: cfg.MaxCopies}
+}
+
+// Stats returns the accumulated global statistics.
+func (n *Network) Stats() Stats { return n.stats }
+
+// Devices returns the attached devices.
+func (n *Network) Devices() []*Device { return n.devices }
+
+// peerCopies counts peers of d (excluding d itself) holding clip id.
+func (n *Network) peerCopies(d *Device, id media.ClipID) int {
+	copies := 0
+	for _, other := range n.devices {
+		if other != d && other.cache.Resident(id) {
+			copies++
+		}
+	}
+	return copies
+}
+
+// Device is one member of the neighborhood.
+type Device struct {
+	id    int
+	net   *Network
+	cache *core.Cache
+	gen   *workload.Generator
+}
+
+// dedupPolicy wraps a device's replacement policy with the cooperative
+// admission rule.
+type dedupPolicy struct {
+	core.Policy
+	dev *Device
+}
+
+// Admit declines clips that the neighborhood already replicates enough.
+func (p *dedupPolicy) Admit(clip media.Clip, now vtime.Time) bool {
+	if !p.Policy.Admit(clip, now) {
+		return false
+	}
+	if p.dev.net.maxCopies > 0 &&
+		p.dev.net.peerCopies(p.dev, clip.ID) >= p.dev.net.maxCopies {
+		return false
+	}
+	return true
+}
+
+// AddDevice attaches a device built from a repository, capacity, policy and
+// request generator. The policy is wrapped with the cooperative admission
+// rule when the network has MaxCopies set.
+func (n *Network) AddDevice(repo *media.Repository, capacity media.Bytes, policy core.Policy, gen *workload.Generator) (*Device, error) {
+	if policy == nil {
+		return nil, errors.New("coop: policy must not be nil")
+	}
+	if gen == nil {
+		return nil, errors.New("coop: generator must not be nil")
+	}
+	d := &Device{id: len(n.devices), net: n, gen: gen}
+	wrapped := &dedupPolicy{Policy: policy, dev: d}
+	cache, err := core.New(repo, capacity, wrapped)
+	if err != nil {
+		return nil, err
+	}
+	d.cache = cache
+	n.devices = append(n.devices, d)
+	return d, nil
+}
+
+// ID returns the device's index within the network.
+func (d *Device) ID() int { return d.id }
+
+// Cache exposes the device's cache (per-device greedy statistics).
+func (d *Device) Cache() *core.Cache { return d.cache }
+
+// Request services the device's reference to clip id: local cache first,
+// then peers over the ad hoc network, then the base station. The local
+// cache processes the reference either way, so its replacement policy sees
+// the full request stream.
+func (d *Device) Request(id media.ClipID) (Outcome, error) {
+	clip, ok := d.cache.Repository().Lookup(id)
+	if !ok {
+		return ServerFetch, fmt.Errorf("%w: id %d", core.ErrUnknownClip, id)
+	}
+	wasResident := d.cache.Resident(id)
+	peerHeld := !wasResident && d.net.peerCopies(d, id) > 0
+	if _, err := d.cache.Request(id); err != nil {
+		return ServerFetch, err
+	}
+	d.net.stats.Requests++
+	switch {
+	case wasResident:
+		d.net.stats.LocalHits++
+		return LocalHit, nil
+	case peerHeld:
+		d.net.stats.PeerHits++
+		d.net.stats.BytesFromPeers += clip.Size
+		return PeerHit, nil
+	default:
+		d.net.stats.ServerFetches++
+		d.net.stats.BytesFromBase += clip.Size
+		return ServerFetch, nil
+	}
+}
+
+// Step lets every device issue one request from its generator, in device
+// order.
+func (n *Network) Step() error {
+	for _, d := range n.devices {
+		if _, err := d.Request(d.gen.Next()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run simulates rounds request rounds.
+func (n *Network) Run(rounds int) error {
+	for i := 0; i < rounds; i++ {
+		if err := n.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// UnionCoverage returns the fraction of repository bytes held by at least
+// one device — the coverage a cooperative placement rule tries to widen.
+func (n *Network) UnionCoverage() float64 {
+	if len(n.devices) == 0 {
+		return 0
+	}
+	repo := n.devices[0].cache.Repository()
+	var covered media.Bytes
+	for id := media.ClipID(1); int(id) <= repo.N(); id++ {
+		for _, d := range n.devices {
+			if d.cache.Resident(id) {
+				covered += repo.Clip(id).Size
+				break
+			}
+		}
+	}
+	return float64(covered) / float64(repo.TotalSize())
+}

@@ -1,0 +1,349 @@
+// Package core implements the client-side cache engine of the paper's
+// simulation model (Section 2): a fixed-size cache of continuous-media clips
+// driven by a replacement Policy.
+//
+// The engine owns residency and byte accounting and enforces the paper's
+// problem-statement rules:
+//
+//   - the cache has a fixed size S_T smaller than the repository S_DB;
+//   - every referenced clip is materialized in the cache (Section 2's default
+//     assumption), unless the policy's admission hook declines — the hook
+//     models the paper's "variant of Simple that does not cache those
+//     referenced clips whose byte hit ratio is smaller" (Section 3.3) and the
+//     future-work scenario where unpopular clips are streamed without caching;
+//   - when free space is insufficient, the policy selects victims until the
+//     incoming clip fits;
+//   - a clip larger than the whole cache is streamed without caching.
+//
+// Policies are notified of every reference (hit or miss) so on-line
+// techniques can maintain reference histories for non-resident clips.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"mediacache/internal/media"
+	"mediacache/internal/vtime"
+)
+
+// Outcome classifies the servicing of one request.
+type Outcome uint8
+
+// Request outcomes.
+const (
+	// Hit means the referenced clip was cache resident.
+	Hit Outcome = iota
+	// MissCached means the clip was streamed from the server and
+	// materialized in the cache.
+	MissCached
+	// MissBypassed means the clip was streamed from the server without
+	// being cached (admission declined).
+	MissBypassed
+	// MissTooLarge means the clip exceeds the cache capacity and was
+	// streamed without caching.
+	MissTooLarge
+)
+
+// IsHit reports whether the outcome was a cache hit.
+func (o Outcome) IsHit() bool { return o == Hit }
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case Hit:
+		return "hit"
+	case MissCached:
+		return "miss-cached"
+	case MissBypassed:
+		return "miss-bypassed"
+	case MissTooLarge:
+		return "miss-too-large"
+	default:
+		return fmt.Sprintf("Outcome(%d)", uint8(o))
+	}
+}
+
+// ResidentView is the read-only view of cache contents a Policy receives
+// when selecting victims.
+type ResidentView interface {
+	// Resident reports whether clip id is cached.
+	Resident(id media.ClipID) bool
+	// ResidentClips returns the cached clips ordered by ascending ID.
+	ResidentClips() []media.Clip
+	// NumResident returns the number of cached clips.
+	NumResident() int
+	// FreeBytes returns the unused cache capacity.
+	FreeBytes() media.Bytes
+	// Capacity returns the total cache capacity S_T.
+	Capacity() media.Bytes
+}
+
+// Policy is a cache replacement technique. Implementations live in
+// internal/policy/...; the engine drives them through this interface.
+//
+// Call sequence per request: Record is always called first (hit or miss).
+// On a miss that will be cached, Victims is called (possibly repeatedly)
+// until enough space is free, then OnEvict for each victim and OnInsert for
+// the incoming clip.
+type Policy interface {
+	// Name returns the technique's display name, e.g. "DYNSimple(K=2)".
+	Name() string
+
+	// Record observes a reference to clip at time now. hit reports whether
+	// the clip was resident. Policies use this to maintain reference
+	// histories (which, per Section 4.1, may cover non-resident clips).
+	Record(clip media.Clip, now vtime.Time, hit bool)
+
+	// Admit reports whether the incoming (missed) clip should be cached.
+	// The default paper assumption is to always admit.
+	Admit(clip media.Clip, now vtime.Time) bool
+
+	// Victims selects resident clips to evict so that at least need bytes
+	// become free. view exposes the resident set; incoming is the clip
+	// being cached. The returned ids must be resident and distinct; the
+	// engine validates and evicts them in order. If the returned set frees
+	// fewer than need bytes the engine calls Victims again with the
+	// remaining need.
+	Victims(incoming media.Clip, view ResidentView, need media.Bytes, now vtime.Time) []media.ClipID
+
+	// OnInsert notifies that clip became resident.
+	OnInsert(clip media.Clip, now vtime.Time)
+
+	// OnEvict notifies that clip id was evicted.
+	OnEvict(id media.ClipID, now vtime.Time)
+
+	// Reset returns the policy to its initial state.
+	Reset()
+}
+
+// Stats accumulates the evaluation metrics of Section 1.
+type Stats struct {
+	Requests        uint64      // total references
+	Hits            uint64      // references serviced from cache
+	BytesReferenced media.Bytes // Σ size of referenced clips
+	BytesHit        media.Bytes // Σ size of clips serviced from cache
+	BytesFetched    media.Bytes // network traffic: Σ size of missed clips
+	Evictions       uint64      // number of clips swapped out
+	BytesEvicted    media.Bytes // Σ size of evicted clips
+	Bypassed        uint64      // misses not cached (admission declined or too large)
+}
+
+// HitRate returns the cache hit rate in [0, 1].
+func (s Stats) HitRate() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Requests)
+}
+
+// ByteHitRate returns the cache byte hit rate in [0, 1].
+func (s Stats) ByteHitRate() float64 {
+	if s.BytesReferenced == 0 {
+		return 0
+	}
+	return float64(s.BytesHit) / float64(s.BytesReferenced)
+}
+
+// Cache is a fixed-capacity clip cache managed by a Policy.
+type Cache struct {
+	repo     *media.Repository
+	capacity media.Bytes
+	policy   Policy
+
+	resident map[media.ClipID]struct{}
+	used     media.Bytes
+	clock    vtime.Time
+	stats    Stats
+}
+
+// Engine errors.
+var (
+	ErrUnknownClip    = errors.New("core: request references a clip not in the repository")
+	ErrPolicyNoVictim = errors.New("core: policy returned no usable victim while space is needed")
+	ErrBadVictim      = errors.New("core: policy selected a non-resident or duplicate victim")
+)
+
+// New returns a Cache over repo with capacity S_T managed by policy.
+// Capacity must be positive and smaller than the repository size (otherwise
+// the caching problem is trivial — Section 2).
+func New(repo *media.Repository, capacity media.Bytes, policy Policy) (*Cache, error) {
+	if repo == nil {
+		return nil, errors.New("core: repository must not be nil")
+	}
+	if policy == nil {
+		return nil, errors.New("core: policy must not be nil")
+	}
+	if capacity <= 0 {
+		return nil, fmt.Errorf("core: capacity must be positive, got %d", capacity)
+	}
+	if capacity >= repo.TotalSize() {
+		return nil, fmt.Errorf("core: capacity %v is not smaller than the repository %v; the problem is trivial (Section 2)",
+			capacity, repo.TotalSize())
+	}
+	return &Cache{
+		repo:     repo,
+		capacity: capacity,
+		policy:   policy,
+		resident: make(map[media.ClipID]struct{}),
+	}, nil
+}
+
+// Repository returns the backing repository.
+func (c *Cache) Repository() *media.Repository { return c.repo }
+
+// Policy returns the replacement policy.
+func (c *Cache) Policy() Policy { return c.policy }
+
+// Now returns the current virtual time (the number of requests processed).
+func (c *Cache) Now() vtime.Time { return c.clock }
+
+// Stats returns a copy of the accumulated statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Capacity returns S_T.
+func (c *Cache) Capacity() media.Bytes { return c.capacity }
+
+// UsedBytes returns the bytes currently occupied by resident clips.
+func (c *Cache) UsedBytes() media.Bytes { return c.used }
+
+// FreeBytes returns the unused capacity.
+func (c *Cache) FreeBytes() media.Bytes { return c.capacity - c.used }
+
+// NumResident returns the number of cached clips.
+func (c *Cache) NumResident() int { return len(c.resident) }
+
+// Resident reports whether clip id is cached.
+func (c *Cache) Resident(id media.ClipID) bool {
+	_, ok := c.resident[id]
+	return ok
+}
+
+// ResidentIDs returns the cached clip ids in ascending order.
+func (c *Cache) ResidentIDs() []media.ClipID {
+	ids := make([]media.ClipID, 0, len(c.resident))
+	for id := range c.resident {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// ResidentClips returns the cached clips ordered by ascending ID.
+func (c *Cache) ResidentClips() []media.Clip {
+	ids := c.ResidentIDs()
+	clips := make([]media.Clip, len(ids))
+	for i, id := range ids {
+		clips[i] = c.repo.Clip(id)
+	}
+	return clips
+}
+
+var _ ResidentView = (*Cache)(nil)
+
+// Request services a reference to clip id, advancing the virtual clock by
+// one tick, and returns the outcome. Request is the paper's unit of work: the
+// client references a clip, the cache manager services it.
+func (c *Cache) Request(id media.ClipID) (Outcome, error) {
+	clip, ok := c.repo.Lookup(id)
+	if !ok {
+		return MissBypassed, fmt.Errorf("%w: id %d", ErrUnknownClip, id)
+	}
+	c.clock++
+	now := c.clock
+
+	_, hit := c.resident[id]
+	c.policy.Record(clip, now, hit)
+
+	c.stats.Requests++
+	c.stats.BytesReferenced += clip.Size
+	if hit {
+		c.stats.Hits++
+		c.stats.BytesHit += clip.Size
+		return Hit, nil
+	}
+	c.stats.BytesFetched += clip.Size
+
+	if clip.Size > c.capacity {
+		c.stats.Bypassed++
+		return MissTooLarge, nil
+	}
+	if !c.policy.Admit(clip, now) {
+		c.stats.Bypassed++
+		return MissBypassed, nil
+	}
+	if err := c.makeRoom(clip, now); err != nil {
+		return MissBypassed, err
+	}
+	c.resident[id] = struct{}{}
+	c.used += clip.Size
+	c.policy.OnInsert(clip, now)
+	return MissCached, nil
+}
+
+// makeRoom evicts policy-selected victims until clip fits.
+func (c *Cache) makeRoom(clip media.Clip, now vtime.Time) error {
+	for c.capacity-c.used < clip.Size {
+		need := clip.Size - (c.capacity - c.used)
+		victims := c.policy.Victims(clip, c, need, now)
+		if len(victims) == 0 {
+			return fmt.Errorf("%w: need %v, free %v", ErrPolicyNoVictim, need, c.FreeBytes())
+		}
+		seen := make(map[media.ClipID]struct{}, len(victims))
+		for _, vid := range victims {
+			if _, dup := seen[vid]; dup {
+				return fmt.Errorf("%w: duplicate id %d", ErrBadVictim, vid)
+			}
+			seen[vid] = struct{}{}
+			if _, ok := c.resident[vid]; !ok {
+				return fmt.Errorf("%w: id %d", ErrBadVictim, vid)
+			}
+			victim := c.repo.Clip(vid)
+			delete(c.resident, vid)
+			c.used -= victim.Size
+			c.stats.Evictions++
+			c.stats.BytesEvicted += victim.Size
+			c.policy.OnEvict(vid, now)
+		}
+	}
+	return nil
+}
+
+// Warm pre-loads the given clips into the cache without counting requests,
+// evicting nothing: clips that do not fit are skipped. Used to place an
+// off-line technique's chosen working set, and by tests.
+func (c *Cache) Warm(ids []media.ClipID) {
+	for _, id := range ids {
+		clip, ok := c.repo.Lookup(id)
+		if !ok || c.Resident(id) || clip.Size > c.FreeBytes() {
+			continue
+		}
+		c.resident[id] = struct{}{}
+		c.used += clip.Size
+		c.policy.OnInsert(clip, c.clock)
+	}
+}
+
+// Reset clears residency, statistics, the clock and the policy state.
+func (c *Cache) Reset() {
+	c.resident = make(map[media.ClipID]struct{})
+	c.used = 0
+	c.clock = 0
+	c.stats = Stats{}
+	c.policy.Reset()
+}
+
+// TheoreticalHitRate returns Σ f_id over resident clips for the supplied
+// per-identity probability vector (indexed by id-1). This is the metric of
+// Section 4.4.1: the probability the next request hits, given the true
+// request distribution.
+func (c *Cache) TheoreticalHitRate(pmf []float64) float64 {
+	var sum float64
+	for id := range c.resident {
+		if i := int(id) - 1; i >= 0 && i < len(pmf) {
+			sum += pmf[i]
+		}
+	}
+	return sum
+}

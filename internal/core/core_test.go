@@ -1,0 +1,431 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"mediacache/internal/media"
+	"mediacache/internal/vtime"
+)
+
+// fifoPolicy is a minimal valid policy: evicts in insertion order.
+type fifoPolicy struct {
+	order     []media.ClipID
+	admitFn   func(media.Clip) bool
+	recorded  int
+	evictions int
+	inserts   int
+}
+
+func (p *fifoPolicy) Name() string { return "FIFO" }
+
+func (p *fifoPolicy) Record(media.Clip, vtime.Time, bool) { p.recorded++ }
+
+func (p *fifoPolicy) Admit(c media.Clip, _ vtime.Time) bool {
+	if p.admitFn == nil {
+		return true
+	}
+	return p.admitFn(c)
+}
+
+func (p *fifoPolicy) Victims(_ media.Clip, view ResidentView, need media.Bytes, _ vtime.Time) []media.ClipID {
+	var out []media.ClipID
+	var freed media.Bytes
+	for _, id := range p.order {
+		if freed >= need {
+			break
+		}
+		if !view.Resident(id) {
+			continue
+		}
+		out = append(out, id)
+		for _, c := range view.ResidentClips() {
+			if c.ID == id {
+				freed += c.Size
+			}
+		}
+	}
+	return out
+}
+
+func (p *fifoPolicy) OnInsert(c media.Clip, _ vtime.Time) {
+	p.order = append(p.order, c.ID)
+	p.inserts++
+}
+
+func (p *fifoPolicy) OnEvict(id media.ClipID, _ vtime.Time) {
+	for i, v := range p.order {
+		if v == id {
+			p.order = append(p.order[:i], p.order[i+1:]...)
+			break
+		}
+	}
+	p.evictions++
+}
+
+func (p *fifoPolicy) Reset() { *p = fifoPolicy{admitFn: p.admitFn} }
+
+// badPolicy returns junk victims so engine validation can be exercised.
+type badPolicy struct {
+	fifoPolicy
+	victims func() []media.ClipID
+}
+
+func (p *badPolicy) Victims(media.Clip, ResidentView, media.Bytes, vtime.Time) []media.ClipID {
+	return p.victims()
+}
+
+func smallRepo(t *testing.T) *media.Repository {
+	t.Helper()
+	r, err := media.NewRepository([]media.Clip{
+		{ID: 1, Size: 10},
+		{ID: 2, Size: 20},
+		{ID: 3, Size: 30},
+		{ID: 4, Size: 40},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNewValidation(t *testing.T) {
+	repo := smallRepo(t)
+	p := &fifoPolicy{}
+	if _, err := New(nil, 50, p); err == nil {
+		t.Error("nil repo should fail")
+	}
+	if _, err := New(repo, 50, nil); err == nil {
+		t.Error("nil policy should fail")
+	}
+	if _, err := New(repo, 0, p); err == nil {
+		t.Error("zero capacity should fail")
+	}
+	if _, err := New(repo, -10, p); err == nil {
+		t.Error("negative capacity should fail")
+	}
+	if _, err := New(repo, 100, p); err == nil {
+		t.Error("capacity == S_DB should fail (trivial problem)")
+	}
+	if _, err := New(repo, 200, p); err == nil {
+		t.Error("capacity > S_DB should fail")
+	}
+	if _, err := New(repo, 50, p); err != nil {
+		t.Errorf("valid construction failed: %v", err)
+	}
+}
+
+func TestRequestUnknownClip(t *testing.T) {
+	c, _ := New(smallRepo(t), 50, &fifoPolicy{})
+	if _, err := c.Request(0); !errors.Is(err, ErrUnknownClip) {
+		t.Fatalf("want ErrUnknownClip, got %v", err)
+	}
+	if _, err := c.Request(5); !errors.Is(err, ErrUnknownClip) {
+		t.Fatalf("want ErrUnknownClip, got %v", err)
+	}
+	if c.Now() != 0 {
+		t.Fatal("unknown requests must not advance the clock")
+	}
+}
+
+func TestHitMissAccounting(t *testing.T) {
+	c, _ := New(smallRepo(t), 50, &fifoPolicy{})
+	out, err := c.Request(1)
+	if err != nil || out != MissCached {
+		t.Fatalf("first request = %v, %v", out, err)
+	}
+	out, _ = c.Request(1)
+	if out != Hit {
+		t.Fatalf("second request = %v, want hit", out)
+	}
+	s := c.Stats()
+	if s.Requests != 2 || s.Hits != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.BytesReferenced != 20 || s.BytesHit != 10 || s.BytesFetched != 10 {
+		t.Fatalf("byte stats = %+v", s)
+	}
+	if got := s.HitRate(); got != 0.5 {
+		t.Fatalf("hit rate = %v", got)
+	}
+	if got := s.ByteHitRate(); got != 0.5 {
+		t.Fatalf("byte hit rate = %v", got)
+	}
+}
+
+func TestEvictionLoop(t *testing.T) {
+	p := &fifoPolicy{}
+	c, _ := New(smallRepo(t), 50, p)
+	mustCache := func(id media.ClipID) {
+		t.Helper()
+		out, err := c.Request(id)
+		if err != nil || out != MissCached {
+			t.Fatalf("request %d = %v, %v", id, out, err)
+		}
+	}
+	mustCache(1) // used 10
+	mustCache(2) // used 30
+	mustCache(4) // needs 40, free 20 -> evict 1,2 -> used 40+? wait capacity 50: free=20, evict 1 (10) then 2 (20) -> free 50, insert 40
+	if c.Resident(1) || c.Resident(2) {
+		t.Fatal("FIFO should have evicted clips 1 and 2")
+	}
+	if !c.Resident(4) {
+		t.Fatal("clip 4 should be resident")
+	}
+	if c.UsedBytes() != 40 || c.FreeBytes() != 10 {
+		t.Fatalf("used=%d free=%d", c.UsedBytes(), c.FreeBytes())
+	}
+	s := c.Stats()
+	if s.Evictions != 2 || s.BytesEvicted != 30 {
+		t.Fatalf("eviction stats = %+v", s)
+	}
+}
+
+func TestTooLargeClipBypassed(t *testing.T) {
+	c, _ := New(smallRepo(t), 25, &fifoPolicy{})
+	out, err := c.Request(3) // size 30 > capacity 25
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != MissTooLarge {
+		t.Fatalf("outcome = %v, want MissTooLarge", out)
+	}
+	if c.NumResident() != 0 {
+		t.Fatal("oversized clip must not be cached")
+	}
+	if c.Stats().Bypassed != 1 {
+		t.Fatal("bypass not counted")
+	}
+}
+
+func TestAdmissionDeclined(t *testing.T) {
+	p := &fifoPolicy{admitFn: func(c media.Clip) bool { return c.ID != 2 }}
+	c, _ := New(smallRepo(t), 50, p)
+	out, _ := c.Request(2)
+	if out != MissBypassed {
+		t.Fatalf("outcome = %v, want MissBypassed", out)
+	}
+	if c.Resident(2) {
+		t.Fatal("declined clip must not be cached")
+	}
+	out, _ = c.Request(1)
+	if out != MissCached {
+		t.Fatalf("admitted clip outcome = %v", out)
+	}
+}
+
+func TestPolicyReturningNoVictims(t *testing.T) {
+	p := &badPolicy{victims: func() []media.ClipID { return nil }}
+	c, _ := New(smallRepo(t), 50, p)
+	if _, err := c.Request(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Request(2); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.Request(4) // requires eviction
+	if !errors.Is(err, ErrPolicyNoVictim) {
+		t.Fatalf("want ErrPolicyNoVictim, got %v", err)
+	}
+}
+
+func TestPolicyReturningNonResidentVictim(t *testing.T) {
+	p := &badPolicy{victims: func() []media.ClipID { return []media.ClipID{3} }}
+	c, _ := New(smallRepo(t), 50, p)
+	c.Request(1)
+	c.Request(2)
+	_, err := c.Request(4)
+	if !errors.Is(err, ErrBadVictim) {
+		t.Fatalf("want ErrBadVictim, got %v", err)
+	}
+}
+
+func TestPolicyReturningDuplicateVictims(t *testing.T) {
+	p := &badPolicy{victims: func() []media.ClipID { return []media.ClipID{1, 1} }}
+	c, _ := New(smallRepo(t), 50, p)
+	c.Request(1)
+	c.Request(2)
+	_, err := c.Request(4)
+	if !errors.Is(err, ErrBadVictim) {
+		t.Fatalf("want ErrBadVictim, got %v", err)
+	}
+}
+
+func TestVictimsCalledAgainWhenInsufficient(t *testing.T) {
+	// Policy frees one clip per call; the engine must loop.
+	calls := 0
+	p := &badPolicy{}
+	p.victims = func() []media.ClipID {
+		calls++
+		if calls == 1 {
+			return []media.ClipID{1}
+		}
+		return []media.ClipID{2}
+	}
+	c, _ := New(smallRepo(t), 50, p)
+	c.Request(1)
+	c.Request(2)
+	out, err := c.Request(4)
+	if err != nil || out != MissCached {
+		t.Fatalf("out=%v err=%v", out, err)
+	}
+	if calls != 2 {
+		t.Fatalf("Victims called %d times, want 2", calls)
+	}
+}
+
+func TestRecordCalledOnEveryRequest(t *testing.T) {
+	p := &fifoPolicy{}
+	c, _ := New(smallRepo(t), 50, p)
+	c.Request(1)
+	c.Request(1)
+	c.Request(2)
+	if p.recorded != 3 {
+		t.Fatalf("Record called %d times, want 3", p.recorded)
+	}
+}
+
+func TestClockAdvances(t *testing.T) {
+	c, _ := New(smallRepo(t), 50, &fifoPolicy{})
+	for i := 1; i <= 5; i++ {
+		c.Request(1)
+		if c.Now() != vtime.Time(i) {
+			t.Fatalf("clock = %d after %d requests", c.Now(), i)
+		}
+	}
+}
+
+func TestWarm(t *testing.T) {
+	p := &fifoPolicy{}
+	c, _ := New(smallRepo(t), 50, p)
+	c.Warm([]media.ClipID{1, 2, 3, 99, 1}) // 3 doesn't fit (10+20+30 > 50); 99 unknown; 1 dup
+	if !c.Resident(1) || !c.Resident(2) {
+		t.Fatal("clips 1,2 should be warm")
+	}
+	if c.Resident(3) {
+		t.Fatal("clip 3 must be skipped (no room)")
+	}
+	if c.UsedBytes() != 30 {
+		t.Fatalf("used = %d", c.UsedBytes())
+	}
+	if p.inserts != 2 {
+		t.Fatalf("inserts = %d", p.inserts)
+	}
+	if c.Stats().Requests != 0 {
+		t.Fatal("Warm must not count requests")
+	}
+}
+
+func TestReset(t *testing.T) {
+	p := &fifoPolicy{}
+	c, _ := New(smallRepo(t), 50, p)
+	c.Request(1)
+	c.Request(2)
+	c.Reset()
+	if c.NumResident() != 0 || c.UsedBytes() != 0 || c.Now() != 0 {
+		t.Fatal("Reset incomplete")
+	}
+	if c.Stats().Requests != 0 {
+		t.Fatal("stats not reset")
+	}
+	if len(p.order) != 0 {
+		t.Fatal("policy not reset")
+	}
+}
+
+func TestResidentViews(t *testing.T) {
+	c, _ := New(smallRepo(t), 60, &fifoPolicy{})
+	c.Request(3)
+	c.Request(1)
+	ids := c.ResidentIDs()
+	if len(ids) != 2 || ids[0] != 1 || ids[1] != 3 {
+		t.Fatalf("ResidentIDs = %v", ids)
+	}
+	clips := c.ResidentClips()
+	if len(clips) != 2 || clips[0].ID != 1 || clips[1].ID != 3 {
+		t.Fatalf("ResidentClips = %v", clips)
+	}
+	if c.NumResident() != 2 {
+		t.Fatalf("NumResident = %d", c.NumResident())
+	}
+	if c.Capacity() != 60 {
+		t.Fatalf("Capacity = %d", c.Capacity())
+	}
+	if c.Repository() == nil || c.Policy() == nil {
+		t.Fatal("accessors returned nil")
+	}
+}
+
+func TestTheoreticalHitRate(t *testing.T) {
+	c, _ := New(smallRepo(t), 60, &fifoPolicy{})
+	c.Request(1)
+	c.Request(2)
+	pmf := []float64{0.4, 0.3, 0.2, 0.1}
+	if got := c.TheoreticalHitRate(pmf); got != 0.7 {
+		t.Fatalf("theoretical hit rate = %v, want 0.7", got)
+	}
+	// Short pmf must not panic.
+	if got := c.TheoreticalHitRate([]float64{0.4}); got != 0.4 {
+		t.Fatalf("short pmf rate = %v", got)
+	}
+}
+
+func TestStatsZeroValueRates(t *testing.T) {
+	var s Stats
+	if s.HitRate() != 0 || s.ByteHitRate() != 0 {
+		t.Fatal("zero stats should have zero rates")
+	}
+}
+
+func TestOutcomeStrings(t *testing.T) {
+	cases := map[Outcome]string{
+		Hit:          "hit",
+		MissCached:   "miss-cached",
+		MissBypassed: "miss-bypassed",
+		MissTooLarge: "miss-too-large",
+		Outcome(9):   "Outcome(9)",
+	}
+	for o, want := range cases {
+		if o.String() != want {
+			t.Errorf("%d.String() = %q want %q", o, o.String(), want)
+		}
+	}
+	if !Hit.IsHit() || MissCached.IsHit() {
+		t.Fatal("IsHit wrong")
+	}
+}
+
+// Property: whatever the request sequence, the invariants hold:
+// used <= capacity, used == Σ resident sizes, hits+misses == requests.
+func TestCacheInvariantsProperty(t *testing.T) {
+	repo := smallRepo(t)
+	check := func(reqs []uint8) bool {
+		p := &fifoPolicy{}
+		c, err := New(repo, 55, p)
+		if err != nil {
+			return false
+		}
+		for _, r := range reqs {
+			id := media.ClipID(int(r)%repo.N() + 1)
+			if _, err := c.Request(id); err != nil {
+				return false
+			}
+			if c.UsedBytes() > c.Capacity() || c.UsedBytes() < 0 {
+				return false
+			}
+			var sum media.Bytes
+			for _, clip := range c.ResidentClips() {
+				sum += clip.Size
+			}
+			if sum != c.UsedBytes() {
+				return false
+			}
+		}
+		s := c.Stats()
+		return s.Hits <= s.Requests && s.Requests == uint64(len(reqs))
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,46 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"mediacache/internal/core"
+	"mediacache/internal/media"
+	"mediacache/internal/policy/dynsimple"
+)
+
+// Example demonstrates the basic cache lifecycle: build a repository,
+// attach a policy, service requests, read statistics.
+func Example() {
+	repo, err := media.NewRepository([]media.Clip{
+		{ID: 1, Size: 10 * media.MB, Kind: media.Audio, DisplayRate: media.AudioDisplayRate},
+		{ID: 2, Size: 20 * media.MB, Kind: media.Audio, DisplayRate: media.AudioDisplayRate},
+		{ID: 3, Size: 25 * media.MB, Kind: media.Audio, DisplayRate: media.AudioDisplayRate},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	policy, err := dynsimple.New(repo.N(), dynsimple.DefaultK)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cache, err := core.New(repo, 35*media.MB, policy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, id := range []media.ClipID{1, 2, 1, 3, 1} {
+		out, err := cache.Request(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("clip %d: %s\n", id, out)
+	}
+	fmt.Printf("hit rate: %.0f%%\n", cache.Stats().HitRate()*100)
+	// Output:
+	// clip 1: miss-cached
+	// clip 2: miss-cached
+	// clip 1: hit
+	// clip 3: miss-cached
+	// clip 1: hit
+	// hit rate: 40%
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"mediacache/internal/media"
+	"mediacache/internal/vtime"
+)
+
+// Snapshot captures a cache's persistent state: the resident clip set, the
+// virtual clock and the accumulated statistics. It models an FMC device
+// powering down with a disk-backed cache (Section 1: "configured with an
+// inexpensive magnetic disk drive") — the cached bytes survive, so on
+// restart the device restores residency instead of refetching everything.
+//
+// Policy bookkeeping (reference histories, priorities) is deliberately not
+// part of the snapshot: it is advisory state that policies rebuild as
+// requests flow, and serializing every policy's internals would couple the
+// format to implementation details. Restore notifies the policy of each
+// resident clip through OnInsert, the same adoption path used by Warm.
+type Snapshot struct {
+	// ResidentIDs is the resident clip set in ascending id order.
+	ResidentIDs []media.ClipID
+	// Clock is the virtual time at capture.
+	Clock vtime.Time
+	// Stats are the accumulated statistics at capture.
+	Stats Stats
+}
+
+// Snapshot captures the cache's current persistent state.
+func (c *Cache) Snapshot() Snapshot {
+	return Snapshot{
+		ResidentIDs: c.ResidentIDs(),
+		Clock:       c.clock,
+		Stats:       c.stats,
+	}
+}
+
+// Restore replaces the cache's state with the snapshot's. The snapshot must
+// be consistent with the repository and capacity: unknown ids, duplicates
+// or a resident set exceeding capacity are rejected, leaving the cache
+// untouched. The policy is reset and re-warmed via OnInsert.
+func (c *Cache) Restore(s Snapshot) error {
+	var total media.Bytes
+	seen := make(map[media.ClipID]struct{}, len(s.ResidentIDs))
+	for _, id := range s.ResidentIDs {
+		clip, ok := c.repo.Lookup(id)
+		if !ok {
+			return fmt.Errorf("core: snapshot references unknown clip %d", id)
+		}
+		if _, dup := seen[id]; dup {
+			return fmt.Errorf("core: snapshot lists clip %d twice", id)
+		}
+		seen[id] = struct{}{}
+		total += clip.Size
+	}
+	if total > c.capacity {
+		return fmt.Errorf("core: snapshot holds %v, exceeding capacity %v", total, c.capacity)
+	}
+	if s.Clock < 0 {
+		return fmt.Errorf("core: snapshot clock %d is negative", s.Clock)
+	}
+	c.resident = make(map[media.ClipID]struct{}, len(s.ResidentIDs))
+	c.used = 0
+	c.clock = s.Clock
+	c.stats = s.Stats
+	c.policy.Reset()
+	for _, id := range s.ResidentIDs {
+		clip := c.repo.Clip(id)
+		c.resident[id] = struct{}{}
+		c.used += clip.Size
+		c.policy.OnInsert(clip, c.clock)
+	}
+	return nil
+}
+
+// WriteSnapshot serializes the snapshot with encoding/gob.
+func (s Snapshot) WriteSnapshot(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(s)
+}
+
+// ReadSnapshot decodes a snapshot written by WriteSnapshot.
+func ReadSnapshot(r io.Reader) (Snapshot, error) {
+	var s Snapshot
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return Snapshot{}, fmt.Errorf("core: decoding snapshot: %w", err)
+	}
+	return s, nil
+}

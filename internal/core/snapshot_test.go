@@ -1,0 +1,106 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mediacache/internal/media"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	repo := smallRepo(t)
+	p := &fifoPolicy{}
+	c, _ := New(repo, 50, p)
+	c.Request(1)
+	c.Request(2)
+	c.Request(1) // a hit
+	snap := c.Snapshot()
+	if len(snap.ResidentIDs) != 2 || snap.Clock != 3 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if snap.Stats.Requests != 3 || snap.Stats.Hits != 1 {
+		t.Fatalf("snapshot stats = %+v", snap.Stats)
+	}
+
+	// Restore into a fresh cache ("after reboot").
+	p2 := &fifoPolicy{}
+	c2, _ := New(repo, 50, p2)
+	if err := c2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if !c2.Resident(1) || !c2.Resident(2) {
+		t.Fatal("residency not restored")
+	}
+	if c2.UsedBytes() != 30 || c2.Now() != 3 {
+		t.Fatalf("used=%d clock=%d", c2.UsedBytes(), c2.Now())
+	}
+	if c2.Stats().Hits != 1 {
+		t.Fatal("stats not restored")
+	}
+	if p2.inserts != 2 {
+		t.Fatalf("policy not re-warmed: %d inserts", p2.inserts)
+	}
+	// The restored cache keeps working.
+	out, err := c2.Request(1)
+	if err != nil || out != Hit {
+		t.Fatalf("post-restore request = %v, %v", out, err)
+	}
+}
+
+func TestSnapshotSerialization(t *testing.T) {
+	repo := smallRepo(t)
+	c, _ := New(repo, 50, &fifoPolicy{})
+	c.Request(1)
+	c.Request(3)
+	snap := c.Snapshot()
+	var buf bytes.Buffer
+	if err := snap.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.ResidentIDs) != 2 || got.Clock != snap.Clock {
+		t.Fatalf("decoded = %+v", got)
+	}
+	if _, err := ReadSnapshot(strings.NewReader("junk")); err == nil {
+		t.Fatal("garbage should fail to decode")
+	}
+}
+
+func TestRestoreValidation(t *testing.T) {
+	repo := smallRepo(t)
+	c, _ := New(repo, 50, &fifoPolicy{})
+	c.Request(1)
+	preUsed := c.UsedBytes()
+
+	cases := []Snapshot{
+		{ResidentIDs: []media.ClipID{99}},                // unknown clip
+		{ResidentIDs: []media.ClipID{1, 1}},              // duplicate
+		{ResidentIDs: []media.ClipID{1, 2, 3}, Clock: 5}, // 60 bytes > 50 capacity
+		{ResidentIDs: []media.ClipID{1}, Clock: -1},      // negative clock
+	}
+	for i, snap := range cases {
+		if err := c.Restore(snap); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+	// Failed restores must leave the cache untouched.
+	if c.UsedBytes() != preUsed || !c.Resident(1) {
+		t.Fatal("failed restore mutated the cache")
+	}
+}
+
+func TestRestoreEmptySnapshot(t *testing.T) {
+	repo := smallRepo(t)
+	c, _ := New(repo, 50, &fifoPolicy{})
+	c.Request(1)
+	if err := c.Restore(Snapshot{}); err != nil {
+		t.Fatal(err)
+	}
+	if c.NumResident() != 0 || c.UsedBytes() != 0 || c.Now() != 0 {
+		t.Fatal("empty snapshot should clear the cache")
+	}
+}

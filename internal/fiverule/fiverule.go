@@ -1,0 +1,122 @@
+// Package fiverule implements the metadata-retention rule the paper
+// proposes as future work (Sections 4.1 and 5): an analog of Gray and
+// Putzolu's five-minute rule, "extended to the wireless environment", that
+// decides how long DYNSimple-style reference history is worth keeping for
+// clips that have gone cold.
+//
+// The economics mirror the original rule. Retaining a clip's K reference
+// stamps costs memory; the benefit is that, if the clip is referenced again
+// while its history is warm, the policy can rank it accurately and avoid a
+// mis-eviction that would re-fetch clip bytes over the wireless network.
+// Equating the holding cost against the expected network saving gives a
+// break-even retention interval
+//
+//	T = (NetworkCostPerByte × AvgClipBytes) / (MemoryCostPerBytePerTick × MetadataBytes)
+//
+// History idle longer than T costs more to keep than it can save, and is
+// pruned. With the paper's example figures (4-byte stamps, K=2, one million
+// clips ⇒ 4 MB of metadata against tens-of-gigabyte caches) T is large —
+// pruning only matters on severely memory-constrained devices, exactly the
+// scenario the paper describes.
+package fiverule
+
+import (
+	"fmt"
+
+	"mediacache/internal/history"
+	"mediacache/internal/vtime"
+)
+
+// Rule captures the economic parameters of the retention decision.
+type Rule struct {
+	// NetworkCostPerByte is the cost of streaming one byte over the
+	// wireless network (energy + bandwidth), in abstract cost units.
+	NetworkCostPerByte float64
+	// MemoryCostPerBytePerTick is the cost of holding one byte of metadata
+	// for one virtual-time tick.
+	MemoryCostPerBytePerTick float64
+	// AvgClipBytes is the expected size of a re-fetch avoided by accurate
+	// history.
+	AvgClipBytes float64
+	// MetadataBytes is the per-clip history footprint (K stamps × stamp
+	// size).
+	MetadataBytes float64
+}
+
+// Validate reports whether all parameters are positive.
+func (r Rule) Validate() error {
+	if r.NetworkCostPerByte <= 0 {
+		return fmt.Errorf("fiverule: NetworkCostPerByte must be positive, got %v", r.NetworkCostPerByte)
+	}
+	if r.MemoryCostPerBytePerTick <= 0 {
+		return fmt.Errorf("fiverule: MemoryCostPerBytePerTick must be positive, got %v", r.MemoryCostPerBytePerTick)
+	}
+	if r.AvgClipBytes <= 0 {
+		return fmt.Errorf("fiverule: AvgClipBytes must be positive, got %v", r.AvgClipBytes)
+	}
+	if r.MetadataBytes <= 0 {
+		return fmt.Errorf("fiverule: MetadataBytes must be positive, got %v", r.MetadataBytes)
+	}
+	return nil
+}
+
+// BreakEven returns the retention interval T in ticks: history idle longer
+// than T is not worth keeping.
+func (r Rule) BreakEven() (vtime.Duration, error) {
+	if err := r.Validate(); err != nil {
+		return 0, err
+	}
+	t := (r.NetworkCostPerByte * r.AvgClipBytes) / (r.MemoryCostPerBytePerTick * r.MetadataBytes)
+	if t < 1 {
+		t = 1
+	}
+	const maxTicks = float64(uint64(1) << 62)
+	if t > maxTicks {
+		t = maxTicks
+	}
+	return vtime.Duration(t), nil
+}
+
+// Pruner periodically applies a Rule to a history tracker.
+type Pruner struct {
+	rule     Rule
+	tracker  *history.Tracker
+	interval vtime.Duration
+	lastRun  vtime.Time
+	dropped  int
+}
+
+// NewPruner returns a Pruner that, when polled via Tick, prunes the tracker
+// every interval ticks using the rule's break-even retention.
+func NewPruner(rule Rule, tracker *history.Tracker, interval vtime.Duration) (*Pruner, error) {
+	if err := rule.Validate(); err != nil {
+		return nil, err
+	}
+	if tracker == nil {
+		return nil, fmt.Errorf("fiverule: tracker must not be nil")
+	}
+	if interval <= 0 {
+		return nil, fmt.Errorf("fiverule: interval must be positive, got %d", interval)
+	}
+	return &Pruner{rule: rule, tracker: tracker, interval: interval}, nil
+}
+
+// Tick polls the pruner at virtual time now; if an interval has elapsed
+// since the last prune, idle histories are dropped. It returns how many
+// clip histories were pruned by this call.
+func (p *Pruner) Tick(now vtime.Time) (int, error) {
+	if now-p.lastRun < p.interval {
+		return 0, nil
+	}
+	p.lastRun = now
+	retention, err := p.rule.BreakEven()
+	if err != nil {
+		return 0, err
+	}
+	n := p.tracker.PruneOlderThan(now, retention)
+	p.dropped += n
+	return n, nil
+}
+
+// Dropped returns the total histories pruned over the pruner's lifetime.
+func (p *Pruner) Dropped() int { return p.dropped }

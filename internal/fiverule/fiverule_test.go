@@ -1,0 +1,167 @@
+package fiverule
+
+import (
+	"testing"
+
+	"mediacache/internal/history"
+	"mediacache/internal/media"
+	"mediacache/internal/vtime"
+)
+
+func validRule() Rule {
+	return Rule{
+		NetworkCostPerByte:       1e-6,
+		MemoryCostPerBytePerTick: 1e-9,
+		AvgClipBytes:             1e9,
+		MetadataBytes:            16,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := validRule().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Rule{
+		{},
+		{NetworkCostPerByte: 1, MemoryCostPerBytePerTick: 1, AvgClipBytes: 1},
+		{NetworkCostPerByte: -1, MemoryCostPerBytePerTick: 1, AvgClipBytes: 1, MetadataBytes: 1},
+		{NetworkCostPerByte: 1, MemoryCostPerBytePerTick: 0, AvgClipBytes: 1, MetadataBytes: 1},
+		{NetworkCostPerByte: 1, MemoryCostPerBytePerTick: 1, AvgClipBytes: 0, MetadataBytes: 1},
+	}
+	for i, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Errorf("rule %d should fail validation", i)
+		}
+	}
+}
+
+func TestBreakEven(t *testing.T) {
+	r := validRule()
+	// T = (1e-6 × 1e9) / (1e-9 × 16) = 1000 / 1.6e-8 = 6.25e10
+	got, err := r.BreakEven()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := vtime.Duration(6.25e10)
+	if got < want-1 || got > want+1 {
+		t.Fatalf("BreakEven = %d, want %d (±1 for float truncation)", got, want)
+	}
+}
+
+func TestBreakEvenClamps(t *testing.T) {
+	r := validRule()
+	r.NetworkCostPerByte = 1e-30 // benefit ~ 0: clamp to 1 tick
+	got, err := r.BreakEven()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("tiny benefit should clamp to 1 tick, got %d", got)
+	}
+	r = validRule()
+	r.MemoryCostPerBytePerTick = 1e-300 // holding is free: clamp to max
+	got, err = r.BreakEven()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got <= 0 {
+		t.Fatalf("overflow clamp failed: %d", got)
+	}
+}
+
+func TestBreakEvenInvalid(t *testing.T) {
+	if _, err := (Rule{}).BreakEven(); err == nil {
+		t.Fatal("invalid rule should error")
+	}
+}
+
+func TestNewPrunerValidation(t *testing.T) {
+	tr := history.NewTracker(10, 2)
+	if _, err := NewPruner(Rule{}, tr, 100); err == nil {
+		t.Error("invalid rule should fail")
+	}
+	if _, err := NewPruner(validRule(), nil, 100); err == nil {
+		t.Error("nil tracker should fail")
+	}
+	if _, err := NewPruner(validRule(), tr, 0); err == nil {
+		t.Error("zero interval should fail")
+	}
+}
+
+func TestPrunerDropsIdleHistory(t *testing.T) {
+	tr := history.NewTracker(5, 2)
+	// An aggressive rule: retention of ~10 ticks.
+	r := Rule{
+		NetworkCostPerByte:       1,
+		MemoryCostPerBytePerTick: 1,
+		AvgClipBytes:             100,
+		MetadataBytes:            10,
+	}
+	be, _ := r.BreakEven()
+	if be != 10 {
+		t.Fatalf("retention = %d, want 10", be)
+	}
+	p, err := NewPruner(r, tr, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Observe(media.ClipID(1), 1)
+	tr.Observe(media.ClipID(2), 95)
+	// At t=100: clip 1 idle 99 > 10 -> pruned; clip 2 idle 5 -> kept.
+	n, err := p.Tick(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("pruned %d, want 1", n)
+	}
+	if tr.Tracked(1) != 0 || tr.Tracked(2) != 1 {
+		t.Fatal("wrong clip pruned")
+	}
+	if p.Dropped() != 1 {
+		t.Fatalf("Dropped = %d", p.Dropped())
+	}
+}
+
+func TestPrunerRespectsInterval(t *testing.T) {
+	tr := history.NewTracker(5, 2)
+	r := Rule{NetworkCostPerByte: 1, MemoryCostPerBytePerTick: 1, AvgClipBytes: 100, MetadataBytes: 10}
+	p, _ := NewPruner(r, tr, 100)
+	tr.Observe(media.ClipID(1), 1)
+	// Ticks before the interval elapses do nothing.
+	if n, _ := p.Tick(50); n != 0 {
+		t.Fatalf("early tick pruned %d", n)
+	}
+	if tr.Tracked(1) != 1 {
+		t.Fatal("history pruned too early")
+	}
+	if n, _ := p.Tick(150); n != 1 {
+		t.Fatal("interval elapsed; should prune")
+	}
+	// Immediately after a prune, the next tick is a no-op again.
+	tr.Observe(media.ClipID(2), 1)
+	if n, _ := p.Tick(160); n != 0 {
+		t.Fatal("pruner must wait a full interval between runs")
+	}
+}
+
+func TestPaperScaleExample(t *testing.T) {
+	// The paper's Section 4.1 overhead example: one million clips, K=2,
+	// 4-byte stamps = 8 bytes of metadata per clip. With realistic cost
+	// ratios (network transfer vastly more expensive than RAM residency)
+	// the break-even retention is enormous — pruning rarely fires, matching
+	// the paper's "reasonable overhead" conclusion.
+	r := Rule{
+		NetworkCostPerByte:       1e-3,
+		MemoryCostPerBytePerTick: 1e-12,
+		AvgClipBytes:             float64(media.GB),
+		MetadataBytes:            8,
+	}
+	be, err := r.BreakEven()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if be < 1e15 {
+		t.Fatalf("expected an enormous retention window, got %d", be)
+	}
+}

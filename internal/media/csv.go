@@ -1,0 +1,84 @@
+package media
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV emits the repository as CSV with the header
+// id,kind,sizeBytes,displayBps — the interchange format for custom catalogs
+// (cachesim -repofile).
+func (r *Repository) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	cw := csv.NewWriter(bw)
+	if err := cw.Write([]string{"id", "kind", "sizeBytes", "displayBps"}); err != nil {
+		return err
+	}
+	for _, c := range r.clips {
+		row := []string{
+			strconv.Itoa(int(c.ID)),
+			c.Kind.String(),
+			strconv.FormatInt(int64(c.Size), 10),
+			strconv.FormatInt(int64(c.DisplayRate), 10),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadRepositoryCSV parses a repository written by WriteCSV (or authored by
+// hand). Clip ids must be exactly 1..N; kinds are "audio" or "video".
+func ReadRepositoryCSV(r io.Reader) (*Repository, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("media: reading repository csv: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("media: empty repository csv")
+	}
+	head := rows[0]
+	if len(head) != 4 || head[0] != "id" || head[1] != "kind" || head[2] != "sizeBytes" || head[3] != "displayBps" {
+		return nil, fmt.Errorf("media: bad repository csv header %v", head)
+	}
+	clips := make([]Clip, 0, len(rows)-1)
+	for i, row := range rows[1:] {
+		id, err := strconv.Atoi(row[0])
+		if err != nil {
+			return nil, fmt.Errorf("media: row %d: bad id %q: %w", i+1, row[0], err)
+		}
+		var kind Kind
+		switch row[1] {
+		case "audio":
+			kind = Audio
+		case "video":
+			kind = Video
+		default:
+			return nil, fmt.Errorf("media: row %d: unknown kind %q", i+1, row[1])
+		}
+		size, err := strconv.ParseInt(row[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("media: row %d: bad size %q: %w", i+1, row[2], err)
+		}
+		rate, err := strconv.ParseInt(row[3], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("media: row %d: bad display rate %q: %w", i+1, row[3], err)
+		}
+		clips = append(clips, Clip{
+			ID:          ClipID(id),
+			Kind:        kind,
+			Size:        Bytes(size),
+			DisplayRate: BitsPerSecond(rate),
+		})
+	}
+	return NewRepository(clips)
+}

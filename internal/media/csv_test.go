@@ -1,0 +1,63 @@
+package media
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRepositoryCSVRoundTrip(t *testing.T) {
+	orig := PaperRepository()
+	var buf bytes.Buffer
+	if err := orig.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRepositoryCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != orig.N() || got.TotalSize() != orig.TotalSize() {
+		t.Fatalf("round trip changed shape: %d clips %v", got.N(), got.TotalSize())
+	}
+	for i := 1; i <= got.N(); i += 97 {
+		a, b := orig.Clip(ClipID(i)), got.Clip(ClipID(i))
+		if a != b {
+			t.Fatalf("clip %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestReadRepositoryCSVMalformed(t *testing.T) {
+	cases := []string{
+		"",
+		"wrong,header,row,x\n",
+		"id,kind,sizeBytes,displayBps\nnope,audio,10,300\n",
+		"id,kind,sizeBytes,displayBps\n1,smell,10,300\n",
+		"id,kind,sizeBytes,displayBps\n1,audio,big,300\n",
+		"id,kind,sizeBytes,displayBps\n1,audio,10,fast\n",
+		"id,kind,sizeBytes,displayBps\n2,audio,10,300\n", // id out of range
+		"id,kind,sizeBytes,displayBps\n1,audio,0,300\n",  // zero size
+		"id,kind,sizeBytes,displayBps\n1,audio,10\n",     // short row
+	}
+	for i, c := range cases {
+		if _, err := ReadRepositoryCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestReadRepositoryCSVHandAuthored(t *testing.T) {
+	in := "id,kind,sizeBytes,displayBps\n" +
+		"1,video,1000000,4000000\n" +
+		"2,audio,10000,300000\n"
+	repo, err := ReadRepositoryCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repo.N() != 2 {
+		t.Fatalf("N = %d", repo.N())
+	}
+	if repo.Clip(1).Kind != Video || repo.Clip(2).Kind != Audio {
+		t.Fatal("kinds wrong")
+	}
+}

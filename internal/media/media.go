@@ -1,0 +1,301 @@
+// Package media models the continuous-media clips and clip repositories of
+// the paper's simulation (Section 3.3 and Table 1).
+//
+// A Repository is the server-side database: N clips, each with an identity
+// (1..N), a size in bytes and a display-bandwidth requirement. The paper's
+// evaluation repository holds 576 clips — half audio, half video — with three
+// sizes per media type, interleaved in descending size order.
+package media
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Bytes is a size or capacity in bytes.
+type Bytes int64
+
+// Common byte units.
+const (
+	KB Bytes = 1 << 10
+	MB Bytes = 1 << 20
+	GB Bytes = 1 << 30
+)
+
+// String renders a byte count with a human-readable unit.
+func (b Bytes) String() string {
+	switch {
+	case b >= GB:
+		return fmt.Sprintf("%.2fGB", float64(b)/float64(GB))
+	case b >= MB:
+		return fmt.Sprintf("%.2fMB", float64(b)/float64(MB))
+	case b >= KB:
+		return fmt.Sprintf("%.2fKB", float64(b)/float64(KB))
+	default:
+		return fmt.Sprintf("%dB", int64(b))
+	}
+}
+
+// BitsPerSecond is a bandwidth. Display bandwidths in the paper are 4 Mbps
+// for video and 300 Kbps for audio.
+type BitsPerSecond int64
+
+// Common bandwidth units.
+const (
+	Kbps BitsPerSecond = 1000
+	Mbps BitsPerSecond = 1000 * Kbps
+)
+
+// String renders a bandwidth with a human-readable unit.
+func (r BitsPerSecond) String() string {
+	switch {
+	case r >= Mbps:
+		return fmt.Sprintf("%.2fMbps", float64(r)/float64(Mbps))
+	case r >= Kbps:
+		return fmt.Sprintf("%.2fKbps", float64(r)/float64(Kbps))
+	default:
+		return fmt.Sprintf("%dbps", int64(r))
+	}
+}
+
+// Kind distinguishes audio from video clips.
+type Kind uint8
+
+// Clip kinds.
+const (
+	Audio Kind = iota
+	Video
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Audio:
+		return "audio"
+	case Video:
+		return "video"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// ClipID identifies a clip within a repository (1-indexed, matching the
+// paper's numbering of clips 1..576).
+type ClipID int
+
+// Clip is one continuous-media object in the repository.
+type Clip struct {
+	ID          ClipID
+	Kind        Kind
+	Size        Bytes
+	DisplayRate BitsPerSecond // B_Display(i) in Table 1
+}
+
+// DisplaySeconds returns the clip's display time in seconds given its size
+// and display bandwidth requirement.
+func (c Clip) DisplaySeconds() float64 {
+	if c.DisplayRate <= 0 {
+		return 0
+	}
+	return float64(c.Size) * 8 / float64(c.DisplayRate)
+}
+
+// Repository is an immutable collection of clips, indexed by ClipID.
+type Repository struct {
+	clips     []Clip // clips[i] has ID i+1
+	totalSize Bytes
+	maxSize   Bytes
+}
+
+// NewRepository builds a repository from clips. Clip IDs must be exactly
+// 1..len(clips) (any order) with positive sizes.
+func NewRepository(clips []Clip) (*Repository, error) {
+	if len(clips) == 0 {
+		return nil, fmt.Errorf("media: repository must contain at least one clip")
+	}
+	ordered := make([]Clip, len(clips))
+	seen := make([]bool, len(clips))
+	for _, c := range clips {
+		if c.ID < 1 || int(c.ID) > len(clips) {
+			return nil, fmt.Errorf("media: clip id %d outside 1..%d", c.ID, len(clips))
+		}
+		if seen[c.ID-1] {
+			return nil, fmt.Errorf("media: duplicate clip id %d", c.ID)
+		}
+		if c.Size <= 0 {
+			return nil, fmt.Errorf("media: clip %d has non-positive size %d", c.ID, c.Size)
+		}
+		seen[c.ID-1] = true
+		ordered[c.ID-1] = c
+	}
+	r := &Repository{clips: ordered}
+	for _, c := range ordered {
+		r.totalSize += c.Size
+		if c.Size > r.maxSize {
+			r.maxSize = c.Size
+		}
+	}
+	return r, nil
+}
+
+// N returns the number of clips.
+func (r *Repository) N() int { return len(r.clips) }
+
+// Clip returns the clip with the given id. It panics if id is out of range;
+// use Lookup for a checked variant.
+func (r *Repository) Clip(id ClipID) Clip {
+	return r.clips[id-1]
+}
+
+// Lookup returns the clip with the given id and whether it exists.
+func (r *Repository) Lookup(id ClipID) (Clip, bool) {
+	if id < 1 || int(id) > len(r.clips) {
+		return Clip{}, false
+	}
+	return r.clips[id-1], true
+}
+
+// Clips returns a copy of all clips ordered by ID.
+func (r *Repository) Clips() []Clip {
+	out := make([]Clip, len(r.clips))
+	copy(out, r.clips)
+	return out
+}
+
+// TotalSize returns S_DB, the sum of all clip sizes.
+func (r *Repository) TotalSize() Bytes { return r.totalSize }
+
+// MaxClipSize returns the size of the largest clip. The problem statement
+// (Section 2) assumes any cache is at least this large.
+func (r *Repository) MaxClipSize() Bytes { return r.maxSize }
+
+// CacheSizeForRatio returns the cache size S_T such that S_T/S_DB equals
+// ratio, rounded down to a whole byte.
+func (r *Repository) CacheSizeForRatio(ratio float64) Bytes {
+	return Bytes(float64(r.totalSize) * ratio)
+}
+
+// SizeDistribution summarizes the distinct clip sizes and their counts,
+// sorted by descending size. Useful for documentation and tests.
+func (r *Repository) SizeDistribution() map[Bytes]int {
+	dist := make(map[Bytes]int)
+	for _, c := range r.clips {
+		dist[c.Size]++
+	}
+	return dist
+}
+
+// Paper repository constants (Section 3.3). Video clips display at 4 Mbps
+// with display times of 2h, 60min and 30min; audio clips display at 300 Kbps
+// with display times of 4, 2 and 1 minutes.
+const (
+	PaperRepositorySize = 576
+
+	VideoDisplayRate BitsPerSecond = 4 * Mbps
+	AudioDisplayRate BitsPerSecond = 300 * Kbps
+)
+
+// The six clip sizes of the paper repository, in the round-robin assignment
+// order 3.5GB, 8.8MB, 1.8GB, 4.4MB, 0.9GB, 2.2MB.
+var (
+	paperVideoSizes = []Bytes{
+		GB * 35 / 10, // 3.5 GB, 2-hour video
+		GB * 18 / 10, // 1.8 GB, 60-minute video
+		GB * 9 / 10,  // 0.9 GB, 30-minute video
+	}
+	paperAudioSizes = []Bytes{
+		MB * 88 / 10, // 8.8 MB, 4-minute audio
+		MB * 44 / 10, // 4.4 MB, 2-minute audio
+		MB * 22 / 10, // 2.2 MB, 1-minute audio
+	}
+)
+
+// PaperRepository constructs the 576-clip repository of Section 3.3: odd
+// numbered clips are video, even numbered are audio, with sizes assigned in
+// descending order round-robin so the repeating pattern of clip sizes is
+// 3.5GB, 8.8MB, 1.8GB, 4.4MB, 0.9GB, 2.2MB.
+func PaperRepository() *Repository {
+	r, err := VariableRepository(PaperRepositorySize)
+	if err != nil {
+		panic(err) // unreachable: constants are valid
+	}
+	return r
+}
+
+// VariableRepository builds a paper-style variable-size repository with n
+// clips (n must be a positive multiple of 6 so the size pattern tiles).
+func VariableRepository(n int) (*Repository, error) {
+	if n <= 0 || n%6 != 0 {
+		return nil, fmt.Errorf("media: variable repository size must be a positive multiple of 6, got %d", n)
+	}
+	clips := make([]Clip, 0, n)
+	for i := 1; i <= n; i++ {
+		var c Clip
+		c.ID = ClipID(i)
+		// Positions cycle through the 6-size pattern; odd ids are video.
+		pos := (i - 1) % 6
+		if i%2 == 1 {
+			c.Kind = Video
+			c.DisplayRate = VideoDisplayRate
+			c.Size = paperVideoSizes[pos/2]
+		} else {
+			c.Kind = Audio
+			c.DisplayRate = AudioDisplayRate
+			c.Size = paperAudioSizes[pos/2]
+		}
+		clips = append(clips, c)
+	}
+	return NewRepository(clips)
+}
+
+// EquiRepository builds a repository of n equi-sized clips, as used by
+// Figures 3 and 5.a. Every clip is a video clip of the given size.
+func EquiRepository(n int, size Bytes) (*Repository, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("media: repository size must be positive, got %d", n)
+	}
+	if size <= 0 {
+		return nil, fmt.Errorf("media: clip size must be positive, got %d", size)
+	}
+	clips := make([]Clip, n)
+	for i := range clips {
+		clips[i] = Clip{
+			ID:          ClipID(i + 1),
+			Kind:        Video,
+			Size:        size,
+			DisplayRate: VideoDisplayRate,
+		}
+	}
+	return NewRepository(clips)
+}
+
+// PaperEquiRepository builds the 576-clip equi-sized repository used for the
+// equi-sized experiments, with each clip sized at the paper repository's mean
+// clip size so cache-ratio axes stay comparable across figures.
+func PaperEquiRepository() *Repository {
+	paper := PaperRepository()
+	mean := paper.TotalSize() / Bytes(paper.N())
+	r, err := EquiRepository(PaperRepositorySize, mean)
+	if err != nil {
+		panic(err) // unreachable: constants are valid
+	}
+	return r
+}
+
+// SortClipsBySizeDesc returns clip IDs ordered by descending size, breaking
+// ties by ascending ID. Used by policies that refine victim sets.
+func SortClipsBySizeDesc(clips []Clip) []ClipID {
+	sorted := make([]Clip, len(clips))
+	copy(sorted, clips)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Size != sorted[j].Size {
+			return sorted[i].Size > sorted[j].Size
+		}
+		return sorted[i].ID < sorted[j].ID
+	})
+	ids := make([]ClipID, len(sorted))
+	for i, c := range sorted {
+		ids[i] = c.ID
+	}
+	return ids
+}

@@ -1,0 +1,291 @@
+package media
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBytesString(t *testing.T) {
+	cases := []struct {
+		in   Bytes
+		want string
+	}{
+		{512, "512B"},
+		{2 * KB, "2.00KB"},
+		{MB * 88 / 10, "8.80MB"},
+		{GB * 35 / 10, "3.50GB"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Bytes(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestBitsPerSecondString(t *testing.T) {
+	if got := (4 * Mbps).String(); got != "4.00Mbps" {
+		t.Errorf("got %q", got)
+	}
+	if got := (300 * Kbps).String(); got != "300.00Kbps" {
+		t.Errorf("got %q", got)
+	}
+	if got := BitsPerSecond(500).String(); got != "500bps" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Audio.String() != "audio" || Video.String() != "video" {
+		t.Fatal("kind strings wrong")
+	}
+	if Kind(9).String() != "Kind(9)" {
+		t.Fatal("unknown kind string wrong")
+	}
+}
+
+func TestPaperRepositoryShape(t *testing.T) {
+	r := PaperRepository()
+	if r.N() != 576 {
+		t.Fatalf("N = %d, want 576", r.N())
+	}
+	var audio, video int
+	for _, c := range r.Clips() {
+		switch c.Kind {
+		case Audio:
+			audio++
+			if c.ID%2 != 0 {
+				t.Fatalf("clip %d is audio but odd-numbered", c.ID)
+			}
+			if c.DisplayRate != AudioDisplayRate {
+				t.Fatalf("audio clip %d has rate %v", c.ID, c.DisplayRate)
+			}
+		case Video:
+			video++
+			if c.ID%2 != 1 {
+				t.Fatalf("clip %d is video but even-numbered", c.ID)
+			}
+			if c.DisplayRate != VideoDisplayRate {
+				t.Fatalf("video clip %d has rate %v", c.ID, c.DisplayRate)
+			}
+		}
+	}
+	if audio != 288 || video != 288 {
+		t.Fatalf("audio=%d video=%d, want 288 each", audio, video)
+	}
+}
+
+func TestPaperRepositorySizePattern(t *testing.T) {
+	r := PaperRepository()
+	want := []Bytes{
+		GB * 35 / 10,
+		MB * 88 / 10,
+		GB * 18 / 10,
+		MB * 44 / 10,
+		GB * 9 / 10,
+		MB * 22 / 10,
+	}
+	for i := 1; i <= r.N(); i++ {
+		if got := r.Clip(ClipID(i)).Size; got != want[(i-1)%6] {
+			t.Fatalf("clip %d size = %v, want %v", i, got, want[(i-1)%6])
+		}
+	}
+	// Each distinct size appears 96 times.
+	for size, count := range r.SizeDistribution() {
+		if count != 96 {
+			t.Fatalf("size %v appears %d times, want 96", size, count)
+		}
+	}
+}
+
+func TestPaperRepositoryDisplayTimes(t *testing.T) {
+	r := PaperRepository()
+	// Clip 1: 3.5 GB at 4 Mbps ~ 2 hours (allowing GB-vs-binary rounding slop).
+	got := r.Clip(1).DisplaySeconds()
+	if math.Abs(got-7200) > 7200*0.05 {
+		t.Fatalf("clip 1 display time = %vs, want ~7200s", got)
+	}
+	// Clip 2: 8.8 MB at 300 Kbps ~ 4 minutes.
+	got = r.Clip(2).DisplaySeconds()
+	if math.Abs(got-240) > 240*0.05 {
+		t.Fatalf("clip 2 display time = %vs, want ~240s", got)
+	}
+}
+
+func TestDisplaySecondsZeroRate(t *testing.T) {
+	c := Clip{Size: GB}
+	if c.DisplaySeconds() != 0 {
+		t.Fatal("zero display rate should yield zero display time")
+	}
+}
+
+func TestVariableRepositoryValidation(t *testing.T) {
+	for _, n := range []int{0, -6, 5, 7, 575} {
+		if _, err := VariableRepository(n); err == nil {
+			t.Errorf("VariableRepository(%d) should fail", n)
+		}
+	}
+	if _, err := VariableRepository(12); err != nil {
+		t.Errorf("VariableRepository(12) failed: %v", err)
+	}
+}
+
+func TestNewRepositoryValidation(t *testing.T) {
+	if _, err := NewRepository(nil); err == nil {
+		t.Error("empty repository should fail")
+	}
+	if _, err := NewRepository([]Clip{{ID: 2, Size: 1}}); err == nil {
+		t.Error("id out of range should fail")
+	}
+	if _, err := NewRepository([]Clip{{ID: 1, Size: 1}, {ID: 1, Size: 1}}); err == nil {
+		t.Error("duplicate id should fail")
+	}
+	if _, err := NewRepository([]Clip{{ID: 1, Size: 0}}); err == nil {
+		t.Error("zero size should fail")
+	}
+	if _, err := NewRepository([]Clip{{ID: 1, Size: -5}}); err == nil {
+		t.Error("negative size should fail")
+	}
+}
+
+func TestNewRepositoryAcceptsUnorderedIDs(t *testing.T) {
+	r, err := NewRepository([]Clip{
+		{ID: 3, Size: 30},
+		{ID: 1, Size: 10},
+		{ID: 2, Size: 20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if got := r.Clip(ClipID(i)).Size; got != Bytes(i*10) {
+			t.Fatalf("clip %d size = %d", i, got)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	r := PaperRepository()
+	if _, ok := r.Lookup(0); ok {
+		t.Error("Lookup(0) should fail")
+	}
+	if _, ok := r.Lookup(577); ok {
+		t.Error("Lookup(577) should fail")
+	}
+	c, ok := r.Lookup(42)
+	if !ok || c.ID != 42 {
+		t.Error("Lookup(42) failed")
+	}
+}
+
+func TestTotalAndMaxSize(t *testing.T) {
+	r, _ := NewRepository([]Clip{
+		{ID: 1, Size: 10},
+		{ID: 2, Size: 30},
+		{ID: 3, Size: 20},
+	})
+	if r.TotalSize() != 60 {
+		t.Errorf("TotalSize = %d", r.TotalSize())
+	}
+	if r.MaxClipSize() != 30 {
+		t.Errorf("MaxClipSize = %d", r.MaxClipSize())
+	}
+}
+
+func TestCacheSizeForRatio(t *testing.T) {
+	r := PaperRepository()
+	half := r.CacheSizeForRatio(0.5)
+	if diff := math.Abs(float64(half) - float64(r.TotalSize())/2); diff > 1 {
+		t.Fatalf("ratio 0.5 off by %v bytes", diff)
+	}
+	if r.CacheSizeForRatio(0) != 0 {
+		t.Fatal("ratio 0 should be 0")
+	}
+}
+
+func TestEquiRepository(t *testing.T) {
+	r, err := EquiRepository(100, 10*MB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.N() != 100 {
+		t.Fatalf("N = %d", r.N())
+	}
+	for _, c := range r.Clips() {
+		if c.Size != 10*MB {
+			t.Fatalf("clip %d size %v", c.ID, c.Size)
+		}
+	}
+	if _, err := EquiRepository(0, MB); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := EquiRepository(5, 0); err == nil {
+		t.Error("size=0 should fail")
+	}
+}
+
+func TestPaperEquiRepository(t *testing.T) {
+	r := PaperEquiRepository()
+	if r.N() != 576 {
+		t.Fatalf("N = %d", r.N())
+	}
+	paper := PaperRepository()
+	wantSize := paper.TotalSize() / 576
+	if r.Clip(1).Size != wantSize {
+		t.Fatalf("equi clip size = %v, want mean %v", r.Clip(1).Size, wantSize)
+	}
+}
+
+func TestSortClipsBySizeDesc(t *testing.T) {
+	clips := []Clip{
+		{ID: 1, Size: 10},
+		{ID: 2, Size: 30},
+		{ID: 3, Size: 10},
+		{ID: 4, Size: 20},
+	}
+	got := SortClipsBySizeDesc(clips)
+	want := []ClipID{2, 4, 1, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSortClipsBySizeDescProperty(t *testing.T) {
+	check := func(sizes []uint16) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		clips := make([]Clip, len(sizes))
+		for i, s := range sizes {
+			clips[i] = Clip{ID: ClipID(i + 1), Size: Bytes(s) + 1}
+		}
+		byID := make(map[ClipID]Bytes, len(clips))
+		for _, c := range clips {
+			byID[c.ID] = c.Size
+		}
+		ids := SortClipsBySizeDesc(clips)
+		if len(ids) != len(clips) {
+			return false
+		}
+		for i := 1; i < len(ids); i++ {
+			if byID[ids[i]] > byID[ids[i-1]] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClipPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Clip(0) should panic")
+		}
+	}()
+	PaperRepository().Clip(0)
+}

@@ -1,0 +1,116 @@
+// Package netsim models the wireless-streaming side of the paper's FMC
+// scenario (Section 1): startup latency, bandwidth reservation with
+// admission control, and the throughput of a geographical region.
+//
+// The paper evaluates caching techniques purely by hit rate, but motivates
+// them through these service metrics: a cache hit eliminates network delays;
+// a miss requires reserving bandwidth at a base station, and when the
+// allocated bandwidth is below the clip's display rate the device must
+// prefetch data to avoid hiccups. The prefetch formula follows the
+// pipelining model of Ghandeharizadeh, Dashti and Shahabi [10] (the exact
+// expression is garbled in the paper's OCR; see DESIGN.md §5 for the
+// substitution): with network bandwidth B_net below display bandwidth
+// B_disp, the device must buffer
+//
+//	P = size × (1 − B_net/B_disp)
+//
+// bytes before starting the display, giving a startup latency of P/B_net
+// plus the admission-control overhead.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+
+	"mediacache/internal/media"
+)
+
+// Seconds is a duration in (real, not virtual) seconds.
+type Seconds float64
+
+// StartupLatency returns the startup latency of displaying clip when
+// streaming at the allocated network bandwidth, including a fixed admission
+// overhead. A cache hit corresponds to alloc = 0 and is handled by the
+// caller (latency 0, no reservation).
+func StartupLatency(clip media.Clip, alloc media.BitsPerSecond, admission Seconds) (Seconds, error) {
+	if alloc <= 0 {
+		return 0, fmt.Errorf("netsim: allocated bandwidth must be positive, got %v", alloc)
+	}
+	if clip.DisplayRate <= 0 {
+		return 0, fmt.Errorf("netsim: clip %d has no display rate", clip.ID)
+	}
+	if alloc >= clip.DisplayRate {
+		// The network outpaces the display: start as soon as admitted.
+		return admission, nil
+	}
+	// Prefetch enough to mask the bandwidth deficit for the whole display.
+	frac := 1 - float64(alloc)/float64(clip.DisplayRate)
+	prefetchBits := float64(clip.Size) * 8 * frac
+	return admission + Seconds(prefetchBits/float64(alloc)), nil
+}
+
+// PrefetchBytes returns the number of bytes that must be buffered before
+// display can start hiccup-free at the given allocation.
+func PrefetchBytes(clip media.Clip, alloc media.BitsPerSecond) media.Bytes {
+	if alloc <= 0 || clip.DisplayRate <= 0 || alloc >= clip.DisplayRate {
+		return 0
+	}
+	frac := 1 - float64(alloc)/float64(clip.DisplayRate)
+	return media.Bytes(float64(clip.Size) * frac)
+}
+
+// Link is a shared wireless link (a base station's aggregate bandwidth)
+// with reservation-based admission control.
+type Link struct {
+	capacity media.BitsPerSecond
+	inUse    media.BitsPerSecond
+	admitted uint64
+	rejected uint64
+}
+
+// NewLink returns a link with the given aggregate capacity.
+func NewLink(capacity media.BitsPerSecond) (*Link, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("netsim: link capacity must be positive, got %v", capacity)
+	}
+	return &Link{capacity: capacity}, nil
+}
+
+// Capacity returns the link's aggregate bandwidth.
+func (l *Link) Capacity() media.BitsPerSecond { return l.capacity }
+
+// Available returns the unreserved bandwidth.
+func (l *Link) Available() media.BitsPerSecond { return l.capacity - l.inUse }
+
+// Admitted and Rejected return the admission-control counters.
+func (l *Link) Admitted() uint64 { return l.admitted }
+
+// Rejected returns how many reservations were refused.
+func (l *Link) Rejected() uint64 { return l.rejected }
+
+// ErrBandwidthExhausted reports a failed reservation.
+var ErrBandwidthExhausted = errors.New("netsim: link bandwidth exhausted")
+
+// Reserve admits a stream of the given bandwidth or reports
+// ErrBandwidthExhausted. A successful reservation must be paired with
+// Release.
+func (l *Link) Reserve(bw media.BitsPerSecond) error {
+	if bw <= 0 {
+		return fmt.Errorf("netsim: reservation must be positive, got %v", bw)
+	}
+	if l.inUse+bw > l.capacity {
+		l.rejected++
+		return fmt.Errorf("%w: want %v, available %v", ErrBandwidthExhausted, bw, l.Available())
+	}
+	l.inUse += bw
+	l.admitted++
+	return nil
+}
+
+// Release returns previously reserved bandwidth to the link.
+func (l *Link) Release(bw media.BitsPerSecond) {
+	l.inUse -= bw
+	if l.inUse < 0 {
+		l.inUse = 0
+	}
+}

@@ -1,0 +1,225 @@
+package netsim_test
+
+import (
+	"errors"
+
+	"math"
+	"mediacache/internal/netsim"
+	"testing"
+
+	"mediacache/internal/media"
+	"mediacache/internal/sim"
+	"mediacache/internal/workload"
+	"mediacache/internal/zipf"
+)
+
+func videoClip() media.Clip {
+	return media.Clip{ID: 1, Kind: media.Video, Size: media.GB, DisplayRate: 4 * media.Mbps}
+}
+
+func TestStartupLatencyFastNetwork(t *testing.T) {
+	clip := videoClip()
+	// Network faster than display: latency equals the admission overhead.
+	got, err := netsim.StartupLatency(clip, 10*media.Mbps, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0.5 {
+		t.Fatalf("latency = %v, want 0.5", got)
+	}
+}
+
+func TestStartupLatencySlowNetwork(t *testing.T) {
+	clip := videoClip()
+	// Half the display rate: prefetch half the clip.
+	alloc := 2 * media.Mbps
+	got, err := netsim.StartupLatency(clip, alloc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBits := float64(clip.Size) * 8 * 0.5
+	want := netsim.Seconds(wantBits / float64(alloc))
+	if math.Abs(float64(got-want)) > 1e-9 {
+		t.Fatalf("latency = %v, want %v", got, want)
+	}
+}
+
+func TestStartupLatencyMonotoneInBandwidth(t *testing.T) {
+	clip := videoClip()
+	var last netsim.Seconds = math.MaxFloat64
+	for _, bw := range []media.BitsPerSecond{media.Mbps, 2 * media.Mbps, 3 * media.Mbps, 4 * media.Mbps, 8 * media.Mbps} {
+		lat, err := netsim.StartupLatency(clip, bw, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lat > last {
+			t.Fatalf("latency increased with more bandwidth at %v", bw)
+		}
+		last = lat
+	}
+}
+
+func TestStartupLatencyErrors(t *testing.T) {
+	clip := videoClip()
+	if _, err := netsim.StartupLatency(clip, 0, 0); err == nil {
+		t.Error("zero allocation should fail")
+	}
+	if _, err := netsim.StartupLatency(media.Clip{ID: 2, Size: media.MB}, media.Mbps, 0); err == nil {
+		t.Error("zero display rate should fail")
+	}
+}
+
+func TestPrefetchBytes(t *testing.T) {
+	clip := videoClip()
+	if netsim.PrefetchBytes(clip, 8*media.Mbps) != 0 {
+		t.Fatal("fast network needs no prefetch")
+	}
+	got := netsim.PrefetchBytes(clip, 2*media.Mbps)
+	want := clip.Size / 2
+	if diff := got - want; diff < -1 || diff > 1 {
+		t.Fatalf("prefetch = %v, want ~%v", got, want)
+	}
+	if netsim.PrefetchBytes(clip, 0) != 0 {
+		t.Fatal("invalid allocation should prefetch 0")
+	}
+}
+
+func TestLinkReserveRelease(t *testing.T) {
+	l, err := netsim.NewLink(10 * media.Mbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := netsim.NewLink(0); err == nil {
+		t.Error("zero capacity should fail")
+	}
+	if err := l.Reserve(4 * media.Mbps); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Reserve(4 * media.Mbps); err != nil {
+		t.Fatal(err)
+	}
+	if l.Available() != 2*media.Mbps {
+		t.Fatalf("available = %v", l.Available())
+	}
+	if err := l.Reserve(4 * media.Mbps); !errors.Is(err, netsim.ErrBandwidthExhausted) {
+		t.Fatalf("want netsim.ErrBandwidthExhausted, got %v", err)
+	}
+	if l.Admitted() != 2 || l.Rejected() != 1 {
+		t.Fatalf("admitted=%d rejected=%d", l.Admitted(), l.Rejected())
+	}
+	l.Release(4 * media.Mbps)
+	if err := l.Reserve(4 * media.Mbps); err != nil {
+		t.Fatal("release should free capacity")
+	}
+	if err := l.Reserve(0); err == nil {
+		t.Error("zero reservation should fail")
+	}
+	l.Release(100 * media.Mbps) // over-release clamps, no panic
+	if l.Available() != l.Capacity() {
+		t.Fatal("over-release should clamp to full capacity")
+	}
+}
+
+func buildRegion(t *testing.T, nDevices int, linkBW media.BitsPerSecond) *netsim.Region {
+	t.Helper()
+	repo := media.PaperRepository()
+	dist := zipf.MustNew(repo.N(), zipf.DefaultMean)
+	link, err := netsim.NewLink(linkBW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	devices := make([]*netsim.Device, nDevices)
+	for i := range devices {
+		cache, err := sim.NewCache("dynsimple:2", repo, repo.CacheSizeForRatio(0.05), nil, uint64(i+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		devices[i] = &netsim.Device{
+			ID:    i,
+			Cache: cache,
+			Gen:   workload.MustNewGenerator(dist, uint64(100+i)),
+		}
+	}
+	region, err := netsim.NewRegion(link, devices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return region
+}
+
+func TestNewRegionValidation(t *testing.T) {
+	if _, err := netsim.NewRegion(nil, []*netsim.Device{{}}); err == nil {
+		t.Error("nil link should fail")
+	}
+	link, _ := netsim.NewLink(media.Mbps)
+	if _, err := netsim.NewRegion(link, nil); err == nil {
+		t.Error("no devices should fail")
+	}
+	if _, err := netsim.NewRegion(link, []*netsim.Device{nil}); err == nil {
+		t.Error("nil device should fail")
+	}
+	if _, err := netsim.NewRegion(link, []*netsim.Device{{}}); err == nil {
+		t.Error("incomplete device should fail")
+	}
+}
+
+func TestRegionThroughputImprovesWithWarmCaches(t *testing.T) {
+	// Cold caches force every device onto the link; with only enough
+	// bandwidth for a few streams, many requests are rejected. As caches
+	// warm, hit rates rise and throughput improves — the paper's motivating
+	// story for the region-throughput metric.
+	region := buildRegion(t, 8, 9*media.Mbps) // at most 2 video streams
+	if err := region.Run(50); err != nil {
+		t.Fatal(err)
+	}
+	first := region.Stats()
+	if first.Rejected == 0 {
+		t.Fatal("expected rejections with cold caches and a thin link")
+	}
+	if err := region.Run(500); err != nil {
+		t.Fatal(err)
+	}
+	later := region.Stats()
+	earlyTput := first.Throughput()
+	lateRequests := later.Requests - first.Requests
+	lateServed := (later.CacheHits + later.Streamed) - (first.CacheHits + first.Streamed)
+	lateTput := float64(lateServed) / float64(lateRequests)
+	if lateTput <= earlyTput {
+		t.Fatalf("throughput did not improve as caches warmed: %.3f -> %.3f", earlyTput, lateTput)
+	}
+}
+
+func TestRegionAllHitsFullThroughput(t *testing.T) {
+	// With a huge link every request is serviced: throughput 1.
+	region := buildRegion(t, 3, 10000*media.Mbps)
+	if err := region.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	s := region.Stats()
+	if s.Throughput() != 1 {
+		t.Fatalf("throughput = %v, want 1 with unconstrained link", s.Throughput())
+	}
+	if s.Requests != 300 || s.Rounds != 100 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestRegionBandwidthReleasedBetweenRounds(t *testing.T) {
+	region := buildRegion(t, 2, 9*media.Mbps)
+	if err := region.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	if region.Link.Available() != region.Link.Capacity() {
+		t.Fatal("reservations must be released after each round")
+	}
+}
+
+func TestRegionBytesStreamedAccounted(t *testing.T) {
+	region := buildRegion(t, 2, 10000*media.Mbps)
+	if err := region.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if region.Stats().BytesStreamed == 0 {
+		t.Fatal("cold-start misses must stream bytes")
+	}
+}

@@ -1,0 +1,122 @@
+package netsim
+
+import (
+	"errors"
+	"fmt"
+
+	"mediacache/internal/core"
+	"mediacache/internal/media"
+	"mediacache/internal/workload"
+)
+
+// Device is one mobile device in a region: a cache plus a request stream.
+type Device struct {
+	ID    int
+	Cache *core.Cache
+	Gen   *workload.Generator
+}
+
+// RegionStats accumulates the Section 1 "throughput of a geographical
+// region" metric: how many concurrently issued requests can be serviced,
+// either from device caches or within the base station's bandwidth budget.
+type RegionStats struct {
+	Rounds        int
+	Requests      uint64
+	CacheHits     uint64      // serviced from the local cache, no network
+	Streamed      uint64      // admitted and streamed from the base station
+	Rejected      uint64      // refused: base-station bandwidth exhausted
+	BytesStreamed media.Bytes // network utilization of the region
+}
+
+// Throughput returns the fraction of requests serviced (hit or streamed).
+func (s RegionStats) Throughput() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.CacheHits+s.Streamed) / float64(s.Requests)
+}
+
+// Region is a set of devices sharing one base-station link.
+type Region struct {
+	Link    *Link
+	Devices []*Device
+	stats   RegionStats
+}
+
+// NewRegion returns a region over the given link and devices.
+func NewRegion(link *Link, devices []*Device) (*Region, error) {
+	if link == nil {
+		return nil, errors.New("netsim: link must not be nil")
+	}
+	if len(devices) == 0 {
+		return nil, errors.New("netsim: region needs at least one device")
+	}
+	for i, d := range devices {
+		if d == nil || d.Cache == nil || d.Gen == nil {
+			return nil, fmt.Errorf("netsim: device %d incomplete", i)
+		}
+	}
+	return &Region{Link: link, Devices: devices}, nil
+}
+
+// Stats returns the accumulated region statistics.
+func (r *Region) Stats() RegionStats { return r.stats }
+
+// RunRound simulates one display round: every device references its next
+// clip simultaneously. Cache hits are serviced locally; misses compete for
+// base-station bandwidth at their clip's display rate and are rejected once
+// the bandwidth is exhausted (rejected requests are still recorded as misses
+// by the device cache, which materializes nothing). At the end of the round
+// all reservations are released — displays are assumed to complete before
+// the next round, mirroring the paper's back-to-back request model.
+func (r *Region) RunRound() error {
+	r.stats.Rounds++
+	var reserved []media.BitsPerSecond
+	defer func() {
+		for _, bw := range reserved {
+			r.Link.Release(bw)
+		}
+	}()
+	for _, d := range r.Devices {
+		id := d.Gen.Next()
+		clip, ok := d.Cache.Repository().Lookup(id)
+		if !ok {
+			return fmt.Errorf("netsim: device %d drew unknown clip %d", d.ID, id)
+		}
+		r.stats.Requests++
+		if d.Cache.Resident(id) {
+			// Local service: no bandwidth needed. Drive the cache so policy
+			// state and hit statistics advance.
+			if _, err := d.Cache.Request(id); err != nil {
+				return err
+			}
+			r.stats.CacheHits++
+			continue
+		}
+		// Miss: admission control at the display bandwidth.
+		if err := r.Link.Reserve(clip.DisplayRate); err != nil {
+			if errors.Is(err, ErrBandwidthExhausted) {
+				r.stats.Rejected++
+				continue // request dropped; cache unchanged
+			}
+			return err
+		}
+		reserved = append(reserved, clip.DisplayRate)
+		if _, err := d.Cache.Request(id); err != nil {
+			return err
+		}
+		r.stats.Streamed++
+		r.stats.BytesStreamed += clip.Size
+	}
+	return nil
+}
+
+// Run simulates n rounds.
+func (r *Region) Run(n int) error {
+	for i := 0; i < n; i++ {
+		if err := r.RunRound(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,157 @@
+package admission
+
+import (
+	"testing"
+
+	"mediacache/internal/core"
+	"mediacache/internal/media"
+	"mediacache/internal/policy/dynsimple"
+	"mediacache/internal/policy/lruk"
+	"mediacache/internal/vtime"
+	"mediacache/internal/workload"
+	"mediacache/internal/zipf"
+)
+
+func TestWrapValidation(t *testing.T) {
+	if _, err := Wrap(nil, 10, 0); err == nil {
+		t.Error("nil inner should fail")
+	}
+	if _, err := Wrap(lruk.MustNew(10, 1), 0, 0); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := Wrap(lruk.MustNew(10, 1), 10, 100); err != nil {
+		t.Errorf("valid: %v", err)
+	}
+}
+
+func TestName(t *testing.T) {
+	f, _ := Wrap(lruk.MustNew(10, 2), 10, 0)
+	if f.Name() != "LRU-2+2touch" {
+		t.Fatalf("name = %q", f.Name())
+	}
+	f, _ = Wrap(lruk.MustNew(10, 2), 10, 500)
+	if f.Name() != "LRU-2+2touch(w=500)" {
+		t.Fatalf("name = %q", f.Name())
+	}
+}
+
+func TestFirstReferenceBypassed(t *testing.T) {
+	repo, _ := media.EquiRepository(5, 10)
+	f, _ := Wrap(lruk.MustNew(5, 1), 5, 0)
+	c, _ := core.New(repo, 20, f)
+	out, err := c.Request(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != core.MissBypassed {
+		t.Fatalf("first touch = %v, want bypass", out)
+	}
+	if c.Resident(1) {
+		t.Fatal("one-touch clip must not be cached")
+	}
+	out, _ = c.Request(1) // second touch: admitted
+	if out != core.MissCached {
+		t.Fatalf("second touch = %v, want cached", out)
+	}
+	out, _ = c.Request(1)
+	if out != core.Hit {
+		t.Fatalf("third touch = %v, want hit", out)
+	}
+	if f.Bypassed() != 1 || f.Admitted() != 1 {
+		t.Fatalf("counters = %d/%d", f.Bypassed(), f.Admitted())
+	}
+}
+
+func TestWindowExpiry(t *testing.T) {
+	repo, _ := media.EquiRepository(5, 10)
+	f, _ := Wrap(lruk.MustNew(5, 1), 5, 3)
+	c, _ := core.New(repo, 20, f)
+	c.Request(1) // t1: bypass
+	c.Request(2) // t2
+	c.Request(2) // t3: cached
+	c.Request(2) // t4: hit
+	c.Request(2) // t5: hit
+	// Clip 1's previous touch was t1; at t6 the gap is 5 > window 3.
+	out, _ := c.Request(1)
+	if out != core.MissBypassed {
+		t.Fatalf("stale previous touch should bypass, got %v", out)
+	}
+	// But now t6 is recent: t7 - t6 = 1 <= 3: admitted.
+	out, _ = c.Request(1)
+	if out != core.MissCached {
+		t.Fatalf("fresh previous touch should admit, got %v", out)
+	}
+}
+
+func TestInnerVetoRespected(t *testing.T) {
+	repo, _ := media.EquiRepository(5, 10)
+	inner := &vetoPolicy{Policy: lruk.MustNew(5, 1)}
+	f, _ := Wrap(inner, 5, 0)
+	c, _ := core.New(repo, 20, f)
+	c.Request(1)
+	out, _ := c.Request(1) // second touch, but inner vetoes everything
+	if out != core.MissBypassed {
+		t.Fatalf("inner veto ignored: %v", out)
+	}
+}
+
+// vetoPolicy declines all admissions.
+type vetoPolicy struct{ core.Policy }
+
+func (v *vetoPolicy) Admit(media.Clip, vtime.Time) bool { return false }
+
+func TestReset(t *testing.T) {
+	repo, _ := media.EquiRepository(5, 10)
+	f, _ := Wrap(lruk.MustNew(5, 1), 5, 0)
+	c, _ := core.New(repo, 20, f)
+	c.Request(1)
+	c.Request(1)
+	c.Reset()
+	if f.Admitted() != 0 || f.Bypassed() != 0 {
+		t.Fatal("counters not reset")
+	}
+	out, _ := c.Request(1)
+	if out != core.MissBypassed {
+		t.Fatal("history not reset: first touch after reset should bypass")
+	}
+}
+
+// TestByteHitTradeoffAtTinyCache documents the empirical finding: under
+// the paper's Zipf workload the two-touch rule raises byte hit rate (less
+// churn of large cold clips) at a small cost in request hit rate — the
+// quantitative argument behind the paper's full-materialization assumption.
+func TestByteHitTradeoffAtTinyCache(t *testing.T) {
+	repo := media.PaperRepository()
+	dist := zipf.MustNew(repo.N(), zipf.DefaultMean)
+	run := func(wrap bool) core.Stats {
+		var p core.Policy = dynsimple.MustNew(repo.N(), 2)
+		if wrap {
+			var err error
+			p, err = Wrap(p, repo.N(), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		c, err := core.New(repo, repo.CacheSizeForRatio(0.0125), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen := workload.MustNewGenerator(dist, 42)
+		for i := 0; i < 8000; i++ {
+			if _, err := c.Request(gen.Next()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return c.Stats()
+	}
+	plain := run(false)
+	filtered := run(true)
+	if filtered.ByteHitRate() <= plain.ByteHitRate() {
+		t.Fatalf("two-touch filter should raise byte hit rate: %.4f vs %.4f",
+			filtered.ByteHitRate(), plain.ByteHitRate())
+	}
+	// The request-hit cost exists but must stay moderate (< 5 points).
+	if plain.HitRate()-filtered.HitRate() > 0.05 {
+		t.Fatalf("hit-rate cost too large: %.4f vs %.4f", filtered.HitRate(), plain.HitRate())
+	}
+}

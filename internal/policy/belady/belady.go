@@ -1,0 +1,188 @@
+// Package belady implements a clairvoyant (Belady/MIN-style) baseline: the
+// policy is given the entire future reference string and evicts the
+// resident clip whose next reference lies furthest in the future.
+//
+// The paper's off-line yardstick is Simple, which knows frequencies but not
+// the actual future. Belady's rule knows the future itself, bounding what
+// any on-line technique could achieve. Two variants are provided:
+//
+//   - Classic: evict the maximum next-reference distance (optimal for
+//     equi-sized clips; with variable sizes it is only a heuristic —
+//     size-aware optimal replacement is NP-hard);
+//   - SizeAware: evict the maximum distance × size, the oracle analog of
+//     LRU-SK's criterion, which packs small soon-needed clips preferentially.
+//
+// A Policy must be driven by exactly the reference string it was built
+// from (sim.RunTrace with the same trace); it tracks its position through
+// Record and derives each clip's next use from precomputed occurrence
+// queues.
+package belady
+
+import (
+	"fmt"
+	"math"
+
+	"mediacache/internal/core"
+	"mediacache/internal/media"
+	"mediacache/internal/vtime"
+	"mediacache/internal/workload"
+)
+
+// Variant selects the eviction rule.
+type Variant uint8
+
+// Variants.
+const (
+	// Classic evicts the furthest next reference.
+	Classic Variant = iota
+	// SizeAware evicts the maximum next-reference distance × size.
+	SizeAware
+)
+
+// Policy is the clairvoyant baseline. It implements core.Policy.
+type Policy struct {
+	variant Variant
+	trace   []media.ClipID
+	// occurrences[id] holds the remaining positions (0-based) at which id
+	// appears, in order; the head is the clip's next use.
+	occurrences map[media.ClipID][]int32
+	pos         int
+}
+
+var _ core.Policy = (*Policy)(nil)
+
+// New builds a clairvoyant policy for the given trace.
+func New(trace *workload.Trace, variant Variant) (*Policy, error) {
+	if trace == nil {
+		return nil, fmt.Errorf("belady: trace must not be nil")
+	}
+	if err := trace.Validate(); err != nil {
+		return nil, err
+	}
+	if variant != Classic && variant != SizeAware {
+		return nil, fmt.Errorf("belady: unknown variant %d", variant)
+	}
+	p := &Policy{
+		variant:     variant,
+		trace:       append([]media.ClipID(nil), trace.Requests...),
+		occurrences: make(map[media.ClipID][]int32),
+	}
+	for i, id := range p.trace {
+		p.occurrences[id] = append(p.occurrences[id], int32(i))
+	}
+	return p, nil
+}
+
+// MustNew is like New but panics on error.
+func MustNew(trace *workload.Trace, variant Variant) *Policy {
+	p, err := New(trace, variant)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Name implements core.Policy.
+func (p *Policy) Name() string {
+	if p.variant == SizeAware {
+		return "Belady(size-aware)"
+	}
+	return "Belady"
+}
+
+// Record implements core.Policy: it advances the oracle's position. The
+// reference must match the trace the policy was built from.
+func (p *Policy) Record(clip media.Clip, _ vtime.Time, _ bool) {
+	if p.pos < len(p.trace) && p.trace[p.pos] == clip.ID {
+		// Consume this occurrence: the clip's next use moves forward.
+		occ := p.occurrences[clip.ID]
+		if len(occ) > 0 && int(occ[0]) == p.pos {
+			p.occurrences[clip.ID] = occ[1:]
+		}
+		p.pos++
+		return
+	}
+	// Off-trace reference: the oracle has no knowledge of it. Advance
+	// position anyway so subsequent distances stay monotone.
+	p.pos++
+}
+
+// NextUse returns the distance (in requests) from the current position to
+// the clip's next reference, or +Inf if it never appears again.
+func (p *Policy) NextUse(id media.ClipID) float64 {
+	occ := p.occurrences[id]
+	if len(occ) == 0 {
+		return math.Inf(1)
+	}
+	return float64(int(occ[0]) - p.pos + 1)
+}
+
+// Admit implements core.Policy: a clip that is never referenced again is
+// not worth caching.
+func (p *Policy) Admit(clip media.Clip, _ vtime.Time) bool {
+	return !math.IsInf(p.NextUse(clip.ID), 1)
+}
+
+// Victims implements core.Policy: evict the resident clips with the
+// furthest (optionally size-weighted) next use until need bytes are freed.
+func (p *Policy) Victims(_ media.Clip, view core.ResidentView, need media.Bytes, _ vtime.Time) []media.ClipID {
+	resident := view.ResidentClips()
+	taken := make(map[media.ClipID]bool, len(resident))
+	var out []media.ClipID
+	var freed media.Bytes
+	for freed < need && len(out) < len(resident) {
+		best := -1
+		var bestScore float64
+		for i, c := range resident {
+			if taken[c.ID] {
+				continue
+			}
+			score := p.NextUse(c.ID)
+			if p.variant == SizeAware && !math.IsInf(score, 1) {
+				score *= float64(c.Size)
+			}
+			better := false
+			switch {
+			case best == -1:
+				better = true
+			case math.IsInf(score, 1) && math.IsInf(bestScore, 1):
+				// Both never used again: free the larger clip first.
+				if c.Size != resident[best].Size {
+					better = c.Size > resident[best].Size
+				} else {
+					better = c.ID < resident[best].ID
+				}
+			case score != bestScore:
+				better = score > bestScore
+			default:
+				better = c.ID < resident[best].ID
+			}
+			if better {
+				best, bestScore = i, score
+			}
+		}
+		if best == -1 {
+			break
+		}
+		c := resident[best]
+		taken[c.ID] = true
+		out = append(out, c.ID)
+		freed += c.Size
+	}
+	return out
+}
+
+// OnInsert implements core.Policy.
+func (p *Policy) OnInsert(media.Clip, vtime.Time) {}
+
+// OnEvict implements core.Policy.
+func (p *Policy) OnEvict(media.ClipID, vtime.Time) {}
+
+// Reset implements core.Policy: the oracle rewinds to the trace start.
+func (p *Policy) Reset() {
+	p.pos = 0
+	p.occurrences = make(map[media.ClipID][]int32)
+	for i, id := range p.trace {
+		p.occurrences[id] = append(p.occurrences[id], int32(i))
+	}
+}

@@ -1,0 +1,159 @@
+package belady_test
+
+import (
+	"math"
+	"testing"
+
+	"mediacache/internal/core"
+	"mediacache/internal/media"
+	"mediacache/internal/policy/belady"
+	"mediacache/internal/policy/lruk"
+	"mediacache/internal/sim"
+	"mediacache/internal/workload"
+	"mediacache/internal/zipf"
+)
+
+func traceOf(ids ...media.ClipID) *workload.Trace {
+	max := media.ClipID(0)
+	for _, id := range ids {
+		if id > max {
+			max = id
+		}
+	}
+	return &workload.Trace{Name: "test", NumClips: int(max), Requests: ids}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := belady.New(nil, belady.Classic); err == nil {
+		t.Error("nil trace should fail")
+	}
+	bad := &workload.Trace{Name: "bad", NumClips: 2, Requests: []media.ClipID{5}}
+	if _, err := belady.New(bad, belady.Classic); err == nil {
+		t.Error("invalid trace should fail")
+	}
+	if _, err := belady.New(traceOf(1, 2, 1), belady.Variant(9)); err == nil {
+		t.Error("unknown variant should fail")
+	}
+	if _, err := belady.New(traceOf(1, 2, 1), belady.Classic); err != nil {
+		t.Errorf("valid: %v", err)
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	belady.MustNew(nil, belady.Classic)
+}
+
+func TestNames(t *testing.T) {
+	tr := traceOf(1, 2)
+	if belady.MustNew(tr, belady.Classic).Name() != "Belady" {
+		t.Fatal("classic name")
+	}
+	if belady.MustNew(tr, belady.SizeAware).Name() != "Belady(size-aware)" {
+		t.Fatal("size-aware name")
+	}
+}
+
+func TestTextbookSequence(t *testing.T) {
+	// belady.Classic MIN example: 3 equi-sized clips, cache holds 2.
+	// Trace: 1 2 3 1 2 3. At the miss on 3 (pos 2), next uses are
+	// 1 -> pos 3, 2 -> pos 4: evict 2 (furthest). Then 1 hits, 2 misses
+	// (evict 3? next uses: 1 never(inf), 3 -> pos5: evict 1), 3 hits.
+	repo, _ := media.EquiRepository(3, 10)
+	tr := traceOf(1, 2, 3, 1, 2, 3)
+	p := belady.MustNew(tr, belady.Classic)
+	c, _ := core.New(repo, 20, p)
+	res, err := sim.RunTrace(p.Name(), c, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Optimal on this trace with 2 slots: hits at positions 3 (clip 1) and
+	// 5 (clip 3) = 2 hits of 6.
+	if res.Stats.Hits != 2 {
+		t.Fatalf("hits = %d, want the optimal 2", res.Stats.Hits)
+	}
+}
+
+func TestAdmitDeclinesNeverAgain(t *testing.T) {
+	tr := traceOf(1, 2, 1) // clip 2 appears once only
+	p := belady.MustNew(tr, belady.Classic)
+	repo, _ := media.EquiRepository(2, 10)
+	c, _ := core.New(repo, 10, p)
+	res, err := sim.RunTrace(p.Name(), c, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clip 2's single reference must not displace clip 1: clip 1's second
+	// reference hits.
+	if res.Stats.Hits != 1 {
+		t.Fatalf("hits = %d, want 1", res.Stats.Hits)
+	}
+	if res.Stats.Bypassed != 1 {
+		t.Fatalf("bypassed = %d, want 1 (clip 2 never referenced again)", res.Stats.Bypassed)
+	}
+}
+
+func TestNextUse(t *testing.T) {
+	tr := traceOf(1, 2, 1, 3)
+	p := belady.MustNew(tr, belady.Classic)
+	// Before any request: clip 1's next use is position 0 -> distance 1.
+	if got := p.NextUse(1); got != 1 {
+		t.Fatalf("NextUse(1) = %v, want 1", got)
+	}
+	p.Record(media.Clip{ID: 1, Size: 1}, 1, false)
+	// Now at pos 1: clip 1 next at pos 2 -> distance 2.
+	if got := p.NextUse(1); got != 2 {
+		t.Fatalf("NextUse(1) = %v, want 2", got)
+	}
+	if !math.IsInf(p.NextUse(99), 1) {
+		t.Fatal("unknown clip should be +Inf")
+	}
+}
+
+func TestResetRewindsOracle(t *testing.T) {
+	tr := traceOf(1, 2, 1)
+	p := belady.MustNew(tr, belady.Classic)
+	repo, _ := media.EquiRepository(2, 10)
+	c, _ := core.New(repo, 10, p)
+	first, err := sim.RunTrace(p.Name(), c, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Reset()
+	second, err := sim.RunTrace(p.Name(), c, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Stats.Hits != second.Stats.Hits {
+		t.Fatal("replay after Reset diverged")
+	}
+}
+
+// TestBeatsOnlinePolicies: on equi-sized clips, clairvoyance must dominate
+// every on-line technique on the identical trace.
+func TestBeatsOnlinePolicies(t *testing.T) {
+	repo := media.PaperEquiRepository()
+	gen := workload.MustNewGenerator(zipf.MustNew(repo.N(), zipf.DefaultMean), 42)
+	tr := workload.Record("belady-test", gen, 6000)
+
+	run := func(p core.Policy) float64 {
+		c, err := core.New(repo, repo.CacheSizeForRatio(0.1), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.RunTrace(p.Name(), c, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Stats.HitRate()
+	}
+	oracle := run(belady.MustNew(tr, belady.Classic))
+	online := run(lruk.MustNew(repo.N(), 2))
+	if oracle <= online {
+		t.Fatalf("Belady %.4f <= LRU-2 %.4f on equi-sized clips", oracle, online)
+	}
+}

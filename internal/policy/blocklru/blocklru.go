@@ -1,0 +1,324 @@
+// Package blocklru implements the naive block-partitioned technique the
+// paper sketches in footnote 3 and rules out in the discussion of
+// Figure 5.a: partition both the cache and every clip into equi-sized
+// blocks, and manage the cached blocks with LRU-K.
+//
+// A clip request is a cache hit only when every one of its blocks is
+// resident; otherwise the missing blocks are fetched, evicting the blocks
+// with the maximum backward-K distance. The technique wastes space when the
+// block size exceeds a clip size (the final block of each clip occupies a
+// whole block slot regardless of the clip's tail length) and its
+// bookkeeping grows with the block count — the tradeoffs the block-size
+// ablation bench quantifies.
+//
+// Victim selection uses a lazy-deletion min-heap over block eviction keys:
+// each reference pushes a fresh heap entry and bumps the block's version, so
+// stale entries are skipped on pop. The heap is compacted when stale entries
+// dominate, keeping memory proportional to the resident-block count. This
+// matters because the paper's repository holds multi-gigabyte clips: with
+// 1 MB blocks a single video spans thousands of blocks and a linear victim
+// scan per eviction would be quadratic.
+//
+// Because residency is block-grained, this cache does not implement
+// core.Policy; it provides the same Request/Stats surface as core.Cache and
+// plugs into the simulator through sim.Requester.
+package blocklru
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"mediacache/internal/core"
+	"mediacache/internal/media"
+	"mediacache/internal/vtime"
+)
+
+// blockKey identifies one block of one clip.
+type blockKey struct {
+	clip  media.ClipID
+	index int32
+}
+
+// lessKey orders block keys deterministically for tie-breaking.
+func lessKey(a, b blockKey) bool {
+	if a.clip != b.clip {
+		return a.clip < b.clip
+	}
+	return a.index < b.index
+}
+
+// blockState is the LRU-K bookkeeping for one block.
+type blockState struct {
+	times []vtime.Time // ring of last K reference times
+	head  int
+	count int
+	ver   uint32 // bumped on every reference; stale heap entries mismatch
+}
+
+// heapEntry is a snapshot of a block's eviction key at some version.
+type heapEntry struct {
+	key  blockKey
+	ver  uint32
+	sort vtime.Time // smaller = better victim
+}
+
+// entryHeap is a min-heap of heapEntry ordered by sort key then blockKey.
+type entryHeap []heapEntry
+
+func (h entryHeap) Len() int { return len(h) }
+func (h entryHeap) Less(i, j int) bool {
+	if h[i].sort != h[j].sort {
+		return h[i].sort < h[j].sort
+	}
+	return lessKey(h[i].key, h[j].key)
+}
+func (h entryHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *entryHeap) Push(x interface{}) { *h = append(*h, x.(heapEntry)) }
+func (h *entryHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Cache is a block-partitioned clip cache managed by LRU-K over blocks.
+type Cache struct {
+	repo      *media.Repository
+	blockSize media.Bytes
+	capBlocks int
+	k         int
+
+	resident map[blockKey]*blockState
+	history  map[blockKey]*blockState // retained info for non-resident blocks
+	pq       entryHeap
+	clock    vtime.Time
+	stats    core.Stats
+}
+
+// New returns a block-partitioned LRU-K cache with the given total capacity
+// and block size. Capacity is rounded down to a whole number of blocks.
+func New(repo *media.Repository, capacity, blockSize media.Bytes, k int) (*Cache, error) {
+	if repo == nil {
+		return nil, fmt.Errorf("blocklru: repository must not be nil")
+	}
+	if blockSize <= 0 {
+		return nil, fmt.Errorf("blocklru: block size must be positive, got %d", blockSize)
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("blocklru: K must be positive, got %d", k)
+	}
+	capBlocks := int(capacity / blockSize)
+	if capBlocks <= 0 {
+		return nil, fmt.Errorf("blocklru: capacity %v holds no %v blocks", capacity, blockSize)
+	}
+	return &Cache{
+		repo:      repo,
+		blockSize: blockSize,
+		capBlocks: capBlocks,
+		k:         k,
+		resident:  make(map[blockKey]*blockState),
+		history:   make(map[blockKey]*blockState),
+	}, nil
+}
+
+// Name returns a display name including the block size and K.
+func (c *Cache) Name() string {
+	return fmt.Sprintf("Block-LRU-%d(B=%v)", c.k, c.blockSize)
+}
+
+// BlocksOf returns the number of blocks clip occupies.
+func (c *Cache) BlocksOf(clip media.Clip) int {
+	return int((clip.Size + c.blockSize - 1) / c.blockSize)
+}
+
+// CapacityBlocks returns the cache capacity in blocks.
+func (c *Cache) CapacityBlocks() int { return c.capBlocks }
+
+// ResidentBlocks returns the number of currently cached blocks.
+func (c *Cache) ResidentBlocks() int { return len(c.resident) }
+
+// WastedBytes returns the internal fragmentation: bytes of block slots
+// occupied beyond the actual clip bytes they hold.
+func (c *Cache) WastedBytes() media.Bytes {
+	var wasted media.Bytes
+	for key := range c.resident {
+		clip := c.repo.Clip(key.clip)
+		if int(key.index) == c.BlocksOf(clip)-1 {
+			tail := clip.Size % c.blockSize
+			if tail != 0 {
+				wasted += c.blockSize - tail
+			}
+		}
+	}
+	return wasted
+}
+
+// Stats returns the accumulated request statistics. Byte counters use clip
+// sizes, consistent with core.Cache.
+func (c *Cache) Stats() core.Stats { return c.stats }
+
+// Now returns the virtual clock.
+func (c *Cache) Now() vtime.Time { return c.clock }
+
+// observe records a reference to a resident block at time now and refreshes
+// its heap entry.
+func (c *Cache) observe(key blockKey, st *blockState, now vtime.Time) {
+	if st.times == nil {
+		st.times = make([]vtime.Time, c.k)
+	}
+	st.head = (st.head + 1) % c.k
+	st.times[st.head] = now
+	if st.count < c.k {
+		st.count++
+	}
+	st.ver++
+	heap.Push(&c.pq, heapEntry{key: key, ver: st.ver, sort: c.evictionKey(st)})
+	c.maybeCompact()
+}
+
+// evictionKey returns the LRU-K ordering key of a block: the time of its
+// K-th most recent reference (older is a better victim). Blocks with
+// incomplete histories rank by most recent reference minus a large bias so
+// they are evicted first, among themselves in LRU order.
+func (c *Cache) evictionKey(st *blockState) vtime.Time {
+	if st.count < c.k {
+		const bias = vtime.Time(1) << 40
+		return st.times[st.head] - bias
+	}
+	return st.times[(st.head+1)%c.k]
+}
+
+// maybeCompact rebuilds the heap when stale entries dominate, bounding
+// memory at a small multiple of the resident-block count.
+func (c *Cache) maybeCompact() {
+	if len(c.pq) < 1024 || len(c.pq) < 3*len(c.resident) {
+		return
+	}
+	fresh := c.pq[:0]
+	for _, e := range c.pq {
+		if st, ok := c.resident[e.key]; ok && st.ver == e.ver {
+			fresh = append(fresh, e)
+		}
+	}
+	c.pq = fresh
+	heap.Init(&c.pq)
+}
+
+// Request services a reference to clip id. The outcome is Hit only when all
+// of the clip's blocks are resident.
+func (c *Cache) Request(id media.ClipID) (core.Outcome, error) {
+	clip, ok := c.repo.Lookup(id)
+	if !ok {
+		return core.MissBypassed, fmt.Errorf("%w: id %d", core.ErrUnknownClip, id)
+	}
+	c.clock++
+	now := c.clock
+	nBlocks := c.BlocksOf(clip)
+
+	missing := make([]blockKey, 0, 4)
+	for i := 0; i < nBlocks; i++ {
+		key := blockKey{clip: id, index: int32(i)}
+		if st, ok := c.resident[key]; ok {
+			c.observe(key, st, now)
+		} else {
+			missing = append(missing, key)
+		}
+	}
+
+	c.stats.Requests++
+	c.stats.BytesReferenced += clip.Size
+	if len(missing) == 0 {
+		c.stats.Hits++
+		c.stats.BytesHit += clip.Size
+		return core.Hit, nil
+	}
+	// Partial hits still save the resident fraction of the clip's bytes.
+	residentBlocks := nBlocks - len(missing)
+	c.stats.BytesHit += clip.Size * media.Bytes(residentBlocks) / media.Bytes(nBlocks)
+	c.stats.BytesFetched += clip.Size * media.Bytes(len(missing)) / media.Bytes(nBlocks)
+
+	if nBlocks > c.capBlocks {
+		// The clip cannot fully fit; stream it without caching, like
+		// core.Cache's MissTooLarge.
+		c.stats.Bypassed++
+		return core.MissTooLarge, nil
+	}
+
+	// Make room for all missing blocks up front, then insert them.
+	c.evictUntil(c.capBlocks-len(missing), id)
+	for _, key := range missing {
+		st := c.history[key]
+		if st == nil {
+			st = &blockState{}
+		} else {
+			delete(c.history, key)
+		}
+		c.resident[key] = st
+		c.observe(key, st, now)
+	}
+	return core.MissCached, nil
+}
+
+// evictUntil evicts LRU-K victim blocks until at most max blocks are
+// resident, never evicting blocks of the incoming clip.
+func (c *Cache) evictUntil(max int, incoming media.ClipID) {
+	var skipped []heapEntry
+	for len(c.resident) > max && len(c.pq) > 0 {
+		e := heap.Pop(&c.pq).(heapEntry)
+		st, ok := c.resident[e.key]
+		if !ok || st.ver != e.ver {
+			continue // stale entry
+		}
+		if e.key.clip == incoming {
+			skipped = append(skipped, e)
+			continue
+		}
+		c.history[e.key] = st
+		delete(c.resident, e.key)
+		c.stats.Evictions++
+		c.stats.BytesEvicted += c.blockSize
+	}
+	for _, e := range skipped {
+		heap.Push(&c.pq, e)
+	}
+}
+
+// ResidentClipIDs returns the ids of clips that are fully resident, in
+// ascending order.
+func (c *Cache) ResidentClipIDs() []media.ClipID {
+	counts := make(map[media.ClipID]int)
+	for key := range c.resident {
+		counts[key.clip]++
+	}
+	var ids []media.ClipID
+	for id, n := range counts {
+		if n == c.BlocksOf(c.repo.Clip(id)) {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// TheoreticalHitRate returns Σ f_id over fully resident clips, mirroring
+// core.Cache.
+func (c *Cache) TheoreticalHitRate(pmf []float64) float64 {
+	var sum float64
+	for _, id := range c.ResidentClipIDs() {
+		if i := int(id) - 1; i >= 0 && i < len(pmf) {
+			sum += pmf[i]
+		}
+	}
+	return sum
+}
+
+// Reset clears all residency, history, statistics and the clock.
+func (c *Cache) Reset() {
+	c.resident = make(map[blockKey]*blockState)
+	c.history = make(map[blockKey]*blockState)
+	c.pq = nil
+	c.clock = 0
+	c.stats = core.Stats{}
+}

@@ -1,0 +1,225 @@
+package blocklru
+
+import (
+	"testing"
+
+	"mediacache/internal/core"
+	"mediacache/internal/media"
+)
+
+func repo(t *testing.T) *media.Repository {
+	t.Helper()
+	r, err := media.NewRepository([]media.Clip{
+		{ID: 1, Size: 25}, // 3 blocks at B=10 (5 wasted)
+		{ID: 2, Size: 10}, // 1 block
+		{ID: 3, Size: 20}, // 2 blocks
+		{ID: 4, Size: 95}, // 10 blocks
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNewValidation(t *testing.T) {
+	r := repo(t)
+	if _, err := New(nil, 100, 10, 2); err == nil {
+		t.Error("nil repo should fail")
+	}
+	if _, err := New(r, 100, 0, 2); err == nil {
+		t.Error("zero block size should fail")
+	}
+	if _, err := New(r, 100, 10, 0); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, err := New(r, 5, 10, 2); err == nil {
+		t.Error("capacity smaller than one block should fail")
+	}
+	if _, err := New(r, 100, 10, 2); err != nil {
+		t.Errorf("valid: %v", err)
+	}
+}
+
+func TestNameAndBlocksOf(t *testing.T) {
+	c, _ := New(repo(t), 100, 10, 2)
+	if c.Name() != "Block-LRU-2(B=10B)" {
+		t.Fatalf("name = %q", c.Name())
+	}
+	if c.BlocksOf(media.Clip{Size: 25}) != 3 {
+		t.Fatal("25 bytes = 3 blocks of 10")
+	}
+	if c.BlocksOf(media.Clip{Size: 30}) != 3 {
+		t.Fatal("30 bytes = 3 blocks of 10")
+	}
+	if c.CapacityBlocks() != 10 {
+		t.Fatalf("capacity blocks = %d", c.CapacityBlocks())
+	}
+}
+
+func TestHitRequiresAllBlocks(t *testing.T) {
+	c, _ := New(repo(t), 40, 10, 1)
+	out, err := c.Request(1) // 3 blocks, all miss
+	if err != nil || out != core.MissCached {
+		t.Fatalf("out=%v err=%v", out, err)
+	}
+	out, _ = c.Request(1)
+	if out != core.Hit {
+		t.Fatalf("full residency should hit, got %v", out)
+	}
+	if c.ResidentBlocks() != 3 {
+		t.Fatalf("resident blocks = %d", c.ResidentBlocks())
+	}
+}
+
+func TestUnknownClip(t *testing.T) {
+	c, _ := New(repo(t), 40, 10, 1)
+	if _, err := c.Request(99); err == nil {
+		t.Fatal("unknown clip should error")
+	}
+}
+
+func TestTooLargeClipBypassed(t *testing.T) {
+	c, _ := New(repo(t), 40, 10, 1) // 4 blocks capacity
+	out, err := c.Request(4)        // needs 10 blocks
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != core.MissTooLarge {
+		t.Fatalf("out = %v", out)
+	}
+	if c.ResidentBlocks() != 0 {
+		t.Fatal("oversized clip must not be cached")
+	}
+}
+
+func TestEvictionAtBlockGranularity(t *testing.T) {
+	c, _ := New(repo(t), 40, 10, 1) // 4 blocks
+	c.Request(1)                    // 3 blocks of clip 1
+	c.Request(2)                    // 1 block of clip 2: cache full
+	c.Request(3)                    // 2 blocks: evict 2 LRU blocks (clip 1's)
+	out, _ := c.Request(3)
+	if out != core.Hit {
+		t.Fatal("clip 3 should now be fully resident")
+	}
+	out, _ = c.Request(1)
+	if out == core.Hit {
+		t.Fatal("clip 1 lost blocks and cannot fully hit")
+	}
+}
+
+func TestPartialHitByteAccounting(t *testing.T) {
+	c, _ := New(repo(t), 40, 10, 1)
+	c.Request(1) // 3 blocks resident
+	c.Request(2)
+	c.Request(3) // evicts 2 of clip 1's blocks
+	before := c.Stats().BytesHit
+	c.Request(1) // partial: some blocks still resident
+	after := c.Stats().BytesHit
+	if after <= before {
+		t.Fatal("partial residency should still credit byte hits")
+	}
+	if after-before >= 25 {
+		t.Fatal("partial hit must credit less than the full clip")
+	}
+}
+
+func TestWastedBytes(t *testing.T) {
+	c, _ := New(repo(t), 100, 10, 1)
+	c.Request(1) // 25 bytes in 3 blocks: tail block wastes 5
+	if got := c.WastedBytes(); got != 5 {
+		t.Fatalf("wasted = %d, want 5", got)
+	}
+	c.Request(2) // exact fit: no extra waste
+	if got := c.WastedBytes(); got != 5 {
+		t.Fatalf("wasted = %d, want 5", got)
+	}
+}
+
+func TestIncomingClipBlocksNeverEvicted(t *testing.T) {
+	// A clip as large as the whole cache must not evict its own blocks
+	// while loading.
+	r, _ := media.NewRepository([]media.Clip{
+		{ID: 1, Size: 40},
+		{ID: 2, Size: 10},
+	})
+	c, _ := New(r, 40, 10, 1)
+	c.Request(2)
+	out, err := c.Request(1) // exactly 4 blocks = capacity
+	if err != nil || out != core.MissCached {
+		t.Fatalf("out=%v err=%v", out, err)
+	}
+	out, _ = c.Request(1)
+	if out != core.Hit {
+		t.Fatal("clip 1 should be fully resident")
+	}
+}
+
+func TestResidentClipIDsAndTheoreticalHitRate(t *testing.T) {
+	c, _ := New(repo(t), 60, 10, 1)
+	c.Request(1)
+	c.Request(2)
+	ids := c.ResidentClipIDs()
+	if len(ids) != 2 || ids[0] != 1 || ids[1] != 2 {
+		t.Fatalf("resident clips = %v", ids)
+	}
+	pmf := []float64{0.4, 0.3, 0.2, 0.1}
+	if got := c.TheoreticalHitRate(pmf); got != 0.7 {
+		t.Fatalf("theoretical = %v", got)
+	}
+}
+
+func TestLRUKOrderOnBlocks(t *testing.T) {
+	// With K=2 the victim block is the one whose 2nd-last reference is
+	// oldest; single-reference blocks go first.
+	r, _ := media.NewRepository([]media.Clip{
+		{ID: 1, Size: 10}, {ID: 2, Size: 10}, {ID: 3, Size: 10},
+	})
+	c, _ := New(r, 20, 10, 2)
+	c.Request(1)
+	c.Request(1) // clip 1 block has full history
+	c.Request(2) // single ref
+	c.Request(3) // victim: clip 2's block (incomplete history)
+	if out, _ := c.Request(1); out != core.Hit {
+		t.Fatal("clip 1 should survive")
+	}
+	if out, _ := c.Request(2); out == core.Hit {
+		t.Fatal("clip 2 should have been evicted")
+	}
+}
+
+func TestStatsAndReset(t *testing.T) {
+	c, _ := New(repo(t), 60, 10, 1)
+	c.Request(1)
+	c.Request(1)
+	s := c.Stats()
+	if s.Requests != 2 || s.Hits != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if c.Now() != 2 {
+		t.Fatalf("clock = %d", c.Now())
+	}
+	c.Reset()
+	if c.Stats().Requests != 0 || c.ResidentBlocks() != 0 || c.Now() != 0 {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+func TestHistoryRetainedAcrossBlockEviction(t *testing.T) {
+	// Retained info: a block's history survives eviction, so a quickly
+	// re-referenced block has full LRU-2 history.
+	r, _ := media.NewRepository([]media.Clip{
+		{ID: 1, Size: 10}, {ID: 2, Size: 10}, {ID: 3, Size: 10},
+	})
+	c, _ := New(r, 20, 10, 2)
+	c.Request(1)
+	c.Request(1)
+	c.Request(2)
+	c.Request(3) // evicts clip 2's block (single ref)
+	c.Request(2) // re-fetch: history should now show 2 refs
+	// Evict someone: clip 2 has full history now; the single-ref block of
+	// clip 3 ages out first on the next insertion.
+	c.Request(1) // hit or miss depending; just ensure no panic and invariants
+	if c.ResidentBlocks() > c.CapacityBlocks() {
+		t.Fatal("over capacity")
+	}
+}

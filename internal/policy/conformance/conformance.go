@@ -1,0 +1,196 @@
+// Package conformance is a reusable test harness asserting the contract
+// every core.Policy implementation must honor, independent of its
+// replacement strategy:
+//
+//   - determinism: identical instances driven by identical traces make
+//     identical decisions (the paper's footnote 5 discipline);
+//   - liveness: the policy always supplies usable victims, so the engine
+//     never errors on well-formed workloads — including adversarial
+//     repositories (one giant clip among dwarfs, single-slot caches);
+//   - reset semantics: Reset restores the exact initial behavior;
+//   - warm adoption: clips placed via Warm (bypassing the miss path) are
+//     handled gracefully by victim selection.
+//
+// Each check is exposed through Run, which policy tests invoke with a
+// factory; the suite's own test file runs every implementation in the
+// repository through it.
+package conformance
+
+import (
+	"testing"
+
+	"mediacache/internal/core"
+	"mediacache/internal/media"
+	"mediacache/internal/randutil"
+	"mediacache/internal/workload"
+	"mediacache/internal/zipf"
+)
+
+// Factory builds a fresh policy instance for a repository of n clips.
+// Implementations must return independent instances on each call.
+type Factory func(n int) (core.Policy, error)
+
+// Run executes the full conformance suite against the factory.
+func Run(t *testing.T, name string, factory Factory) {
+	t.Helper()
+	t.Run(name+"/determinism", func(t *testing.T) { checkDeterminism(t, factory) })
+	t.Run(name+"/liveness", func(t *testing.T) { checkLiveness(t, factory) })
+	t.Run(name+"/adversarialSizes", func(t *testing.T) { checkAdversarial(t, factory) })
+	t.Run(name+"/singleSlot", func(t *testing.T) { checkSingleSlot(t, factory) })
+	t.Run(name+"/resetReplay", func(t *testing.T) { checkResetReplay(t, factory) })
+	t.Run(name+"/warmAdoption", func(t *testing.T) { checkWarmAdoption(t, factory) })
+}
+
+// paperCache builds a cache on the 576-clip repository at ratio.
+func paperCache(t *testing.T, factory Factory, ratio float64) *core.Cache {
+	t.Helper()
+	repo := media.PaperRepository()
+	p, err := factory(repo.N())
+	if err != nil {
+		t.Fatalf("factory: %v", err)
+	}
+	c, err := core.New(repo, repo.CacheSizeForRatio(ratio), p)
+	if err != nil {
+		t.Fatalf("core.New: %v", err)
+	}
+	return c
+}
+
+// drive issues n Zipf requests, failing the test on any engine error.
+func drive(t *testing.T, c *core.Cache, seed uint64, n int) []core.Outcome {
+	t.Helper()
+	gen := workload.MustNewGenerator(zipf.MustNew(c.Repository().N(), zipf.DefaultMean), seed)
+	outcomes := make([]core.Outcome, 0, n)
+	for i := 0; i < n; i++ {
+		id := gen.Next()
+		out, err := c.Request(id)
+		if err != nil {
+			t.Fatalf("request %d (clip %d): %v", i, id, err)
+		}
+		if c.UsedBytes() > c.Capacity() {
+			t.Fatalf("request %d: capacity exceeded (%v > %v)", i, c.UsedBytes(), c.Capacity())
+		}
+		outcomes = append(outcomes, out)
+	}
+	return outcomes
+}
+
+func checkDeterminism(t *testing.T, factory Factory) {
+	a := paperCache(t, factory, 0.05)
+	b := paperCache(t, factory, 0.05)
+	oa := drive(t, a, 7, 2500)
+	ob := drive(t, b, 7, 2500)
+	for i := range oa {
+		if oa[i] != ob[i] {
+			t.Fatalf("request %d: outcomes diverge (%v vs %v)", i, oa[i], ob[i])
+		}
+	}
+	ra, rb := a.ResidentIDs(), b.ResidentIDs()
+	if len(ra) != len(rb) {
+		t.Fatalf("resident counts diverge (%d vs %d)", len(ra), len(rb))
+	}
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Fatal("resident sets diverge")
+		}
+	}
+}
+
+func checkLiveness(t *testing.T, factory Factory) {
+	// A small cache forces constant eviction; any failure to supply
+	// victims surfaces as an engine error inside drive.
+	c := paperCache(t, factory, 0.0125)
+	drive(t, c, 11, 3000)
+	if c.Stats().Evictions == 0 {
+		t.Fatal("tiny cache saw no evictions; workload broken")
+	}
+}
+
+func checkAdversarial(t *testing.T, factory Factory) {
+	// One giant clip among dwarfs: inserting the giant must evict many
+	// dwarfs in one request; inserting dwarfs after the giant must evict it.
+	clips := make([]media.Clip, 0, 33)
+	clips = append(clips, media.Clip{ID: 1, Size: 1000})
+	for i := 2; i <= 33; i++ {
+		clips = append(clips, media.Clip{ID: media.ClipID(i), Size: 10})
+	}
+	repo, err := media.NewRepository(clips)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := factory(repo.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.New(repo, 1100, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := randutil.NewSource(3)
+	for i := 0; i < 600; i++ {
+		var id media.ClipID
+		if i%13 == 0 {
+			id = 1 // periodically demand the giant
+		} else {
+			id = media.ClipID(src.Intn(32) + 2)
+		}
+		if _, err := c.Request(id); err != nil {
+			t.Fatalf("request %d (clip %d): %v", i, id, err)
+		}
+		if c.UsedBytes() > c.Capacity() {
+			t.Fatalf("capacity exceeded at request %d", i)
+		}
+	}
+}
+
+func checkSingleSlot(t *testing.T, factory Factory) {
+	// The cache fits exactly one clip: every miss evicts the sole resident.
+	repo, err := media.EquiRepository(8, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := factory(repo.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.New(repo, 100, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := randutil.NewSource(5)
+	for i := 0; i < 300; i++ {
+		id := media.ClipID(src.Intn(8) + 1)
+		if _, err := c.Request(id); err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if c.NumResident() > 1 {
+			t.Fatalf("single-slot cache holds %d clips", c.NumResident())
+		}
+	}
+}
+
+func checkResetReplay(t *testing.T, factory Factory) {
+	c := paperCache(t, factory, 0.05)
+	first := drive(t, c, 9, 1500)
+	c.Reset()
+	if c.NumResident() != 0 || c.UsedBytes() != 0 || c.Stats().Requests != 0 {
+		t.Fatal("Reset left residue")
+	}
+	second := drive(t, c, 9, 1500)
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("request %d: replay after Reset diverged (%v vs %v)", i, first[i], second[i])
+		}
+	}
+}
+
+func checkWarmAdoption(t *testing.T, factory Factory) {
+	c := paperCache(t, factory, 0.05)
+	// Pre-load some audio clips (small, even ids) without requests.
+	c.Warm([]media.ClipID{2, 4, 6, 8, 10})
+	if c.NumResident() == 0 {
+		t.Fatal("warm placed nothing")
+	}
+	// The policy must handle evicting warm clips it never saw requested.
+	drive(t, c, 13, 1500)
+}

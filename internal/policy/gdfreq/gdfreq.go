@@ -1,0 +1,136 @@
+// Package gdfreq implements GreedyDual-Freq, the frequency-extended
+// GreedyDual of Cherkasova and Ciardo (HiPC 2001) that the paper compares
+// against IGD in Section 4.2 and Figure 7.
+//
+// GreedyDual-Freq changes GreedyDual's priority to
+//
+//	H = L + nref(x) · cost / size(x)
+//
+// where nref(x) counts the references to clip x since it became cache
+// resident. nref is forgotten when the clip is swapped out. Because nref is
+// monotonically non-decreasing while a clip stays resident, the technique
+// adapts poorly to evolving access patterns — previously popular clips keep
+// large priorities — which is exactly the weakness IGD's interval-based
+// aging repairs (Figure 7).
+package gdfreq
+
+import (
+	"mediacache/internal/core"
+	"mediacache/internal/media"
+	"mediacache/internal/randutil"
+	"mediacache/internal/vtime"
+)
+
+// CostFunc assigns the fetch cost of a clip; nil means cost ≡ 1.
+type CostFunc func(media.Clip) float64
+
+// Policy is the GreedyDual-Freq technique. It implements core.Policy.
+type Policy struct {
+	cost CostFunc
+	seed uint64
+	src  *randutil.Source
+
+	inflation float64
+	h         map[media.ClipID]float64
+	nref      map[media.ClipID]uint64
+}
+
+var _ core.Policy = (*Policy)(nil)
+
+// New returns a GreedyDual-Freq policy with the given cost function (nil
+// means cost ≡ 1) and tie-break seed.
+func New(cost CostFunc, seed uint64) *Policy {
+	if cost == nil {
+		cost = func(media.Clip) float64 { return 1 }
+	}
+	return &Policy{
+		cost: cost,
+		seed: seed,
+		src:  randutil.NewSource(seed),
+		h:    make(map[media.ClipID]float64),
+		nref: make(map[media.ClipID]uint64),
+	}
+}
+
+// Name implements core.Policy.
+func (p *Policy) Name() string { return "GreedyDual-Freq" }
+
+// Inflation returns the current inflation value L.
+func (p *Policy) Inflation() float64 { return p.inflation }
+
+// NRef returns the reference count of a resident clip since it became cache
+// resident (0 for non-resident clips).
+func (p *Policy) NRef(id media.ClipID) uint64 { return p.nref[id] }
+
+// priority computes L + nref·cost/size for a resident clip.
+func (p *Policy) priority(c media.Clip) float64 {
+	return p.inflation + float64(p.nref[c.ID])*p.cost(c)/float64(c.Size)
+}
+
+// Record implements core.Policy: a hit increments nref and restores the
+// priority at the current inflation.
+func (p *Policy) Record(clip media.Clip, _ vtime.Time, hit bool) {
+	if hit {
+		p.nref[clip.ID]++
+		p.h[clip.ID] = p.priority(clip)
+	}
+}
+
+// Admit implements core.Policy.
+func (p *Policy) Admit(media.Clip, vtime.Time) bool { return true }
+
+// Victims implements core.Policy: evict one minimum-priority clip per call,
+// ties broken uniformly at random, raising L to the evicted priority.
+func (p *Policy) Victims(_ media.Clip, view core.ResidentView, _ media.Bytes, _ vtime.Time) []media.ClipID {
+	var (
+		minH  float64
+		ties  []media.ClipID
+		found bool
+	)
+	for _, c := range view.ResidentClips() {
+		h, ok := p.h[c.ID]
+		if !ok {
+			p.nref[c.ID] = 1
+			h = p.priority(c)
+			p.h[c.ID] = h
+		}
+		switch {
+		case !found || h < minH:
+			minH, ties, found = h, ties[:0], true
+			ties = append(ties, c.ID)
+		case h == minH:
+			ties = append(ties, c.ID)
+		}
+	}
+	if !found {
+		return nil
+	}
+	p.inflation = minH
+	victim := ties[0]
+	if len(ties) > 1 {
+		victim = ties[p.src.Intn(len(ties))]
+	}
+	return []media.ClipID{victim}
+}
+
+// OnInsert implements core.Policy: nref starts at 1, counting the inserting
+// reference.
+func (p *Policy) OnInsert(clip media.Clip, _ vtime.Time) {
+	p.nref[clip.ID] = 1
+	p.h[clip.ID] = p.priority(clip)
+}
+
+// OnEvict implements core.Policy: the reference count is forgotten, as in
+// Cherkasova and Ciardo.
+func (p *Policy) OnEvict(id media.ClipID, _ vtime.Time) {
+	delete(p.h, id)
+	delete(p.nref, id)
+}
+
+// Reset implements core.Policy.
+func (p *Policy) Reset() {
+	p.inflation = 0
+	p.h = make(map[media.ClipID]float64)
+	p.nref = make(map[media.ClipID]uint64)
+	p.src = randutil.NewSource(p.seed)
+}

@@ -1,0 +1,171 @@
+package gdfreq
+
+import (
+	"testing"
+
+	"mediacache/internal/core"
+	"mediacache/internal/media"
+)
+
+func TestName(t *testing.T) {
+	if New(nil, 1).Name() != "GreedyDual-Freq" {
+		t.Fatal("name")
+	}
+}
+
+func TestNRefLifecycle(t *testing.T) {
+	p := New(nil, 1)
+	clip := media.Clip{ID: 1, Size: 10}
+	if p.NRef(1) != 0 {
+		t.Fatal("nref must start at 0")
+	}
+	p.OnInsert(clip, 1)
+	if p.NRef(1) != 1 {
+		t.Fatal("insert counts the inserting reference")
+	}
+	p.Record(clip, 2, true)
+	p.Record(clip, 3, true)
+	if p.NRef(1) != 3 {
+		t.Fatalf("nref = %d, want 3", p.NRef(1))
+	}
+	p.OnEvict(1, 4)
+	if p.NRef(1) != 0 {
+		t.Fatal("eviction must forget nref")
+	}
+}
+
+func TestFrequentClipsSurvive(t *testing.T) {
+	r, _ := media.EquiRepository(4, 10)
+	p := New(nil, 1)
+	c, _ := core.New(r, 20, p)
+	c.Request(1)
+	c.Request(1)
+	c.Request(1) // nref(1) = 3
+	c.Request(2) // nref(2) = 1
+	c.Request(3) // evict min priority: clip 2
+	if c.Resident(2) {
+		t.Fatal("low-frequency clip should be the victim")
+	}
+	if !c.Resident(1) {
+		t.Fatal("high-frequency clip must survive")
+	}
+}
+
+func TestSizeMatters(t *testing.T) {
+	// Same frequency: the larger clip has lower nref/size priority.
+	r, _ := media.NewRepository([]media.Clip{
+		{ID: 1, Size: 100}, {ID: 2, Size: 10}, {ID: 3, Size: 60},
+	})
+	p := New(nil, 1)
+	c, _ := core.New(r, 110, p)
+	c.Request(1)
+	c.Request(2)
+	c.Request(3) // evict clip 1: priority 1/100 < 1/10
+	if c.Resident(1) {
+		t.Fatal("large clip should be evicted")
+	}
+}
+
+func TestStalePopularityPersists(t *testing.T) {
+	// The GreedyDual-Freq weakness the paper highlights: nref grows
+	// monotonically while resident, so a formerly hot clip outprioritizes
+	// fresher clips even after going cold.
+	r, _ := media.EquiRepository(6, 10)
+	p := New(nil, 1)
+	c, _ := core.New(r, 20, p)
+	for i := 0; i < 50; i++ {
+		c.Request(1) // nref(1) = 50
+	}
+	c.Request(2)
+	// Alternate fresh clips; clip 1 should stubbornly stay resident because
+	// its priority reflects 50 references.
+	for i := 0; i < 20; i++ {
+		c.Request(media.ClipID(i%4 + 3))
+	}
+	if !c.Resident(1) {
+		t.Fatal("GreedyDual-Freq should retain the stale-popular clip (its documented weakness)")
+	}
+}
+
+func TestInflationMonotone(t *testing.T) {
+	r, _ := media.EquiRepository(10, 10)
+	p := New(nil, 9)
+	c, _ := core.New(r, 30, p)
+	last := p.Inflation()
+	for i := 0; i < 300; i++ {
+		c.Request(media.ClipID((i*7)%10 + 1))
+		if p.Inflation() < last {
+			t.Fatalf("inflation decreased")
+		}
+		last = p.Inflation()
+	}
+}
+
+func TestCustomCost(t *testing.T) {
+	// Double cost for clip 1 makes it sticky versus an equal-size clip.
+	cost := func(c media.Clip) float64 {
+		if c.ID == 1 {
+			return 2
+		}
+		return 1
+	}
+	r, _ := media.EquiRepository(3, 10)
+	p := New(cost, 1)
+	c, _ := core.New(r, 20, p)
+	c.Request(1)
+	c.Request(2)
+	c.Request(3) // priorities: clip1 0.2, clip2 0.1 -> evict 2
+	if c.Resident(2) {
+		t.Fatal("cheaper clip should be evicted")
+	}
+	if !c.Resident(1) {
+		t.Fatal("expensive clip must survive")
+	}
+}
+
+func TestResetAndReplay(t *testing.T) {
+	r, _ := media.EquiRepository(8, 10)
+	p := New(nil, 11)
+	c, _ := core.New(r, 30, p)
+	seq := make([]media.ClipID, 80)
+	for i := range seq {
+		seq[i] = media.ClipID((i*5)%8 + 1)
+	}
+	for _, id := range seq {
+		c.Request(id)
+	}
+	first := c.ResidentIDs()
+	c.Reset()
+	if p.Inflation() != 0 {
+		t.Fatal("Reset must zero inflation")
+	}
+	for _, id := range seq {
+		c.Request(id)
+	}
+	second := c.ResidentIDs()
+	if len(first) != len(second) {
+		t.Fatal("replay diverged")
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatal("replay diverged")
+		}
+	}
+}
+
+func TestWarmAdoption(t *testing.T) {
+	r, _ := media.EquiRepository(4, 10)
+	p := New(nil, 2)
+	c, _ := core.New(r, 20, p)
+	c.Warm([]media.ClipID{1, 2})
+	out, err := c.Request(3)
+	if err != nil || out != core.MissCached {
+		t.Fatalf("out=%v err=%v", out, err)
+	}
+}
+
+func TestAdmit(t *testing.T) {
+	if !New(nil, 1).Admit(media.Clip{ID: 1, Size: 1}, 1) {
+		t.Fatal("always admits")
+	}
+}

@@ -1,0 +1,122 @@
+package gdsp
+
+import (
+	"math"
+	"testing"
+
+	"mediacache/internal/core"
+	"mediacache/internal/media"
+	"mediacache/internal/policy/greedydual"
+	"mediacache/internal/workload"
+	"mediacache/internal/zipf"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, math.NaN(), 1); err == nil {
+		t.Error("NaN beta should fail")
+	}
+	if _, err := New(nil, math.Inf(1), 1); err == nil {
+		t.Error("Inf beta should fail")
+	}
+	p, err := New(nil, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.beta != DefaultBeta {
+		t.Fatal("beta default")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustNew(nil, math.NaN(), 1)
+}
+
+func TestName(t *testing.T) {
+	if MustNew(nil, 1, 1).Name() != "GDS-Popularity" {
+		t.Fatal("name")
+	}
+}
+
+func TestCostFunctions(t *testing.T) {
+	c := media.Clip{ID: 1, Size: 64}
+	if ByteHitCost(c) != 64 {
+		t.Fatal("byte cost")
+	}
+	if HitCost(c) != 1 {
+		t.Fatal("hit cost")
+	}
+}
+
+func TestFrequencySurvivesEviction(t *testing.T) {
+	p := MustNew(nil, 1, 1)
+	clip := media.Clip{ID: 1, Size: 10}
+	p.Record(clip, 1, false)
+	p.OnInsert(clip, 1)
+	p.Record(clip, 2, true)
+	if p.Freq(1) != 2 {
+		t.Fatalf("freq = %d", p.Freq(1))
+	}
+	p.OnEvict(1, 3)
+	if p.Freq(1) != 2 {
+		t.Fatal("popularity must survive eviction (unlike GreedyDual-Freq)")
+	}
+}
+
+func TestByteHitConfigurationIgnoresSize(t *testing.T) {
+	// With cost = size, priority = L + f^β: a popular huge clip beats an
+	// unpopular small one.
+	r, _ := media.NewRepository([]media.Clip{
+		{ID: 1, Size: 1000}, // popular, huge
+		{ID: 2, Size: 100},  // unpopular, smaller
+		{ID: 3, Size: 100},
+	})
+	p := MustNew(ByteHitCost, 1, 1)
+	c, _ := core.New(r, 1110, p)
+	c.Request(1)
+	c.Request(1)
+	c.Request(1) // f(1) = 3
+	c.Request(2) // f(2) = 1
+	c.Request(3) // must evict: min priority is clip 2 (f=1)
+	if c.Resident(2) {
+		t.Fatal("unpopular clip should be evicted despite being small")
+	}
+	if !c.Resident(1) {
+		t.Fatal("popular huge clip must survive — the byte-hit trade-off")
+	}
+}
+
+func TestPaperTradeoffClaim(t *testing.T) {
+	// Section 1: GDSP "enhances byte hit rate at the expense of cache hit
+	// rate" relative to the hit-rate-oriented GreedyDual family. Compare
+	// against GreedyDual (cost=1) on the paper workload.
+	repo := media.PaperRepository()
+	dist := zipf.MustNew(repo.N(), zipf.DefaultMean)
+	run := func(p core.Policy) core.Stats {
+		cache, err := core.New(repo, repo.CacheSizeForRatio(0.125), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen := workload.MustNewGenerator(dist, 42)
+		for i := 0; i < 8000; i++ {
+			if _, err := cache.Request(gen.Next()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return cache.Stats()
+	}
+	gdspStats := run(MustNew(ByteHitCost, 1, 42))
+	gdStats := run(greedydual.New(nil, 42))
+	if gdspStats.ByteHitRate() <= gdStats.ByteHitRate() {
+		t.Errorf("GDSP byte hit %.4f <= GreedyDual %.4f; expected the byte-hit advantage",
+			gdspStats.ByteHitRate(), gdStats.ByteHitRate())
+	}
+	if gdspStats.HitRate() >= gdStats.HitRate() {
+		t.Errorf("GDSP hit rate %.4f >= GreedyDual %.4f; expected the hit-rate sacrifice",
+			gdspStats.HitRate(), gdStats.HitRate())
+	}
+}

@@ -1,0 +1,123 @@
+package igd
+
+import (
+	"sort"
+
+	"mediacache/internal/core"
+	"mediacache/internal/media"
+	"mediacache/internal/rbtree"
+	"mediacache/internal/vtime"
+)
+
+// This file implements the Indexed victim-selection mode, extending the
+// paper's Section 5 future work ("tree-based data structures to minimize
+// the complexity of identifying a victim clip") to IGD.
+//
+// IGD's priority H(x) = L(x) + nref(x)/(Δ_K(x,t)·s(x)) drifts with time, so
+// no static total order exists. But the time-varying term is non-negative,
+// which makes each clip's base inflation L(x) a lower bound on its current
+// priority. Keeping the resident clips in a red-black tree ordered by
+// (L(x), id) therefore enables branch-and-bound victim selection: walk the
+// tree in ascending base order computing true scores, and stop as soon as
+// the next clip's base exceeds the best true score seen — every clip beyond
+// it can only score higher. Under stable access patterns most residents
+// share recent bases, and the walk terminates after a handful of
+// candidates; the worst case degrades gracefully to the scan.
+//
+// The mode is decision-identical to the scan — including the order in which
+// exact ties feed the seeded tie-break — which TestIndexedEquivalence
+// asserts over random traces.
+
+// idxKey orders resident clips by base inflation, then id.
+type idxKey struct {
+	base float64
+	id   media.ClipID
+}
+
+func lessIdx(a, b idxKey) bool {
+	if a.base != b.base {
+		return a.base < b.base
+	}
+	return a.id < b.id
+}
+
+// index is the optional ordered index over resident clips.
+type index struct {
+	tree *rbtree.Tree[idxKey, media.Clip]
+}
+
+func newIndex() *index {
+	return &index{tree: rbtree.New[idxKey, media.Clip](lessIdx)}
+}
+
+// Indexed enables tree-based victim selection. The policy's decisions are
+// identical to the default scan; only the selection complexity changes.
+func Indexed() Option {
+	return func(p *Policy) { p.idx = newIndex() }
+}
+
+// indexInsert registers a resident clip under its current base.
+func (p *Policy) indexInsert(clip media.Clip) {
+	if p.idx == nil {
+		return
+	}
+	p.idx.tree.Put(idxKey{base: p.baseL[clip.ID], id: clip.ID}, clip)
+}
+
+// indexRemove drops a resident clip keyed at the given base.
+func (p *Policy) indexRemove(id media.ClipID, base float64) {
+	if p.idx == nil {
+		return
+	}
+	p.idx.tree.Delete(idxKey{base: base, id: id})
+}
+
+// victimsIndexed selects one victim via branch-and-bound over the base
+// index, mirroring the scan's semantics exactly.
+func (p *Policy) victimsIndexed(view core.ResidentView, now vtime.Time) []media.ClipID {
+	// Adopt any warm-inserted clips the index has not seen. The engine only
+	// calls Victims when space is needed, so this is a rare slow path that
+	// only triggers when NumResident disagrees with the index size.
+	if p.idx.tree.Len() != view.NumResident() {
+		for _, c := range view.ResidentClips() {
+			if _, ok := p.baseL[c.ID]; !ok {
+				p.adopt(c, now)
+			}
+		}
+	}
+	var (
+		ties      []media.ClipID
+		bestScore float64
+		found     bool
+	)
+	p.idx.tree.Ascend(func(key idxKey, clip media.Clip) bool {
+		if found && key.base > bestScore {
+			return false // every further clip scores at least key.base
+		}
+		h := p.Score(clip, now)
+		switch {
+		case !found || h < bestScore:
+			bestScore, found = h, true
+			ties = ties[:0]
+			ties = append(ties, clip.ID)
+		case h == bestScore:
+			ties = append(ties, clip.ID)
+		}
+		return true
+	})
+	if !found {
+		return nil
+	}
+	// The scan encounters clips in ascending id order; the tree in
+	// ascending (base, id). Restore id order so the seeded tie-break draws
+	// the same index.
+	sort.Slice(ties, func(i, j int) bool { return ties[i] < ties[j] })
+	if bestScore > p.inflation {
+		p.inflation = bestScore
+	}
+	victim := ties[0]
+	if len(ties) > 1 {
+		victim = ties[p.src.Intn(len(ties))]
+	}
+	return []media.ClipID{victim}
+}

@@ -1,0 +1,108 @@
+package igd
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mediacache/internal/core"
+	"mediacache/internal/media"
+	"mediacache/internal/workload"
+	"mediacache/internal/zipf"
+)
+
+func TestIndexedName(t *testing.T) {
+	if MustNew(10, 2, 1, Indexed()).Name() != "IGD(K=2,indexed)" {
+		t.Fatal("indexed name")
+	}
+}
+
+// TestIndexedEquivalence: the branch-and-bound index must reproduce the
+// scan's decisions exactly, including seeded tie-breaks, over realistic
+// workloads on both repository shapes.
+func TestIndexedEquivalence(t *testing.T) {
+	for _, repo := range []*media.Repository{
+		media.PaperRepository(),
+		media.PaperEquiRepository(), // equi-sized: maximal tie pressure
+	} {
+		dist := zipf.MustNew(repo.N(), zipf.DefaultMean)
+		for seed := uint64(1); seed <= 3; seed++ {
+			scan := MustNew(repo.N(), 2, seed)
+			indexed := MustNew(repo.N(), 2, seed, Indexed())
+			cScan, _ := core.New(repo, repo.CacheSizeForRatio(0.05), scan)
+			cIdx, _ := core.New(repo, repo.CacheSizeForRatio(0.05), indexed)
+			gen := workload.MustNewGenerator(dist, seed)
+			for i := 0; i < 4000; i++ {
+				id := gen.Next()
+				a, errA := cScan.Request(id)
+				b, errB := cIdx.Request(id)
+				if errA != nil || errB != nil {
+					t.Fatalf("seed %d req %d: errs %v %v", seed, i, errA, errB)
+				}
+				if a != b {
+					t.Fatalf("seed %d req %d (clip %d): scan=%v indexed=%v", seed, i, id, a, b)
+				}
+			}
+			sa, sb := cScan.ResidentIDs(), cIdx.ResidentIDs()
+			if len(sa) != len(sb) {
+				t.Fatalf("seed %d: resident counts differ", seed)
+			}
+			for i := range sa {
+				if sa[i] != sb[i] {
+					t.Fatalf("seed %d: resident sets differ", seed)
+				}
+			}
+		}
+	}
+}
+
+func TestIndexedEquivalenceProperty(t *testing.T) {
+	repo, err := media.EquiRepository(12, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(reqs []uint8) bool {
+		scan := MustNew(repo.N(), 2, 9)
+		indexed := MustNew(repo.N(), 2, 9, Indexed())
+		cScan, _ := core.New(repo, 40, scan)
+		cIdx, _ := core.New(repo, 40, indexed)
+		for _, r := range reqs {
+			id := media.ClipID(int(r)%repo.N() + 1)
+			a, errA := cScan.Request(id)
+			b, errB := cIdx.Request(id)
+			if errA != nil || errB != nil || a != b {
+				return false
+			}
+		}
+		sa, sb := cScan.ResidentIDs(), cIdx.ResidentIDs()
+		if len(sa) != len(sb) {
+			return false
+		}
+		for i := range sa {
+			if sa[i] != sb[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndexedResetAndWarm(t *testing.T) {
+	repo, _ := media.EquiRepository(6, 10)
+	p := MustNew(6, 2, 1, Indexed())
+	c, _ := core.New(repo, 20, p)
+	c.Warm([]media.ClipID{1, 2})
+	out, err := c.Request(3)
+	if err != nil || out != core.MissCached {
+		t.Fatalf("out=%v err=%v", out, err)
+	}
+	c.Reset()
+	if p.idx.tree.Len() != 0 {
+		t.Fatal("Reset must clear the index")
+	}
+	if _, err := c.Request(1); err != nil {
+		t.Fatal(err)
+	}
+}

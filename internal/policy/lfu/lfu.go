@@ -1,0 +1,155 @@
+// Package lfu implements the frequency-based members of the paper's
+// Section 1 taxonomy of greedy techniques ("recently-based, frequency-based,
+// size-based, function-based, and randomized"): classic in-cache LFU and
+// LFU-DA (LFU with Dynamic Aging).
+//
+// Classic LFU evicts the resident clip with the fewest references since it
+// became resident. It suffers exactly the cache-pollution problem the
+// paper's Section 5 describes — "previously popular clips lingering in the
+// cache" — because counts never decay. LFU-DA adds the standard dynamic-
+// aging fix: priorities are count + L, where L is the GreedyDual-style
+// inflation raised to each evicted priority, so stale clips eventually age
+// out. These baselines anchor the frequency-based corner of the taxonomy in
+// the comparison experiments.
+package lfu
+
+import (
+	"mediacache/internal/core"
+	"mediacache/internal/media"
+	"mediacache/internal/vtime"
+)
+
+// Policy is LFU, optionally with dynamic aging. It implements core.Policy.
+type Policy struct {
+	aging bool
+
+	inflation float64
+	prio      map[media.ClipID]float64
+	count     map[media.ClipID]uint64
+	lastRef   map[media.ClipID]vtime.Time
+}
+
+var _ core.Policy = (*Policy)(nil)
+
+// New returns a classic LFU policy.
+func New() *Policy { return newPolicy(false) }
+
+// NewDA returns an LFU-DA policy (LFU with dynamic aging).
+func NewDA() *Policy { return newPolicy(true) }
+
+func newPolicy(aging bool) *Policy {
+	return &Policy{
+		aging:   aging,
+		prio:    make(map[media.ClipID]float64),
+		count:   make(map[media.ClipID]uint64),
+		lastRef: make(map[media.ClipID]vtime.Time),
+	}
+}
+
+// Name implements core.Policy.
+func (p *Policy) Name() string {
+	if p.aging {
+		return "LFU-DA"
+	}
+	return "LFU"
+}
+
+// NRef returns the in-cache reference count of a resident clip.
+func (p *Policy) NRef(id media.ClipID) uint64 { return p.count[id] }
+
+// Inflation returns the dynamic-aging inflation L (always 0 for plain LFU).
+func (p *Policy) Inflation() float64 { return p.inflation }
+
+// priority computes the clip's eviction priority.
+func (p *Policy) priority(id media.ClipID) float64 {
+	base := 0.0
+	if p.aging {
+		base = p.inflation
+	}
+	return base + float64(p.count[id])
+}
+
+// Record implements core.Policy.
+func (p *Policy) Record(clip media.Clip, now vtime.Time, hit bool) {
+	if hit {
+		p.count[clip.ID]++
+		p.prio[clip.ID] = p.priority(clip.ID)
+		p.lastRef[clip.ID] = now
+	}
+}
+
+// Admit implements core.Policy.
+func (p *Policy) Admit(media.Clip, vtime.Time) bool { return true }
+
+// Victims implements core.Policy: evict minimum-priority clips; ties broken
+// by least-recent reference, then lower id, for determinism.
+func (p *Policy) Victims(_ media.Clip, view core.ResidentView, need media.Bytes, _ vtime.Time) []media.ClipID {
+	resident := view.ResidentClips()
+	taken := make(map[media.ClipID]bool, len(resident))
+	var out []media.ClipID
+	var freed media.Bytes
+	for freed < need && len(out) < len(resident) {
+		best := -1
+		var bestPrio float64
+		var bestLast vtime.Time
+		for i, c := range resident {
+			if taken[c.ID] {
+				continue
+			}
+			if _, ok := p.prio[c.ID]; !ok {
+				// Warm-inserted clip: adopt at count 1.
+				p.count[c.ID] = 1
+				p.prio[c.ID] = p.priority(c.ID)
+			}
+			prio := p.prio[c.ID]
+			last := p.lastRef[c.ID]
+			better := false
+			switch {
+			case best == -1:
+				better = true
+			case prio != bestPrio:
+				better = prio < bestPrio
+			case last != bestLast:
+				better = last < bestLast
+			default:
+				better = c.ID < resident[best].ID
+			}
+			if better {
+				best, bestPrio, bestLast = i, prio, last
+			}
+		}
+		if best == -1 {
+			break
+		}
+		victim := resident[best]
+		taken[victim.ID] = true
+		if p.aging && bestPrio > p.inflation {
+			p.inflation = bestPrio
+		}
+		out = append(out, victim.ID)
+		freed += victim.Size
+	}
+	return out
+}
+
+// OnInsert implements core.Policy: the inserting reference counts.
+func (p *Policy) OnInsert(clip media.Clip, now vtime.Time) {
+	p.count[clip.ID] = 1
+	p.prio[clip.ID] = p.priority(clip.ID)
+	p.lastRef[clip.ID] = now
+}
+
+// OnEvict implements core.Policy: counts are in-cache only.
+func (p *Policy) OnEvict(id media.ClipID, _ vtime.Time) {
+	delete(p.count, id)
+	delete(p.prio, id)
+	delete(p.lastRef, id)
+}
+
+// Reset implements core.Policy.
+func (p *Policy) Reset() {
+	p.inflation = 0
+	p.prio = make(map[media.ClipID]float64)
+	p.count = make(map[media.ClipID]uint64)
+	p.lastRef = make(map[media.ClipID]vtime.Time)
+}

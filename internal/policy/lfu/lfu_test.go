@@ -1,0 +1,134 @@
+package lfu
+
+import (
+	"testing"
+
+	"mediacache/internal/core"
+	"mediacache/internal/media"
+)
+
+func TestNames(t *testing.T) {
+	if New().Name() != "LFU" {
+		t.Fatal("LFU name")
+	}
+	if NewDA().Name() != "LFU-DA" {
+		t.Fatal("LFU-DA name")
+	}
+}
+
+func TestEvictsLeastFrequent(t *testing.T) {
+	r, _ := media.EquiRepository(4, 10)
+	p := New()
+	c, _ := core.New(r, 20, p)
+	c.Request(1)
+	c.Request(1)
+	c.Request(1) // count(1) = 3
+	c.Request(2) // count(2) = 1
+	c.Request(3) // evict 2
+	if c.Resident(2) {
+		t.Fatal("least frequent clip should be evicted")
+	}
+	if !c.Resident(1) {
+		t.Fatal("frequent clip must survive")
+	}
+}
+
+func TestTieBrokenByRecency(t *testing.T) {
+	r, _ := media.EquiRepository(4, 10)
+	p := New()
+	c, _ := core.New(r, 20, p)
+	c.Request(2) // count 1, older
+	c.Request(1) // count 1, newer
+	c.Request(3) // tie on count: evict older ref (2)
+	if c.Resident(2) {
+		t.Fatal("older equal-count clip should be evicted")
+	}
+	if !c.Resident(1) {
+		t.Fatal("newer clip survives")
+	}
+}
+
+func TestCountsLifecycle(t *testing.T) {
+	p := New()
+	clip := media.Clip{ID: 1, Size: 10}
+	p.OnInsert(clip, 1)
+	if p.NRef(1) != 1 {
+		t.Fatal("insert counts")
+	}
+	p.Record(clip, 2, true)
+	if p.NRef(1) != 2 {
+		t.Fatal("hit counts")
+	}
+	p.Record(clip, 3, false)
+	if p.NRef(1) != 2 {
+		t.Fatal("miss must not count in-cache frequency")
+	}
+	p.OnEvict(1, 4)
+	if p.NRef(1) != 0 {
+		t.Fatal("eviction clears the in-cache count")
+	}
+}
+
+func TestCachePollution(t *testing.T) {
+	// Plain LFU keeps a stale-popular clip forever — the pollution the
+	// paper's Section 5 describes; LFU-DA ages it out.
+	// The stale clip accumulates count 30; LFU-DA's inflation rises ~1 per
+	// eviction of the cycling fresh clips, overtaking 30 within 60 requests.
+	run := func(p *Policy) bool {
+		r, _ := media.EquiRepository(8, 10)
+		c, _ := core.New(r, 20, p)
+		for i := 0; i < 30; i++ {
+			c.Request(1) // count(1) = 30
+		}
+		for i := 0; i < 60; i++ {
+			c.Request(media.ClipID(i%3 + 2)) // fresh clips 2,3,4
+		}
+		return c.Resident(1)
+	}
+	if !run(New()) {
+		t.Fatal("plain LFU should exhibit cache pollution (stale clip stays)")
+	}
+	if run(NewDA()) {
+		t.Fatal("LFU-DA should age the stale clip out")
+	}
+}
+
+func TestInflationOnlyWithAging(t *testing.T) {
+	r, _ := media.EquiRepository(8, 10)
+	plain, da := New(), NewDA()
+	cp, _ := core.New(r, 20, plain)
+	cd, _ := core.New(r, 20, da)
+	for i := 0; i < 50; i++ {
+		cp.Request(media.ClipID(i%8 + 1))
+		cd.Request(media.ClipID(i%8 + 1))
+	}
+	if plain.Inflation() != 0 {
+		t.Fatal("plain LFU must not inflate")
+	}
+	if da.Inflation() == 0 {
+		t.Fatal("LFU-DA must inflate after evictions")
+	}
+}
+
+func TestWarmAdoption(t *testing.T) {
+	r, _ := media.EquiRepository(4, 10)
+	p := New()
+	c, _ := core.New(r, 20, p)
+	c.Warm([]media.ClipID{1, 2})
+	out, err := c.Request(3)
+	if err != nil || out != core.MissCached {
+		t.Fatalf("out=%v err=%v", out, err)
+	}
+}
+
+func TestAdmitAndReset(t *testing.T) {
+	p := NewDA()
+	if !p.Admit(media.Clip{ID: 1, Size: 1}, 1) {
+		t.Fatal("always admits")
+	}
+	p.OnInsert(media.Clip{ID: 1, Size: 1}, 1)
+	p.Reset()
+	if p.NRef(1) != 0 || p.Inflation() != 0 {
+		t.Fatal("Reset incomplete")
+	}
+}

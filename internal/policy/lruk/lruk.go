@@ -1,0 +1,132 @@
+// Package lruk implements the LRU-K replacement technique of O'Neil, O'Neil
+// and Weikum (SIGMOD 1993), the on-line baseline of Section 3.2.
+//
+// LRU-K maintains the time stamps of the last K references to a clip and,
+// when choosing a victim, selects the clip whose K-th most recent reference
+// is furthest in the past (the maximum backward-K distance Δ_K). Clips with
+// fewer than K references have infinite backward distance and are preferred
+// victims, ordered among themselves by classic LRU on their most recent
+// reference — the "retained information" behaviour of the original paper.
+// K = 1 degenerates to classic LRU.
+//
+// Following the paper's Section 4.1 (and LRU-K's retained information), the
+// reference history covers all clips, resident or not.
+package lruk
+
+import (
+	"fmt"
+	"math"
+
+	"mediacache/internal/core"
+	"mediacache/internal/history"
+	"mediacache/internal/media"
+	"mediacache/internal/vtime"
+)
+
+// Policy is the LRU-K technique. It implements core.Policy.
+type Policy struct {
+	k       int
+	n       int
+	tracker *history.Tracker
+}
+
+var _ core.Policy = (*Policy)(nil)
+
+// New returns an LRU-K policy for a repository of n clips.
+func New(n, k int) (*Policy, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("lruk: repository size must be positive, got %d", n)
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("lruk: K must be positive, got %d", k)
+	}
+	return &Policy{k: k, n: n, tracker: history.NewTracker(n, k)}, nil
+}
+
+// MustNew is like New but panics on error; for experiment setup.
+func MustNew(n, k int) *Policy {
+	p, err := New(n, k)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Name implements core.Policy.
+func (p *Policy) Name() string { return fmt.Sprintf("LRU-%d", p.k) }
+
+// K returns the history depth.
+func (p *Policy) K() int { return p.k }
+
+// Tracker exposes the underlying reference history (used by the fiverule
+// metadata-pruning extension).
+func (p *Policy) Tracker() *history.Tracker { return p.tracker }
+
+// Record implements core.Policy.
+func (p *Policy) Record(clip media.Clip, now vtime.Time, _ bool) {
+	p.tracker.Observe(clip.ID, now)
+}
+
+// Admit implements core.Policy: every referenced clip is materialized.
+func (p *Policy) Admit(media.Clip, vtime.Time) bool { return true }
+
+// Victims implements core.Policy: repeatedly pick the resident clip with the
+// maximum backward-K distance until need bytes are covered.
+func (p *Policy) Victims(_ media.Clip, view core.ResidentView, need media.Bytes, now vtime.Time) []media.ClipID {
+	resident := view.ResidentClips()
+	taken := make(map[media.ClipID]bool, len(resident))
+	var out []media.ClipID
+	var freed media.Bytes
+	for freed < need && len(out) < len(resident) {
+		best := -1
+		var bestDist float64
+		var bestLast vtime.Time
+		for i, c := range resident {
+			if taken[c.ID] {
+				continue
+			}
+			dist := p.tracker.BackwardKDistance(c.ID, now)
+			last, _ := p.tracker.LastTime(c.ID)
+			if best == -1 || less(bestDist, bestLast, resident[best], dist, last, c) {
+				best, bestDist, bestLast = i, dist, last
+			}
+		}
+		if best == -1 {
+			break
+		}
+		c := resident[best]
+		taken[c.ID] = true
+		out = append(out, c.ID)
+		freed += c.Size
+	}
+	return out
+}
+
+// less reports whether candidate (dist, last, clip) is a better victim than
+// the incumbent. Larger Δ_K wins; among infinite distances the older last
+// reference wins; remaining ties prefer the lower id for determinism.
+func less(incDist float64, incLast vtime.Time, incClip media.Clip,
+	dist float64, last vtime.Time, clip media.Clip) bool {
+	switch {
+	case math.IsInf(dist, 1) && math.IsInf(incDist, 1):
+		if last != incLast {
+			return last < incLast
+		}
+		return clip.ID < incClip.ID
+	case dist != incDist:
+		return dist > incDist
+	case last != incLast:
+		return last < incLast
+	default:
+		return clip.ID < incClip.ID
+	}
+}
+
+// OnInsert implements core.Policy.
+func (p *Policy) OnInsert(media.Clip, vtime.Time) {}
+
+// OnEvict implements core.Policy. History is retained across evictions.
+func (p *Policy) OnEvict(media.ClipID, vtime.Time) {}
+
+// Reset implements core.Policy.
+func (p *Policy) Reset() { p.tracker = history.NewTracker(p.n, p.k) }

@@ -1,0 +1,137 @@
+// Package lrusk implements LRU-SK, the paper's size-aware variant of LRU-K
+// (Section 4.3).
+//
+// Where LRU-K evicts the clip with the maximum backward-K distance Δ_K,
+// LRU-SK evicts the clip with the maximum Δ_K × size — equivalently the
+// minimum 1/(Δ_K × s_i) — so that large, stale clips leave first. With K=2
+// this ranks victims identically to DYNSimple(K=2), as Section 4.4 observes:
+// DYNSimple's estimated byte-freq is (K/Δ_K)/s_i, whose ascending order is
+// exactly descending Δ_K × s_i.
+package lrusk
+
+import (
+	"fmt"
+	"math"
+
+	"mediacache/internal/core"
+	"mediacache/internal/history"
+	"mediacache/internal/media"
+	"mediacache/internal/vtime"
+)
+
+// Policy is the LRU-SK technique. It implements core.Policy.
+type Policy struct {
+	k       int
+	n       int
+	tracker *history.Tracker
+}
+
+var _ core.Policy = (*Policy)(nil)
+
+// New returns an LRU-SK policy for a repository of n clips.
+func New(n, k int) (*Policy, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("lrusk: repository size must be positive, got %d", n)
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("lrusk: K must be positive, got %d", k)
+	}
+	return &Policy{k: k, n: n, tracker: history.NewTracker(n, k)}, nil
+}
+
+// MustNew is like New but panics on error; for experiment setup.
+func MustNew(n, k int) *Policy {
+	p, err := New(n, k)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Name implements core.Policy.
+func (p *Policy) Name() string { return fmt.Sprintf("LRU-S%d", p.k) }
+
+// K returns the history depth.
+func (p *Policy) K() int { return p.k }
+
+// Tracker exposes the underlying reference history.
+func (p *Policy) Tracker() *history.Tracker { return p.tracker }
+
+// Record implements core.Policy.
+func (p *Policy) Record(clip media.Clip, now vtime.Time, _ bool) {
+	p.tracker.Observe(clip.ID, now)
+}
+
+// Admit implements core.Policy.
+func (p *Policy) Admit(media.Clip, vtime.Time) bool { return true }
+
+// Score returns the eviction key Δ_K × size for a resident clip; larger
+// means a better victim. Clips with fewer than K references score +Inf.
+func (p *Policy) Score(c media.Clip, now vtime.Time) float64 {
+	return p.tracker.BackwardKDistance(c.ID, now) * float64(c.Size)
+}
+
+// Victims implements core.Policy: repeatedly evict the clip with the maximum
+// Δ_K × size until need bytes are covered.
+func (p *Policy) Victims(_ media.Clip, view core.ResidentView, need media.Bytes, now vtime.Time) []media.ClipID {
+	resident := view.ResidentClips()
+	taken := make(map[media.ClipID]bool, len(resident))
+	var out []media.ClipID
+	var freed media.Bytes
+	for freed < need && len(out) < len(resident) {
+		best := -1
+		var bestScore float64
+		var bestLast vtime.Time
+		for i, c := range resident {
+			if taken[c.ID] {
+				continue
+			}
+			score := p.Score(c, now)
+			last, _ := p.tracker.LastTime(c.ID)
+			if best == -1 || better(bestScore, bestLast, resident[best], score, last, c) {
+				best, bestScore, bestLast = i, score, last
+			}
+		}
+		if best == -1 {
+			break
+		}
+		c := resident[best]
+		taken[c.ID] = true
+		out = append(out, c.ID)
+		freed += c.Size
+	}
+	return out
+}
+
+// better reports whether the candidate is a better victim than the
+// incumbent: larger Δ_K×size wins; among infinite scores the larger size
+// wins (maximizing freed space), then the older last reference, then the
+// lower id.
+func better(incScore float64, incLast vtime.Time, incClip media.Clip,
+	score float64, last vtime.Time, clip media.Clip) bool {
+	switch {
+	case math.IsInf(score, 1) && math.IsInf(incScore, 1):
+		if clip.Size != incClip.Size {
+			return clip.Size > incClip.Size
+		}
+		if last != incLast {
+			return last < incLast
+		}
+		return clip.ID < incClip.ID
+	case score != incScore:
+		return score > incScore
+	case last != incLast:
+		return last < incLast
+	default:
+		return clip.ID < incClip.ID
+	}
+}
+
+// OnInsert implements core.Policy.
+func (p *Policy) OnInsert(media.Clip, vtime.Time) {}
+
+// OnEvict implements core.Policy. History is retained across evictions.
+func (p *Policy) OnEvict(media.ClipID, vtime.Time) {}
+
+// Reset implements core.Policy.
+func (p *Policy) Reset() { p.tracker = history.NewTracker(p.n, p.k) }

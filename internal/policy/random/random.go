@@ -1,0 +1,63 @@
+// Package random implements the Random replacement technique the paper uses
+// as a comparison yardstick (Section 3.3, Figure 2): victims are chosen
+// uniformly at random from the resident clips.
+package random
+
+import (
+	"mediacache/internal/core"
+	"mediacache/internal/media"
+	"mediacache/internal/randutil"
+	"mediacache/internal/vtime"
+)
+
+// Policy evicts uniformly random resident clips. It implements core.Policy.
+type Policy struct {
+	src  *randutil.Source
+	seed uint64
+}
+
+var _ core.Policy = (*Policy)(nil)
+
+// New returns a Random policy drawing victims from a generator seeded with
+// seed, so runs are reproducible (paper footnote 5).
+func New(seed uint64) *Policy {
+	return &Policy{src: randutil.NewSource(seed), seed: seed}
+}
+
+// Name implements core.Policy.
+func (p *Policy) Name() string { return "Random" }
+
+// Record implements core.Policy. Random keeps no reference history.
+func (p *Policy) Record(media.Clip, vtime.Time, bool) {}
+
+// Admit implements core.Policy. Every referenced clip is materialized
+// (Section 2).
+func (p *Policy) Admit(media.Clip, vtime.Time) bool { return true }
+
+// Victims implements core.Policy: it returns uniformly chosen resident clips
+// until at least need bytes are covered.
+func (p *Policy) Victims(_ media.Clip, view core.ResidentView, need media.Bytes, _ vtime.Time) []media.ClipID {
+	resident := view.ResidentClips()
+	// Shuffle a copy of the resident set and take a prefix covering need.
+	perm := p.src.Perm(len(resident))
+	var out []media.ClipID
+	var freed media.Bytes
+	for _, idx := range perm {
+		if freed >= need {
+			break
+		}
+		out = append(out, resident[idx].ID)
+		freed += resident[idx].Size
+	}
+	return out
+}
+
+// OnInsert implements core.Policy.
+func (p *Policy) OnInsert(media.Clip, vtime.Time) {}
+
+// OnEvict implements core.Policy.
+func (p *Policy) OnEvict(media.ClipID, vtime.Time) {}
+
+// Reset implements core.Policy, rewinding the random stream so replays are
+// identical.
+func (p *Policy) Reset() { p.src = randutil.NewSource(p.seed) }

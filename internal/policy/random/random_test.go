@@ -1,0 +1,128 @@
+package random
+
+import (
+	"testing"
+
+	"mediacache/internal/core"
+	"mediacache/internal/media"
+)
+
+func repo(t *testing.T) *media.Repository {
+	t.Helper()
+	r, err := media.NewRepository([]media.Clip{
+		{ID: 1, Size: 10}, {ID: 2, Size: 10}, {ID: 3, Size: 10},
+		{ID: 4, Size: 10}, {ID: 5, Size: 10}, {ID: 6, Size: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestName(t *testing.T) {
+	if New(1).Name() != "Random" {
+		t.Fatal("name")
+	}
+}
+
+func TestBasicOperation(t *testing.T) {
+	c, err := core.New(repo(t), 30, New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := media.ClipID(1); id <= 6; id++ {
+		if _, err := c.Request(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.NumResident() != 3 {
+		t.Fatalf("resident = %d, want 3", c.NumResident())
+	}
+	if c.UsedBytes() != 30 {
+		t.Fatalf("used = %d", c.UsedBytes())
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() []media.ClipID {
+		c, _ := core.New(repo(t), 30, New(7))
+		seq := []media.ClipID{1, 2, 3, 4, 5, 6, 1, 3, 5, 2, 4, 6}
+		for _, id := range seq {
+			c.Request(id)
+		}
+		return c.ResidentIDs()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("different resident counts")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestDifferentSeedsCanDiffer(t *testing.T) {
+	run := func(seed uint64) []media.ClipID {
+		c, _ := core.New(repo(t), 30, New(seed))
+		for i := 0; i < 60; i++ {
+			c.Request(media.ClipID(i%6 + 1))
+		}
+		return c.ResidentIDs()
+	}
+	same := true
+	base := run(1)
+	for seed := uint64(2); seed <= 10 && same; seed++ {
+		other := run(seed)
+		if len(other) != len(base) {
+			same = false
+			break
+		}
+		for i := range base {
+			if base[i] != other[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("ten different seeds all yielded identical caches; Random is not random")
+	}
+}
+
+func TestResetRewindsStream(t *testing.T) {
+	p := New(99)
+	c, _ := core.New(repo(t), 30, p)
+	seq := []media.ClipID{1, 2, 3, 4, 5, 6, 1, 2}
+	for _, id := range seq {
+		c.Request(id)
+	}
+	first := c.ResidentIDs()
+	c.Reset()
+	for _, id := range seq {
+		c.Request(id)
+	}
+	second := c.ResidentIDs()
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatal("Reset must rewind the random stream for identical replay")
+		}
+	}
+}
+
+func TestVictimsCoverNeed(t *testing.T) {
+	p := New(3)
+	c, _ := core.New(repo(t), 30, p)
+	c.Request(1)
+	c.Request(2)
+	c.Request(3)
+	victims := p.Victims(media.Clip{ID: 4, Size: 25}, c, 25, 4)
+	var freed media.Bytes
+	for _, id := range victims {
+		freed += c.Repository().Clip(id).Size
+	}
+	if freed < 25 {
+		t.Fatalf("victims free %d bytes, need 25", freed)
+	}
+}

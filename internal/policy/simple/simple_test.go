@@ -1,0 +1,216 @@
+package simple
+
+import (
+	"testing"
+
+	"mediacache/internal/core"
+	"mediacache/internal/media"
+)
+
+func repo(t *testing.T) *media.Repository {
+	t.Helper()
+	r, err := media.NewRepository([]media.Clip{
+		{ID: 1, Size: 10}, // hot
+		{ID: 2, Size: 10}, // warm
+		{ID: 3, Size: 10}, // cold
+		{ID: 4, Size: 40}, // hot but large
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+var freqs = []float64{0.5, 0.3, 0.05, 0.15}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Error("empty frequency vector should fail")
+	}
+	if _, err := New([]float64{0.5, -0.1}); err == nil {
+		t.Error("negative frequency should fail")
+	}
+	if _, err := New(freqs); err != nil {
+		t.Errorf("valid vector rejected: %v", err)
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustNew(nil)
+}
+
+func TestName(t *testing.T) {
+	if MustNew(freqs).Name() != "Simple" {
+		t.Fatal("name")
+	}
+	if MustNew(freqs, NoCacheColder()).Name() != "Simple(no-cache-colder)" {
+		t.Fatal("variant name")
+	}
+}
+
+func TestByteFreq(t *testing.T) {
+	p := MustNew(freqs)
+	r := repo(t)
+	if got := p.ByteFreq(r.Clip(1)); got != 0.05 {
+		t.Fatalf("ByteFreq(1) = %v, want 0.05", got)
+	}
+	// Clip 4: 0.15/40 = 0.00375 — hot overall but cold per byte.
+	if got := p.ByteFreq(r.Clip(4)); got != 0.15/40 {
+		t.Fatalf("ByteFreq(4) = %v", got)
+	}
+	if p.ByteFreq(media.Clip{ID: 99, Size: 10}) != 0 {
+		t.Fatal("unknown clip should have byte-freq 0")
+	}
+}
+
+func TestEvictsLowestByteFreqFirst(t *testing.T) {
+	p := MustNew(freqs)
+	c, _ := core.New(repo(t), 30, p)
+	c.Request(1)
+	c.Request(2)
+	c.Request(3)
+	// Cache full (30). Requesting clip 4 (40 bytes) exceeds capacity? 40 > 30:
+	// too large. Use a bigger cache instead.
+	c2, _ := core.New(repo(t), 50, p)
+	c2.Request(1)
+	c2.Request(2)
+	c2.Request(3)
+	out, err := c2.Request(4) // needs 40, free 20 -> evict colder clips first
+	if err != nil || out != core.MissCached {
+		t.Fatalf("out=%v err=%v", out, err)
+	}
+	// Byte-freqs: clip3=0.005, clip2=0.03, clip1=0.05, clip4=0.00375 (incoming).
+	// Victims ascending: 3 (0.005) then 2 (0.03). Clip 1 survives.
+	if !c2.Resident(1) {
+		t.Fatal("hottest clip 1 must survive")
+	}
+	if c2.Resident(3) || c2.Resident(2) {
+		t.Fatal("cold clips 3 and 2 should be evicted")
+	}
+}
+
+func TestSetFrequencies(t *testing.T) {
+	p := MustNew(freqs)
+	if err := p.SetFrequencies([]float64{0.1, 0.2, 0.3, 0.4}); err != nil {
+		t.Fatal(err)
+	}
+	r := repo(t)
+	if got := p.ByteFreq(r.Clip(1)); got != 0.01 {
+		t.Fatalf("ByteFreq after update = %v", got)
+	}
+	if err := p.SetFrequencies([]float64{-1}); err == nil {
+		t.Fatal("invalid update should fail")
+	}
+	// Failed update must not clobber state.
+	if got := p.ByteFreq(r.Clip(1)); got != 0.01 {
+		t.Fatal("failed update mutated state")
+	}
+}
+
+func TestVictimTieBreak(t *testing.T) {
+	// Equal byte-freqs: prefer the larger clip, then lower id.
+	r, _ := media.NewRepository([]media.Clip{
+		{ID: 1, Size: 10},
+		{ID: 2, Size: 20},
+		{ID: 3, Size: 20},
+	})
+	p := MustNew([]float64{0.1, 0.2, 0.2}) // byte-freq .01, .01, .01
+	c, _ := core.New(r, 40, p)
+	c.Request(1)
+	c.Request(2)
+	victims := p.Victims(r.Clip(3), c, 10, 3)
+	if len(victims) == 0 || victims[0] != 2 {
+		t.Fatalf("victims = %v, want larger clip 2 first", victims)
+	}
+}
+
+func TestVariantAdmission(t *testing.T) {
+	v, err := NewVariant(freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := core.New(repo(t), 30, v)
+	v.Bind(c)
+	c.Request(1)
+	c.Request(2)
+	c.Request(4) // too large for capacity 30 -> MissTooLarge, not cached
+	// Cache holds clips 1,2 (20 bytes); 10 free.
+	out, _ := c.Request(3) // cold, but fits in free space -> admitted
+	if out != core.MissCached {
+		t.Fatalf("fitting clip should be admitted, got %v", out)
+	}
+	// Now full. A colder-than-everything clip must be bypassed. Clip 3 is
+	// resident; re-requesting is a hit. Build the scenario directly:
+	// construct fresh with tiny frequencies for incoming.
+	r2, _ := media.NewRepository([]media.Clip{
+		{ID: 1, Size: 10}, {ID: 2, Size: 10}, {ID: 3, Size: 10},
+	})
+	v2, _ := NewVariant([]float64{0.6, 0.39, 0.01})
+	c2, _ := core.New(r2, 20, v2)
+	v2.Bind(c2)
+	c2.Request(1)
+	c2.Request(2)
+	out, _ = c2.Request(3) // byte-freq 0.001 < min resident 0.039 -> bypass
+	if out != core.MissBypassed {
+		t.Fatalf("cold clip should be bypassed, got %v", out)
+	}
+	if c2.Resident(3) {
+		t.Fatal("bypassed clip must not be cached")
+	}
+	// A hot clip displaces a colder one.
+	v3, _ := NewVariant([]float64{0.1, 0.3, 0.6})
+	c3, _ := core.New(r2, 20, v3)
+	v3.Bind(c3)
+	c3.Request(1)
+	c3.Request(2)
+	out, _ = c3.Request(3)
+	if out != core.MissCached {
+		t.Fatalf("hot clip should displace, got %v", out)
+	}
+	if c3.Resident(1) {
+		t.Fatal("coldest clip 1 should be evicted")
+	}
+}
+
+func TestVariantUnboundAdmitsEverything(t *testing.T) {
+	v, _ := NewVariant(freqs)
+	if !v.Admit(media.Clip{ID: 3, Size: 10}, 1) {
+		t.Fatal("unbound variant must admit")
+	}
+}
+
+func TestHotWorkingSetConverges(t *testing.T) {
+	// Driving Simple with a stream favoring hot clips should end with the
+	// highest byte-freq clips resident.
+	r, _ := media.NewRepository([]media.Clip{
+		{ID: 1, Size: 10}, {ID: 2, Size: 10}, {ID: 3, Size: 10}, {ID: 4, Size: 10},
+	})
+	p := MustNew([]float64{0.4, 0.3, 0.2, 0.1})
+	c, _ := core.New(r, 20, p)
+	seq := []media.ClipID{4, 3, 2, 1, 4, 1, 2, 3, 1, 2}
+	for _, id := range seq {
+		if _, err := c.Request(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !c.Resident(1) || !c.Resident(2) {
+		t.Fatalf("hot clips should be resident; got %v", c.ResidentIDs())
+	}
+}
+
+func TestRecordAndLifecycleNoops(t *testing.T) {
+	p := MustNew(freqs)
+	// These must be safe no-ops.
+	p.Record(media.Clip{ID: 1, Size: 1}, 1, true)
+	p.OnInsert(media.Clip{ID: 1, Size: 1}, 1)
+	p.OnEvict(1, 1)
+	p.Reset()
+	if !p.Admit(media.Clip{ID: 1, Size: 1}, 1) {
+		t.Fatal("base Simple always admits")
+	}
+}

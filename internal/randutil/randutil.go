@@ -1,0 +1,135 @@
+// Package randutil provides a small, deterministic, splittable pseudo-random
+// number generator used throughout the simulator.
+//
+// The paper (footnote 5, Section 4.4) requires that "all random number
+// generators for the simulator are seeded, producing a deterministic sequence
+// of requests for all techniques". Every stochastic component in this
+// repository (workload generation, Random replacement, GreedyDual
+// tie-breaking) draws from an independent Source derived from a master seed,
+// so adding or removing one consumer never perturbs another.
+//
+// The generator is xoshiro256**, a public-domain algorithm by Blackman and
+// Vigna with a 2^256-1 period and excellent statistical quality. We implement
+// it locally rather than using math/rand so the request sequences embedded in
+// EXPERIMENTS.md stay stable across Go releases.
+package randutil
+
+import "math"
+
+// Source is a deterministic xoshiro256** pseudo-random number generator.
+// The zero value is not valid; use NewSource or Split.
+type Source struct {
+	s [4]uint64
+}
+
+// NewSource returns a Source seeded from seed using SplitMix64, following the
+// initialization procedure recommended by the xoshiro authors.
+func NewSource(seed uint64) *Source {
+	var src Source
+	sm := seed
+	for i := range src.s {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		src.s[i] = z ^ (z >> 31)
+	}
+	return &src
+}
+
+// Split derives an independent child generator from s. The child's stream is
+// decorrelated from the parent's by hashing a fresh draw together with label.
+// Use distinct labels for distinct consumers so streams never collide.
+func (s *Source) Split(label string) *Source {
+	h := uint64(1469598103934665603) // FNV-64 offset basis
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 1099511628211
+	}
+	return NewSource(s.Uint64() ^ h)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (s *Source) Uint64() uint64 {
+	result := rotl(s.s[1]*5, 7) * 9
+	t := s.s[1] << 17
+	s.s[2] ^= s.s[0]
+	s.s[3] ^= s.s[1]
+	s.s[1] ^= s.s[2]
+	s.s[0] ^= s.s[3]
+	s.s[2] ^= t
+	s.s[3] = rotl(s.s[3], 45)
+	return result
+}
+
+// Intn returns a uniform pseudo-random int in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("randutil: Intn called with n <= 0")
+	}
+	return int(s.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform pseudo-random uint64 in [0, n) using Lemire's
+// nearly-divisionless method. It panics if n == 0.
+func (s *Source) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("randutil: Uint64n called with n == 0")
+	}
+	// Rejection sampling on the high 64 bits of a 128-bit product keeps the
+	// result exactly uniform.
+	for {
+		v := s.Uint64()
+		hi, lo := mul64(v, n)
+		if lo >= n || lo >= (-n)%n {
+			return hi
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of x and y as (hi, lo).
+func mul64(x, y uint64) (hi, lo uint64) {
+	const mask = 1<<32 - 1
+	x0, x1 := x&mask, x>>32
+	y0, y1 := y&mask, y>>32
+	w0 := x0 * y0
+	t := x1*y0 + w0>>32
+	w1 := t&mask + x0*y1
+	hi = x1*y1 + t>>32 + w1>>32
+	lo = x * y
+	return hi, lo
+}
+
+// Float64 returns a uniform pseudo-random float64 in [0, 1).
+func (s *Source) Float64() float64 {
+	// 53 high-quality bits scaled to [0,1).
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Perm returns a pseudo-random permutation of [0, n) via Fisher–Yates.
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// NormFloat64 returns a standard normally distributed float64 using the
+// Box–Muller transform. Provided for workload extensions (think-time jitter).
+func (s *Source) NormFloat64() float64 {
+	for {
+		u := s.Float64()
+		if u == 0 {
+			continue
+		}
+		v := s.Float64()
+		return math.Sqrt(-2*math.Log(u)) * math.Cos(2*math.Pi*v)
+	}
+}

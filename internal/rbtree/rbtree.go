@@ -1,0 +1,329 @@
+// Package rbtree implements an ordered map as a left-leaning red-black
+// tree (Sedgewick's LLRB, 2-3 variant).
+//
+// The paper's Section 5 names efficient victim selection as future work:
+// "This may require tree-based data structures to minimize the complexity
+// of identifying a victim clip." This package is that substrate: the fast
+// LRU-SK implementation (policy/lrusk.Fast) keeps per-size-class trees of
+// resident clips ordered by their K-th-last reference time, giving
+// O(log n) insert/delete and O(1) minimum instead of an O(n) scan.
+//
+// The tree is deliberately dependency-free and generic so other index
+// structures (e.g. ordered priority snapshots) can reuse it.
+package rbtree
+
+// Tree is an ordered map from K to V. The zero value is not usable; create
+// trees with New.
+type Tree[K any, V any] struct {
+	less func(a, b K) bool
+	root *node[K, V]
+	size int
+}
+
+type color bool
+
+const (
+	red   color = true
+	black color = false
+)
+
+type node[K any, V any] struct {
+	key         K
+	value       V
+	left, right *node[K, V]
+	color       color
+}
+
+// New returns an empty tree ordered by less. less must define a strict weak
+// ordering; keys comparing equal in both directions are considered the same
+// key (inserts overwrite).
+func New[K any, V any](less func(a, b K) bool) *Tree[K, V] {
+	if less == nil {
+		panic("rbtree: less function must not be nil")
+	}
+	return &Tree[K, V]{less: less}
+}
+
+// Len returns the number of keys in the tree.
+func (t *Tree[K, V]) Len() int { return t.size }
+
+// Get returns the value stored under key.
+func (t *Tree[K, V]) Get(key K) (V, bool) {
+	n := t.root
+	for n != nil {
+		switch {
+		case t.less(key, n.key):
+			n = n.left
+		case t.less(n.key, key):
+			n = n.right
+		default:
+			return n.value, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Contains reports whether key is present.
+func (t *Tree[K, V]) Contains(key K) bool {
+	_, ok := t.Get(key)
+	return ok
+}
+
+// Min returns the smallest key and its value.
+func (t *Tree[K, V]) Min() (K, V, bool) {
+	if t.root == nil {
+		var zk K
+		var zv V
+		return zk, zv, false
+	}
+	n := t.root
+	for n.left != nil {
+		n = n.left
+	}
+	return n.key, n.value, true
+}
+
+// Max returns the largest key and its value.
+func (t *Tree[K, V]) Max() (K, V, bool) {
+	if t.root == nil {
+		var zk K
+		var zv V
+		return zk, zv, false
+	}
+	n := t.root
+	for n.right != nil {
+		n = n.right
+	}
+	return n.key, n.value, true
+}
+
+// Put inserts key with value, replacing any existing value for the key.
+func (t *Tree[K, V]) Put(key K, value V) {
+	var grew bool
+	t.root, grew = t.put(t.root, key, value)
+	t.root.color = black
+	if grew {
+		t.size++
+	}
+}
+
+func (t *Tree[K, V]) put(h *node[K, V], key K, value V) (*node[K, V], bool) {
+	if h == nil {
+		return &node[K, V]{key: key, value: value, color: red}, true
+	}
+	var grew bool
+	switch {
+	case t.less(key, h.key):
+		h.left, grew = t.put(h.left, key, value)
+	case t.less(h.key, key):
+		h.right, grew = t.put(h.right, key, value)
+	default:
+		h.value = value
+	}
+	return t.fixUp(h), grew
+}
+
+// Delete removes key, reporting whether it was present.
+func (t *Tree[K, V]) Delete(key K) bool {
+	if !t.Contains(key) {
+		return false
+	}
+	t.root = t.delete(t.root, key)
+	if t.root != nil {
+		t.root.color = black
+	}
+	t.size--
+	return true
+}
+
+// DeleteMin removes and returns the smallest key/value.
+func (t *Tree[K, V]) DeleteMin() (K, V, bool) {
+	k, v, ok := t.Min()
+	if !ok {
+		return k, v, false
+	}
+	t.root = t.deleteMin(t.root)
+	if t.root != nil {
+		t.root.color = black
+	}
+	t.size--
+	return k, v, true
+}
+
+func isRed[K any, V any](n *node[K, V]) bool { return n != nil && n.color == red }
+
+func rotateLeft[K any, V any](h *node[K, V]) *node[K, V] {
+	x := h.right
+	h.right = x.left
+	x.left = h
+	x.color = h.color
+	h.color = red
+	return x
+}
+
+func rotateRight[K any, V any](h *node[K, V]) *node[K, V] {
+	x := h.left
+	h.left = x.right
+	x.right = h
+	x.color = h.color
+	h.color = red
+	return x
+}
+
+func flipColors[K any, V any](h *node[K, V]) {
+	h.color = !h.color
+	h.left.color = !h.left.color
+	h.right.color = !h.right.color
+}
+
+func (t *Tree[K, V]) fixUp(h *node[K, V]) *node[K, V] {
+	if isRed(h.right) && !isRed(h.left) {
+		h = rotateLeft(h)
+	}
+	if isRed(h.left) && isRed(h.left.left) {
+		h = rotateRight(h)
+	}
+	if isRed(h.left) && isRed(h.right) {
+		flipColors(h)
+	}
+	return h
+}
+
+func moveRedLeft[K any, V any](h *node[K, V]) *node[K, V] {
+	flipColors(h)
+	if isRed(h.right.left) {
+		h.right = rotateRight(h.right)
+		h = rotateLeft(h)
+		flipColors(h)
+	}
+	return h
+}
+
+func moveRedRight[K any, V any](h *node[K, V]) *node[K, V] {
+	flipColors(h)
+	if isRed(h.left.left) {
+		h = rotateRight(h)
+		flipColors(h)
+	}
+	return h
+}
+
+func (t *Tree[K, V]) deleteMin(h *node[K, V]) *node[K, V] {
+	if h.left == nil {
+		return nil
+	}
+	if !isRed(h.left) && !isRed(h.left.left) {
+		h = moveRedLeft(h)
+	}
+	h.left = t.deleteMin(h.left)
+	return t.fixUp(h)
+}
+
+func (t *Tree[K, V]) delete(h *node[K, V], key K) *node[K, V] {
+	if t.less(key, h.key) {
+		if !isRed(h.left) && !isRed(h.left.left) {
+			h = moveRedLeft(h)
+		}
+		h.left = t.delete(h.left, key)
+	} else {
+		if isRed(h.left) {
+			h = rotateRight(h)
+		}
+		if !t.less(h.key, key) && h.right == nil {
+			return nil
+		}
+		if !isRed(h.right) && !isRed(h.right.left) {
+			h = moveRedRight(h)
+		}
+		if !t.less(h.key, key) {
+			// Replace with the successor and delete it from the right.
+			m := h.right
+			for m.left != nil {
+				m = m.left
+			}
+			h.key, h.value = m.key, m.value
+			h.right = t.deleteMin(h.right)
+		} else {
+			h.right = t.delete(h.right, key)
+		}
+	}
+	return t.fixUp(h)
+}
+
+// Ascend visits keys in ascending order until fn returns false.
+func (t *Tree[K, V]) Ascend(fn func(key K, value V) bool) {
+	t.ascend(t.root, fn)
+}
+
+func (t *Tree[K, V]) ascend(n *node[K, V], fn func(K, V) bool) bool {
+	if n == nil {
+		return true
+	}
+	if !t.ascend(n.left, fn) {
+		return false
+	}
+	if !fn(n.key, n.value) {
+		return false
+	}
+	return t.ascend(n.right, fn)
+}
+
+// Keys returns all keys in ascending order. Intended for tests and small
+// trees.
+func (t *Tree[K, V]) Keys() []K {
+	out := make([]K, 0, t.size)
+	t.Ascend(func(k K, _ V) bool {
+		out = append(out, k)
+		return true
+	})
+	return out
+}
+
+// checkInvariants verifies red-black properties; exported to the test
+// package through export_test.go.
+func (t *Tree[K, V]) checkInvariants() error {
+	if isRed(t.root) {
+		return errRootRed
+	}
+	_, err := check(t.root)
+	return err
+}
+
+type invariantError string
+
+func (e invariantError) Error() string { return string(e) }
+
+const (
+	errRootRed      = invariantError("rbtree: root is red")
+	errRightRed     = invariantError("rbtree: right-leaning red link")
+	errDoubleRed    = invariantError("rbtree: two red links in a row")
+	errBlackBalance = invariantError("rbtree: unbalanced black height")
+)
+
+func check[K any, V any](n *node[K, V]) (int, error) {
+	if n == nil {
+		return 1, nil
+	}
+	if isRed(n.right) {
+		return 0, errRightRed
+	}
+	if isRed(n) && isRed(n.left) {
+		return 0, errDoubleRed
+	}
+	lh, err := check(n.left)
+	if err != nil {
+		return 0, err
+	}
+	rh, err := check(n.right)
+	if err != nil {
+		return 0, err
+	}
+	if lh != rh {
+		return 0, errBlackBalance
+	}
+	if !isRed(n) {
+		lh++
+	}
+	return lh, nil
+}

@@ -1,0 +1,72 @@
+package sim
+
+import (
+	"mediacache/internal/core"
+	"mediacache/internal/media"
+	"mediacache/internal/policy/admission"
+	"mediacache/internal/policy/dynsimple"
+	"mediacache/internal/workload"
+	"mediacache/internal/zipf"
+)
+
+// AdmissionRatios is the (deliberately small) cache-size sweep of the
+// admission-control experiment, where churn pressure is highest.
+var AdmissionRatios = []float64{0.0125, 0.025, 0.05, 0.125}
+
+// Admission quantifies the Section 2 future-work scenario through the
+// two-touch admission filter: DYNSimple with and without the filter, hit
+// rate and byte hit rate, across small cache sizes. The measured outcome —
+// byte hit rate up, request hit rate slightly down — is the quantitative
+// case for the paper's assumption that every referenced clip is
+// materialized when hit rate is the objective (see package admission).
+func Admission(opt Options) (*Figure, error) {
+	opt = opt.withDefaults()
+	repo := media.PaperRepository()
+	dist, err := zipf.New(repo.N(), zipf.DefaultMean)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID:     "admission",
+		Title:  "Two-touch admission filter vs eager materialization (Section 2 future work)",
+		XLabel: "S_T/S_DB",
+		YLabel: "Rate (%)",
+	}
+	for _, wrap := range []bool{false, true} {
+		hit := Series{}
+		byteHit := Series{}
+		for _, ratio := range AdmissionRatios {
+			var p core.Policy
+			p, err := dynsimple.New(repo.N(), dynsimple.DefaultK)
+			if err != nil {
+				return nil, err
+			}
+			if wrap {
+				p, err = admission.Wrap(p, repo.N(), 0)
+				if err != nil {
+					return nil, err
+				}
+			}
+			if hit.Label == "" {
+				hit.Label = p.Name() + " [hit]"
+				byteHit.Label = p.Name() + " [byte]"
+			}
+			cache, err := core.New(repo, repo.CacheSizeForRatio(ratio), p)
+			if err != nil {
+				return nil, err
+			}
+			gen := workload.MustNewGenerator(dist, opt.Seed)
+			res, err := Run(p.Name(), cache, gen,
+				workload.Schedule{{Shift: 0, Requests: opt.Requests}}, RunConfig{})
+			if err != nil {
+				return nil, err
+			}
+			hit.X = append(hit.X, ratio)
+			hit.Y = append(hit.Y, res.Stats.HitRate())
+			byteHit.X = append(byteHit.X, ratio)
+			byteHit.Y = append(byteHit.Y, res.Stats.ByteHitRate())
+		}
+		fig.Series = append(fig.Series, hit, byteHit)
+	}
+	return fig, nil
+}

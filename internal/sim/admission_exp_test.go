@@ -1,0 +1,27 @@
+package sim
+
+import "testing"
+
+func TestAdmissionClaims(t *testing.T) {
+	fig, err := Admission(fastOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainHit := seriesByLabel(t, fig, "DYNSimple(K=2) [hit]")
+	plainByte := seriesByLabel(t, fig, "DYNSimple(K=2) [byte]")
+	wrapHit := seriesByLabel(t, fig, "DYNSimple(K=2)+2touch [hit]")
+	wrapByte := seriesByLabel(t, fig, "DYNSimple(K=2)+2touch [byte]")
+	for i := range plainHit.X {
+		// The filter trades request hits for byte hits (package admission's
+		// documented finding): byte hit rate up at every ratio...
+		if wrapByte.Y[i] <= plainByte.Y[i] {
+			t.Errorf("ratio %v: filtered byte hit %.4f <= plain %.4f",
+				plainHit.X[i], wrapByte.Y[i], plainByte.Y[i])
+		}
+		// ...at a bounded request-hit cost.
+		if plainHit.Y[i]-wrapHit.Y[i] > 0.06 {
+			t.Errorf("ratio %v: hit-rate cost too large (%.4f vs %.4f)",
+				plainHit.X[i], wrapHit.Y[i], plainHit.Y[i])
+		}
+	}
+}

@@ -1,0 +1,288 @@
+package sim
+
+// claims_test asserts the paper's qualitative findings as integration tests
+// over the actual experiment code. Request counts are reduced versus the
+// paper's 10,000 to keep the suite fast; the orderings are robust at this
+// scale.
+
+import (
+	"testing"
+)
+
+// fastOpt trims runs for CI speed while preserving the orderings.
+var fastOpt = Options{Seed: DefaultSeed, Requests: 4000}
+
+// seriesByLabel finds a series by prefix of its label.
+func seriesByLabel(t *testing.T, fig *Figure, prefix string) Series {
+	t.Helper()
+	for _, s := range fig.Series {
+		if len(s.Label) >= len(prefix) && s.Label[:len(prefix)] == prefix {
+			return s
+		}
+	}
+	t.Fatalf("figure %s has no series with prefix %q", fig.ID, prefix)
+	return Series{}
+}
+
+// meanY averages a series' Y values.
+func meanY(s Series) float64 {
+	var sum float64
+	for _, y := range s.Y {
+		sum += y
+	}
+	return sum / float64(len(s.Y))
+}
+
+func TestFigure2aClaims(t *testing.T) {
+	fig, err := Figure2a(fastOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simple := seriesByLabel(t, fig, "Simple")
+	lru2 := seriesByLabel(t, fig, "LRU-2")
+	gd := seriesByLabel(t, fig, "GreedyDual")
+	random := seriesByLabel(t, fig, "Random")
+	for i := range simple.X {
+		// "Simple provides the highest cache hit rate."
+		if simple.Y[i] < gd.Y[i] || simple.Y[i] < lru2.Y[i] || simple.Y[i] < random.Y[i] {
+			t.Errorf("ratio %v: Simple (%.3f) is not the highest", simple.X[i], simple.Y[i])
+		}
+		// "Both Simple and GreedyDual outperform LRU-2 because they consider
+		// size."
+		if gd.Y[i] <= lru2.Y[i] {
+			t.Errorf("ratio %v: GreedyDual (%.3f) <= LRU-2 (%.3f) on variable sizes",
+				gd.X[i], gd.Y[i], lru2.Y[i])
+		}
+		// Random is the yardstick floor.
+		if random.Y[i] > simple.Y[i] {
+			t.Errorf("ratio %v: Random beats Simple", random.X[i])
+		}
+	}
+	// Larger caches give higher hit rates (monotone in ratio).
+	for i := 1; i < len(simple.Y); i++ {
+		if simple.Y[i] < simple.Y[i-1] {
+			t.Errorf("Simple hit rate not monotone in cache size")
+		}
+		if random.Y[i] < random.Y[i-1] {
+			t.Errorf("Random hit rate not monotone in cache size")
+		}
+	}
+}
+
+func TestFigure2bClaims(t *testing.T) {
+	fig, err := Figure2b(fastOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simple := seriesByLabel(t, fig, "Simple")
+	lru2 := seriesByLabel(t, fig, "LRU-2")
+	// "LRU-2 provides competitive byte-hit rates. Except for S_T/S_DB=0.0125,
+	// Simple provides a higher byte-hit rate than LRU-2."
+	if simple.Y[0] >= lru2.Y[0] {
+		t.Errorf("at 0.0125 LRU-2 should edge out Simple on byte hit rate (got Simple %.3f vs LRU-2 %.3f)",
+			simple.Y[0], lru2.Y[0])
+	}
+	for i := 1; i < len(simple.Y); i++ {
+		if simple.Y[i] <= lru2.Y[i] {
+			t.Errorf("ratio %v: Simple byte-hit (%.3f) <= LRU-2 (%.3f)",
+				simple.X[i], simple.Y[i], lru2.Y[i])
+		}
+	}
+}
+
+func TestFigure3Claims(t *testing.T) {
+	fig, err := Figure3(fastOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lru2 := seriesByLabel(t, fig, "LRU-2")
+	gd := seriesByLabel(t, fig, "GreedyDual")
+	// "LRU-2 provides a higher cache hit rate than GreedyDual for a
+	// repository of equi-sized clips."
+	for i := range lru2.Y {
+		if lru2.Y[i] <= gd.Y[i] {
+			t.Errorf("ratio %v: LRU-2 (%.3f) <= GreedyDual (%.3f) on equi-sized clips",
+				lru2.X[i], lru2.Y[i], gd.Y[i])
+		}
+	}
+}
+
+func TestFigure5aClaims(t *testing.T) {
+	fig, err := Figure5a(fastOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn := seriesByLabel(t, fig, "DYNSimple")
+	igd := seriesByLabel(t, fig, "IGD")
+	gd := seriesByLabel(t, fig, "GreedyDual")
+	// "IGD ... hit rate is significantly higher than the original GreedyDual
+	// and comparable to DYNSimple" on equi-sized clips.
+	for i := range igd.Y {
+		if igd.Y[i] <= gd.Y[i] {
+			t.Errorf("ratio %v: IGD (%.3f) <= GreedyDual (%.3f)", igd.X[i], igd.Y[i], gd.Y[i])
+		}
+		if dyn.Y[i] <= gd.Y[i] {
+			t.Errorf("ratio %v: DYNSimple (%.3f) <= GreedyDual (%.3f)", dyn.X[i], dyn.Y[i], gd.Y[i])
+		}
+	}
+}
+
+func TestFigure5bClaims(t *testing.T) {
+	fig, err := Figure5b(fastOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn32 := seriesByLabel(t, fig, "DYNSimple(K=32)")
+	lrus2 := seriesByLabel(t, fig, "LRU-S2")
+	lru2 := seriesByLabel(t, fig, "LRU-2")
+	gd := seriesByLabel(t, fig, "GreedyDual")
+	for i := range dyn32.Y {
+		// "DYNSimple outperforms LRU-SK because DYNSimple employs K=32."
+		if dyn32.Y[i] <= lrus2.Y[i] {
+			t.Errorf("ratio %v: DYNSimple(32) (%.3f) <= LRU-S2 (%.3f)",
+				dyn32.X[i], dyn32.Y[i], lrus2.Y[i])
+		}
+		// "LRU-SK provides cache hit rates comparable with ... GreedyDual"
+		// and far above size-blind LRU-2.
+		if lrus2.Y[i] <= lru2.Y[i] {
+			t.Errorf("ratio %v: LRU-S2 (%.3f) <= LRU-2 (%.3f)",
+				lrus2.X[i], lrus2.Y[i], lru2.Y[i])
+		}
+		if gd.Y[i] <= lru2.Y[i] {
+			t.Errorf("ratio %v: GreedyDual (%.3f) <= LRU-2 (%.3f)",
+				gd.X[i], gd.Y[i], lru2.Y[i])
+		}
+	}
+}
+
+func TestFigure6aClaims(t *testing.T) {
+	fig, err := Figure6a(Options{Seed: DefaultSeed, Requests: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	simple := seriesByLabel(t, fig, "Simple")
+	dyn2 := seriesByLabel(t, fig, "DYNSimple(K=2)")
+	gd := seriesByLabel(t, fig, "GreedyDual")
+	// Simple (accurate frequencies) has the best average theoretical rate.
+	if meanY(simple) <= meanY(dyn2) {
+		t.Errorf("Simple mean %.3f <= DYNSimple(2) mean %.3f", meanY(simple), meanY(dyn2))
+	}
+	// DYNSimple beats GreedyDual consistently (Section 1: "DYNSimple
+	// outperforms GreedyDual consistently").
+	if meanY(dyn2) <= meanY(gd) {
+		t.Errorf("DYNSimple(2) mean %.3f <= GreedyDual mean %.3f", meanY(dyn2), meanY(gd))
+	}
+}
+
+func TestFigure7aClaims(t *testing.T) {
+	fig, err := Figure7a(Options{Seed: DefaultSeed, Requests: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	igd := seriesByLabel(t, fig, "IGD")
+	gdf := seriesByLabel(t, fig, "GreedyDual-Freq")
+	// "With different g values, IGD provides a higher average cache hit rate
+	// when compared with GreedyDual-Freq" — compare means over g > 0.
+	var igdSum, gdfSum float64
+	n := 0
+	for i := range igd.X {
+		if igd.X[i] > 0 {
+			igdSum += igd.Y[i]
+			gdfSum += gdf.Y[i]
+			n++
+		}
+	}
+	if n == 0 || igdSum/float64(n) <= gdfSum/float64(n) {
+		t.Errorf("IGD mean %.4f <= GreedyDual-Freq mean %.4f over g>0",
+			igdSum/float64(n), gdfSum/float64(n))
+	}
+}
+
+func TestFigure6bTransient(t *testing.T) {
+	fig, err := Figure6b(Options{Seed: DefaultSeed, Requests: DefaultRequests})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every technique drops sharply at request 20,000 when g flips 200->300.
+	for _, s := range fig.Series {
+		var before, after float64
+		for i := range s.X {
+			if s.X[i] == 20000 {
+				before = s.Y[i]
+			}
+			if s.X[i] == 20100 {
+				after = s.Y[i]
+			}
+		}
+		if before == 0 || after == 0 {
+			t.Fatalf("series %s missing samples around the shift", s.Label)
+		}
+		if after >= before {
+			t.Errorf("series %s shows no drop at the shift (%.3f -> %.3f)", s.Label, before, after)
+		}
+	}
+	// Simple recovers fastest: within a few hundred requests it is back
+	// near its pre-shift level.
+	simple := seriesByLabel(t, fig, "Simple")
+	var pre, recovered float64
+	for i := range simple.X {
+		if simple.X[i] == 20000 {
+			pre = simple.Y[i]
+		}
+		if simple.X[i] == 20500 {
+			recovered = simple.Y[i]
+		}
+	}
+	if recovered < pre-0.03 {
+		t.Errorf("Simple did not recover within 500 requests (%.3f vs pre %.3f)", recovered, pre)
+	}
+}
+
+func TestQualityClaims(t *testing.T) {
+	fig, err := Quality(Options{Seed: DefaultSeed, Requests: DefaultRequests})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := fig.Series[0]
+	// "A higher value of K improves the quality of estimated values":
+	// E(K=2) must exceed E at the largest Ks clearly.
+	first := s.Y[0]
+	last := s.Y[len(s.Y)-1]
+	if first <= last {
+		t.Errorf("E(K=2)=%.4g not worse than E(K=%v)=%.4g", first, s.X[len(s.X)-1], last)
+	}
+	if first/last < 2 {
+		t.Errorf("expected a clear (>2x) quality improvement, got %.2fx", first/last)
+	}
+}
+
+func TestSkewClaims(t *testing.T) {
+	fig, err := Skew(fastOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn := seriesByLabel(t, fig, "DYNSimple")
+	gd := seriesByLabel(t, fig, "GreedyDual")
+	// "With a more uniform distribution of access, DYNSimple outperforms the
+	// other techniques by a wider margin": the DYNSimple-GD gap at theta=1
+	// exceeds the gap at theta=0.
+	gapSkewed := dyn.Y[0] - gd.Y[0]
+	gapUniform := dyn.Y[len(dyn.Y)-1] - gd.Y[len(gd.Y)-1]
+	if gapUniform <= gapSkewed {
+		t.Errorf("DYNSimple margin did not widen: skewed gap %.4f vs uniform gap %.4f",
+			gapSkewed, gapUniform)
+	}
+}
+
+func TestRefinementAblation(t *testing.T) {
+	fig, err := Refinement(fastOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	with := seriesByLabel(t, fig, "DYNSimple(K=2)")
+	without := seriesByLabel(t, fig, "DYNSimple(K=2,no-refine)")
+	// Refinement must not hurt on average.
+	if meanY(with) < meanY(without)-0.005 {
+		t.Errorf("refinement hurts: %.4f vs %.4f", meanY(with), meanY(without))
+	}
+}

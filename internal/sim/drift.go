@@ -1,0 +1,60 @@
+package sim
+
+import (
+	"mediacache/internal/media"
+	"mediacache/internal/workload"
+	"mediacache/internal/zipf"
+)
+
+// DriftPeriods is the drift-speed sweep of the Drift extension experiment:
+// the identity shift advances by one every period requests, so smaller
+// periods mean faster churn.
+var DriftPeriods = []int{10, 25, 50, 100, 250}
+
+// Drift is an extension beyond the paper's abrupt-shift experiments
+// (Section 4.4.1): popularity drifts continuously, one identity step every
+// period requests. It measures the observed hit rate of the adaptive
+// techniques as a function of drift speed. Techniques with long memories
+// (DYNSimple K=32, GreedyDual-Freq) chase a stale target under fast drift;
+// short-memory techniques (DYNSimple K=2, LRU-S2) degrade most gracefully.
+func Drift(opt Options) (*Figure, error) {
+	opt = opt.withDefaults()
+	repo := media.PaperRepository()
+	dist, err := zipf.New(repo.N(), zipf.DefaultMean)
+	if err != nil {
+		return nil, err
+	}
+	capacity := repo.CacheSizeForRatio(RatioFigure6)
+	fig := &Figure{
+		ID:     "drift",
+		Title:  "Observed hit rate under continuous popularity drift (extension)",
+		XLabel: "Drift period (requests per identity step; smaller = faster drift)",
+		YLabel: "Cache hit rate (%)",
+	}
+	specs := []string{"dynsimple:2", "dynsimple:32", "igd:2", "lrusk:2", "gdfreq", "greedydual"}
+	for _, spec := range specs {
+		s := Series{}
+		for _, period := range DriftPeriods {
+			gen, err := workload.NewDrifting(dist, opt.Seed, period)
+			if err != nil {
+				return nil, err
+			}
+			cache, err := NewCache(spec, repo, capacity, nil, opt.Seed)
+			if err != nil {
+				return nil, err
+			}
+			if s.Label == "" {
+				s.Label = cache.Policy().Name()
+			}
+			for i := 0; i < opt.Requests; i++ {
+				if _, err := cache.Request(gen.Next()); err != nil {
+					return nil, err
+				}
+			}
+			s.X = append(s.X, float64(period))
+			s.Y = append(s.Y, cache.Stats().HitRate())
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}

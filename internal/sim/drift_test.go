@@ -1,0 +1,31 @@
+package sim
+
+import "testing"
+
+func TestDriftClaims(t *testing.T) {
+	fig, err := Drift(Options{Seed: DefaultSeed, Requests: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn2 := seriesByLabel(t, fig, "DYNSimple(K=2)")
+	dyn32 := seriesByLabel(t, fig, "DYNSimple(K=32)")
+	// Short memory beats long memory under the fastest drift.
+	if dyn2.Y[0] <= dyn32.Y[0] {
+		t.Errorf("fastest drift: DYNSimple(2) %.3f <= DYNSimple(32) %.3f", dyn2.Y[0], dyn32.Y[0])
+	}
+	// Slower drift helps everyone: each series should trend upward from the
+	// fastest to the slowest period.
+	for _, s := range fig.Series {
+		first, last := s.Y[0], s.Y[len(s.Y)-1]
+		if last <= first-0.01 {
+			t.Errorf("%s: hit rate should improve as drift slows (%.3f -> %.3f)",
+				s.Label, first, last)
+		}
+	}
+	// The long-memory technique gains the most from slowing drift.
+	gain32 := dyn32.Y[len(dyn32.Y)-1] - dyn32.Y[0]
+	gain2 := dyn2.Y[len(dyn2.Y)-1] - dyn2.Y[0]
+	if gain32 <= gain2 {
+		t.Errorf("DYNSimple(32) should gain more from slow drift: %.3f vs %.3f", gain32, gain2)
+	}
+}

@@ -1,0 +1,613 @@
+package sim
+
+import (
+	"fmt"
+
+	"mediacache/internal/core"
+	"mediacache/internal/history"
+	"mediacache/internal/media"
+	"mediacache/internal/policy/blocklru"
+	"mediacache/internal/policy/dynsimple"
+	"mediacache/internal/policy/simple"
+	"mediacache/internal/vtime"
+	"mediacache/internal/workload"
+	"mediacache/internal/zipf"
+)
+
+// vt converts a request counter to a virtual time.
+func vt(n int64) vtime.Time { return vtime.Time(n) }
+
+// Experiment defaults, matching Section 3.3: 10,000 requests against the
+// 576-clip repository under Zipf(θ=0.27), all generators seeded.
+const (
+	DefaultSeed     uint64 = 42
+	DefaultRequests        = 10000
+)
+
+// Cache-size ratios (S_T/S_DB) used by the figures.
+var (
+	// RatiosFigure2 is the x-axis of Figures 2 and 3.
+	RatiosFigure2 = []float64{0.0125, 0.1, 0.2, 0.3, 0.5, 0.75}
+	// RatiosFigure5 is the x-axis of Figure 5.
+	RatiosFigure5 = []float64{0.025, 0.05, 0.1, 0.15, 0.2, 0.25}
+	// ShiftsFigure6 is the shift-id sweep of Figures 6.a and 7.a.
+	ShiftsFigure6 = []int{0, 100, 200, 300, 400, 500}
+	// RatioFigure6 is the fixed S_T/S_DB of Figures 6 and 7.
+	RatioFigure6 = 0.125
+)
+
+// Series is one labeled curve of a figure: Y[i] corresponds to X[i].
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Figure is a reproduced table/figure: a set of series over a shared axis.
+type Figure struct {
+	ID     string // e.g. "2a"
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Options configures an experiment run.
+type Options struct {
+	Seed     uint64
+	Requests int
+}
+
+// withDefaults fills unset fields.
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = DefaultSeed
+	}
+	if o.Requests == 0 {
+		o.Requests = DefaultRequests
+	}
+	return o
+}
+
+// metric selects what a sweep records.
+type metric int
+
+const (
+	metricHitRate metric = iota
+	metricByteHitRate
+)
+
+// sweepRatios runs each policy spec across cache-size ratios on repo and
+// returns one series per spec. Every (spec, ratio) cell uses a fresh cache
+// and an identically seeded generator, per the paper's footnote 5.
+func sweepRatios(repo *media.Repository, specs []string, ratios []float64, m metric, opt Options) ([]Series, error) {
+	opt = opt.withDefaults()
+	dist, err := zipf.New(repo.N(), zipf.DefaultMean)
+	if err != nil {
+		return nil, err
+	}
+	pmf := workload.MustNewGenerator(dist, opt.Seed).PMF()
+	series := make([]Series, 0, len(specs))
+	for _, spec := range specs {
+		s := Series{}
+		for _, ratio := range ratios {
+			cache, err := NewCache(spec, repo, repo.CacheSizeForRatio(ratio), pmf, opt.Seed)
+			if err != nil {
+				return nil, fmt.Errorf("building %q at ratio %v: %w", spec, ratio, err)
+			}
+			if s.Label == "" {
+				s.Label = cache.Policy().Name()
+			}
+			gen := workload.MustNewGenerator(dist, opt.Seed)
+			res, err := Run(cache.Policy().Name(), cache, gen,
+				workload.Schedule{{Shift: 0, Requests: opt.Requests}}, RunConfig{})
+			if err != nil {
+				return nil, err
+			}
+			s.X = append(s.X, ratio)
+			switch m {
+			case metricByteHitRate:
+				s.Y = append(s.Y, res.Stats.ByteHitRate())
+			default:
+				s.Y = append(s.Y, res.Stats.HitRate())
+			}
+		}
+		series = append(series, s)
+	}
+	return series, nil
+}
+
+// Figure2a reproduces Figure 2.a: cache hit rate of Simple, LRU-2,
+// GreedyDual and Random on the 576-clip variable-size repository.
+func Figure2a(opt Options) (*Figure, error) {
+	series, err := sweepRatios(media.PaperRepository(),
+		[]string{"simple", "lruk:2", "greedydual", "random"},
+		RatiosFigure2, metricHitRate, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		ID:     "2a",
+		Title:  "Cache hit rate, variable-sized clips (Simple vs LRU-2 vs GreedyDual vs Random)",
+		XLabel: "S_T/S_DB",
+		YLabel: "Cache hit rate (%)",
+		Series: series,
+	}, nil
+}
+
+// Figure2b reproduces Figure 2.b: byte hit rate of the same techniques.
+func Figure2b(opt Options) (*Figure, error) {
+	series, err := sweepRatios(media.PaperRepository(),
+		[]string{"simple", "lruk:2", "greedydual", "random"},
+		RatiosFigure2, metricByteHitRate, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		ID:     "2b",
+		Title:  "Cache byte hit rate, variable-sized clips",
+		XLabel: "S_T/S_DB",
+		YLabel: "Byte hit rate (%)",
+		Series: series,
+	}, nil
+}
+
+// Figure3 reproduces Figure 3: LRU-2 vs GreedyDual on equi-sized clips,
+// where GreedyDual's size-only priorities degenerate to coin flips.
+func Figure3(opt Options) (*Figure, error) {
+	series, err := sweepRatios(media.PaperEquiRepository(),
+		[]string{"lruk:2", "greedydual"},
+		RatiosFigure2, metricHitRate, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		ID:     "3",
+		Title:  "Cache hit rate, equi-sized clips (LRU-2 vs GreedyDual)",
+		XLabel: "S_T/S_DB",
+		YLabel: "Cache hit rate (%)",
+		Series: series,
+	}, nil
+}
+
+// Figure5a reproduces Figure 5.a: DYNSimple, IGD, LRU-2 and GreedyDual on
+// the equi-sized repository.
+func Figure5a(opt Options) (*Figure, error) {
+	series, err := sweepRatios(media.PaperEquiRepository(),
+		[]string{"dynsimple:2", "igd:2", "lruk:2", "greedydual"},
+		RatiosFigure5, metricHitRate, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		ID:     "5a",
+		Title:  "Cache hit rate, equi-sized clips (new techniques)",
+		XLabel: "S_T/S_DB",
+		YLabel: "Cache hit rate (%)",
+		Series: series,
+	}, nil
+}
+
+// Figure5b reproduces Figure 5.b: DYNSimple(K=32), LRU-S2, LRU-2 and
+// GreedyDual on the variable-size repository. The paper runs DYNSimple with
+// K=32 here ("DYNSimple employs K=32 references ... while K is 2 with
+// LRU-SK").
+func Figure5b(opt Options) (*Figure, error) {
+	series, err := sweepRatios(media.PaperRepository(),
+		[]string{"dynsimple:32", "lrusk:2", "lruk:2", "greedydual"},
+		RatiosFigure5, metricHitRate, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		ID:     "5b",
+		Title:  "Cache hit rate, variable-sized clips (new techniques)",
+		XLabel: "S_T/S_DB",
+		YLabel: "Cache hit rate (%)",
+		Series: series,
+	}, nil
+}
+
+// shiftPolicies are the Figure 6 technique specs.
+var shiftPolicies = []string{"simple", "dynsimple:2", "dynsimple:32", "lrusk:2", "igd:2", "greedydual"}
+
+// Figure6a reproduces Figure 6.a: the theoretical cache hit rate after
+// 10,000 requests at each shift value, S_T/S_DB = 0.125. The shifts are
+// visited cumulatively in one continuous run (g = 0, 100, …, 500, each for
+// 10,000 requests) so that each phase starts with the cache polluted by the
+// previous distribution's hot set — this is what exposes the adaptation
+// differences the paper reports (e.g. GreedyDual-Freq falling below plain
+// GreedyDual for g > 0 in Figure 7.a).
+func Figure6a(opt Options) (*Figure, error) {
+	return shiftSweep("6a",
+		"Theoretical cache hit rate vs shift id (Simple, DYNSimple, LRU-SK, IGD, GreedyDual)",
+		shiftPolicies, opt)
+}
+
+// Figure7a reproduces Figure 7.a: IGD vs GreedyDual vs GreedyDual-Freq
+// across shift values.
+func Figure7a(opt Options) (*Figure, error) {
+	return shiftSweep("7a",
+		"Theoretical cache hit rate vs shift id (IGD vs GreedyDual vs GreedyDual-Freq)",
+		[]string{"igd:2", "greedydual", "gdfreq"}, opt)
+}
+
+// shiftSweep runs each spec through one continuous schedule visiting every
+// shift value for opt.Requests requests, recording the theoretical hit rate
+// at the end of each phase.
+func shiftSweep(id, title string, specs []string, opt Options) (*Figure, error) {
+	opt = opt.withDefaults()
+	repo := media.PaperRepository()
+	dist, err := zipf.New(repo.N(), zipf.DefaultMean)
+	if err != nil {
+		return nil, err
+	}
+	capacity := repo.CacheSizeForRatio(RatioFigure6)
+	fig := &Figure{
+		ID:     id,
+		Title:  title,
+		XLabel: "Shift ID (g)",
+		YLabel: "Theoretical cache hit rate (%)",
+	}
+	sched := make(workload.Schedule, len(ShiftsFigure6))
+	for i, g := range ShiftsFigure6 {
+		sched[i] = workload.Phase{Shift: g, Requests: opt.Requests}
+	}
+	// Sample the theoretical rate every 100 requests and report the average
+	// across each phase: Figure 7.a compares the "average cache hit rate"
+	// per shift value, which is what separates fast adapters (IGD) from slow
+	// ones (GreedyDual-Freq) — an endpoint sample would hide the transient.
+	const window = 100
+	windowsPerPhase := opt.Requests / window
+	if windowsPerPhase == 0 {
+		windowsPerPhase = 1
+	}
+	for _, spec := range specs {
+		gen := workload.MustNewGenerator(dist, opt.Seed)
+		cache, err := NewCache(spec, repo, capacity, gen.PMF(), opt.Seed)
+		if err != nil {
+			return nil, err
+		}
+		cfg := RunConfig{WindowSize: window, OnPhaseStart: simpleUpdater(cache)}
+		res, err := Run(cache.Policy().Name(), cache, gen, sched, cfg)
+		if err != nil {
+			return nil, err
+		}
+		s := Series{Label: cache.Policy().Name()}
+		for i, g := range ShiftsFigure6 {
+			lo := i * windowsPerPhase
+			hi := lo + windowsPerPhase
+			if hi > len(res.Windows) {
+				hi = len(res.Windows)
+			}
+			if lo >= hi {
+				break
+			}
+			var sum float64
+			for _, w := range res.Windows[lo:hi] {
+				sum += w.Theoretical
+			}
+			s.X = append(s.X, float64(g))
+			s.Y = append(s.Y, sum/float64(hi-lo))
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// simpleUpdater returns an OnPhaseStart hook that hands the off-line Simple
+// technique the accurate frequencies of each new phase's distribution, as
+// Section 4.4.1 prescribes. Other policies ignore the hook.
+func simpleUpdater(cache *core.Cache) func(workload.Phase, []float64) {
+	switch p := cache.Policy().(type) {
+	case *simple.Policy:
+		return func(_ workload.Phase, pmf []float64) { _ = p.SetFrequencies(pmf) }
+	case *simple.Variant:
+		return func(_ workload.Phase, pmf []float64) { _ = p.SetFrequencies(pmf) }
+	default:
+		return nil
+	}
+}
+
+// Figure6b reproduces Figure 6.b: the transient response to a shift change.
+// The workload issues 20,000 requests at g=200 followed by 10,000 at g=300;
+// the theoretical hit rate is sampled every 100 requests. The figure's
+// x-axis covers requests 10,000–30,000 with the drop at 20,000.
+func Figure6b(opt Options) (*Figure, error) {
+	opt = opt.withDefaults()
+	// Phase lengths scale with opt.Requests; the default 10,000 reproduces
+	// the paper's 20,000 + 10,000 protocol with the drop at request 20,000.
+	return transient("6b",
+		"Theoretical cache hit rate every 100 requests across a g=200 to g=300 shift",
+		shiftPolicies,
+		workload.Schedule{{Shift: 200, Requests: 2 * opt.Requests}, {Shift: 300, Requests: opt.Requests}},
+		opt)
+}
+
+// Figure7b reproduces Figure 7.b: IGD vs GreedyDual vs GreedyDual-Freq
+// transients. The workload issues 10,000 requests at g=0, then 10,000 at
+// g=200 (the paper fixes S_T/S_DB = 0.125 and changes g at request 10,000;
+// the destination shift value is our documented choice).
+func Figure7b(opt Options) (*Figure, error) {
+	opt = opt.withDefaults()
+	return transient("7b",
+		"Theoretical cache hit rate every 100 requests across a g=0 to g=200 shift",
+		[]string{"igd:2", "greedydual", "gdfreq"},
+		workload.Schedule{{Shift: 0, Requests: opt.Requests}, {Shift: 200, Requests: opt.Requests}},
+		opt)
+}
+
+// transient runs each spec through sched sampling windows of 100 requests;
+// X is the request id, Y the theoretical hit rate.
+func transient(id, title string, specs []string, sched workload.Schedule, opt Options) (*Figure, error) {
+	opt = opt.withDefaults()
+	repo := media.PaperRepository()
+	dist, err := zipf.New(repo.N(), zipf.DefaultMean)
+	if err != nil {
+		return nil, err
+	}
+	capacity := repo.CacheSizeForRatio(RatioFigure6)
+	fig := &Figure{
+		ID:     id,
+		Title:  title,
+		XLabel: "Request ID",
+		YLabel: "Theoretical cache hit rate (%)",
+	}
+	for _, spec := range specs {
+		gen := workload.MustNewGenerator(dist, opt.Seed)
+		if err := gen.SetShift(sched[0].Shift); err != nil {
+			return nil, err
+		}
+		cache, err := NewCache(spec, repo, capacity, gen.PMF(), opt.Seed)
+		if err != nil {
+			return nil, err
+		}
+		cfg := RunConfig{WindowSize: 100, OnPhaseStart: simpleUpdater(cache)}
+		res, err := Run(cache.Policy().Name(), cache, gen, sched, cfg)
+		if err != nil {
+			return nil, err
+		}
+		s := Series{Label: cache.Policy().Name()}
+		for _, w := range res.Windows {
+			s.X = append(s.X, float64(w.EndRequest))
+			s.Y = append(s.Y, w.Theoretical)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// QualityKs is the history-depth sweep of the Section 4.1 estimate-quality
+// study.
+var QualityKs = []int{2, 4, 8, 16, 32, 60}
+
+// Quality reproduces the Section 4.1 measurement: the estimate-quality
+// metric E = sqrt(Σ (f̂_i − f_i)²) as a function of K, after opt.Requests
+// references to the 576-clip repository. The paper reports E improving from
+// 0.006 (K=2) to 0.0006 (K=60).
+func Quality(opt Options) (*Figure, error) {
+	opt = opt.withDefaults()
+	repo := media.PaperRepository()
+	dist, err := zipf.New(repo.N(), zipf.DefaultMean)
+	if err != nil {
+		return nil, err
+	}
+	s := Series{Label: "E(K)"}
+	for _, k := range QualityKs {
+		gen := workload.MustNewGenerator(dist, opt.Seed)
+		truth := gen.PMF()
+		tracker := history.NewTracker(repo.N(), k)
+		var now int64
+		for i := 0; i < opt.Requests; i++ {
+			now++
+			tracker.Observe(gen.Next(), vt(now))
+		}
+		est := tracker.EstimatedFrequencies(vt(now))
+		s.X = append(s.X, float64(k))
+		s.Y = append(s.Y, history.Quality(est, truth))
+	}
+	return &Figure{
+		ID:     "quality",
+		Title:  "Frequency-estimate quality E vs history depth K (Section 4.1)",
+		XLabel: "K",
+		YLabel: "E = sqrt(sum (est-true)^2)",
+		Series: []Series{s},
+	}, nil
+}
+
+// SkewMeans is the Zipf-mean sweep of the Section 4.4 skew study (θ=0 is
+// the most skewed, θ=1 uniform).
+var SkewMeans = []float64{0, 0.27, 0.5, 0.75, 1.0}
+
+// Skew reproduces the closing Section 4.4 observation: with a more skewed
+// pattern the techniques converge; with a more uniform one DYNSimple wins by
+// a wider margin. Hit rate at S_T/S_DB = 0.125 on the variable repository.
+func Skew(opt Options) (*Figure, error) {
+	opt = opt.withDefaults()
+	repo := media.PaperRepository()
+	capacity := repo.CacheSizeForRatio(RatioFigure6)
+	specs := []string{"dynsimple:2", "igd:2", "lrusk:2", "greedydual", "lruk:2"}
+	fig := &Figure{
+		ID:     "skew",
+		Title:  "Cache hit rate vs Zipf mean (Section 4.4 skew sweep)",
+		XLabel: "Zipf mean (theta)",
+		YLabel: "Cache hit rate (%)",
+	}
+	for _, spec := range specs {
+		s := Series{}
+		for _, mean := range SkewMeans {
+			dist, err := zipf.New(repo.N(), mean)
+			if err != nil {
+				return nil, err
+			}
+			gen := workload.MustNewGenerator(dist, opt.Seed)
+			cache, err := NewCache(spec, repo, capacity, gen.PMF(), opt.Seed)
+			if err != nil {
+				return nil, err
+			}
+			if s.Label == "" {
+				s.Label = cache.Policy().Name()
+			}
+			res, err := Run(cache.Policy().Name(), cache, gen,
+				workload.Schedule{{Shift: 0, Requests: opt.Requests}}, RunConfig{})
+			if err != nil {
+				return nil, err
+			}
+			s.X = append(s.X, mean)
+			s.Y = append(s.Y, res.Stats.HitRate())
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// BlockSizes is the block-size sweep of the footnote 3 ablation.
+var BlockSizes = []media.Bytes{media.MB, 8 * media.MB, 64 * media.MB, 256 * media.MB, media.GB}
+
+// Blocks reproduces the footnote 3 / Figure 5.a discussion: a block-
+// partitioned LRU-2 cache across block sizes, against DYNSimple and IGD
+// reference points, on the variable repository at S_T/S_DB = 0.125.
+func Blocks(opt Options) (*Figure, error) {
+	opt = opt.withDefaults()
+	repo := media.PaperRepository()
+	capacity := repo.CacheSizeForRatio(RatioFigure6)
+	dist, err := zipf.New(repo.N(), zipf.DefaultMean)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID:     "blocks",
+		Title:  "Block-partitioned LRU-2 vs DYNSimple/IGD (footnote 3 ablation)",
+		XLabel: "Block size (bytes)",
+		YLabel: "Cache hit rate (%)",
+	}
+	blockSeries := Series{Label: "Block-LRU-2"}
+	for _, bs := range BlockSizes {
+		cache, err := blocklru.New(repo, capacity, bs, 2)
+		if err != nil {
+			return nil, err
+		}
+		gen := workload.MustNewGenerator(dist, opt.Seed)
+		res, err := Run(cache.Name(), cache, gen,
+			workload.Schedule{{Shift: 0, Requests: opt.Requests}}, RunConfig{})
+		if err != nil {
+			return nil, err
+		}
+		blockSeries.X = append(blockSeries.X, float64(bs))
+		blockSeries.Y = append(blockSeries.Y, res.Stats.HitRate())
+	}
+	fig.Series = append(fig.Series, blockSeries)
+	// Flat reference lines for the clip-grained techniques.
+	for _, spec := range []string{"dynsimple:2", "igd:2"} {
+		cache, err := NewCache(spec, repo, capacity, nil, opt.Seed)
+		if err != nil {
+			return nil, err
+		}
+		gen := workload.MustNewGenerator(dist, opt.Seed)
+		res, err := Run(cache.Policy().Name(), cache, gen,
+			workload.Schedule{{Shift: 0, Requests: opt.Requests}}, RunConfig{})
+		if err != nil {
+			return nil, err
+		}
+		s := Series{Label: cache.Policy().Name()}
+		for _, bs := range BlockSizes {
+			s.X = append(s.X, float64(bs))
+			s.Y = append(s.Y, res.Stats.HitRate())
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Refinement is the DYNSimple victim-refinement ablation (DESIGN.md §6.1):
+// Figure 4's phase-2 size-descending eviction versus plain ascending
+// byte-freq order, across the Figure 5.b ratios.
+func Refinement(opt Options) (*Figure, error) {
+	opt = opt.withDefaults()
+	repo := media.PaperRepository()
+	dist, err := zipf.New(repo.N(), zipf.DefaultMean)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID:     "refinement",
+		Title:  "DYNSimple victim refinement ablation (Figure 4 phase 2)",
+		XLabel: "S_T/S_DB",
+		YLabel: "Cache hit rate (%)",
+	}
+	build := func(opts ...dynsimple.Option) (*Series, error) {
+		s := &Series{}
+		for _, ratio := range RatiosFigure5 {
+			p, err := dynsimple.New(repo.N(), 2, opts...)
+			if err != nil {
+				return nil, err
+			}
+			cache, err := core.New(repo, repo.CacheSizeForRatio(ratio), p)
+			if err != nil {
+				return nil, err
+			}
+			if s.Label == "" {
+				s.Label = p.Name()
+			}
+			gen := workload.MustNewGenerator(dist, opt.Seed)
+			res, err := Run(p.Name(), cache, gen,
+				workload.Schedule{{Shift: 0, Requests: opt.Requests}}, RunConfig{})
+			if err != nil {
+				return nil, err
+			}
+			s.X = append(s.X, ratio)
+			s.Y = append(s.Y, res.Stats.HitRate())
+		}
+		return s, nil
+	}
+	withRef, err := build()
+	if err != nil {
+		return nil, err
+	}
+	withoutRef, err := build(dynsimple.WithoutRefinement())
+	if err != nil {
+		return nil, err
+	}
+	fig.Series = []Series{*withRef, *withoutRef}
+	return fig, nil
+}
+
+// Experiments maps experiment ids to their functions, in presentation order.
+var Experiments = []struct {
+	ID  string
+	Run func(Options) (*Figure, error)
+}{
+	{"2a", Figure2a},
+	{"2b", Figure2b},
+	{"3", Figure3},
+	{"5a", Figure5a},
+	{"5b", Figure5b},
+	{"6a", Figure6a},
+	{"6b", Figure6b},
+	{"7a", Figure7a},
+	{"7b", Figure7b},
+	{"quality", Quality},
+	{"skew", Skew},
+	{"blocks", Blocks},
+	{"refinement", Refinement},
+	// Extensions beyond the paper's figures (see extensions.go).
+	{"gdsp", GDSPTradeoff},
+	{"latency", Latency},
+	{"region", Region},
+	{"taxonomy", Taxonomy},
+	{"coop", Coop},
+	{"fiverule", FiveRule},
+	{"drift", Drift},
+	{"admission", Admission},
+	{"optimal", Optimal},
+}
+
+// ByID returns the experiment function registered under id.
+func ByID(id string) (func(Options) (*Figure, error), bool) {
+	for _, e := range Experiments {
+		if e.ID == id {
+			return e.Run, true
+		}
+	}
+	return nil, false
+}

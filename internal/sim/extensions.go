@@ -1,0 +1,243 @@
+package sim
+
+// extensions.go defines experiments that go beyond the paper's figures:
+// the GDS-Popularity trade-off the paper mentions in passing (Section 1),
+// the service-quality metrics of Section 1 (startup latency, region
+// throughput), the full greedy-technique taxonomy at the standard operating
+// point, and the Section 5 tree-based-implementation speed comparison.
+
+import (
+	"fmt"
+
+	"mediacache/internal/media"
+	"mediacache/internal/netsim"
+	"mediacache/internal/workload"
+	"mediacache/internal/zipf"
+)
+
+// GDSPTradeoff quantifies the Section 1 remark that GDS-Popularity
+// "enhances byte hit rate at the expense of cache hit rate": for each
+// cache ratio it reports hit rate and byte hit rate for GDSP, GreedyDual
+// and IGD. Series labels carry a [hit] / [byte] suffix.
+func GDSPTradeoff(opt Options) (*Figure, error) {
+	opt = opt.withDefaults()
+	repo := media.PaperRepository()
+	dist, err := zipf.New(repo.N(), zipf.DefaultMean)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID:     "gdsp",
+		Title:  "GDS-Popularity trade-off: byte hit rate up, hit rate down (Section 1 remark)",
+		XLabel: "S_T/S_DB",
+		YLabel: "Rate (%)",
+	}
+	for _, spec := range []string{"gdsp", "greedydual", "igd:2"} {
+		hitSeries := Series{}
+		byteSeries := Series{}
+		for _, ratio := range RatiosFigure5 {
+			cache, err := NewCache(spec, repo, repo.CacheSizeForRatio(ratio), nil, opt.Seed)
+			if err != nil {
+				return nil, err
+			}
+			if hitSeries.Label == "" {
+				hitSeries.Label = cache.Policy().Name() + " [hit]"
+				byteSeries.Label = cache.Policy().Name() + " [byte]"
+			}
+			gen := workload.MustNewGenerator(dist, opt.Seed)
+			res, err := Run(cache.Policy().Name(), cache, gen,
+				workload.Schedule{{Shift: 0, Requests: opt.Requests}}, RunConfig{})
+			if err != nil {
+				return nil, err
+			}
+			hitSeries.X = append(hitSeries.X, ratio)
+			hitSeries.Y = append(hitSeries.Y, res.Stats.HitRate())
+			byteSeries.X = append(byteSeries.X, ratio)
+			byteSeries.Y = append(byteSeries.Y, res.Stats.ByteHitRate())
+		}
+		fig.Series = append(fig.Series, hitSeries, byteSeries)
+	}
+	return fig, nil
+}
+
+// LatencyAllocations is the per-stream bandwidth sweep of the latency
+// extension experiment.
+var LatencyAllocations = []media.BitsPerSecond{
+	1 * media.Mbps, 2 * media.Mbps, 4 * media.Mbps, 8 * media.Mbps,
+}
+
+// Latency reproduces the Section 1 "average startup latency" metric: the
+// mean startup latency per request (cache hits cost zero; misses stream at
+// the allocated per-stream bandwidth with the prefetch rule of [10]),
+// across network allocations, for a DYNSimple cache at S_T/S_DB = 0.125
+// versus no cache at all.
+func Latency(opt Options) (*Figure, error) {
+	opt = opt.withDefaults()
+	repo := media.PaperRepository()
+	dist, err := zipf.New(repo.N(), zipf.DefaultMean)
+	if err != nil {
+		return nil, err
+	}
+	const admission = netsim.Seconds(0.5)
+	fig := &Figure{
+		ID:     "latency",
+		Title:  "Average startup latency vs allocated bandwidth (Section 1 metric)",
+		XLabel: "Allocated bandwidth (bps)",
+		YLabel: "Average startup latency (s)",
+	}
+	for _, withCache := range []bool{true, false} {
+		label := "no cache"
+		if withCache {
+			label = "DYNSimple(K=2) cache"
+		}
+		s := Series{Label: label}
+		for _, alloc := range LatencyAllocations {
+			gen := workload.MustNewGenerator(dist, opt.Seed)
+			cache, err := NewCache("dynsimple:2", repo, repo.CacheSizeForRatio(RatioFigure6), nil, opt.Seed)
+			if err != nil {
+				return nil, err
+			}
+			var total netsim.Seconds
+			for i := 0; i < opt.Requests; i++ {
+				id := gen.Next()
+				hit := false
+				if withCache {
+					out, err := cache.Request(id)
+					if err != nil {
+						return nil, err
+					}
+					hit = out.IsHit()
+				}
+				if hit {
+					continue // local storage: no startup latency
+				}
+				lat, err := netsim.StartupLatency(repo.Clip(id), alloc, admission)
+				if err != nil {
+					return nil, err
+				}
+				total += lat
+			}
+			s.X = append(s.X, float64(alloc))
+			s.Y = append(s.Y, float64(total)/float64(opt.Requests))
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// RegionDeviceCounts is the device sweep of the region-throughput
+// experiment.
+var RegionDeviceCounts = []int{2, 4, 8, 16, 32}
+
+// Region reproduces the Section 1 "throughput of a geographical region"
+// metric: devices sharing one base station (20 Mbps — room for five
+// concurrent 4 Mbps video streams) with and without caches. Throughput is
+// the fraction of requests serviced (cache hit or admitted stream).
+func Region(opt Options) (*Figure, error) {
+	opt = opt.withDefaults()
+	repo := media.PaperRepository()
+	dist, err := zipf.New(repo.N(), zipf.DefaultMean)
+	if err != nil {
+		return nil, err
+	}
+	const linkBW = 20 * media.Mbps
+	rounds := opt.Requests / 10
+	if rounds == 0 {
+		rounds = 1
+	}
+	fig := &Figure{
+		ID:     "region",
+		Title:  "Region throughput vs device count, 20 Mbps base station (Section 1 metric)",
+		XLabel: "Devices",
+		YLabel: "Throughput (%)",
+	}
+	for _, ratio := range []float64{0, 0.05, 0.125} {
+		label := fmt.Sprintf("cache %.1f%%", ratio*100)
+		if ratio == 0 {
+			label = "no cache"
+		}
+		s := Series{Label: label}
+		for _, nDev := range RegionDeviceCounts {
+			link, err := netsim.NewLink(linkBW)
+			if err != nil {
+				return nil, err
+			}
+			devices := make([]*netsim.Device, nDev)
+			for i := range devices {
+				// ratio 0 approximated by the smallest admissible cache —
+				// one byte more than nothing is impossible, so use a cache
+				// that only fits the smallest audio clips.
+				capacity := repo.CacheSizeForRatio(ratio)
+				if ratio == 0 {
+					capacity = 3 * media.MB
+				}
+				cache, err := NewCache("dynsimple:2", repo, capacity, nil, opt.Seed+uint64(i))
+				if err != nil {
+					return nil, err
+				}
+				devices[i] = &netsim.Device{
+					ID:    i,
+					Cache: cache,
+					Gen:   workload.MustNewGenerator(dist, opt.Seed+uint64(100+i)),
+				}
+			}
+			region, err := netsim.NewRegion(link, devices)
+			if err != nil {
+				return nil, err
+			}
+			if err := region.Run(rounds); err != nil {
+				return nil, err
+			}
+			s.X = append(s.X, float64(nDev))
+			s.Y = append(s.Y, region.Stats().Throughput())
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Taxonomy runs every implemented greedy technique at the standard
+// operating point (paper repository, S_T/S_DB = 0.125, 10,000 requests):
+// the full Section 1 footnote 2 taxonomy — recency-based (LRU-K),
+// frequency-based (LFU, LFU-DA), size-aware (GreedyDual, LRU-SK),
+// function-based (DYNSimple, IGD, GreedyDual-Freq, GDSP) and randomized
+// (Random) — in one table. X encodes nothing (single operating point); one
+// point per series.
+func Taxonomy(opt Options) (*Figure, error) {
+	opt = opt.withDefaults()
+	repo := media.PaperRepository()
+	dist, err := zipf.New(repo.N(), zipf.DefaultMean)
+	if err != nil {
+		return nil, err
+	}
+	pmf := workload.MustNewGenerator(dist, opt.Seed).PMF()
+	fig := &Figure{
+		ID:     "taxonomy",
+		Title:  "All techniques at S_T/S_DB = 0.125 (hit / byte-hit %)",
+		XLabel: "metric (0=hit rate, 1=byte hit rate)",
+		YLabel: "Rate (%)",
+	}
+	specs := []string{
+		"simple", "simple-variant", "dynsimple:2", "dynsimple:32",
+		"igd:2", "lrusk:2", "lrusk-tree:2", "greedydual", "gdfreq", "gdsp",
+		"lruk:2", "lru", "lfu", "lfu-da", "random",
+	}
+	for _, spec := range specs {
+		cache, err := NewCache(spec, repo, repo.CacheSizeForRatio(RatioFigure6), pmf, opt.Seed)
+		if err != nil {
+			return nil, err
+		}
+		gen := workload.MustNewGenerator(dist, opt.Seed)
+		res, err := Run(cache.Policy().Name(), cache, gen,
+			workload.Schedule{{Shift: 0, Requests: opt.Requests}}, RunConfig{})
+		if err != nil {
+			return nil, err
+		}
+		fig.Series = append(fig.Series, Series{
+			Label: cache.Policy().Name(),
+			X:     []float64{0, 1},
+			Y:     []float64{res.Stats.HitRate(), res.Stats.ByteHitRate()},
+		})
+	}
+	return fig, nil
+}

@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestGDSPTradeoffClaims(t *testing.T) {
+	fig, err := GDSPTradeoff(fastOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gdspHit := seriesByLabel(t, fig, "GDS-Popularity [hit]")
+	gdspByte := seriesByLabel(t, fig, "GDS-Popularity [byte]")
+	gdHit := seriesByLabel(t, fig, "GreedyDual [hit]")
+	gdByte := seriesByLabel(t, fig, "GreedyDual [byte]")
+	// Section 1: GDSP "enhances byte hit rate at the expense of cache hit
+	// rate" — at every ratio.
+	for i := range gdspHit.X {
+		if gdspByte.Y[i] <= gdByte.Y[i] {
+			t.Errorf("ratio %v: GDSP byte %.3f <= GreedyDual byte %.3f",
+				gdspHit.X[i], gdspByte.Y[i], gdByte.Y[i])
+		}
+		if gdspHit.Y[i] >= gdHit.Y[i] {
+			t.Errorf("ratio %v: GDSP hit %.3f >= GreedyDual hit %.3f",
+				gdspHit.X[i], gdspHit.Y[i], gdHit.Y[i])
+		}
+	}
+}
+
+func TestLatencyClaims(t *testing.T) {
+	fig, err := Latency(fastOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached := seriesByLabel(t, fig, "DYNSimple")
+	bare := seriesByLabel(t, fig, "no cache")
+	for i := range cached.X {
+		// The cache can only reduce average startup latency.
+		if cached.Y[i] >= bare.Y[i] {
+			t.Errorf("alloc %v: cached latency %.1f >= uncached %.1f",
+				cached.X[i], cached.Y[i], bare.Y[i])
+		}
+	}
+	// Latency is monotone non-increasing in allocated bandwidth.
+	for i := 1; i < len(bare.Y); i++ {
+		if bare.Y[i] > bare.Y[i-1] {
+			t.Error("uncached latency should fall with more bandwidth")
+		}
+	}
+	// Above the highest display rate (4 Mbps), only the admission overhead
+	// remains: tiny latencies.
+	last := bare.Y[len(bare.Y)-1]
+	if last > 60 {
+		t.Errorf("at 8 Mbps expected admission-dominated latency, got %.1fs", last)
+	}
+}
+
+func TestRegionClaims(t *testing.T) {
+	fig, err := Region(fastOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	none := seriesByLabel(t, fig, "no cache")
+	big := seriesByLabel(t, fig, "cache 12.5%")
+	// Throughput falls as devices contend for the link.
+	for i := 1; i < len(none.Y); i++ {
+		if none.Y[i] > none.Y[i-1]+1e-9 {
+			t.Error("uncached throughput should fall with more devices")
+		}
+	}
+	// With the link saturated (the largest device count), caches raise
+	// throughput — the Section 1 story.
+	lastIdx := len(none.Y) - 1
+	if big.Y[lastIdx] <= none.Y[lastIdx] {
+		t.Errorf("at %v devices: cached throughput %.3f <= uncached %.3f",
+			none.X[lastIdx], big.Y[lastIdx], none.Y[lastIdx])
+	}
+}
+
+func TestTaxonomyClaims(t *testing.T) {
+	fig, err := Taxonomy(fastOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hitOf := func(prefix string) float64 {
+		return seriesByLabel(t, fig, prefix).Y[0]
+	}
+	// The Section 3.3 variant remark: "performs either identical or
+	// slightly better" than plain Simple.
+	if hitOf("Simple(no-cache-colder)") < hitOf("Simple")-0.01 {
+		t.Errorf("variant hit rate %.3f clearly below Simple %.3f",
+			hitOf("Simple(no-cache-colder)"), hitOf("Simple"))
+	}
+	// The Section 5 efficient implementation is decision-identical: exactly
+	// equal hit rates.
+	scan := seriesByLabel(t, fig, "LRU-S2")
+	tree := seriesByLabel(t, fig, "LRU-S2(tree)")
+	if scan.Y[0] != tree.Y[0] || scan.Y[1] != tree.Y[1] {
+		t.Errorf("tree-based LRU-SK diverged from scan: %v vs %v", tree.Y, scan.Y)
+	}
+	// Headline ordering at the standard operating point.
+	if hitOf("Simple") <= hitOf("DYNSimple(K=2)") {
+		t.Error("off-line Simple should lead")
+	}
+	if hitOf("DYNSimple(K=2)") <= hitOf("Random") {
+		t.Error("DYNSimple should beat Random comfortably")
+	}
+	if hitOf("LFU") <= hitOf("Random") {
+		t.Error("LFU should beat Random")
+	}
+}

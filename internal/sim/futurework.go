@@ -1,0 +1,173 @@
+package sim
+
+// futurework.go hosts the experiments for the paper's Section 5 future-work
+// directions, implemented in packages coop and fiverule: cooperative
+// caching across an ad hoc neighborhood, and economic pruning of DYNSimple's
+// reference metadata.
+
+import (
+	"mediacache/internal/coop"
+	"mediacache/internal/core"
+	"mediacache/internal/fiverule"
+	"mediacache/internal/media"
+	"mediacache/internal/policy/dynsimple"
+	"mediacache/internal/vtime"
+	"mediacache/internal/workload"
+	"mediacache/internal/zipf"
+)
+
+// CoopDeviceCounts is the neighborhood-size sweep of the cooperative
+// experiment.
+var CoopDeviceCounts = []int{2, 4, 8}
+
+// Coop compares greedy (uncoordinated) caching against the dedup
+// cooperative placement rule across neighborhood sizes: the global metric
+// is the fraction of references serviced without the base station
+// (Section 5's optimization criterion). Each device runs DYNSimple(K=2)
+// with a 2% cache.
+func Coop(opt Options) (*Figure, error) {
+	opt = opt.withDefaults()
+	repo := media.PaperRepository()
+	dist, err := zipf.New(repo.N(), zipf.DefaultMean)
+	if err != nil {
+		return nil, err
+	}
+	const ratio = 0.02
+	fig := &Figure{
+		ID:     "coop",
+		Title:  "Cooperative vs greedy caching: references serviced without the base station",
+		XLabel: "Devices in radio range",
+		YLabel: "Cooperative hit rate (%)",
+	}
+	build := func(n, maxCopies int) (*coop.Network, error) {
+		net := coop.NewNetwork(coop.Config{MaxCopies: maxCopies})
+		for i := 0; i < n; i++ {
+			p, err := dynsimple.New(repo.N(), dynsimple.DefaultK)
+			if err != nil {
+				return nil, err
+			}
+			gen, err := workload.NewGenerator(dist, opt.Seed+uint64(i))
+			if err != nil {
+				return nil, err
+			}
+			if _, err := net.AddDevice(repo, repo.CacheSizeForRatio(ratio), p, gen); err != nil {
+				return nil, err
+			}
+		}
+		return net, nil
+	}
+	for _, mode := range []struct {
+		label     string
+		maxCopies int
+	}{
+		{"greedy", 0},
+		{"cooperative (dedup)", 1},
+	} {
+		s := Series{Label: mode.label}
+		for _, n := range CoopDeviceCounts {
+			net, err := build(n, mode.maxCopies)
+			if err != nil {
+				return nil, err
+			}
+			rounds := opt.Requests / n
+			if rounds == 0 {
+				rounds = 1
+			}
+			if err := net.Run(rounds); err != nil {
+				return nil, err
+			}
+			s.X = append(s.X, float64(n))
+			s.Y = append(s.Y, net.Stats().CooperativeHitRate())
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// FiveRuleRetentions is the retention-window sweep (in ticks) of the
+// metadata-pruning experiment.
+var FiveRuleRetentions = []vtime.Duration{50, 200, 1000, 5000}
+
+// FiveRule measures the cost of pruning DYNSimple's reference metadata:
+// a pruner drops the history of clips idle longer than a retention window,
+// and the resulting hit rate is compared against unpruned DYNSimple. It
+// demonstrates the economics the paper sketches in Sections 4.1/5: generous
+// retention is free (the break-even interval of realistic cost ratios is
+// enormous), while aggressive pruning degrades the hit rate.
+func FiveRule(opt Options) (*Figure, error) {
+	opt = opt.withDefaults()
+	repo := media.PaperRepository()
+	dist, err := zipf.New(repo.N(), zipf.DefaultMean)
+	if err != nil {
+		return nil, err
+	}
+	capacity := repo.CacheSizeForRatio(RatioFigure6)
+	fig := &Figure{
+		ID:     "fiverule",
+		Title:  "DYNSimple hit rate under metadata pruning (Section 4.1/5 future work)",
+		XLabel: "Retention window (ticks)",
+		YLabel: "Cache hit rate (%)",
+	}
+	// Baseline: unpruned.
+	baseRate, err := fiveRuleRun(repo, dist, capacity, opt, 0)
+	if err != nil {
+		return nil, err
+	}
+	pruned := Series{Label: "DYNSimple(K=2) pruned"}
+	baseline := Series{Label: "DYNSimple(K=2) unpruned"}
+	for _, retention := range FiveRuleRetentions {
+		rate, err := fiveRuleRun(repo, dist, capacity, opt, retention)
+		if err != nil {
+			return nil, err
+		}
+		pruned.X = append(pruned.X, float64(retention))
+		pruned.Y = append(pruned.Y, rate)
+		baseline.X = append(baseline.X, float64(retention))
+		baseline.Y = append(baseline.Y, baseRate)
+	}
+	fig.Series = []Series{pruned, baseline}
+	return fig, nil
+}
+
+// fiveRuleRun drives DYNSimple with an optional metadata pruner (retention
+// 0 disables pruning) and returns the hit rate.
+func fiveRuleRun(repo *media.Repository, dist *zipf.Distribution, capacity media.Bytes, opt Options, retention vtime.Duration) (float64, error) {
+	p, err := dynsimple.New(repo.N(), dynsimple.DefaultK)
+	if err != nil {
+		return 0, err
+	}
+	cache, err := core.New(repo, capacity, p)
+	if err != nil {
+		return 0, err
+	}
+	var pruner *fiverule.Pruner
+	if retention > 0 {
+		// A rule whose break-even equals the requested retention: benefit =
+		// retention × holding cost.
+		rule := fiverule.Rule{
+			NetworkCostPerByte:       float64(retention),
+			MemoryCostPerBytePerTick: 1,
+			AvgClipBytes:             16,
+			MetadataBytes:            16,
+		}
+		pruner, err = fiverule.NewPruner(rule, p.Tracker(), retention/2+1)
+		if err != nil {
+			return 0, err
+		}
+	}
+	gen, err := workload.NewGenerator(dist, opt.Seed)
+	if err != nil {
+		return 0, err
+	}
+	for i := 0; i < opt.Requests; i++ {
+		if _, err := cache.Request(gen.Next()); err != nil {
+			return 0, err
+		}
+		if pruner != nil {
+			if _, err := pruner.Tick(cache.Now()); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return cache.Stats().HitRate(), nil
+}

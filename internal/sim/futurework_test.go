@@ -1,0 +1,57 @@
+package sim
+
+import "testing"
+
+func TestCoopClaims(t *testing.T) {
+	fig, err := Coop(fastOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedy := seriesByLabel(t, fig, "greedy")
+	dedup := seriesByLabel(t, fig, "cooperative")
+	for i := range greedy.X {
+		// The cooperative placement rule must not lose to uncoordinated
+		// greedy on the global criterion.
+		if dedup.Y[i] < greedy.Y[i]-0.01 {
+			t.Errorf("%v devices: cooperative %.3f clearly below greedy %.3f",
+				greedy.X[i], dedup.Y[i], greedy.Y[i])
+		}
+	}
+	// More devices in range = more neighborhood coverage = higher
+	// cooperative hit rate.
+	last := len(dedup.Y) - 1
+	if dedup.Y[last] <= dedup.Y[0] {
+		t.Errorf("cooperative hit rate should grow with neighborhood size: %v", dedup.Y)
+	}
+	// And the coordination advantage should widen with more devices.
+	if dedup.Y[last]-greedy.Y[last] < dedup.Y[0]-greedy.Y[0]-0.02 {
+		t.Errorf("dedup advantage should not shrink with more devices: %v vs %v",
+			dedup.Y, greedy.Y)
+	}
+}
+
+func TestFiveRuleClaims(t *testing.T) {
+	fig, err := FiveRule(fastOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned := seriesByLabel(t, fig, "DYNSimple(K=2) pruned")
+	baseline := seriesByLabel(t, fig, "DYNSimple(K=2) unpruned")
+	// Aggressive pruning (smallest retention) costs real hit rate.
+	if baseline.Y[0]-pruned.Y[0] < 0.02 {
+		t.Errorf("aggressive pruning should hurt: pruned %.3f vs baseline %.3f",
+			pruned.Y[0], baseline.Y[0])
+	}
+	// Generous retention approaches the unpruned hit rate.
+	last := len(pruned.Y) - 1
+	if baseline.Y[last]-pruned.Y[last] > 0.02 {
+		t.Errorf("generous retention should be nearly free: pruned %.3f vs baseline %.3f",
+			pruned.Y[last], baseline.Y[last])
+	}
+	// Hit rate is non-decreasing in the retention window.
+	for i := 1; i < len(pruned.Y); i++ {
+		if pruned.Y[i] < pruned.Y[i-1]-0.01 {
+			t.Errorf("hit rate should grow with retention: %v", pruned.Y)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package sim
+
+// golden_test pins the determinism promise of footnote 5: the exact numbers
+// of a reference experiment must never change silently — not across runs,
+// not across refactors, not across Go releases (the PRNG is local). If a
+// deliberate behavioral change moves these values, regenerate the constants
+// with the commented command and record the change in EXPERIMENTS.md.
+
+import (
+	"math"
+	"testing"
+)
+
+// goldenFigure3 holds the exact hit rates of Figure 3 at seed 42 with 2,000
+// requests. Regenerate with:
+//
+//	go run ./cmd/experiments -csv -requests 2000 3
+var goldenFigure3 = map[string][]float64{
+	"LRU-2":      {0.1255, 0.3615, 0.4795, 0.562, 0.676, 0.7475},
+	"GreedyDual": {0.064, 0.3005, 0.433, 0.5275, 0.6665, 0.7505},
+}
+
+func TestFigure3Golden(t *testing.T) {
+	fig, err := Figure3(Options{Seed: DefaultSeed, Requests: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range fig.Series {
+		want, ok := goldenFigure3[s.Label]
+		if !ok {
+			t.Fatalf("unexpected series %q", s.Label)
+		}
+		if len(s.Y) != len(want) {
+			t.Fatalf("series %q has %d points, want %d", s.Label, len(s.Y), len(want))
+		}
+		for i := range want {
+			if math.Abs(s.Y[i]-want[i]) > 1e-12 {
+				t.Errorf("%s[%d] = %v, want %v (determinism broken — footnote 5)",
+					s.Label, i, s.Y[i], want[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+
+	"mediacache/internal/stats"
+)
+
+// Replicate runs an experiment across `seeds` consecutive master seeds
+// (opt.Seed, opt.Seed+1, …) in parallel and aggregates the replicas: it
+// returns one figure whose Y values are the across-seed means and a second
+// figure with the sample standard deviations. The paper reports single
+// seeded runs (footnote 5); replication quantifies how sensitive each curve
+// is to the workload realization.
+func Replicate(run func(Options) (*Figure, error), opt Options, seeds int) (mean, std *Figure, err error) {
+	if run == nil {
+		return nil, nil, fmt.Errorf("sim: experiment function must not be nil")
+	}
+	if seeds <= 0 {
+		return nil, nil, fmt.Errorf("sim: seed count must be positive, got %d", seeds)
+	}
+	opt = opt.withDefaults()
+
+	figs := make([]*Figure, seeds)
+	errs := make([]error, seeds)
+	var wg sync.WaitGroup
+	for i := 0; i < seeds; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			o := opt
+			o.Seed = opt.Seed + uint64(i)
+			figs[i], errs[i] = run(o)
+		}(i)
+	}
+	wg.Wait()
+	for i, e := range errs {
+		if e != nil {
+			return nil, nil, fmt.Errorf("sim: replica %d (seed %d): %w", i, opt.Seed+uint64(i), e)
+		}
+	}
+
+	base := figs[0]
+	mean = &Figure{
+		ID:     base.ID,
+		Title:  fmt.Sprintf("%s — mean of %d seeds", base.Title, seeds),
+		XLabel: base.XLabel,
+		YLabel: base.YLabel,
+	}
+	std = &Figure{
+		ID:     base.ID + "-std",
+		Title:  fmt.Sprintf("%s — std dev across %d seeds", base.Title, seeds),
+		XLabel: base.XLabel,
+		YLabel: "std dev",
+	}
+	for si, s := range base.Series {
+		meanSeries := Series{Label: s.Label, X: append([]float64(nil), s.X...)}
+		stdSeries := Series{Label: s.Label, X: append([]float64(nil), s.X...)}
+		for yi := range s.Y {
+			var acc stats.Accumulator
+			for _, fig := range figs {
+				if si >= len(fig.Series) || yi >= len(fig.Series[si].Y) {
+					return nil, nil, fmt.Errorf("sim: replicas disagree on figure shape (series %d, point %d)", si, yi)
+				}
+				acc.Add(fig.Series[si].Y[yi])
+			}
+			sum := acc.Summary()
+			meanSeries.Y = append(meanSeries.Y, sum.Mean)
+			stdSeries.Y = append(stdSeries.Y, sum.Std)
+		}
+		mean.Series = append(mean.Series, meanSeries)
+		std.Series = append(std.Series, stdSeries)
+	}
+	return mean, std, nil
+}

@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestReplicateValidation(t *testing.T) {
+	if _, _, err := Replicate(nil, Options{}, 3); err == nil {
+		t.Error("nil run should fail")
+	}
+	if _, _, err := Replicate(Figure3, Options{}, 0); err == nil {
+		t.Error("zero seeds should fail")
+	}
+	if _, _, err := Replicate(Figure3, Options{}, -2); err == nil {
+		t.Error("negative seeds should fail")
+	}
+}
+
+func TestReplicateAggregates(t *testing.T) {
+	opt := Options{Seed: 7, Requests: 1500}
+	mean, std, err := Replicate(Figure3, opt, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mean.Series) != 2 || len(std.Series) != 2 {
+		t.Fatalf("series counts: mean %d std %d", len(mean.Series), len(std.Series))
+	}
+	single, err := Figure3(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for si := range mean.Series {
+		if len(mean.Series[si].Y) != len(single.Series[si].Y) {
+			t.Fatal("mean figure shape mismatch")
+		}
+		for yi := range mean.Series[si].Y {
+			m := mean.Series[si].Y[yi]
+			s := std.Series[si].Y[yi]
+			if m < 0 || m > 1 {
+				t.Fatalf("mean out of range: %v", m)
+			}
+			if s < 0 || s > 0.5 {
+				t.Fatalf("implausible std: %v", s)
+			}
+		}
+	}
+	// Replication across different seeds must produce nonzero variance
+	// somewhere (the workload realizations differ).
+	var anyVariance bool
+	for _, s := range std.Series {
+		for _, y := range s.Y {
+			if y > 0 {
+				anyVariance = true
+			}
+		}
+	}
+	if !anyVariance {
+		t.Fatal("three different seeds produced identical results everywhere")
+	}
+}
+
+func TestReplicateSingleSeedZeroStd(t *testing.T) {
+	mean, std, err := Replicate(Figure3, Options{Seed: 5, Requests: 1000}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range std.Series {
+		for _, y := range s.Y {
+			if y != 0 {
+				t.Fatal("single replica must have zero std")
+			}
+		}
+	}
+	if mean.Series[0].Y[0] <= 0 {
+		t.Fatal("mean should carry the single replica's values")
+	}
+}
+
+func TestReplicatePropagatesErrors(t *testing.T) {
+	boom := errors.New("boom")
+	fail := func(Options) (*Figure, error) { return nil, boom }
+	if _, _, err := Replicate(fail, Options{}, 2); !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+}
+
+func TestReplicateDetectsShapeMismatch(t *testing.T) {
+	odd := func(o Options) (*Figure, error) {
+		f := &Figure{ID: "x", Series: []Series{{Label: "a", X: []float64{1}, Y: []float64{1}}}}
+		if o.Seed%2 == 0 {
+			f.Series[0].Y = nil // different shape for even seeds
+		}
+		return f, nil
+	}
+	if _, _, err := Replicate(odd, Options{Seed: 1}, 2); err == nil {
+		t.Fatal("shape mismatch should error")
+	}
+}

@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"mediacache/internal/core"
+	"mediacache/internal/media"
+	"mediacache/internal/policy/belady"
+	"mediacache/internal/workload"
+	"mediacache/internal/zipf"
+)
+
+// Optimal is an extension experiment: the clairvoyant Belady baselines
+// against the paper's off-line Simple and on-line DYNSimple, on one
+// recorded trace over the variable-size repository. It bounds the headroom
+// left above the paper's techniques: Simple knows frequencies, Belady knows
+// the future; the gap between them is the value of exact foreknowledge over
+// statistical knowledge.
+func Optimal(opt Options) (*Figure, error) {
+	opt = opt.withDefaults()
+	repo := media.PaperRepository()
+	dist, err := zipf.New(repo.N(), zipf.DefaultMean)
+	if err != nil {
+		return nil, err
+	}
+	gen := workload.MustNewGenerator(dist, opt.Seed)
+	pmf := gen.PMF()
+	trace := workload.Record("optimal", gen, opt.Requests)
+
+	fig := &Figure{
+		ID:     "optimal",
+		Title:  "Clairvoyant Belady baselines vs Simple and DYNSimple (extension)",
+		XLabel: "S_T/S_DB",
+		YLabel: "Cache hit rate (%)",
+	}
+	builders := []func() (core.Policy, error){
+		func() (core.Policy, error) { return belady.New(trace, belady.Classic) },
+		func() (core.Policy, error) { return belady.New(trace, belady.SizeAware) },
+		func() (core.Policy, error) { return NewPolicy("simple", repo, pmf, opt.Seed) },
+		func() (core.Policy, error) { return NewPolicy("dynsimple:2", repo, pmf, opt.Seed) },
+	}
+	for _, build := range builders {
+		s := Series{}
+		for _, ratio := range RatiosFigure5 {
+			p, err := build()
+			if err != nil {
+				return nil, err
+			}
+			if s.Label == "" {
+				s.Label = p.Name()
+			}
+			cache, err := core.New(repo, repo.CacheSizeForRatio(ratio), p)
+			if err != nil {
+				return nil, err
+			}
+			res, err := RunTrace(p.Name(), cache, trace)
+			if err != nil {
+				return nil, err
+			}
+			s.X = append(s.X, ratio)
+			s.Y = append(s.Y, res.Stats.HitRate())
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}

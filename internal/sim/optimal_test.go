@@ -1,0 +1,33 @@
+package sim
+
+import "testing"
+
+func TestOptimalClaims(t *testing.T) {
+	fig, err := Optimal(fastOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classic := seriesByLabel(t, fig, "Belady")
+	sizeAware := seriesByLabel(t, fig, "Belady(size-aware)")
+	simple := seriesByLabel(t, fig, "Simple")
+	dyn := seriesByLabel(t, fig, "DYNSimple")
+	for i := range classic.X {
+		// The size-aware oracle bounds everything from above.
+		if sizeAware.Y[i] < simple.Y[i] || sizeAware.Y[i] < dyn.Y[i] || sizeAware.Y[i] < classic.Y[i] {
+			t.Errorf("ratio %v: size-aware Belady (%.3f) is not the upper bound",
+				classic.X[i], sizeAware.Y[i])
+		}
+		// The headline finding: size-blind clairvoyance loses to
+		// frequency-only Simple on variable-size clips — size-awareness
+		// matters more than perfect future knowledge.
+		if classic.Y[i] >= simple.Y[i] {
+			t.Errorf("ratio %v: classic Belady (%.3f) >= Simple (%.3f); size-blindness should hurt",
+				classic.X[i], classic.Y[i], simple.Y[i])
+		}
+		// Simple (accurate frequencies) still tops its on-line derivative.
+		if simple.Y[i] <= dyn.Y[i] {
+			t.Errorf("ratio %v: Simple (%.3f) <= DYNSimple (%.3f)",
+				simple.X[i], simple.Y[i], dyn.Y[i])
+		}
+	}
+}

@@ -1,0 +1,139 @@
+// Package sim drives cache configurations through workloads and implements
+// every experiment of the paper's evaluation (Figures 2–7 plus the
+// Section 4.1 estimate-quality and Section 4.4 skew studies).
+//
+// The runner is generic over anything that can service clip requests
+// (core.Cache, blocklru.Cache, coop.Device), collects windowed hit-rate
+// series for the transient experiments, and computes theoretical hit rates
+// from the workload's true distribution (Section 4.4.1).
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"mediacache/internal/core"
+	"mediacache/internal/media"
+	"mediacache/internal/workload"
+)
+
+// Requester services clip requests; core.Cache and blocklru.Cache implement
+// it.
+type Requester interface {
+	Request(media.ClipID) (core.Outcome, error)
+	Stats() core.Stats
+}
+
+// Rater additionally exposes the theoretical hit rate of the current cache
+// content under a given true distribution.
+type Rater interface {
+	TheoreticalHitRate(pmf []float64) float64
+}
+
+// WindowPoint is one sample of the transient experiments: the observed hit
+// rate over the window ending at EndRequest, plus the theoretical hit rate
+// of the cache content at that instant.
+type WindowPoint struct {
+	EndRequest  int     // 1-based request index at the window end
+	HitRate     float64 // observed hits/requests within the window
+	Theoretical float64 // Σ f_i over resident clips (0 if unavailable)
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Policy      string
+	Stats       core.Stats
+	Theoretical float64 // theoretical hit rate at the end of the run
+	Windows     []WindowPoint
+	Err         error
+}
+
+// RunConfig controls a run.
+type RunConfig struct {
+	// WindowSize, when positive, samples a WindowPoint every WindowSize
+	// requests (Figures 6.b, 7.b use 100).
+	WindowSize int
+	// OnPhaseStart is invoked at the start of every schedule phase with the
+	// phase and the true per-identity pmf that will generate its requests.
+	// The Figure 6 experiments use it to hand Simple the accurate
+	// frequencies of the new distribution.
+	OnPhaseStart func(phase workload.Phase, pmf []float64)
+}
+
+// Run drives req through the schedule using gen. The generator's shift is
+// set at each phase boundary. Name labels the result.
+func Run(name string, req Requester, gen *workload.Generator, sched workload.Schedule, cfg RunConfig) (*Result, error) {
+	if req == nil {
+		return nil, errors.New("sim: requester must not be nil")
+	}
+	if gen == nil {
+		return nil, errors.New("sim: generator must not be nil")
+	}
+	if err := sched.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{Policy: name}
+	rater, _ := req.(Rater)
+
+	issued := 0
+	windowHits := 0
+	windowCount := 0
+	var pmf []float64
+	for _, phase := range sched {
+		if err := gen.SetShift(phase.Shift); err != nil {
+			return nil, err
+		}
+		pmf = gen.PMF()
+		if cfg.OnPhaseStart != nil {
+			cfg.OnPhaseStart(phase, pmf)
+		}
+		for i := 0; i < phase.Requests; i++ {
+			id := gen.Next()
+			out, err := req.Request(id)
+			if err != nil {
+				return nil, fmt.Errorf("sim: request %d (clip %d): %w", issued+1, id, err)
+			}
+			issued++
+			windowCount++
+			if out.IsHit() {
+				windowHits++
+			}
+			if cfg.WindowSize > 0 && windowCount == cfg.WindowSize {
+				point := WindowPoint{
+					EndRequest: issued,
+					HitRate:    float64(windowHits) / float64(windowCount),
+				}
+				if rater != nil {
+					point.Theoretical = rater.TheoreticalHitRate(pmf)
+				}
+				res.Windows = append(res.Windows, point)
+				windowHits, windowCount = 0, 0
+			}
+		}
+	}
+	res.Stats = req.Stats()
+	if rater != nil && pmf != nil {
+		res.Theoretical = rater.TheoreticalHitRate(pmf)
+	}
+	return res, nil
+}
+
+// RunTrace replays a recorded trace against req and returns the accumulated
+// statistics.
+func RunTrace(name string, req Requester, trace *workload.Trace) (*Result, error) {
+	if req == nil {
+		return nil, errors.New("sim: requester must not be nil")
+	}
+	if trace == nil {
+		return nil, errors.New("sim: trace must not be nil")
+	}
+	if err := trace.Validate(); err != nil {
+		return nil, err
+	}
+	for i, id := range trace.Requests {
+		if _, err := req.Request(id); err != nil {
+			return nil, fmt.Errorf("sim: trace %q request %d: %w", trace.Name, i, err)
+		}
+	}
+	return &Result{Policy: name, Stats: req.Stats()}, nil
+}

@@ -1,0 +1,40 @@
+package sim
+
+import "testing"
+
+// TestAllExperimentsSmoke runs every registered experiment at a reduced
+// request count, guaranteeing the whole registry stays runnable — any new
+// experiment gets crash coverage for free, and basic output-shape
+// invariants are enforced uniformly.
+func TestAllExperimentsSmoke(t *testing.T) {
+	opt := Options{Seed: DefaultSeed, Requests: 600}
+	for _, e := range Experiments {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			fig, err := e.Run(opt)
+			if err != nil {
+				t.Fatalf("experiment %s: %v", e.ID, err)
+			}
+			if fig.ID != e.ID {
+				t.Errorf("figure id %q != registry id %q", fig.ID, e.ID)
+			}
+			if len(fig.Series) == 0 {
+				t.Fatal("no series")
+			}
+			if fig.Title == "" || fig.XLabel == "" || fig.YLabel == "" {
+				t.Error("missing labels")
+			}
+			for _, s := range fig.Series {
+				if s.Label == "" {
+					t.Error("unlabeled series")
+				}
+				if len(s.X) != len(s.Y) {
+					t.Errorf("series %q: |X|=%d |Y|=%d", s.Label, len(s.X), len(s.Y))
+				}
+				if len(s.Y) == 0 {
+					t.Errorf("series %q is empty", s.Label)
+				}
+			}
+		})
+	}
+}

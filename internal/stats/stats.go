@@ -1,0 +1,83 @@
+// Package stats provides the summary statistics used by multi-seed
+// experiment replication: mean, sample standard deviation and extrema,
+// computed with Welford's numerically stable online algorithm.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Summary describes a sample of float64 observations.
+type Summary struct {
+	N    int
+	Mean float64
+	// Std is the sample standard deviation (n-1 denominator); 0 for n < 2.
+	Std float64
+	Min float64
+	Max float64
+}
+
+// String renders "mean ± std (n=N)".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.4f ± %.4f (n=%d)", s.Mean, s.Std, s.N)
+}
+
+// Accumulator computes a Summary incrementally. The zero value is ready to
+// use.
+type Accumulator struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+}
+
+// Add records one observation.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	if a.n == 1 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	delta := x - a.mean
+	a.mean += delta / float64(a.n)
+	a.m2 += delta * (x - a.mean)
+}
+
+// N returns the number of observations.
+func (a *Accumulator) N() int { return a.n }
+
+// Summary returns the accumulated statistics.
+func (a *Accumulator) Summary() Summary {
+	s := Summary{N: a.n, Mean: a.mean, Min: a.min, Max: a.max}
+	if a.n >= 2 {
+		s.Std = math.Sqrt(a.m2 / float64(a.n-1))
+	}
+	return s
+}
+
+// Summarize computes the Summary of a sample.
+func Summarize(sample []float64) Summary {
+	var a Accumulator
+	for _, x := range sample {
+		a.Add(x)
+	}
+	return a.Summary()
+}
+
+// MeanOf returns the arithmetic mean of a sample (0 for an empty one).
+func MeanOf(sample []float64) float64 {
+	if len(sample) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range sample {
+		sum += x
+	}
+	return sum / float64(len(sample))
+}

@@ -1,0 +1,101 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 {
+		t.Fatalf("N = %d", s.N)
+	}
+	if s.Mean != 5 {
+		t.Fatalf("Mean = %v", s.Mean)
+	}
+	// Sample std of this classic dataset: sqrt(32/7).
+	want := math.Sqrt(32.0 / 7.0)
+	if math.Abs(s.Std-want) > 1e-12 {
+		t.Fatalf("Std = %v want %v", s.Std, want)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Fatalf("Min/Max = %v/%v", s.Min, s.Max)
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 || s.Std != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	s = Summarize([]float64{3.5})
+	if s.N != 1 || s.Mean != 3.5 || s.Std != 0 || s.Min != 3.5 || s.Max != 3.5 {
+		t.Fatalf("single summary = %+v", s)
+	}
+}
+
+func TestAccumulatorMatchesBatch(t *testing.T) {
+	check := func(raw []int8) bool {
+		sample := make([]float64, len(raw))
+		for i, r := range raw {
+			sample[i] = float64(r) / 3
+		}
+		var a Accumulator
+		for _, x := range sample {
+			a.Add(x)
+		}
+		got := a.Summary()
+		want := Summarize(sample)
+		return got.N == want.N &&
+			math.Abs(got.Mean-want.Mean) < 1e-9 &&
+			math.Abs(got.Std-want.Std) < 1e-9
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNumericalStability(t *testing.T) {
+	// Large offset + tiny variance: naive sum-of-squares would lose all
+	// precision; Welford keeps it.
+	var a Accumulator
+	for i := 0; i < 1000; i++ {
+		a.Add(1e9 + float64(i%2))
+	}
+	s := a.Summary()
+	if math.Abs(s.Mean-(1e9+0.5)) > 1e-3 {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+	if math.Abs(s.Std-0.50025) > 1e-3 {
+		t.Fatalf("std = %v", s.Std)
+	}
+}
+
+func TestMeanOf(t *testing.T) {
+	if MeanOf(nil) != 0 {
+		t.Fatal("empty mean")
+	}
+	if MeanOf([]float64{1, 2, 3}) != 2 {
+		t.Fatal("mean")
+	}
+}
+
+func TestString(t *testing.T) {
+	s := Summary{N: 3, Mean: 0.5, Std: 0.01}
+	if got := s.String(); got != "0.5000 ± 0.0100 (n=3)" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestAccumulatorN(t *testing.T) {
+	var a Accumulator
+	if a.N() != 0 {
+		t.Fatal("fresh N")
+	}
+	a.Add(1)
+	a.Add(2)
+	if a.N() != 2 {
+		t.Fatal("N after adds")
+	}
+}

@@ -1,0 +1,109 @@
+package texttable
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"mediacache/internal/sim"
+)
+
+// RenderPlot draws fig as an ASCII chart: one marker letter per series,
+// x positions mapped by sample index, y values scaled into height rows.
+// Intended for the transient figures (6.b, 7.b) whose hundreds of samples
+// overwhelm tables. Width and height are the plot area in characters;
+// non-positive values use 72×20.
+func RenderPlot(w io.Writer, fig *sim.Figure, width, height int) error {
+	if width <= 0 {
+		width = 72
+	}
+	if height <= 0 {
+		height = 20
+	}
+	if _, err := fmt.Fprintf(w, "Figure %s: %s\n", fig.ID, fig.Title); err != nil {
+		return err
+	}
+	if len(fig.Series) == 0 {
+		_, err := fmt.Fprintln(w, "(no series)")
+		return err
+	}
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	maxLen := 0
+	for _, s := range fig.Series {
+		for _, y := range s.Y {
+			if y < yMin {
+				yMin = y
+			}
+			if y > yMax {
+				yMax = y
+			}
+		}
+		if len(s.Y) > maxLen {
+			maxLen = len(s.Y)
+		}
+	}
+	if maxLen == 0 {
+		_, err := fmt.Fprintln(w, "(no data)")
+		return err
+	}
+	if yMax == yMin {
+		yMax = yMin + 1 // flat series: avoid a zero range
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	marker := func(i int) byte { return byte('A' + i%26) }
+	for si, s := range fig.Series {
+		for xi, y := range s.Y {
+			col := 0
+			if maxLen > 1 {
+				col = xi * (width - 1) / (maxLen - 1)
+			}
+			rowF := (y - yMin) / (yMax - yMin) * float64(height-1)
+			row := height - 1 - int(math.Round(rowF))
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			grid[row][col] = marker(si)
+		}
+	}
+
+	// Y-axis labels on the top, middle and bottom rows.
+	axis := func(row int) string {
+		frac := float64(height-1-row) / float64(height-1)
+		return fmt.Sprintf("%8.3f", yMin+frac*(yMax-yMin))
+	}
+	for r := 0; r < height; r++ {
+		label := strings.Repeat(" ", 8)
+		if r == 0 || r == height-1 || r == height/2 {
+			label = axis(r)
+		}
+		if _, err := fmt.Fprintf(w, "%s |%s\n", label, grid[r]); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", 8), strings.Repeat("-", width)); err != nil {
+		return err
+	}
+	// X-axis range annotation.
+	xs := xAxis(fig)
+	if len(xs) > 0 {
+		if _, err := fmt.Fprintf(w, "%s  %s = %g .. %g\n",
+			strings.Repeat(" ", 8), fig.XLabel, xs[0], xs[len(xs)-1]); err != nil {
+			return err
+		}
+	}
+	// Legend.
+	for si, s := range fig.Series {
+		if _, err := fmt.Fprintf(w, "  %c = %s\n", marker(si), s.Label); err != nil {
+			return err
+		}
+	}
+	return nil
+}

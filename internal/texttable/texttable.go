@@ -1,0 +1,136 @@
+// Package texttable renders experiment figures as aligned text tables and
+// CSV, the output format of cmd/experiments and the benchmark harness.
+package texttable
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"mediacache/internal/sim"
+)
+
+// RenderFigure writes fig as an aligned table: one row per x value, one
+// column per series. Y values are rendered with render (defaults to
+// percentage with one decimal).
+func RenderFigure(w io.Writer, fig *sim.Figure, render func(float64) string) error {
+	if render == nil {
+		render = Percent
+	}
+	if _, err := fmt.Fprintf(w, "Figure %s: %s\n", fig.ID, fig.Title); err != nil {
+		return err
+	}
+	header := make([]string, 0, len(fig.Series)+1)
+	header = append(header, fig.XLabel)
+	for _, s := range fig.Series {
+		header = append(header, s.Label)
+	}
+	rows := [][]string{header}
+	for i := range xAxis(fig) {
+		row := make([]string, 0, len(header))
+		row = append(row, trimFloat(xAxis(fig)[i]))
+		for _, s := range fig.Series {
+			if i < len(s.Y) {
+				row = append(row, render(s.Y[i]))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		rows = append(rows, row)
+	}
+	return writeAligned(w, rows)
+}
+
+// RenderCSV writes fig as CSV: x,<series...> with raw float values.
+func RenderCSV(w io.Writer, fig *sim.Figure) error {
+	cols := []string{csvEscape(fig.XLabel)}
+	for _, s := range fig.Series {
+		cols = append(cols, csvEscape(s.Label))
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for i := range xAxis(fig) {
+		row := []string{fmt.Sprintf("%g", xAxis(fig)[i])}
+		for _, s := range fig.Series {
+			if i < len(s.Y) {
+				row = append(row, fmt.Sprintf("%g", s.Y[i]))
+			} else {
+				row = append(row, "")
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Percent renders a [0,1] rate as a percentage with one decimal.
+func Percent(v float64) string { return fmt.Sprintf("%.1f", v*100) }
+
+// Raw renders the value with %g.
+func Raw(v float64) string { return fmt.Sprintf("%g", v) }
+
+// Scientific renders with three significant digits in e-notation, for the
+// estimate-quality experiment.
+func Scientific(v float64) string { return fmt.Sprintf("%.3g", v) }
+
+// xAxis returns the longest X vector across series (they normally agree).
+func xAxis(fig *sim.Figure) []float64 {
+	var longest []float64
+	for _, s := range fig.Series {
+		if len(s.X) > len(longest) {
+			longest = s.X
+		}
+	}
+	return longest
+}
+
+// trimFloat renders an axis value compactly.
+func trimFloat(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// writeAligned pads each column to its widest cell.
+func writeAligned(w io.Writer, rows [][]string) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	widths := make([]int, len(rows[0]))
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	for _, row := range rows {
+		b.Reset()
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if pad := widths[i] - len(cell); pad > 0 && i < len(row)-1 {
+				b.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		if _, err := fmt.Fprintln(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// csvEscape quotes a field when needed.
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}

@@ -1,0 +1,166 @@
+package texttable
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mediacache/internal/sim"
+)
+
+func sampleFigure() *sim.Figure {
+	return &sim.Figure{
+		ID:     "2a",
+		Title:  "Sample",
+		XLabel: "S_T/S_DB",
+		YLabel: "Hit rate",
+		Series: []sim.Series{
+			{Label: "Simple", X: []float64{0.1, 0.2}, Y: []float64{0.5, 0.75}},
+			{Label: "LRU-2", X: []float64{0.1, 0.2}, Y: []float64{0.3, 0.4}},
+		},
+	}
+}
+
+func TestRenderFigure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RenderFigure(&buf, sampleFigure(), nil); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure 2a: Sample", "S_T/S_DB", "Simple", "LRU-2", "50.0", "75.0", "30.0", "40.0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // title + header + 2 rows
+		t.Fatalf("expected 4 lines, got %d:\n%s", len(lines), out)
+	}
+}
+
+func TestRenderFigureCustomRenderer(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RenderFigure(&buf, sampleFigure(), Raw); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "0.5") {
+		t.Fatalf("raw renderer not applied:\n%s", buf.String())
+	}
+}
+
+func TestRenderFigureRaggedSeries(t *testing.T) {
+	fig := sampleFigure()
+	fig.Series[1].X = fig.Series[1].X[:1]
+	fig.Series[1].Y = fig.Series[1].Y[:1]
+	var buf bytes.Buffer
+	if err := RenderFigure(&buf, fig, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "-") {
+		t.Fatal("missing cells should render as '-'")
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RenderCSV(&buf, sampleFigure()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), buf.String())
+	}
+	if lines[0] != "S_T/S_DB,Simple,LRU-2" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "0.1,0.5,0.3" {
+		t.Fatalf("row = %q", lines[1])
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	fig := sampleFigure()
+	fig.Series[0].Label = `weird,"label"`
+	var buf bytes.Buffer
+	if err := RenderCSV(&buf, fig); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"weird,""label"""`) {
+		t.Fatalf("label not escaped: %s", buf.String())
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	if Percent(0.123) != "12.3" {
+		t.Errorf("Percent = %q", Percent(0.123))
+	}
+	if Raw(1.5) != "1.5" {
+		t.Errorf("Raw = %q", Raw(1.5))
+	}
+	if Scientific(0.000123) != "0.000123" {
+		t.Errorf("Scientific = %q", Scientific(0.000123))
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	if trimFloat(100) != "100" {
+		t.Errorf("trimFloat(100) = %q", trimFloat(100))
+	}
+	if trimFloat(0.125) != "0.125" {
+		t.Errorf("trimFloat(0.125) = %q", trimFloat(0.125))
+	}
+}
+
+func TestEmptyFigure(t *testing.T) {
+	fig := &sim.Figure{ID: "x", Title: "empty"}
+	var buf bytes.Buffer
+	if err := RenderFigure(&buf, fig, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := RenderCSV(&buf, fig); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenderPlot(t *testing.T) {
+	fig := sampleFigure()
+	var buf bytes.Buffer
+	if err := RenderPlot(&buf, fig, 40, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure 2a", "A = Simple", "B = LRU-2", "S_T/S_DB = 0.1 .. 0.2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "A") || !strings.Contains(out, "B") {
+		t.Fatal("plot markers missing")
+	}
+}
+
+func TestRenderPlotEdgeCases(t *testing.T) {
+	var buf bytes.Buffer
+	// Empty figure.
+	if err := RenderPlot(&buf, &sim.Figure{ID: "x"}, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "(no series)") {
+		t.Fatal("empty figure message missing")
+	}
+	// Series with no data points.
+	buf.Reset()
+	fig := &sim.Figure{ID: "y", Series: []sim.Series{{Label: "empty"}}}
+	if err := RenderPlot(&buf, fig, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "(no data)") {
+		t.Fatal("no-data message missing")
+	}
+	// Flat series must not divide by zero.
+	buf.Reset()
+	flat := &sim.Figure{ID: "z", Series: []sim.Series{{Label: "flat", X: []float64{1, 2}, Y: []float64{0.5, 0.5}}}}
+	if err := RenderPlot(&buf, flat, 30, 8); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,18 @@
+// Package vtime defines the discrete virtual clock shared by the simulator
+// and the replacement policies.
+//
+// The paper's client "displays the referenced clip and issues another request
+// immediately" (Section 3.3), so simulated time advances one tick per
+// request. All reference timestamps, backward-K distances and aging intervals
+// are expressed in these ticks.
+package vtime
+
+// Time is a point on the simulation clock. The first request happens at
+// time 1; 0 means "never".
+type Time int64
+
+// Never is the zero time, used for "no reference observed".
+const Never Time = 0
+
+// Duration is a span of virtual time in ticks.
+type Duration = Time

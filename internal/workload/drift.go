@@ -1,0 +1,75 @@
+package workload
+
+import (
+	"fmt"
+
+	"mediacache/internal/media"
+	"mediacache/internal/randutil"
+	"mediacache/internal/zipf"
+)
+
+// DriftingGenerator produces a reference stream whose popularity mapping
+// drifts continuously: the identity shift g increases by one every Period
+// requests. Where the paper's Section 4.4.1 experiment applies abrupt
+// shifts (g jumps by hundreds at phase boundaries), drift models gradual
+// churn — new releases slowly displacing old favorites — and stresses the
+// adaptation machinery differently: techniques with long memories are
+// always slightly stale, while fast adapters track the moving target.
+type DriftingGenerator struct {
+	shifted *zipf.Shifted
+	src     *randutil.Source
+	seed    uint64
+	period  int64
+	count   int64
+}
+
+// NewDrifting returns a generator whose shift increases by one every period
+// requests (period must be positive).
+func NewDrifting(dist *zipf.Distribution, seed uint64, period int) (*DriftingGenerator, error) {
+	if dist == nil {
+		return nil, fmt.Errorf("workload: distribution must not be nil")
+	}
+	if period <= 0 {
+		return nil, fmt.Errorf("workload: drift period must be positive, got %d", period)
+	}
+	shifted, err := zipf.NewShifted(dist, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &DriftingGenerator{
+		shifted: shifted,
+		src:     randutil.NewSource(seed),
+		seed:    seed,
+		period:  int64(period),
+	}, nil
+}
+
+// Next returns the next referenced clip identity under the current drift.
+func (g *DriftingGenerator) Next() media.ClipID {
+	shift := int(g.count / g.period)
+	if shift != g.shifted.Shift() {
+		_ = g.shifted.SetShift(shift) // shift >= 0 by construction
+	}
+	g.count++
+	return media.ClipID(g.shifted.Sample(g.src))
+}
+
+// Count returns how many references have been generated.
+func (g *DriftingGenerator) Count() int64 { return g.count }
+
+// Shift returns the current drift shift value.
+func (g *DriftingGenerator) Shift() int { return g.shifted.Shift() }
+
+// PMF returns the true per-identity probabilities at the current drift
+// position.
+func (g *DriftingGenerator) PMF() []float64 { return g.shifted.PMF() }
+
+// N returns the number of clips.
+func (g *DriftingGenerator) N() int { return g.shifted.N() }
+
+// Reset rewinds the generator to its initial state.
+func (g *DriftingGenerator) Reset() {
+	g.src = randutil.NewSource(g.seed)
+	g.count = 0
+	_ = g.shifted.SetShift(0)
+}

@@ -1,0 +1,93 @@
+package workload
+
+import (
+	"testing"
+
+	"mediacache/internal/media"
+	"mediacache/internal/zipf"
+)
+
+func TestNewDriftingValidation(t *testing.T) {
+	d := zipf.MustNew(10, 0.27)
+	if _, err := NewDrifting(nil, 1, 10); err == nil {
+		t.Error("nil distribution should fail")
+	}
+	if _, err := NewDrifting(d, 1, 0); err == nil {
+		t.Error("zero period should fail")
+	}
+	if _, err := NewDrifting(d, 1, -5); err == nil {
+		t.Error("negative period should fail")
+	}
+	if _, err := NewDrifting(d, 1, 100); err != nil {
+		t.Errorf("valid: %v", err)
+	}
+}
+
+func TestDriftAdvances(t *testing.T) {
+	d := zipf.MustNew(100, 0.27)
+	g, err := NewDrifting(d, 3, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Shift() != 0 {
+		t.Fatal("initial shift")
+	}
+	for i := 0; i < 50; i++ {
+		g.Next()
+	}
+	g.Next() // request 51 crosses the period boundary
+	if g.Shift() != 1 {
+		t.Fatalf("shift after one period = %d, want 1", g.Shift())
+	}
+	for i := g.Count(); i < 500; i++ {
+		g.Next()
+	}
+	if g.Shift() != 9 { // count 499 -> 499/50 = 9
+		t.Fatalf("shift = %d, want 9", g.Shift())
+	}
+	if g.N() != 100 {
+		t.Fatal("N")
+	}
+}
+
+func TestDriftDeterministicAndResettable(t *testing.T) {
+	d := zipf.MustNew(50, 0.27)
+	a, _ := NewDrifting(d, 7, 20)
+	b, _ := NewDrifting(d, 7, 20)
+	var first []media.ClipID
+	for i := 0; i < 300; i++ {
+		va, vb := a.Next(), b.Next()
+		if va != vb {
+			t.Fatal("identical seeds diverge")
+		}
+		first = append(first, va)
+	}
+	a.Reset()
+	if a.Shift() != 0 || a.Count() != 0 {
+		t.Fatal("Reset incomplete")
+	}
+	for i := 0; i < 300; i++ {
+		if a.Next() != first[i] {
+			t.Fatal("replay after Reset diverged")
+		}
+	}
+}
+
+func TestDriftPMFTracksShift(t *testing.T) {
+	d := zipf.MustNew(20, 0.27)
+	g, _ := NewDrifting(d, 1, 5)
+	for i := 0; i < 6; i++ {
+		g.Next()
+	}
+	// Shift is now 1: identity 2 holds rank 1.
+	pmf := g.PMF()
+	maxID, maxP := 0, 0.0
+	for i, p := range pmf {
+		if p > maxP {
+			maxID, maxP = i+1, p
+		}
+	}
+	if maxID != 2 {
+		t.Fatalf("most popular identity = %d, want 2 after one drift step", maxID)
+	}
+}

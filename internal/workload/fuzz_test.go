@@ -1,0 +1,48 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mediacache/internal/zipf"
+)
+
+// FuzzReadCSV hardens the trace parser against malformed input: it must
+// never panic, and anything it accepts must survive a write/read round
+// trip unchanged.
+func FuzzReadCSV(f *testing.F) {
+	var seedBuf bytes.Buffer
+	g := MustNewGenerator(zipf.MustNew(20, zipf.DefaultMean), 3)
+	if err := Record("seed", g, 20).WriteCSV(&seedBuf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seedBuf.String())
+	f.Add("")
+	f.Add("#name,x\n#clips,5\nseq,clip\n0,1\n")
+	f.Add("#name,x\n#clips,5\nseq,clip\n0,6\n")
+	f.Add("#clips,5\n#name,x\nseq,clip\n")
+	f.Add("#name,x\n#clips,-1\nseq,clip\n")
+	f.Add(strings.Repeat("a,b\n", 50))
+
+	f.Fuzz(func(t *testing.T, input string) {
+		trace, err := ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if err := trace.Validate(); err != nil {
+			t.Fatalf("accepted trace fails validation: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := trace.WriteCSV(&buf); err != nil {
+			t.Fatalf("rewriting accepted trace: %v", err)
+		}
+		again, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("re-reading rewritten trace: %v", err)
+		}
+		if len(again.Requests) != len(trace.Requests) || again.NumClips != trace.NumClips {
+			t.Fatal("round trip changed the trace")
+		}
+	})
+}

@@ -1,0 +1,135 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"strconv"
+
+	"mediacache/internal/media"
+)
+
+// Trace is a recorded reference string that can be replayed against any
+// cache configuration, making comparisons across techniques exact.
+type Trace struct {
+	// Name labels the trace (e.g. "paper-fig2-seed42").
+	Name string
+	// NumClips is the repository size the trace was generated against.
+	NumClips int
+	// Requests is the ordered sequence of referenced clip identities.
+	Requests []media.ClipID
+}
+
+// Record captures n references from gen into a new Trace.
+func Record(name string, gen *Generator, n int) *Trace {
+	return &Trace{
+		Name:     name,
+		NumClips: gen.N(),
+		Requests: gen.Generate(make([]media.ClipID, 0, n), n),
+	}
+}
+
+// Validate checks that every request references a clip in 1..NumClips.
+func (t *Trace) Validate() error {
+	if t.NumClips <= 0 {
+		return fmt.Errorf("workload: trace %q has non-positive clip count %d", t.Name, t.NumClips)
+	}
+	for i, id := range t.Requests {
+		if id < 1 || int(id) > t.NumClips {
+			return fmt.Errorf("workload: trace %q request %d references clip %d outside 1..%d",
+				t.Name, i, id, t.NumClips)
+		}
+	}
+	return nil
+}
+
+// WriteCSV emits the trace as CSV with a two-line header:
+//
+//	#name,<name>
+//	#clips,<numClips>
+//	seq,clip
+//	0,17
+//	...
+func (t *Trace) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "#name,%s\n#clips,%d\n", t.Name, t.NumClips); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(bw)
+	if err := cw.Write([]string{"seq", "clip"}); err != nil {
+		return err
+	}
+	for i, id := range t.Requests {
+		if err := cw.Write([]string{strconv.Itoa(i), strconv.Itoa(int(id))}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses a trace written by WriteCSV.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	t := &Trace{}
+	for i := 0; i < 2; i++ {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return nil, fmt.Errorf("workload: reading trace header: %w", err)
+		}
+		var name string
+		var clips int
+		if n, _ := fmt.Sscanf(line, "#name,%s", &name); n == 1 {
+			t.Name = name
+			continue
+		}
+		if n, _ := fmt.Sscanf(line, "#clips,%d", &clips); n == 1 {
+			t.NumClips = clips
+			continue
+		}
+		return nil, fmt.Errorf("workload: malformed trace header line %q", line)
+	}
+	cr := csv.NewReader(br)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("workload: reading trace body: %w", err)
+	}
+	if len(rows) == 0 || len(rows[0]) != 2 || rows[0][0] != "seq" || rows[0][1] != "clip" {
+		return nil, fmt.Errorf("workload: missing trace column header")
+	}
+	t.Requests = make([]media.ClipID, 0, len(rows)-1)
+	for i, row := range rows[1:] {
+		id, err := strconv.Atoi(row[1])
+		if err != nil {
+			return nil, fmt.Errorf("workload: row %d: bad clip id %q: %w", i, row[1], err)
+		}
+		t.Requests = append(t.Requests, media.ClipID(id))
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// WriteBinary encodes the trace with encoding/gob — compact and fast for
+// large traces.
+func (t *Trace) WriteBinary(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(t)
+}
+
+// ReadBinary decodes a trace written by WriteBinary.
+func ReadBinary(r io.Reader) (*Trace, error) {
+	t := &Trace{}
+	if err := gob.NewDecoder(r).Decode(t); err != nil {
+		return nil, fmt.Errorf("workload: decoding trace: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

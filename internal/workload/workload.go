@@ -1,0 +1,128 @@
+// Package workload generates the clip reference strings that drive the
+// simulation (Section 3.3): a client issues requests one after another, each
+// referencing a clip drawn from a (possibly shifted) Zipfian distribution via
+// a seeded random number generator, so every technique sees the identical
+// deterministic sequence (footnote 5).
+//
+// The package also models the evolving-access-pattern schedules of
+// Section 4.4.1, where the shift value g changes at request boundaries, and
+// provides trace recording/replay so experiments can run against saved
+// reference strings.
+package workload
+
+import (
+	"fmt"
+
+	"mediacache/internal/media"
+	"mediacache/internal/randutil"
+	"mediacache/internal/zipf"
+)
+
+// Generator produces a deterministic stream of clip references.
+type Generator struct {
+	shifted *zipf.Shifted
+	src     *randutil.Source
+	seed    uint64
+	count   int64
+}
+
+// NewGenerator returns a Generator drawing clip identities in 1..dist.N()
+// from dist, using a stream seeded with seed. The initial shift is 0.
+func NewGenerator(dist *zipf.Distribution, seed uint64) (*Generator, error) {
+	if dist == nil {
+		return nil, fmt.Errorf("workload: distribution must not be nil")
+	}
+	shifted, err := zipf.NewShifted(dist, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &Generator{
+		shifted: shifted,
+		src:     randutil.NewSource(seed),
+		seed:    seed,
+	}, nil
+}
+
+// MustNewGenerator is like NewGenerator but panics on error.
+func MustNewGenerator(dist *zipf.Distribution, seed uint64) *Generator {
+	g, err := NewGenerator(dist, seed)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Next returns the next referenced clip identity.
+func (g *Generator) Next() media.ClipID {
+	g.count++
+	return media.ClipID(g.shifted.Sample(g.src))
+}
+
+// Count returns how many references have been generated.
+func (g *Generator) Count() int64 { return g.count }
+
+// SetShift changes the identity shift g (Section 4.4.1): with shift s, the
+// clip with identity ((rank-1+s) mod N)+1 receives rank's popularity.
+func (g *Generator) SetShift(s int) error { return g.shifted.SetShift(s) }
+
+// Shift returns the current shift value.
+func (g *Generator) Shift() int { return g.shifted.Shift() }
+
+// PMF returns the true per-identity request probabilities under the current
+// shift, indexed by clip id-1. This is the "accurate frequency of access"
+// used for theoretical hit rates and for the off-line Simple technique.
+func (g *Generator) PMF() []float64 { return g.shifted.PMF() }
+
+// N returns the number of clips in the underlying distribution.
+func (g *Generator) N() int { return g.shifted.N() }
+
+// Generate appends n references to dst and returns it.
+func (g *Generator) Generate(dst []media.ClipID, n int) []media.ClipID {
+	for i := 0; i < n; i++ {
+		dst = append(dst, g.Next())
+	}
+	return dst
+}
+
+// Reset rewinds the generator to its initial state (seed and shift 0).
+func (g *Generator) Reset() {
+	g.src = randutil.NewSource(g.seed)
+	g.count = 0
+	_ = g.shifted.SetShift(0)
+}
+
+// Phase is one segment of an evolving-access-pattern schedule: Requests
+// references drawn with the identity shift Shift.
+type Phase struct {
+	Shift    int
+	Requests int
+}
+
+// Schedule is a sequence of phases. The Figure 6.b experiment, for example,
+// is {Shift: 200, Requests: 10000} followed by {Shift: 300, Requests: 10000}.
+type Schedule []Phase
+
+// TotalRequests returns the sum of requests across phases.
+func (s Schedule) TotalRequests() int {
+	total := 0
+	for _, p := range s {
+		total += p.Requests
+	}
+	return total
+}
+
+// Validate reports whether the schedule is well formed.
+func (s Schedule) Validate() error {
+	if len(s) == 0 {
+		return fmt.Errorf("workload: schedule must contain at least one phase")
+	}
+	for i, p := range s {
+		if p.Requests <= 0 {
+			return fmt.Errorf("workload: phase %d has non-positive request count %d", i, p.Requests)
+		}
+		if p.Shift < 0 {
+			return fmt.Errorf("workload: phase %d has negative shift %d", i, p.Shift)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,228 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"mediacache/internal/media"
+	"mediacache/internal/zipf"
+)
+
+func dist(t *testing.T) *zipf.Distribution {
+	t.Helper()
+	return zipf.MustNew(576, zipf.DefaultMean)
+}
+
+func TestNewGeneratorValidation(t *testing.T) {
+	if _, err := NewGenerator(nil, 1); err == nil {
+		t.Error("nil distribution should fail")
+	}
+	if _, err := NewGenerator(dist(t), 1); err != nil {
+		t.Errorf("valid: %v", err)
+	}
+}
+
+func TestMustNewGeneratorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustNewGenerator(nil, 1)
+}
+
+func TestDeterministicStream(t *testing.T) {
+	a := MustNewGenerator(dist(t), 42)
+	b := MustNewGenerator(dist(t), 42)
+	for i := 0; i < 2000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed must give identical streams")
+		}
+	}
+	if a.Count() != 2000 {
+		t.Fatalf("Count = %d", a.Count())
+	}
+}
+
+func TestRangeValid(t *testing.T) {
+	g := MustNewGenerator(dist(t), 7)
+	for i := 0; i < 10000; i++ {
+		id := g.Next()
+		if id < 1 || id > 576 {
+			t.Fatalf("id %d out of range", id)
+		}
+	}
+}
+
+func TestShiftChangesPopularIdentity(t *testing.T) {
+	g := MustNewGenerator(dist(t), 7)
+	if err := g.SetShift(100); err != nil {
+		t.Fatal(err)
+	}
+	if g.Shift() != 100 {
+		t.Fatalf("Shift = %d", g.Shift())
+	}
+	counts := make(map[media.ClipID]int)
+	for i := 0; i < 50000; i++ {
+		counts[g.Next()]++
+	}
+	max, maxID := 0, media.ClipID(0)
+	for id, c := range counts {
+		if c > max {
+			max, maxID = c, id
+		}
+	}
+	if maxID != 101 {
+		t.Fatalf("most popular id = %d, want 101 under shift 100", maxID)
+	}
+}
+
+func TestPMFMatchesEmpirical(t *testing.T) {
+	g := MustNewGenerator(zipf.MustNew(20, 0.27), 3)
+	pmf := g.PMF()
+	var sum float64
+	for _, p := range pmf {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("pmf sums to %v", sum)
+	}
+	counts := make([]int, 21)
+	const n = 300000
+	for i := 0; i < n; i++ {
+		counts[g.Next()]++
+	}
+	for id := 1; id <= 20; id++ {
+		got := float64(counts[id]) / n
+		want := pmf[id-1]
+		if math.Abs(got-want) > 0.1*want+0.002 {
+			t.Fatalf("id %d: empirical %v vs pmf %v", id, got, want)
+		}
+	}
+}
+
+func TestGenerateAndReset(t *testing.T) {
+	g := MustNewGenerator(dist(t), 11)
+	first := g.Generate(nil, 500)
+	g.Reset()
+	second := g.Generate(nil, 500)
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatal("Reset must rewind the stream")
+		}
+	}
+	if g.N() != 576 {
+		t.Fatalf("N = %d", g.N())
+	}
+}
+
+func TestResetClearsShift(t *testing.T) {
+	g := MustNewGenerator(dist(t), 11)
+	g.SetShift(300)
+	g.Reset()
+	if g.Shift() != 0 {
+		t.Fatal("Reset must clear the shift")
+	}
+}
+
+func TestScheduleValidate(t *testing.T) {
+	if err := (Schedule{}).Validate(); err == nil {
+		t.Error("empty schedule should fail")
+	}
+	if err := (Schedule{{Shift: 0, Requests: 0}}).Validate(); err == nil {
+		t.Error("zero requests should fail")
+	}
+	if err := (Schedule{{Shift: -1, Requests: 10}}).Validate(); err == nil {
+		t.Error("negative shift should fail")
+	}
+	s := Schedule{{Shift: 200, Requests: 10000}, {Shift: 300, Requests: 10000}}
+	if err := s.Validate(); err != nil {
+		t.Errorf("valid schedule rejected: %v", err)
+	}
+	if s.TotalRequests() != 20000 {
+		t.Fatalf("total = %d", s.TotalRequests())
+	}
+}
+
+func TestTraceRecordAndValidate(t *testing.T) {
+	g := MustNewGenerator(zipf.MustNew(10, 0.27), 5)
+	tr := Record("test", g, 100)
+	if len(tr.Requests) != 100 || tr.NumClips != 10 || tr.Name != "test" {
+		t.Fatalf("trace = %+v", tr)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := &Trace{Name: "bad", NumClips: 5, Requests: []media.ClipID{6}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("out-of-range request should fail validation")
+	}
+	bad2 := &Trace{Name: "bad2", NumClips: 0}
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("zero clip count should fail validation")
+	}
+}
+
+func TestTraceCSVRoundTrip(t *testing.T) {
+	g := MustNewGenerator(zipf.MustNew(10, 0.27), 5)
+	tr := Record("roundtrip", g, 50)
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != tr.Name || got.NumClips != tr.NumClips {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if len(got.Requests) != len(tr.Requests) {
+		t.Fatal("length mismatch")
+	}
+	for i := range got.Requests {
+		if got.Requests[i] != tr.Requests[i] {
+			t.Fatal("request mismatch")
+		}
+	}
+}
+
+func TestTraceBinaryRoundTrip(t *testing.T) {
+	g := MustNewGenerator(zipf.MustNew(10, 0.27), 5)
+	tr := Record("bin", g, 50)
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "bin" || len(got.Requests) != 50 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestReadCSVMalformed(t *testing.T) {
+	cases := []string{
+		"",
+		"#name,x\n",
+		"garbage\ngarbage\n",
+		"#name,x\n#clips,5\nwrong,header\n1,2\n",
+		"#name,x\n#clips,5\nseq,clip\n0,notanumber\n",
+		"#name,x\n#clips,5\nseq,clip\n0,99\n", // out of range
+	}
+	for i, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestReadBinaryMalformed(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("not gob data")); err == nil {
+		t.Fatal("garbage should fail")
+	}
+}

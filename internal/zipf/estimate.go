@@ -1,0 +1,56 @@
+package zipf
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// EstimateMean fits the Zipfian mean θ to observed reference counts by
+// least-squares regression on the log-log rank/frequency line: under
+// p(i) ∝ 1/i^(1−θ), log f(i) = c − (1−θ)·log i, so the fitted slope b
+// yields θ = 1 + b. The estimate is clamped to [0, 1].
+//
+// counts holds per-item reference counts in any order; zero counts are
+// ignored (they carry no rank information). At least three distinct
+// positive counts are required for a meaningful fit.
+func EstimateMean(counts []int) (float64, error) {
+	positive := make([]int, 0, len(counts))
+	for _, c := range counts {
+		if c < 0 {
+			return 0, fmt.Errorf("zipf: negative count %d", c)
+		}
+		if c > 0 {
+			positive = append(positive, c)
+		}
+	}
+	if len(positive) < 3 {
+		return 0, fmt.Errorf("zipf: need at least 3 referenced items to fit, got %d", len(positive))
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(positive)))
+
+	var n float64
+	var sumX, sumY, sumXX, sumXY float64
+	for rank, c := range positive {
+		x := math.Log(float64(rank + 1))
+		y := math.Log(float64(c))
+		n++
+		sumX += x
+		sumY += y
+		sumXX += x * x
+		sumXY += x * y
+	}
+	denom := n*sumXX - sumX*sumX
+	if denom == 0 {
+		return 0, fmt.Errorf("zipf: degenerate rank distribution")
+	}
+	slope := (n*sumXY - sumX*sumY) / denom
+	theta := 1 + slope
+	if theta < 0 {
+		theta = 0
+	}
+	if theta > 1 {
+		theta = 1
+	}
+	return theta, nil
+}

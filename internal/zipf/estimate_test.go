@@ -1,0 +1,84 @@
+package zipf
+
+import (
+	"math"
+	"testing"
+
+	"mediacache/internal/randutil"
+)
+
+func TestEstimateMeanValidation(t *testing.T) {
+	if _, err := EstimateMean(nil); err == nil {
+		t.Error("empty counts should fail")
+	}
+	if _, err := EstimateMean([]int{5, 3}); err == nil {
+		t.Error("two items should fail")
+	}
+	if _, err := EstimateMean([]int{5, -1, 3}); err == nil {
+		t.Error("negative count should fail")
+	}
+	if _, err := EstimateMean([]int{0, 0, 0, 1, 1}); err == nil {
+		t.Error("fewer than 3 positive counts should fail")
+	}
+}
+
+func TestEstimateRecoversTheta(t *testing.T) {
+	// Sample heavily from known distributions and check the fit recovers θ.
+	for _, theta := range []float64{0.1, 0.27, 0.5, 0.8} {
+		d := MustNew(200, theta)
+		src := randutil.NewSource(11)
+		counts := make([]int, 200)
+		for i := 0; i < 400000; i++ {
+			counts[d.Sample(src)-1]++
+		}
+		got, err := EstimateMean(counts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-theta) > 0.08 {
+			t.Errorf("theta=%v: estimated %v", theta, got)
+		}
+	}
+}
+
+func TestEstimateUniformNearOne(t *testing.T) {
+	counts := make([]int, 50)
+	for i := range counts {
+		counts[i] = 1000 // perfectly uniform
+	}
+	got, err := EstimateMean(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 0.95 {
+		t.Errorf("uniform counts should fit theta ~1, got %v", got)
+	}
+}
+
+func TestEstimateClamped(t *testing.T) {
+	// Super-Zipfian decay (steeper than 1/i) must clamp to 0.
+	counts := []int{100000, 100, 1, 1, 1}
+	got, err := EstimateMean(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("steep decay should clamp to 0, got %v", got)
+	}
+}
+
+func TestEstimateIgnoresZeros(t *testing.T) {
+	withZeros := []int{90, 0, 45, 0, 30, 0, 22, 18}
+	without := []int{90, 45, 30, 22, 18}
+	a, err := EstimateMean(withZeros)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EstimateMean(without)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("zeros should not affect the fit: %v vs %v", a, b)
+	}
+}

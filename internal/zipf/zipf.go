@@ -1,0 +1,178 @@
+// Package zipf implements the generalized Zipfian popularity distribution
+// used by the paper's simulation model (Section 3.3).
+//
+// The paper generates clip requests "using a Zipfian distribution with a mean
+// of 0.27", citing Dan et al. [6], whose movie-ticket model assigns item i
+// (1-indexed by popularity rank) the probability
+//
+//	p(i) = c / i^(1-θ)
+//
+// with θ = 0.271 and c the normalizing constant. θ = 0 yields the classic
+// Zipf's law (p ∝ 1/i); θ = 1 yields the uniform distribution. This package
+// exposes θ directly as the Mean parameter so experiment code reads like the
+// paper.
+//
+// A Distribution is immutable after construction; sampling state lives in the
+// caller-provided random source, so one distribution can serve many
+// independent request streams.
+package zipf
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"mediacache/internal/randutil"
+)
+
+// DefaultMean is the Zipfian mean (θ) used throughout the paper's evaluation.
+const DefaultMean = 0.27
+
+// Distribution is a generalized Zipfian distribution over items 1..N.
+type Distribution struct {
+	n    int
+	mean float64
+	pmf  []float64 // pmf[i] = P(item i+1)
+	cdf  []float64 // cdf[i] = P(item <= i+1)
+}
+
+// New returns a Zipfian distribution over n items with the given mean θ in
+// [0, 1]. Item 1 is the most popular.
+func New(n int, mean float64) (*Distribution, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("zipf: item count must be positive, got %d", n)
+	}
+	if mean < 0 || mean > 1 || math.IsNaN(mean) {
+		return nil, fmt.Errorf("zipf: mean must be in [0,1], got %v", mean)
+	}
+	d := &Distribution{
+		n:    n,
+		mean: mean,
+		pmf:  make([]float64, n),
+		cdf:  make([]float64, n),
+	}
+	alpha := 1 - mean
+	var norm float64
+	for i := 0; i < n; i++ {
+		w := 1 / math.Pow(float64(i+1), alpha)
+		d.pmf[i] = w
+		norm += w
+	}
+	var cum float64
+	for i := 0; i < n; i++ {
+		d.pmf[i] /= norm
+		cum += d.pmf[i]
+		d.cdf[i] = cum
+	}
+	d.cdf[n-1] = 1 // clamp accumulated rounding error
+	return d, nil
+}
+
+// MustNew is like New but panics on error. Intended for experiment setup with
+// constant parameters.
+func MustNew(n int, mean float64) *Distribution {
+	d, err := New(n, mean)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// N returns the number of items.
+func (d *Distribution) N() int { return d.n }
+
+// Mean returns the distribution's θ parameter.
+func (d *Distribution) Mean() float64 { return d.mean }
+
+// Prob returns the probability of item i (1-indexed popularity rank).
+func (d *Distribution) Prob(i int) float64 {
+	if i < 1 || i > d.n {
+		return 0
+	}
+	return d.pmf[i-1]
+}
+
+// PMF returns a copy of the probability mass function, indexed by rank-1.
+func (d *Distribution) PMF() []float64 {
+	out := make([]float64, d.n)
+	copy(out, d.pmf)
+	return out
+}
+
+// Sample draws one item (1-indexed rank) using src via inverse-CDF binary
+// search, so identical source streams give identical request sequences
+// regardless of how many other consumers exist.
+func (d *Distribution) Sample(src *randutil.Source) int {
+	u := src.Float64()
+	return sort.SearchFloat64s(d.cdf, u) + 1
+}
+
+// ErrShiftNegative reports an invalid shift amount.
+var ErrShiftNegative = errors.New("zipf: shift must be non-negative")
+
+// Shifted maps popularity ranks onto item identities with a circular shift g,
+// reproducing the paper's Section 4.4.1 evolving-access-pattern experiment:
+// with shift g, the item with identity ((rank-1+g) mod N)+1 receives the
+// probability of rank `rank`. A shift of 0 is the identity mapping.
+type Shifted struct {
+	dist  *Distribution
+	shift int
+}
+
+// NewShifted wraps d with a circular identity shift g >= 0.
+func NewShifted(d *Distribution, g int) (*Shifted, error) {
+	if g < 0 {
+		return nil, ErrShiftNegative
+	}
+	return &Shifted{dist: d, shift: g % d.n}, nil
+}
+
+// Shift returns the current shift value g (reduced modulo N).
+func (s *Shifted) Shift() int { return s.shift }
+
+// SetShift updates the shift value, e.g. at an experiment phase boundary.
+func (s *Shifted) SetShift(g int) error {
+	if g < 0 {
+		return ErrShiftNegative
+	}
+	s.shift = g % s.dist.n
+	return nil
+}
+
+// Sample draws an item identity in 1..N under the shifted distribution.
+func (s *Shifted) Sample(src *randutil.Source) int {
+	rank := s.dist.Sample(src)
+	return s.Identity(rank)
+}
+
+// Identity maps a popularity rank to the item identity that holds it under
+// the current shift.
+func (s *Shifted) Identity(rank int) int {
+	return (rank-1+s.shift)%s.dist.n + 1
+}
+
+// Prob returns the probability of item identity id under the current shift.
+func (s *Shifted) Prob(id int) float64 {
+	if id < 1 || id > s.dist.n {
+		return 0
+	}
+	rank := (id-1-s.shift)%s.dist.n + 1
+	if rank < 1 {
+		rank += s.dist.n
+	}
+	return s.dist.Prob(rank)
+}
+
+// PMF returns the probability of each item identity (indexed by id-1) under
+// the current shift.
+func (s *Shifted) PMF() []float64 {
+	out := make([]float64, s.dist.n)
+	for id := 1; id <= s.dist.n; id++ {
+		out[id-1] = s.Prob(id)
+	}
+	return out
+}
+
+// N returns the number of items.
+func (s *Shifted) N() int { return s.dist.n }

@@ -1,0 +1,245 @@
+package zipf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mediacache/internal/randutil"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 0.27); err == nil {
+		t.Error("want error for n=0")
+	}
+	if _, err := New(-5, 0.27); err == nil {
+		t.Error("want error for negative n")
+	}
+	if _, err := New(10, -0.1); err == nil {
+		t.Error("want error for negative mean")
+	}
+	if _, err := New(10, 1.1); err == nil {
+		t.Error("want error for mean > 1")
+	}
+	if _, err := New(10, math.NaN()); err == nil {
+		t.Error("want error for NaN mean")
+	}
+	if _, err := New(576, DefaultMean); err != nil {
+		t.Errorf("valid parameters rejected: %v", err)
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew should panic on invalid input")
+		}
+	}()
+	MustNew(0, 0.5)
+}
+
+func TestPMFSumsToOne(t *testing.T) {
+	check := func(nRaw uint16, meanRaw uint8) bool {
+		n := int(nRaw%1000) + 1
+		mean := float64(meanRaw%101) / 100
+		d := MustNew(n, mean)
+		var sum float64
+		for _, p := range d.PMF() {
+			sum += p
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPMFMonotoneDecreasing(t *testing.T) {
+	d := MustNew(576, DefaultMean)
+	pmf := d.PMF()
+	for i := 1; i < len(pmf); i++ {
+		if pmf[i] > pmf[i-1] {
+			t.Fatalf("pmf not monotone at rank %d: %v > %v", i+1, pmf[i], pmf[i-1])
+		}
+	}
+}
+
+func TestMeanOneIsUniform(t *testing.T) {
+	d := MustNew(100, 1)
+	for i := 1; i <= 100; i++ {
+		if math.Abs(d.Prob(i)-0.01) > 1e-12 {
+			t.Fatalf("Prob(%d) = %v, want 0.01", i, d.Prob(i))
+		}
+	}
+}
+
+func TestMeanZeroIsClassicZipf(t *testing.T) {
+	d := MustNew(10, 0)
+	// Under classic Zipf, p(1)/p(2) = 2.
+	ratio := d.Prob(1) / d.Prob(2)
+	if math.Abs(ratio-2) > 1e-9 {
+		t.Fatalf("p(1)/p(2) = %v, want 2", ratio)
+	}
+}
+
+func TestProbOutOfRange(t *testing.T) {
+	d := MustNew(5, 0.27)
+	if d.Prob(0) != 0 || d.Prob(6) != 0 || d.Prob(-1) != 0 {
+		t.Fatal("out-of-range Prob should be 0")
+	}
+}
+
+func TestSampleMatchesPMF(t *testing.T) {
+	const n = 50
+	const draws = 400000
+	d := MustNew(n, DefaultMean)
+	src := randutil.NewSource(101)
+	counts := make([]int, n+1)
+	for i := 0; i < draws; i++ {
+		counts[d.Sample(src)]++
+	}
+	for i := 1; i <= n; i++ {
+		got := float64(counts[i]) / draws
+		want := d.Prob(i)
+		// Allow 10% relative error plus slack for the rare tail ranks.
+		if math.Abs(got-want) > 0.1*want+0.002 {
+			t.Fatalf("rank %d: empirical %v vs pmf %v", i, got, want)
+		}
+	}
+}
+
+func TestSampleDeterministic(t *testing.T) {
+	d := MustNew(576, DefaultMean)
+	a := randutil.NewSource(5)
+	b := randutil.NewSource(5)
+	for i := 0; i < 1000; i++ {
+		if d.Sample(a) != d.Sample(b) {
+			t.Fatal("identical sources must give identical samples")
+		}
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	d := MustNew(576, 0.27)
+	if d.N() != 576 {
+		t.Errorf("N() = %d", d.N())
+	}
+	if d.Mean() != 0.27 {
+		t.Errorf("Mean() = %v", d.Mean())
+	}
+}
+
+func TestShiftedIdentityMapping(t *testing.T) {
+	d := MustNew(10, 0.27)
+	s, err := NewShifted(d, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rank 1 maps to identity 4 with shift 3.
+	if got := s.Identity(1); got != 4 {
+		t.Fatalf("Identity(1) with shift 3 = %d, want 4", got)
+	}
+	// Wrap-around: rank 10 with shift 3 maps to identity 3.
+	if got := s.Identity(10); got != 3 {
+		t.Fatalf("Identity(10) with shift 3 = %d, want 3", got)
+	}
+}
+
+func TestShiftedZeroIsIdentity(t *testing.T) {
+	d := MustNew(576, DefaultMean)
+	s, _ := NewShifted(d, 0)
+	for rank := 1; rank <= 576; rank += 37 {
+		if s.Identity(rank) != rank {
+			t.Fatalf("shift 0 should be identity; rank %d -> %d", rank, s.Identity(rank))
+		}
+	}
+}
+
+func TestShiftedProbConsistency(t *testing.T) {
+	d := MustNew(100, 0.27)
+	s, _ := NewShifted(d, 40)
+	for rank := 1; rank <= 100; rank++ {
+		id := s.Identity(rank)
+		if math.Abs(s.Prob(id)-d.Prob(rank)) > 1e-12 {
+			t.Fatalf("Prob(identity(%d)) = %v, want %v", rank, s.Prob(id), d.Prob(rank))
+		}
+	}
+}
+
+func TestShiftedPMFSumsToOne(t *testing.T) {
+	d := MustNew(576, DefaultMean)
+	for _, g := range []int{0, 100, 200, 300, 400, 500, 575, 576, 1000} {
+		s, _ := NewShifted(d, g)
+		var sum float64
+		for _, p := range s.PMF() {
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("shift %d: pmf sums to %v", g, sum)
+		}
+	}
+}
+
+func TestShiftedRejectsNegative(t *testing.T) {
+	d := MustNew(10, 0.27)
+	if _, err := NewShifted(d, -1); err != ErrShiftNegative {
+		t.Fatalf("want ErrShiftNegative, got %v", err)
+	}
+	s, _ := NewShifted(d, 0)
+	if err := s.SetShift(-2); err != ErrShiftNegative {
+		t.Fatalf("want ErrShiftNegative, got %v", err)
+	}
+}
+
+func TestSetShiftChangesPopularIdentity(t *testing.T) {
+	d := MustNew(576, DefaultMean)
+	s, _ := NewShifted(d, 0)
+	if err := s.SetShift(100); err != nil {
+		t.Fatal(err)
+	}
+	if s.Shift() != 100 {
+		t.Fatalf("Shift() = %d", s.Shift())
+	}
+	// The paper: with shift g=100, object (1+100) becomes the most popular.
+	if got := s.Identity(1); got != 101 {
+		t.Fatalf("most popular identity = %d, want 101", got)
+	}
+}
+
+func TestShiftedSampleDistribution(t *testing.T) {
+	d := MustNew(20, DefaultMean)
+	s, _ := NewShifted(d, 5)
+	src := randutil.NewSource(77)
+	counts := make([]int, 21)
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		counts[s.Sample(src)]++
+	}
+	// Identity 6 holds rank 1 and must be the most sampled.
+	maxID := 1
+	for id := 2; id <= 20; id++ {
+		if counts[id] > counts[maxID] {
+			maxID = id
+		}
+	}
+	if maxID != 6 {
+		t.Fatalf("most frequent identity = %d, want 6", maxID)
+	}
+}
+
+func TestShiftedProbOutOfRange(t *testing.T) {
+	d := MustNew(5, 0.27)
+	s, _ := NewShifted(d, 2)
+	if s.Prob(0) != 0 || s.Prob(6) != 0 {
+		t.Fatal("out-of-range Prob should be 0")
+	}
+}
+
+func BenchmarkSample(b *testing.B) {
+	d := MustNew(576, DefaultMean)
+	src := randutil.NewSource(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = d.Sample(src)
+	}
+}
