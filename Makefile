@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: build test vet race check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the tier-1 gate plus static analysis and the race detector.
+check: build vet test race
+
+bench:
+	$(GO) test -bench=. -benchmem

@@ -236,6 +236,28 @@ func BenchmarkDrift(b *testing.B)            { benchFigure(b, "drift") }
 func BenchmarkOptimal(b *testing.B)          { benchFigure(b, "optimal") }
 func BenchmarkAdmission(b *testing.B)        { benchFigure(b, "admission") }
 
+// BenchmarkSweepParallel measures the worker-pool sweep engine on the
+// Figure 5.b grid (9 policies × 7 cache ratios = 63 cells) at several
+// worker counts. parallel=1 is the sequential baseline; parallel=0 uses
+// one worker per CPU. The figure output is byte-identical at every worker
+// count (internal/sim/parallel_test.go pins that); this benchmark measures
+// only the wall-clock effect.
+func BenchmarkSweepParallel(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 0} {
+		name := fmt.Sprintf("parallel=%d", workers)
+		if workers == 0 {
+			name = "parallel=GOMAXPROCS"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Figure5b(sim.Options{Parallel: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkLRUSKSelection compares the O(n)-scan LRU-SK with the Section 5
 // tree-based implementation on a large synthetic repository (20,000 clips,
 // 6 size classes), where victim-selection complexity dominates.

@@ -2,14 +2,21 @@
 // a minimal service harness showing the library embedded in a long-running
 // program rather than a batch simulation.
 //
-// Endpoints:
+// Endpoints (v1):
 //
-//	GET  /clips/{id}   service a reference to clip id; returns the outcome,
-//	                   whether it hit, and the startup latency the device
-//	                   would observe at the configured link bandwidth
-//	GET  /stats        accumulated cache statistics
-//	GET  /resident     currently resident clip ids and byte usage
-//	POST /reset        clear the cache, statistics and policy state
+//	GET  /v1/clips/{id}  service a reference to clip id; returns the outcome,
+//	                     whether it hit, and the startup latency the device
+//	                     would observe at the configured link bandwidth
+//	GET  /v1/stats       accumulated cache statistics and engine counters
+//	GET  /v1/resident    currently resident clip ids and byte usage
+//	POST /v1/reset       clear the cache, statistics and policy state
+//	GET  /v1/snapshot    gob-encoded persistent cache state
+//	POST /v1/restore     restore a previously captured snapshot
+//	GET  /v1/policies    policy specs the registry can build
+//
+// Errors are returned as a uniform JSON envelope {"error": "..."}. The
+// unversioned paths (/clips/{id}, /stats, ...) are deprecated aliases for
+// pre-v1 clients; they serve the same responses with a Deprecation header.
 //
 // Usage:
 //

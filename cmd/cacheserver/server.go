@@ -5,14 +5,19 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
-	"strings"
 	"sync"
 
 	"mediacache/internal/core"
 	"mediacache/internal/media"
 	"mediacache/internal/netsim"
+	"mediacache/internal/policy/registry"
 	"mediacache/internal/sim"
 )
+
+// apiVersion is the current API version prefix. Unversioned paths are
+// deprecated aliases kept for pre-v1 clients; they serve the same handlers
+// with a Deprecation header pointing at the successor route.
+const apiVersion = "/v1"
 
 // server wires a device cache into an http.Handler. The core engine is
 // single-threaded by design (it models one device); the server serializes
@@ -46,13 +51,48 @@ func newServer(policySpec string, ratio float64, alloc media.BitsPerSecond, admi
 		admission: netsim.Seconds(admission),
 		mux:       http.NewServeMux(),
 	}
-	s.mux.HandleFunc("/clips/", s.handleClip)
-	s.mux.HandleFunc("/stats", s.handleStats)
-	s.mux.HandleFunc("/resident", s.handleResident)
-	s.mux.HandleFunc("/reset", s.handleReset)
-	s.mux.HandleFunc("/snapshot", s.handleSnapshot)
-	s.mux.HandleFunc("/restore", s.handleRestore)
+	// Versioned API. Method+wildcard patterns give automatic 405s for
+	// wrong methods on a known path.
+	routes := []struct {
+		pattern string
+		handler http.HandlerFunc
+	}{
+		{"GET /clips/{id}", s.handleClip},
+		{"GET /stats", s.handleStats},
+		{"GET /resident", s.handleResident},
+		{"POST /reset", s.handleReset},
+		{"GET /snapshot", s.handleSnapshot},
+		{"POST /restore", s.handleRestore},
+		{"GET /policies", s.handlePolicies},
+	}
+	for _, rt := range routes {
+		method, path, _ := splitPattern(rt.pattern)
+		s.mux.Handle(method+" "+apiVersion+path, rt.handler)
+		// Deprecated unversioned alias for pre-v1 clients.
+		s.mux.Handle(rt.pattern, deprecated(apiVersion+path, rt.handler))
+	}
 	return s, nil
+}
+
+// splitPattern separates a "METHOD /path" route pattern.
+func splitPattern(pattern string) (method, path string, ok bool) {
+	for i := 0; i < len(pattern); i++ {
+		if pattern[i] == ' ' {
+			return pattern[:i], pattern[i+1:], true
+		}
+	}
+	return "", pattern, false
+}
+
+// deprecated wraps a legacy-alias handler, marking responses with a
+// Deprecation header (RFC 9745) and a successor-version link so clients
+// can discover the /v1 route.
+func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "@1767225600") // 2026-01-01T00:00:00Z
+		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
+		h(w, r)
+	}
 }
 
 // ServeHTTP implements http.Handler.
@@ -60,7 +100,19 @@ func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// clipResponse is the JSON body of GET /clips/{id}.
+// errorResponse is the uniform JSON error envelope of the v1 API.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// writeError reports an error as the uniform JSON envelope.
+func writeError(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// clipResponse is the JSON body of GET /v1/clips/{id}.
 type clipResponse struct {
 	Clip           media.ClipID `json:"clip"`
 	Kind           string       `json:"kind"`
@@ -70,28 +122,24 @@ type clipResponse struct {
 	LatencySeconds float64      `json:"latencySeconds"`
 }
 
-// handleClip services GET /clips/{id}.
+// handleClip services GET /v1/clips/{id}.
 func (s *server) handleClip(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-		return
-	}
-	raw := strings.TrimPrefix(r.URL.Path, "/clips/")
+	raw := r.PathValue("id")
 	id, err := strconv.Atoi(raw)
 	if err != nil {
-		http.Error(w, fmt.Sprintf("bad clip id %q", raw), http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, "bad clip id %q", raw)
 		return
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	clip, ok := s.cache.Repository().Lookup(media.ClipID(id))
 	if !ok {
-		http.Error(w, fmt.Sprintf("clip %d not in repository", id), http.StatusNotFound)
+		writeError(w, http.StatusNotFound, "clip %d not in repository", id)
 		return
 	}
 	out, err := s.cache.Request(clip.ID)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	resp := clipResponse{
@@ -104,7 +152,7 @@ func (s *server) handleClip(w http.ResponseWriter, r *http.Request) {
 	if !out.IsHit() {
 		lat, err := netsim.StartupLatency(clip, s.alloc, s.admission)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+			writeError(w, http.StatusInternalServerError, "%v", err)
 			return
 		}
 		resp.LatencySeconds = float64(lat)
@@ -112,7 +160,7 @@ func (s *server) handleClip(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
-// statsResponse is the JSON body of GET /stats.
+// statsResponse is the JSON body of GET /v1/stats.
 type statsResponse struct {
 	Policy          string  `json:"policy"`
 	Requests        uint64  `json:"requests"`
@@ -125,15 +173,12 @@ type statsResponse struct {
 	UsedBytes       int64   `json:"usedBytes"`
 	CapacityBytes   int64   `json:"capacityBytes"`
 	BypassedMisses  uint64  `json:"bypassedMisses"`
+	VictimCalls     uint64  `json:"victimCalls"`
 	TheoreticalNote string  `json:"note,omitempty"`
 }
 
-// handleStats services GET /stats.
+// handleStats services GET /v1/stats.
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-		return
-	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := s.cache.Stats()
@@ -149,22 +194,19 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		UsedBytes:      int64(s.cache.UsedBytes()),
 		CapacityBytes:  int64(s.cache.Capacity()),
 		BypassedMisses: st.Bypassed,
+		VictimCalls:    st.VictimCalls,
 	})
 }
 
-// residentResponse is the JSON body of GET /resident.
+// residentResponse is the JSON body of GET /v1/resident.
 type residentResponse struct {
 	Clips     []media.ClipID `json:"clips"`
 	UsedBytes int64          `json:"usedBytes"`
 	FreeBytes int64          `json:"freeBytes"`
 }
 
-// handleResident services GET /resident.
+// handleResident services GET /v1/resident.
 func (s *server) handleResident(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-		return
-	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	writeJSON(w, residentResponse{
@@ -174,59 +216,67 @@ func (s *server) handleResident(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleReset services POST /reset.
+// handleReset services POST /v1/reset.
 func (s *server) handleReset(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-		return
-	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.cache.Reset()
 	w.WriteHeader(http.StatusNoContent)
 }
 
-// handleSnapshot services GET /snapshot: the cache's persistent state as a
-// gob-encoded core.Snapshot, suitable for POSTing back to /restore after a
-// restart (the FMC device's disk-backed cache surviving a power cycle).
+// handleSnapshot services GET /v1/snapshot: the cache's persistent state as
+// a gob-encoded core.Snapshot, suitable for POSTing back to /v1/restore
+// after a restart (the FMC device's disk-backed cache surviving a power
+// cycle).
 func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-		return
-	}
 	s.mu.Lock()
 	snap := s.cache.Snapshot()
 	s.mu.Unlock()
 	w.Header().Set("Content-Type", "application/octet-stream")
 	if err := snap.WriteSnapshot(w); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		writeError(w, http.StatusInternalServerError, "%v", err)
 	}
 }
 
-// handleRestore services POST /restore with a gob snapshot body.
+// handleRestore services POST /v1/restore with a gob snapshot body.
 func (s *server) handleRestore(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-		return
-	}
 	snap, err := core.ReadSnapshot(r.Body)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.cache.Restore(snap); err != nil {
-		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// policiesResponse is the JSON body of GET /v1/policies.
+type policiesResponse struct {
+	Current  string   `json:"current"`
+	Policies []string `json:"policies"`
+}
+
+// handlePolicies services GET /v1/policies: the policy specs the registry
+// can build (including any registered out-of-tree) and the one this server
+// is running.
+func (s *server) handlePolicies(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	current := s.cache.Policy().Name()
+	s.mu.Unlock()
+	writeJSON(w, policiesResponse{
+		Current:  current,
+		Policies: registry.Usages(),
+	})
 }
 
 // writeJSON encodes v with an application/json content type.
 func writeJSON(w http.ResponseWriter, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		writeError(w, http.StatusInternalServerError, "%v", err)
 	}
 }

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"mediacache/internal/policy/registry"
+)
+
+// TestV1Routes drives the full request cycle through the versioned paths.
+func TestV1Routes(t *testing.T) {
+	_, ts := newTestServer(t)
+	var clip clipResponse
+	if resp := getJSON(t, ts.URL+"/v1/clips/2", &clip); resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/clips/2 status = %d", resp.StatusCode)
+	}
+	if clip.Hit || clip.Outcome != "miss-cached" {
+		t.Fatalf("first v1 request = %+v, want miss-cached", clip)
+	}
+	var st statsResponse
+	getJSON(t, ts.URL+"/v1/stats", &st)
+	if st.Requests != 1 {
+		t.Fatalf("v1 stats = %+v, want 1 request", st)
+	}
+	var res residentResponse
+	getJSON(t, ts.URL+"/v1/resident", &res)
+	if len(res.Clips) != 1 {
+		t.Fatalf("v1 resident = %+v, want 1 clip", res)
+	}
+	resp, err := http.Post(ts.URL+"/v1/reset", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("POST /v1/reset status = %d", resp.StatusCode)
+	}
+	getJSON(t, ts.URL+"/v1/stats", &st)
+	if st.Requests != 0 {
+		t.Fatalf("v1 stats after reset = %+v", st)
+	}
+}
+
+// TestV1MethodNotAllowed checks the automatic 405s of the method patterns.
+func TestV1MethodNotAllowed(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/v1/clips/1", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /v1/clips/1 status = %d", resp.StatusCode)
+	}
+	if resp := getJSON(t, ts.URL+"/v1/reset", nil); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/reset status = %d", resp.StatusCode)
+	}
+}
+
+// TestV1ErrorEnvelope pins the uniform {"error": "..."} JSON error shape.
+func TestV1ErrorEnvelope(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, path := range []string{"/v1/clips/notanumber", "/v1/clips/99999"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("%s Content-Type = %q, want application/json", path, ct)
+		}
+		var envelope errorResponse
+		if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil {
+			t.Fatalf("%s: error body is not the JSON envelope: %v", path, err)
+		}
+		resp.Body.Close()
+		if envelope.Error == "" {
+			t.Errorf("%s: empty error message", path)
+		}
+	}
+}
+
+// TestLegacyAliasDeprecation checks that unversioned paths still work but
+// carry deprecation metadata, and that /v1 paths do not.
+func TestLegacyAliasDeprecation(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.Header.Get("Deprecation") == "" {
+		t.Error("legacy /stats missing Deprecation header")
+	}
+	if link := resp.Header.Get("Link"); !strings.Contains(link, "/v1/stats") {
+		t.Errorf("legacy /stats Link = %q, want successor /v1/stats", link)
+	}
+	resp, err = http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.Header.Get("Deprecation") != "" {
+		t.Error("/v1/stats must not be marked deprecated")
+	}
+}
+
+// TestV1Policies checks the registry-backed discovery endpoint.
+func TestV1Policies(t *testing.T) {
+	_, ts := newTestServer(t)
+	var pol policiesResponse
+	if resp := getJSON(t, ts.URL+"/v1/policies", &pol); resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/policies status = %d", resp.StatusCode)
+	}
+	if pol.Current != "DYNSimple(K=2)" {
+		t.Errorf("current policy = %q", pol.Current)
+	}
+	want := registry.Usages()
+	if len(pol.Policies) != len(want) {
+		t.Fatalf("policies = %v, want %v", pol.Policies, want)
+	}
+	for i := range want {
+		if pol.Policies[i] != want[i] {
+			t.Fatalf("policies[%d] = %q, want %q", i, pol.Policies[i], want[i])
+		}
+	}
+}

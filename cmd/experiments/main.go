@@ -3,12 +3,19 @@
 //
 // Usage:
 //
-//	experiments [-seed N] [-requests N] [-seeds N] [-csv] [all|2a|2b|3|...]...
+//	experiments [-seed N] [-requests N] [-seeds N] [-parallel N] [-csv] [all|2a|2b|3|...]...
 //
 // With no arguments (or "all") every experiment runs in order. Hit rates
 // are printed as percentages; -csv emits machine-readable CSV instead;
 // -seeds N replicates each experiment across N consecutive seeds and prints
 // the across-seed mean and standard-deviation tables.
+//
+// Every experiment decomposes into independent sweep cells that a worker
+// pool executes concurrently; -parallel N bounds the workers (0 = one per
+// CPU, 1 = sequential). The output is byte-identical at any worker count.
+// -metrics appends a per-cell engine-counter table (evictions, bytes
+// evicted, bypassed requests, victim-selection calls, wall time) after each
+// figure.
 package main
 
 import (
@@ -37,6 +44,8 @@ func run(args []string, out io.Writer) error {
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
 	plot := fs.Bool("plot", false, "render ASCII plots instead of tables (best for 6b/7b transients)")
 	seeds := fs.Int("seeds", 1, "replicate each experiment across N consecutive seeds and report means (+ std dev table)")
+	parallel := fs.Int("parallel", 0, "worker-pool size for sweep cells (0 = GOMAXPROCS, 1 = sequential)")
+	metrics := fs.Bool("metrics", false, "print per-cell engine counters (evictions, bypassed, victim calls, wall time)")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: experiments [flags] [experiment]...\n\nexperiments:\n")
 		for _, e := range sim.Experiments {
@@ -56,7 +65,7 @@ func run(args []string, out io.Writer) error {
 			ids = append(ids, e.ID)
 		}
 	}
-	opt := sim.Options{Seed: *seed, Requests: *requests}
+	opt := sim.Options{Seed: *seed, Requests: *requests, Parallel: *parallel}
 	for _, id := range ids {
 		runExp, ok := sim.ByID(id)
 		if !ok {
@@ -93,9 +102,30 @@ func run(args []string, out io.Writer) error {
 				return fmt.Errorf("rendering %s: %w", id, err)
 			}
 		}
+		if *metrics && fig != nil && len(fig.Cells) > 0 {
+			renderMetrics(out, fig)
+		}
 		if !*csv {
 			fmt.Fprintf(out, "(%.1fs)\n\n", time.Since(start).Seconds())
 		}
 	}
 	return nil
+}
+
+// renderMetrics prints the per-cell engine counters of fig plus a total
+// row. Wall times sum to total compute, not elapsed time: cells overlap
+// under the parallel runner.
+func renderMetrics(out io.Writer, fig *sim.Figure) {
+	fmt.Fprintf(out, "cell metrics [%s]:\n", fig.ID)
+	fmt.Fprintf(out, "  %-36s %10s %10s %14s %10s %12s %10s\n",
+		"cell", "requests", "evictions", "bytesEvicted", "bypassed", "victimCalls", "wall")
+	for _, c := range fig.Cells {
+		fmt.Fprintf(out, "  %-36s %10d %10d %14d %10d %12d %10s\n",
+			c.Label, c.Requests, c.Evictions, int64(c.BytesEvicted),
+			c.Bypassed, c.VictimCalls, c.Wall.Round(time.Millisecond))
+	}
+	total := fig.TotalMetrics()
+	fmt.Fprintf(out, "  %-36s %10d %10d %14d %10d %12d %10s\n",
+		"TOTAL", total.Requests, total.Evictions, int64(total.BytesEvicted),
+		total.Bypassed, total.VictimCalls, total.Wall.Round(time.Millisecond))
 }

@@ -118,7 +118,8 @@ type Policy interface {
 	Reset()
 }
 
-// Stats accumulates the evaluation metrics of Section 1.
+// Stats accumulates the evaluation metrics of Section 1, plus the engine
+// counters the sweep pool surfaces for performance tracking.
 type Stats struct {
 	Requests        uint64      // total references
 	Hits            uint64      // references serviced from cache
@@ -128,6 +129,7 @@ type Stats struct {
 	Evictions       uint64      // number of clips swapped out
 	BytesEvicted    media.Bytes // Σ size of evicted clips
 	Bypassed        uint64      // misses not cached (admission declined or too large)
+	VictimCalls     uint64      // Policy.Victims invocations, incl. re-invocations for short selections
 }
 
 // HitRate returns the cache hit rate in [0, 1].
@@ -152,10 +154,55 @@ type Cache struct {
 	capacity media.Bytes
 	policy   Policy
 
+	// admit, when set via WithAdmission, is consulted on every cacheable
+	// miss before the policy's own Admit.
+	admit func(media.Clip, vtime.Time) bool
+	// initClock is the virtual time the cache starts (and Resets) at.
+	initClock vtime.Time
+
 	resident map[media.ClipID]struct{}
 	used     media.Bytes
 	clock    vtime.Time
 	stats    Stats
+}
+
+// Option configures optional engine behaviour at construction; see
+// WithAdmission and WithClock.
+type Option func(*Cache) error
+
+// WithAdmission installs an engine-level admission hook consulted on every
+// cacheable miss before the policy's own Admit. Returning false streams
+// the clip without materializing it (the Section 2 future-work scenario),
+// regardless of what the policy would decide.
+func WithAdmission(hook func(clip media.Clip, now vtime.Time) bool) Option {
+	return func(c *Cache) error {
+		if hook == nil {
+			return errors.New("core: WithAdmission hook must not be nil")
+		}
+		c.admit = hook
+		return nil
+	}
+}
+
+// WithClock starts the virtual clock at now instead of zero, e.g. when a
+// cache resumes from an external event log. Reset returns the clock to
+// this value.
+func WithClock(now vtime.Time) Option {
+	return func(c *Cache) error {
+		if now < 0 {
+			return fmt.Errorf("core: initial clock must be non-negative, got %d", now)
+		}
+		c.initClock = now
+		return nil
+	}
+}
+
+// Binder is implemented by policies that need a read-only view of the
+// cache they manage before the first request (e.g. the Simple admission
+// variant, whose Admit consults the resident set). New binds such
+// policies automatically, replacing ad-hoc post-construction wiring.
+type Binder interface {
+	Bind(view ResidentView)
 }
 
 // Engine errors.
@@ -167,8 +214,9 @@ var (
 
 // New returns a Cache over repo with capacity S_T managed by policy.
 // Capacity must be positive and smaller than the repository size (otherwise
-// the caching problem is trivial — Section 2).
-func New(repo *media.Repository, capacity media.Bytes, policy Policy) (*Cache, error) {
+// the caching problem is trivial — Section 2). Policies implementing
+// Binder are bound to the cache's resident view before New returns.
+func New(repo *media.Repository, capacity media.Bytes, policy Policy, opts ...Option) (*Cache, error) {
 	if repo == nil {
 		return nil, errors.New("core: repository must not be nil")
 	}
@@ -182,12 +230,22 @@ func New(repo *media.Repository, capacity media.Bytes, policy Policy) (*Cache, e
 		return nil, fmt.Errorf("core: capacity %v is not smaller than the repository %v; the problem is trivial (Section 2)",
 			capacity, repo.TotalSize())
 	}
-	return &Cache{
+	c := &Cache{
 		repo:     repo,
 		capacity: capacity,
 		policy:   policy,
 		resident: make(map[media.ClipID]struct{}),
-	}, nil
+	}
+	for _, opt := range opts {
+		if err := opt(c); err != nil {
+			return nil, err
+		}
+	}
+	c.clock = c.initClock
+	if b, ok := policy.(Binder); ok {
+		b.Bind(c)
+	}
+	return c, nil
 }
 
 // Repository returns the backing repository.
@@ -269,6 +327,10 @@ func (c *Cache) Request(id media.ClipID) (Outcome, error) {
 		c.stats.Bypassed++
 		return MissTooLarge, nil
 	}
+	if c.admit != nil && !c.admit(clip, now) {
+		c.stats.Bypassed++
+		return MissBypassed, nil
+	}
 	if !c.policy.Admit(clip, now) {
 		c.stats.Bypassed++
 		return MissBypassed, nil
@@ -286,6 +348,7 @@ func (c *Cache) Request(id media.ClipID) (Outcome, error) {
 func (c *Cache) makeRoom(clip media.Clip, now vtime.Time) error {
 	for c.capacity-c.used < clip.Size {
 		need := clip.Size - (c.capacity - c.used)
+		c.stats.VictimCalls++
 		victims := c.policy.Victims(clip, c, need, now)
 		if len(victims) == 0 {
 			return fmt.Errorf("%w: need %v, free %v", ErrPolicyNoVictim, need, c.FreeBytes())
@@ -325,11 +388,12 @@ func (c *Cache) Warm(ids []media.ClipID) {
 	}
 }
 
-// Reset clears residency, statistics, the clock and the policy state.
+// Reset clears residency, statistics and the policy state, and rewinds the
+// clock to its initial value (zero unless WithClock set one).
 func (c *Cache) Reset() {
 	c.resident = make(map[media.ClipID]struct{})
 	c.used = 0
-	c.clock = 0
+	c.clock = c.initClock
 	c.stats = Stats{}
 	c.policy.Reset()
 }
@@ -339,8 +403,11 @@ func (c *Cache) Reset() {
 // Section 4.4.1: the probability the next request hits, given the true
 // request distribution.
 func (c *Cache) TheoreticalHitRate(pmf []float64) float64 {
+	// Sum in ascending clip-ID order: float addition is not associative,
+	// and iterating the resident map directly would make the result vary
+	// run to run with Go's randomized map order.
 	var sum float64
-	for id := range c.resident {
+	for _, id := range c.ResidentIDs() {
 		if i := int(id) - 1; i >= 0 && i < len(pmf) {
 			sum += pmf[i]
 		}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+
+	"mediacache/internal/media"
+	"mediacache/internal/vtime"
+)
+
+func TestWithAdmissionHook(t *testing.T) {
+	repo := smallRepo(t)
+	cache, err := New(repo, 50, &fifoPolicy{},
+		WithAdmission(func(c media.Clip, _ vtime.Time) bool { return c.ID != 2 }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out, _ := cache.Request(1); out != MissCached {
+		t.Fatalf("clip 1 outcome = %v", out)
+	}
+	if out, _ := cache.Request(2); out != MissBypassed {
+		t.Fatalf("vetoed clip outcome = %v", out)
+	}
+	st := cache.Stats()
+	if st.Bypassed != 1 {
+		t.Fatalf("bypassed = %d", st.Bypassed)
+	}
+	// A veto must fire before the policy sees Admit.
+	p := &fifoPolicy{admitFn: func(media.Clip) bool {
+		t.Error("policy.Admit called despite engine veto")
+		return true
+	}}
+	cache, err = New(repo, 50, p,
+		WithAdmission(func(media.Clip, vtime.Time) bool { return false }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out, _ := cache.Request(1); out != MissBypassed {
+		t.Fatalf("outcome = %v", out)
+	}
+
+	if _, err := New(repo, 50, &fifoPolicy{}, WithAdmission(nil)); err == nil {
+		t.Error("nil admission hook should fail")
+	}
+}
+
+func TestWithClock(t *testing.T) {
+	repo := smallRepo(t)
+	cache, err := New(repo, 50, &fifoPolicy{}, WithClock(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.Now() != 1000 {
+		t.Fatalf("initial clock = %v", cache.Now())
+	}
+	cache.Request(1)
+	if cache.Now() != 1001 {
+		t.Fatalf("clock after request = %v", cache.Now())
+	}
+	// Reset rewinds to the configured origin, not zero.
+	cache.Reset()
+	if cache.Now() != 1000 {
+		t.Fatalf("clock after reset = %v", cache.Now())
+	}
+
+	if _, err := New(repo, 50, &fifoPolicy{}, WithClock(-1)); err == nil {
+		t.Error("negative clock should fail")
+	}
+}
+
+// binderPolicy records whether New bound it.
+type binderPolicy struct {
+	fifoPolicy
+	view ResidentView
+}
+
+func (p *binderPolicy) Bind(view ResidentView) { p.view = view }
+
+func TestNewAutoBindsBinder(t *testing.T) {
+	repo := smallRepo(t)
+	p := &binderPolicy{}
+	cache, err := New(repo, 50, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.view == nil {
+		t.Fatal("core.New did not bind a Binder policy")
+	}
+	cache.Request(1)
+	if !p.view.Resident(1) {
+		t.Error("bound view does not track residency")
+	}
+}

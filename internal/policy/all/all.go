@@ -1,0 +1,21 @@
+// Package all links every built-in replacement policy into the binary,
+// triggering their registry registrations. Import it for side effects:
+//
+//	import _ "mediacache/internal/policy/all"
+//
+// Programs that only need a subset can instead blank-import the
+// individual policy packages they use.
+package all
+
+import (
+	_ "mediacache/internal/policy/dynsimple"
+	_ "mediacache/internal/policy/gdfreq"
+	_ "mediacache/internal/policy/gdsp"
+	_ "mediacache/internal/policy/greedydual"
+	_ "mediacache/internal/policy/igd"
+	_ "mediacache/internal/policy/lfu"
+	_ "mediacache/internal/policy/lruk"
+	_ "mediacache/internal/policy/lrusk"
+	_ "mediacache/internal/policy/random"
+	_ "mediacache/internal/policy/simple"
+)

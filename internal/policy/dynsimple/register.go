@@ -1,0 +1,16 @@
+package dynsimple
+
+import (
+	"mediacache/internal/core"
+	"mediacache/internal/policy/registry"
+)
+
+func init() {
+	registry.Register(registry.Entry{
+		Name:  "dynsimple",
+		Usage: "dynsimple:K",
+		New: func(cfg registry.Config) (core.Policy, error) {
+			return New(cfg.Repo.N(), cfg.Spec.K)
+		},
+	})
+}

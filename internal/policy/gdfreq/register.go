@@ -1,0 +1,15 @@
+package gdfreq
+
+import (
+	"mediacache/internal/core"
+	"mediacache/internal/policy/registry"
+)
+
+func init() {
+	registry.Register(registry.Entry{
+		Name: "gdfreq",
+		New: func(cfg registry.Config) (core.Policy, error) {
+			return New(nil, cfg.Seed), nil
+		},
+	})
+}

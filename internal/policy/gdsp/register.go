@@ -1,0 +1,15 @@
+package gdsp
+
+import (
+	"mediacache/internal/core"
+	"mediacache/internal/policy/registry"
+)
+
+func init() {
+	registry.Register(registry.Entry{
+		Name: "gdsp",
+		New: func(cfg registry.Config) (core.Policy, error) {
+			return New(nil, DefaultBeta, cfg.Seed)
+		},
+	})
+}

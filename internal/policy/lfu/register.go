@@ -1,0 +1,21 @@
+package lfu
+
+import (
+	"mediacache/internal/core"
+	"mediacache/internal/policy/registry"
+)
+
+func init() {
+	registry.Register(registry.Entry{
+		Name: "lfu",
+		New: func(cfg registry.Config) (core.Policy, error) {
+			return New(), nil
+		},
+	})
+	registry.Register(registry.Entry{
+		Name: "lfu-da",
+		New: func(cfg registry.Config) (core.Policy, error) {
+			return NewDA(), nil
+		},
+	})
+}

@@ -1,0 +1,22 @@
+package lruk
+
+import (
+	"mediacache/internal/core"
+	"mediacache/internal/policy/registry"
+)
+
+func init() {
+	registry.Register(registry.Entry{
+		Name: "lru",
+		New: func(cfg registry.Config) (core.Policy, error) {
+			return New(cfg.Repo.N(), 1)
+		},
+	})
+	registry.Register(registry.Entry{
+		Name:  "lruk",
+		Usage: "lruk:K",
+		New: func(cfg registry.Config) (core.Policy, error) {
+			return New(cfg.Repo.N(), cfg.Spec.K)
+		},
+	})
+}

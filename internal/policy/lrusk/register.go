@@ -1,0 +1,23 @@
+package lrusk
+
+import (
+	"mediacache/internal/core"
+	"mediacache/internal/policy/registry"
+)
+
+func init() {
+	registry.Register(registry.Entry{
+		Name:  "lrusk",
+		Usage: "lrusk:K",
+		New: func(cfg registry.Config) (core.Policy, error) {
+			return New(cfg.Repo.N(), cfg.Spec.K)
+		},
+	})
+	registry.Register(registry.Entry{
+		Name:  "lrusk-tree",
+		Usage: "lrusk-tree:K",
+		New: func(cfg registry.Config) (core.Policy, error) {
+			return NewFast(cfg.Repo.N(), cfg.Spec.K)
+		},
+	})
+}

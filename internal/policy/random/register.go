@@ -1,0 +1,15 @@
+package random
+
+import (
+	"mediacache/internal/core"
+	"mediacache/internal/policy/registry"
+)
+
+func init() {
+	registry.Register(registry.Entry{
+		Name: "random",
+		New: func(cfg registry.Config) (core.Policy, error) {
+			return New(cfg.Seed), nil
+		},
+	})
+}

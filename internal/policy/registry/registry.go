@@ -1,0 +1,180 @@
+// Package registry is the self-registering factory for replacement
+// policies. Each policy package registers its spec names in an init()
+// function (see the register.go file next to every implementation), and
+// consumers — the sim package, cmd/cachesim, cmd/cacheserver — resolve
+// textual specs such as "dynsimple:32" or "greedydual" through Build
+// without a central switch statement.
+//
+// Out-of-tree policies plug in the same way: implement core.Policy,
+// call Register from an init() function, and every CLI and experiment
+// that resolves specs through the registry picks the new name up
+// automatically (including help text and unknown-spec error listings).
+package registry
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"mediacache/internal/core"
+	"mediacache/internal/media"
+)
+
+// DefaultK is the history depth assumed when a spec omits the ":K" suffix.
+const DefaultK = 2
+
+// Spec is a parsed policy specification: a registered name plus an
+// optional history depth, e.g. "lruk:2" or "greedydual".
+type Spec struct {
+	// Name is the registry key, e.g. "lruk".
+	Name string
+	// K is the history depth; DefaultK when the spec has no ":K" suffix.
+	// Factories that take no depth ignore it.
+	K int
+	// HasK reports whether the spec carried an explicit ":K" suffix.
+	HasK bool
+}
+
+// String renders the spec back to its textual form.
+func (s Spec) String() string {
+	if s.HasK {
+		return fmt.Sprintf("%s:%d", s.Name, s.K)
+	}
+	return s.Name
+}
+
+// ParseSpec splits "name[:K]" and validates the depth. It does not check
+// that name is registered; Build does.
+func ParseSpec(spec string) (Spec, error) {
+	out := Spec{Name: spec, K: DefaultK}
+	if i := strings.IndexByte(spec, ':'); i >= 0 {
+		out.Name = spec[:i]
+		parsed, err := strconv.Atoi(spec[i+1:])
+		if err != nil || parsed <= 0 {
+			return Spec{}, fmt.Errorf("registry: bad history depth in policy spec %q", spec)
+		}
+		out.K = parsed
+		out.HasK = true
+	}
+	return out, nil
+}
+
+// Config carries everything a policy factory may need. Factories must
+// treat Repo and PMF as read-only: cells of a parallel sweep share them.
+type Config struct {
+	// Spec is the parsed specification that selected this factory.
+	Spec Spec
+	// Repo is the repository the cache will front; never nil.
+	Repo *media.Repository
+	// PMF is the true per-identity access probability vector (indexed by
+	// clip id-1) for off-line techniques; nil for on-line policies.
+	PMF []float64
+	// Seed feeds policies that break ties or pick victims randomly.
+	Seed uint64
+}
+
+// Factory constructs a policy from a parsed spec.
+type Factory func(cfg Config) (core.Policy, error)
+
+// Entry describes one registered policy name.
+type Entry struct {
+	// Name is the registry key matched against the spec's name part.
+	Name string
+	// Usage is the CLI help form, e.g. "lruk:K" for depth-parameterized
+	// policies or just the name otherwise.
+	Usage string
+	// NeedsPMF documents that the factory requires the true access
+	// frequencies (Config.PMF); used for help text only — factories still
+	// validate at build time.
+	NeedsPMF bool
+	// New builds the policy.
+	New Factory
+}
+
+var (
+	mu      sync.RWMutex
+	entries = map[string]Entry{}
+)
+
+// Register adds a policy factory under e.Name. It panics on an empty
+// name, a nil factory, or a duplicate registration — all programmer
+// errors surfaced at init() time.
+func Register(e Entry) {
+	if e.Name == "" {
+		panic("registry: Register with empty name")
+	}
+	if e.New == nil {
+		panic(fmt.Sprintf("registry: Register(%q) with nil factory", e.Name))
+	}
+	if e.Usage == "" {
+		e.Usage = e.Name
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if _, dup := entries[e.Name]; dup {
+		panic(fmt.Sprintf("registry: policy %q registered twice", e.Name))
+	}
+	entries[e.Name] = e
+}
+
+// Lookup returns the entry registered under name.
+func Lookup(name string) (Entry, bool) {
+	mu.RLock()
+	defer mu.RUnlock()
+	e, ok := entries[name]
+	return e, ok
+}
+
+// Names returns the registered policy names in sorted order.
+func Names() []string {
+	mu.RLock()
+	defer mu.RUnlock()
+	out := make([]string, 0, len(entries))
+	for name := range entries {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Usages returns the registered usage strings (e.g. "lruk:K") in sorted
+// name order, for CLI help text.
+func Usages() []string {
+	mu.RLock()
+	out := make([]Entry, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, e)
+	}
+	mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	usages := make([]string, len(out))
+	for i, e := range out {
+		usages[i] = e.Usage
+	}
+	return usages
+}
+
+// Build parses spec, resolves its name against the registry and invokes
+// the factory. Unknown names produce an error listing every registered
+// name so CLI users see what is available.
+func Build(spec string, repo *media.Repository, pmf []float64, seed uint64) (core.Policy, error) {
+	if repo == nil {
+		return nil, fmt.Errorf("registry: repository must not be nil")
+	}
+	parsed, err := ParseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	e, ok := Lookup(parsed.Name)
+	if !ok {
+		return nil, fmt.Errorf("registry: unknown policy %q (registered: %s)",
+			spec, strings.Join(Names(), ", "))
+	}
+	p, err := e.New(Config{Spec: parsed, Repo: repo, PMF: pmf, Seed: seed})
+	if err != nil {
+		return nil, fmt.Errorf("registry: building policy %q: %w", spec, err)
+	}
+	return p, nil
+}

@@ -1,0 +1,31 @@
+package simple
+
+import (
+	"fmt"
+
+	"mediacache/internal/core"
+	"mediacache/internal/policy/registry"
+)
+
+func init() {
+	registry.Register(registry.Entry{
+		Name:     "simple",
+		NeedsPMF: true,
+		New: func(cfg registry.Config) (core.Policy, error) {
+			if cfg.PMF == nil {
+				return nil, fmt.Errorf("simple: policy %q needs the true access frequencies", cfg.Spec)
+			}
+			return New(cfg.PMF)
+		},
+	})
+	registry.Register(registry.Entry{
+		Name:     "simple-variant",
+		NeedsPMF: true,
+		New: func(cfg registry.Config) (core.Policy, error) {
+			if cfg.PMF == nil {
+				return nil, fmt.Errorf("simple: policy %q needs the true access frequencies", cfg.Spec)
+			}
+			return NewVariant(cfg.PMF)
+		},
+	})
+}

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"fmt"
+
 	"mediacache/internal/core"
 	"mediacache/internal/media"
 	"mediacache/internal/policy/admission"
@@ -32,39 +34,61 @@ func Admission(opt Options) (*Figure, error) {
 		XLabel: "S_T/S_DB",
 		YLabel: "Rate (%)",
 	}
-	for _, wrap := range []bool{false, true} {
-		hit := Series{}
-		byteHit := Series{}
-		for _, ratio := range AdmissionRatios {
-			var p core.Policy
-			p, err := dynsimple.New(repo.N(), dynsimple.DefaultK)
+	// Grid: wrap-mode-major, ratio-minor.
+	modes := []bool{false, true}
+	nr := len(AdmissionRatios)
+	type cellOut struct {
+		name      string
+		hit, byte float64
+		m         Metrics
+	}
+	cells, err := mapCells(opt.Parallel, len(modes)*nr, func(i int) (cellOut, error) {
+		wrap, ratio := modes[i/nr], AdmissionRatios[i%nr]
+		var p core.Policy
+		p, err := dynsimple.New(repo.N(), dynsimple.DefaultK)
+		if err != nil {
+			return cellOut{}, err
+		}
+		if wrap {
+			p, err = admission.Wrap(p, repo.N(), 0)
 			if err != nil {
-				return nil, err
+				return cellOut{}, err
 			}
-			if wrap {
-				p, err = admission.Wrap(p, repo.N(), 0)
-				if err != nil {
-					return nil, err
-				}
-			}
-			if hit.Label == "" {
-				hit.Label = p.Name() + " [hit]"
-				byteHit.Label = p.Name() + " [byte]"
-			}
-			cache, err := core.New(repo, repo.CacheSizeForRatio(ratio), p)
-			if err != nil {
-				return nil, err
-			}
-			gen := workload.MustNewGenerator(dist, opt.Seed)
-			res, err := Run(p.Name(), cache, gen,
-				workload.Schedule{{Shift: 0, Requests: opt.Requests}}, RunConfig{})
-			if err != nil {
-				return nil, err
-			}
+		}
+		cache, err := core.New(repo, repo.CacheSizeForRatio(ratio), p)
+		if err != nil {
+			return cellOut{}, err
+		}
+		gen := workload.MustNewGenerator(dist, opt.Seed)
+		res, err := Run(p.Name(), cache, gen,
+			workload.Schedule{{Shift: 0, Requests: opt.Requests}}, RunConfig{})
+		if err != nil {
+			return cellOut{}, err
+		}
+		return cellOut{
+			name: p.Name(),
+			hit:  res.Stats.HitRate(),
+			byte: res.Stats.ByteHitRate(),
+			m:    res.Metrics,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for mi := range modes {
+		name := cells[mi*nr].name
+		hit := Series{Label: name + " [hit]"}
+		byteHit := Series{Label: name + " [byte]"}
+		for j, ratio := range AdmissionRatios {
+			c := cells[mi*nr+j]
 			hit.X = append(hit.X, ratio)
-			hit.Y = append(hit.Y, res.Stats.HitRate())
+			hit.Y = append(hit.Y, c.hit)
 			byteHit.X = append(byteHit.X, ratio)
-			byteHit.Y = append(byteHit.Y, res.Stats.ByteHitRate())
+			byteHit.Y = append(byteHit.Y, c.byte)
+			fig.Cells = append(fig.Cells, CellMetrics{
+				Label:   fmt.Sprintf("%s@%v", name, ratio),
+				Metrics: c.m,
+			})
 		}
 		fig.Series = append(fig.Series, hit, byteHit)
 	}

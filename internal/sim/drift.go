@@ -1,6 +1,9 @@
 package sim
 
 import (
+	"fmt"
+	"time"
+
 	"mediacache/internal/media"
 	"mediacache/internal/workload"
 	"mediacache/internal/zipf"
@@ -32,27 +35,49 @@ func Drift(opt Options) (*Figure, error) {
 		YLabel: "Cache hit rate (%)",
 	}
 	specs := []string{"dynsimple:2", "dynsimple:32", "igd:2", "lrusk:2", "gdfreq", "greedydual"}
-	for _, spec := range specs {
-		s := Series{}
-		for _, period := range DriftPeriods {
-			gen, err := workload.NewDrifting(dist, opt.Seed, period)
-			if err != nil {
-				return nil, err
+	// Grid: spec-major, period-minor.
+	np := len(DriftPeriods)
+	type cellOut struct {
+		name string
+		y    float64
+		m    Metrics
+	}
+	cells, err := mapCells(opt.Parallel, len(specs)*np, func(i int) (cellOut, error) {
+		spec, period := specs[i/np], DriftPeriods[i%np]
+		start := time.Now()
+		gen, err := workload.NewDrifting(dist, opt.Seed, period)
+		if err != nil {
+			return cellOut{}, err
+		}
+		cache, err := NewCache(spec, repo, capacity, nil, opt.Seed)
+		if err != nil {
+			return cellOut{}, err
+		}
+		for i := 0; i < opt.Requests; i++ {
+			if _, err := cache.Request(gen.Next()); err != nil {
+				return cellOut{}, err
 			}
-			cache, err := NewCache(spec, repo, capacity, nil, opt.Seed)
-			if err != nil {
-				return nil, err
-			}
-			if s.Label == "" {
-				s.Label = cache.Policy().Name()
-			}
-			for i := 0; i < opt.Requests; i++ {
-				if _, err := cache.Request(gen.Next()); err != nil {
-					return nil, err
-				}
-			}
+		}
+		stats := cache.Stats()
+		return cellOut{
+			name: cache.Policy().Name(),
+			y:    stats.HitRate(),
+			m:    metricsFromStats(stats, time.Since(start)),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for si, spec := range specs {
+		s := Series{Label: cells[si*np].name}
+		for j, period := range DriftPeriods {
+			c := cells[si*np+j]
 			s.X = append(s.X, float64(period))
-			s.Y = append(s.Y, cache.Stats().HitRate())
+			s.Y = append(s.Y, c.y)
+			fig.Cells = append(fig.Cells, CellMetrics{
+				Label:   fmt.Sprintf("%s@period=%d", spec, period),
+				Metrics: c.m,
+			})
 		}
 		fig.Series = append(fig.Series, s)
 	}

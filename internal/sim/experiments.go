@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"time"
 
 	"mediacache/internal/core"
 	"mediacache/internal/history"
@@ -43,19 +44,44 @@ type Series struct {
 	Y     []float64
 }
 
+// CellMetrics labels the engine counters of one sweep cell, e.g.
+// "lruk:2@0.1" for policy lruk:2 at cache ratio 0.1.
+type CellMetrics struct {
+	Label string
+	Metrics
+}
+
 // Figure is a reproduced table/figure: a set of series over a shared axis.
+// Cells carries the per-cell engine counters of the sweep that produced
+// it, in canonical cell order; rendering ignores it, so figures compare
+// equal across worker counts on everything but wall time.
 type Figure struct {
 	ID     string // e.g. "2a"
 	Title  string
 	XLabel string
 	YLabel string
 	Series []Series
+	Cells  []CellMetrics
+}
+
+// TotalMetrics sums the figure's per-cell counters. Wall is total
+// compute across cells, not elapsed time.
+func (f *Figure) TotalMetrics() Metrics {
+	var total Metrics
+	for _, c := range f.Cells {
+		total.Add(c.Metrics)
+	}
+	return total
 }
 
 // Options configures an experiment run.
 type Options struct {
 	Seed     uint64
 	Requests int
+	// Parallel is the worker count of the sweep pool: 0 uses
+	// runtime.GOMAXPROCS(0), 1 forces the sequential path, N > 1 runs N
+	// workers. Figure output is byte-identical at every setting.
+	Parallel int
 }
 
 // withDefaults fills unset fields.
@@ -78,49 +104,67 @@ const (
 )
 
 // sweepRatios runs each policy spec across cache-size ratios on repo and
-// returns one series per spec. Every (spec, ratio) cell uses a fresh cache
-// and an identically seeded generator, per the paper's footnote 5.
-func sweepRatios(repo *media.Repository, specs []string, ratios []float64, m metric, opt Options) ([]Series, error) {
+// returns one series per spec, plus the per-cell engine counters. Every
+// (spec, ratio) cell uses a fresh cache and an identically seeded
+// generator, per the paper's footnote 5; cells are independent, so the
+// pool fans them out across opt.Parallel workers and reassembles in
+// canonical (spec-major, ratio-minor) order.
+func sweepRatios(repo *media.Repository, specs []string, ratios []float64, m metric, opt Options) ([]Series, []CellMetrics, error) {
 	opt = opt.withDefaults()
 	dist, err := zipf.New(repo.N(), zipf.DefaultMean)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	pmf := workload.MustNewGenerator(dist, opt.Seed).PMF()
-	series := make([]Series, 0, len(specs))
-	for _, spec := range specs {
-		s := Series{}
-		for _, ratio := range ratios {
-			cache, err := NewCache(spec, repo, repo.CacheSizeForRatio(ratio), pmf, opt.Seed)
-			if err != nil {
-				return nil, fmt.Errorf("building %q at ratio %v: %w", spec, ratio, err)
-			}
-			if s.Label == "" {
-				s.Label = cache.Policy().Name()
-			}
-			gen := workload.MustNewGenerator(dist, opt.Seed)
-			res, err := Run(cache.Policy().Name(), cache, gen,
-				workload.Schedule{{Shift: 0, Requests: opt.Requests}}, RunConfig{})
-			if err != nil {
-				return nil, err
-			}
-			s.X = append(s.X, ratio)
-			switch m {
-			case metricByteHitRate:
-				s.Y = append(s.Y, res.Stats.ByteHitRate())
-			default:
-				s.Y = append(s.Y, res.Stats.HitRate())
-			}
-		}
-		series = append(series, s)
+	type cellOut struct {
+		name string
+		y    float64
+		m    Metrics
 	}
-	return series, nil
+	nr := len(ratios)
+	cells, err := mapCells(opt.Parallel, len(specs)*nr, func(i int) (cellOut, error) {
+		spec, ratio := specs[i/nr], ratios[i%nr]
+		cache, err := NewCache(spec, repo, repo.CacheSizeForRatio(ratio), pmf, opt.Seed)
+		if err != nil {
+			return cellOut{}, fmt.Errorf("building %q at ratio %v: %w", spec, ratio, err)
+		}
+		gen := workload.MustNewGenerator(dist, opt.Seed)
+		res, err := Run(cache.Policy().Name(), cache, gen,
+			workload.Schedule{{Shift: 0, Requests: opt.Requests}}, RunConfig{})
+		if err != nil {
+			return cellOut{}, err
+		}
+		y := res.Stats.HitRate()
+		if m == metricByteHitRate {
+			y = res.Stats.ByteHitRate()
+		}
+		return cellOut{name: cache.Policy().Name(), y: y, m: res.Metrics}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	series := make([]Series, len(specs))
+	metrics := make([]CellMetrics, 0, len(cells))
+	for si, spec := range specs {
+		s := Series{Label: cells[si*nr].name}
+		for ri, ratio := range ratios {
+			c := cells[si*nr+ri]
+			s.X = append(s.X, ratio)
+			s.Y = append(s.Y, c.y)
+			metrics = append(metrics, CellMetrics{
+				Label:   fmt.Sprintf("%s@%v", spec, ratio),
+				Metrics: c.m,
+			})
+		}
+		series[si] = s
+	}
+	return series, metrics, nil
 }
 
 // Figure2a reproduces Figure 2.a: cache hit rate of Simple, LRU-2,
 // GreedyDual and Random on the 576-clip variable-size repository.
 func Figure2a(opt Options) (*Figure, error) {
-	series, err := sweepRatios(media.PaperRepository(),
+	series, cells, err := sweepRatios(media.PaperRepository(),
 		[]string{"simple", "lruk:2", "greedydual", "random"},
 		RatiosFigure2, metricHitRate, opt)
 	if err != nil {
@@ -132,12 +176,13 @@ func Figure2a(opt Options) (*Figure, error) {
 		XLabel: "S_T/S_DB",
 		YLabel: "Cache hit rate (%)",
 		Series: series,
+		Cells:  cells,
 	}, nil
 }
 
 // Figure2b reproduces Figure 2.b: byte hit rate of the same techniques.
 func Figure2b(opt Options) (*Figure, error) {
-	series, err := sweepRatios(media.PaperRepository(),
+	series, cells, err := sweepRatios(media.PaperRepository(),
 		[]string{"simple", "lruk:2", "greedydual", "random"},
 		RatiosFigure2, metricByteHitRate, opt)
 	if err != nil {
@@ -149,13 +194,14 @@ func Figure2b(opt Options) (*Figure, error) {
 		XLabel: "S_T/S_DB",
 		YLabel: "Byte hit rate (%)",
 		Series: series,
+		Cells:  cells,
 	}, nil
 }
 
 // Figure3 reproduces Figure 3: LRU-2 vs GreedyDual on equi-sized clips,
 // where GreedyDual's size-only priorities degenerate to coin flips.
 func Figure3(opt Options) (*Figure, error) {
-	series, err := sweepRatios(media.PaperEquiRepository(),
+	series, cells, err := sweepRatios(media.PaperEquiRepository(),
 		[]string{"lruk:2", "greedydual"},
 		RatiosFigure2, metricHitRate, opt)
 	if err != nil {
@@ -167,13 +213,14 @@ func Figure3(opt Options) (*Figure, error) {
 		XLabel: "S_T/S_DB",
 		YLabel: "Cache hit rate (%)",
 		Series: series,
+		Cells:  cells,
 	}, nil
 }
 
 // Figure5a reproduces Figure 5.a: DYNSimple, IGD, LRU-2 and GreedyDual on
 // the equi-sized repository.
 func Figure5a(opt Options) (*Figure, error) {
-	series, err := sweepRatios(media.PaperEquiRepository(),
+	series, cells, err := sweepRatios(media.PaperEquiRepository(),
 		[]string{"dynsimple:2", "igd:2", "lruk:2", "greedydual"},
 		RatiosFigure5, metricHitRate, opt)
 	if err != nil {
@@ -185,6 +232,7 @@ func Figure5a(opt Options) (*Figure, error) {
 		XLabel: "S_T/S_DB",
 		YLabel: "Cache hit rate (%)",
 		Series: series,
+		Cells:  cells,
 	}, nil
 }
 
@@ -193,7 +241,7 @@ func Figure5a(opt Options) (*Figure, error) {
 // K=32 here ("DYNSimple employs K=32 references ... while K is 2 with
 // LRU-SK").
 func Figure5b(opt Options) (*Figure, error) {
-	series, err := sweepRatios(media.PaperRepository(),
+	series, cells, err := sweepRatios(media.PaperRepository(),
 		[]string{"dynsimple:32", "lrusk:2", "lruk:2", "greedydual"},
 		RatiosFigure5, metricHitRate, opt)
 	if err != nil {
@@ -205,6 +253,7 @@ func Figure5b(opt Options) (*Figure, error) {
 		XLabel: "S_T/S_DB",
 		YLabel: "Cache hit rate (%)",
 		Series: series,
+		Cells:  cells,
 	}, nil
 }
 
@@ -262,20 +311,27 @@ func shiftSweep(id, title string, specs []string, opt Options) (*Figure, error) 
 	if windowsPerPhase == 0 {
 		windowsPerPhase = 1
 	}
-	for _, spec := range specs {
+	// One cell per technique: the continuous schedule is inherently
+	// sequential within a spec, but the specs are independent.
+	type cellOut struct {
+		s Series
+		m Metrics
+	}
+	cells, err := mapCells(opt.Parallel, len(specs), func(i int) (cellOut, error) {
+		spec := specs[i]
 		gen := workload.MustNewGenerator(dist, opt.Seed)
 		cache, err := NewCache(spec, repo, capacity, gen.PMF(), opt.Seed)
 		if err != nil {
-			return nil, err
+			return cellOut{}, err
 		}
 		cfg := RunConfig{WindowSize: window, OnPhaseStart: simpleUpdater(cache)}
 		res, err := Run(cache.Policy().Name(), cache, gen, sched, cfg)
 		if err != nil {
-			return nil, err
+			return cellOut{}, err
 		}
 		s := Series{Label: cache.Policy().Name()}
-		for i, g := range ShiftsFigure6 {
-			lo := i * windowsPerPhase
+		for pi, g := range ShiftsFigure6 {
+			lo := pi * windowsPerPhase
 			hi := lo + windowsPerPhase
 			if hi > len(res.Windows) {
 				hi = len(res.Windows)
@@ -290,7 +346,14 @@ func shiftSweep(id, title string, specs []string, opt Options) (*Figure, error) 
 			s.X = append(s.X, float64(g))
 			s.Y = append(s.Y, sum/float64(hi-lo))
 		}
-		fig.Series = append(fig.Series, s)
+		return cellOut{s: s, m: res.Metrics}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cells {
+		fig.Series = append(fig.Series, c.s)
+		fig.Cells = append(fig.Cells, CellMetrics{Label: specs[i], Metrics: c.m})
 	}
 	return fig, nil
 }
@@ -353,26 +416,38 @@ func transient(id, title string, specs []string, sched workload.Schedule, opt Op
 		XLabel: "Request ID",
 		YLabel: "Theoretical cache hit rate (%)",
 	}
-	for _, spec := range specs {
+	type cellOut struct {
+		s Series
+		m Metrics
+	}
+	cells, err := mapCells(opt.Parallel, len(specs), func(i int) (cellOut, error) {
+		spec := specs[i]
 		gen := workload.MustNewGenerator(dist, opt.Seed)
 		if err := gen.SetShift(sched[0].Shift); err != nil {
-			return nil, err
+			return cellOut{}, err
 		}
 		cache, err := NewCache(spec, repo, capacity, gen.PMF(), opt.Seed)
 		if err != nil {
-			return nil, err
+			return cellOut{}, err
 		}
 		cfg := RunConfig{WindowSize: 100, OnPhaseStart: simpleUpdater(cache)}
 		res, err := Run(cache.Policy().Name(), cache, gen, sched, cfg)
 		if err != nil {
-			return nil, err
+			return cellOut{}, err
 		}
 		s := Series{Label: cache.Policy().Name()}
 		for _, w := range res.Windows {
 			s.X = append(s.X, float64(w.EndRequest))
 			s.Y = append(s.Y, w.Theoretical)
 		}
-		fig.Series = append(fig.Series, s)
+		return cellOut{s: s, m: res.Metrics}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cells {
+		fig.Series = append(fig.Series, c.s)
+		fig.Cells = append(fig.Cells, CellMetrics{Label: specs[i], Metrics: c.m})
 	}
 	return fig, nil
 }
@@ -392,27 +467,43 @@ func Quality(opt Options) (*Figure, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := Series{Label: "E(K)"}
-	for _, k := range QualityKs {
+	type cellOut struct {
+		e float64
+		m Metrics
+	}
+	cells, err := mapCells(opt.Parallel, len(QualityKs), func(i int) (cellOut, error) {
+		start := time.Now()
 		gen := workload.MustNewGenerator(dist, opt.Seed)
 		truth := gen.PMF()
-		tracker := history.NewTracker(repo.N(), k)
+		tracker := history.NewTracker(repo.N(), QualityKs[i])
 		var now int64
-		for i := 0; i < opt.Requests; i++ {
+		for r := 0; r < opt.Requests; r++ {
 			now++
 			tracker.Observe(gen.Next(), vt(now))
 		}
 		est := tracker.EstimatedFrequencies(vt(now))
-		s.X = append(s.X, float64(k))
-		s.Y = append(s.Y, history.Quality(est, truth))
+		return cellOut{
+			e: history.Quality(est, truth),
+			m: Metrics{Requests: uint64(opt.Requests), Wall: time.Since(start)},
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return &Figure{
+	s := Series{Label: "E(K)"}
+	fig := &Figure{
 		ID:     "quality",
 		Title:  "Frequency-estimate quality E vs history depth K (Section 4.1)",
 		XLabel: "K",
 		YLabel: "E = sqrt(sum (est-true)^2)",
-		Series: []Series{s},
-	}, nil
+	}
+	for i, k := range QualityKs {
+		s.X = append(s.X, float64(k))
+		s.Y = append(s.Y, cells[i].e)
+		fig.Cells = append(fig.Cells, CellMetrics{Label: fmt.Sprintf("K=%d", k), Metrics: cells[i].m})
+	}
+	fig.Series = []Series{s}
+	return fig, nil
 }
 
 // SkewMeans is the Zipf-mean sweep of the Section 4.4 skew study (θ=0 is
@@ -433,28 +524,43 @@ func Skew(opt Options) (*Figure, error) {
 		XLabel: "Zipf mean (theta)",
 		YLabel: "Cache hit rate (%)",
 	}
-	for _, spec := range specs {
-		s := Series{}
-		for _, mean := range SkewMeans {
-			dist, err := zipf.New(repo.N(), mean)
-			if err != nil {
-				return nil, err
-			}
-			gen := workload.MustNewGenerator(dist, opt.Seed)
-			cache, err := NewCache(spec, repo, capacity, gen.PMF(), opt.Seed)
-			if err != nil {
-				return nil, err
-			}
-			if s.Label == "" {
-				s.Label = cache.Policy().Name()
-			}
-			res, err := Run(cache.Policy().Name(), cache, gen,
-				workload.Schedule{{Shift: 0, Requests: opt.Requests}}, RunConfig{})
-			if err != nil {
-				return nil, err
-			}
+	type cellOut struct {
+		name string
+		y    float64
+		m    Metrics
+	}
+	nm := len(SkewMeans)
+	cells, err := mapCells(opt.Parallel, len(specs)*nm, func(i int) (cellOut, error) {
+		spec, mean := specs[i/nm], SkewMeans[i%nm]
+		dist, err := zipf.New(repo.N(), mean)
+		if err != nil {
+			return cellOut{}, err
+		}
+		gen := workload.MustNewGenerator(dist, opt.Seed)
+		cache, err := NewCache(spec, repo, capacity, gen.PMF(), opt.Seed)
+		if err != nil {
+			return cellOut{}, err
+		}
+		res, err := Run(cache.Policy().Name(), cache, gen,
+			workload.Schedule{{Shift: 0, Requests: opt.Requests}}, RunConfig{})
+		if err != nil {
+			return cellOut{}, err
+		}
+		return cellOut{name: cache.Policy().Name(), y: res.Stats.HitRate(), m: res.Metrics}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for si, spec := range specs {
+		s := Series{Label: cells[si*nm].name}
+		for mi, mean := range SkewMeans {
+			c := cells[si*nm+mi]
 			s.X = append(s.X, mean)
-			s.Y = append(s.Y, res.Stats.HitRate())
+			s.Y = append(s.Y, c.y)
+			fig.Cells = append(fig.Cells, CellMetrics{
+				Label:   fmt.Sprintf("%s@theta=%v", spec, mean),
+				Metrics: c.m,
+			})
 		}
 		fig.Series = append(fig.Series, s)
 	}
@@ -481,40 +587,66 @@ func Blocks(opt Options) (*Figure, error) {
 		XLabel: "Block size (bytes)",
 		YLabel: "Cache hit rate (%)",
 	}
-	blockSeries := Series{Label: "Block-LRU-2"}
-	for _, bs := range BlockSizes {
-		cache, err := blocklru.New(repo, capacity, bs, 2)
-		if err != nil {
-			return nil, err
-		}
+	// Cells: one per block size, then one per clip-grained reference spec.
+	refSpecs := []string{"dynsimple:2", "igd:2"}
+	nb := len(BlockSizes)
+	type cellOut struct {
+		label string
+		name  string
+		y     float64
+		m     Metrics
+	}
+	cells, err := mapCells(opt.Parallel, nb+len(refSpecs), func(i int) (cellOut, error) {
+		sched := workload.Schedule{{Shift: 0, Requests: opt.Requests}}
 		gen := workload.MustNewGenerator(dist, opt.Seed)
-		res, err := Run(cache.Name(), cache, gen,
-			workload.Schedule{{Shift: 0, Requests: opt.Requests}}, RunConfig{})
-		if err != nil {
-			return nil, err
+		if i < nb {
+			bs := BlockSizes[i]
+			cache, err := blocklru.New(repo, capacity, bs, 2)
+			if err != nil {
+				return cellOut{}, err
+			}
+			res, err := Run(cache.Name(), cache, gen, sched, RunConfig{})
+			if err != nil {
+				return cellOut{}, err
+			}
+			return cellOut{
+				label: fmt.Sprintf("block@%v", bs),
+				name:  cache.Name(),
+				y:     res.Stats.HitRate(),
+				m:     res.Metrics,
+			}, nil
 		}
+		spec := refSpecs[i-nb]
+		cache, err := NewCache(spec, repo, capacity, nil, opt.Seed)
+		if err != nil {
+			return cellOut{}, err
+		}
+		res, err := Run(cache.Policy().Name(), cache, gen, sched, RunConfig{})
+		if err != nil {
+			return cellOut{}, err
+		}
+		return cellOut{label: spec, name: cache.Policy().Name(), y: res.Stats.HitRate(), m: res.Metrics}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	blockSeries := Series{Label: "Block-LRU-2"}
+	for i, bs := range BlockSizes {
 		blockSeries.X = append(blockSeries.X, float64(bs))
-		blockSeries.Y = append(blockSeries.Y, res.Stats.HitRate())
+		blockSeries.Y = append(blockSeries.Y, cells[i].y)
 	}
 	fig.Series = append(fig.Series, blockSeries)
 	// Flat reference lines for the clip-grained techniques.
-	for _, spec := range []string{"dynsimple:2", "igd:2"} {
-		cache, err := NewCache(spec, repo, capacity, nil, opt.Seed)
-		if err != nil {
-			return nil, err
-		}
-		gen := workload.MustNewGenerator(dist, opt.Seed)
-		res, err := Run(cache.Policy().Name(), cache, gen,
-			workload.Schedule{{Shift: 0, Requests: opt.Requests}}, RunConfig{})
-		if err != nil {
-			return nil, err
-		}
-		s := Series{Label: cache.Policy().Name()}
+	for i := nb; i < len(cells); i++ {
+		s := Series{Label: cells[i].name}
 		for _, bs := range BlockSizes {
 			s.X = append(s.X, float64(bs))
-			s.Y = append(s.Y, res.Stats.HitRate())
+			s.Y = append(s.Y, cells[i].y)
 		}
 		fig.Series = append(fig.Series, s)
+	}
+	for _, c := range cells {
+		fig.Cells = append(fig.Cells, CellMetrics{Label: c.label, Metrics: c.m})
 	}
 	return fig, nil
 }
@@ -535,40 +667,48 @@ func Refinement(opt Options) (*Figure, error) {
 		XLabel: "S_T/S_DB",
 		YLabel: "Cache hit rate (%)",
 	}
-	build := func(opts ...dynsimple.Option) (*Series, error) {
-		s := &Series{}
-		for _, ratio := range RatiosFigure5 {
-			p, err := dynsimple.New(repo.N(), 2, opts...)
-			if err != nil {
-				return nil, err
-			}
-			cache, err := core.New(repo, repo.CacheSizeForRatio(ratio), p)
-			if err != nil {
-				return nil, err
-			}
-			if s.Label == "" {
-				s.Label = p.Name()
-			}
-			gen := workload.MustNewGenerator(dist, opt.Seed)
-			res, err := Run(p.Name(), cache, gen,
-				workload.Schedule{{Shift: 0, Requests: opt.Requests}}, RunConfig{})
-			if err != nil {
-				return nil, err
-			}
-			s.X = append(s.X, ratio)
-			s.Y = append(s.Y, res.Stats.HitRate())
+	// Grid: 2 variants (with/without refinement) × RatiosFigure5, variant-major.
+	variants := [][]dynsimple.Option{nil, {dynsimple.WithoutRefinement()}}
+	nr := len(RatiosFigure5)
+	type cellOut struct {
+		name string
+		y    float64
+		m    Metrics
+	}
+	cells, err := mapCells(opt.Parallel, len(variants)*nr, func(i int) (cellOut, error) {
+		ratio := RatiosFigure5[i%nr]
+		p, err := dynsimple.New(repo.N(), 2, variants[i/nr]...)
+		if err != nil {
+			return cellOut{}, err
 		}
-		return s, nil
-	}
-	withRef, err := build()
+		cache, err := core.New(repo, repo.CacheSizeForRatio(ratio), p)
+		if err != nil {
+			return cellOut{}, err
+		}
+		gen := workload.MustNewGenerator(dist, opt.Seed)
+		res, err := Run(p.Name(), cache, gen,
+			workload.Schedule{{Shift: 0, Requests: opt.Requests}}, RunConfig{})
+		if err != nil {
+			return cellOut{}, err
+		}
+		return cellOut{name: p.Name(), y: res.Stats.HitRate(), m: res.Metrics}, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	withoutRef, err := build(dynsimple.WithoutRefinement())
-	if err != nil {
-		return nil, err
+	for v := range variants {
+		s := Series{Label: cells[v*nr].name}
+		for j, ratio := range RatiosFigure5 {
+			c := cells[v*nr+j]
+			s.X = append(s.X, ratio)
+			s.Y = append(s.Y, c.y)
+			fig.Cells = append(fig.Cells, CellMetrics{
+				Label:   fmt.Sprintf("%s@%v", c.name, ratio),
+				Metrics: c.m,
+			})
+		}
+		fig.Series = append(fig.Series, s)
 	}
-	fig.Series = []Series{*withRef, *withoutRef}
 	return fig, nil
 }
 

@@ -8,6 +8,7 @@ package sim
 
 import (
 	"fmt"
+	"time"
 
 	"mediacache/internal/media"
 	"mediacache/internal/netsim"
@@ -32,28 +33,49 @@ func GDSPTradeoff(opt Options) (*Figure, error) {
 		XLabel: "S_T/S_DB",
 		YLabel: "Rate (%)",
 	}
-	for _, spec := range []string{"gdsp", "greedydual", "igd:2"} {
-		hitSeries := Series{}
-		byteSeries := Series{}
-		for _, ratio := range RatiosFigure5 {
-			cache, err := NewCache(spec, repo, repo.CacheSizeForRatio(ratio), nil, opt.Seed)
-			if err != nil {
-				return nil, err
-			}
-			if hitSeries.Label == "" {
-				hitSeries.Label = cache.Policy().Name() + " [hit]"
-				byteSeries.Label = cache.Policy().Name() + " [byte]"
-			}
-			gen := workload.MustNewGenerator(dist, opt.Seed)
-			res, err := Run(cache.Policy().Name(), cache, gen,
-				workload.Schedule{{Shift: 0, Requests: opt.Requests}}, RunConfig{})
-			if err != nil {
-				return nil, err
-			}
+	specs := []string{"gdsp", "greedydual", "igd:2"}
+	nr := len(RatiosFigure5)
+	type cellOut struct {
+		name      string
+		hit, byte float64
+		m         Metrics
+	}
+	cells, err := mapCells(opt.Parallel, len(specs)*nr, func(i int) (cellOut, error) {
+		spec, ratio := specs[i/nr], RatiosFigure5[i%nr]
+		cache, err := NewCache(spec, repo, repo.CacheSizeForRatio(ratio), nil, opt.Seed)
+		if err != nil {
+			return cellOut{}, err
+		}
+		gen := workload.MustNewGenerator(dist, opt.Seed)
+		res, err := Run(cache.Policy().Name(), cache, gen,
+			workload.Schedule{{Shift: 0, Requests: opt.Requests}}, RunConfig{})
+		if err != nil {
+			return cellOut{}, err
+		}
+		return cellOut{
+			name: cache.Policy().Name(),
+			hit:  res.Stats.HitRate(),
+			byte: res.Stats.ByteHitRate(),
+			m:    res.Metrics,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for si, spec := range specs {
+		name := cells[si*nr].name
+		hitSeries := Series{Label: name + " [hit]"}
+		byteSeries := Series{Label: name + " [byte]"}
+		for j, ratio := range RatiosFigure5 {
+			c := cells[si*nr+j]
 			hitSeries.X = append(hitSeries.X, ratio)
-			hitSeries.Y = append(hitSeries.Y, res.Stats.HitRate())
+			hitSeries.Y = append(hitSeries.Y, c.hit)
 			byteSeries.X = append(byteSeries.X, ratio)
-			byteSeries.Y = append(byteSeries.Y, res.Stats.ByteHitRate())
+			byteSeries.Y = append(byteSeries.Y, c.byte)
+			fig.Cells = append(fig.Cells, CellMetrics{
+				Label:   fmt.Sprintf("%s@%v", spec, ratio),
+				Metrics: c.m,
+			})
 		}
 		fig.Series = append(fig.Series, hitSeries, byteSeries)
 	}
@@ -85,40 +107,62 @@ func Latency(opt Options) (*Figure, error) {
 		XLabel: "Allocated bandwidth (bps)",
 		YLabel: "Average startup latency (s)",
 	}
-	for _, withCache := range []bool{true, false} {
+	// Grid: cache-mode-major, allocation-minor.
+	modes := []bool{true, false}
+	na := len(LatencyAllocations)
+	type cellOut struct {
+		y float64
+		m Metrics
+	}
+	cells, err := mapCells(opt.Parallel, len(modes)*na, func(i int) (cellOut, error) {
+		withCache, alloc := modes[i/na], LatencyAllocations[i%na]
+		start := time.Now()
+		gen := workload.MustNewGenerator(dist, opt.Seed)
+		cache, err := NewCache("dynsimple:2", repo, repo.CacheSizeForRatio(RatioFigure6), nil, opt.Seed)
+		if err != nil {
+			return cellOut{}, err
+		}
+		var total netsim.Seconds
+		for i := 0; i < opt.Requests; i++ {
+			id := gen.Next()
+			hit := false
+			if withCache {
+				out, err := cache.Request(id)
+				if err != nil {
+					return cellOut{}, err
+				}
+				hit = out.IsHit()
+			}
+			if hit {
+				continue // local storage: no startup latency
+			}
+			lat, err := netsim.StartupLatency(repo.Clip(id), alloc, admission)
+			if err != nil {
+				return cellOut{}, err
+			}
+			total += lat
+		}
+		m := metricsFromStats(cache.Stats(), time.Since(start))
+		m.Requests = uint64(opt.Requests) // the no-cache mode never touches the cache
+		return cellOut{y: float64(total) / float64(opt.Requests), m: m}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for mi, withCache := range modes {
 		label := "no cache"
 		if withCache {
 			label = "DYNSimple(K=2) cache"
 		}
 		s := Series{Label: label}
-		for _, alloc := range LatencyAllocations {
-			gen := workload.MustNewGenerator(dist, opt.Seed)
-			cache, err := NewCache("dynsimple:2", repo, repo.CacheSizeForRatio(RatioFigure6), nil, opt.Seed)
-			if err != nil {
-				return nil, err
-			}
-			var total netsim.Seconds
-			for i := 0; i < opt.Requests; i++ {
-				id := gen.Next()
-				hit := false
-				if withCache {
-					out, err := cache.Request(id)
-					if err != nil {
-						return nil, err
-					}
-					hit = out.IsHit()
-				}
-				if hit {
-					continue // local storage: no startup latency
-				}
-				lat, err := netsim.StartupLatency(repo.Clip(id), alloc, admission)
-				if err != nil {
-					return nil, err
-				}
-				total += lat
-			}
+		for j, alloc := range LatencyAllocations {
+			c := cells[mi*na+j]
 			s.X = append(s.X, float64(alloc))
-			s.Y = append(s.Y, float64(total)/float64(opt.Requests))
+			s.Y = append(s.Y, c.y)
+			fig.Cells = append(fig.Cells, CellMetrics{
+				Label:   fmt.Sprintf("%s@%v", label, alloc),
+				Metrics: c.m,
+			})
 		}
 		fig.Series = append(fig.Series, s)
 	}
@@ -151,45 +195,72 @@ func Region(opt Options) (*Figure, error) {
 		XLabel: "Devices",
 		YLabel: "Throughput (%)",
 	}
-	for _, ratio := range []float64{0, 0.05, 0.125} {
+	// Grid: ratio-major, device-count-minor.
+	ratios := []float64{0, 0.05, 0.125}
+	nd := len(RegionDeviceCounts)
+	type cellOut struct {
+		y float64
+		m Metrics
+	}
+	cells, err := mapCells(opt.Parallel, len(ratios)*nd, func(i int) (cellOut, error) {
+		ratio, nDev := ratios[i/nd], RegionDeviceCounts[i%nd]
+		start := time.Now()
+		link, err := netsim.NewLink(linkBW)
+		if err != nil {
+			return cellOut{}, err
+		}
+		devices := make([]*netsim.Device, nDev)
+		caches := make([]Requester, nDev)
+		for i := range devices {
+			// ratio 0 approximated by the smallest admissible cache —
+			// one byte more than nothing is impossible, so use a cache
+			// that only fits the smallest audio clips.
+			capacity := repo.CacheSizeForRatio(ratio)
+			if ratio == 0 {
+				capacity = 3 * media.MB
+			}
+			cache, err := NewCache("dynsimple:2", repo, capacity, nil, opt.Seed+uint64(i))
+			if err != nil {
+				return cellOut{}, err
+			}
+			caches[i] = cache
+			devices[i] = &netsim.Device{
+				ID:    i,
+				Cache: cache,
+				Gen:   workload.MustNewGenerator(dist, opt.Seed+uint64(100+i)),
+			}
+		}
+		region, err := netsim.NewRegion(link, devices)
+		if err != nil {
+			return cellOut{}, err
+		}
+		if err := region.Run(rounds); err != nil {
+			return cellOut{}, err
+		}
+		var m Metrics
+		for _, cache := range caches {
+			m.Add(metricsFromStats(cache.Stats(), 0))
+		}
+		m.Wall = time.Since(start)
+		return cellOut{y: region.Stats().Throughput(), m: m}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ri, ratio := range ratios {
 		label := fmt.Sprintf("cache %.1f%%", ratio*100)
 		if ratio == 0 {
 			label = "no cache"
 		}
 		s := Series{Label: label}
-		for _, nDev := range RegionDeviceCounts {
-			link, err := netsim.NewLink(linkBW)
-			if err != nil {
-				return nil, err
-			}
-			devices := make([]*netsim.Device, nDev)
-			for i := range devices {
-				// ratio 0 approximated by the smallest admissible cache —
-				// one byte more than nothing is impossible, so use a cache
-				// that only fits the smallest audio clips.
-				capacity := repo.CacheSizeForRatio(ratio)
-				if ratio == 0 {
-					capacity = 3 * media.MB
-				}
-				cache, err := NewCache("dynsimple:2", repo, capacity, nil, opt.Seed+uint64(i))
-				if err != nil {
-					return nil, err
-				}
-				devices[i] = &netsim.Device{
-					ID:    i,
-					Cache: cache,
-					Gen:   workload.MustNewGenerator(dist, opt.Seed+uint64(100+i)),
-				}
-			}
-			region, err := netsim.NewRegion(link, devices)
-			if err != nil {
-				return nil, err
-			}
-			if err := region.Run(rounds); err != nil {
-				return nil, err
-			}
+		for j, nDev := range RegionDeviceCounts {
+			c := cells[ri*nd+j]
 			s.X = append(s.X, float64(nDev))
-			s.Y = append(s.Y, region.Stats().Throughput())
+			s.Y = append(s.Y, c.y)
+			fig.Cells = append(fig.Cells, CellMetrics{
+				Label:   fmt.Sprintf("%s@%d-devices", label, nDev),
+				Metrics: c.m,
+			})
 		}
 		fig.Series = append(fig.Series, s)
 	}
@@ -222,22 +293,36 @@ func Taxonomy(opt Options) (*Figure, error) {
 		"igd:2", "lrusk:2", "lrusk-tree:2", "greedydual", "gdfreq", "gdsp",
 		"lruk:2", "lru", "lfu", "lfu-da", "random",
 	}
-	for _, spec := range specs {
-		cache, err := NewCache(spec, repo, repo.CacheSizeForRatio(RatioFigure6), pmf, opt.Seed)
+	type cellOut struct {
+		s Series
+		m Metrics
+	}
+	cells, err := mapCells(opt.Parallel, len(specs), func(i int) (cellOut, error) {
+		cache, err := NewCache(specs[i], repo, repo.CacheSizeForRatio(RatioFigure6), pmf, opt.Seed)
 		if err != nil {
-			return nil, err
+			return cellOut{}, err
 		}
 		gen := workload.MustNewGenerator(dist, opt.Seed)
 		res, err := Run(cache.Policy().Name(), cache, gen,
 			workload.Schedule{{Shift: 0, Requests: opt.Requests}}, RunConfig{})
 		if err != nil {
-			return nil, err
+			return cellOut{}, err
 		}
-		fig.Series = append(fig.Series, Series{
-			Label: cache.Policy().Name(),
-			X:     []float64{0, 1},
-			Y:     []float64{res.Stats.HitRate(), res.Stats.ByteHitRate()},
-		})
+		return cellOut{
+			s: Series{
+				Label: cache.Policy().Name(),
+				X:     []float64{0, 1},
+				Y:     []float64{res.Stats.HitRate(), res.Stats.ByteHitRate()},
+			},
+			m: res.Metrics,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cells {
+		fig.Series = append(fig.Series, c.s)
+		fig.Cells = append(fig.Cells, CellMetrics{Label: specs[i], Metrics: c.m})
 	}
 	return fig, nil
 }

@@ -6,6 +6,9 @@ package sim
 // reference metadata.
 
 import (
+	"fmt"
+	"time"
+
 	"mediacache/internal/coop"
 	"mediacache/internal/core"
 	"mediacache/internal/fiverule"
@@ -56,28 +59,51 @@ func Coop(opt Options) (*Figure, error) {
 		}
 		return net, nil
 	}
-	for _, mode := range []struct {
+	// Grid: mode-major, device-count-minor.
+	modes := []struct {
 		label     string
 		maxCopies int
 	}{
 		{"greedy", 0},
 		{"cooperative (dedup)", 1},
-	} {
+	}
+	nd := len(CoopDeviceCounts)
+	type cellOut struct {
+		y float64
+		m Metrics
+	}
+	cells, err := mapCells(opt.Parallel, len(modes)*nd, func(i int) (cellOut, error) {
+		mode, n := modes[i/nd], CoopDeviceCounts[i%nd]
+		start := time.Now()
+		net, err := build(n, mode.maxCopies)
+		if err != nil {
+			return cellOut{}, err
+		}
+		rounds := opt.Requests / n
+		if rounds == 0 {
+			rounds = 1
+		}
+		if err := net.Run(rounds); err != nil {
+			return cellOut{}, err
+		}
+		return cellOut{
+			y: net.Stats().CooperativeHitRate(),
+			m: Metrics{Requests: uint64(rounds * n), Wall: time.Since(start)},
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for mi, mode := range modes {
 		s := Series{Label: mode.label}
-		for _, n := range CoopDeviceCounts {
-			net, err := build(n, mode.maxCopies)
-			if err != nil {
-				return nil, err
-			}
-			rounds := opt.Requests / n
-			if rounds == 0 {
-				rounds = 1
-			}
-			if err := net.Run(rounds); err != nil {
-				return nil, err
-			}
+		for j, n := range CoopDeviceCounts {
+			c := cells[mi*nd+j]
 			s.X = append(s.X, float64(n))
-			s.Y = append(s.Y, net.Stats().CooperativeHitRate())
+			s.Y = append(s.Y, c.y)
+			fig.Cells = append(fig.Cells, CellMetrics{
+				Label:   fmt.Sprintf("%s@%d-devices", mode.label, n),
+				Metrics: c.m,
+			})
 		}
 		fig.Series = append(fig.Series, s)
 	}
@@ -108,37 +134,55 @@ func FiveRule(opt Options) (*Figure, error) {
 		XLabel: "Retention window (ticks)",
 		YLabel: "Cache hit rate (%)",
 	}
-	// Baseline: unpruned.
-	baseRate, err := fiveRuleRun(repo, dist, capacity, opt, 0)
+	// Cell 0 is the unpruned baseline; cells 1..n sweep the retentions.
+	type cellOut struct {
+		y float64
+		m Metrics
+	}
+	cells, err := mapCells(opt.Parallel, 1+len(FiveRuleRetentions), func(i int) (cellOut, error) {
+		var retention vtime.Duration
+		if i > 0 {
+			retention = FiveRuleRetentions[i-1]
+		}
+		rate, m, err := fiveRuleRun(repo, dist, capacity, opt, retention)
+		if err != nil {
+			return cellOut{}, err
+		}
+		return cellOut{y: rate, m: m}, nil
+	})
 	if err != nil {
 		return nil, err
 	}
+	fig.Cells = append(fig.Cells, CellMetrics{Label: "unpruned", Metrics: cells[0].m})
 	pruned := Series{Label: "DYNSimple(K=2) pruned"}
 	baseline := Series{Label: "DYNSimple(K=2) unpruned"}
-	for _, retention := range FiveRuleRetentions {
-		rate, err := fiveRuleRun(repo, dist, capacity, opt, retention)
-		if err != nil {
-			return nil, err
-		}
+	for j, retention := range FiveRuleRetentions {
+		c := cells[1+j]
 		pruned.X = append(pruned.X, float64(retention))
-		pruned.Y = append(pruned.Y, rate)
+		pruned.Y = append(pruned.Y, c.y)
 		baseline.X = append(baseline.X, float64(retention))
-		baseline.Y = append(baseline.Y, baseRate)
+		baseline.Y = append(baseline.Y, cells[0].y)
+		fig.Cells = append(fig.Cells, CellMetrics{
+			Label:   fmt.Sprintf("retention=%d", retention),
+			Metrics: c.m,
+		})
 	}
 	fig.Series = []Series{pruned, baseline}
 	return fig, nil
 }
 
 // fiveRuleRun drives DYNSimple with an optional metadata pruner (retention
-// 0 disables pruning) and returns the hit rate.
-func fiveRuleRun(repo *media.Repository, dist *zipf.Distribution, capacity media.Bytes, opt Options, retention vtime.Duration) (float64, error) {
+// 0 disables pruning) and returns the hit rate plus the cell's engine
+// counters.
+func fiveRuleRun(repo *media.Repository, dist *zipf.Distribution, capacity media.Bytes, opt Options, retention vtime.Duration) (float64, Metrics, error) {
+	start := time.Now()
 	p, err := dynsimple.New(repo.N(), dynsimple.DefaultK)
 	if err != nil {
-		return 0, err
+		return 0, Metrics{}, err
 	}
 	cache, err := core.New(repo, capacity, p)
 	if err != nil {
-		return 0, err
+		return 0, Metrics{}, err
 	}
 	var pruner *fiverule.Pruner
 	if retention > 0 {
@@ -152,22 +196,23 @@ func fiveRuleRun(repo *media.Repository, dist *zipf.Distribution, capacity media
 		}
 		pruner, err = fiverule.NewPruner(rule, p.Tracker(), retention/2+1)
 		if err != nil {
-			return 0, err
+			return 0, Metrics{}, err
 		}
 	}
 	gen, err := workload.NewGenerator(dist, opt.Seed)
 	if err != nil {
-		return 0, err
+		return 0, Metrics{}, err
 	}
 	for i := 0; i < opt.Requests; i++ {
 		if _, err := cache.Request(gen.Next()); err != nil {
-			return 0, err
+			return 0, Metrics{}, err
 		}
 		if pruner != nil {
 			if _, err := pruner.Tick(cache.Now()); err != nil {
-				return 0, err
+				return 0, Metrics{}, err
 			}
 		}
 	}
-	return cache.Stats().HitRate(), nil
+	stats := cache.Stats()
+	return stats.HitRate(), metricsFromStats(stats, time.Since(start)), nil
 }

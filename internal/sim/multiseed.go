@@ -2,7 +2,6 @@ package sim
 
 import (
 	"fmt"
-	"sync"
 
 	"mediacache/internal/stats"
 )
@@ -22,23 +21,21 @@ func Replicate(run func(Options) (*Figure, error), opt Options, seeds int) (mean
 	}
 	opt = opt.withDefaults()
 
-	figs := make([]*Figure, seeds)
-	errs := make([]error, seeds)
-	var wg sync.WaitGroup
-	for i := 0; i < seeds; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			o := opt
-			o.Seed = opt.Seed + uint64(i)
-			figs[i], errs[i] = run(o)
-		}(i)
-	}
-	wg.Wait()
-	for i, e := range errs {
-		if e != nil {
-			return nil, nil, fmt.Errorf("sim: replica %d (seed %d): %w", i, opt.Seed+uint64(i), e)
+	// One pool cell per replica; each replica runs its own cells
+	// sequentially (Parallel=1) so the total worker count stays bounded by
+	// the outer pool instead of multiplying.
+	figs, err := mapCells(opt.Parallel, seeds, func(i int) (*Figure, error) {
+		o := opt
+		o.Seed = opt.Seed + uint64(i)
+		o.Parallel = 1
+		fig, err := run(o)
+		if err != nil {
+			return nil, fmt.Errorf("sim: replica %d (seed %d): %w", i, o.Seed, err)
 		}
+		return fig, nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 
 	base := figs[0]

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"fmt"
+
 	"mediacache/internal/core"
 	"mediacache/internal/media"
 	"mediacache/internal/policy/belady"
@@ -37,26 +39,43 @@ func Optimal(opt Options) (*Figure, error) {
 		func() (core.Policy, error) { return NewPolicy("simple", repo, pmf, opt.Seed) },
 		func() (core.Policy, error) { return NewPolicy("dynsimple:2", repo, pmf, opt.Seed) },
 	}
-	for _, build := range builders {
-		s := Series{}
-		for _, ratio := range RatiosFigure5 {
-			p, err := build()
-			if err != nil {
-				return nil, err
-			}
-			if s.Label == "" {
-				s.Label = p.Name()
-			}
-			cache, err := core.New(repo, repo.CacheSizeForRatio(ratio), p)
-			if err != nil {
-				return nil, err
-			}
-			res, err := RunTrace(p.Name(), cache, trace)
-			if err != nil {
-				return nil, err
-			}
+	// Grid: builder-major, ratio-minor. The trace is shared read-only; each
+	// cell builds its own policy and cache.
+	nr := len(RatiosFigure5)
+	type cellOut struct {
+		name string
+		y    float64
+		m    Metrics
+	}
+	cells, err := mapCells(opt.Parallel, len(builders)*nr, func(i int) (cellOut, error) {
+		ratio := RatiosFigure5[i%nr]
+		p, err := builders[i/nr]()
+		if err != nil {
+			return cellOut{}, err
+		}
+		cache, err := core.New(repo, repo.CacheSizeForRatio(ratio), p)
+		if err != nil {
+			return cellOut{}, err
+		}
+		res, err := RunTrace(p.Name(), cache, trace)
+		if err != nil {
+			return cellOut{}, err
+		}
+		return cellOut{name: p.Name(), y: res.Stats.HitRate(), m: res.Metrics}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for bi := range builders {
+		s := Series{Label: cells[bi*nr].name}
+		for j, ratio := range RatiosFigure5 {
+			c := cells[bi*nr+j]
 			s.X = append(s.X, ratio)
-			s.Y = append(s.Y, res.Stats.HitRate())
+			s.Y = append(s.Y, c.y)
+			fig.Cells = append(fig.Cells, CellMetrics{
+				Label:   fmt.Sprintf("%s@%v", c.name, ratio),
+				Metrics: c.m,
+			})
 		}
 		fig.Series = append(fig.Series, s)
 	}

@@ -2,104 +2,35 @@ package sim
 
 import (
 	"fmt"
-	"strconv"
-	"strings"
 
 	"mediacache/internal/core"
 	"mediacache/internal/media"
-	"mediacache/internal/policy/dynsimple"
-	"mediacache/internal/policy/gdfreq"
-	"mediacache/internal/policy/gdsp"
-	"mediacache/internal/policy/greedydual"
-	"mediacache/internal/policy/igd"
-	"mediacache/internal/policy/lfu"
-	"mediacache/internal/policy/lruk"
-	"mediacache/internal/policy/lrusk"
-	"mediacache/internal/policy/random"
-	"mediacache/internal/policy/simple"
+	"mediacache/internal/policy/registry"
+
+	// Link every built-in policy so its registry registration runs.
+	_ "mediacache/internal/policy/all"
 )
 
 // PolicyNames lists the specs understood by NewPolicy, for CLI help text.
-var PolicyNames = []string{
-	"simple", "simple-variant", "random", "lru",
-	"lruk:K", "lrusk:K", "lrusk-tree:K", "dynsimple:K", "greedydual", "gd-naive",
-	"gdfreq", "igd:K", "igd-indexed:K", "lfu", "lfu-da", "gdsp",
-}
+// It reflects the registry at package-init time; policies registered later
+// (out-of-tree) appear in registry.Usages() but not here.
+var PolicyNames = registry.Usages()
 
 // NewPolicy builds a replacement policy from a textual spec such as
-// "dynsimple:2", "lruk:2", "greedydual" or "simple". Policies with a history
-// depth accept an optional ":K" suffix (default 2). pmf supplies the true
+// "dynsimple:2", "lruk:2", "greedydual" or "simple", by resolving it
+// through the policy registry. Policies with a history depth accept an
+// optional ":K" suffix (default registry.DefaultK). pmf supplies the true
 // access frequencies required by the off-line Simple technique; it may be
 // nil for on-line policies. seed feeds the policies that break ties or pick
 // victims randomly.
 //
-// The returned policy may need binding to its cache (only "simple-variant"
-// does); BindPolicy handles that uniformly.
+// Policies that need a view of their cache (only "simple-variant" does)
+// implement core.Binder and are bound automatically by core.New.
 func NewPolicy(spec string, repo *media.Repository, pmf []float64, seed uint64) (core.Policy, error) {
 	if repo == nil {
 		return nil, fmt.Errorf("sim: repository must not be nil")
 	}
-	name := spec
-	k := 2
-	if i := strings.IndexByte(spec, ':'); i >= 0 {
-		name = spec[:i]
-		parsed, err := strconv.Atoi(spec[i+1:])
-		if err != nil || parsed <= 0 {
-			return nil, fmt.Errorf("sim: bad history depth in policy spec %q", spec)
-		}
-		k = parsed
-	}
-	n := repo.N()
-	switch name {
-	case "simple":
-		if pmf == nil {
-			return nil, fmt.Errorf("sim: policy %q needs the true access frequencies", spec)
-		}
-		return simple.New(pmf)
-	case "simple-variant":
-		if pmf == nil {
-			return nil, fmt.Errorf("sim: policy %q needs the true access frequencies", spec)
-		}
-		return simple.NewVariant(pmf)
-	case "random":
-		return random.New(seed), nil
-	case "lru":
-		return lruk.New(n, 1)
-	case "lruk":
-		return lruk.New(n, k)
-	case "lrusk":
-		return lrusk.New(n, k)
-	case "lrusk-tree":
-		return lrusk.NewFast(n, k)
-	case "lfu":
-		return lfu.New(), nil
-	case "lfu-da":
-		return lfu.NewDA(), nil
-	case "gdsp":
-		return gdsp.New(nil, gdsp.DefaultBeta, seed)
-	case "dynsimple":
-		return dynsimple.New(n, k)
-	case "greedydual":
-		return greedydual.New(nil, seed), nil
-	case "gd-naive":
-		return greedydual.NewNaive(nil, seed), nil
-	case "gdfreq":
-		return gdfreq.New(nil, seed), nil
-	case "igd":
-		return igd.New(n, k, seed)
-	case "igd-indexed":
-		return igd.New(n, k, seed, igd.Indexed())
-	default:
-		return nil, fmt.Errorf("sim: unknown policy %q (known: %s)", spec, strings.Join(PolicyNames, ", "))
-	}
-}
-
-// BindPolicy attaches policies that need a view of their cache (currently
-// only the Simple admission variant) to the cache that hosts them.
-func BindPolicy(p core.Policy, c *core.Cache) {
-	if v, ok := p.(*simple.Variant); ok {
-		v.Bind(c)
-	}
+	return registry.Build(spec, repo, pmf, seed)
 }
 
 // NewCache builds a cache over repo at the given capacity running the
@@ -109,10 +40,5 @@ func NewCache(spec string, repo *media.Repository, capacity media.Bytes, pmf []f
 	if err != nil {
 		return nil, err
 	}
-	c, err := core.New(repo, capacity, p)
-	if err != nil {
-		return nil, err
-	}
-	BindPolicy(p, c)
-	return c, nil
+	return core.New(repo, capacity, p)
 }

@@ -1,0 +1,123 @@
+package sim
+
+// pool.go is the concurrent sweep engine. Every experiment decomposes
+// into independent cells — one (policy, cache, generator) triple per
+// cell, each built from scratch inside its own goroutine — that a
+// bounded worker pool executes across GOMAXPROCS (or -parallel N)
+// workers. Cells never share mutable state: repositories, Zipf
+// distributions and frequency vectors are read-only after construction,
+// and everything stateful (cache, policy, generator) is cell-local.
+// Results are written back by cell index, so figures reassemble in
+// canonical order and the output is byte-identical to a sequential run
+// at any worker count (the determinism promise of footnote 5 extends to
+// the parallel path; parallel_test.go pins it).
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"mediacache/internal/randutil"
+)
+
+// poolWorkers resolves a requested parallelism: n <= 0 selects
+// runtime.GOMAXPROCS(0), the "as fast as the hardware allows" default;
+// n == 1 is the sequential fallback.
+func poolWorkers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// mapCells runs fn for every cell index in [0, n) using up to parallel
+// workers (see poolWorkers) and returns the per-cell results in index
+// order. With one worker the cells run sequentially in index order;
+// with more, workers claim cells from an atomic counter, so cells are
+// started in index order but may finish in any order — the indexed
+// result slice restores canonical order.
+//
+// On failure mapCells returns the error of the lowest-index failing
+// cell, matching what a sequential run would report; remaining
+// unstarted cells are skipped.
+func mapCells[T any](parallel, n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	workers := poolWorkers(parallel)
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				v, err := fn(i)
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+					continue
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	// Cells are claimed in index order, so every cell below the first
+	// recorded failure ran to completion; the lowest-index error is the
+	// one the sequential path would have returned.
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// forEachCell is mapCells for side-effect-only cells.
+func forEachCell(parallel, n int, fn func(i int) error) error {
+	_, err := mapCells(parallel, n, func(i int) (struct{}, error) {
+		return struct{}{}, fn(i)
+	})
+	return err
+}
+
+// CellSeed derives a deterministic per-cell seed from a master seed and
+// the cell's coordinate labels, using the splittable PRNG of
+// internal/randutil. Distinct label paths give decorrelated streams, so
+// experiments that want every cell to see an independent workload (as
+// opposed to the paper's footnote-5 protocol, where every technique
+// replays the identical request sequence) can seed each cell without any
+// cross-cell ordering dependence:
+//
+//	seed := sim.CellSeed(opt.Seed, "figure5b", spec, fmt.Sprint(ratio))
+//
+// The derivation is pure: it depends only on the master seed and labels,
+// never on which worker runs the cell or when.
+func CellSeed(master uint64, labels ...string) uint64 {
+	src := randutil.NewSource(master)
+	for _, label := range labels {
+		src = src.Split(label)
+	}
+	return src.Uint64()
+}

@@ -11,6 +11,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"mediacache/internal/core"
 	"mediacache/internal/media"
@@ -39,12 +40,50 @@ type WindowPoint struct {
 	Theoretical float64 // Σ f_i over resident clips (0 if unavailable)
 }
 
+// Metrics captures the engine counters and timing of one sweep cell, so
+// the cost of a run — not just its hit rate — is measurable. Counters
+// mirror core.Stats; Wall is host wall-clock time and is the only field
+// that varies between identical runs.
+type Metrics struct {
+	Requests     uint64        // references issued
+	Evictions    uint64        // clips swapped out
+	BytesEvicted media.Bytes   // Σ size of evicted clips
+	Bypassed     uint64        // misses streamed without caching
+	VictimCalls  uint64        // Policy.Victims invocations (incl. re-invocations)
+	Wall         time.Duration // wall-clock time of the cell
+}
+
+// metricsFromStats lifts the engine counters out of s.
+func metricsFromStats(s core.Stats, wall time.Duration) Metrics {
+	return Metrics{
+		Requests:     s.Requests,
+		Evictions:    s.Evictions,
+		BytesEvicted: s.BytesEvicted,
+		Bypassed:     s.Bypassed,
+		VictimCalls:  s.VictimCalls,
+		Wall:         wall,
+	}
+}
+
+// Add accumulates other into m. Wall times add up, so the sum over a
+// figure's cells is total compute, not elapsed time (cells overlap under
+// the parallel runner).
+func (m *Metrics) Add(other Metrics) {
+	m.Requests += other.Requests
+	m.Evictions += other.Evictions
+	m.BytesEvicted += other.BytesEvicted
+	m.Bypassed += other.Bypassed
+	m.VictimCalls += other.VictimCalls
+	m.Wall += other.Wall
+}
+
 // Result is the outcome of one run.
 type Result struct {
 	Policy      string
 	Stats       core.Stats
 	Theoretical float64 // theoretical hit rate at the end of the run
 	Windows     []WindowPoint
+	Metrics     Metrics
 	Err         error
 }
 
@@ -74,6 +113,7 @@ func Run(name string, req Requester, gen *workload.Generator, sched workload.Sch
 	}
 	res := &Result{Policy: name}
 	rater, _ := req.(Rater)
+	start := time.Now()
 
 	issued := 0
 	windowHits := 0
@@ -112,6 +152,7 @@ func Run(name string, req Requester, gen *workload.Generator, sched workload.Sch
 		}
 	}
 	res.Stats = req.Stats()
+	res.Metrics = metricsFromStats(res.Stats, time.Since(start))
 	if rater != nil && pmf != nil {
 		res.Theoretical = rater.TheoreticalHitRate(pmf)
 	}
@@ -130,10 +171,16 @@ func RunTrace(name string, req Requester, trace *workload.Trace) (*Result, error
 	if err := trace.Validate(); err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	for i, id := range trace.Requests {
 		if _, err := req.Request(id); err != nil {
 			return nil, fmt.Errorf("sim: trace %q request %d: %w", trace.Name, i, err)
 		}
 	}
-	return &Result{Policy: name, Stats: req.Stats()}, nil
+	stats := req.Stats()
+	return &Result{
+		Policy:  name,
+		Stats:   stats,
+		Metrics: metricsFromStats(stats, time.Since(start)),
+	}, nil
 }
