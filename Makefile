@@ -1,6 +1,7 @@
 GO ?= go
+BENCH_DATE := $(shell date +%Y-%m-%d)
 
-.PHONY: build test vet race check bench
+.PHONY: build test vet race alloccheck check bench
 
 build:
 	$(GO) build ./...
@@ -14,8 +15,18 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# check is the tier-1 gate plus static analysis and the race detector.
-check: build vet test race
+# alloccheck asserts the observability hot-path guarantee: with no observer
+# installed, core.Cache.Request allocates nothing on the request path (and
+# an attached observer adds no allocations either).
+alloccheck:
+	$(GO) test -run 'TestRequestZeroAllocsNilObserver|TestRequestAllocsUnchangedWithObserver' -count=1 ./internal/core
 
+# check is the tier-1 gate plus static analysis, the race detector and the
+# request-path allocation assertion. vet and test cover every package,
+# including internal/metrics and internal/obs.
+check: build vet test race alloccheck
+
+# bench runs the full benchmark suite and archives the run as test2json
+# events (one dated file per day; reruns overwrite).
 bench:
-	$(GO) test -bench=. -benchmem
+	$(GO) test -run '^$$' -bench=. -benchmem -json . | tee BENCH_$(BENCH_DATE).json

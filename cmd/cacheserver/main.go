@@ -8,25 +8,38 @@
 //	                     whether it hit, and the startup latency the device
 //	                     would observe at the configured link bandwidth
 //	GET  /v1/stats       accumulated cache statistics and engine counters
-//	GET  /v1/resident    currently resident clip ids and byte usage
+//	GET  /v1/resident    resident clips with per-clip detail; supports
+//	                     ?limit=/?offset= pagination and ?format=ids for the
+//	                     bare-ID shape
 //	POST /v1/reset       clear the cache, statistics and policy state
 //	GET  /v1/snapshot    gob-encoded persistent cache state
 //	POST /v1/restore     restore a previously captured snapshot
 //	GET  /v1/policies    policy specs the registry can build
+//	GET  /v1/metrics     Prometheus text exposition: engine counters,
+//	                     per-route HTTP latency histograms, sweep-pool gauges
+//	GET  /v1/healthz     liveness plus the used ≤ capacity invariant
+//	GET  /v1/version     API version, go version, policy and build info
 //
-// Errors are returned as a uniform JSON envelope {"error": "..."}. The
-// unversioned paths (/clips/{id}, /stats, ...) are deprecated aliases for
-// pre-v1 clients; they serve the same responses with a Deprecation header.
+// Errors — including unmatched paths and wrong methods — are returned as a
+// uniform JSON envelope {"error": "..."}; 405s carry an Allow header. Every
+// response carries an X-Request-ID (propagated from the request when
+// present), and each request is access-logged through log/slog. With -pprof
+// the net/http/pprof profiles mount under /debug/pprof/.
+//
+// The unversioned paths (/clips/{id}, /stats, ...) are deprecated aliases
+// for pre-v1 clients; they serve the same responses with a Deprecation
+// header. The alias set is frozen — observability routes exist only under
+// /v1.
 //
 // Usage:
 //
-//	cacheserver -addr :8377 -policy dynsimple:2 -ratio 0.125 -alloc 4000000
+//	cacheserver -addr :8377 -policy dynsimple:2 -ratio 0.125 -alloc 4000000 [-pprof] [-trace]
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 
@@ -43,18 +56,43 @@ func main() {
 	alloc := fs.Int64("alloc", 4_000_000, "per-stream network bandwidth in bits/second")
 	admission := fs.Float64("admission", 0.5, "admission-control overhead in seconds")
 	seed := fs.Uint64("seed", sim.DefaultSeed, "policy tie-break seed")
+	pprofFlag := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	trace := fs.Bool("trace", false, "log every cache event (hit/miss/eviction/bypass/restore) at debug level")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
 	}
 
-	srv, err := newServer(*policy, *ratio, media.BitsPerSecond(*alloc), *admission, *seed)
+	level := slog.LevelInfo
+	if *trace {
+		level = slog.LevelDebug
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	srv, err := newServer(config{
+		policy:    *policy,
+		ratio:     *ratio,
+		alloc:     media.BitsPerSecond(*alloc),
+		admission: *admission,
+		seed:      *seed,
+		logger:    logger,
+		trace:     *trace,
+		pprof:     *pprofFlag,
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cacheserver: %v\n", err)
 		os.Exit(1)
 	}
-	log.Printf("cacheserver: %s on %s (cache %v, link %v)",
-		srv.cache.Policy().Name(), *addr, srv.cache.Capacity(), srv.alloc)
-	log.Fatal(http.ListenAndServe(*addr, srv))
+	logger.Info("cacheserver listening",
+		slog.String("policy", srv.cache.Policy().Name()),
+		slog.String("addr", *addr),
+		slog.String("cache", srv.cache.Capacity().String()),
+		slog.String("link", srv.alloc.String()),
+		slog.Bool("pprof", *pprofFlag),
+	)
+	if err := http.ListenAndServe(*addr, srv); err != nil {
+		logger.Error("cacheserver exited", slog.Any("err", err))
+		os.Exit(1)
+	}
 }
 
 // pmfFor computes the true request frequencies the off-line Simple policy

@@ -1,0 +1,159 @@
+package main
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// requestIDHeader carries the per-request correlation id. An incoming
+// value is propagated (so a device or gateway can stitch its own traces);
+// otherwise the server mints one. The id is echoed on the response and
+// attached to the access log.
+const requestIDHeader = "X-Request-ID"
+
+// ctxKeyRequestID keys the request id in the request context.
+type ctxKeyRequestID struct{}
+
+// requestIDFrom returns the request id stored by the middleware, or "".
+func requestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(ctxKeyRequestID{}).(string)
+	return id
+}
+
+// ridCounter disambiguates minted ids if the random source ever fails.
+var ridCounter atomic.Uint64
+
+// newRequestID mints a 16-hex-char random id.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("req-%d", ridCounter.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// withRequestID propagates or mints the correlation id.
+func withRequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(requestIDHeader)
+		if id == "" {
+			id = newRequestID()
+		}
+		w.Header().Set(requestIDHeader, id)
+		ctx := context.WithValue(r.Context(), ctxKeyRequestID{}, id)
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// statusRecorder captures the status code and body size for the access log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusRecorder) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusRecorder) Write(b []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += n
+	return n, err
+}
+
+// withAccessLog emits one structured slog record per request.
+func withAccessLog(log *slog.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(rec, r)
+		log.LogAttrs(r.Context(), slog.LevelInfo, "request",
+			slog.String("id", requestIDFrom(r.Context())),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", rec.status),
+			slog.Int("bytes", rec.bytes),
+			slog.Duration("duration", time.Since(start)),
+		)
+	})
+}
+
+// withHTTPMetrics counts requests and tracks how many are in flight.
+func (s *server) withHTTPMetrics(next http.Handler) http.Handler {
+	total := s.reg.Counter("mediacache_http_requests_total", "HTTP requests served.")
+	inFlight := s.reg.Gauge("mediacache_http_in_flight", "HTTP requests currently being served.")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		total.Inc()
+		inFlight.Inc()
+		defer inFlight.Dec()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// errorRewriter turns the mux's plain-text 404/405 fallbacks into the v1
+// JSON error envelope. Route handlers always set an application/json (or
+// octet-stream) content type before writing, so a text/plain 404/405 can
+// only come from net/http's defaults; those are intercepted, everything
+// else passes through untouched — including the Allow header the mux sets
+// on 405s.
+type errorRewriter struct {
+	http.ResponseWriter
+	req     *http.Request
+	rewrote bool
+}
+
+func (w *errorRewriter) WriteHeader(code int) {
+	if (code == http.StatusNotFound || code == http.StatusMethodNotAllowed) &&
+		strings.HasPrefix(w.Header().Get("Content-Type"), "text/plain") {
+		w.rewrote = true
+		w.Header().Set("Content-Type", "application/json")
+		msg := "no route"
+		if code == http.StatusMethodNotAllowed {
+			msg = "method not allowed"
+		}
+		writeErrorHeaderless(w.ResponseWriter, code, "%s: %s %s", msg, w.req.Method, w.req.URL.Path)
+		return
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *errorRewriter) Write(b []byte) (int, error) {
+	if w.rewrote {
+		// Swallow the plain-text body; the JSON envelope already went out.
+		return len(b), nil
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// withJSONErrors wraps the mux so unmatched paths and wrong-method requests
+// answer with the uniform JSON envelope instead of net/http plain text.
+func withJSONErrors(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		next.ServeHTTP(&errorRewriter{ResponseWriter: w, req: r}, r)
+	})
+}
+
+// instrument attaches a per-route latency histogram to h, labeled with the
+// route pattern (method + path template). Legacy aliases reuse their v1
+// route's histogram, so a family has one series per canonical route.
+func (s *server) instrument(pattern string, h http.HandlerFunc) http.HandlerFunc {
+	hist := s.reg.Histogram("mediacache_http_request_seconds",
+		"HTTP request latency by route.", httpLatencyBuckets,
+		// The label set is fixed per registration, so lookup cost is zero
+		// on the request path.
+		metricLabelRoute(pattern))
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		hist.Observe(time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,285 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestRequestIDPropagation checks a client-supplied X-Request-ID is echoed
+// and a missing one is minted.
+func TestRequestIDPropagation(t *testing.T) {
+	_, ts := newTestServer(t)
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/stats", nil)
+	req.Header.Set(requestIDHeader, "trace-me-123")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get(requestIDHeader); got != "trace-me-123" {
+		t.Errorf("propagated id = %q, want trace-me-123", got)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get(requestIDHeader); !regexp.MustCompile(`^[0-9a-f]{16}$`).MatchString(got) {
+		t.Errorf("minted id = %q, want 16 hex chars", got)
+	}
+}
+
+// TestJSON404Envelope checks unmatched paths answer with the uniform JSON
+// envelope instead of net/http's plain text.
+func TestJSON404Envelope(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/v1/no-such-route")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q, want application/json", ct)
+	}
+	var envelope errorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil {
+		t.Fatalf("404 body is not the JSON envelope: %v", err)
+	}
+	if !strings.Contains(envelope.Error, "/v1/no-such-route") {
+		t.Errorf("404 error %q should name the path", envelope.Error)
+	}
+}
+
+// TestJSON405EnvelopeWithAllow checks wrong-method requests answer with the
+// JSON envelope and an Allow header naming the supported method.
+func TestJSON405EnvelopeWithAllow(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/v1/stats", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("status = %d, want 405", resp.StatusCode)
+	}
+	if allow := resp.Header.Get("Allow"); !strings.Contains(allow, "GET") {
+		t.Errorf("Allow = %q, want GET", allow)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q, want application/json", ct)
+	}
+	var envelope errorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil {
+		t.Fatalf("405 body is not the JSON envelope: %v", err)
+	}
+	if envelope.Error == "" {
+		t.Error("empty 405 error message")
+	}
+}
+
+// TestAccessLogRecords checks the slog access log carries the request id,
+// route and status.
+func TestAccessLogRecords(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := testConfig()
+	cfg.logger = slog.New(slog.NewTextHandler(&buf, nil))
+	_, ts := newTestServerConfig(t, cfg)
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/healthz", nil)
+	req.Header.Set(requestIDHeader, "log-me")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	out := buf.String()
+	for _, want := range []string{"msg=request", "id=log-me", "path=/v1/healthz", "status=200", "method=GET"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("access log missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestMetricsExposition is the exposition-format golden test for
+// GET /v1/metrics: after a deterministic request sequence, the engine
+// counters, HTTP histogram series and sweep gauges must appear with exact
+// values (latency sums excepted).
+func TestMetricsExposition(t *testing.T) {
+	_, ts := newTestServer(t)
+	// 1 miss + 1 hit + 1 repeat miss on another clip.
+	for _, path := range []string{"/v1/clips/2", "/v1/clips/2", "/v1/clips/3"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q, want text/plain exposition", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, line := range []string{
+		"# TYPE mediacache_cache_hits_total counter",
+		"mediacache_cache_hits_total 1",
+		"mediacache_cache_misses_total 2",
+		"mediacache_cache_evictions_total 0",
+		"# TYPE mediacache_http_request_seconds histogram",
+		`mediacache_http_request_seconds_count{route="GET /v1/clips/{id}"} 3`,
+		"# TYPE mediacache_http_in_flight gauge",
+		"mediacache_http_requests_total 4",
+		"# TYPE mediacache_sweep_queue_depth gauge",
+		"mediacache_sweep_queue_depth 0",
+		"# TYPE mediacache_cache_capacity_bytes gauge",
+		"# TYPE mediacache_cache_eviction_batch_size histogram",
+	} {
+		if !strings.Contains(text, line) {
+			t.Errorf("exposition missing %q", line)
+		}
+	}
+	// bytes_fetched must equal the two missed clip sizes summed.
+	var st statsResponse
+	getJSON(t, ts.URL+"/v1/stats", &st)
+	want := fmt.Sprintf("mediacache_cache_bytes_fetched_total %d", st.BytesFetched)
+	if !strings.Contains(text, want) {
+		t.Errorf("exposition missing %q", want)
+	}
+}
+
+// TestHealthz checks liveness and the invariant payload.
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t)
+	var h healthResponse
+	if resp := getJSON(t, ts.URL+"/v1/healthz", &h); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status = %d", resp.StatusCode)
+	}
+	if h.Status != "ok" {
+		t.Errorf("status = %q", h.Status)
+	}
+	if h.CapacityBytes <= 0 || h.UsedBytes < 0 || h.UsedBytes > h.CapacityBytes {
+		t.Errorf("invariant payload = %+v", h)
+	}
+}
+
+// TestVersion checks the build/runtime identity endpoint.
+func TestVersion(t *testing.T) {
+	_, ts := newTestServer(t)
+	var v versionResponse
+	if resp := getJSON(t, ts.URL+"/v1/version", &v); resp.StatusCode != http.StatusOK {
+		t.Fatalf("version status = %d", resp.StatusCode)
+	}
+	if v.API != "v1" {
+		t.Errorf("api = %q", v.API)
+	}
+	if !strings.HasPrefix(v.GoVersion, "go") {
+		t.Errorf("goVersion = %q", v.GoVersion)
+	}
+	if v.Policy != "DYNSimple(K=2)" || v.PolicySpec != "dynsimple:2" {
+		t.Errorf("policy identity = %q / %q", v.Policy, v.PolicySpec)
+	}
+}
+
+// TestResidentPagination drives ?limit/?offset and both formats.
+func TestResidentPagination(t *testing.T) {
+	_, ts := newTestServer(t)
+	for i := 1; i <= 5; i++ {
+		resp, err := http.Get(fmt.Sprintf("%s/v1/clips/%d", ts.URL, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	var all residentResponse
+	getJSON(t, ts.URL+"/v1/resident", &all)
+	if all.Total != 5 || len(all.Clips) != 5 {
+		t.Fatalf("unpaginated listing = %+v", all)
+	}
+	if all.Clips[0].SizeBytes <= 0 || all.Clips[0].Kind == "" {
+		t.Fatalf("per-clip detail missing: %+v", all.Clips[0])
+	}
+
+	var page residentResponse
+	getJSON(t, ts.URL+"/v1/resident?limit=2&offset=1", &page)
+	if page.Total != 5 || len(page.Clips) != 2 || page.Offset != 1 || page.Limit != 2 {
+		t.Fatalf("page = %+v", page)
+	}
+	if page.Clips[0].ID != all.Clips[1].ID {
+		t.Errorf("page start = clip %d, want %d", page.Clips[0].ID, all.Clips[1].ID)
+	}
+
+	// Offset past the end: empty page, not an error.
+	var empty residentResponse
+	getJSON(t, ts.URL+"/v1/resident?offset=99", &empty)
+	if len(empty.Clips) != 0 || empty.Total != 5 {
+		t.Fatalf("past-the-end page = %+v", empty)
+	}
+
+	// Bare-ID shape for existing clients, still paginated.
+	var ids residentIDsResponse
+	getJSON(t, ts.URL+"/v1/resident?format=ids&limit=3", &ids)
+	if len(ids.Clips) != 3 || ids.UsedBytes <= 0 {
+		t.Fatalf("ids format = %+v", ids)
+	}
+
+	// Bad query parameters: JSON 400s.
+	for _, q := range []string{"?limit=-1", "?offset=x", "?format=xml"} {
+		if resp := getJSON(t, ts.URL+"/v1/resident"+q, nil); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s status = %d, want 400", q, resp.StatusCode)
+		}
+	}
+}
+
+// TestPprofGating checks the profiles mount only with the flag.
+func TestPprofGating(t *testing.T) {
+	_, off := newTestServer(t)
+	if resp := getJSON(t, off.URL+"/debug/pprof/", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof without flag: status = %d, want 404", resp.StatusCode)
+	}
+	cfg := testConfig()
+	cfg.pprof = true
+	_, on := newTestServerConfig(t, cfg)
+	resp, err := http.Get(on.URL + "/debug/pprof/heap?debug=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof heap status = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestTraceObserverLogs checks -trace wires the slog tracing observer.
+func TestTraceObserverLogs(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := testConfig()
+	cfg.trace = true
+	cfg.logger = slog.New(slog.NewTextHandler(&buf, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	_, ts := newTestServerConfig(t, cfg)
+	resp, err := http.Get(ts.URL + "/v1/clips/2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	out := buf.String()
+	if !strings.Contains(out, "cache event") || !strings.Contains(out, "type=miss") {
+		t.Errorf("trace log missing cache events:\n%s", out)
+	}
+}

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"runtime/debug"
+
+	"mediacache/internal/metrics"
+)
+
+// httpLatencyBuckets are the fixed per-route latency buckets: the engine
+// services requests in microseconds, so the default Prometheus buckets
+// would collapse everything into the first bucket.
+var httpLatencyBuckets = []float64{
+	.000025, .0001, .00025, .001, .0025, .01, .025, .1, .25, 1, 2.5,
+}
+
+// metricLabelRoute builds the route label for per-route instruments.
+func metricLabelRoute(pattern string) metrics.Label {
+	return metrics.Label{Name: "route", Value: pattern}
+}
+
+// registerCacheGauges exposes the cache's instantaneous state as callback
+// gauges. Reads take the server mutex, so scrapes see consistent values;
+// the metrics handler itself never holds the mutex while rendering.
+func (s *server) registerCacheGauges() {
+	locked := func(read func() float64) func() float64 {
+		return func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return read()
+		}
+	}
+	s.reg.GaugeFunc("mediacache_cache_used_bytes", "Bytes occupied by resident clips.",
+		locked(func() float64 { return float64(s.cache.UsedBytes()) }))
+	s.reg.GaugeFunc("mediacache_cache_capacity_bytes", "Cache capacity S_T.",
+		locked(func() float64 { return float64(s.cache.Capacity()) }))
+	s.reg.GaugeFunc("mediacache_cache_resident_clips", "Clips currently resident.",
+		locked(func() float64 { return float64(s.cache.NumResident()) }))
+}
+
+// handleMetrics services GET /v1/metrics with Prometheus text exposition.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.reg.WritePrometheus(w); err != nil {
+		// Headers are gone; nothing recoverable to report.
+		return
+	}
+}
+
+// healthResponse is the JSON body of GET /v1/healthz.
+type healthResponse struct {
+	Status        string `json:"status"`
+	ResidentClips int    `json:"residentClips"`
+	UsedBytes     int64  `json:"usedBytes"`
+	CapacityBytes int64  `json:"capacityBytes"`
+}
+
+// handleHealthz services GET /v1/healthz: liveness plus the cache's core
+// invariant (used ≤ capacity). An invariant violation answers 500 so
+// orchestrators restart a corrupted instance.
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	resp := healthResponse{
+		Status:        "ok",
+		ResidentClips: s.cache.NumResident(),
+		UsedBytes:     int64(s.cache.UsedBytes()),
+		CapacityBytes: int64(s.cache.Capacity()),
+	}
+	s.mu.Unlock()
+	if resp.UsedBytes > resp.CapacityBytes {
+		resp.Status = "invariant violated: used > capacity"
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		writeJSONBody(w, resp)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+// versionResponse is the JSON body of GET /v1/version.
+type versionResponse struct {
+	API        string `json:"api"`
+	GoVersion  string `json:"goVersion"`
+	Policy     string `json:"policy"`
+	PolicySpec string `json:"policySpec"`
+	Module     string `json:"module,omitempty"`
+	Revision   string `json:"revision,omitempty"`
+}
+
+// handleVersion services GET /v1/version: API version, runtime and build
+// identity, and the policy this instance runs.
+func (s *server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	name := s.cache.Policy().Name()
+	s.mu.Unlock()
+	resp := versionResponse{
+		API:        "v1",
+		GoVersion:  runtime.Version(),
+		Policy:     name,
+		PolicySpec: s.policySpec,
+	}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		resp.Module = info.Main.Path
+		for _, kv := range info.Settings {
+			if kv.Key == "vcs.revision" {
+				resp.Revision = kv.Value
+			}
+		}
+	}
+	writeJSON(w, resp)
+}
+
+// mountPprof exposes net/http/pprof under /debug/pprof/ on the server mux.
+// Gated behind the -pprof flag: profiles reveal internals and cost CPU, so
+// they are opt-in, but when enabled they share the port, middleware and
+// access log of the API.
+func (s *server) mountPprof() {
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

@@ -3,74 +3,132 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync"
 
 	"mediacache/internal/core"
 	"mediacache/internal/media"
+	"mediacache/internal/metrics"
 	"mediacache/internal/netsim"
+	"mediacache/internal/obs"
 	"mediacache/internal/policy/registry"
 	"mediacache/internal/sim"
 )
 
 // apiVersion is the current API version prefix. Unversioned paths are
 // deprecated aliases kept for pre-v1 clients; they serve the same handlers
-// with a Deprecation header pointing at the successor route.
+// with a Deprecation header pointing at the successor route. The alias set
+// is frozen: observability routes (/v1/metrics, /v1/healthz, /v1/version)
+// exist only under /v1.
 const apiVersion = "/v1"
+
+// config bundles everything newServer needs. Zero values are invalid for
+// policy/ratio/alloc; logger nil means "discard".
+type config struct {
+	policy    string
+	ratio     float64
+	alloc     media.BitsPerSecond
+	admission float64
+	seed      uint64
+	logger    *slog.Logger // access log + event traces; nil discards
+	trace     bool         // log every cache event at debug level
+	pprof     bool         // mount net/http/pprof under /debug/pprof/
+}
 
 // server wires a device cache into an http.Handler. The core engine is
 // single-threaded by design (it models one device); the server serializes
 // requests with a mutex, which is also the honest model — a device displays
-// one clip at a time.
+// one clip at a time. Engine events flow through the core observer hook
+// into the metrics registry (and, with -trace, into slog), off the locked
+// path's critical section only in the sense that observers are atomics.
 type server struct {
-	mu        sync.Mutex
-	cache     *core.Cache
-	alloc     media.BitsPerSecond
-	admission netsim.Seconds
-	mux       *http.ServeMux
+	mu         sync.Mutex
+	cache      *core.Cache
+	alloc      media.BitsPerSecond
+	admission  netsim.Seconds
+	policySpec string
+	reg        *metrics.Registry
+	log        *slog.Logger
+	mux        *http.ServeMux
+	handler    http.Handler // middleware-wrapped mux
 }
 
 // newServer builds the cache per the CLI configuration and mounts the API.
-func newServer(policySpec string, ratio float64, alloc media.BitsPerSecond, admission float64, seed uint64) (*server, error) {
-	if alloc <= 0 {
-		return nil, fmt.Errorf("link bandwidth must be positive, got %v", alloc)
+func newServer(cfg config) (*server, error) {
+	if cfg.alloc <= 0 {
+		return nil, fmt.Errorf("link bandwidth must be positive, got %v", cfg.alloc)
 	}
 	repo := media.PaperRepository()
 	pmf, err := pmfFor(repo)
 	if err != nil {
 		return nil, err
 	}
-	cache, err := sim.NewCache(policySpec, repo, repo.CacheSizeForRatio(ratio), pmf, seed)
+	log := cfg.logger
+	if log == nil {
+		log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	reg := metrics.NewRegistry()
+	observer := core.Observer(obs.NewCacheMetrics(reg))
+	if cfg.trace {
+		observer = core.CombineObservers(observer, obs.NewTracer(log))
+	}
+	cache, err := sim.NewCache(cfg.policy, repo, repo.CacheSizeForRatio(cfg.ratio),
+		pmf, cfg.seed, core.WithObserver(observer))
 	if err != nil {
 		return nil, err
 	}
 	s := &server{
-		cache:     cache,
-		alloc:     alloc,
-		admission: netsim.Seconds(admission),
-		mux:       http.NewServeMux(),
+		cache:      cache,
+		alloc:      cfg.alloc,
+		admission:  netsim.Seconds(cfg.admission),
+		policySpec: cfg.policy,
+		reg:        reg,
+		log:        log,
+		mux:        http.NewServeMux(),
 	}
-	// Versioned API. Method+wildcard patterns give automatic 405s for
-	// wrong methods on a known path.
+	s.registerCacheGauges()
+	// Register the sweep-pool gauges and adopt the process-wide pool
+	// observer: a server embedding batch sweeps (warmup, offline analysis)
+	// reports them through the same /v1/metrics page. Idle servers expose
+	// the family at zero.
+	sim.SetPoolObserver(obs.NewPoolMetrics(reg))
+	// Versioned API. Method+wildcard patterns give automatic 405s (with an
+	// Allow header) for wrong methods on a known path; the JSON-error
+	// middleware rewrites those, and 404s, into the uniform envelope.
 	routes := []struct {
 		pattern string
 		handler http.HandlerFunc
+		legacy  bool // also mount the deprecated unversioned alias
 	}{
-		{"GET /clips/{id}", s.handleClip},
-		{"GET /stats", s.handleStats},
-		{"GET /resident", s.handleResident},
-		{"POST /reset", s.handleReset},
-		{"GET /snapshot", s.handleSnapshot},
-		{"POST /restore", s.handleRestore},
-		{"GET /policies", s.handlePolicies},
+		{"GET /clips/{id}", s.handleClip, true},
+		{"GET /stats", s.handleStats, true},
+		{"GET /resident", s.handleResident, true},
+		{"POST /reset", s.handleReset, true},
+		{"GET /snapshot", s.handleSnapshot, true},
+		{"POST /restore", s.handleRestore, true},
+		{"GET /policies", s.handlePolicies, true},
+		{"GET /metrics", s.handleMetrics, false},
+		{"GET /healthz", s.handleHealthz, false},
+		{"GET /version", s.handleVersion, false},
 	}
 	for _, rt := range routes {
 		method, path, _ := splitPattern(rt.pattern)
-		s.mux.Handle(method+" "+apiVersion+path, rt.handler)
-		// Deprecated unversioned alias for pre-v1 clients.
-		s.mux.Handle(rt.pattern, deprecated(apiVersion+path, rt.handler))
+		v1 := method + " " + apiVersion + path
+		h := s.instrument(v1, rt.handler)
+		s.mux.Handle(v1, h)
+		if rt.legacy {
+			// Deprecated unversioned alias for pre-v1 clients; it shares
+			// the v1 route's latency series.
+			s.mux.Handle(rt.pattern, deprecated(apiVersion+path, h))
+		}
 	}
+	if cfg.pprof {
+		s.mountPprof()
+	}
+	s.handler = withRequestID(withAccessLog(log, s.withHTTPMetrics(withJSONErrors(s.mux))))
 	return s, nil
 }
 
@@ -95,9 +153,10 @@ func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler through the middleware chain:
+// request-id → access log → HTTP metrics → JSON 404/405 rewrite → mux.
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	s.handler.ServeHTTP(w, r)
 }
 
 // errorResponse is the uniform JSON error envelope of the v1 API.
@@ -108,6 +167,13 @@ type errorResponse struct {
 // writeError reports an error as the uniform JSON envelope.
 func writeError(w http.ResponseWriter, status int, format string, args ...interface{}) {
 	w.Header().Set("Content-Type", "application/json")
+	writeErrorHeaderless(w, status, format, args...)
+}
+
+// writeErrorHeaderless is writeError for callers that have already set the
+// content type (the 404/405 rewriter, whose header map is shared with the
+// wrapped writer).
+func writeErrorHeaderless(w http.ResponseWriter, status int, format string, args ...interface{}) {
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(errorResponse{Error: fmt.Sprintf(format, args...)})
 }
@@ -198,21 +264,99 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// residentResponse is the JSON body of GET /v1/resident.
+// residentClip is one entry of the detailed GET /v1/resident listing.
+type residentClip struct {
+	ID        media.ClipID `json:"id"`
+	Kind      string       `json:"kind"`
+	SizeBytes int64        `json:"sizeBytes"`
+}
+
+// residentResponse is the JSON body of GET /v1/resident (default, detailed
+// format). Total is the full resident count; Clips is the requested page.
 type residentResponse struct {
+	Clips     []residentClip `json:"clips"`
+	Total     int            `json:"total"`
+	Offset    int            `json:"offset"`
+	Limit     int            `json:"limit,omitempty"`
+	UsedBytes int64          `json:"usedBytes"`
+	FreeBytes int64          `json:"freeBytes"`
+}
+
+// residentIDsResponse is the bare-ID shape served under ?format=ids — the
+// pre-pagination wire format, kept for existing clients.
+type residentIDsResponse struct {
 	Clips     []media.ClipID `json:"clips"`
 	UsedBytes int64          `json:"usedBytes"`
 	FreeBytes int64          `json:"freeBytes"`
 }
 
-// handleResident services GET /v1/resident.
+// queryInt parses a non-negative integer query parameter, with def for
+// absent.
+func queryInt(r *http.Request, name string, def int) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("bad %s %q: want a non-negative integer", name, raw)
+	}
+	return v, nil
+}
+
+// handleResident services GET /v1/resident with ?limit=/?offset= pagination.
+// The default format lists per-clip detail (id, kind, sizeBytes); ?format=ids
+// serves the bare-ID shape pre-pagination clients expect.
 func (s *server) handleResident(w http.ResponseWriter, r *http.Request) {
+	limit, err := queryInt(r, "limit", 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	offset, err := queryInt(r, "offset", 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	format := r.URL.Query().Get("format")
+	if format != "" && format != "ids" && format != "detail" {
+		writeError(w, http.StatusBadRequest, "bad format %q: want \"ids\" or \"detail\"", format)
+		return
+	}
+
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	ids := s.cache.ResidentIDs()
+	used := int64(s.cache.UsedBytes())
+	free := int64(s.cache.FreeBytes())
+	repo := s.cache.Repository()
+	total := len(ids)
+	// Page in ascending-ID order. offset past the end is an empty page,
+	// not an error, so clients can walk until exhaustion.
+	if offset > total {
+		offset = total
+	}
+	page := ids[offset:]
+	if limit > 0 && limit < len(page) {
+		page = page[:limit]
+	}
+	clips := make([]residentClip, len(page))
+	for i, id := range page {
+		c := repo.Clip(id)
+		clips[i] = residentClip{ID: c.ID, Kind: c.Kind.String(), SizeBytes: int64(c.Size)}
+	}
+	s.mu.Unlock()
+
+	if format == "ids" {
+		writeJSON(w, residentIDsResponse{Clips: page, UsedBytes: used, FreeBytes: free})
+		return
+	}
 	writeJSON(w, residentResponse{
-		Clips:     s.cache.ResidentIDs(),
-		UsedBytes: int64(s.cache.UsedBytes()),
-		FreeBytes: int64(s.cache.FreeBytes()),
+		Clips:     clips,
+		Total:     total,
+		Offset:    offset,
+		Limit:     limit,
+		UsedBytes: used,
+		FreeBytes: free,
 	})
 }
 
@@ -276,6 +420,11 @@ func (s *server) handlePolicies(w http.ResponseWriter, r *http.Request) {
 // writeJSON encodes v with an application/json content type.
 func writeJSON(w http.ResponseWriter, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
+	writeJSONBody(w, v)
+}
+
+// writeJSONBody encodes v after headers have been decided.
+func writeJSONBody(w http.ResponseWriter, v interface{}) {
 	if err := json.NewEncoder(w).Encode(v); err != nil {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 	}

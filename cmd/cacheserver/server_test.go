@@ -13,9 +13,19 @@ import (
 	"mediacache/internal/media"
 )
 
+// testConfig is the baseline server configuration the tests build on.
+func testConfig() config {
+	return config{policy: "dynsimple:2", ratio: 0.125, alloc: 4 * media.Mbps, admission: 0.5, seed: 1}
+}
+
 func newTestServer(t *testing.T) (*server, *httptest.Server) {
 	t.Helper()
-	srv, err := newServer("dynsimple:2", 0.125, 4*media.Mbps, 0.5, 1)
+	return newTestServerConfig(t, testConfig())
+}
+
+func newTestServerConfig(t *testing.T, cfg config) (*server, *httptest.Server) {
+	t.Helper()
+	srv, err := newServer(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,13 +50,19 @@ func getJSON(t *testing.T, url string, v interface{}) *http.Response {
 }
 
 func TestNewServerValidation(t *testing.T) {
-	if _, err := newServer("bogus", 0.125, 4*media.Mbps, 0.5, 1); err == nil {
+	cfg := testConfig()
+	cfg.policy = "bogus"
+	if _, err := newServer(cfg); err == nil {
 		t.Error("bad policy should fail")
 	}
-	if _, err := newServer("lru", 0.125, 0, 0.5, 1); err == nil {
+	cfg = testConfig()
+	cfg.alloc = 0
+	if _, err := newServer(cfg); err == nil {
 		t.Error("zero bandwidth should fail")
 	}
-	if _, err := newServer("lru", 2.0, 4*media.Mbps, 0.5, 1); err == nil {
+	cfg = testConfig()
+	cfg.ratio = 2.0
+	if _, err := newServer(cfg); err == nil {
 		t.Error("ratio >= 1 should fail")
 	}
 }

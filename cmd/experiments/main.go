@@ -25,6 +25,8 @@ import (
 	"os"
 	"time"
 
+	"mediacache/internal/metrics"
+	"mediacache/internal/obs"
 	"mediacache/internal/sim"
 	"mediacache/internal/texttable"
 )
@@ -45,7 +47,7 @@ func run(args []string, out io.Writer) error {
 	plot := fs.Bool("plot", false, "render ASCII plots instead of tables (best for 6b/7b transients)")
 	seeds := fs.Int("seeds", 1, "replicate each experiment across N consecutive seeds and report means (+ std dev table)")
 	parallel := fs.Int("parallel", 0, "worker-pool size for sweep cells (0 = GOMAXPROCS, 1 = sequential)")
-	metrics := fs.Bool("metrics", false, "print per-cell engine counters (evictions, bypassed, victim calls, wall time)")
+	metricsFlag := fs.Bool("metrics", false, "print per-cell engine counters plus a Prometheus-exposition registry dump")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: experiments [flags] [experiment]...\n\nexperiments:\n")
 		for _, e := range sim.Experiments {
@@ -65,6 +67,19 @@ func run(args []string, out io.Writer) error {
 			ids = append(ids, e.ID)
 		}
 	}
+	// -metrics reports through the same registry code path as the
+	// cacheserver's GET /v1/metrics: the sweep pool feeds the queue-depth
+	// and cell-timing instruments live, engine counters fold in per
+	// figure, and the run ends with a text-exposition dump.
+	var reg *metrics.Registry
+	var engine *obs.CacheMetrics
+	if *metricsFlag {
+		reg = metrics.NewRegistry()
+		engine = obs.NewCacheMetrics(reg)
+		sim.SetPoolObserver(obs.NewPoolMetrics(reg))
+		defer sim.SetPoolObserver(nil)
+	}
+
 	opt := sim.Options{Seed: *seed, Requests: *requests, Parallel: *parallel}
 	for _, id := range ids {
 		runExp, ok := sim.ByID(id)
@@ -102,11 +117,18 @@ func run(args []string, out io.Writer) error {
 				return fmt.Errorf("rendering %s: %w", id, err)
 			}
 		}
-		if *metrics && fig != nil && len(fig.Cells) > 0 {
+		if *metricsFlag && fig != nil && len(fig.Cells) > 0 {
 			renderMetrics(out, fig)
+			engine.AddSweep(fig.TotalMetrics())
 		}
 		if !*csv {
 			fmt.Fprintf(out, "(%.1fs)\n\n", time.Since(start).Seconds())
+		}
+	}
+	if reg != nil {
+		fmt.Fprintln(out, "metrics registry (Prometheus text exposition):")
+		if err := reg.WritePrometheus(out); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -54,6 +54,35 @@ func TestRunMultipleExperiments(t *testing.T) {
 	}
 }
 
+// TestRunMetricsRegistry checks -metrics prints the per-cell table plus
+// the shared registry in Prometheus exposition format: engine counters
+// folded from the sweep, and the pool gauges the worker pool fed live.
+func TestRunMetricsRegistry(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-metrics", "-requests", "800", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"cell metrics [3]:",
+		"metrics registry (Prometheus text exposition):",
+		"# TYPE mediacache_cache_hits_total counter",
+		"# TYPE mediacache_cache_misses_total counter",
+		"# TYPE mediacache_sweep_cells_total counter",
+		"# TYPE mediacache_sweep_queue_depth gauge",
+		"# TYPE mediacache_sweep_cell_seconds histogram",
+		"mediacache_sweep_cells_total 12", // Figure 3: 2 specs x 6 ratios
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("-metrics output missing %q", want)
+		}
+	}
+	// The registry's requests must equal the sweep total: 12 cells x 800.
+	if !strings.Contains(text, "mediacache_cache_hits_total") {
+		t.Fatal("no engine counters folded")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var out strings.Builder
 	if err := run([]string{"definitely-not-an-experiment"}, &out); err == nil {

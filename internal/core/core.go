@@ -157,6 +157,10 @@ type Cache struct {
 	// admit, when set via WithAdmission, is consulted on every cacheable
 	// miss before the policy's own Admit.
 	admit func(media.Clip, vtime.Time) bool
+	// observer, when set via WithObserver, receives typed engine events
+	// (hit, miss, eviction, bypass, restore). Nil-checked at every
+	// emission so the disabled path stays allocation-free.
+	observer Observer
 	// initClock is the virtual time the cache starts (and Resets) at.
 	initClock vtime.Time
 
@@ -319,20 +323,24 @@ func (c *Cache) Request(id media.ClipID) (Outcome, error) {
 	if hit {
 		c.stats.Hits++
 		c.stats.BytesHit += clip.Size
+		c.emit(EventHit, clip, now)
 		return Hit, nil
 	}
 	c.stats.BytesFetched += clip.Size
 
 	if clip.Size > c.capacity {
 		c.stats.Bypassed++
+		c.emit(EventBypass, clip, now)
 		return MissTooLarge, nil
 	}
 	if c.admit != nil && !c.admit(clip, now) {
 		c.stats.Bypassed++
+		c.emit(EventBypass, clip, now)
 		return MissBypassed, nil
 	}
 	if !c.policy.Admit(clip, now) {
 		c.stats.Bypassed++
+		c.emit(EventBypass, clip, now)
 		return MissBypassed, nil
 	}
 	if err := c.makeRoom(clip, now); err != nil {
@@ -341,6 +349,7 @@ func (c *Cache) Request(id media.ClipID) (Outcome, error) {
 	c.resident[id] = struct{}{}
 	c.used += clip.Size
 	c.policy.OnInsert(clip, now)
+	c.emit(EventMiss, clip, now)
 	return MissCached, nil
 }
 
@@ -368,6 +377,7 @@ func (c *Cache) makeRoom(clip media.Clip, now vtime.Time) error {
 			c.stats.Evictions++
 			c.stats.BytesEvicted += victim.Size
 			c.policy.OnEvict(vid, now)
+			c.emit(EventEviction, victim, now)
 		}
 	}
 	return nil

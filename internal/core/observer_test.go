@@ -1,0 +1,155 @@
+package core
+
+import (
+	"testing"
+
+	"mediacache/internal/media"
+	"mediacache/internal/vtime"
+)
+
+// recordingObserver captures the event stream.
+type recordingObserver struct {
+	events []Event
+}
+
+func (o *recordingObserver) Observe(ev Event) { o.events = append(o.events, ev) }
+
+func (o *recordingObserver) types() []EventType {
+	ts := make([]EventType, len(o.events))
+	for i, ev := range o.events {
+		ts[i] = ev.Type
+	}
+	return ts
+}
+
+func sameTypes(got, want []EventType) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestObserverEventOrdering pins the documented per-request event order:
+// a hit emits [hit]; a cacheable miss emits its evictions first (in
+// eviction order) and concludes with [miss]; a bypass emits [bypass].
+func TestObserverEventOrdering(t *testing.T) {
+	repo := smallRepo(t)
+	obs := &recordingObserver{}
+	cache, err := New(repo, 50, &fifoPolicy{}, WithObserver(obs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill: two cold misses, no evictions.
+	mustRequest(t, cache, 1) // size 10
+	mustRequest(t, cache, 2) // size 20
+	// Hit.
+	mustRequest(t, cache, 1)
+	// Clip 4 (size 40) needs 20 bytes freed: FIFO evicts 1 then 2.
+	mustRequest(t, cache, 4)
+	want := []EventType{
+		EventMiss, EventMiss, EventHit,
+		EventEviction, EventEviction, EventMiss,
+	}
+	if !sameTypes(obs.types(), want) {
+		t.Fatalf("event stream = %v, want %v", obs.types(), want)
+	}
+	// The evictions belong to the concluding miss: victims 1 and 2 in
+	// insertion order, then the incoming clip 4.
+	tail := obs.events[len(obs.events)-3:]
+	if tail[0].Clip.ID != 1 || tail[1].Clip.ID != 2 || tail[2].Clip.ID != 4 {
+		t.Fatalf("eviction batch clips = %d,%d then miss %d",
+			tail[0].Clip.ID, tail[1].Clip.ID, tail[2].Clip.ID)
+	}
+	// All events of one request share its virtual time.
+	if tail[0].Now != tail[2].Now {
+		t.Fatalf("eviction at t=%d, miss at t=%d", tail[0].Now, tail[2].Now)
+	}
+}
+
+func TestObserverBypassEvents(t *testing.T) {
+	repo := smallRepo(t)
+	obs := &recordingObserver{}
+	decline := func(media.Clip, vtime.Time) bool { return false }
+	cache, err := New(repo, 35, &fifoPolicy{}, WithAdmission(decline), WithObserver(obs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustRequest(t, cache, 1) // declined by the admission hook
+	mustRequest(t, cache, 4) // size 40 > capacity 35: too large
+	if !sameTypes(obs.types(), []EventType{EventBypass, EventBypass}) {
+		t.Fatalf("event stream = %v, want two bypasses", obs.types())
+	}
+}
+
+func TestObserverRestoreEvents(t *testing.T) {
+	repo := smallRepo(t)
+	cache, err := New(repo, 50, &fifoPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustRequest(t, cache, 1)
+	mustRequest(t, cache, 2)
+	snap := cache.Snapshot()
+
+	obs := &recordingObserver{}
+	fresh, err := New(repo, 50, &fifoPolicy{}, WithObserver(obs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if !sameTypes(obs.types(), []EventType{EventRestore, EventRestore}) {
+		t.Fatalf("event stream = %v, want two restores", obs.types())
+	}
+	if obs.events[0].Clip.ID != 1 || obs.events[1].Clip.ID != 2 {
+		t.Fatalf("restored clips = %d,%d, want 1,2",
+			obs.events[0].Clip.ID, obs.events[1].Clip.ID)
+	}
+}
+
+func TestCombineObservers(t *testing.T) {
+	a, b := &recordingObserver{}, &recordingObserver{}
+	if CombineObservers(nil, nil) != nil {
+		t.Error("all-nil combination should be nil")
+	}
+	if got := CombineObservers(nil, a); got != Observer(a) {
+		t.Error("single observer should be returned unwrapped")
+	}
+	multi := CombineObservers(a, b)
+	multi.Observe(Event{Type: EventHit})
+	if len(a.events) != 1 || len(b.events) != 1 {
+		t.Fatalf("fan-out delivered %d/%d events, want 1/1", len(a.events), len(b.events))
+	}
+}
+
+func TestWithObserverValidation(t *testing.T) {
+	if _, err := New(smallRepo(t), 50, &fifoPolicy{}, WithObserver(nil)); err == nil {
+		t.Error("nil observer should fail construction")
+	}
+}
+
+func mustRequest(t *testing.T, c *Cache, id media.ClipID) Outcome {
+	t.Helper()
+	out, err := c.Request(id)
+	if err != nil {
+		t.Fatalf("Request(%d): %v", id, err)
+	}
+	return out
+}
+
+func TestEventTypeString(t *testing.T) {
+	for ev, want := range map[EventType]string{
+		EventHit: "hit", EventMiss: "miss", EventEviction: "eviction",
+		EventBypass: "bypass", EventRestore: "restore", EventType(99): "EventType(99)",
+	} {
+		if ev.String() != want {
+			t.Errorf("%d.String() = %q, want %q", ev, ev.String(), want)
+		}
+	}
+}

@@ -72,6 +72,7 @@ func (c *Cache) Restore(s Snapshot) error {
 		c.resident[id] = struct{}{}
 		c.used += clip.Size
 		c.policy.OnInsert(clip, c.clock)
+		c.emit(EventRestore, clip, c.clock)
 	}
 	return nil
 }

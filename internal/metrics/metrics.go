@@ -1,0 +1,298 @@
+// Package metrics is a dependency-free, allocation-conscious metrics
+// registry: counters, gauges and fixed-bucket histograms with Prometheus
+// text-exposition output (the 0.0.4 format every scraper understands).
+//
+// The package exists because the paper's entire argument rests on measured
+// counters — hit rate, byte hit rate, evictions — and both the long-running
+// cacheserver and the batch experiments CLI need to report them through one
+// code path. It deliberately implements the minimal surface the repository
+// needs rather than binding a client library: instruments are lock-free
+// atomics on the update path (a counter increment is one atomic add, a
+// histogram observation is two), and the registry mutex is only taken at
+// registration and exposition time.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name="value" pair attached to an instrument. Instruments
+// sharing a name but differing in labels form a family and are exposed
+// under one HELP/TYPE header.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// instrument is the exposition-time view of a registered metric.
+type instrument interface {
+	// write appends the sample lines (without HELP/TYPE headers) for this
+	// instrument to b. name and labels are the registered identity.
+	write(b *strings.Builder, name, labels string)
+	// kind returns the TYPE keyword: "counter", "gauge" or "histogram".
+	kind() string
+}
+
+// entry is one registered instrument plus its identity.
+type entry struct {
+	name   string
+	labels string // pre-rendered {k="v",...} or ""
+	help   string
+	inst   instrument
+}
+
+// Registry holds named instruments and renders them in Prometheus text
+// exposition format. The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu      sync.Mutex
+	entries []entry
+	index   map[string]int // name+labels -> entries index
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{index: make(map[string]int)}
+}
+
+// renderLabels formats labels as {k="v",...} with label names in the order
+// given (callers pass a fixed order, so identity strings are stable).
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`=`)
+		b.WriteString(strconv.Quote(l.Value))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// register adds inst under name+labels, or returns the existing instrument
+// if an identical registration (same name, labels and kind) already exists —
+// re-registering is idempotent so independent components can share a
+// counter. A name reuse with a different kind or help text panics: that is
+// a programming error, not a runtime condition.
+func (r *Registry) register(name, help string, labels []Label, inst instrument) instrument {
+	ls := renderLabels(labels)
+	key := name + ls
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if i, ok := r.index[key]; ok {
+		prev := r.entries[i]
+		if prev.inst.kind() != inst.kind() || prev.help != help {
+			panic(fmt.Sprintf("metrics: %s re-registered as a different %s", key, inst.kind()))
+		}
+		return prev.inst
+	}
+	// A family must agree on kind and help across label sets.
+	for _, e := range r.entries {
+		if e.name == name && (e.inst.kind() != inst.kind() || e.help != help) {
+			panic(fmt.Sprintf("metrics: family %s registered with conflicting kind or help", name))
+		}
+	}
+	r.index[key] = len(r.entries)
+	r.entries = append(r.entries, entry{name: name, labels: ls, help: help, inst: inst})
+	return inst
+}
+
+// Counter registers (or fetches) a monotonically increasing counter.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	return r.register(name, help, labels, &Counter{}).(*Counter)
+}
+
+// Gauge registers (or fetches) an integer gauge.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	return r.register(name, help, labels, &Gauge{}).(*Gauge)
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at exposition
+// time, e.g. a byte count owned by another component. fn must be safe to
+// call from the scrape goroutine.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.register(name, help, labels, gaugeFunc(fn))
+}
+
+// Histogram registers (or fetches) a fixed-bucket histogram. buckets are
+// the inclusive upper bounds in strictly ascending order; an implicit +Inf
+// bucket is always appended. Histogram panics on unsorted bounds.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("metrics: histogram %s buckets must ascend strictly", name))
+		}
+	}
+	h := &Histogram{bounds: append([]float64(nil), buckets...)}
+	h.counts = make([]atomic.Uint64, len(buckets)+1)
+	return r.register(name, help, labels, h).(*Histogram)
+}
+
+// WritePrometheus renders every registered instrument in text exposition
+// format, sorted by family name (registration order breaks ties within a
+// family), so output is deterministic.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	entries := append([]entry(nil), r.entries...)
+	r.mu.Unlock()
+	sort.SliceStable(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+	var b strings.Builder
+	prev := ""
+	for _, e := range entries {
+		if e.name != prev {
+			fmt.Fprintf(&b, "# HELP %s %s\n", e.name, e.help)
+			fmt.Fprintf(&b, "# TYPE %s %s\n", e.name, e.inst.kind())
+			prev = e.name
+		}
+		e.inst.write(&b, e.name, e.labels)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// formatFloat renders v the way Prometheus clients do: shortest
+// round-tripping representation.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Counter is a monotonically increasing uint64. The zero value is ready to
+// use, but counters should be obtained from a Registry so they are exposed.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds delta.
+func (c *Counter) Add(delta uint64) { c.v.Add(delta) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+func (c *Counter) kind() string { return "counter" }
+
+func (c *Counter) write(b *strings.Builder, name, labels string) {
+	b.WriteString(name)
+	b.WriteString(labels)
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatUint(c.v.Load(), 10))
+	b.WriteByte('\n')
+}
+
+// Gauge is a settable int64.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds delta (which may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+func (g *Gauge) kind() string { return "gauge" }
+
+func (g *Gauge) write(b *strings.Builder, name, labels string) {
+	b.WriteString(name)
+	b.WriteString(labels)
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatInt(g.v.Load(), 10))
+	b.WriteByte('\n')
+}
+
+// gaugeFunc is a callback-backed gauge.
+type gaugeFunc func() float64
+
+func (f gaugeFunc) kind() string { return "gauge" }
+
+func (f gaugeFunc) write(b *strings.Builder, name, labels string) {
+	b.WriteString(name)
+	b.WriteString(labels)
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(f()))
+	b.WriteByte('\n')
+}
+
+// Histogram counts observations into fixed buckets. Observe is two atomic
+// adds plus a CAS loop for the float sum; bounds never change after
+// registration, so no lock is taken.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last is +Inf
+	sum    atomic.Uint64   // float64 bits
+	count  atomic.Uint64
+}
+
+// Observe records v.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+func (h *Histogram) kind() string { return "histogram" }
+
+func (h *Histogram) write(b *strings.Builder, name, labels string) {
+	// _bucket lines carry cumulative counts and an extra le label.
+	base := labels
+	if base == "" {
+		base = "{"
+	} else {
+		base = base[:len(base)-1] + ","
+	}
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = formatFloat(h.bounds[i])
+		}
+		fmt.Fprintf(b, "%s_bucket%sle=%q} %d\n", name, base, le, cum)
+	}
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, labels, formatFloat(h.Sum()))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, labels, cum)
+}
+
+// DefBuckets are general-purpose latency buckets in seconds, matching the
+// Prometheus client default so dashboards transfer.
+var DefBuckets = []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// SizeBuckets are power-of-two count buckets for batch sizes (eviction
+// batches, queue depths).
+var SizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128}

@@ -1,0 +1,136 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "Total requests.")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	g := r.Gauge("in_flight", "In-flight requests.")
+	g.Set(7)
+	g.Inc()
+	g.Dec()
+	g.Add(-2)
+	if g.Value() != 5 {
+		t.Fatalf("gauge = %d, want 5", g.Value())
+	}
+}
+
+func TestRegisterIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("c_total", "help")
+	b := r.Counter("c_total", "help")
+	if a != b {
+		t.Fatal("identical registration must return the same counter")
+	}
+	// A second label set joins the family.
+	r.Counter("c_total", "help", Label{"route", "/x"})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("conflicting kind must panic")
+		}
+	}()
+	r.Gauge("c_total", "help")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "Latency.", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 20} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	if got, want := h.Sum(), 20.65; got != want {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+}
+
+// TestExpositionGolden pins the exact text exposition bytes for a fixed
+// registry: family grouping, HELP/TYPE headers, label rendering, cumulative
+// histogram buckets and name-sorted output.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	hits := r.Counter("cache_hits_total", "Requests serviced from cache.")
+	hits.Add(3)
+	r.Gauge("queue_depth", "Unclaimed sweep cells.").Set(2)
+	r.GaugeFunc("capacity_bytes", "Cache capacity.", func() float64 { return 1024 })
+	for _, route := range []string{"/v1/stats", "/v1/clips/{id}"} {
+		h := r.Histogram("http_request_seconds", "Request latency.",
+			[]float64{0.5, 2.5}, Label{"route", route})
+		h.Observe(0.25)
+		if route == "/v1/stats" {
+			h.Observe(3)
+		}
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP cache_hits_total Requests serviced from cache.
+# TYPE cache_hits_total counter
+cache_hits_total 3
+# HELP capacity_bytes Cache capacity.
+# TYPE capacity_bytes gauge
+capacity_bytes 1024
+# HELP http_request_seconds Request latency.
+# TYPE http_request_seconds histogram
+http_request_seconds_bucket{route="/v1/stats",le="0.5"} 1
+http_request_seconds_bucket{route="/v1/stats",le="2.5"} 1
+http_request_seconds_bucket{route="/v1/stats",le="+Inf"} 2
+http_request_seconds_sum{route="/v1/stats"} 3.25
+http_request_seconds_count{route="/v1/stats"} 2
+http_request_seconds_bucket{route="/v1/clips/{id}",le="0.5"} 1
+http_request_seconds_bucket{route="/v1/clips/{id}",le="2.5"} 1
+http_request_seconds_bucket{route="/v1/clips/{id}",le="+Inf"} 1
+http_request_seconds_sum{route="/v1/clips/{id}"} 0.25
+http_request_seconds_count{route="/v1/clips/{id}"} 1
+# HELP queue_depth Unclaimed sweep cells.
+# TYPE queue_depth gauge
+queue_depth 2
+`
+	if b.String() != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+}
+
+func TestHistogramRejectsUnsortedBuckets(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unsorted buckets must panic")
+		}
+	}()
+	NewRegistry().Histogram("h", "help", []float64{1, 1})
+}
+
+// TestConcurrentUpdates exercises the lock-free update paths under the race
+// detector.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "help")
+	h := r.Histogram("h", "help", []float64{1, 2, 4})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(float64(i % 5))
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 || h.Count() != 8000 {
+		t.Fatalf("lost updates: counter=%d histogram=%d", c.Value(), h.Count())
+	}
+}

@@ -1,0 +1,139 @@
+// Package obs wires the cache engine and the sweep pool into the metrics
+// registry and structured logging. core and sim stay free of metrics
+// vocabulary — they emit typed events through nil-checked hooks — and this
+// package is the one place those events become Prometheus samples and slog
+// records, so the HTTP server and the experiments CLI report through the
+// same code path.
+package obs
+
+import (
+	"context"
+	"log/slog"
+
+	"mediacache/internal/core"
+	"mediacache/internal/metrics"
+	"mediacache/internal/sim"
+)
+
+// Engine-counter metric names, shared by the live observer (cacheserver)
+// and the sweep-total fold (cmd/experiments -metrics).
+const (
+	metricHits          = "mediacache_cache_hits_total"
+	metricMisses        = "mediacache_cache_misses_total"
+	metricEvictions     = "mediacache_cache_evictions_total"
+	metricBypasses      = "mediacache_cache_bypassed_total"
+	metricRestores      = "mediacache_cache_restores_total"
+	metricBytesFetched  = "mediacache_cache_bytes_fetched_total"
+	metricBytesEvicted  = "mediacache_cache_bytes_evicted_total"
+	metricVictimCalls   = "mediacache_cache_victim_calls_total"
+	metricEvictionBatch = "mediacache_cache_eviction_batch_size"
+)
+
+// CacheMetrics translates core engine events into registry counters and
+// the eviction-batch-size histogram. It implements core.Observer; install
+// with core.WithObserver(m). The engine delivers events synchronously from
+// its single-threaded request path, so no locking is needed for the batch
+// bookkeeping.
+type CacheMetrics struct {
+	Hits         *metrics.Counter
+	Misses       *metrics.Counter
+	Evictions    *metrics.Counter
+	Bypasses     *metrics.Counter
+	Restores     *metrics.Counter
+	BytesFetched *metrics.Counter
+	BytesEvicted *metrics.Counter
+	VictimCalls  *metrics.Counter
+	// EvictionBatch observes the number of victims evicted per cacheable
+	// miss (only misses that evicted at least one clip are observed).
+	EvictionBatch *metrics.Histogram
+
+	batch uint64 // evictions since the last non-eviction event
+}
+
+// NewCacheMetrics registers the engine counters on reg and returns the
+// observer. Registration is idempotent per registry.
+func NewCacheMetrics(reg *metrics.Registry) *CacheMetrics {
+	return &CacheMetrics{
+		Hits:          reg.Counter(metricHits, "References serviced from cache."),
+		Misses:        reg.Counter(metricMisses, "References not serviced from cache (cached and bypassed misses)."),
+		Evictions:     reg.Counter(metricEvictions, "Clips swapped out to make room."),
+		Bypasses:      reg.Counter(metricBypasses, "Misses streamed without caching (admission declined or clip too large)."),
+		Restores:      reg.Counter(metricRestores, "Clips made resident by snapshot restore."),
+		BytesFetched:  reg.Counter(metricBytesFetched, "Network traffic: bytes fetched on misses."),
+		BytesEvicted:  reg.Counter(metricBytesEvicted, "Bytes freed by eviction."),
+		VictimCalls:   reg.Counter(metricVictimCalls, "Policy.Victims invocations (batch sweeps only; the live path counts via evictions)."),
+		EvictionBatch: reg.Histogram(metricEvictionBatch, "Victims evicted per cacheable miss.", metrics.SizeBuckets),
+	}
+}
+
+// Observe implements core.Observer. The engine emits a miss's evictions
+// before the concluding EventMiss, so the batch counter closes exactly when
+// the miss that caused it lands.
+func (m *CacheMetrics) Observe(ev core.Event) {
+	switch ev.Type {
+	case core.EventHit:
+		m.Hits.Inc()
+	case core.EventMiss:
+		m.Misses.Inc()
+		m.BytesFetched.Add(uint64(ev.Clip.Size))
+		if m.batch > 0 {
+			m.EvictionBatch.Observe(float64(m.batch))
+			m.batch = 0
+		}
+	case core.EventEviction:
+		m.Evictions.Inc()
+		m.BytesEvicted.Add(uint64(ev.Clip.Size))
+		m.batch++
+	case core.EventBypass:
+		m.Misses.Inc()
+		m.Bypasses.Inc()
+		m.BytesFetched.Add(uint64(ev.Clip.Size))
+	case core.EventRestore:
+		m.Restores.Inc()
+	}
+}
+
+// AddSweep folds a finished sweep's engine counters (a figure's
+// TotalMetrics) into the same registry counters the live observer
+// increments, so `experiments -metrics` and `GET /v1/metrics` expose
+// identical families.
+func (m *CacheMetrics) AddSweep(t sim.Metrics) {
+	m.Hits.Add(t.Hits)
+	m.Misses.Add(t.Requests - t.Hits)
+	m.Evictions.Add(t.Evictions)
+	m.Bypasses.Add(t.Bypassed)
+	m.BytesFetched.Add(uint64(t.BytesFetched))
+	m.BytesEvicted.Add(uint64(t.BytesEvicted))
+	m.VictimCalls.Add(t.VictimCalls)
+}
+
+// Tracer logs every engine event through slog at debug level — the
+// time-resolved view (cf. the non-stationary-traffic analysis in PAPERS.md)
+// that end-of-run averages hide. Install alongside CacheMetrics via
+// core.CombineObservers.
+type Tracer struct {
+	log *slog.Logger
+}
+
+// NewTracer returns a tracing observer writing to log (slog.Default when
+// nil).
+func NewTracer(log *slog.Logger) *Tracer {
+	if log == nil {
+		log = slog.Default()
+	}
+	return &Tracer{log: log}
+}
+
+// Observe implements core.Observer.
+func (t *Tracer) Observe(ev core.Event) {
+	if !t.log.Enabled(context.Background(), slog.LevelDebug) {
+		return
+	}
+	t.log.LogAttrs(context.Background(), slog.LevelDebug, "cache event",
+		slog.String("type", ev.Type.String()),
+		slog.Int("clip", int(ev.Clip.ID)),
+		slog.String("kind", ev.Clip.Kind.String()),
+		slog.Int64("sizeBytes", int64(ev.Clip.Size)),
+		slog.Int64("vtime", int64(ev.Now)),
+	)
+}

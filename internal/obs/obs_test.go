@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"bytes"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+
+	"mediacache/internal/core"
+	"mediacache/internal/media"
+	"mediacache/internal/metrics"
+	"mediacache/internal/sim"
+)
+
+func clip(id int, size media.Bytes) media.Clip {
+	return media.Clip{ID: media.ClipID(id), Size: size}
+}
+
+// TestCacheMetricsEventStream drives a realistic event sequence through the
+// observer and checks the counters and the eviction-batch histogram.
+func TestCacheMetricsEventStream(t *testing.T) {
+	reg := metrics.NewRegistry()
+	m := NewCacheMetrics(reg)
+	// Request 1: cold miss. Request 2: hit. Request 3: miss evicting two
+	// clips. Request 4: bypass. Restore of one clip.
+	events := []core.Event{
+		{Type: core.EventMiss, Clip: clip(1, 100)},
+		{Type: core.EventHit, Clip: clip(1, 100)},
+		{Type: core.EventEviction, Clip: clip(1, 100)},
+		{Type: core.EventEviction, Clip: clip(2, 50)},
+		{Type: core.EventMiss, Clip: clip(3, 120)},
+		{Type: core.EventBypass, Clip: clip(4, 999)},
+		{Type: core.EventRestore, Clip: clip(5, 10)},
+	}
+	for _, ev := range events {
+		m.Observe(ev)
+	}
+	checks := []struct {
+		name string
+		got  uint64
+		want uint64
+	}{
+		{"hits", m.Hits.Value(), 1},
+		{"misses", m.Misses.Value(), 3}, // two cached misses + one bypass
+		{"evictions", m.Evictions.Value(), 2},
+		{"bypasses", m.Bypasses.Value(), 1},
+		{"restores", m.Restores.Value(), 1},
+		{"bytesFetched", m.BytesFetched.Value(), 100 + 120 + 999},
+		{"bytesEvicted", m.BytesEvicted.Value(), 150},
+		{"batches", m.EvictionBatch.Count(), 1},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			t.Errorf("%s = %d, want %d", c.name, c.got, c.want)
+		}
+	}
+	if m.EvictionBatch.Sum() != 2 {
+		t.Errorf("eviction batch sum = %v, want 2 (one batch of two victims)", m.EvictionBatch.Sum())
+	}
+}
+
+// TestCacheMetricsLiveEngine attaches the observer to a real cache and
+// checks counters match core.Stats.
+func TestCacheMetricsLiveEngine(t *testing.T) {
+	repo := media.PaperRepository()
+	reg := metrics.NewRegistry()
+	m := NewCacheMetrics(reg)
+	cache, err := sim.NewCache("lruk:2", repo, repo.CacheSizeForRatio(0.05), nil,
+		sim.DefaultSeed, core.WithObserver(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 1; id <= 200; id++ {
+		if _, err := cache.Request(media.ClipID(id%40 + 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := cache.Stats()
+	if m.Hits.Value() != st.Hits {
+		t.Errorf("hits counter = %d, stats = %d", m.Hits.Value(), st.Hits)
+	}
+	if m.Misses.Value() != st.Requests-st.Hits {
+		t.Errorf("misses counter = %d, stats = %d", m.Misses.Value(), st.Requests-st.Hits)
+	}
+	if m.Evictions.Value() != st.Evictions {
+		t.Errorf("evictions counter = %d, stats = %d", m.Evictions.Value(), st.Evictions)
+	}
+	if m.BytesFetched.Value() != uint64(st.BytesFetched) {
+		t.Errorf("bytesFetched counter = %d, stats = %d", m.BytesFetched.Value(), st.BytesFetched)
+	}
+}
+
+// TestAddSweepFoldsTotals checks the CLI path lands in the same counters.
+func TestAddSweepFoldsTotals(t *testing.T) {
+	reg := metrics.NewRegistry()
+	m := NewCacheMetrics(reg)
+	m.AddSweep(sim.Metrics{
+		Requests: 100, Hits: 60, Evictions: 10,
+		BytesFetched: 4000, BytesEvicted: 900, Bypassed: 3, VictimCalls: 12,
+	})
+	if m.Hits.Value() != 60 || m.Misses.Value() != 40 || m.VictimCalls.Value() != 12 {
+		t.Errorf("sweep fold: hits=%d misses=%d victimCalls=%d",
+			m.Hits.Value(), m.Misses.Value(), m.VictimCalls.Value())
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range []string{
+		"mediacache_cache_hits_total 60",
+		"mediacache_cache_misses_total 40",
+		"mediacache_cache_bytes_fetched_total 4000",
+	} {
+		if !strings.Contains(b.String(), line) {
+			t.Errorf("exposition missing %q:\n%s", line, b.String())
+		}
+	}
+}
+
+// TestPoolMetricsGauges drives the pool observer directly and through a
+// real sweep, checking the queue-depth gauge and cell accounting.
+func TestPoolMetricsGauges(t *testing.T) {
+	reg := metrics.NewRegistry()
+	p := NewPoolMetrics(reg)
+	p.CellStarted(0, 0, 7)
+	if p.QueueDepth.Value() != 7 || p.WorkersBusy.Value() != 1 {
+		t.Fatalf("after start: depth=%d busy=%d", p.QueueDepth.Value(), p.WorkersBusy.Value())
+	}
+	p.CellFinished(0, 0, 5*time.Millisecond, false)
+	p.CellStarted(0, 1, 6)
+	p.CellFinished(0, 1, time.Millisecond, true)
+	if p.WorkersBusy.Value() != 0 {
+		t.Fatalf("busy gauge = %d after all cells finished", p.WorkersBusy.Value())
+	}
+	if p.Cells.Value() != 2 || p.CellsFailed.Value() != 1 {
+		t.Fatalf("cells=%d failed=%d", p.Cells.Value(), p.CellsFailed.Value())
+	}
+	if p.CellSeconds.Count() != 2 {
+		t.Fatalf("cell timing observations = %d", p.CellSeconds.Count())
+	}
+}
+
+// TestPoolMetricsLiveSweep installs the observer and runs a real figure:
+// every cell must be counted and the queue must drain to zero.
+func TestPoolMetricsLiveSweep(t *testing.T) {
+	reg := metrics.NewRegistry()
+	p := NewPoolMetrics(reg)
+	sim.SetPoolObserver(p)
+	defer sim.SetPoolObserver(nil)
+	fig, err := sim.Figure3(sim.Options{Requests: 400, Parallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := p.Cells.Value(), uint64(len(fig.Cells)); got != want {
+		t.Errorf("cells counted = %d, figure has %d", got, want)
+	}
+	if p.QueueDepth.Value() != 0 {
+		t.Errorf("queue depth = %d after sweep, want 0", p.QueueDepth.Value())
+	}
+	if p.WorkersBusy.Value() != 0 {
+		t.Errorf("workers busy = %d after sweep, want 0", p.WorkersBusy.Value())
+	}
+}
+
+// TestTracerLogsEvents checks slog output and the level gate.
+func TestTracerLogsEvents(t *testing.T) {
+	var buf bytes.Buffer
+	log := slog.New(slog.NewTextHandler(&buf, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	tr := NewTracer(log)
+	tr.Observe(core.Event{Type: core.EventEviction, Clip: clip(7, 1234), Now: 42})
+	out := buf.String()
+	for _, want := range []string{"cache event", "type=eviction", "clip=7", "vtime=42"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace output missing %q: %s", want, out)
+		}
+	}
+	// Above-debug level: no output, and the gate avoids attr work.
+	buf.Reset()
+	quiet := NewTracer(slog.New(slog.NewTextHandler(&buf, &slog.HandlerOptions{Level: slog.LevelInfo})))
+	quiet.Observe(core.Event{Type: core.EventHit, Clip: clip(1, 1)})
+	if buf.Len() != 0 {
+		t.Errorf("tracer wrote despite info level: %s", buf.String())
+	}
+}

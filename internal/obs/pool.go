@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"time"
+
+	"mediacache/internal/metrics"
+	"mediacache/internal/sim"
+)
+
+// PoolMetrics translates sweep-pool events into registry gauges: how deep
+// the unclaimed-cell queue is, how many workers are busy, how many cells
+// have completed and how long they ran. It implements sim.PoolObserver;
+// install with sim.SetPoolObserver(p). Callbacks arrive concurrently from
+// every worker, and the underlying instruments are atomics, so no locking.
+type PoolMetrics struct {
+	QueueDepth  *metrics.Gauge
+	WorkersBusy *metrics.Gauge
+	Cells       *metrics.Counter
+	CellsFailed *metrics.Counter
+	CellSeconds *metrics.Histogram
+}
+
+// NewPoolMetrics registers the sweep-pool instruments on reg and returns
+// the observer.
+func NewPoolMetrics(reg *metrics.Registry) *PoolMetrics {
+	return &PoolMetrics{
+		QueueDepth:  reg.Gauge("mediacache_sweep_queue_depth", "Sweep cells awaiting a worker."),
+		WorkersBusy: reg.Gauge("mediacache_sweep_workers_busy", "Sweep-pool workers currently running a cell."),
+		Cells:       reg.Counter("mediacache_sweep_cells_total", "Sweep cells completed."),
+		CellsFailed: reg.Counter("mediacache_sweep_cells_failed_total", "Sweep cells that returned an error."),
+		CellSeconds: reg.Histogram("mediacache_sweep_cell_seconds", "Wall-clock time per sweep cell.", metrics.DefBuckets),
+	}
+}
+
+// CellStarted implements sim.PoolObserver.
+func (p *PoolMetrics) CellStarted(worker, cell, queued int) {
+	p.QueueDepth.Set(int64(queued))
+	p.WorkersBusy.Inc()
+}
+
+// CellFinished implements sim.PoolObserver.
+func (p *PoolMetrics) CellFinished(worker, cell int, elapsed time.Duration, failed bool) {
+	p.WorkersBusy.Dec()
+	p.Cells.Inc()
+	if failed {
+		p.CellsFailed.Inc()
+	}
+	p.CellSeconds.Observe(elapsed.Seconds())
+}
+
+var _ sim.PoolObserver = (*PoolMetrics)(nil)

@@ -35,10 +35,12 @@ func NewPolicy(spec string, repo *media.Repository, pmf []float64, seed uint64) 
 
 // NewCache builds a cache over repo at the given capacity running the
 // policy described by spec, fully bound and ready to service requests.
-func NewCache(spec string, repo *media.Repository, capacity media.Bytes, pmf []float64, seed uint64) (*core.Cache, error) {
+// Engine options (e.g. core.WithObserver for the observability layer)
+// pass through to core.New.
+func NewCache(spec string, repo *media.Repository, capacity media.Bytes, pmf []float64, seed uint64, opts ...core.Option) (*core.Cache, error) {
 	p, err := NewPolicy(spec, repo, pmf, seed)
 	if err != nil {
 		return nil, err
 	}
-	return core.New(repo, capacity, p)
+	return core.New(repo, capacity, p, opts...)
 }

@@ -16,9 +16,48 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"mediacache/internal/randutil"
 )
+
+// PoolObserver receives sweep-pool progress events: which worker claimed
+// which cell, how deep the unclaimed-cell queue was at that instant, and
+// how long each cell ran. Callbacks arrive concurrently from every worker
+// goroutine, so implementations must be safe for concurrent use (the
+// metrics observer in internal/obs is atomics-only).
+type PoolObserver interface {
+	// CellStarted reports worker claiming cell; queued is the number of
+	// cells not yet claimed after this one.
+	CellStarted(worker, cell, queued int)
+	// CellFinished reports cell completing on worker after elapsed wall
+	// time; failed reports whether the cell returned an error.
+	CellFinished(worker, cell int, elapsed time.Duration, failed bool)
+}
+
+// poolObs holds the installed observer. An atomic pointer keeps the
+// disabled path to one load per mapCells call — BenchmarkSweepParallel
+// pins that the nil path stays within noise.
+var poolObs atomic.Pointer[PoolObserver]
+
+// SetPoolObserver installs o as the process-wide sweep-pool observer
+// (nil uninstalls). Sweeps already in flight keep the observer they
+// loaded at entry; install before launching runs.
+func SetPoolObserver(o PoolObserver) {
+	if o == nil {
+		poolObs.Store(nil)
+		return
+	}
+	poolObs.Store(&o)
+}
+
+// loadPoolObserver returns the installed observer or nil.
+func loadPoolObserver() PoolObserver {
+	if p := poolObs.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
 
 // poolWorkers resolves a requested parallelism: n <= 0 selects
 // runtime.GOMAXPROCS(0), the "as fast as the hardware allows" default;
@@ -48,10 +87,11 @@ func mapCells[T any](parallel, n int, fn func(i int) (T, error)) ([]T, error) {
 	if workers > n {
 		workers = n
 	}
+	obs := loadPoolObserver()
 	out := make([]T, n)
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			v, err := fn(i)
+			v, err := observeCell(obs, 0, i, n-i-1, fn)
 			if err != nil {
 				return nil, err
 			}
@@ -65,14 +105,14 @@ func mapCells[T any](parallel, n int, fn func(i int) (T, error)) ([]T, error) {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n || failed.Load() {
 					return
 				}
-				v, err := fn(i)
+				v, err := observeCell(obs, worker, i, n-i-1, fn)
 				if err != nil {
 					errs[i] = err
 					failed.Store(true)
@@ -80,7 +120,7 @@ func mapCells[T any](parallel, n int, fn func(i int) (T, error)) ([]T, error) {
 				}
 				out[i] = v
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	// Cells are claimed in index order, so every cell below the first
@@ -92,6 +132,20 @@ func mapCells[T any](parallel, n int, fn func(i int) (T, error)) ([]T, error) {
 		}
 	}
 	return out, nil
+}
+
+// observeCell runs fn(cell), bracketing it with observer callbacks when a
+// pool observer is installed. The nil path is a plain call: no timestamps,
+// no allocations.
+func observeCell[T any](obs PoolObserver, worker, cell, queued int, fn func(i int) (T, error)) (T, error) {
+	if obs == nil {
+		return fn(cell)
+	}
+	obs.CellStarted(worker, cell, queued)
+	start := time.Now()
+	v, err := fn(cell)
+	obs.CellFinished(worker, cell, time.Since(start), err != nil)
+	return v, err
 }
 
 // forEachCell is mapCells for side-effect-only cells.

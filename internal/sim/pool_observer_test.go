@@ -1,0 +1,145 @@
+package sim
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// recordingPoolObserver captures pool callbacks under a lock (the pool
+// promises only that callbacks are concurrency-safe, not ordered).
+type recordingPoolObserver struct {
+	mu        sync.Mutex
+	started   int
+	finished  int
+	failed    int
+	maxQueued int
+	workers   map[int]int // worker -> cells run
+	elapsed   time.Duration
+}
+
+func (o *recordingPoolObserver) CellStarted(worker, cell, queued int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.started++
+	if queued > o.maxQueued {
+		o.maxQueued = queued
+	}
+	if o.workers == nil {
+		o.workers = make(map[int]int)
+	}
+	o.workers[worker]++
+}
+
+func (o *recordingPoolObserver) CellFinished(worker, cell int, elapsed time.Duration, failed bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.finished++
+	o.elapsed += elapsed
+	if failed {
+		o.failed++
+	}
+}
+
+// TestPoolObserverSequential pins the exact callback stream of the
+// one-worker path: every cell starts and finishes on worker 0, queue depth
+// counts down from n-1 to 0.
+func TestPoolObserverSequential(t *testing.T) {
+	obs := &recordingPoolObserver{}
+	SetPoolObserver(obs)
+	defer SetPoolObserver(nil)
+	const n = 5
+	out, err := mapCells(1, n, func(i int) (int, error) {
+		time.Sleep(time.Microsecond)
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != n || out[3] != 9 {
+		t.Fatalf("results = %v", out)
+	}
+	if obs.started != n || obs.finished != n || obs.failed != 0 {
+		t.Fatalf("started/finished/failed = %d/%d/%d, want %d/%d/0",
+			obs.started, obs.finished, obs.failed, n, n)
+	}
+	if obs.maxQueued != n-1 {
+		t.Fatalf("max queue depth = %d, want %d", obs.maxQueued, n-1)
+	}
+	if len(obs.workers) != 1 || obs.workers[0] != n {
+		t.Fatalf("worker distribution = %v, want all on worker 0", obs.workers)
+	}
+	if obs.elapsed <= 0 {
+		t.Fatal("cell timings not recorded")
+	}
+}
+
+// TestPoolObserverParallel checks the concurrent path: all cells observed
+// exactly once, queue depth bounded by n-1, and results untouched by
+// instrumentation.
+func TestPoolObserverParallel(t *testing.T) {
+	obs := &recordingPoolObserver{}
+	SetPoolObserver(obs)
+	defer SetPoolObserver(nil)
+	const n = 32
+	out, err := mapCells(4, n, func(i int) (int, error) { return i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+	if obs.started != n || obs.finished != n {
+		t.Fatalf("started/finished = %d/%d, want %d/%d", obs.started, obs.finished, n, n)
+	}
+	if obs.maxQueued >= n {
+		t.Fatalf("queue depth %d out of range", obs.maxQueued)
+	}
+	total := 0
+	for w, c := range obs.workers {
+		if w < 0 || w >= 4 {
+			t.Fatalf("worker id %d out of range", w)
+		}
+		total += c
+	}
+	if total != n {
+		t.Fatalf("worker cell counts sum to %d, want %d", total, n)
+	}
+}
+
+// TestPoolObserverReportsFailures checks failed cells are flagged.
+func TestPoolObserverReportsFailures(t *testing.T) {
+	obs := &recordingPoolObserver{}
+	SetPoolObserver(obs)
+	defer SetPoolObserver(nil)
+	boom := errors.New("boom")
+	_, err := mapCells(1, 3, func(i int) (int, error) {
+		if i == 1 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if obs.failed != 1 {
+		t.Fatalf("failed cells = %d, want 1", obs.failed)
+	}
+}
+
+// TestPoolObserverDisabledPathUntouched confirms uninstalling restores the
+// plain path (no panic, results identical).
+func TestPoolObserverDisabledPathUntouched(t *testing.T) {
+	SetPoolObserver(&recordingPoolObserver{})
+	SetPoolObserver(nil)
+	out, err := mapCells(2, 4, func(i int) (int, error) { return i + 1, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 1 || out[3] != 4 {
+		t.Fatalf("results = %v", out)
+	}
+}

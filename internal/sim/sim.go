@@ -46,7 +46,9 @@ type WindowPoint struct {
 // that varies between identical runs.
 type Metrics struct {
 	Requests     uint64        // references issued
+	Hits         uint64        // references serviced from cache
 	Evictions    uint64        // clips swapped out
+	BytesFetched media.Bytes   // network traffic: Σ size of missed clips
 	BytesEvicted media.Bytes   // Σ size of evicted clips
 	Bypassed     uint64        // misses streamed without caching
 	VictimCalls  uint64        // Policy.Victims invocations (incl. re-invocations)
@@ -57,7 +59,9 @@ type Metrics struct {
 func metricsFromStats(s core.Stats, wall time.Duration) Metrics {
 	return Metrics{
 		Requests:     s.Requests,
+		Hits:         s.Hits,
 		Evictions:    s.Evictions,
+		BytesFetched: s.BytesFetched,
 		BytesEvicted: s.BytesEvicted,
 		Bypassed:     s.Bypassed,
 		VictimCalls:  s.VictimCalls,
@@ -70,7 +74,9 @@ func metricsFromStats(s core.Stats, wall time.Duration) Metrics {
 // the parallel runner).
 func (m *Metrics) Add(other Metrics) {
 	m.Requests += other.Requests
+	m.Hits += other.Hits
 	m.Evictions += other.Evictions
+	m.BytesFetched += other.BytesFetched
 	m.BytesEvicted += other.BytesEvicted
 	m.Bypassed += other.Bypassed
 	m.VictimCalls += other.VictimCalls
