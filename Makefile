@@ -1,7 +1,11 @@
 GO ?= go
 BENCH_DATE := $(shell date +%Y-%m-%d)
 
-.PHONY: build test vet race alloccheck check bench
+.PHONY: build test vet race alloccheck check bench fuzz-smoke
+
+# Each fuzz target gets a short smoke budget; go test allows only one
+# -fuzz pattern per invocation, so targets run sequentially.
+FUZZTIME ?= 10s
 
 build:
 	$(GO) build ./...
@@ -30,3 +34,11 @@ check: build vet test race alloccheck
 # events (one dated file per day; reruns overwrite).
 bench:
 	$(GO) test -run '^$$' -bench=. -benchmem -json . | tee BENCH_$(BENCH_DATE).json
+
+# fuzz-smoke gives every fuzz target a short randomized shake-out beyond
+# its checked-in seed corpus. CI runs this on every push.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzReadCSV$$' -fuzztime $(FUZZTIME) ./internal/workload
+	$(GO) test -run '^$$' -fuzz '^FuzzParseSpec$$' -fuzztime $(FUZZTIME) ./internal/workload
+	$(GO) test -run '^$$' -fuzz '^FuzzReadRepositoryCSV$$' -fuzztime $(FUZZTIME) ./internal/media
+	$(GO) test -run '^$$' -fuzz '^FuzzParseProfile$$' -fuzztime $(FUZZTIME) ./internal/fault

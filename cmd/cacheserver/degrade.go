@@ -1,0 +1,182 @@
+package main
+
+// degrade.go is the server's failure and degradation layer: deterministic
+// fault injection on the clip-fetch path (the flaky wireless link of the
+// paper's Section 1 scenario), load shedding when too many requests are in
+// flight, and an admission bypass that stops caching new clips under
+// memory pressure. All three are off by default and cost nothing when
+// disabled.
+
+import (
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mediacache/internal/fault"
+	"mediacache/internal/media"
+	"mediacache/internal/metrics"
+	"mediacache/internal/vtime"
+)
+
+// retryAfterSeconds is the backoff hint attached to shed (429) and
+// injected-fault (502/504) responses.
+const retryAfterSeconds = "1"
+
+// chaos injects faults into the clip route from a seeded schedule. The
+// injector itself is single-threaded, so draws serialize on a mutex; the
+// sleeps happen outside it.
+type chaos struct {
+	mu       sync.Mutex
+	inj      *fault.Injector
+	injected [fault.NumKinds]*metrics.Counter
+}
+
+// newChaos builds the fault middleware state for profile, seeded so that
+// the same (profile, seed) pair replays the same fault schedule across
+// server restarts.
+func newChaos(profile fault.Profile, seed uint64, reg *metrics.Registry) *chaos {
+	c := &chaos{inj: fault.New(profile, seed)}
+	for _, k := range fault.Kinds() {
+		c.injected[k] = reg.Counter("mediacache_faults_injected_total",
+			"Faults injected into the clip-fetch path, by kind.",
+			metrics.Label{Name: "kind", Value: k.String()})
+	}
+	return c
+}
+
+// draw takes the next scheduled fault.
+func (c *chaos) draw() fault.Fault {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.inj.Next()
+}
+
+// wrap applies the fault schedule to h: injected latency delays the
+// response, an error fault answers 502, a timeout fault stalls for the
+// profile's hold and answers 504, and a partial fault answers 502 after
+// delivering nothing. Faulted requests never reach the cache, modelling a
+// transfer that failed before the clip materialized.
+func (c *chaos) wrap(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		f := c.draw()
+		if f.Failed() {
+			c.injected[f.Kind].Inc()
+		}
+		if f.Latency > 0 {
+			time.Sleep(f.Latency)
+		}
+		switch f.Kind {
+		case fault.None:
+			h(w, r)
+		case fault.Error:
+			w.Header().Set("Retry-After", retryAfterSeconds)
+			writeError(w, http.StatusBadGateway, "injected link error fetching clip")
+		case fault.Timeout:
+			time.Sleep(c.inj.Profile().HoldOrDefault())
+			w.Header().Set("Retry-After", retryAfterSeconds)
+			writeError(w, http.StatusGatewayTimeout, "injected link stall fetching clip")
+		case fault.Partial:
+			w.Header().Set("Retry-After", retryAfterSeconds)
+			writeError(w, http.StatusBadGateway,
+				"injected partial delivery (%.0f%% of clip) fetching clip", f.Fraction*100)
+		}
+	}
+}
+
+// shedder rejects requests once too many are in flight — the server's
+// bounded-queue stand-in for the base station's admission control. A shed
+// request answers 429 with a Retry-After hint and never touches the cache.
+type shedder struct {
+	inFlight atomic.Int64
+	limit    int64
+	shed     *metrics.Counter
+}
+
+// newShedder builds the load-shedding state; limit <= 0 disables shedding.
+func newShedder(limit int, reg *metrics.Registry) *shedder {
+	s := &shedder{limit: int64(limit)}
+	s.shed = reg.Counter("mediacache_http_shed_total",
+		"Requests rejected with 429 because too many were in flight.")
+	reg.GaugeFunc("mediacache_http_shed_limit", "In-flight bound above which requests shed (0 = unbounded).",
+		func() float64 { return float64(s.limit) })
+	return s
+}
+
+// wrap applies the in-flight bound to next.
+func (sh *shedder) wrap(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if sh.limit > 0 && sh.inFlight.Load() >= sh.limit {
+			sh.shed.Inc()
+			w.Header().Set("Retry-After", retryAfterSeconds)
+			writeError(w, http.StatusTooManyRequests,
+				"server overloaded: %d requests in flight", sh.inFlight.Load())
+			return
+		}
+		sh.inFlight.Add(1)
+		defer sh.inFlight.Add(-1)
+		next.ServeHTTP(w, r)
+	})
+}
+
+// memPressureInterval bounds how often the pressure monitor re-reads
+// runtime memory statistics (ReadMemStats is not free).
+const memPressureInterval = 100 * time.Millisecond
+
+// memGuard flips the cache into bypass mode while the process heap exceeds
+// a bound: under memory pressure the device keeps streaming clips but
+// stops materializing them, shrinking the heap instead of fighting the
+// allocator (the cache itself never grows past S_T — the guard protects
+// against everything else in the process).
+type memGuard struct {
+	limit     uint64 // bytes of heap allowance; 0 disables
+	degraded  atomic.Bool
+	lastCheck atomic.Int64 // unix nanos of the last ReadMemStats
+	now       func() time.Time
+	readHeap  func() uint64
+}
+
+// newMemGuard builds the pressure monitor; limit 0 disables it.
+func newMemGuard(limit uint64, reg *metrics.Registry) *memGuard {
+	g := &memGuard{
+		limit: limit,
+		now:   time.Now,
+		readHeap: func() uint64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return ms.HeapAlloc
+		},
+	}
+	reg.GaugeFunc("mediacache_degraded_mode",
+		"1 while admission is bypassed because heap use exceeds -memlimit.",
+		func() float64 {
+			if g.degraded.Load() {
+				return 1
+			}
+			return 0
+		})
+	return g
+}
+
+// check refreshes the pressure flag, rate-limited to one ReadMemStats per
+// memPressureInterval. Safe for concurrent use; extra callers within the
+// interval just read the cached flag.
+func (g *memGuard) check() {
+	if g.limit == 0 {
+		return
+	}
+	now := g.now().UnixNano()
+	last := g.lastCheck.Load()
+	if now-last < int64(memPressureInterval) || !g.lastCheck.CompareAndSwap(last, now) {
+		return
+	}
+	g.degraded.Store(g.readHeap() > g.limit)
+}
+
+// admission is the core.WithAdmission hook: under pressure every cacheable
+// miss is bypassed (streamed without caching).
+func (g *memGuard) admission(media.Clip, vtime.Time) bool {
+	g.check()
+	return !g.degraded.Load()
+}

@@ -1,0 +1,261 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mediacache/internal/fault"
+	"mediacache/internal/media"
+	"mediacache/internal/metrics"
+)
+
+// chaosConfig is the baseline config with a fast, failure-heavy fault
+// profile (no injected latency or hold, so tests stay quick).
+func chaosConfig(p fault.Profile) config {
+	cfg := testConfig()
+	cfg.faults = p
+	return cfg
+}
+
+func TestChaosInjectsFaults(t *testing.T) {
+	p := fault.Profile{ErrorRate: 0.3, TimeoutRate: 0.1, PartialRate: 0.1,
+		Hold: time.Millisecond}
+	_, ts := newTestServerConfig(t, chaosConfig(p))
+	statuses := map[int]int{}
+	for i := 0; i < 200; i++ {
+		resp, err := http.Get(ts.URL + "/v1/clips/1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		statuses[resp.StatusCode]++
+		if resp.StatusCode != http.StatusOK && resp.Header.Get("Retry-After") == "" {
+			t.Fatalf("faulted response %d missing Retry-After", resp.StatusCode)
+		}
+	}
+	if statuses[http.StatusOK] == 0 {
+		t.Fatal("no request succeeded under a 50% failure profile")
+	}
+	if statuses[http.StatusBadGateway] == 0 {
+		t.Errorf("no 502s injected: %v", statuses)
+	}
+	if statuses[http.StatusGatewayTimeout] == 0 {
+		t.Errorf("no 504s injected: %v", statuses)
+	}
+}
+
+// TestChaosDeterministic pins that two servers with the same seed and
+// profile inject the identical fault sequence.
+func TestChaosDeterministic(t *testing.T) {
+	p := fault.Profile{ErrorRate: 0.2, TimeoutRate: 0.1, PartialRate: 0.1,
+		Hold: time.Millisecond}
+	trace := func(seed uint64) string {
+		cfg := chaosConfig(p)
+		cfg.seed = seed
+		_, ts := newTestServerConfig(t, cfg)
+		var b strings.Builder
+		for i := 0; i < 100; i++ {
+			resp, err := http.Get(ts.URL + "/v1/clips/1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			fmt.Fprintf(&b, "%d,", resp.StatusCode)
+		}
+		return b.String()
+	}
+	if a, b := trace(1), trace(1); a != b {
+		t.Fatalf("same seed gave different fault sequences:\n%s\n%s", a, b)
+	}
+	if a, c := trace(1), trace(2); a == c {
+		t.Fatal("different seeds gave identical fault sequences")
+	}
+}
+
+// TestChaosOnlyClipRoute checks the control and observability routes stay
+// reliable under a profile that fails every fetch.
+func TestChaosOnlyClipRoute(t *testing.T) {
+	_, ts := newTestServerConfig(t, chaosConfig(fault.Profile{ErrorRate: 1}))
+	for _, path := range []string{"/v1/stats", "/v1/healthz", "/v1/metrics", "/v1/policies"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s returned %d under chaos", path, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/clips/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("clip route returned %d, want 502 with ErrorRate 1", resp.StatusCode)
+	}
+}
+
+// TestChaosMetricsExposed checks injected faults surface in /v1/metrics.
+func TestChaosMetricsExposed(t *testing.T) {
+	_, ts := newTestServerConfig(t, chaosConfig(fault.Profile{ErrorRate: 1}))
+	for i := 0; i < 5; i++ {
+		resp, err := http.Get(ts.URL + "/v1/clips/1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), `mediacache_faults_injected_total{kind="error"} 5`) {
+		t.Fatalf("metrics missing injected-fault counter:\n%s", body)
+	}
+}
+
+// TestLoadShed saturates a 1-in-flight server and checks the overflow
+// answers 429 with a Retry-After hint and shows up in the shed counter.
+func TestLoadShed(t *testing.T) {
+	cfg := testConfig()
+	cfg.maxInFlight = 1
+	srv, ts := newTestServerConfig(t, cfg)
+
+	// Park one request inside the handler so concurrent ones exceed the
+	// bound deterministically.
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	srv.mux.HandleFunc("GET /v1/slow", func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		<-release
+		w.WriteHeader(http.StatusNoContent)
+	})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		resp, err := http.Get(ts.URL + "/v1/slow")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	<-entered
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow request got %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 missing Retry-After")
+	}
+	close(release)
+	<-done
+
+	if got := srv.shed.shed.Value(); got == 0 {
+		t.Error("shed counter not incremented")
+	}
+	// With the slot free again the same request succeeds.
+	resp, err = http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-shed request got %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestLoadShedUnbounded checks the default (limit 0) never sheds.
+func TestLoadShedUnbounded(t *testing.T) {
+	_, ts := newTestServer(t)
+	var wg sync.WaitGroup
+	var failed atomic.Int64
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(ts.URL + "/v1/stats")
+			if err != nil {
+				failed.Add(1)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				failed.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if failed.Load() != 0 {
+		t.Fatalf("%d requests failed with shedding disabled", failed.Load())
+	}
+}
+
+// testClip is a minimal clip for the admission-hook tests.
+var testClip = media.Clip{ID: 1, Size: media.MB, Kind: media.Video}
+
+// TestMemGuardBypassesAdmission drives the pressure monitor with fake heap
+// readings and checks admission flips to bypass and back.
+func TestMemGuardBypassesAdmission(t *testing.T) {
+	reg := metrics.NewRegistry()
+	g := newMemGuard(1000, reg)
+	heap := uint64(500)
+	now := time.Unix(0, 0)
+	g.readHeap = func() uint64 { return heap }
+	g.now = func() time.Time { return now }
+
+	clip := testClip
+	if !g.admission(clip, 0) {
+		t.Fatal("admission declined below the limit")
+	}
+	heap = 2000
+	now = now.Add(memPressureInterval + time.Nanosecond)
+	if g.admission(clip, 0) {
+		t.Fatal("admission allowed above the limit")
+	}
+	if !g.degraded.Load() {
+		t.Fatal("degraded flag not set")
+	}
+	// Within the sampling interval the cached verdict holds even though the
+	// heap recovered.
+	heap = 100
+	if g.admission(clip, 0) {
+		t.Fatal("verdict changed within the sampling interval")
+	}
+	now = now.Add(memPressureInterval + time.Nanosecond)
+	if !g.admission(clip, 0) {
+		t.Fatal("admission still declined after pressure cleared")
+	}
+}
+
+// TestMemGuardDisabled checks limit 0 never degrades and never reads the
+// heap.
+func TestMemGuardDisabled(t *testing.T) {
+	reg := metrics.NewRegistry()
+	g := newMemGuard(0, reg)
+	g.readHeap = func() uint64 { t.Fatal("ReadMemStats called with memlimit 0"); return 0 }
+	if !g.admission(testClip, 0) {
+		t.Fatal("admission declined with guard disabled")
+	}
+}

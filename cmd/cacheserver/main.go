@@ -31,9 +31,19 @@
 // header. The alias set is frozen — observability routes exist only under
 // /v1.
 //
+// The failure and degradation layer (all off by default): -faults injects
+// a deterministic, seed-replayable fault schedule into the clip route
+// (errors → 502, stalls → 504 after the profile's hold, partial deliveries
+// → 502, plus injected latency); -maxinflight sheds requests with 429 and
+// a Retry-After hint once too many are in flight; -memlimit bypasses cache
+// admission (stream, don't cache) while the process heap exceeds the
+// bound. Injected faults, shed requests and the degraded-mode flag are all
+// visible in /v1/metrics.
+//
 // Usage:
 //
 //	cacheserver -addr :8377 -policy dynsimple:2 -ratio 0.125 -alloc 4000000 [-pprof] [-trace]
+//	            [-faults p=0.05] [-maxinflight 256] [-memlimit 1073741824]
 package main
 
 import (
@@ -43,6 +53,7 @@ import (
 	"net/http"
 	"os"
 
+	"mediacache/internal/fault"
 	"mediacache/internal/media"
 	"mediacache/internal/sim"
 	"mediacache/internal/zipf"
@@ -58,7 +69,15 @@ func main() {
 	seed := fs.Uint64("seed", sim.DefaultSeed, "policy tie-break seed")
 	pprofFlag := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	trace := fs.Bool("trace", false, "log every cache event (hit/miss/eviction/bypass/restore) at debug level")
+	faultsFlag := fs.String("faults", "", `fault-injection profile for the clip route, e.g. "p=0.05" or "error=0.1,timeout=0.05,latency=20ms" ("" or "off" disables)`)
+	maxInFlight := fs.Int("maxinflight", 0, "shed requests with 429 once this many are in flight (0 = unbounded)")
+	memLimit := fs.Uint64("memlimit", 0, "bypass cache admission while process heap exceeds this many bytes (0 = off)")
 	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+	profile, err := fault.ParseProfile(*faultsFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cacheserver: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -69,14 +88,17 @@ func main() {
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
 	srv, err := newServer(config{
-		policy:    *policy,
-		ratio:     *ratio,
-		alloc:     media.BitsPerSecond(*alloc),
-		admission: *admission,
-		seed:      *seed,
-		logger:    logger,
-		trace:     *trace,
-		pprof:     *pprofFlag,
+		policy:      *policy,
+		ratio:       *ratio,
+		alloc:       media.BitsPerSecond(*alloc),
+		admission:   *admission,
+		seed:        *seed,
+		logger:      logger,
+		trace:       *trace,
+		pprof:       *pprofFlag,
+		faults:      profile,
+		maxInFlight: *maxInFlight,
+		memLimit:    *memLimit,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cacheserver: %v\n", err)

@@ -1,0 +1,92 @@
+package main
+
+// resilience_test.go is the end-to-end acceptance test of the fault layer:
+// a cacheclient driving a cacheserver whose clip route fails 20% of
+// fetches. Every request must eventually succeed through retries, and the
+// client's resilience counters must be visible on the same /v1/metrics
+// page as the server's engine counters.
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"mediacache/internal/cacheclient"
+	"mediacache/internal/fault"
+	"mediacache/internal/media"
+	"mediacache/internal/obs"
+)
+
+func TestClientResilienceUnderChaos(t *testing.T) {
+	// 20% of fetches fail: outright errors, stalls (1ms hold) and partial
+	// deliveries, all answered with retryable 5xx statuses.
+	profile := fault.Profile{ErrorRate: 0.1, TimeoutRate: 0.05, PartialRate: 0.05,
+		Hold: time.Millisecond}
+	srv, ts := newTestServerConfig(t, chaosConfig(profile))
+
+	client, err := cacheclient.New(cacheclient.Config{
+		BaseURL:     ts.URL,
+		Seed:        42,
+		MaxAttempts: 20,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  10 * time.Millisecond,
+		Observer:    obs.NewClientMetrics(srv.reg),
+		Breaker:     cacheclient.BreakerConfig{Threshold: 3, Cooldown: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	const requests = 300
+	for i := 0; i < requests; i++ {
+		id := media.ClipID(i%30 + 1)
+		res, err := client.Clip(ctx, id)
+		if err != nil {
+			t.Fatalf("request %d (clip %d) did not survive chaos: %v", i, id, err)
+		}
+		if res.Clip != id {
+			t.Fatalf("request %d returned clip %d, want %d", i, res.Clip, id)
+		}
+	}
+
+	// At a 20% failure rate over 300 requests, retries are statistically
+	// certain (P(no fault) ≈ 1e-29 for the fixed seed this test pins).
+	if client.Retries() == 0 {
+		t.Fatal("no retries under a 20% failure profile")
+	}
+	stats, err := client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Requests == 0 || stats.Hits == 0 {
+		t.Fatalf("server saw no traffic: %+v", stats)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE mediacache_client_retries_total counter",
+		"# TYPE mediacache_client_breaker_opens_total counter",
+		"# TYPE mediacache_client_breaker_state gauge",
+		`mediacache_faults_injected_total{kind="error"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/v1/metrics missing %q", want)
+		}
+	}
+	// The registry's retry counter must match the client's own count.
+	wantLine := "mediacache_client_retries_total " + strconv.FormatUint(client.Retries(), 10)
+	if !strings.Contains(text, wantLine) {
+		t.Errorf("/v1/metrics missing %q", wantLine)
+	}
+}

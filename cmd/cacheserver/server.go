@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"mediacache/internal/core"
+	"mediacache/internal/fault"
 	"mediacache/internal/media"
 	"mediacache/internal/metrics"
 	"mediacache/internal/netsim"
@@ -36,6 +37,12 @@ type config struct {
 	logger    *slog.Logger // access log + event traces; nil discards
 	trace     bool         // log every cache event at debug level
 	pprof     bool         // mount net/http/pprof under /debug/pprof/
+
+	// Failure and degradation layer (degrade.go). The zero values disable
+	// all three mechanisms.
+	faults      fault.Profile // injected fault schedule on the clip route
+	maxInFlight int           // shed requests beyond this bound (0 = unbounded)
+	memLimit    uint64        // bypass admission above this heap size (0 = off)
 }
 
 // server wires a device cache into an http.Handler. The core engine is
@@ -54,6 +61,9 @@ type server struct {
 	log        *slog.Logger
 	mux        *http.ServeMux
 	handler    http.Handler // middleware-wrapped mux
+	chaos      *chaos       // nil when fault injection is off
+	shed       *shedder
+	guard      *memGuard
 }
 
 // newServer builds the cache per the CLI configuration and mounts the API.
@@ -70,13 +80,21 @@ func newServer(cfg config) (*server, error) {
 	if log == nil {
 		log = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
+	if err := cfg.faults.Validate(); err != nil {
+		return nil, err
+	}
 	reg := metrics.NewRegistry()
 	observer := core.Observer(obs.NewCacheMetrics(reg))
 	if cfg.trace {
 		observer = core.CombineObservers(observer, obs.NewTracer(log))
 	}
+	guard := newMemGuard(cfg.memLimit, reg)
+	engineOpts := []core.Option{core.WithObserver(observer)}
+	if cfg.memLimit > 0 {
+		engineOpts = append(engineOpts, core.WithAdmission(guard.admission))
+	}
 	cache, err := sim.NewCache(cfg.policy, repo, repo.CacheSizeForRatio(cfg.ratio),
-		pmf, cfg.seed, core.WithObserver(observer))
+		pmf, cfg.seed, engineOpts...)
 	if err != nil {
 		return nil, err
 	}
@@ -88,6 +106,11 @@ func newServer(cfg config) (*server, error) {
 		reg:        reg,
 		log:        log,
 		mux:        http.NewServeMux(),
+		shed:       newShedder(cfg.maxInFlight, reg),
+		guard:      guard,
+	}
+	if cfg.faults.Enabled() {
+		s.chaos = newChaos(cfg.faults, cfg.seed, reg)
 	}
 	s.registerCacheGauges()
 	// Register the sweep-pool gauges and adopt the process-wide pool
@@ -117,7 +140,15 @@ func newServer(cfg config) (*server, error) {
 	for _, rt := range routes {
 		method, path, _ := splitPattern(rt.pattern)
 		v1 := method + " " + apiVersion + path
-		h := s.instrument(v1, rt.handler)
+		handler := rt.handler
+		if s.chaos != nil && rt.pattern == "GET /clips/{id}" {
+			// The flaky link only affects clip fetches; the control and
+			// observability routes stay reliable. Instrumenting outside the
+			// chaos wrapper keeps injected latency visible in the route's
+			// latency histogram.
+			handler = s.chaos.wrap(handler)
+		}
+		h := s.instrument(v1, handler)
 		s.mux.Handle(v1, h)
 		if rt.legacy {
 			// Deprecated unversioned alias for pre-v1 clients; it shares
@@ -128,7 +159,7 @@ func newServer(cfg config) (*server, error) {
 	if cfg.pprof {
 		s.mountPprof()
 	}
-	s.handler = withRequestID(withAccessLog(log, s.withHTTPMetrics(withJSONErrors(s.mux))))
+	s.handler = withRequestID(withAccessLog(log, s.withHTTPMetrics(s.shed.wrap(withJSONErrors(s.mux)))))
 	return s, nil
 }
 
@@ -154,7 +185,8 @@ func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
 }
 
 // ServeHTTP implements http.Handler through the middleware chain:
-// request-id → access log → HTTP metrics → JSON 404/405 rewrite → mux.
+// request-id → access log → HTTP metrics → load shed → JSON 404/405
+// rewrite → mux.
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.handler.ServeHTTP(w, r)
 }

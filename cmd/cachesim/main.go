@@ -8,6 +8,7 @@
 //	cachesim -policy greedydual -repo equi -ratio 0.25
 //	cachesim -policy lrusk:2 -ratio 0.1 -shift 200 -window 1000
 //	cachesim -policy simple -ratio 0.05 -trace trace.csv
+//	cachesim -policy lruk:3 -workload zipf=0.27,0x10000,200x5000
 //	cachesim -policy dynsimple:2,igd:2,greedydual -ratio 0.125   (comparison)
 package main
 
@@ -46,8 +47,22 @@ func run(args []string, out io.Writer) error {
 	shift := fs.Int("shift", 0, "identity shift g of the distribution (Section 4.4.1)")
 	window := fs.Int("window", 0, "print the hit rate every N requests (0 = off)")
 	tracePath := fs.String("trace", "", "replay a CSV trace instead of generating requests")
+	workloadSpec := fs.String("workload", "",
+		`compact workload spec, e.g. "zipf=0.27,0x10000,200x5000" (overrides -zipf/-shift/-requests)`)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	sched := workload.Schedule{{Shift: *shift, Requests: *requests}}
+	if *workloadSpec != "" {
+		ws, err := workload.ParseSpec(*workloadSpec)
+		if err != nil {
+			return err
+		}
+		*mean = ws.Theta
+		if len(ws.Schedule) > 0 {
+			sched = ws.Schedule
+		}
 	}
 
 	var repo *media.Repository
@@ -102,20 +117,20 @@ func run(args []string, out io.Writer) error {
 	if trace != nil {
 		fmt.Fprintf(out, "trace       %s (%d requests)\n", trace.Name, len(trace.Requests))
 	} else {
-		fmt.Fprintf(out, "workload    Zipf(theta=%.2f) shift=%d seed=%d, %d requests\n",
-			*mean, *shift, *seed, *requests)
+		fmt.Fprintf(out, "workload    %s seed=%d, %d requests\n",
+			workload.Spec{Theta: *mean, Schedule: sched}, *seed, sched.TotalRequests())
 	}
 	fmt.Fprintln(out)
 
 	if len(specs) > 1 {
-		return runComparison(out, specs, repo, dist, capacity, trace, *seed, *shift, *requests)
+		return runComparison(out, specs, repo, dist, capacity, trace, *seed, sched)
 	}
-	return runSingle(out, specs[0], repo, dist, capacity, trace, *seed, *shift, *requests, *window)
+	return runSingle(out, specs[0], repo, dist, capacity, trace, *seed, sched, *window)
 }
 
 // runSingle runs one policy and prints the full metric panel.
 func runSingle(out io.Writer, spec string, repo *media.Repository, dist *zipf.Distribution,
-	capacity media.Bytes, trace *workload.Trace, seed uint64, shift, requests, window int) error {
+	capacity media.Bytes, trace *workload.Trace, seed uint64, sched workload.Schedule, window int) error {
 	gen, err := workload.NewGenerator(dist, seed)
 	if err != nil {
 		return err
@@ -131,8 +146,7 @@ func runSingle(out io.Writer, spec string, repo *media.Repository, dist *zipf.Di
 		res, err = sim.RunTrace(cache.Policy().Name(), cache, trace)
 	} else {
 		cfg := sim.RunConfig{WindowSize: window}
-		res, err = sim.Run(cache.Policy().Name(), cache, gen,
-			workload.Schedule{{Shift: shift, Requests: requests}}, cfg)
+		res, err = sim.Run(cache.Policy().Name(), cache, gen, sched, cfg)
 	}
 	if err != nil {
 		return err
@@ -161,7 +175,7 @@ func runSingle(out io.Writer, spec string, repo *media.Repository, dist *zipf.Di
 // runComparison runs every policy against the identical workload and prints
 // a side-by-side table.
 func runComparison(out io.Writer, specs []string, repo *media.Repository, dist *zipf.Distribution,
-	capacity media.Bytes, trace *workload.Trace, seed uint64, shift, requests int) error {
+	capacity media.Bytes, trace *workload.Trace, seed uint64, sched workload.Schedule) error {
 	fmt.Fprintf(out, "%-26s %10s %10s %12s %10s\n", "policy", "hit", "byte-hit", "theoretical", "evictions")
 	for _, spec := range specs {
 		spec = strings.TrimSpace(spec)
@@ -177,8 +191,7 @@ func runComparison(out io.Writer, specs []string, repo *media.Repository, dist *
 		if trace != nil {
 			res, err = sim.RunTrace(cache.Policy().Name(), cache, trace)
 		} else {
-			res, err = sim.Run(cache.Policy().Name(), cache, gen,
-				workload.Schedule{{Shift: shift, Requests: requests}}, sim.RunConfig{})
+			res, err = sim.Run(cache.Policy().Name(), cache, gen, sched, sim.RunConfig{})
 		}
 		if err != nil {
 			return err

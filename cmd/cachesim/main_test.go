@@ -88,6 +88,20 @@ func TestRunTraceReplay(t *testing.T) {
 	}
 }
 
+func TestRunWorkloadSpec(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-policy", "lruk:2", "-workload", "zipf=0.5,0x800,100x400"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "zipf=0.5,0x800,100x400") {
+		t.Errorf("workload spec missing from header:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "requests          1200") {
+		t.Errorf("spec phases not summed into request count:\n%s", out.String())
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	cases := [][]string{
 		{"-repo", "bogus"},
@@ -95,6 +109,8 @@ func TestRunErrors(t *testing.T) {
 		{"-policy", "lruk:0"},
 		{"-trace", "/nonexistent/trace.csv"},
 		{"-ratio", "2.0"}, // capacity >= repository
+		{"-workload", "zipf=2"},
+		{"-workload", "nonsense"},
 	}
 	for _, args := range cases {
 		var out strings.Builder

@@ -3,12 +3,19 @@
 //
 // Usage:
 //
-//	experiments [-seed N] [-requests N] [-seeds N] [-parallel N] [-csv] [all|2a|2b|3|...]...
+//	experiments [-seed N] [-requests N] [-seeds N] [-parallel N] [-faults PROFILE] [-csv] [all|2a|2b|3|...]...
 //
 // With no arguments (or "all") every experiment runs in order. Hit rates
 // are printed as percentages; -csv emits machine-readable CSV instead;
 // -seeds N replicates each experiment across N consecutive seeds and prints
 // the across-seed mean and standard-deviation tables.
+//
+// -faults enables chaos mode: a deterministic fault injector fails the
+// given fraction of remote fetches (e.g. -faults p=0.05, or a full
+// error=,timeout=,partial=,latency=,jitter= profile; see internal/fault).
+// The schedule is a pure function of the profile and -seed, so chaos runs
+// are exactly reproducible; -faults off (or omitting the flag) leaves the
+// output byte-identical to a fault-free build.
 //
 // Every experiment decomposes into independent sweep cells that a worker
 // pool executes concurrently; -parallel N bounds the workers (0 = one per
@@ -25,6 +32,7 @@ import (
 	"os"
 	"time"
 
+	"mediacache/internal/fault"
 	"mediacache/internal/metrics"
 	"mediacache/internal/obs"
 	"mediacache/internal/sim"
@@ -48,6 +56,7 @@ func run(args []string, out io.Writer) error {
 	seeds := fs.Int("seeds", 1, "replicate each experiment across N consecutive seeds and report means (+ std dev table)")
 	parallel := fs.Int("parallel", 0, "worker-pool size for sweep cells (0 = GOMAXPROCS, 1 = sequential)")
 	metricsFlag := fs.Bool("metrics", false, "print per-cell engine counters plus a Prometheus-exposition registry dump")
+	faultsFlag := fs.String("faults", "", `fault-injection profile for chaos runs, e.g. "p=0.05" or "error=0.1,timeout=0.05,latency=20ms" ("" or "off" disables)`)
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: experiments [flags] [experiment]...\n\nexperiments:\n")
 		for _, e := range sim.Experiments {
@@ -80,7 +89,12 @@ func run(args []string, out io.Writer) error {
 		defer sim.SetPoolObserver(nil)
 	}
 
-	opt := sim.Options{Seed: *seed, Requests: *requests, Parallel: *parallel}
+	profile, err := fault.ParseProfile(*faultsFlag)
+	if err != nil {
+		return err
+	}
+
+	opt := sim.Options{Seed: *seed, Requests: *requests, Parallel: *parallel, Faults: profile}
 	for _, id := range ids {
 		runExp, ok := sim.ByID(id)
 		if !ok {
@@ -139,15 +153,15 @@ func run(args []string, out io.Writer) error {
 // under the parallel runner.
 func renderMetrics(out io.Writer, fig *sim.Figure) {
 	fmt.Fprintf(out, "cell metrics [%s]:\n", fig.ID)
-	fmt.Fprintf(out, "  %-36s %10s %10s %14s %10s %12s %10s\n",
-		"cell", "requests", "evictions", "bytesEvicted", "bypassed", "victimCalls", "wall")
+	fmt.Fprintf(out, "  %-36s %10s %10s %14s %10s %10s %12s %10s\n",
+		"cell", "requests", "evictions", "bytesEvicted", "bypassed", "fetchFail", "victimCalls", "wall")
 	for _, c := range fig.Cells {
-		fmt.Fprintf(out, "  %-36s %10d %10d %14d %10d %12d %10s\n",
+		fmt.Fprintf(out, "  %-36s %10d %10d %14d %10d %10d %12d %10s\n",
 			c.Label, c.Requests, c.Evictions, int64(c.BytesEvicted),
-			c.Bypassed, c.VictimCalls, c.Wall.Round(time.Millisecond))
+			c.Bypassed, c.FetchFailed, c.VictimCalls, c.Wall.Round(time.Millisecond))
 	}
 	total := fig.TotalMetrics()
-	fmt.Fprintf(out, "  %-36s %10d %10d %14d %10d %12d %10s\n",
+	fmt.Fprintf(out, "  %-36s %10d %10d %14d %10d %10d %12d %10s\n",
 		"TOTAL", total.Requests, total.Evictions, int64(total.BytesEvicted),
-		total.Bypassed, total.VictimCalls, total.Wall.Round(time.Millisecond))
+		total.Bypassed, total.FetchFailed, total.VictimCalls, total.Wall.Round(time.Millisecond))
 }

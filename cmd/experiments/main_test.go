@@ -83,6 +83,46 @@ func TestRunMetricsRegistry(t *testing.T) {
 	}
 }
 
+// TestRunFaults pins the chaos-mode CLI contract: the same -seed and
+// -faults profile give byte-identical output across runs, "-faults off"
+// is byte-identical to omitting the flag, and an enabled profile actually
+// changes the figure.
+func TestRunFaults(t *testing.T) {
+	render := func(args ...string) string {
+		t.Helper()
+		var out strings.Builder
+		if err := run(append([]string{"-csv", "-requests", "800"}, args...), &out); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	clean := render("3")
+	if off := render("-faults", "off", "3"); off != clean {
+		t.Errorf("-faults off output differs from fault-free run:\n%s\nvs\n%s", off, clean)
+	}
+	chaosA := render("-faults", "p=0.2", "3")
+	chaosB := render("-faults", "p=0.2", "3")
+	if chaosA != chaosB {
+		t.Errorf("same seed and profile gave different output:\n%s\nvs\n%s", chaosA, chaosB)
+	}
+	if chaosA == clean {
+		t.Error("20% fetch-error profile left the figure unchanged")
+	}
+	if otherSeed := render("-seed", "7", "-faults", "p=0.2", "3"); otherSeed == chaosA {
+		t.Error("different seeds gave identical chaos output")
+	}
+}
+
+func TestRunFaultsBadProfile(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-faults", "p=1.5", "3"}, &out); err == nil {
+		t.Fatal("out-of-range fault rate should fail")
+	}
+	if err := run([]string{"-faults", "nonsense", "3"}, &out); err == nil {
+		t.Fatal("malformed fault profile should fail")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var out strings.Builder
 	if err := run([]string{"definitely-not-an-experiment"}, &out); err == nil {

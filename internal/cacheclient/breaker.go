@@ -1,0 +1,167 @@
+package cacheclient
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker's state.
+type BreakerState int32
+
+// Breaker states. Closed passes requests through; Open means the failure
+// threshold tripped and callers wait out the cooldown; HalfOpen admits
+// probes whose outcome decides between Closed and Open.
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+// String implements fmt.Stringer.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// Defaults for BreakerConfig zero values.
+const (
+	DefaultBreakerThreshold = 5
+	DefaultBreakerCooldown  = 100 * time.Millisecond
+)
+
+// BreakerConfig tunes the circuit breaker.
+type BreakerConfig struct {
+	// Threshold is the consecutive-failure count that opens the breaker.
+	Threshold int
+	// Cooldown is how long the breaker stays open before probing.
+	Cooldown time.Duration
+	// Disabled turns the breaker off entirely (always closed).
+	Disabled bool
+	// now substitutes the clock, for tests.
+	now func() time.Time
+}
+
+// withDefaults fills unset fields.
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Threshold == 0 {
+		c.Threshold = DefaultBreakerThreshold
+	}
+	if c.Cooldown == 0 {
+		c.Cooldown = DefaultBreakerCooldown
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c
+}
+
+// breaker is a minimal consecutive-failure circuit breaker. Rather than
+// hard-failing while open, Allow waits out the remaining cooldown — the
+// client's retry budget already bounds total work, and a caller that is
+// willing to wait should eventually reach the server (the resilience
+// tests depend on every request completing under a partial-failure
+// profile). The wait respects the caller's context.
+type breaker struct {
+	cfg BreakerConfig
+	obs Observer
+
+	mu        sync.Mutex
+	state     BreakerState
+	failures  int
+	openUntil time.Time
+	opens     uint64
+}
+
+// newBreaker builds a breaker; obs (may be nil) hears state changes.
+func newBreaker(cfg BreakerConfig, obs Observer) *breaker {
+	return &breaker{cfg: cfg.withDefaults(), obs: obs}
+}
+
+// State returns the current breaker state.
+func (b *breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Opens returns how many times the breaker has tripped open.
+func (b *breaker) Opens() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}
+
+// transition moves to state to, notifying the observer.
+func (b *breaker) transition(to BreakerState) {
+	if b.state == to {
+		return
+	}
+	from := b.state
+	b.state = to
+	if to == BreakerOpen {
+		b.opens++
+	}
+	if b.obs != nil {
+		b.obs.BreakerChange(from, to)
+	}
+}
+
+// Allow gates one attempt. While open it sleeps out the remaining
+// cooldown (via the injected sleep, respecting ctx) and then moves to
+// half-open so the attempt doubles as the probe.
+func (b *breaker) Allow(ctx context.Context, sleep func(context.Context, time.Duration) error) error {
+	if b.cfg.Disabled {
+		return nil
+	}
+	b.mu.Lock()
+	if b.state == BreakerOpen {
+		wait := b.openUntil.Sub(b.cfg.now())
+		if wait > 0 {
+			b.mu.Unlock()
+			if err := sleep(ctx, wait); err != nil {
+				return err
+			}
+			b.mu.Lock()
+		}
+		if b.state == BreakerOpen && !b.cfg.now().Before(b.openUntil) {
+			b.transition(BreakerHalfOpen)
+		}
+	}
+	b.mu.Unlock()
+	return ctx.Err()
+}
+
+// Success reports a successful exchange: any state closes.
+func (b *breaker) Success() {
+	if b.cfg.Disabled {
+		return
+	}
+	b.mu.Lock()
+	b.failures = 0
+	b.transition(BreakerClosed)
+	b.mu.Unlock()
+}
+
+// Failure reports a failed exchange: a half-open probe reopens
+// immediately; closed accumulates toward the threshold.
+func (b *breaker) Failure() {
+	if b.cfg.Disabled {
+		return
+	}
+	b.mu.Lock()
+	b.failures++
+	if b.state == BreakerHalfOpen || (b.state == BreakerClosed && b.failures >= b.cfg.Threshold) {
+		b.openUntil = b.cfg.now().Add(b.cfg.Cooldown)
+		b.transition(BreakerOpen)
+	}
+	b.mu.Unlock()
+}

@@ -1,0 +1,321 @@
+package cacheclient
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// noSleep is an instantaneous Sleep for tests (still honors ctx).
+func noSleep(ctx context.Context, _ time.Duration) error { return ctx.Err() }
+
+// flakyHandler fails the first failures requests per path with status,
+// then succeeds with a fixed clip body.
+type flakyHandler struct {
+	mu       sync.Mutex
+	failures int
+	status   int
+	seen     int
+}
+
+func (h *flakyHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mu.Lock()
+	h.seen++
+	fail := h.seen <= h.failures
+	h.mu.Unlock()
+	if fail {
+		if h.status == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "1")
+		}
+		w.WriteHeader(h.status)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]interface{}{
+		"clip": 1, "kind": "video", "sizeBytes": 1024, "outcome": "miss", "hit": false,
+	})
+}
+
+func newFlakyClient(t *testing.T, h http.Handler, cfg Config) *Client {
+	t.Helper()
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	cfg.BaseURL = ts.URL
+	if cfg.Sleep == nil {
+		cfg.Sleep = noSleep
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestRetriesUntilSuccess(t *testing.T) {
+	h := &flakyHandler{failures: 3, status: http.StatusBadGateway}
+	c := newFlakyClient(t, h, Config{})
+	res, err := c.Clip(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clip != 1 || res.Outcome != "miss" {
+		t.Fatalf("unexpected result: %+v", res)
+	}
+	if got := c.Retries(); got != 3 {
+		t.Fatalf("Retries() = %d, want 3", got)
+	}
+}
+
+func TestRetriesOn429(t *testing.T) {
+	h := &flakyHandler{failures: 2, status: http.StatusTooManyRequests}
+	c := newFlakyClient(t, h, Config{})
+	if _, err := c.Clip(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Retries(); got != 2 {
+		t.Fatalf("Retries() = %d, want 2", got)
+	}
+}
+
+func TestNoRetryOn404(t *testing.T) {
+	var calls atomic.Int64
+	c := newFlakyClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "no", http.StatusNotFound)
+	}), Config{})
+	_, err := c.Clip(context.Background(), 1)
+	var se *StatusError
+	if !errors.As(err, &se) || se.Status != http.StatusNotFound {
+		t.Fatalf("want StatusError 404, got %v", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("404 retried: %d calls", calls.Load())
+	}
+}
+
+func TestAttemptsExhausted(t *testing.T) {
+	var calls atomic.Int64
+	c := newFlakyClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadGateway)
+	}), Config{MaxAttempts: 3, Breaker: BreakerConfig{Disabled: true}})
+	if _, err := c.Clip(context.Background(), 1); err == nil {
+		t.Fatal("permanently failing server should error")
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("calls = %d, want 3", calls.Load())
+	}
+}
+
+func TestPerAttemptTimeout(t *testing.T) {
+	c := newFlakyClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done() // stall until the attempt deadline cancels us
+	}), Config{MaxAttempts: 2, AttemptTimeout: 20 * time.Millisecond,
+		Breaker: BreakerConfig{Disabled: true}})
+	start := time.Now()
+	_, err := c.Clip(context.Background(), 1)
+	if err == nil {
+		t.Fatal("stalled server should error")
+	}
+	// Two stalled attempts at 20ms each, no backoff sleeps: well under 2s.
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("timeouts not enforced: took %v", elapsed)
+	}
+}
+
+func TestCallerContextCancellation(t *testing.T) {
+	c := newFlakyClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusBadGateway)
+	}), Config{MaxAttempts: 100})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Clip(ctx, 1); err == nil {
+		t.Fatal("cancelled context should error")
+	}
+}
+
+func TestBackoffDeterministic(t *testing.T) {
+	delays := func(seed uint64) []time.Duration {
+		c, err := New(Config{BaseURL: "http://unused", Seed: seed, Sleep: noSleep})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]time.Duration, 0, 6)
+		for i := 1; i <= 6; i++ {
+			out = append(out, c.backoff(i, 0))
+		}
+		return out
+	}
+	a, b := delays(1), delays(1)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, delay %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := delays(2)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical jitter")
+	}
+	// Exponential shape with jitter in [0.5, 1] of the base, capped.
+	cfg := Config{}.withDefaults()
+	for i, d := range a {
+		base := cfg.BaseBackoff << i
+		if base > cfg.MaxBackoff {
+			base = cfg.MaxBackoff
+		}
+		if d < base/2 || d > base {
+			t.Errorf("delay %d = %v outside [%v, %v]", i, d, base/2, base)
+		}
+	}
+}
+
+func TestRetryAfterHonored(t *testing.T) {
+	c, err := New(Config{BaseURL: "http://unused", Sleep: noSleep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 1s hint dominates the small early backoff.
+	if d := c.backoff(1, time.Second); d != time.Second {
+		t.Fatalf("Retry-After floor not honored: %v", d)
+	}
+	// But never beyond the cap.
+	if d := c.backoff(1, time.Minute); d != DefaultMaxBackoff {
+		t.Fatalf("Retry-After not capped: %v", d)
+	}
+	if got := parseRetryAfter("3"); got != 3*time.Second {
+		t.Fatalf("parseRetryAfter(3) = %v", got)
+	}
+	for _, bad := range []string{"", "x", "-1"} {
+		if got := parseRetryAfter(bad); got != 0 {
+			t.Fatalf("parseRetryAfter(%q) = %v, want 0", bad, got)
+		}
+	}
+}
+
+// recordingObserver captures resilience events.
+type recordingObserver struct {
+	mu      sync.Mutex
+	retries int
+	states  []BreakerState
+}
+
+func (o *recordingObserver) Retry(int, time.Duration, error) {
+	o.mu.Lock()
+	o.retries++
+	o.mu.Unlock()
+}
+
+func (o *recordingObserver) BreakerChange(_, to BreakerState) {
+	o.mu.Lock()
+	o.states = append(o.states, to)
+	o.mu.Unlock()
+}
+
+func TestBreakerOpensAndRecovers(t *testing.T) {
+	obs := &recordingObserver{}
+	h := &flakyHandler{failures: 4, status: http.StatusBadGateway}
+	c := newFlakyClient(t, h, Config{
+		MaxAttempts: 10,
+		Observer:    obs,
+		Breaker:     BreakerConfig{Threshold: 2, Cooldown: time.Millisecond},
+	})
+	if _, err := c.Clip(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	if c.BreakerOpens() == 0 {
+		t.Fatal("breaker never opened despite 4 consecutive failures over threshold 2")
+	}
+	if got := c.Breaker(); got != BreakerClosed {
+		t.Fatalf("breaker %v after recovery, want closed", got)
+	}
+	obs.mu.Lock()
+	defer obs.mu.Unlock()
+	if obs.retries != 4 {
+		t.Errorf("observer saw %d retries, want 4", obs.retries)
+	}
+	if len(obs.states) == 0 || obs.states[len(obs.states)-1] != BreakerClosed {
+		t.Errorf("observer state trail %v should end closed", obs.states)
+	}
+}
+
+func TestBreakerHalfOpenReopens(t *testing.T) {
+	now := time.Unix(0, 0)
+	cfg := BreakerConfig{Threshold: 1, Cooldown: time.Second, now: func() time.Time { return now }}
+	b := newBreaker(cfg, nil)
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatal("threshold-1 failure should open")
+	}
+	// Cooldown elapses; Allow flips to half-open without sleeping.
+	now = now.Add(2 * time.Second)
+	if err := b.Allow(context.Background(), noSleep); err != nil {
+		t.Fatal(err)
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state %v, want half-open", b.State())
+	}
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatal("failed probe should reopen")
+	}
+	if got := b.Opens(); got != 2 {
+		t.Fatalf("Opens() = %d, want 2", got)
+	}
+	now = now.Add(2 * time.Second)
+	if err := b.Allow(context.Background(), noSleep); err != nil {
+		t.Fatal(err)
+	}
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatal("successful probe should close")
+	}
+}
+
+func TestBreakerWaitsOutCooldown(t *testing.T) {
+	var slept atomic.Int64
+	sleep := func(ctx context.Context, d time.Duration) error {
+		slept.Add(int64(d))
+		return ctx.Err()
+	}
+	now := time.Unix(0, 0)
+	cfg := BreakerConfig{Threshold: 1, Cooldown: time.Second, now: func() time.Time { return now }}
+	b := newBreaker(cfg, nil)
+	b.Failure()
+	// Clock is frozen, so Allow must hand the full cooldown to sleep; the
+	// frozen clock then keeps it open (not yet half-open).
+	if err := b.Allow(context.Background(), sleep); err != nil {
+		t.Fatal(err)
+	}
+	if slept.Load() != int64(time.Second) {
+		t.Fatalf("slept %v, want 1s", time.Duration(slept.Load()))
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("missing BaseURL should fail")
+	}
+}
+
+func TestBreakerStateString(t *testing.T) {
+	for s, want := range map[BreakerState]string{
+		BreakerClosed: "closed", BreakerOpen: "open", BreakerHalfOpen: "half-open",
+		BreakerState(9): "unknown",
+	} {
+		if got := s.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", s, got, want)
+		}
+	}
+}

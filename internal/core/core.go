@@ -44,6 +44,9 @@ const (
 	// MissTooLarge means the clip exceeds the cache capacity and was
 	// streamed without caching.
 	MissTooLarge
+	// MissDegraded means the fetch hook (WithFetch) failed: the remote
+	// repository could not deliver the clip, so nothing was materialized.
+	MissDegraded
 )
 
 // IsHit reports whether the outcome was a cache hit.
@@ -60,6 +63,8 @@ func (o Outcome) String() string {
 		return "miss-bypassed"
 	case MissTooLarge:
 		return "miss-too-large"
+	case MissDegraded:
+		return "miss-degraded"
 	default:
 		return fmt.Sprintf("Outcome(%d)", uint8(o))
 	}
@@ -129,6 +134,7 @@ type Stats struct {
 	Evictions       uint64      // number of clips swapped out
 	BytesEvicted    media.Bytes // Σ size of evicted clips
 	Bypassed        uint64      // misses not cached (admission declined or too large)
+	FetchFailed     uint64      // misses whose fetch hook failed (degraded service)
 	VictimCalls     uint64      // Policy.Victims invocations, incl. re-invocations for short selections
 }
 
@@ -157,6 +163,9 @@ type Cache struct {
 	// admit, when set via WithAdmission, is consulted on every cacheable
 	// miss before the policy's own Admit.
 	admit func(media.Clip, vtime.Time) bool
+	// fetch, when set via WithFetch, models retrieving a missed clip from
+	// the remote repository; an error degrades the miss (nothing cached).
+	fetch FetchFunc
 	// observer, when set via WithObserver, receives typed engine events
 	// (hit, miss, eviction, bypass, restore). Nil-checked at every
 	// emission so the disabled path stays allocation-free.
@@ -184,6 +193,28 @@ func WithAdmission(hook func(clip media.Clip, now vtime.Time) bool) Option {
 			return errors.New("core: WithAdmission hook must not be nil")
 		}
 		c.admit = hook
+		return nil
+	}
+}
+
+// FetchFunc models retrieving a missed clip from the remote repository over
+// the (possibly faulty) network. It runs after every admission decision has
+// approved caching the clip and before any victim is evicted, so a failed
+// fetch never disturbs the resident set. Returning an error degrades the
+// request to MissDegraded: the clip is not materialized and the failure is
+// counted in Stats.FetchFailed.
+type FetchFunc func(clip media.Clip, now vtime.Time) error
+
+// WithFetch installs a fetch hook consulted on every miss that would be
+// cached — the seam where a fault injector (internal/fault) or a real
+// network client models the paper's flaky wireless link. A cache built
+// without this option behaves exactly as before: every fetch succeeds.
+func WithFetch(fetch FetchFunc) Option {
+	return func(c *Cache) error {
+		if fetch == nil {
+			return errors.New("core: WithFetch hook must not be nil")
+		}
+		c.fetch = fetch
 		return nil
 	}
 }
@@ -342,6 +373,13 @@ func (c *Cache) Request(id media.ClipID) (Outcome, error) {
 		c.stats.Bypassed++
 		c.emit(EventBypass, clip, now)
 		return MissBypassed, nil
+	}
+	if c.fetch != nil {
+		if err := c.fetch(clip, now); err != nil {
+			c.stats.FetchFailed++
+			c.emit(EventFetchFail, clip, now)
+			return MissDegraded, nil
+		}
 	}
 	if err := c.makeRoom(clip, now); err != nil {
 		return MissBypassed, err

@@ -27,6 +27,9 @@ const (
 	EventBypass
 	// EventRestore: a clip became resident by snapshot restore.
 	EventRestore
+	// EventFetchFail: a cacheable miss could not be fetched from the remote
+	// repository (the WithFetch hook failed); the request was degraded.
+	EventFetchFail
 )
 
 // String implements fmt.Stringer.
@@ -42,6 +45,8 @@ func (t EventType) String() string {
 		return "bypass"
 	case EventRestore:
 		return "restore"
+	case EventFetchFail:
+		return "fetch-fail"
 	default:
 		return fmt.Sprintf("EventType(%d)", uint8(t))
 	}

@@ -1,0 +1,220 @@
+package core_test
+
+// property_test.go drives every registered policy through randomized
+// operation sequences and asserts the engine invariants that must hold no
+// matter what the policy decides: capacity is never exceeded, byte
+// bookkeeping balances, and observers see a miss's evictions before the
+// miss itself.
+
+import (
+	"fmt"
+	"testing"
+
+	"mediacache/internal/core"
+	"mediacache/internal/media"
+	_ "mediacache/internal/policy/all"
+	"mediacache/internal/policy/registry"
+	"mediacache/internal/randutil"
+	"mediacache/internal/vtime"
+)
+
+// randomRepo builds a repository of n clips with sizes drawn from a few
+// orders of magnitude, so small-vs-huge interactions are exercised.
+func randomRepo(t *testing.T, src *randutil.Source, n int) *media.Repository {
+	t.Helper()
+	clips := make([]media.Clip, n)
+	for i := range clips {
+		kind, rate := media.Video, media.BitsPerSecond(3_500_000)
+		if src.Intn(4) == 0 {
+			kind, rate = media.Audio, 128_000
+		}
+		size := media.Bytes(64<<10) << src.Intn(7) // 64 KiB .. 4 MiB
+		size += media.Bytes(src.Intn(1 << 10))     // break alignment
+		clips[i] = media.Clip{ID: media.ClipID(i + 1), Kind: kind, Size: size, DisplayRate: rate}
+	}
+	repo, err := media.NewRepository(clips)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return repo
+}
+
+// orderObserver asserts the documented event order within one request: all
+// of a miss's evictions are delivered before its concluding EventMiss. It
+// also balances inserted/evicted bytes for the bookkeeping check.
+type orderObserver struct {
+	t             *testing.T
+	lastMissAt    vtime.Time
+	insertedBytes media.Bytes
+	evictedBytes  media.Bytes
+	evictions     uint64
+}
+
+func (o *orderObserver) Observe(ev core.Event) {
+	switch ev.Type {
+	case core.EventEviction:
+		if ev.Now == o.lastMissAt {
+			o.t.Errorf("eviction of clip %d at t=%d delivered after that tick's miss event",
+				ev.Clip.ID, ev.Now)
+		}
+		o.evictedBytes += ev.Clip.Size
+		o.evictions++
+	case core.EventMiss:
+		o.insertedBytes += ev.Clip.Size
+		o.lastMissAt = ev.Now
+	}
+}
+
+// checkInvariants asserts the per-request engine invariants.
+func checkInvariants(t *testing.T, c *core.Cache, obs *orderObserver) {
+	t.Helper()
+	if c.UsedBytes() > c.Capacity() {
+		t.Fatalf("used %v exceeds capacity %v", c.UsedBytes(), c.Capacity())
+	}
+	if c.UsedBytes() < 0 {
+		t.Fatalf("negative used bytes %v", c.UsedBytes())
+	}
+	var sum media.Bytes
+	for _, clip := range c.ResidentClips() {
+		sum += clip.Size
+	}
+	if sum != c.UsedBytes() {
+		t.Fatalf("bookkeeping drift: resident clips sum to %v, UsedBytes reports %v",
+			sum, c.UsedBytes())
+	}
+	if got, want := c.NumResident(), len(c.ResidentIDs()); got != want {
+		t.Fatalf("NumResident %d != len(ResidentIDs) %d", got, want)
+	}
+	s := c.Stats()
+	if s.BytesHit+s.BytesFetched != s.BytesReferenced {
+		t.Fatalf("byte accounting: hit %v + fetched %v != referenced %v",
+			s.BytesHit, s.BytesFetched, s.BytesReferenced)
+	}
+	if s.Hits > s.Requests {
+		t.Fatalf("hits %d exceed requests %d", s.Hits, s.Requests)
+	}
+	if obs.insertedBytes-obs.evictedBytes != c.UsedBytes() {
+		t.Fatalf("event stream imbalance: inserted %v - evicted %v != used %v",
+			obs.insertedBytes, obs.evictedBytes, c.UsedBytes())
+	}
+	if obs.evictions != s.Evictions {
+		t.Fatalf("observer saw %d evictions, stats report %d", obs.evictions, s.Evictions)
+	}
+	if obs.evictedBytes != s.BytesEvicted {
+		t.Fatalf("observer evicted bytes %v, stats report %v", obs.evictedBytes, s.BytesEvicted)
+	}
+}
+
+// driveRandom issues requests skewed toward a small hot set (so hits,
+// misses and evictions all occur) and checks every invariant after each.
+func driveRandom(t *testing.T, c *core.Cache, obs *orderObserver, src *randutil.Source, requests int) {
+	t.Helper()
+	n := c.Repository().N()
+	for i := 0; i < requests; i++ {
+		id := media.ClipID(1 + src.Intn(n))
+		if src.Float64() < 0.5 {
+			id = media.ClipID(1 + src.Intn(1+n/4)) // hot quarter
+		}
+		resident := c.Resident(id)
+		out, err := c.Request(id)
+		if err != nil {
+			t.Fatalf("request %d (clip %d): %v", i, id, err)
+		}
+		if resident != out.IsHit() {
+			t.Fatalf("request %d: clip %d resident=%v but outcome %v", i, id, resident, out)
+		}
+		if out == core.MissCached && !c.Resident(id) {
+			t.Fatalf("request %d: %v outcome but clip %d not resident", i, out, id)
+		}
+		if out != core.Hit && out != core.MissCached && c.Resident(id) {
+			t.Fatalf("request %d: %v outcome but clip %d was materialized", i, out, id)
+		}
+		checkInvariants(t, c, obs)
+	}
+	if got := c.Stats().Requests; got != uint64(requests) {
+		t.Fatalf("stats report %d requests, drove %d", got, requests)
+	}
+}
+
+// TestEngineInvariantsAllPolicies runs every registered policy, across
+// several random repositories and cache geometries, through the same
+// randomized request generator.
+func TestEngineInvariantsAllPolicies(t *testing.T) {
+	for _, name := range registry.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			for trial := 0; trial < 3; trial++ {
+				src := randutil.NewSource(uint64(trial + 1)).Split("property").Split(name)
+				n := 8 + src.Intn(33) // 8..40 clips
+				repo := randomRepo(t, src.Split("repo"), n)
+
+				pmf := make([]float64, n)
+				for i := range pmf {
+					pmf[i] = 1 / float64(n)
+				}
+				policy, err := registry.Build(name, repo, pmf, uint64(trial+1))
+				if err != nil {
+					t.Fatalf("trial %d: %v", trial, err)
+				}
+				// Capacity between ~12% and ~60% of the repository: small
+				// enough to force evictions, sometimes below the largest clip
+				// so the too-large bypass path runs too.
+				capacity := repo.TotalSize()/8 + media.Bytes(src.Intn(int(repo.TotalSize()/2)))
+				obs := &orderObserver{t: t}
+				cache, err := core.New(repo, capacity, policy, core.WithObserver(obs))
+				if err != nil {
+					t.Fatalf("trial %d: %v", trial, err)
+				}
+				driveRandom(t, cache, obs, src.Split("drive"), 400)
+
+				// Reset must return the engine to a pristine state.
+				cache.Reset()
+				if cache.UsedBytes() != 0 || cache.NumResident() != 0 || cache.Stats() != (core.Stats{}) {
+					t.Fatalf("trial %d: Reset left state behind: used=%v resident=%d stats=%+v",
+						trial, cache.UsedBytes(), cache.NumResident(), cache.Stats())
+				}
+			}
+		})
+	}
+}
+
+// TestEngineInvariantsWithFetchFaults repeats the invariant drive with a
+// deterministic failing fetch hook: degraded misses must never disturb the
+// resident set or the byte bookkeeping.
+func TestEngineInvariantsWithFetchFaults(t *testing.T) {
+	for _, name := range registry.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			src := randutil.NewSource(99).Split("property-fault").Split(name)
+			n := 8 + src.Intn(33)
+			repo := randomRepo(t, src.Split("repo"), n)
+			pmf := make([]float64, n)
+			for i := range pmf {
+				pmf[i] = 1 / float64(n)
+			}
+			policy, err := registry.Build(name, repo, pmf, 99)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fsrc := src.Split("fetch")
+			obs := &orderObserver{t: t}
+			cache, err := core.New(repo, repo.TotalSize()/4, policy,
+				core.WithObserver(obs),
+				core.WithFetch(func(clip media.Clip, _ vtime.Time) error {
+					if fsrc.Float64() < 0.3 {
+						return fmt.Errorf("injected failure fetching clip %d", clip.ID)
+					}
+					return nil
+				}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			driveRandom(t, cache, obs, src.Split("drive"), 400)
+			if cache.Stats().FetchFailed == 0 {
+				t.Fatal("30% fetch failure rate over 400 requests produced no degraded misses")
+			}
+		})
+	}
+}

@@ -1,0 +1,338 @@
+// Package fault is a deterministic, seed-driven fault injector for the
+// repository's network paths. The paper's FMC setting is a mobile device
+// streaming clips from a remote repository over a flaky wireless link
+// (Section 1), yet an idealized reproduction fetches every miss flawlessly;
+// this package supplies the controlled disturbance — fetch errors, stalls,
+// partial deliveries, added latency — under which cache behavior must stay
+// correct (and under which hit rates can honestly be reported).
+//
+// Everything is derived from internal/randutil's splittable generator, so a
+// fault schedule is a pure function of (profile, seed): the same seed always
+// yields the same fault trace, at any concurrency, in the spirit of the
+// paper's footnote 5 determinism discipline. Consumers derive per-component
+// injectors with Split so adding one consumer never perturbs another.
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"mediacache/internal/randutil"
+)
+
+// Kind classifies one injected fault.
+type Kind uint8
+
+// Fault kinds. None means the operation proceeds unharmed (apart from any
+// injected latency).
+const (
+	// None: no fault; the fetch succeeds.
+	None Kind = iota
+	// Error: the fetch fails outright (the base station rejects the stream,
+	// the link drops mid-handshake).
+	Error
+	// Timeout: the fetch stalls for the profile's Hold duration and then
+	// fails — the shape that exercises client-side deadlines.
+	Timeout
+	// Partial: only a fraction of the payload arrives before the link dies.
+	Partial
+)
+
+// NumKinds is the number of distinct fault kinds, for counters indexed by
+// Kind.
+const NumKinds = 4
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Error:
+		return "error"
+	case Timeout:
+		return "timeout"
+	case Partial:
+		return "partial"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Fault is one injector decision: what goes wrong for the next operation.
+type Fault struct {
+	// Kind is the failure mode (None for a clean operation).
+	Kind Kind
+	// Latency is extra delay to apply before the outcome, drawn from the
+	// profile's Latency ± Jitter. Zero when the profile injects no latency.
+	Latency time.Duration
+	// Fraction is the delivered payload fraction in [0, 1) for Partial
+	// faults; zero otherwise.
+	Fraction float64
+}
+
+// Failed reports whether the fault prevents the operation from completing.
+func (f Fault) Failed() bool { return f.Kind != None }
+
+// DefaultHold is how long a Timeout fault stalls before failing when the
+// profile does not say otherwise.
+const DefaultHold = 2 * time.Second
+
+// Profile describes a fault distribution. The zero value is the disabled
+// profile: no faults, no latency — the ideal channel the repository modeled
+// before this package existed.
+type Profile struct {
+	// ErrorRate is the per-operation probability of an outright failure.
+	ErrorRate float64
+	// TimeoutRate is the per-operation probability of a stall-then-fail.
+	TimeoutRate float64
+	// PartialRate is the per-operation probability of a truncated delivery.
+	PartialRate float64
+	// Latency is the mean injected latency applied to every operation
+	// (faulty or not); zero disables latency injection.
+	Latency time.Duration
+	// Jitter spreads the injected latency uniformly over Latency ± Jitter.
+	Jitter time.Duration
+	// Hold is how long a Timeout fault stalls before failing; DefaultHold
+	// when zero.
+	Hold time.Duration
+}
+
+// Enabled reports whether the profile injects anything at all.
+func (p Profile) Enabled() bool {
+	return p.ErrorRate > 0 || p.TimeoutRate > 0 || p.PartialRate > 0 || p.Latency > 0
+}
+
+// FailureRate returns the combined probability that an operation fails.
+func (p Profile) FailureRate() float64 {
+	return p.ErrorRate + p.TimeoutRate + p.PartialRate
+}
+
+// HoldOrDefault returns Hold, substituting DefaultHold for zero.
+func (p Profile) HoldOrDefault() time.Duration {
+	if p.Hold <= 0 {
+		return DefaultHold
+	}
+	return p.Hold
+}
+
+// Validate checks rates and durations for sanity.
+func (p Profile) Validate() error {
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{{"error", p.ErrorRate}, {"timeout", p.TimeoutRate}, {"partial", p.PartialRate}} {
+		if !(r.v >= 0 && r.v <= 1) { // written to reject NaN too
+			return fmt.Errorf("fault: %s rate must be in [0,1], got %v", r.name, r.v)
+		}
+	}
+	if sum := p.FailureRate(); sum > 1 {
+		return fmt.Errorf("fault: rates sum to %v, exceeding 1", sum)
+	}
+	if p.Latency < 0 {
+		return fmt.Errorf("fault: latency must be non-negative, got %v", p.Latency)
+	}
+	if p.Jitter < 0 {
+		return fmt.Errorf("fault: jitter must be non-negative, got %v", p.Jitter)
+	}
+	if p.Jitter > p.Latency {
+		return fmt.Errorf("fault: jitter %v exceeds latency %v", p.Jitter, p.Latency)
+	}
+	if p.Hold < 0 {
+		return fmt.Errorf("fault: hold must be non-negative, got %v", p.Hold)
+	}
+	return nil
+}
+
+// String renders the profile in the form ParseProfile accepts ("off" for the
+// disabled profile). Only non-default fields are emitted, so the rendering
+// round-trips.
+func (p Profile) String() string {
+	if !p.Enabled() {
+		return "off"
+	}
+	var parts []string
+	add := func(key string, v float64) {
+		if v > 0 {
+			parts = append(parts, key+"="+strconv.FormatFloat(v, 'g', -1, 64))
+		}
+	}
+	add("p", p.ErrorRate)
+	add("timeout", p.TimeoutRate)
+	add("partial", p.PartialRate)
+	if p.Latency > 0 {
+		parts = append(parts, "latency="+p.Latency.String())
+	}
+	if p.Jitter > 0 {
+		parts = append(parts, "jitter="+p.Jitter.String())
+	}
+	if p.Hold > 0 {
+		parts = append(parts, "hold="+p.Hold.String())
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseProfile parses a textual fault profile: comma-separated key=value
+// pairs. "" and "off" yield the disabled profile.
+//
+//	p=0.05                        5% of fetches fail
+//	p=0.05,timeout=0.02,hold=2s   plus 2% stalls of 2s
+//	partial=0.01,latency=20ms,jitter=5ms
+//
+// Keys: p (or error) / timeout / partial are probabilities in [0,1];
+// latency / jitter / hold are Go durations.
+func ParseProfile(s string) (Profile, error) {
+	var p Profile
+	s = strings.TrimSpace(s)
+	if s == "" || s == "off" {
+		return p, nil
+	}
+	for _, field := range strings.Split(s, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, value, ok := strings.Cut(field, "=")
+		if !ok {
+			return Profile{}, fmt.Errorf("fault: bad profile field %q: want key=value", field)
+		}
+		key = strings.TrimSpace(key)
+		value = strings.TrimSpace(value)
+		switch key {
+		case "p", "error":
+			v, err := parseRate(key, value)
+			if err != nil {
+				return Profile{}, err
+			}
+			p.ErrorRate = v
+		case "timeout":
+			v, err := parseRate(key, value)
+			if err != nil {
+				return Profile{}, err
+			}
+			p.TimeoutRate = v
+		case "partial":
+			v, err := parseRate(key, value)
+			if err != nil {
+				return Profile{}, err
+			}
+			p.PartialRate = v
+		case "latency", "jitter", "hold":
+			d, err := time.ParseDuration(value)
+			if err != nil {
+				return Profile{}, fmt.Errorf("fault: bad %s %q: %v", key, value, err)
+			}
+			switch key {
+			case "latency":
+				p.Latency = d
+			case "jitter":
+				p.Jitter = d
+			case "hold":
+				p.Hold = d
+			}
+		default:
+			return Profile{}, fmt.Errorf("fault: unknown profile key %q (want p/error, timeout, partial, latency, jitter, hold)", key)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return Profile{}, err
+	}
+	return p, nil
+}
+
+// parseRate parses a probability field.
+func parseRate(key, value string) (float64, error) {
+	v, err := strconv.ParseFloat(value, 64)
+	if err != nil {
+		return 0, fmt.Errorf("fault: bad %s %q: %v", key, value, err)
+	}
+	return v, nil
+}
+
+// Injector draws a deterministic fault schedule from a profile. An Injector
+// is not safe for concurrent use; give each concurrent consumer its own via
+// Split (cells of a parallel sweep derive theirs from sim.CellSeed, so the
+// schedule never depends on worker interleaving).
+type Injector struct {
+	profile Profile
+	src     *randutil.Source
+	counts  [NumKinds]uint64
+}
+
+// New returns an injector drawing from profile with its own stream seeded by
+// seed.
+func New(profile Profile, seed uint64) *Injector {
+	return &Injector{profile: profile, src: randutil.NewSource(seed)}
+}
+
+// Split derives an independent child injector with the same profile; label
+// decorrelates the child's stream (use distinct labels per consumer).
+func (in *Injector) Split(label string) *Injector {
+	return &Injector{profile: in.profile, src: in.src.Split(label)}
+}
+
+// Profile returns the injector's profile.
+func (in *Injector) Profile() Profile { return in.profile }
+
+// Next returns the fault decision for the next operation. The draw sequence
+// is fixed — one uniform for the kind, one for a Partial fraction, one for
+// latency jitter — so schedules are reproducible byte-for-byte from the
+// seed.
+func (in *Injector) Next() Fault {
+	var f Fault
+	p := in.profile
+	if p.Enabled() {
+		u := in.src.Float64()
+		switch {
+		case u < p.ErrorRate:
+			f.Kind = Error
+		case u < p.ErrorRate+p.TimeoutRate:
+			f.Kind = Timeout
+		case u < p.ErrorRate+p.TimeoutRate+p.PartialRate:
+			f.Kind = Partial
+			f.Fraction = in.src.Float64()
+		}
+		if p.Latency > 0 {
+			f.Latency = p.Latency
+			if p.Jitter > 0 {
+				f.Latency += time.Duration((in.src.Float64()*2 - 1) * float64(p.Jitter))
+			}
+		}
+	}
+	in.counts[f.Kind]++
+	return f
+}
+
+// Count returns how many decisions of the given kind this injector has
+// produced.
+func (in *Injector) Count(k Kind) uint64 {
+	if int(k) >= len(in.counts) {
+		return 0
+	}
+	return in.counts[k]
+}
+
+// Injected returns the total number of non-None faults produced.
+func (in *Injector) Injected() uint64 {
+	var total uint64
+	for k := Error; k < NumKinds; k++ {
+		total += in.counts[k]
+	}
+	return total
+}
+
+// Schedule materializes the next n decisions — the fault trace tests pin to
+// assert determinism.
+func (in *Injector) Schedule(n int) []Fault {
+	out := make([]Fault, n)
+	for i := range out {
+		out[i] = in.Next()
+	}
+	return out
+}
+
+// Kinds lists the failure kinds in stable order, for metrics label loops.
+func Kinds() []Kind {
+	return []Kind{Error, Timeout, Partial}
+}

@@ -1,0 +1,188 @@
+package fault
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestParseProfile(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    Profile
+		wantErr bool
+	}{
+		{in: "", want: Profile{}},
+		{in: "off", want: Profile{}},
+		{in: "p=0.05", want: Profile{ErrorRate: 0.05}},
+		{in: "error=0.05", want: Profile{ErrorRate: 0.05}},
+		{in: "p=0.1,timeout=0.02,partial=0.01",
+			want: Profile{ErrorRate: 0.1, TimeoutRate: 0.02, PartialRate: 0.01}},
+		{in: "latency=20ms,jitter=5ms",
+			want: Profile{Latency: 20 * time.Millisecond, Jitter: 5 * time.Millisecond}},
+		{in: "p=0.2,hold=50ms",
+			want: Profile{ErrorRate: 0.2, Hold: 50 * time.Millisecond}},
+		{in: " p=0.05 , timeout=0.1 ",
+			want: Profile{ErrorRate: 0.05, TimeoutRate: 0.1}},
+		{in: "p=1.5", wantErr: true},
+		{in: "p=-0.1", wantErr: true},
+		{in: "p=0.6,timeout=0.6", wantErr: true}, // rates sum past 1
+		{in: "p", wantErr: true},
+		{in: "p=abc", wantErr: true},
+		{in: "latency=zz", wantErr: true},
+		{in: "jitter=10ms", wantErr: true}, // jitter without latency
+		{in: "bogus=1", wantErr: true},
+	}
+	for _, c := range cases {
+		got, err := ParseProfile(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("ParseProfile(%q): want error, got %+v", c.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseProfile(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseProfile(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestProfileStringRoundTrip(t *testing.T) {
+	profiles := []Profile{
+		{},
+		{ErrorRate: 0.05},
+		{ErrorRate: 0.1, TimeoutRate: 0.02, PartialRate: 0.01},
+		{ErrorRate: 0.2, Latency: 20 * time.Millisecond, Jitter: 5 * time.Millisecond, Hold: time.Second},
+	}
+	for _, p := range profiles {
+		back, err := ParseProfile(p.String())
+		if err != nil {
+			t.Fatalf("ParseProfile(%q): %v", p.String(), err)
+		}
+		if back != p {
+			t.Errorf("round trip of %q changed profile: %+v -> %+v", p.String(), p, back)
+		}
+	}
+}
+
+func TestDisabledProfile(t *testing.T) {
+	if (Profile{}).Enabled() {
+		t.Fatal("zero profile reports enabled")
+	}
+	in := New(Profile{}, 1)
+	for i, f := range in.Schedule(100) {
+		if f != (Fault{}) {
+			t.Fatalf("decision %d: disabled injector produced %+v", i, f)
+		}
+	}
+	if in.Injected() != 0 {
+		t.Fatalf("disabled injector counted %d faults", in.Injected())
+	}
+	if in.Count(None) != 100 {
+		t.Fatalf("None count = %d, want 100", in.Count(None))
+	}
+}
+
+// TestScheduleDeterministic pins the acceptance criterion: two injectors
+// with the same (profile, seed) produce identical fault schedules, and a
+// different seed produces a different one.
+func TestScheduleDeterministic(t *testing.T) {
+	p := Profile{ErrorRate: 0.1, TimeoutRate: 0.05, PartialRate: 0.05,
+		Latency: 10 * time.Millisecond, Jitter: 4 * time.Millisecond}
+	a := New(p, 42).Schedule(5000)
+	b := New(p, 42).Schedule(5000)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different fault schedules")
+	}
+	c := New(p, 43).Schedule(5000)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical fault schedules")
+	}
+}
+
+func TestSplitDecorrelates(t *testing.T) {
+	p := Profile{ErrorRate: 0.5}
+	parent := New(p, 7)
+	a := parent.Split("link").Schedule(1000)
+	b := parent.Split("server").Schedule(1000)
+	same := 0
+	for i := range a {
+		if a[i].Kind == b[i].Kind {
+			same++
+		}
+	}
+	// Independent 50/50 streams agree about half the time; identical streams
+	// agree always.
+	if same > 900 {
+		t.Fatalf("split streams agree on %d/1000 decisions; not decorrelated", same)
+	}
+}
+
+func TestRatesObserved(t *testing.T) {
+	p := Profile{ErrorRate: 0.1, TimeoutRate: 0.05, PartialRate: 0.02}
+	in := New(p, 99)
+	const n = 50000
+	in.Schedule(n)
+	checks := []struct {
+		kind Kind
+		rate float64
+	}{{Error, 0.1}, {Timeout, 0.05}, {Partial, 0.02}}
+	for _, c := range checks {
+		got := float64(in.Count(c.kind)) / n
+		if math.Abs(got-c.rate) > 0.01 {
+			t.Errorf("%s rate = %.4f, want ~%.2f", c.kind, got, c.rate)
+		}
+	}
+	if in.Injected() != in.Count(Error)+in.Count(Timeout)+in.Count(Partial) {
+		t.Error("Injected does not sum the failure kinds")
+	}
+}
+
+func TestLatencyBounds(t *testing.T) {
+	p := Profile{Latency: 20 * time.Millisecond, Jitter: 5 * time.Millisecond}
+	in := New(p, 3)
+	for i, f := range in.Schedule(2000) {
+		if f.Latency < 15*time.Millisecond || f.Latency > 25*time.Millisecond {
+			t.Fatalf("decision %d: latency %v outside 20ms±5ms", i, f.Latency)
+		}
+	}
+}
+
+func TestPartialFraction(t *testing.T) {
+	p := Profile{PartialRate: 1}
+	in := New(p, 11)
+	for i, f := range in.Schedule(500) {
+		if f.Kind != Partial {
+			t.Fatalf("decision %d: kind %v, want partial", i, f.Kind)
+		}
+		if f.Fraction < 0 || f.Fraction >= 1 {
+			t.Fatalf("decision %d: fraction %v outside [0,1)", i, f.Fraction)
+		}
+		if !f.Failed() {
+			t.Fatalf("decision %d: partial fault reports not failed", i)
+		}
+	}
+}
+
+func TestHoldOrDefault(t *testing.T) {
+	if got := (Profile{}).HoldOrDefault(); got != DefaultHold {
+		t.Errorf("zero hold = %v, want %v", got, DefaultHold)
+	}
+	if got := (Profile{Hold: time.Second}).HoldOrDefault(); got != time.Second {
+		t.Errorf("explicit hold = %v, want 1s", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{None: "none", Error: "error", Timeout: "timeout", Partial: "partial", Kind(9): "Kind(9)"}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), s)
+		}
+	}
+}

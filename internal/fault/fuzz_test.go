@@ -1,0 +1,46 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseProfile hardens the profile parser used by the -faults flags:
+// it must never panic, anything it accepts must validate, and rendering an
+// accepted profile must reparse to the same profile (struct-identical when
+// enabled; a String fixpoint always — a disabled profile with stray
+// defaults like "hold=5s" legitimately collapses to "off").
+func FuzzParseProfile(f *testing.F) {
+	f.Add("off")
+	f.Add("p=0.05")
+	f.Add("p=0.05,timeout=0.02,hold=2s")
+	f.Add("partial=0.01,latency=20ms,jitter=5ms")
+	f.Add("error=1")
+	f.Add("p=0.6,timeout=0.6") // rates sum past 1
+	f.Add("p=NaN")
+	f.Add("latency=-5ms")
+	f.Add("hold=5s") // non-default field on a disabled profile
+	f.Add(strings.Repeat("p=0,", 30) + "p=0")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		p, err := ParseProfile(input)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("accepted profile %q fails validation: %v", input, err)
+		}
+		rendered := p.String()
+		again, err := ParseProfile(rendered)
+		if err != nil {
+			t.Fatalf("rendering of accepted profile %q does not reparse: %q: %v",
+				input, rendered, err)
+		}
+		if p.Enabled() && again != p {
+			t.Fatalf("round trip changed profile: %+v vs %+v (via %q)", p, again, rendered)
+		}
+		if again.String() != rendered {
+			t.Fatalf("String not a fixpoint: %q reparsed to %q", rendered, again.String())
+		}
+	})
+}

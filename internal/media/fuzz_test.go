@@ -1,0 +1,51 @@
+package media
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadRepositoryCSV hardens the catalog importer (cachesim -repofile):
+// it must never panic on malformed input, and any repository it accepts
+// must survive a WriteCSV/ReadRepositoryCSV round trip unchanged.
+func FuzzReadRepositoryCSV(f *testing.F) {
+	var seedBuf bytes.Buffer
+	if err := PaperRepository().WriteCSV(&seedBuf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seedBuf.String())
+	f.Add("")
+	f.Add("id,kind,sizeBytes,displayBps\n")
+	f.Add("id,kind,sizeBytes,displayBps\n1,video,1048576,3500000\n")
+	f.Add("id,kind,sizeBytes,displayBps\n2,video,1048576,3500000\n") // ids not 1..N
+	f.Add("id,kind,sizeBytes,displayBps\n1,tape,1048576,3500000\n")
+	f.Add("id,kind,sizeBytes,displayBps\n1,audio,-5,128000\n")
+	f.Add("id,kind\n1,audio\n")
+	f.Add(strings.Repeat("a,b,c,d\n", 50))
+
+	f.Fuzz(func(t *testing.T, input string) {
+		repo, err := ReadRepositoryCSV(strings.NewReader(input))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := repo.WriteCSV(&buf); err != nil {
+			t.Fatalf("rewriting accepted repository: %v", err)
+		}
+		again, err := ReadRepositoryCSV(&buf)
+		if err != nil {
+			t.Fatalf("re-reading rewritten repository: %v", err)
+		}
+		if again.N() != repo.N() || again.TotalSize() != repo.TotalSize() {
+			t.Fatalf("round trip changed the repository: %d/%v vs %d/%v",
+				repo.N(), repo.TotalSize(), again.N(), again.TotalSize())
+		}
+		for id := ClipID(1); id <= ClipID(repo.N()); id++ {
+			a, b := repo.Clip(id), again.Clip(id)
+			if a != b {
+				t.Fatalf("round trip changed clip %d: %+v vs %+v", id, a, b)
+			}
+		}
+	})
+}

@@ -61,6 +61,53 @@ func NewRegistry() *Registry {
 	return &Registry{index: make(map[string]int)}
 }
 
+// escapeLabelValue escapes a label value per the Prometheus text
+// exposition format 0.0.4: backslash, double quote and line feed become
+// \\, \" and \n. Everything else — including tabs and non-ASCII — passes
+// through verbatim, which is why strconv.Quote (whose \t and \uXXXX
+// escapes scrapers reject) cannot be used here.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 8)
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes HELP text per the same format: only backslash and
+// line feed (quotes are legal in HELP).
+func escapeHelp(h string) string {
+	if !strings.ContainsAny(h, "\\\n") {
+		return h
+	}
+	var b strings.Builder
+	b.Grow(len(h) + 8)
+	for _, r := range h {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
 // renderLabels formats labels as {k="v",...} with label names in the order
 // given (callers pass a fixed order, so identity strings are stable).
 func renderLabels(labels []Label) string {
@@ -74,8 +121,9 @@ func renderLabels(labels []Label) string {
 			b.WriteByte(',')
 		}
 		b.WriteString(l.Name)
-		b.WriteString(`=`)
-		b.WriteString(strconv.Quote(l.Value))
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteString(`"`)
 	}
 	b.WriteByte('}')
 	return b.String()
@@ -152,7 +200,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	prev := ""
 	for _, e := range entries {
 		if e.name != prev {
-			fmt.Fprintf(&b, "# HELP %s %s\n", e.name, e.help)
+			fmt.Fprintf(&b, "# HELP %s %s\n", e.name, escapeHelp(e.help))
 			fmt.Fprintf(&b, "# TYPE %s %s\n", e.name, e.inst.kind())
 			prev = e.name
 		}

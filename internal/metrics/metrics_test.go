@@ -103,6 +103,32 @@ queue_depth 2
 	}
 }
 
+// TestEscapingGolden pins the Prometheus 0.0.4 escaping rules: in label
+// values backslash, double quote and line feed are escaped (and nothing
+// else — tabs and non-ASCII pass through verbatim); in HELP text only
+// backslash and line feed are.
+func TestEscapingGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("files_total", `Paths under C:\cache ("hot" tier).`+"\nSecond line.",
+		Label{"path", `C:\media\clips`}).Add(1)
+	r.Counter("odd_total", "Values with every special.",
+		Label{"v", "back\\slash \"quoted\"\nnewline\ttab é"}).Add(2)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP files_total Paths under C:\\cache ("hot" tier).\nSecond line.
+# TYPE files_total counter
+files_total{path="C:\\media\\clips"} 1
+# HELP odd_total Values with every special.
+# TYPE odd_total counter
+odd_total{v="back\\slash \"quoted\"\nnewline` + "\ttab é" + `"} 2
+`
+	if b.String() != want {
+		t.Errorf("escaping mismatch:\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+}
+
 func TestHistogramRejectsUnsortedBuckets(t *testing.T) {
 	defer func() {
 		if recover() == nil {

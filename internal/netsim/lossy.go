@@ -1,0 +1,122 @@
+package netsim
+
+import (
+	"errors"
+	"fmt"
+
+	"mediacache/internal/fault"
+	"mediacache/internal/media"
+)
+
+// Fetch errors reported by LossyLink.
+var (
+	// ErrFetchFailed reports an injected outright transfer failure.
+	ErrFetchFailed = errors.New("netsim: fetch failed (injected link error)")
+	// ErrFetchTimeout reports an injected stall that exhausted the hold.
+	ErrFetchTimeout = errors.New("netsim: fetch timed out (injected stall)")
+	// ErrFetchPartial reports a truncated delivery.
+	ErrFetchPartial = errors.New("netsim: fetch delivered partial payload (injected truncation)")
+)
+
+// Transfer is the outcome of one clip fetch over a lossy link.
+type Transfer struct {
+	// Delivered is how many bytes arrived (the full clip on success, a
+	// truncated prefix on ErrFetchPartial, zero otherwise).
+	Delivered media.Bytes
+	// Latency is the startup latency the device observed: admission plus
+	// prefetch time on success, plus any injected latency; for a timeout it
+	// includes the full hold the device waited before giving up.
+	Latency Seconds
+	// Fault is the injector decision that shaped this transfer.
+	Fault fault.Fault
+}
+
+// LossyLink couples a Link's bandwidth reservation with a deterministic
+// fault injector: the wireless channel of the paper's Section 1 scenario,
+// but honest about loss. Every Fetch reserves bandwidth, consults the
+// injector, and releases the reservation — so even failed transfers occupy
+// the base station for their duration, which is exactly why error rates eat
+// into effective region throughput.
+type LossyLink struct {
+	link *Link
+	inj  *fault.Injector
+
+	fetches  uint64
+	failures [fault.NumKinds]uint64
+}
+
+// NewLossyLink wraps link with injector in. A nil injector behaves like the
+// ideal channel (every fetch succeeds, zero injected latency).
+func NewLossyLink(link *Link, in *fault.Injector) (*LossyLink, error) {
+	if link == nil {
+		return nil, fmt.Errorf("netsim: lossy link needs an underlying link")
+	}
+	return &LossyLink{link: link, inj: in}, nil
+}
+
+// Link returns the underlying reservation link.
+func (l *LossyLink) Link() *Link { return l.link }
+
+// Fetches returns how many transfers were attempted.
+func (l *LossyLink) Fetches() uint64 { return l.fetches }
+
+// Failures returns how many transfers failed with the given fault kind.
+func (l *LossyLink) Failures(k fault.Kind) uint64 {
+	if int(k) >= len(l.failures) {
+		return 0
+	}
+	return l.failures[k]
+}
+
+// FailedFetches returns the total number of failed transfers.
+func (l *LossyLink) FailedFetches() uint64 {
+	var total uint64
+	for k := fault.Error; k < fault.NumKinds; k++ {
+		total += l.failures[k]
+	}
+	return total
+}
+
+// Fetch models transferring clip at the allocated bandwidth with the given
+// admission-control overhead. It reserves alloc on the link for the duration
+// of the (virtual) transfer and always releases it. The returned Transfer
+// carries the delivered bytes and observed latency; err is non-nil when the
+// link rejected the reservation or the injector failed the transfer.
+func (l *LossyLink) Fetch(clip media.Clip, alloc media.BitsPerSecond, admission Seconds) (Transfer, error) {
+	if err := l.link.Reserve(alloc); err != nil {
+		return Transfer{}, err
+	}
+	defer l.link.Release(alloc)
+	l.fetches++
+
+	var f fault.Fault
+	if l.inj != nil {
+		f = l.inj.Next()
+	}
+	t := Transfer{Fault: f, Latency: Seconds(f.Latency.Seconds())}
+	switch f.Kind {
+	case fault.None:
+		lat, err := StartupLatency(clip, alloc, admission)
+		if err != nil {
+			return Transfer{}, err
+		}
+		t.Latency += lat
+		t.Delivered = clip.Size
+		return t, nil
+	case fault.Error:
+		l.failures[fault.Error]++
+		return t, ErrFetchFailed
+	case fault.Timeout:
+		l.failures[fault.Timeout]++
+		var hold fault.Profile
+		if l.inj != nil {
+			hold = l.inj.Profile()
+		}
+		t.Latency += Seconds(hold.HoldOrDefault().Seconds())
+		return t, ErrFetchTimeout
+	default: // fault.Partial
+		l.failures[fault.Partial]++
+		t.Delivered = media.Bytes(float64(clip.Size) * f.Fraction)
+		return t, ErrFetchPartial
+	}
+}

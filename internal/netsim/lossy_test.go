@@ -1,0 +1,133 @@
+package netsim
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"mediacache/internal/fault"
+	"mediacache/internal/media"
+)
+
+func lossyFixture(t *testing.T, p fault.Profile, seed uint64) (*LossyLink, media.Clip) {
+	t.Helper()
+	link, err := NewLink(10e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ll, err := NewLossyLink(link, fault.New(p, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clip := media.Clip{ID: 1, Size: 4 << 20, DisplayRate: 4e6, Kind: media.Video}
+	return ll, clip
+}
+
+func TestLossyLinkNilInjector(t *testing.T) {
+	link, err := NewLink(10e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ll, err := NewLossyLink(link, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clip := media.Clip{ID: 1, Size: 4 << 20, DisplayRate: 4e6, Kind: media.Video}
+	for i := 0; i < 100; i++ {
+		tr, err := ll.Fetch(clip, 2e6, 0.1)
+		if err != nil {
+			t.Fatalf("fetch %d: %v", i, err)
+		}
+		if tr.Delivered != clip.Size {
+			t.Fatalf("fetch %d delivered %d bytes, want %d", i, tr.Delivered, clip.Size)
+		}
+	}
+	if got := ll.FailedFetches(); got != 0 {
+		t.Fatalf("nil injector produced %d failures", got)
+	}
+	if link.Available() != link.Capacity() {
+		t.Fatalf("bandwidth leaked: %v available", link.Available())
+	}
+}
+
+func TestLossyLinkDeterministic(t *testing.T) {
+	p := fault.Profile{ErrorRate: 0.1, TimeoutRate: 0.05, PartialRate: 0.05,
+		Latency: 20 * time.Millisecond, Jitter: 5 * time.Millisecond}
+	run := func(seed uint64) []Transfer {
+		ll, clip := lossyFixture(t, p, seed)
+		out := make([]Transfer, 0, 500)
+		for i := 0; i < 500; i++ {
+			tr, _ := ll.Fetch(clip, 2e6, 0.1)
+			out = append(out, tr)
+		}
+		return out
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("transfer %d differs under same seed: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical transfer traces")
+	}
+}
+
+func TestLossyLinkFaultOutcomes(t *testing.T) {
+	p := fault.Profile{ErrorRate: 0.2, TimeoutRate: 0.2, PartialRate: 0.2,
+		Hold: 500 * time.Millisecond}
+	ll, clip := lossyFixture(t, p, 7)
+	const n = 2000
+	var ok, errs, timeouts, partials int
+	for i := 0; i < n; i++ {
+		tr, err := ll.Fetch(clip, 2e6, 0.1)
+		switch {
+		case err == nil:
+			ok++
+			if tr.Delivered != clip.Size {
+				t.Fatalf("success delivered %d bytes, want %d", tr.Delivered, clip.Size)
+			}
+		case errors.Is(err, ErrFetchFailed):
+			errs++
+			if tr.Delivered != 0 {
+				t.Fatalf("error fault delivered %d bytes", tr.Delivered)
+			}
+		case errors.Is(err, ErrFetchTimeout):
+			timeouts++
+			if tr.Latency < Seconds(p.Hold.Seconds()) {
+				t.Fatalf("timeout latency %v below hold %v", tr.Latency, p.Hold)
+			}
+		case errors.Is(err, ErrFetchPartial):
+			partials++
+			if tr.Delivered >= clip.Size {
+				t.Fatalf("partial delivered %d of %d bytes", tr.Delivered, clip.Size)
+			}
+		default:
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	if ok == 0 || errs == 0 || timeouts == 0 || partials == 0 {
+		t.Fatalf("outcome mix not exercised: ok=%d err=%d timeout=%d partial=%d",
+			ok, errs, timeouts, partials)
+	}
+	if got := ll.Fetches(); got != n {
+		t.Fatalf("Fetches() = %d, want %d", got, n)
+	}
+	if got := ll.FailedFetches(); got != uint64(errs+timeouts+partials) {
+		t.Fatalf("FailedFetches() = %d, want %d", got, errs+timeouts+partials)
+	}
+	if got := ll.Failures(fault.Error); got != uint64(errs) {
+		t.Fatalf("Failures(Error) = %d, want %d", got, errs)
+	}
+	if ll.Link().Available() != ll.Link().Capacity() {
+		t.Fatalf("bandwidth leaked after failures: %v available", ll.Link().Available())
+	}
+}

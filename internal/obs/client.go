@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"time"
+
+	"mediacache/internal/cacheclient"
+	"mediacache/internal/metrics"
+)
+
+// Client resilience metric names.
+const (
+	metricClientRetries      = "mediacache_client_retries_total"
+	metricClientBreakerOpens = "mediacache_client_breaker_opens_total"
+	metricClientBreakerState = "mediacache_client_breaker_state"
+)
+
+// ClientMetrics bridges cacheclient resilience events into the metrics
+// registry. It implements cacheclient.Observer; install via
+// cacheclient.Config.Observer. Registering it on a cacheserver's registry
+// makes a co-located client's retry and breaker activity visible on the
+// same /v1/metrics page as the engine counters.
+type ClientMetrics struct {
+	Retries      *metrics.Counter
+	BreakerOpens *metrics.Counter
+	// BreakerState holds the current state as its enum value
+	// (0 closed, 1 open, 2 half-open).
+	BreakerState *metrics.Gauge
+}
+
+// NewClientMetrics registers the client resilience instruments on reg.
+func NewClientMetrics(reg *metrics.Registry) *ClientMetrics {
+	return &ClientMetrics{
+		Retries:      reg.Counter(metricClientRetries, "Retry sleeps taken by the cache client."),
+		BreakerOpens: reg.Counter(metricClientBreakerOpens, "Times the client circuit breaker tripped open."),
+		BreakerState: reg.Gauge(metricClientBreakerState, "Client circuit-breaker state (0 closed, 1 open, 2 half-open)."),
+	}
+}
+
+// Retry implements cacheclient.Observer.
+func (m *ClientMetrics) Retry(int, time.Duration, error) { m.Retries.Inc() }
+
+// BreakerChange implements cacheclient.Observer.
+func (m *ClientMetrics) BreakerChange(_, to cacheclient.BreakerState) {
+	if to == cacheclient.BreakerOpen {
+		m.BreakerOpens.Inc()
+	}
+	m.BreakerState.Set(int64(to))
+}

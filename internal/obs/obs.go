@@ -23,6 +23,7 @@ const (
 	metricEvictions     = "mediacache_cache_evictions_total"
 	metricBypasses      = "mediacache_cache_bypassed_total"
 	metricRestores      = "mediacache_cache_restores_total"
+	metricFetchFailed   = "mediacache_cache_fetch_failures_total"
 	metricBytesFetched  = "mediacache_cache_bytes_fetched_total"
 	metricBytesEvicted  = "mediacache_cache_bytes_evicted_total"
 	metricVictimCalls   = "mediacache_cache_victim_calls_total"
@@ -40,6 +41,7 @@ type CacheMetrics struct {
 	Evictions    *metrics.Counter
 	Bypasses     *metrics.Counter
 	Restores     *metrics.Counter
+	FetchFailed  *metrics.Counter
 	BytesFetched *metrics.Counter
 	BytesEvicted *metrics.Counter
 	VictimCalls  *metrics.Counter
@@ -59,6 +61,7 @@ func NewCacheMetrics(reg *metrics.Registry) *CacheMetrics {
 		Evictions:     reg.Counter(metricEvictions, "Clips swapped out to make room."),
 		Bypasses:      reg.Counter(metricBypasses, "Misses streamed without caching (admission declined or clip too large)."),
 		Restores:      reg.Counter(metricRestores, "Clips made resident by snapshot restore."),
+		FetchFailed:   reg.Counter(metricFetchFailed, "Cacheable misses whose remote fetch failed (degraded service)."),
 		BytesFetched:  reg.Counter(metricBytesFetched, "Network traffic: bytes fetched on misses."),
 		BytesEvicted:  reg.Counter(metricBytesEvicted, "Bytes freed by eviction."),
 		VictimCalls:   reg.Counter(metricVictimCalls, "Policy.Victims invocations (batch sweeps only; the live path counts via evictions)."),
@@ -90,6 +93,10 @@ func (m *CacheMetrics) Observe(ev core.Event) {
 		m.BytesFetched.Add(uint64(ev.Clip.Size))
 	case core.EventRestore:
 		m.Restores.Inc()
+	case core.EventFetchFail:
+		m.Misses.Inc()
+		m.FetchFailed.Inc()
+		m.BytesFetched.Add(uint64(ev.Clip.Size))
 	}
 }
 
@@ -102,6 +109,7 @@ func (m *CacheMetrics) AddSweep(t sim.Metrics) {
 	m.Misses.Add(t.Requests - t.Hits)
 	m.Evictions.Add(t.Evictions)
 	m.Bypasses.Add(t.Bypassed)
+	m.FetchFailed.Add(t.FetchFailed)
 	m.BytesFetched.Add(uint64(t.BytesFetched))
 	m.BytesEvicted.Add(uint64(t.BytesEvicted))
 	m.VictimCalls.Add(t.VictimCalls)

@@ -1,0 +1,75 @@
+package dynsimple_test
+
+// convergence_test.go pins the paper's central claim (Section 4.1,
+// Figure 5): on a stationary workload DYNSimple's frequency estimates
+// approach the true distribution, so its cache converges toward the one
+// the off-line Simple technique builds from perfect knowledge.
+
+import (
+	"testing"
+
+	"mediacache/internal/core"
+	"mediacache/internal/history"
+	"mediacache/internal/media"
+	"mediacache/internal/policy/dynsimple"
+	"mediacache/internal/policy/simple"
+	"mediacache/internal/workload"
+	"mediacache/internal/zipf"
+)
+
+func TestConvergesToSimpleOnStationaryTrace(t *testing.T) {
+	repo := media.PaperRepository()
+	gen := workload.MustNewGenerator(zipf.MustNew(repo.N(), zipf.DefaultMean), 11)
+	pmf := gen.PMF()
+	capacity := repo.CacheSizeForRatio(0.125)
+
+	dyn := dynsimple.MustNew(repo.N(), 2)
+	offline := simple.MustNew(pmf)
+	dynCache, err := core.New(repo, capacity, dyn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simpleCache, err := core.New(repo, capacity, offline)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const warmup, total = 2000, 20000
+	var earlyQuality float64
+	for i := 0; i < total; i++ {
+		id := gen.Next() // identical trace for both caches
+		if _, err := dynCache.Request(id); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := simpleCache.Request(id); err != nil {
+			t.Fatal(err)
+		}
+		if i == warmup-1 {
+			earlyQuality = history.Quality(dyn.EstimatedFrequencies(dynCache.Now()), pmf)
+		}
+	}
+
+	// The estimate-quality metric E = sqrt(Σ (f̂-f)²) must improve as the
+	// history fills in (Figure 5's downward trend).
+	lateQuality := history.Quality(dyn.EstimatedFrequencies(dynCache.Now()), pmf)
+	if lateQuality >= earlyQuality {
+		t.Errorf("estimate quality did not improve: E=%.4f after %d requests, E=%.4f after %d",
+			earlyQuality, warmup, lateQuality, total)
+	}
+
+	// The converged cache content must score nearly as well as Simple's
+	// under the true distribution...
+	dynTheo := dynCache.TheoreticalHitRate(pmf)
+	simpleTheo := simpleCache.TheoreticalHitRate(pmf)
+	if dynTheo < simpleTheo-0.05 {
+		t.Errorf("theoretical hit rate did not converge: DYNSimple %.4f vs Simple %.4f",
+			dynTheo, simpleTheo)
+	}
+	// ...and the realized hit rates must land within a few points of each
+	// other (the paper's Figure 6 shows them nearly indistinguishable).
+	dynRate := dynCache.Stats().HitRate()
+	simpleRate := simpleCache.Stats().HitRate()
+	if diff := simpleRate - dynRate; diff > 0.05 || diff < -0.05 {
+		t.Errorf("hit rates diverged: DYNSimple %.4f vs Simple %.4f", dynRate, simpleRate)
+	}
+}

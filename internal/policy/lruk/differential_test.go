@@ -1,0 +1,160 @@
+package lruk_test
+
+// differential_test.go checks the ring-buffer LRU-K implementation against
+// a deliberately naive reference that stores every reference time and
+// recomputes backward-K distances from scratch. Both drive identical
+// caches over randomized workloads; any divergence in residency or
+// statistics is a bug in one of them.
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"mediacache/internal/core"
+	"mediacache/internal/media"
+	"mediacache/internal/policy/lruk"
+	"mediacache/internal/randutil"
+	"mediacache/internal/vtime"
+)
+
+// bruteLRUK is the reference implementation: full reference history per
+// clip, exhaustive victim scans, no rings.
+type bruteLRUK struct {
+	k    int
+	refs map[media.ClipID][]vtime.Time
+}
+
+var _ core.Policy = (*bruteLRUK)(nil)
+
+func newBruteLRUK(k int) *bruteLRUK {
+	return &bruteLRUK{k: k, refs: make(map[media.ClipID][]vtime.Time)}
+}
+
+func (p *bruteLRUK) Name() string { return "brute-LRU-K" }
+
+func (p *bruteLRUK) Record(clip media.Clip, now vtime.Time, _ bool) {
+	p.refs[clip.ID] = append(p.refs[clip.ID], now)
+}
+
+func (p *bruteLRUK) Admit(media.Clip, vtime.Time) bool { return true }
+
+// dist returns the backward-K distance and the most recent reference time.
+func (p *bruteLRUK) dist(id media.ClipID, now vtime.Time) (float64, vtime.Time) {
+	refs := p.refs[id]
+	last := vtime.Never
+	if len(refs) > 0 {
+		last = refs[len(refs)-1]
+	}
+	if len(refs) < p.k {
+		return math.Inf(1), last
+	}
+	return float64(now - refs[len(refs)-p.k]), last
+}
+
+func (p *bruteLRUK) Victims(_ media.Clip, view core.ResidentView, need media.Bytes, now vtime.Time) []media.ClipID {
+	remaining := view.ResidentClips()
+	var out []media.ClipID
+	var freed media.Bytes
+	for freed < need && len(remaining) > 0 {
+		best := 0
+		bestDist, bestLast := p.dist(remaining[0].ID, now)
+		for i := 1; i < len(remaining); i++ {
+			d, last := p.dist(remaining[i].ID, now)
+			better := false
+			switch {
+			case math.IsInf(d, 1) && math.IsInf(bestDist, 1):
+				better = last < bestLast ||
+					(last == bestLast && remaining[i].ID < remaining[best].ID)
+			case d != bestDist:
+				better = d > bestDist
+			case last != bestLast:
+				better = last < bestLast
+			default:
+				better = remaining[i].ID < remaining[best].ID
+			}
+			if better {
+				best, bestDist, bestLast = i, d, last
+			}
+		}
+		out = append(out, remaining[best].ID)
+		freed += remaining[best].Size
+		remaining = append(remaining[:best], remaining[best+1:]...)
+	}
+	return out
+}
+
+func (p *bruteLRUK) OnInsert(media.Clip, vtime.Time) {}
+func (p *bruteLRUK) OnEvict(media.ClipID, vtime.Time) {}
+func (p *bruteLRUK) Reset() { p.refs = make(map[media.ClipID][]vtime.Time) }
+
+// diffRepo builds a small repository with clip sizes that force multi-victim
+// evictions.
+func diffRepo(t *testing.T, src *randutil.Source, n int) *media.Repository {
+	t.Helper()
+	clips := make([]media.Clip, n)
+	for i := range clips {
+		clips[i] = media.Clip{
+			ID:          media.ClipID(i + 1),
+			Kind:        media.Video,
+			Size:        media.Bytes(1+src.Intn(8)) * media.Bytes(256<<10),
+			DisplayRate: 3_500_000,
+		}
+	}
+	repo, err := media.NewRepository(clips)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return repo
+}
+
+// TestDifferentialAgainstBruteForce drives the real LRU-K and the brute
+// reference through identical caches and workloads for several K values
+// and seeds, asserting identical residency after every request.
+func TestDifferentialAgainstBruteForce(t *testing.T) {
+	for _, k := range []int{1, 2, 3} {
+		for seed := uint64(1); seed <= 3; seed++ {
+			src := randutil.NewSource(seed).Split("lruk-diff")
+			n := 12 + src.Intn(20)
+			repo := diffRepo(t, src.Split("repo"), n)
+			capacity := repo.TotalSize() / 4
+
+			real, err := core.New(repo, capacity, lruk.MustNew(n, k))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := core.New(repo, capacity, newBruteLRUK(k))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			drive := src.Split("drive")
+			for i := 0; i < 600; i++ {
+				id := media.ClipID(1 + drive.Intn(n))
+				if drive.Float64() < 0.5 {
+					id = media.ClipID(1 + drive.Intn(1+n/4))
+				}
+				a, err := real.Request(id)
+				if err != nil {
+					t.Fatalf("k=%d seed=%d req %d: real: %v", k, seed, i, err)
+				}
+				b, err := ref.Request(id)
+				if err != nil {
+					t.Fatalf("k=%d seed=%d req %d: reference: %v", k, seed, i, err)
+				}
+				if a != b {
+					t.Fatalf("k=%d seed=%d req %d (clip %d): outcome %v vs reference %v",
+						k, seed, i, id, a, b)
+				}
+				if !reflect.DeepEqual(real.ResidentIDs(), ref.ResidentIDs()) {
+					t.Fatalf("k=%d seed=%d req %d: resident sets diverged:\nreal %v\nref  %v",
+						k, seed, i, real.ResidentIDs(), ref.ResidentIDs())
+				}
+			}
+			if real.Stats() != ref.Stats() {
+				t.Fatalf("k=%d seed=%d: stats diverged:\nreal %+v\nref  %+v",
+					k, seed, real.Stats(), ref.Stats())
+			}
+		}
+	}
+}

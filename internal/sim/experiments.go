@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"mediacache/internal/core"
+	"mediacache/internal/fault"
 	"mediacache/internal/history"
 	"mediacache/internal/media"
 	"mediacache/internal/policy/blocklru"
@@ -82,6 +83,13 @@ type Options struct {
 	// runtime.GOMAXPROCS(0), 1 forces the sequential path, N > 1 runs N
 	// workers. Figure output is byte-identical at every setting.
 	Parallel int
+	// Faults injects deterministic fetch failures on cacheable misses
+	// (chaos mode). Each sweep cell derives its own injector from Seed and
+	// the cell coordinates, so a given (profile, seed) pair always yields
+	// the same fault schedule and the same figure at any worker count. The
+	// zero profile is disabled and leaves every run byte-identical to a
+	// fault-free build.
+	Faults fault.Profile
 }
 
 // withDefaults fills unset fields.
@@ -124,7 +132,8 @@ func sweepRatios(repo *media.Repository, specs []string, ratios []float64, m met
 	nr := len(ratios)
 	cells, err := mapCells(opt.Parallel, len(specs)*nr, func(i int) (cellOut, error) {
 		spec, ratio := specs[i/nr], ratios[i%nr]
-		cache, err := NewCache(spec, repo, repo.CacheSizeForRatio(ratio), pmf, opt.Seed)
+		cache, err := NewCache(spec, repo, repo.CacheSizeForRatio(ratio), pmf, opt.Seed,
+			opt.faultOptions(spec, fmt.Sprint(ratio))...)
 		if err != nil {
 			return cellOut{}, fmt.Errorf("building %q at ratio %v: %w", spec, ratio, err)
 		}
@@ -320,7 +329,8 @@ func shiftSweep(id, title string, specs []string, opt Options) (*Figure, error) 
 	cells, err := mapCells(opt.Parallel, len(specs), func(i int) (cellOut, error) {
 		spec := specs[i]
 		gen := workload.MustNewGenerator(dist, opt.Seed)
-		cache, err := NewCache(spec, repo, capacity, gen.PMF(), opt.Seed)
+		cache, err := NewCache(spec, repo, capacity, gen.PMF(), opt.Seed,
+			opt.faultOptions(id, spec)...)
 		if err != nil {
 			return cellOut{}, err
 		}
@@ -426,7 +436,8 @@ func transient(id, title string, specs []string, sched workload.Schedule, opt Op
 		if err := gen.SetShift(sched[0].Shift); err != nil {
 			return cellOut{}, err
 		}
-		cache, err := NewCache(spec, repo, capacity, gen.PMF(), opt.Seed)
+		cache, err := NewCache(spec, repo, capacity, gen.PMF(), opt.Seed,
+			opt.faultOptions(id, spec)...)
 		if err != nil {
 			return cellOut{}, err
 		}
@@ -537,7 +548,8 @@ func Skew(opt Options) (*Figure, error) {
 			return cellOut{}, err
 		}
 		gen := workload.MustNewGenerator(dist, opt.Seed)
-		cache, err := NewCache(spec, repo, capacity, gen.PMF(), opt.Seed)
+		cache, err := NewCache(spec, repo, capacity, gen.PMF(), opt.Seed,
+			opt.faultOptions("skew", spec, fmt.Sprint(mean))...)
 		if err != nil {
 			return cellOut{}, err
 		}
@@ -617,7 +629,8 @@ func Blocks(opt Options) (*Figure, error) {
 			}, nil
 		}
 		spec := refSpecs[i-nb]
-		cache, err := NewCache(spec, repo, capacity, nil, opt.Seed)
+		cache, err := NewCache(spec, repo, capacity, nil, opt.Seed,
+			opt.faultOptions("blocks", spec)...)
 		if err != nil {
 			return cellOut{}, err
 		}
@@ -681,7 +694,8 @@ func Refinement(opt Options) (*Figure, error) {
 		if err != nil {
 			return cellOut{}, err
 		}
-		cache, err := core.New(repo, repo.CacheSizeForRatio(ratio), p)
+		cache, err := core.New(repo, repo.CacheSizeForRatio(ratio), p,
+			opt.faultOptions("refinement", p.Name(), fmt.Sprint(ratio))...)
 		if err != nil {
 			return cellOut{}, err
 		}

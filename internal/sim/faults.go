@@ -1,0 +1,36 @@
+package sim
+
+// faults.go couples the deterministic fault injector (internal/fault) to
+// the sweep engine. Each sweep cell derives its own injector from the
+// master seed and the cell's coordinate labels — the same derivation as
+// CellSeed — so the fault schedule a cell experiences is a pure function
+// of (profile, master seed, cell coordinates), independent of worker count
+// and claim order. A disabled profile adds no engine option at all, which
+// keeps the faults-off path byte-identical to a build without this file.
+
+import (
+	"fmt"
+
+	"mediacache/internal/core"
+	"mediacache/internal/fault"
+	"mediacache/internal/media"
+	"mediacache/internal/vtime"
+)
+
+// faultOptions returns the engine options implementing o.Faults for the
+// sweep cell identified by labels: a core.WithFetch hook that consults a
+// cell-local injector on every cacheable miss and fails the fetch when the
+// injector draws a fault. Returns nil when the profile is disabled.
+func (o Options) faultOptions(labels ...string) []core.Option {
+	if !o.Faults.Enabled() {
+		return nil
+	}
+	seed := CellSeed(o.Seed, append([]string{"fault"}, labels...)...)
+	inj := fault.New(o.Faults, seed)
+	return []core.Option{core.WithFetch(func(clip media.Clip, _ vtime.Time) error {
+		if f := inj.Next(); f.Failed() {
+			return fmt.Errorf("sim: injected %s fault fetching clip %d", f.Kind, clip.ID)
+		}
+		return nil
+	})}
+}

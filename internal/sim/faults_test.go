@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"mediacache/internal/fault"
+)
+
+// chaosProfile is a substantial failure mix used by the fault-injection
+// determinism tests.
+var chaosProfile = fault.Profile{
+	ErrorRate:   0.1,
+	TimeoutRate: 0.05,
+	PartialRate: 0.05,
+	Latency:     10 * time.Millisecond,
+	Jitter:      2 * time.Millisecond,
+}
+
+// stripWall zeroes the only legitimately nondeterministic figure field.
+func stripWall(fig *Figure) {
+	for i := range fig.Cells {
+		fig.Cells[i].Wall = 0
+	}
+}
+
+// TestFaultSweepDeterministic pins the tentpole promise at the experiment
+// level: the same (seed, profile) pair yields the identical figure —
+// series and engine counters, fault schedule included — regardless of
+// worker count; a different seed yields a different fault schedule.
+func TestFaultSweepDeterministic(t *testing.T) {
+	run := func(seed uint64, parallel int) *Figure {
+		t.Helper()
+		fig, err := Figure2a(Options{Seed: seed, Requests: 400, Parallel: parallel, Faults: chaosProfile})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stripWall(fig)
+		return fig
+	}
+	a, b := run(42, 1), run(42, 1)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed and profile produced different figures")
+	}
+	par := run(42, 4)
+	if !reflect.DeepEqual(a, par) {
+		t.Fatal("fault schedule depends on worker count")
+	}
+	var failed uint64
+	for _, c := range a.Cells {
+		failed += c.FetchFailed
+	}
+	if failed == 0 {
+		t.Fatal("chaos profile injected no fetch failures")
+	}
+	other := run(7, 1)
+	if reflect.DeepEqual(a.Cells, other.Cells) {
+		t.Fatal("different seeds produced identical fault counters")
+	}
+}
+
+// TestFaultsOffIdentical pins that the zero profile leaves a run
+// byte-identical to one that never mentions faults at all.
+func TestFaultsOffIdentical(t *testing.T) {
+	base, err := Figure2a(Options{Seed: 42, Requests: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := Figure2a(Options{Seed: 42, Requests: 400, Faults: fault.Profile{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripWall(base)
+	stripWall(off)
+	if !reflect.DeepEqual(base, off) {
+		t.Fatal("zero fault profile changed the figure")
+	}
+	for _, c := range base.Cells {
+		if c.FetchFailed != 0 {
+			t.Fatalf("cell %s reports %d fetch failures without faults", c.Label, c.FetchFailed)
+		}
+	}
+}
+
+// TestFaultsDegradeHitRate sanity-checks the engine coupling: under a
+// heavy failure profile the caches retain fewer clips (failed fetches are
+// never inserted), so the figure-wide hit rate must drop. Individual
+// points may wobble — altered cache content shifts randomized tie-breaks
+// — so the assertion is on the aggregate.
+func TestFaultsDegradeHitRate(t *testing.T) {
+	mean := func(fig *Figure) float64 {
+		var sum float64
+		var n int
+		for _, s := range fig.Series {
+			for _, y := range s.Y {
+				sum += y
+				n++
+			}
+		}
+		return sum / float64(n)
+	}
+	clean, err := Figure3(Options{Seed: 42, Requests: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy := fault.Profile{ErrorRate: 0.5}
+	chaos, err := Figure3(Options{Seed: 42, Requests: 600, Faults: heavy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc, mf := mean(clean), mean(chaos); mf >= mc {
+		t.Fatalf("mean hit rate did not drop under 50%% fetch errors: clean %v, chaos %v", mc, mf)
+	}
+}

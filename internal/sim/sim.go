@@ -51,6 +51,7 @@ type Metrics struct {
 	BytesFetched media.Bytes   // network traffic: Σ size of missed clips
 	BytesEvicted media.Bytes   // Σ size of evicted clips
 	Bypassed     uint64        // misses streamed without caching
+	FetchFailed  uint64        // misses whose remote fetch failed (fault injection)
 	VictimCalls  uint64        // Policy.Victims invocations (incl. re-invocations)
 	Wall         time.Duration // wall-clock time of the cell
 }
@@ -64,6 +65,7 @@ func metricsFromStats(s core.Stats, wall time.Duration) Metrics {
 		BytesFetched: s.BytesFetched,
 		BytesEvicted: s.BytesEvicted,
 		Bypassed:     s.Bypassed,
+		FetchFailed:  s.FetchFailed,
 		VictimCalls:  s.VictimCalls,
 		Wall:         wall,
 	}
@@ -79,6 +81,7 @@ func (m *Metrics) Add(other Metrics) {
 	m.BytesFetched += other.BytesFetched
 	m.BytesEvicted += other.BytesEvicted
 	m.Bypassed += other.Bypassed
+	m.FetchFailed += other.FetchFailed
 	m.VictimCalls += other.VictimCalls
 	m.Wall += other.Wall
 }

@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"mediacache/internal/zipf"
+)
+
+// Spec is a compact textual workload description for CLI flags: the Zipf
+// mean plus an optional evolving-access-pattern schedule. The syntax is a
+// comma-separated list of terms:
+//
+//	zipf=0.27        Zipfian mean θ (at most once; default zipf.DefaultMean)
+//	200x5000         a phase: 5000 requests at identity shift g=200
+//
+// so "zipf=0.27,0x10000,200x5000" is 10,000 requests of the unshifted
+// distribution followed by 5,000 at shift 200 — the Section 4.4.1
+// protocol in one flag. An empty Schedule means the caller supplies its
+// own default phase.
+type Spec struct {
+	Theta    float64
+	Schedule Schedule
+}
+
+// ParseSpec parses the textual form. The result always passes Validate.
+func ParseSpec(s string) (Spec, error) {
+	spec := Spec{Theta: zipf.DefaultMean}
+	if strings.TrimSpace(s) == "" {
+		return Spec{}, fmt.Errorf("workload: empty spec")
+	}
+	sawTheta := false
+	for _, term := range strings.Split(s, ",") {
+		term = strings.TrimSpace(term)
+		switch {
+		case term == "":
+			return Spec{}, fmt.Errorf("workload: empty term in spec %q", s)
+		case strings.HasPrefix(term, "zipf="):
+			if sawTheta {
+				return Spec{}, fmt.Errorf("workload: duplicate zipf= term in %q", s)
+			}
+			sawTheta = true
+			v, err := strconv.ParseFloat(term[len("zipf="):], 64)
+			if err != nil {
+				return Spec{}, fmt.Errorf("workload: bad zipf mean %q: %v", term, err)
+			}
+			spec.Theta = v
+		default:
+			shift, requests, ok := strings.Cut(term, "x")
+			if !ok {
+				return Spec{}, fmt.Errorf("workload: bad term %q (want zipf=THETA or SHIFTxREQUESTS)", term)
+			}
+			g, err := strconv.Atoi(shift)
+			if err != nil {
+				return Spec{}, fmt.Errorf("workload: bad shift in %q: %v", term, err)
+			}
+			n, err := strconv.Atoi(requests)
+			if err != nil {
+				return Spec{}, fmt.Errorf("workload: bad request count in %q: %v", term, err)
+			}
+			spec.Schedule = append(spec.Schedule, Phase{Shift: g, Requests: n})
+		}
+	}
+	if err := spec.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return spec, nil
+}
+
+// Validate reports whether the spec is well formed. An empty schedule is
+// allowed (the caller defaults it); a present one must validate.
+func (sp Spec) Validate() error {
+	if !(sp.Theta >= 0 && sp.Theta <= 1) { // written to reject NaN too
+		return fmt.Errorf("workload: zipf mean %v outside [0, 1]", sp.Theta)
+	}
+	if len(sp.Schedule) > 0 {
+		return sp.Schedule.Validate()
+	}
+	return nil
+}
+
+// String renders the spec in ParseSpec's syntax; a valid spec round-trips
+// exactly.
+func (sp Spec) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "zipf=%s", strconv.FormatFloat(sp.Theta, 'g', -1, 64))
+	for _, p := range sp.Schedule {
+		fmt.Fprintf(&b, ",%dx%d", p.Shift, p.Requests)
+	}
+	return b.String()
+}

@@ -1,0 +1,103 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"mediacache/internal/zipf"
+)
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Spec
+	}{
+		{"zipf=0.5", Spec{Theta: 0.5}},
+		{"0x1000", Spec{Theta: zipf.DefaultMean, Schedule: Schedule{{Shift: 0, Requests: 1000}}}},
+		{"zipf=0.27,0x10000,200x5000", Spec{Theta: 0.27, Schedule: Schedule{
+			{Shift: 0, Requests: 10000}, {Shift: 200, Requests: 5000}}}},
+		{" zipf=1 , 3x7 ", Spec{Theta: 1, Schedule: Schedule{{Shift: 3, Requests: 7}}}},
+	}
+	for _, c := range cases {
+		got, err := ParseSpec(c.in)
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", c.in, err)
+			continue
+		}
+		if got.Theta != c.want.Theta || len(got.Schedule) != len(c.want.Schedule) {
+			t.Errorf("ParseSpec(%q) = %+v, want %+v", c.in, got, c.want)
+			continue
+		}
+		for i := range got.Schedule {
+			if got.Schedule[i] != c.want.Schedule[i] {
+				t.Errorf("ParseSpec(%q).Schedule[%d] = %+v, want %+v",
+					c.in, i, got.Schedule[i], c.want.Schedule[i])
+			}
+		}
+	}
+}
+
+func TestParseSpecRejects(t *testing.T) {
+	for _, bad := range []string{
+		"", "   ", ",", "0x1000,", "zipf=", "zipf=x", "zipf=1.5", "zipf=-0.1",
+		"zipf=0.2,zipf=0.3", "10", "x", "ax5", "5xa", "0x0", "0x-3", "junk=1",
+	} {
+		if got, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted: %+v", bad, got)
+		}
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	for _, s := range []string{
+		"zipf=0.729",
+		"zipf=0.27,0x10000,200x5000",
+		"zipf=0.5,1x2,3x4,5x6",
+	} {
+		spec, err := ParseSpec(s)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", s, err)
+		}
+		if got := spec.String(); got != s {
+			t.Errorf("ParseSpec(%q).String() = %q", s, got)
+		}
+	}
+}
+
+// FuzzParseSpec hardens the workload spec parser: it must never panic, and
+// any spec it accepts must render back into a string that reparses to the
+// identical spec.
+func FuzzParseSpec(f *testing.F) {
+	f.Add("zipf=0.27,0x10000,200x5000")
+	f.Add("0x1000")
+	f.Add("zipf=1")
+	f.Add("zipf=0.2,zipf=0.3")
+	f.Add(",,,")
+	f.Add("9999999999999999999x1")
+	f.Add(strings.Repeat("1x1,", 40) + "1x1")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		spec, err := ParseSpec(input)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("accepted spec %q fails validation: %v", input, err)
+		}
+		rendered := spec.String()
+		again, err := ParseSpec(rendered)
+		if err != nil {
+			t.Fatalf("rendering of accepted spec %q does not reparse: %q: %v",
+				input, rendered, err)
+		}
+		if again.Theta != spec.Theta || len(again.Schedule) != len(spec.Schedule) {
+			t.Fatalf("round trip changed spec: %+v vs %+v", spec, again)
+		}
+		for i := range spec.Schedule {
+			if again.Schedule[i] != spec.Schedule[i] {
+				t.Fatalf("round trip changed phase %d: %+v vs %+v",
+					i, spec.Schedule[i], again.Schedule[i])
+			}
+		}
+	})
+}
