@@ -1,7 +1,7 @@
 GO ?= go
 BENCH_DATE := $(shell date +%Y-%m-%d)
 
-.PHONY: build test vet race alloccheck check bench fuzz-smoke
+.PHONY: build test vet race alloccheck check bench benchcmp fuzz-smoke
 
 # Each fuzz target gets a short smoke budget; go test allows only one
 # -fuzz pattern per invocation, so targets run sequentially.
@@ -19,11 +19,12 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# alloccheck asserts the observability hot-path guarantee: with no observer
-# installed, core.Cache.Request allocates nothing on the request path (and
-# an attached observer adds no allocations either).
+# alloccheck asserts the allocation guarantees: with no observer installed,
+# core.Cache.Request allocates nothing on the request path (an attached
+# observer adds none either), and in an eviction-heavy steady state the
+# indexed victim-selection paths allocate nothing per Victims call.
 alloccheck:
-	$(GO) test -run 'TestRequestZeroAllocsNilObserver|TestRequestAllocsUnchangedWithObserver' -count=1 ./internal/core
+	$(GO) test -run 'TestRequestZeroAllocsNilObserver|TestRequestAllocsUnchangedWithObserver|TestVictimsZeroAllocsSteadyState' -count=1 ./internal/core
 
 # check is the tier-1 gate plus static analysis, the race detector and the
 # request-path allocation assertion. vet and test cover every package,
@@ -34,6 +35,12 @@ check: build vet test race alloccheck
 # events (one dated file per day; reruns overwrite).
 bench:
 	$(GO) test -run '^$$' -bench=. -benchmem -json . | tee BENCH_$(BENCH_DATE).json
+
+# benchcmp summarizes the newest archived run (baseline-vs-indexed speedup
+# table), or compares two archives: make benchcmp OLD=BENCH_a.json NEW=BENCH_b.json
+BENCHFILE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
+benchcmp:
+	$(GO) run ./cmd/benchcmp $(if $(OLD),$(OLD) $(NEW),$(BENCHFILE))
 
 # fuzz-smoke gives every fuzz target a short randomized shake-out beyond
 # its checked-in seed corpus. CI runs this on every push.

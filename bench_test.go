@@ -23,9 +23,14 @@ import (
 	"mediacache/internal/media"
 	"mediacache/internal/policy/blocklru"
 	"mediacache/internal/policy/dynsimple"
+	"mediacache/internal/policy/gdfreq"
+	"mediacache/internal/policy/gdsp"
 	"mediacache/internal/policy/greedydual"
 	"mediacache/internal/policy/igd"
+	"mediacache/internal/policy/lfu"
+	"mediacache/internal/policy/lruk"
 	"mediacache/internal/policy/lrusk"
+	"mediacache/internal/policy/simple"
 	"mediacache/internal/sim"
 	"mediacache/internal/workload"
 	"mediacache/internal/zipf"
@@ -291,7 +296,7 @@ func BenchmarkLRUSKSelection(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		run(b, p)
+		run(b, p.Scan()) // the Policy default is indexed now; force the scan
 	})
 	b.Run("tree", func(b *testing.B) {
 		p, err := lrusk.NewFast(repo.N(), 2)
@@ -300,6 +305,74 @@ func BenchmarkLRUSKSelection(b *testing.B) {
 		}
 		run(b, p)
 	})
+}
+
+// BenchmarkEvictionHeavy compares each refactored policy's original
+// O(n)-scan victim selection with its indexed replacement (ISSUE 4) on a
+// large synthetic repository (20,004 clips, 6 size classes) in an
+// eviction-heavy regime: a 5% cache under the standard Zipf workload, where
+// roughly half the requests miss and force victim selection. Indexed is the
+// production default; Scan() restores the original path as the baseline.
+func BenchmarkEvictionHeavy(b *testing.B) {
+	const nClips = 20004
+	repo, err := media.VariableRepository(nClips)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dist := zipf.MustNew(repo.N(), zipf.DefaultMean)
+	pmf := workload.MustNewGenerator(dist, sim.DefaultSeed).PMF()
+	run := func(b *testing.B, p core.Policy) {
+		cache, err := core.New(repo, repo.CacheSizeForRatio(0.05), p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gen := workload.MustNewGenerator(dist, sim.DefaultSeed)
+		for i := 0; i < 3000; i++ {
+			if _, err := cache.Request(gen.Next()); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cache.Request(gen.Next()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	pairs := []struct {
+		name    string
+		indexed func() core.Policy
+		scan    func() core.Policy
+	}{
+		{"greedydual",
+			func() core.Policy { return greedydual.New(nil, sim.DefaultSeed) },
+			func() core.Policy { return greedydual.New(nil, sim.DefaultSeed).Scan() }},
+		{"gdfreq",
+			func() core.Policy { return gdfreq.New(nil, sim.DefaultSeed) },
+			func() core.Policy { return gdfreq.New(nil, sim.DefaultSeed).Scan() }},
+		{"gdsp",
+			func() core.Policy { return gdsp.MustNew(nil, 0, sim.DefaultSeed) },
+			func() core.Policy { return gdsp.MustNew(nil, 0, sim.DefaultSeed).Scan() }},
+		{"lruk",
+			func() core.Policy { return lruk.MustNew(nClips, 2) },
+			func() core.Policy { return lruk.MustNew(nClips, 2).Scan() }},
+		{"lrusk",
+			func() core.Policy { return lrusk.MustNew(nClips, 2) },
+			func() core.Policy { return lrusk.MustNew(nClips, 2).Scan() }},
+		{"lfu",
+			func() core.Policy { return lfu.New() },
+			func() core.Policy { return lfu.New().Scan() }},
+		{"simple",
+			func() core.Policy { return simple.MustNew(pmf) },
+			func() core.Policy { return simple.MustNew(pmf).Scan() }},
+		{"dynsimple",
+			func() core.Policy { return dynsimple.MustNew(nClips, 2) },
+			func() core.Policy { return dynsimple.MustNew(nClips, 2).Scan() }},
+	}
+	for _, pr := range pairs {
+		b.Run(pr.name+"/scan", func(b *testing.B) { run(b, pr.scan()) })
+		b.Run(pr.name+"/indexed", func(b *testing.B) { run(b, pr.indexed()) })
+	}
 }
 
 // BenchmarkIGDSelection compares the O(n)-scan IGD with the branch-and-

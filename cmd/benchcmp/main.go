@@ -1,0 +1,219 @@
+// Command benchcmp compares archived benchmark runs.
+//
+// Usage:
+//
+//	benchcmp BENCH_OLD.json BENCH_NEW.json
+//	benchcmp BENCH.json
+//
+// Inputs are the test2json archives `make bench` writes (BENCH_<date>.json).
+// With two files, same-named benchmarks are compared old→new with their
+// ns/op, B/op and allocs/op deltas. With one file, the tool pairs each
+// benchmark ending in /scan (or /naive) with its /indexed (or /tree,
+// /inflation) sibling and reports the speedup of the indexed implementation
+// — the ISSUE 4 acceptance view of a single `make bench` run.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+)
+
+// result holds one benchmark's reported metrics by unit (ns/op, B/op, ...).
+type result map[string]float64
+
+// event is the subset of a test2json record benchcmp needs.
+type event struct {
+	Action string `json:"Action"`
+	Test   string `json:"Test"`
+	Output string `json:"Output"`
+}
+
+// parseBench extracts benchmark results from a test2json stream. Lines that
+// are not benchmark result lines are ignored, so plain `go test -bench`
+// text output works too.
+func parseBench(r io.Reader) (map[string]result, error) {
+	out := make(map[string]result)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		var test string
+		if strings.HasPrefix(line, "{") {
+			var ev event
+			if err := json.Unmarshal([]byte(line), &ev); err != nil {
+				continue
+			}
+			if ev.Action != "output" {
+				continue
+			}
+			line = strings.TrimSuffix(ev.Output, "\n")
+			test = ev.Test
+		}
+		name, res, ok := parseResultLine(line)
+		if !ok && test != "" {
+			// test2json often splits a result across events: the name
+			// arrives alone, then the metrics line with only the Test field
+			// naming the benchmark.
+			name, res, ok = parseResultLine(test + " " + strings.TrimSpace(line))
+		}
+		if !ok {
+			continue
+		}
+		out[name] = res
+	}
+	return out, sc.Err()
+}
+
+// parseResultLine parses one `BenchmarkName-P  N  V unit  V unit ...` line.
+func parseResultLine(line string) (string, result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", nil, false
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	// Strip the trailing -GOMAXPROCS marker.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	if _, err := strconv.ParseUint(fields[1], 10, 64); err != nil {
+		return "", nil, false // second field must be the iteration count
+	}
+	res := make(result)
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", nil, false
+		}
+		res[fields[i+1]] = v
+	}
+	if _, ok := res["ns/op"]; !ok {
+		return "", nil, false
+	}
+	return name, res, true
+}
+
+// baselinePairs finds (baseline, indexed) benchmark pairs inside one run.
+var pairSuffixes = []struct{ base, indexed string }{
+	{"/scan", "/indexed"},
+	{"/scan", "/tree"},
+	{"/naive", "/inflation"},
+}
+
+// writePairs renders the single-run speedup table.
+func writePairs(w io.Writer, runs map[string]result) error {
+	names := make([]string, 0, len(runs))
+	for name := range runs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "benchmark\tbaseline ns/op\tindexed ns/op\tspeedup\tB/op\tallocs/op")
+	found := false
+	for _, name := range names {
+		for _, sfx := range pairSuffixes {
+			if !strings.HasSuffix(name, sfx.base) {
+				continue
+			}
+			other := strings.TrimSuffix(name, sfx.base) + sfx.indexed
+			idx, ok := runs[other]
+			if !ok {
+				continue
+			}
+			base := runs[name]
+			found = true
+			fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%.2fx\t%s\t%s\n",
+				strings.TrimSuffix(name, sfx.base),
+				base["ns/op"], idx["ns/op"], base["ns/op"]/idx["ns/op"],
+				deltaInt(base["B/op"], idx["B/op"]),
+				deltaInt(base["allocs/op"], idx["allocs/op"]))
+		}
+	}
+	if !found {
+		return fmt.Errorf("no baseline/indexed benchmark pairs found")
+	}
+	return tw.Flush()
+}
+
+// writeCompare renders the two-run old→new table.
+func writeCompare(w io.Writer, old, new map[string]result) error {
+	names := make([]string, 0, len(old))
+	for name := range old {
+		if _, ok := new[name]; ok {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return fmt.Errorf("no common benchmarks between the two runs")
+	}
+	sort.Strings(names)
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "benchmark\told ns/op\tnew ns/op\tdelta\tB/op\tallocs/op")
+	for _, name := range names {
+		o, n := old[name], new[name]
+		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%+.1f%%\t%s\t%s\n",
+			name, o["ns/op"], n["ns/op"], 100*(n["ns/op"]-o["ns/op"])/o["ns/op"],
+			deltaInt(o["B/op"], n["B/op"]),
+			deltaInt(o["allocs/op"], n["allocs/op"]))
+	}
+	return tw.Flush()
+}
+
+// deltaInt renders an integer metric transition like "38581→110".
+func deltaInt(from, to float64) string {
+	return fmt.Sprintf("%.0f→%.0f", from, to)
+}
+
+func loadFile(path string) (map[string]result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	runs, err := parseBench(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(runs) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark results found", path)
+	}
+	return runs, nil
+}
+
+func run(args []string, w io.Writer) error {
+	switch len(args) {
+	case 1:
+		runs, err := loadFile(args[0])
+		if err != nil {
+			return err
+		}
+		return writePairs(w, runs)
+	case 2:
+		old, err := loadFile(args[0])
+		if err != nil {
+			return err
+		}
+		new, err := loadFile(args[1])
+		if err != nil {
+			return err
+		}
+		return writeCompare(w, old, new)
+	default:
+		return fmt.Errorf("usage: benchcmp BENCH.json [BENCH_NEW.json]")
+	}
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleJSON = `{"Action":"start","Package":"mediacache"}
+{"Action":"output","Package":"mediacache","Output":"goos: linux\n"}
+{"Action":"output","Package":"mediacache","Output":"BenchmarkEvictionHeavy/greedydual/scan-8 \t   12297\t     33491 ns/op\t   38581 B/op\t       3 allocs/op\n"}
+{"Action":"output","Package":"mediacache","Output":"BenchmarkEvictionHeavy/greedydual/indexed-8 \t  209145\t      2137 ns/op\t     110 B/op\t       1 allocs/op\n"}
+{"Action":"output","Package":"mediacache","Output":"BenchmarkLRUSKSelection/scan-8 \t    5000\t    240000 ns/op\t   10000 B/op\t      12 allocs/op\n"}
+{"Action":"output","Package":"mediacache","Output":"BenchmarkLRUSKSelection/tree-8 \t  500000\t      2400 ns/op\t     100 B/op\t       1 allocs/op\n"}
+{"Action":"output","Package":"mediacache","Test":"BenchmarkFigure3","Output":"BenchmarkFigure3\n"}
+{"Action":"output","Package":"mediacache","Test":"BenchmarkFigure3","Output":"       8\t 147853228 ns/op\t        48.23 GreedyDual_%\t14411174 B/op\t  179897 allocs/op\n"}
+{"Action":"output","Package":"mediacache","Output":"PASS\n"}
+`
+
+func TestParseBench(t *testing.T) {
+	runs, err := parseBench(strings.NewReader(sampleJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 5 {
+		t.Fatalf("parsed %d results, want 5: %v", len(runs), runs)
+	}
+	r, ok := runs["EvictionHeavy/greedydual/scan"]
+	if !ok {
+		t.Fatalf("scan result missing: %v", runs)
+	}
+	if r["ns/op"] != 33491 || r["B/op"] != 38581 || r["allocs/op"] != 3 {
+		t.Fatalf("scan metrics = %v", r)
+	}
+	// test2json split format: name only in the Test field.
+	split, ok := runs["Figure3"]
+	if !ok {
+		t.Fatalf("split-format result missing: %v", runs)
+	}
+	if split["ns/op"] != 147853228 || split["GreedyDual_%"] != 48.23 {
+		t.Fatalf("split metrics = %v", split)
+	}
+}
+
+func TestParsePlainTextOutput(t *testing.T) {
+	plain := "BenchmarkFoo/scan-4   100   2000 ns/op   64 B/op   2 allocs/op\n" +
+		"BenchmarkFoo/indexed-4   1000   200 ns/op   0 B/op   0 allocs/op\n"
+	runs, err := parseBench(strings.NewReader(plain))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 2 {
+		t.Fatalf("parsed %d results, want 2", len(runs))
+	}
+}
+
+func TestWritePairs(t *testing.T) {
+	runs, err := parseBench(strings.NewReader(sampleJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := writePairs(&sb, runs); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "EvictionHeavy/greedydual") {
+		t.Fatalf("pair table missing greedydual:\n%s", out)
+	}
+	if !strings.Contains(out, "15.67x") {
+		t.Fatalf("expected 15.67x speedup in:\n%s", out)
+	}
+	if !strings.Contains(out, "LRUSKSelection") || !strings.Contains(out, "100.00x") {
+		t.Fatalf("expected LRUSKSelection 100.00x in:\n%s", out)
+	}
+}
+
+func TestWriteCompare(t *testing.T) {
+	old, err := parseBench(strings.NewReader(sampleJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	improved := strings.ReplaceAll(sampleJSON, "33491 ns/op", "16745 ns/op")
+	newRuns, err := parseBench(strings.NewReader(improved))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := writeCompare(&sb, old, newRuns); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "-50.0%") {
+		t.Fatalf("expected -50.0%% delta in:\n%s", out)
+	}
+}
+
+func TestNoPairsErrors(t *testing.T) {
+	runs := map[string]result{"Solo": {"ns/op": 1}}
+	if err := writePairs(&strings.Builder{}, runs); err == nil {
+		t.Fatal("want error when no pairs exist")
+	}
+	if err := writeCompare(&strings.Builder{}, runs, map[string]result{"Other": {"ns/op": 1}}); err == nil {
+		t.Fatal("want error when no common benchmarks exist")
+	}
+}

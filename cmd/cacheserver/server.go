@@ -267,6 +267,8 @@ type statsResponse struct {
 	ByteHitRate     float64 `json:"byteHitRate"`
 	Evictions       uint64  `json:"evictions"`
 	BytesFetched    int64   `json:"bytesFetched"`
+	BytesFailed     int64   `json:"bytesFailed"`
+	DegradedMisses  uint64  `json:"degradedMisses"`
 	ResidentClips   int     `json:"residentClips"`
 	UsedBytes       int64   `json:"usedBytes"`
 	CapacityBytes   int64   `json:"capacityBytes"`
@@ -288,6 +290,8 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		ByteHitRate:    st.ByteHitRate(),
 		Evictions:      st.Evictions,
 		BytesFetched:   int64(st.BytesFetched),
+		BytesFailed:    int64(st.BytesFailed),
+		DegradedMisses: st.FetchFailed,
 		ResidentClips:  s.cache.NumResident(),
 		UsedBytes:      int64(s.cache.UsedBytes()),
 		CapacityBytes:  int64(s.cache.Capacity()),

@@ -1,0 +1,85 @@
+package core_test
+
+// alloc_steady_test.go gates the ISSUE 4 tentpole's allocation guarantee: in
+// steady state (cache warm, evictions ongoing) the indexed victim-selection
+// paths must not allocate per Victims call. The policies measured here are
+// the walk-only selectors whose Victims has no side effects beyond reusable
+// buffers; the pop-based selectors (LRU-SK, DYNSimple) mutate their indexes
+// per call and are covered by the differential and property suites instead.
+// `make alloccheck` runs this file alongside the request-path gates.
+
+import (
+	"testing"
+
+	"mediacache/internal/core"
+	"mediacache/internal/media"
+	"mediacache/internal/policy/gdfreq"
+	"mediacache/internal/policy/gdsp"
+	"mediacache/internal/policy/greedydual"
+	"mediacache/internal/policy/lfu"
+	"mediacache/internal/policy/lruk"
+	"mediacache/internal/policy/random"
+	"mediacache/internal/policy/simple"
+	"mediacache/internal/vtime"
+	"mediacache/internal/workload"
+	"mediacache/internal/zipf"
+)
+
+// steadyVictimsAllocs warms a cache into an eviction-heavy steady state and
+// measures the allocations of direct Victims calls against the live resident
+// view.
+func steadyVictimsAllocs(t *testing.T, policy core.Policy) float64 {
+	t.Helper()
+	repo := media.PaperRepository()
+	cache, err := core.New(repo, repo.CacheSizeForRatio(0.05), policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := workload.MustNewGenerator(zipf.MustNew(repo.N(), zipf.DefaultMean), 21)
+	for i := 0; i < 5000; i++ {
+		if _, err := cache.Request(gen.Next()); err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	if cache.Stats().Evictions == 0 {
+		t.Fatal("steady-state drive produced no evictions; measurement vacuous")
+	}
+	// An incoming clip the policy must make room for. Asking for a few
+	// clips' worth of space exercises the multi-victim walk.
+	incoming := repo.Clip(1)
+	need := incoming.Size * 3
+	now := vtime.Time(1 << 20)
+	return testing.AllocsPerRun(200, func() {
+		if victims := policy.Victims(incoming, cache, need, now); len(victims) == 0 {
+			t.Fatal("no victims from a full cache")
+		}
+	})
+}
+
+// TestVictimsZeroAllocsSteadyState is the acceptance gate for the indexed
+// eviction core: GreedyDual and LRU-K (and the other walk-only selectors)
+// must select victims with zero allocations per call once warm.
+func TestVictimsZeroAllocsSteadyState(t *testing.T) {
+	uniform := make([]float64, media.PaperRepository().N())
+	for i := range uniform {
+		uniform[i] = 1 / float64(len(uniform))
+	}
+	policies := []core.Policy{
+		greedydual.New(greedydual.UniformCost, 42),
+		gdfreq.New(nil, 42),
+		gdsp.MustNew(nil, 0, 42),
+		lruk.MustNew(media.PaperRepository().N(), 2),
+		lfu.New(),
+		lfu.NewDA(),
+		simple.MustNew(uniform),
+		random.New(42),
+	}
+	for _, p := range policies {
+		p := p
+		t.Run(p.Name(), func(t *testing.T) {
+			if avg := steadyVictimsAllocs(t, p); avg != 0 {
+				t.Errorf("steady-state Victims allocs/op = %v, want 0", avg)
+			}
+		})
+	}
+}

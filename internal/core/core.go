@@ -22,9 +22,9 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"mediacache/internal/media"
+	"mediacache/internal/rbtree"
 	"mediacache/internal/vtime"
 )
 
@@ -47,6 +47,11 @@ const (
 	// MissDegraded means the fetch hook (WithFetch) failed: the remote
 	// repository could not deliver the clip, so nothing was materialized.
 	MissDegraded
+	// MissError means the engine could not service the miss because the
+	// policy misbehaved during victim selection (ErrBadVictim or
+	// ErrPolicyNoVictim). The clip was fetched but not materialized and the
+	// resident set is untouched; the accompanying error describes the fault.
+	MissError
 )
 
 // IsHit reports whether the outcome was a cache hit.
@@ -65,6 +70,8 @@ func (o Outcome) String() string {
 		return "miss-too-large"
 	case MissDegraded:
 		return "miss-degraded"
+	case MissError:
+		return "miss-error"
 	default:
 		return fmt.Sprintf("Outcome(%d)", uint8(o))
 	}
@@ -75,8 +82,15 @@ func (o Outcome) String() string {
 type ResidentView interface {
 	// Resident reports whether clip id is cached.
 	Resident(id media.ClipID) bool
-	// ResidentClips returns the cached clips ordered by ascending ID.
+	// ResidentClips returns the cached clips ordered by ascending ID. It
+	// allocates a fresh slice per call; hot paths should prefer
+	// ForEachResident.
 	ResidentClips() []media.Clip
+	// ForEachResident visits the cached clips in ascending ID order until
+	// fn returns false. Unlike ResidentClips it allocates nothing: the
+	// engine maintains the resident set in an incrementally updated ordered
+	// index, so iteration is a tree walk, not a per-call sort.
+	ForEachResident(fn func(media.Clip) bool)
 	// NumResident returns the number of cached clips.
 	NumResident() int
 	// FreeBytes returns the unused cache capacity.
@@ -130,10 +144,11 @@ type Stats struct {
 	Hits            uint64      // references serviced from cache
 	BytesReferenced media.Bytes // Σ size of referenced clips
 	BytesHit        media.Bytes // Σ size of clips serviced from cache
-	BytesFetched    media.Bytes // network traffic: Σ size of missed clips
+	BytesFetched    media.Bytes // network traffic: Σ size of clips actually delivered on misses
+	BytesFailed     media.Bytes // Σ size of clips whose remote fetch failed (nothing was delivered)
 	Evictions       uint64      // number of clips swapped out
 	BytesEvicted    media.Bytes // Σ size of evicted clips
-	Bypassed        uint64      // misses not cached (admission declined or too large)
+	Bypassed        uint64      // misses not cached (admission declined, too large, or engine error)
 	FetchFailed     uint64      // misses whose fetch hook failed (degraded service)
 	VictimCalls     uint64      // Policy.Victims invocations, incl. re-invocations for short selections
 }
@@ -174,10 +189,22 @@ type Cache struct {
 	initClock vtime.Time
 
 	resident map[media.ClipID]struct{}
-	used     media.Bytes
-	clock    vtime.Time
-	stats    Stats
+	// byID is the incrementally maintained resident index: the same set as
+	// resident, ordered by ascending clip ID. It replaces the per-call
+	// allocate-and-sort that ResidentClips used to perform, giving policies
+	// an allocation-free iteration seam (ForEachResident) and O(log n)
+	// insert/evict maintenance instead of O(n log n) per Victims call.
+	byID *rbtree.Tree[media.ClipID, media.Clip]
+	// victimScratch is the reusable duplicate-detection set makeRoom uses to
+	// validate a victim batch before mutating residency.
+	victimScratch map[media.ClipID]struct{}
+	used          media.Bytes
+	clock         vtime.Time
+	stats         Stats
 }
+
+// lessClipID orders the resident index by ascending clip ID.
+func lessClipID(a, b media.ClipID) bool { return a < b }
 
 // Option configures optional engine behaviour at construction; see
 // WithAdmission and WithClock.
@@ -270,6 +297,7 @@ func New(repo *media.Repository, capacity media.Bytes, policy Policy, opts ...Op
 		capacity: capacity,
 		policy:   policy,
 		resident: make(map[media.ClipID]struct{}),
+		byID:     rbtree.New[media.ClipID, media.Clip](lessClipID),
 	}
 	for _, opt := range opts {
 		if err := opt(c); err != nil {
@@ -315,22 +343,32 @@ func (c *Cache) Resident(id media.ClipID) bool {
 
 // ResidentIDs returns the cached clip ids in ascending order.
 func (c *Cache) ResidentIDs() []media.ClipID {
-	ids := make([]media.ClipID, 0, len(c.resident))
-	for id := range c.resident {
+	ids := make([]media.ClipID, 0, c.byID.Len())
+	c.byID.Ascend(func(id media.ClipID, _ media.Clip) bool {
 		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		return true
+	})
 	return ids
 }
 
-// ResidentClips returns the cached clips ordered by ascending ID.
+// ResidentClips returns the cached clips ordered by ascending ID. The slice
+// is freshly allocated; victim-selection hot paths should iterate with
+// ForEachResident instead.
 func (c *Cache) ResidentClips() []media.Clip {
-	ids := c.ResidentIDs()
-	clips := make([]media.Clip, len(ids))
-	for i, id := range ids {
-		clips[i] = c.repo.Clip(id)
-	}
+	clips := make([]media.Clip, 0, c.byID.Len())
+	c.byID.Ascend(func(_ media.ClipID, clip media.Clip) bool {
+		clips = append(clips, clip)
+		return true
+	})
 	return clips
+}
+
+// ForEachResident visits the cached clips in ascending ID order until fn
+// returns false, without allocating.
+func (c *Cache) ForEachResident(fn func(media.Clip) bool) {
+	c.byID.Ascend(func(_ media.ClipID, clip media.Clip) bool {
+		return fn(clip)
+	})
 }
 
 var _ ResidentView = (*Cache)(nil)
@@ -357,19 +395,26 @@ func (c *Cache) Request(id media.ClipID) (Outcome, error) {
 		c.emit(EventHit, clip, now)
 		return Hit, nil
 	}
-	c.stats.BytesFetched += clip.Size
 
+	// Fetched bytes are network traffic for clips actually delivered: a
+	// bypassed or too-large miss still streams the clip to the client, but a
+	// failed fetch delivers nothing and must not count (it accrues to
+	// BytesFailed instead). The invariant is
+	// BytesHit + BytesFetched + BytesFailed == BytesReferenced.
 	if clip.Size > c.capacity {
+		c.stats.BytesFetched += clip.Size
 		c.stats.Bypassed++
 		c.emit(EventBypass, clip, now)
 		return MissTooLarge, nil
 	}
 	if c.admit != nil && !c.admit(clip, now) {
+		c.stats.BytesFetched += clip.Size
 		c.stats.Bypassed++
 		c.emit(EventBypass, clip, now)
 		return MissBypassed, nil
 	}
 	if !c.policy.Admit(clip, now) {
+		c.stats.BytesFetched += clip.Size
 		c.stats.Bypassed++
 		c.emit(EventBypass, clip, now)
 		return MissBypassed, nil
@@ -377,21 +422,35 @@ func (c *Cache) Request(id media.ClipID) (Outcome, error) {
 	if c.fetch != nil {
 		if err := c.fetch(clip, now); err != nil {
 			c.stats.FetchFailed++
+			c.stats.BytesFailed += clip.Size
 			c.emit(EventFetchFail, clip, now)
 			return MissDegraded, nil
 		}
 	}
+	c.stats.BytesFetched += clip.Size
 	if err := c.makeRoom(clip, now); err != nil {
-		return MissBypassed, err
+		// makeRoom validates each victim batch before touching residency,
+		// so the resident set is exactly as it was before this request
+		// (minus any earlier, fully valid batches). The clip was fetched but
+		// cannot be materialized; account it as a bypassed miss so
+		// Requests == Hits + MissCached + Bypassed + FetchFailed holds even
+		// when a policy misbehaves.
+		c.stats.Bypassed++
+		c.emit(EventBypass, clip, now)
+		return MissError, err
 	}
 	c.resident[id] = struct{}{}
+	c.byID.Put(id, clip)
 	c.used += clip.Size
 	c.policy.OnInsert(clip, now)
 	c.emit(EventMiss, clip, now)
 	return MissCached, nil
 }
 
-// makeRoom evicts policy-selected victims until clip fits.
+// makeRoom evicts policy-selected victims until clip fits. Each victim
+// batch is validated in full — every id resident, no duplicates — before
+// any eviction is applied, so a misbehaving policy can never leave a
+// partially evicted cache behind.
 func (c *Cache) makeRoom(clip media.Clip, now vtime.Time) error {
 	for c.capacity-c.used < clip.Size {
 		need := clip.Size - (c.capacity - c.used)
@@ -400,17 +459,24 @@ func (c *Cache) makeRoom(clip media.Clip, now vtime.Time) error {
 		if len(victims) == 0 {
 			return fmt.Errorf("%w: need %v, free %v", ErrPolicyNoVictim, need, c.FreeBytes())
 		}
-		seen := make(map[media.ClipID]struct{}, len(victims))
+		if c.victimScratch == nil {
+			c.victimScratch = make(map[media.ClipID]struct{}, len(victims))
+		} else {
+			clear(c.victimScratch)
+		}
 		for _, vid := range victims {
-			if _, dup := seen[vid]; dup {
+			if _, dup := c.victimScratch[vid]; dup {
 				return fmt.Errorf("%w: duplicate id %d", ErrBadVictim, vid)
 			}
-			seen[vid] = struct{}{}
+			c.victimScratch[vid] = struct{}{}
 			if _, ok := c.resident[vid]; !ok {
 				return fmt.Errorf("%w: id %d", ErrBadVictim, vid)
 			}
+		}
+		for _, vid := range victims {
 			victim := c.repo.Clip(vid)
 			delete(c.resident, vid)
+			c.byID.Delete(vid)
 			c.used -= victim.Size
 			c.stats.Evictions++
 			c.stats.BytesEvicted += victim.Size
@@ -431,6 +497,7 @@ func (c *Cache) Warm(ids []media.ClipID) {
 			continue
 		}
 		c.resident[id] = struct{}{}
+		c.byID.Put(id, clip)
 		c.used += clip.Size
 		c.policy.OnInsert(clip, c.clock)
 	}
@@ -440,6 +507,7 @@ func (c *Cache) Warm(ids []media.ClipID) {
 // clock to its initial value (zero unless WithClock set one).
 func (c *Cache) Reset() {
 	c.resident = make(map[media.ClipID]struct{})
+	c.byID = rbtree.New[media.ClipID, media.Clip](lessClipID)
 	c.used = 0
 	c.clock = c.initClock
 	c.stats = Stats{}
@@ -453,12 +521,14 @@ func (c *Cache) Reset() {
 func (c *Cache) TheoreticalHitRate(pmf []float64) float64 {
 	// Sum in ascending clip-ID order: float addition is not associative,
 	// and iterating the resident map directly would make the result vary
-	// run to run with Go's randomized map order.
+	// run to run with Go's randomized map order. The ordered index gives
+	// that order without allocating.
 	var sum float64
-	for _, id := range c.ResidentIDs() {
+	c.byID.Ascend(func(id media.ClipID, _ media.Clip) bool {
 		if i := int(id) - 1; i >= 0 && i < len(pmf) {
 			sum += pmf[i]
 		}
-	}
+		return true
+	})
 	return sum
 }

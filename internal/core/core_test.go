@@ -429,3 +429,61 @@ func TestCacheInvariantsProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestMisbehavingPolicyAccounting pins the ISSUE 4 miss-error contract: when
+// a policy returns an invalid victim batch, the whole batch is rejected
+// before any eviction is applied, the outcome is MissError, and the request
+// is counted in Bypassed so the outcome identity
+// Requests == Hits + MissCached + Bypassed + FetchFailed still holds.
+func TestMisbehavingPolicyAccounting(t *testing.T) {
+	// The batch mixes one perfectly valid victim (resident clip 1) with a
+	// non-resident id; partial application would evict clip 1.
+	p := &badPolicy{victims: func() []media.ClipID { return []media.ClipID{1, 3} }}
+	obs := &recordingObserver{}
+	c, err := New(smallRepo(t), 50, p, WithObserver(obs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustRequest(t, c, 1)
+	mustRequest(t, c, 2)
+	usedBefore := c.UsedBytes()
+
+	out, err := c.Request(4) // size 40 needs room; the policy misbehaves
+	if !errors.Is(err, ErrBadVictim) {
+		t.Fatalf("want ErrBadVictim, got %v", err)
+	}
+	if out != MissError {
+		t.Fatalf("outcome = %v, want MissError", out)
+	}
+	if !c.Resident(1) || !c.Resident(2) || c.Resident(4) {
+		t.Fatalf("partial eviction: resident = %v", c.ResidentIDs())
+	}
+	if c.UsedBytes() != usedBefore {
+		t.Fatalf("used changed: %v -> %v", usedBefore, c.UsedBytes())
+	}
+
+	s := c.Stats()
+	if s.Evictions != 0 || s.BytesEvicted != 0 {
+		t.Fatalf("evictions leaked: %+v", s)
+	}
+	if s.Bypassed != 1 {
+		t.Fatalf("Bypassed = %d, want 1", s.Bypassed)
+	}
+	missCached := uint64(2) // clips 1 and 2
+	if s.Requests != s.Hits+missCached+s.Bypassed+s.FetchFailed {
+		t.Fatalf("outcome identity broken: %+v", s)
+	}
+	// The clip was fetched (and streamed) before materialization failed.
+	if s.BytesHit+s.BytesFetched+s.BytesFailed != s.BytesReferenced {
+		t.Fatalf("byte identity broken: %+v", s)
+	}
+	for _, ev := range obs.events {
+		if ev.Type == EventEviction {
+			t.Fatal("eviction event emitted for rejected batch")
+		}
+	}
+	last := obs.events[len(obs.events)-1]
+	if last.Type != EventBypass || last.Clip.ID != 4 {
+		t.Fatalf("last event = %+v, want bypass of clip 4", last)
+	}
+}

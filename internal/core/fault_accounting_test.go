@@ -1,0 +1,89 @@
+package core_test
+
+// fault_accounting_test.go pins the ISSUE 4 miss-path accounting fix under a
+// realistic fault profile: bytes are counted as fetched ONLY when the remote
+// fetch actually delivered them. Before the fix the engine credited
+// BytesFetched on the way into the fetch hook, so every failed fetch
+// inflated network-traffic numbers by a full clip.
+
+import (
+	"fmt"
+	"testing"
+
+	"mediacache/internal/core"
+	"mediacache/internal/fault"
+	"mediacache/internal/media"
+	_ "mediacache/internal/policy/all"
+	"mediacache/internal/policy/registry"
+	"mediacache/internal/vtime"
+	"mediacache/internal/workload"
+	"mediacache/internal/zipf"
+)
+
+// TestBytesFetchedExcludesFailedFetches drives an LRU cache through a Zipf
+// trace against a 20% error-rate fault profile and cross-checks every byte
+// counter against an independent tally kept by the fetch hook itself.
+func TestBytesFetchedExcludesFailedFetches(t *testing.T) {
+	repo := media.PaperRepository()
+	pmf := make([]float64, repo.N())
+	for i := range pmf {
+		pmf[i] = 1 / float64(repo.N())
+	}
+	policy, err := registry.Build("lru", repo, pmf, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inj := fault.New(fault.Profile{ErrorRate: 0.2}, 7)
+	var deliveredBytes, failedBytes media.Bytes
+	var failures uint64
+	cache, err := core.New(repo, repo.CacheSizeForRatio(0.05), policy,
+		core.WithFetch(func(clip media.Clip, _ vtime.Time) error {
+			if f := inj.Next(); f.Failed() {
+				failedBytes += clip.Size
+				failures++
+				return fmt.Errorf("injected %s fault fetching clip %d", f.Kind, clip.ID)
+			}
+			deliveredBytes += clip.Size
+			return nil
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gen := workload.MustNewGenerator(zipf.MustNew(repo.N(), zipf.DefaultMean), 7)
+	var cached uint64
+	for i := 0; i < 2000; i++ {
+		out, err := cache.Request(gen.Next())
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if out == core.MissCached {
+			cached++
+		}
+	}
+
+	s := cache.Stats()
+	if failures == 0 {
+		t.Fatal("20% error rate over 2000 requests injected no faults; test vacuous")
+	}
+	if s.FetchFailed != failures {
+		t.Fatalf("FetchFailed = %d, hook saw %d failures", s.FetchFailed, failures)
+	}
+	if s.BytesFailed != failedBytes {
+		t.Fatalf("BytesFailed = %v, hook saw %v fail", s.BytesFailed, failedBytes)
+	}
+	// The regression: failed fetches deliver nothing, so fetched bytes must
+	// equal exactly what the hook delivered (no bypass paths run here — every
+	// clip fits and LRU admits everything).
+	if s.BytesFetched != deliveredBytes {
+		t.Fatalf("BytesFetched = %v, hook delivered %v (failed fetches miscounted?)",
+			s.BytesFetched, deliveredBytes)
+	}
+	if s.BytesHit+s.BytesFetched+s.BytesFailed != s.BytesReferenced {
+		t.Fatalf("byte identity broken: %+v", s)
+	}
+	if s.Hits+cached+s.Bypassed+s.FetchFailed != s.Requests {
+		t.Fatalf("outcome identity broken: %+v", s)
+	}
+}

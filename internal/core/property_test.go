@@ -86,9 +86,9 @@ func checkInvariants(t *testing.T, c *core.Cache, obs *orderObserver) {
 		t.Fatalf("NumResident %d != len(ResidentIDs) %d", got, want)
 	}
 	s := c.Stats()
-	if s.BytesHit+s.BytesFetched != s.BytesReferenced {
-		t.Fatalf("byte accounting: hit %v + fetched %v != referenced %v",
-			s.BytesHit, s.BytesFetched, s.BytesReferenced)
+	if s.BytesHit+s.BytesFetched+s.BytesFailed != s.BytesReferenced {
+		t.Fatalf("byte accounting: hit %v + fetched %v + failed %v != referenced %v",
+			s.BytesHit, s.BytesFetched, s.BytesFailed, s.BytesReferenced)
 	}
 	if s.Hits > s.Requests {
 		t.Fatalf("hits %d exceed requests %d", s.Hits, s.Requests)
@@ -107,9 +107,11 @@ func checkInvariants(t *testing.T, c *core.Cache, obs *orderObserver) {
 
 // driveRandom issues requests skewed toward a small hot set (so hits,
 // misses and evictions all occur) and checks every invariant after each.
-func driveRandom(t *testing.T, c *core.Cache, obs *orderObserver, src *randutil.Source, requests int) {
+// The returned tally maps each observed Outcome to its occurrence count.
+func driveRandom(t *testing.T, c *core.Cache, obs *orderObserver, src *randutil.Source, requests int) map[core.Outcome]uint64 {
 	t.Helper()
 	n := c.Repository().N()
+	outcomes := make(map[core.Outcome]uint64)
 	for i := 0; i < requests; i++ {
 		id := media.ClipID(1 + src.Intn(n))
 		if src.Float64() < 0.5 {
@@ -120,6 +122,7 @@ func driveRandom(t *testing.T, c *core.Cache, obs *orderObserver, src *randutil.
 		if err != nil {
 			t.Fatalf("request %d (clip %d): %v", i, id, err)
 		}
+		outcomes[out]++
 		if resident != out.IsHit() {
 			t.Fatalf("request %d: clip %d resident=%v but outcome %v", i, id, resident, out)
 		}
@@ -130,9 +133,37 @@ func driveRandom(t *testing.T, c *core.Cache, obs *orderObserver, src *randutil.
 			t.Fatalf("request %d: %v outcome but clip %d was materialized", i, out, id)
 		}
 		checkInvariants(t, c, obs)
+		checkOutcomeIdentity(t, c, outcomes)
 	}
 	if got := c.Stats().Requests; got != uint64(requests) {
 		t.Fatalf("stats report %d requests, drove %d", got, requests)
+	}
+	return outcomes
+}
+
+// checkOutcomeIdentity cross-checks the stats counters against externally
+// tallied outcomes and asserts the accounting identity
+//
+//	Requests == Hits + MissCached + Bypassed + FetchFailed
+//
+// where bypassed covers MissBypassed, MissTooLarge and MissError (ISSUE 4:
+// the engine's error paths must keep the identity closed).
+func checkOutcomeIdentity(t *testing.T, c *core.Cache, outcomes map[core.Outcome]uint64) {
+	t.Helper()
+	s := c.Stats()
+	if got := outcomes[core.Hit]; got != s.Hits {
+		t.Fatalf("outcome tally: %d hits observed, stats report %d", got, s.Hits)
+	}
+	bypassed := outcomes[core.MissBypassed] + outcomes[core.MissTooLarge] + outcomes[core.MissError]
+	if bypassed != s.Bypassed {
+		t.Fatalf("outcome tally: %d bypass-class outcomes observed, stats report %d", bypassed, s.Bypassed)
+	}
+	if got := outcomes[core.MissDegraded]; got != s.FetchFailed {
+		t.Fatalf("outcome tally: %d degraded outcomes observed, stats report %d", got, s.FetchFailed)
+	}
+	if s.Hits+outcomes[core.MissCached]+s.Bypassed+s.FetchFailed != s.Requests {
+		t.Fatalf("outcome identity broken: hits %d + cached %d + bypassed %d + fetchFailed %d != requests %d",
+			s.Hits, outcomes[core.MissCached], s.Bypassed, s.FetchFailed, s.Requests)
 	}
 }
 

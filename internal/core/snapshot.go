@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"mediacache/internal/media"
+	"mediacache/internal/rbtree"
 	"mediacache/internal/vtime"
 )
 
@@ -63,6 +64,7 @@ func (c *Cache) Restore(s Snapshot) error {
 		return fmt.Errorf("core: snapshot clock %d is negative", s.Clock)
 	}
 	c.resident = make(map[media.ClipID]struct{}, len(s.ResidentIDs))
+	c.byID = rbtree.New[media.ClipID, media.Clip](lessClipID)
 	c.used = 0
 	c.clock = s.Clock
 	c.stats = s.Stats
@@ -70,6 +72,7 @@ func (c *Cache) Restore(s Snapshot) error {
 	for _, id := range s.ResidentIDs {
 		clip := c.repo.Clip(id)
 		c.resident[id] = struct{}{}
+		c.byID.Put(id, clip)
 		c.used += clip.Size
 		c.policy.OnInsert(clip, c.clock)
 		c.emit(EventRestore, clip, c.clock)

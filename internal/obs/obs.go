@@ -25,6 +25,7 @@ const (
 	metricRestores      = "mediacache_cache_restores_total"
 	metricFetchFailed   = "mediacache_cache_fetch_failures_total"
 	metricBytesFetched  = "mediacache_cache_bytes_fetched_total"
+	metricBytesFailed   = "mediacache_cache_bytes_failed_total"
 	metricBytesEvicted  = "mediacache_cache_bytes_evicted_total"
 	metricVictimCalls   = "mediacache_cache_victim_calls_total"
 	metricEvictionBatch = "mediacache_cache_eviction_batch_size"
@@ -43,6 +44,7 @@ type CacheMetrics struct {
 	Restores     *metrics.Counter
 	FetchFailed  *metrics.Counter
 	BytesFetched *metrics.Counter
+	BytesFailed  *metrics.Counter
 	BytesEvicted *metrics.Counter
 	VictimCalls  *metrics.Counter
 	// EvictionBatch observes the number of victims evicted per cacheable
@@ -63,6 +65,7 @@ func NewCacheMetrics(reg *metrics.Registry) *CacheMetrics {
 		Restores:      reg.Counter(metricRestores, "Clips made resident by snapshot restore."),
 		FetchFailed:   reg.Counter(metricFetchFailed, "Cacheable misses whose remote fetch failed (degraded service)."),
 		BytesFetched:  reg.Counter(metricBytesFetched, "Network traffic: bytes fetched on misses."),
+		BytesFailed:   reg.Counter(metricBytesFailed, "Bytes of clips whose remote fetch failed (delivered nothing)."),
 		BytesEvicted:  reg.Counter(metricBytesEvicted, "Bytes freed by eviction."),
 		VictimCalls:   reg.Counter(metricVictimCalls, "Policy.Victims invocations (batch sweeps only; the live path counts via evictions)."),
 		EvictionBatch: reg.Histogram(metricEvictionBatch, "Victims evicted per cacheable miss.", metrics.SizeBuckets),
@@ -96,7 +99,9 @@ func (m *CacheMetrics) Observe(ev core.Event) {
 	case core.EventFetchFail:
 		m.Misses.Inc()
 		m.FetchFailed.Inc()
-		m.BytesFetched.Add(uint64(ev.Clip.Size))
+		// No BytesFetched: a failed fetch delivered nothing, so it is not
+		// network traffic (mirrors core.Stats.BytesFailed accounting).
+		m.BytesFailed.Add(uint64(ev.Clip.Size))
 	}
 }
 
@@ -111,6 +116,7 @@ func (m *CacheMetrics) AddSweep(t sim.Metrics) {
 	m.Bypasses.Add(t.Bypassed)
 	m.FetchFailed.Add(t.FetchFailed)
 	m.BytesFetched.Add(uint64(t.BytesFetched))
+	m.BytesFailed.Add(uint64(t.BytesFailed))
 	m.BytesEvicted.Add(uint64(t.BytesEvicted))
 	m.VictimCalls.Add(t.VictimCalls)
 }

@@ -1,0 +1,168 @@
+package conformance
+
+import (
+	"testing"
+
+	"mediacache/internal/core"
+	"mediacache/internal/media"
+	"mediacache/internal/policy/dynsimple"
+	"mediacache/internal/policy/gdfreq"
+	"mediacache/internal/policy/gdsp"
+	"mediacache/internal/policy/greedydual"
+	"mediacache/internal/policy/lfu"
+	"mediacache/internal/policy/lruk"
+	"mediacache/internal/policy/lrusk"
+	"mediacache/internal/policy/simple"
+	"mediacache/internal/workload"
+	"mediacache/internal/zipf"
+)
+
+// evictionLog records the exact victim ID sequence an engine produces.
+type evictionLog struct {
+	ids []media.ClipID
+}
+
+func (l *evictionLog) Observe(ev core.Event) {
+	if ev.Type == core.EventEviction {
+		l.ids = append(l.ids, ev.Clip.ID)
+	}
+}
+
+// syntheticFreq builds the frequency vector Simple's off-line variant needs.
+func syntheticFreq(n int) []float64 {
+	freq := make([]float64, n)
+	for i := range freq {
+		freq[i] = 1.0 / float64(i+1)
+	}
+	return freq
+}
+
+// diffPair builds an indexed instance and its scan-mode twin.
+type diffPair struct {
+	name    string
+	indexed func(n int) core.Policy
+	scan    func(n int) core.Policy
+}
+
+func diffPairs() []diffPair {
+	return []diffPair{
+		{"greedydual",
+			func(n int) core.Policy { return greedydual.New(greedydual.UniformCost, 42) },
+			func(n int) core.Policy { return greedydual.New(greedydual.UniformCost, 42).Scan() }},
+		{"greedydual-sizecost",
+			func(n int) core.Policy { return greedydual.New(greedydual.SizeCost, 42) },
+			func(n int) core.Policy { return greedydual.New(greedydual.SizeCost, 42).Scan() }},
+		{"gdfreq",
+			func(n int) core.Policy { return gdfreq.New(nil, 42) },
+			func(n int) core.Policy { return gdfreq.New(nil, 42).Scan() }},
+		{"gdsp",
+			func(n int) core.Policy { return gdsp.MustNew(nil, 0, 42) },
+			func(n int) core.Policy { return gdsp.MustNew(nil, 0, 42).Scan() }},
+		{"lruk",
+			func(n int) core.Policy { return lruk.MustNew(n, 2) },
+			func(n int) core.Policy { return lruk.MustNew(n, 2).Scan() }},
+		{"lruk-k1",
+			func(n int) core.Policy { return lruk.MustNew(n, 1) },
+			func(n int) core.Policy { return lruk.MustNew(n, 1).Scan() }},
+		{"lrusk",
+			func(n int) core.Policy { return lrusk.MustNew(n, 2) },
+			func(n int) core.Policy { return lrusk.MustNew(n, 2).Scan() }},
+		{"lfu",
+			func(n int) core.Policy { return lfu.New() },
+			func(n int) core.Policy { return lfu.New().Scan() }},
+		{"lfu-da",
+			func(n int) core.Policy { return lfu.NewDA() },
+			func(n int) core.Policy { return lfu.NewDA().Scan() }},
+		{"simple",
+			func(n int) core.Policy { return simple.MustNew(syntheticFreq(n)) },
+			func(n int) core.Policy { return simple.MustNew(syntheticFreq(n)).Scan() }},
+		{"dynsimple",
+			func(n int) core.Policy { return dynsimple.MustNew(n, 2) },
+			func(n int) core.Policy { return dynsimple.MustNew(n, 2).Scan() }},
+		{"dynsimple-no-refine",
+			func(n int) core.Policy { return dynsimple.MustNew(n, 2, dynsimple.WithoutRefinement()) },
+			func(n int) core.Policy { return dynsimple.MustNew(n, 2, dynsimple.WithoutRefinement()).Scan() }},
+	}
+}
+
+// runDifferential drives the indexed policy and its scan twin through one
+// identical trace and requires identical outcome sequences, identical victim
+// ID sequences (in eviction order), and identical final resident sets.
+func runDifferential(t *testing.T, pair diffPair, ratio float64, seed uint64, requests int, warm []media.ClipID) {
+	t.Helper()
+	repo := media.PaperRepository()
+	logIdx, logScan := &evictionLog{}, &evictionLog{}
+	cIdx, err := core.New(repo, repo.CacheSizeForRatio(ratio), pair.indexed(repo.N()), core.WithObserver(logIdx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cScan, err := core.New(repo, repo.CacheSizeForRatio(ratio), pair.scan(repo.N()), core.WithObserver(logScan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warm) > 0 {
+		cIdx.Warm(warm)
+		cScan.Warm(warm)
+	}
+	gen := workload.MustNewGenerator(zipf.MustNew(repo.N(), zipf.DefaultMean), seed)
+	for i := 0; i < requests; i++ {
+		id := gen.Next()
+		a, errA := cIdx.Request(id)
+		b, errB := cScan.Request(id)
+		if errA != nil || errB != nil {
+			t.Fatalf("request %d (clip %d): indexed err=%v scan err=%v", i, id, errA, errB)
+		}
+		if a != b {
+			t.Fatalf("request %d (clip %d): outcome diverged indexed=%v scan=%v", i, id, a, b)
+		}
+	}
+	if len(logIdx.ids) != len(logScan.ids) {
+		t.Fatalf("victim counts diverge: indexed=%d scan=%d", len(logIdx.ids), len(logScan.ids))
+	}
+	for i := range logIdx.ids {
+		if logIdx.ids[i] != logScan.ids[i] {
+			t.Fatalf("victim %d diverged: indexed=%d scan=%d", i, logIdx.ids[i], logScan.ids[i])
+		}
+	}
+	ra, rb := cIdx.ResidentIDs(), cScan.ResidentIDs()
+	if len(ra) != len(rb) {
+		t.Fatalf("resident counts diverge: indexed=%d scan=%d", len(ra), len(rb))
+	}
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Fatal("resident sets diverge")
+		}
+	}
+	if logIdx.ids == nil {
+		t.Fatal("trace produced no evictions; differential check vacuous")
+	}
+}
+
+// TestIndexedMatchesScan is the correctness proof for the indexed victim
+// structures: on randomized Zipf traces every indexed policy must produce the
+// byte-identical victim ID sequence its original O(n) scan produced.
+func TestIndexedMatchesScan(t *testing.T) {
+	for _, pair := range diffPairs() {
+		pair := pair
+		t.Run(pair.name, func(t *testing.T) {
+			for _, ratio := range []float64{0.05, 0.0125} {
+				for seed := uint64(1); seed <= 3; seed++ {
+					runDifferential(t, pair, ratio, seed, 2500, nil)
+				}
+			}
+		})
+	}
+}
+
+// TestIndexedMatchesScanWarm pre-loads clips via Warm, which skips the miss
+// and admission path entirely; indexed and scan twins must still agree on
+// every later victim.
+func TestIndexedMatchesScanWarm(t *testing.T) {
+	warm := []media.ClipID{2, 4, 6, 8, 10, 12}
+	for _, pair := range diffPairs() {
+		pair := pair
+		t.Run(pair.name, func(t *testing.T) {
+			runDifferential(t, pair, 0.05, 17, 2000, warm)
+		})
+	}
+}

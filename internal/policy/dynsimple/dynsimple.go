@@ -28,6 +28,7 @@ import (
 	"mediacache/internal/core"
 	"mediacache/internal/history"
 	"mediacache/internal/media"
+	"mediacache/internal/rbtree"
 	"mediacache/internal/vtime"
 )
 
@@ -44,6 +45,15 @@ type Policy struct {
 	// BenchmarkDYNSimpleRefinement ablation: victims are then evicted in
 	// plain ascending byte-freq order.
 	refine bool
+
+	// scan disables the class index and restores the original
+	// sort-per-Victims-call selection (the differential-test baseline).
+	scan     bool
+	classes  map[classKey]*rbtree.Tree[entryKey, media.Clip]
+	order    []classKey
+	loc      map[media.ClipID]dsLoc
+	gathered []media.Clip
+	out      []media.ClipID
 }
 
 var _ core.Policy = (*Policy)(nil)
@@ -66,12 +76,23 @@ func New(n, k int, opts ...Option) (*Policy, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("dynsimple: K must be positive, got %d", k)
 	}
-	p := &Policy{k: k, n: n, tracker: history.NewTracker(n, k), refine: true}
+	p := &Policy{
+		k:       k,
+		n:       n,
+		tracker: history.NewTracker(n, k),
+		refine:  true,
+		classes: make(map[classKey]*rbtree.Tree[entryKey, media.Clip]),
+		loc:     make(map[media.ClipID]dsLoc),
+	}
 	for _, o := range opts {
 		o(p)
 	}
 	return p, nil
 }
+
+// Scan switches the policy to the original sort-per-call victim selection;
+// decisions are identical either way.
+func (p *Policy) Scan() *Policy { p.scan = true; return p }
 
 // MustNew is like New but panics on error; for experiment setup.
 func MustNew(n, k int, opts ...Option) *Policy {
@@ -109,8 +130,14 @@ func (p *Policy) ByteFreq(c media.Clip, now vtime.Time) float64 {
 	return p.tracker.Rate(c.ID, now) / float64(c.Size)
 }
 
-// Record implements core.Policy.
+// Record implements core.Policy. In indexed mode a resident clip is re-keyed
+// under its post-reference (count, oldest) class position.
 func (p *Policy) Record(clip media.Clip, now vtime.Time, _ bool) {
+	if !p.scan && p.unindexClip(clip.ID) {
+		p.tracker.Observe(clip.ID, now)
+		p.indexClip(clip)
+		return
+	}
 	p.tracker.Observe(clip.ID, now)
 }
 
@@ -118,8 +145,13 @@ func (p *Policy) Record(clip media.Clip, now vtime.Time, _ bool) {
 // (Section 2's default assumption).
 func (p *Policy) Admit(media.Clip, vtime.Time) bool { return true }
 
-// Victims implements core.Policy using the two-phase Figure 4 algorithm.
+// Victims implements core.Policy using the two-phase Figure 4 algorithm. In
+// indexed mode (the default) phase 1 pops per-class tree minima instead of
+// sorting the whole resident set; decisions match the scan exactly.
 func (p *Policy) Victims(_ media.Clip, view core.ResidentView, need media.Bytes, now vtime.Time) []media.ClipID {
+	if !p.scan {
+		return p.victimsIndexed(view, need, now)
+	}
 	candidates := view.ResidentClips()
 	// Phase 1: ascending estimated byte-freq; ties prefer the larger clip,
 	// then the lower id, keeping runs deterministic.
@@ -169,12 +201,28 @@ func (p *Policy) Victims(_ media.Clip, view core.ResidentView, need media.Bytes,
 	return out
 }
 
-// OnInsert implements core.Policy.
-func (p *Policy) OnInsert(media.Clip, vtime.Time) {}
+// OnInsert implements core.Policy: the new resident enters the class index.
+func (p *Policy) OnInsert(clip media.Clip, _ vtime.Time) {
+	if !p.scan {
+		p.indexClip(clip)
+	}
+}
 
 // OnEvict implements core.Policy. History survives eviction — that is the
-// point of DYNSimple's non-resident bookkeeping.
-func (p *Policy) OnEvict(media.ClipID, vtime.Time) {}
+// point of DYNSimple's non-resident bookkeeping; only the index entry is
+// dropped (a no-op for victims popBest already removed).
+func (p *Policy) OnEvict(id media.ClipID, _ vtime.Time) {
+	if !p.scan {
+		p.unindexClip(id)
+	}
+}
 
 // Reset implements core.Policy.
-func (p *Policy) Reset() { p.tracker = history.NewTracker(p.n, p.k) }
+func (p *Policy) Reset() {
+	p.tracker = history.NewTracker(p.n, p.k)
+	p.classes = make(map[classKey]*rbtree.Tree[entryKey, media.Clip])
+	p.order = nil
+	p.loc = make(map[media.ClipID]dsLoc)
+	p.gathered = p.gathered[:0]
+	p.out = p.out[:0]
+}

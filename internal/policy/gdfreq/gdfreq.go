@@ -17,6 +17,7 @@ package gdfreq
 import (
 	"mediacache/internal/core"
 	"mediacache/internal/media"
+	"mediacache/internal/policy/prioindex"
 	"mediacache/internal/randutil"
 	"mediacache/internal/vtime"
 )
@@ -33,6 +34,12 @@ type Policy struct {
 	inflation float64
 	h         map[media.ClipID]float64
 	nref      map[media.ClipID]uint64
+
+	// scan disables the ordered index and restores the original O(n)
+	// linear-scan victim selection (the differential-test baseline).
+	scan bool
+	idx  *prioindex.Index
+	out  []media.ClipID
 }
 
 var _ core.Policy = (*Policy)(nil)
@@ -49,8 +56,13 @@ func New(cost CostFunc, seed uint64) *Policy {
 		src:  randutil.NewSource(seed),
 		h:    make(map[media.ClipID]float64),
 		nref: make(map[media.ClipID]uint64),
+		idx:  prioindex.New(),
 	}
 }
+
+// Scan switches the policy to the original O(n) linear-scan victim
+// selection; decisions are identical either way.
+func (p *Policy) Scan() *Policy { p.scan = true; return p }
 
 // Name implements core.Policy.
 func (p *Policy) Name() string { return "GreedyDual-Freq" }
@@ -72,16 +84,57 @@ func (p *Policy) priority(c media.Clip) float64 {
 func (p *Policy) Record(clip media.Clip, _ vtime.Time, hit bool) {
 	if hit {
 		p.nref[clip.ID]++
-		p.h[clip.ID] = p.priority(clip)
+		p.rekey(clip, p.priority(clip))
 	}
+}
+
+// rekey stores a clip's priority and, in indexed mode, moves its index entry
+// under the new key.
+func (p *Policy) rekey(clip media.Clip, h float64) {
+	if !p.scan {
+		if old, ok := p.h[clip.ID]; ok {
+			p.idx.Delete(prioindex.Key{P: old, ID: clip.ID})
+		}
+		p.idx.Put(prioindex.Key{P: h, ID: clip.ID}, clip)
+	}
+	p.h[clip.ID] = h
 }
 
 // Admit implements core.Policy.
 func (p *Policy) Admit(media.Clip, vtime.Time) bool { return true }
 
 // Victims implements core.Policy: evict one minimum-priority clip per call,
-// ties broken uniformly at random, raising L to the evicted priority.
+// ties broken uniformly at random, raising L to the evicted priority. In
+// indexed mode (the default) the minimum and its ties come from the ordered
+// index; the returned slice is reused across calls.
 func (p *Policy) Victims(_ media.Clip, view core.ResidentView, _ media.Bytes, _ vtime.Time) []media.ClipID {
+	if p.scan {
+		return p.victimsScan(view)
+	}
+	if p.idx.Len() != view.NumResident() {
+		view.ForEachResident(func(c media.Clip) bool {
+			if _, ok := p.h[c.ID]; !ok {
+				p.nref[c.ID] = 1
+				p.rekey(c, p.priority(c))
+			}
+			return true
+		})
+	}
+	minH, ties, ok := p.idx.MinTies()
+	if !ok {
+		return nil
+	}
+	p.inflation = minH
+	victim := ties[0]
+	if len(ties) > 1 {
+		victim = ties[p.src.Intn(len(ties))]
+	}
+	p.out = append(p.out[:0], victim)
+	return p.out
+}
+
+// victimsScan is the original O(n) selection over ResidentClips.
+func (p *Policy) victimsScan(view core.ResidentView) []media.ClipID {
 	var (
 		minH  float64
 		ties  []media.ClipID
@@ -117,12 +170,15 @@ func (p *Policy) Victims(_ media.Clip, view core.ResidentView, _ media.Bytes, _ 
 // reference.
 func (p *Policy) OnInsert(clip media.Clip, _ vtime.Time) {
 	p.nref[clip.ID] = 1
-	p.h[clip.ID] = p.priority(clip)
+	p.rekey(clip, p.priority(clip))
 }
 
 // OnEvict implements core.Policy: the reference count is forgotten, as in
 // Cherkasova and Ciardo.
 func (p *Policy) OnEvict(id media.ClipID, _ vtime.Time) {
+	if h, ok := p.h[id]; ok && !p.scan {
+		p.idx.Delete(prioindex.Key{P: h, ID: id})
+	}
 	delete(p.h, id)
 	delete(p.nref, id)
 }
@@ -132,5 +188,6 @@ func (p *Policy) Reset() {
 	p.inflation = 0
 	p.h = make(map[media.ClipID]float64)
 	p.nref = make(map[media.ClipID]uint64)
+	p.idx.Reset()
 	p.src = randutil.NewSource(p.seed)
 }

@@ -24,6 +24,7 @@ import (
 
 	"mediacache/internal/core"
 	"mediacache/internal/media"
+	"mediacache/internal/policy/prioindex"
 	"mediacache/internal/randutil"
 	"mediacache/internal/vtime"
 )
@@ -54,6 +55,12 @@ type Policy struct {
 	// freq is the long-run reference count; unlike GreedyDual-Freq it
 	// survives eviction (popularity, not residency, is what GDSP tracks).
 	freq map[media.ClipID]uint64
+
+	// scan disables the ordered index and restores the original O(n)
+	// linear-scan victim selection (the differential-test baseline).
+	scan bool
+	idx  *prioindex.Index
+	out  []media.ClipID
 }
 
 var _ core.Policy = (*Policy)(nil)
@@ -77,8 +84,13 @@ func New(cost CostFunc, beta float64, seed uint64) (*Policy, error) {
 		src:  randutil.NewSource(seed),
 		h:    make(map[media.ClipID]float64),
 		freq: make(map[media.ClipID]uint64),
+		idx:  prioindex.New(),
 	}, nil
 }
+
+// Scan switches the policy to the original O(n) linear-scan victim
+// selection; decisions are identical either way.
+func (p *Policy) Scan() *Policy { p.scan = true; return p }
 
 // MustNew is like New but panics on error.
 func MustNew(cost CostFunc, beta float64, seed uint64) *Policy {
@@ -109,16 +121,56 @@ func (p *Policy) priority(c media.Clip) float64 {
 func (p *Policy) Record(clip media.Clip, _ vtime.Time, hit bool) {
 	p.freq[clip.ID]++
 	if hit {
-		p.h[clip.ID] = p.priority(clip)
+		p.rekey(clip, p.priority(clip))
 	}
+}
+
+// rekey stores a clip's priority and, in indexed mode, moves its index entry
+// under the new key.
+func (p *Policy) rekey(clip media.Clip, h float64) {
+	if !p.scan {
+		if old, ok := p.h[clip.ID]; ok {
+			p.idx.Delete(prioindex.Key{P: old, ID: clip.ID})
+		}
+		p.idx.Put(prioindex.Key{P: h, ID: clip.ID}, clip)
+	}
+	p.h[clip.ID] = h
 }
 
 // Admit implements core.Policy.
 func (p *Policy) Admit(media.Clip, vtime.Time) bool { return true }
 
 // Victims implements core.Policy: minimum-priority victim, random among
-// exact ties, L rises to the evicted priority.
+// exact ties, L rises to the evicted priority. In indexed mode (the default)
+// the minimum and its ties come from the ordered index; the returned slice
+// is reused across calls.
 func (p *Policy) Victims(_ media.Clip, view core.ResidentView, _ media.Bytes, _ vtime.Time) []media.ClipID {
+	if p.scan {
+		return p.victimsScan(view)
+	}
+	if p.idx.Len() != view.NumResident() {
+		view.ForEachResident(func(c media.Clip) bool {
+			if _, ok := p.h[c.ID]; !ok {
+				p.rekey(c, p.priority(c))
+			}
+			return true
+		})
+	}
+	minH, ties, ok := p.idx.MinTies()
+	if !ok {
+		return nil
+	}
+	p.inflation = minH
+	victim := ties[0]
+	if len(ties) > 1 {
+		victim = ties[p.src.Intn(len(ties))]
+	}
+	p.out = append(p.out[:0], victim)
+	return p.out
+}
+
+// victimsScan is the original O(n) selection over ResidentClips.
+func (p *Policy) victimsScan(view core.ResidentView) []media.ClipID {
 	var (
 		minH  float64
 		ties  []media.ClipID
@@ -151,11 +203,14 @@ func (p *Policy) Victims(_ media.Clip, view core.ResidentView, _ media.Bytes, _ 
 
 // OnInsert implements core.Policy.
 func (p *Policy) OnInsert(clip media.Clip, _ vtime.Time) {
-	p.h[clip.ID] = p.priority(clip)
+	p.rekey(clip, p.priority(clip))
 }
 
 // OnEvict implements core.Policy: popularity survives eviction.
 func (p *Policy) OnEvict(id media.ClipID, _ vtime.Time) {
+	if h, ok := p.h[id]; ok && !p.scan {
+		p.idx.Delete(prioindex.Key{P: h, ID: id})
+	}
 	delete(p.h, id)
 }
 
@@ -164,5 +219,6 @@ func (p *Policy) Reset() {
 	p.inflation = 0
 	p.h = make(map[media.ClipID]float64)
 	p.freq = make(map[media.ClipID]uint64)
+	p.idx.Reset()
 	p.src = randutil.NewSource(p.seed)
 }

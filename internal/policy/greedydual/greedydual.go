@@ -22,6 +22,7 @@ package greedydual
 import (
 	"mediacache/internal/core"
 	"mediacache/internal/media"
+	"mediacache/internal/policy/prioindex"
 	"mediacache/internal/randutil"
 	"mediacache/internal/vtime"
 )
@@ -46,6 +47,13 @@ type Policy struct {
 
 	inflation float64
 	h         map[media.ClipID]float64
+
+	// scan disables the ordered index and restores the original O(n)
+	// linear-scan victim selection. Decisions are identical either way; the
+	// scan exists as the differential-test and benchmark baseline.
+	scan bool
+	idx  *prioindex.Index
+	out  []media.ClipID
 }
 
 var _ core.Policy = (*Policy)(nil)
@@ -61,8 +69,14 @@ func New(cost CostFunc, seed uint64) *Policy {
 		seed: seed,
 		src:  randutil.NewSource(seed),
 		h:    make(map[media.ClipID]float64),
+		idx:  prioindex.New(),
 	}
 }
+
+// Scan switches the policy to the original O(n) linear-scan victim
+// selection. Call before the first request; it exists so differential tests
+// and benchmarks can compare the two implementations.
+func (p *Policy) Scan() *Policy { p.scan = true; return p }
 
 // Name implements core.Policy.
 func (p *Policy) Name() string { return "GreedyDual" }
@@ -86,8 +100,20 @@ func (p *Policy) priority(c media.Clip) float64 {
 // to its full value at the current inflation.
 func (p *Policy) Record(clip media.Clip, _ vtime.Time, hit bool) {
 	if hit {
-		p.h[clip.ID] = p.priority(clip)
+		p.rekey(clip, p.priority(clip))
 	}
+}
+
+// rekey stores a clip's priority and, in indexed mode, moves its index entry
+// under the new key.
+func (p *Policy) rekey(clip media.Clip, h float64) {
+	if !p.scan {
+		if old, ok := p.h[clip.ID]; ok {
+			p.idx.Delete(prioindex.Key{P: old, ID: clip.ID})
+		}
+		p.idx.Put(prioindex.Key{P: h, ID: clip.ID}, clip)
+	}
+	p.h[clip.ID] = h
 }
 
 // Admit implements core.Policy.
@@ -96,7 +122,39 @@ func (p *Policy) Admit(media.Clip, vtime.Time) bool { return true }
 // Victims implements core.Policy: one victim per call — the resident clip
 // with minimum H, ties broken uniformly at random. L rises to the victim's
 // priority. The engine calls again if more space is needed.
+//
+// In indexed mode (the default) the minimum and its ties come from the
+// ordered index in O(log n + #ties); the returned slice is reused across
+// calls and holds exactly one id.
 func (p *Policy) Victims(_ media.Clip, view core.ResidentView, _ media.Bytes, _ vtime.Time) []media.ClipID {
+	if p.scan {
+		return p.victimsScan(view)
+	}
+	if p.idx.Len() != view.NumResident() {
+		// A clip became resident without OnInsert (direct warm placement):
+		// adopt it as freshly inserted, mirroring the scan's lazy adoption.
+		view.ForEachResident(func(c media.Clip) bool {
+			if _, ok := p.h[c.ID]; !ok {
+				p.rekey(c, p.priority(c))
+			}
+			return true
+		})
+	}
+	minH, ties, ok := p.idx.MinTies()
+	if !ok {
+		return nil
+	}
+	p.inflation = minH
+	victim := ties[0]
+	if len(ties) > 1 {
+		victim = ties[p.src.Intn(len(ties))]
+	}
+	p.out = append(p.out[:0], victim)
+	return p.out
+}
+
+// victimsScan is the original O(n) selection over ResidentClips.
+func (p *Policy) victimsScan(view core.ResidentView) []media.ClipID {
 	var (
 		minH  float64
 		ties  []media.ClipID
@@ -131,11 +189,14 @@ func (p *Policy) Victims(_ media.Clip, view core.ResidentView, _ media.Bytes, _ 
 
 // OnInsert implements core.Policy: the new clip's priority is L + cost/size.
 func (p *Policy) OnInsert(clip media.Clip, _ vtime.Time) {
-	p.h[clip.ID] = p.priority(clip)
+	p.rekey(clip, p.priority(clip))
 }
 
 // OnEvict implements core.Policy.
 func (p *Policy) OnEvict(id media.ClipID, _ vtime.Time) {
+	if h, ok := p.h[id]; ok && !p.scan {
+		p.idx.Delete(prioindex.Key{P: h, ID: id})
+	}
 	delete(p.h, id)
 }
 
@@ -143,6 +204,7 @@ func (p *Policy) OnEvict(id media.ClipID, _ vtime.Time) {
 func (p *Policy) Reset() {
 	p.inflation = 0
 	p.h = make(map[media.ClipID]float64)
+	p.idx.Reset()
 	p.src = randutil.NewSource(p.seed)
 }
 

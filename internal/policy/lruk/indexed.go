@@ -1,0 +1,142 @@
+package lruk
+
+import (
+	"mediacache/internal/core"
+	"mediacache/internal/media"
+	"mediacache/internal/rbtree"
+	"mediacache/internal/vtime"
+)
+
+// This file holds the indexed victim-selection path, the default since the
+// linear scan's O(n²)-per-eviction cost made catalog-scale repositories
+// unusable (the paper's Section 5 future-work item on tree-based victim
+// identification).
+//
+// Resident clips live in two trees keyed so that an ascending walk visits
+// them in exactly the scan's victim order:
+//
+//   - partial: clips with fewer than K references (infinite Δ_K, the
+//     preferred victims), ordered by (t_last, id) — classic LRU among
+//     themselves;
+//   - full: clips with complete history, ordered by (t_K, t_last, id) —
+//     smaller t_K means larger Δ_K, so the tree minimum is the best victim,
+//     with the scan's exact tie-breaks.
+//
+// Victims is a pure walk (no mutation), so a misbehaving engine can never
+// desynchronise the index; OnEvict removes entries when evictions actually
+// happen.
+
+// fullKey orders complete-history clips: smaller t_K = larger Δ_K = better
+// victim; ties prefer the older last reference, then the lower id.
+type fullKey struct {
+	kth  vtime.Time
+	last vtime.Time
+	id   media.ClipID
+}
+
+func lessFullKey(a, b fullKey) bool {
+	if a.kth != b.kth {
+		return a.kth < b.kth
+	}
+	if a.last != b.last {
+		return a.last < b.last
+	}
+	return a.id < b.id
+}
+
+// partialKey orders incomplete-history clips by LRU then id.
+type partialKey struct {
+	last vtime.Time
+	id   media.ClipID
+}
+
+func lessPartialKey(a, b partialKey) bool {
+	if a.last != b.last {
+		return a.last < b.last
+	}
+	return a.id < b.id
+}
+
+// indexLoc records which tree a resident clip currently lives in, so
+// re-keying on reference and removal on eviction are O(log n).
+type indexLoc struct {
+	isFull bool
+	fk     fullKey
+	pk     partialKey
+}
+
+// index inserts a resident clip into the tree matching its current history.
+func (p *Policy) index(clip media.Clip) {
+	last, _ := p.tracker.LastTime(clip.ID)
+	if kth, ok := p.tracker.KthLastTime(clip.ID); ok {
+		key := fullKey{kth: kth, last: last, id: clip.ID}
+		p.full.Put(key, clip)
+		p.loc[clip.ID] = indexLoc{isFull: true, fk: key}
+		return
+	}
+	key := partialKey{last: last, id: clip.ID}
+	p.partial.Put(key, clip)
+	p.loc[clip.ID] = indexLoc{pk: key}
+}
+
+// unindex removes a resident clip from its tree.
+func (p *Policy) unindex(id media.ClipID) {
+	loc, ok := p.loc[id]
+	if !ok {
+		return
+	}
+	if loc.isFull {
+		p.full.Delete(loc.fk)
+	} else {
+		p.partial.Delete(loc.pk)
+	}
+	delete(p.loc, id)
+}
+
+// victimsIndexed walks the partial tree (infinite Δ_K first) then the full
+// tree, appending victims into the reusable out buffer until need bytes are
+// covered. The walk mutates nothing and allocates nothing.
+func (p *Policy) victimsIndexed(view core.ResidentView, need media.Bytes) []media.ClipID {
+	if len(p.loc) != view.NumResident() {
+		// A clip became resident without OnInsert: adopt it under its
+		// current history, matching what the scan would compute on the fly.
+		view.ForEachResident(func(c media.Clip) bool {
+			if _, ok := p.loc[c.ID]; !ok {
+				p.index(c)
+			}
+			return true
+		})
+	}
+	p.out = p.out[:0]
+	var freed media.Bytes
+	total := view.NumResident()
+	p.partial.Ascend(func(_ partialKey, c media.Clip) bool {
+		if freed >= need || len(p.out) >= total {
+			return false
+		}
+		p.out = append(p.out, c.ID)
+		freed += c.Size
+		return true
+	})
+	if freed < need {
+		p.full.Ascend(func(_ fullKey, c media.Clip) bool {
+			if freed >= need || len(p.out) >= total {
+				return false
+			}
+			p.out = append(p.out, c.ID)
+			freed += c.Size
+			return true
+		})
+	}
+	if len(p.out) == 0 {
+		return nil
+	}
+	return p.out
+}
+
+// newTrees initialises (or clears) the index structures.
+func (p *Policy) newTrees() {
+	p.full = rbtree.New[fullKey, media.Clip](lessFullKey)
+	p.partial = rbtree.New[partialKey, media.Clip](lessPartialKey)
+	p.loc = make(map[media.ClipID]indexLoc)
+}

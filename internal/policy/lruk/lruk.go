@@ -20,6 +20,7 @@ import (
 	"mediacache/internal/core"
 	"mediacache/internal/history"
 	"mediacache/internal/media"
+	"mediacache/internal/rbtree"
 	"mediacache/internal/vtime"
 )
 
@@ -28,6 +29,14 @@ type Policy struct {
 	k       int
 	n       int
 	tracker *history.Tracker
+
+	// scan disables the ordered index and restores the original O(n²)
+	// scan-per-victim selection (the differential-test baseline).
+	scan    bool
+	full    *rbtree.Tree[fullKey, media.Clip]
+	partial *rbtree.Tree[partialKey, media.Clip]
+	loc     map[media.ClipID]indexLoc
+	out     []media.ClipID
 }
 
 var _ core.Policy = (*Policy)(nil)
@@ -40,8 +49,14 @@ func New(n, k int) (*Policy, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("lruk: K must be positive, got %d", k)
 	}
-	return &Policy{k: k, n: n, tracker: history.NewTracker(n, k)}, nil
+	p := &Policy{k: k, n: n, tracker: history.NewTracker(n, k)}
+	p.newTrees()
+	return p, nil
 }
+
+// Scan switches the policy to the original O(n²) linear-scan victim
+// selection; decisions are identical either way.
+func (p *Policy) Scan() *Policy { p.scan = true; return p }
 
 // MustNew is like New but panics on error; for experiment setup.
 func MustNew(n, k int) *Policy {
@@ -62,8 +77,17 @@ func (p *Policy) K() int { return p.k }
 // metadata-pruning extension).
 func (p *Policy) Tracker() *history.Tracker { return p.tracker }
 
-// Record implements core.Policy.
+// Record implements core.Policy. In indexed mode a resident clip is re-keyed
+// under its post-reference (t_K, t_last).
 func (p *Policy) Record(clip media.Clip, now vtime.Time, _ bool) {
+	if !p.scan {
+		if _, ok := p.loc[clip.ID]; ok {
+			p.unindex(clip.ID)
+			p.tracker.Observe(clip.ID, now)
+			p.index(clip)
+			return
+		}
+	}
 	p.tracker.Observe(clip.ID, now)
 }
 
@@ -71,8 +95,14 @@ func (p *Policy) Record(clip media.Clip, now vtime.Time, _ bool) {
 func (p *Policy) Admit(media.Clip, vtime.Time) bool { return true }
 
 // Victims implements core.Policy: repeatedly pick the resident clip with the
-// maximum backward-K distance until need bytes are covered.
+// maximum backward-K distance until need bytes are covered. In indexed mode
+// (the default) the victims come from an ordered walk of the backward-K
+// index — O(victims·log n) and allocation-free instead of the scan's O(n²)
+// with a fresh taken-set per call.
 func (p *Policy) Victims(_ media.Clip, view core.ResidentView, need media.Bytes, now vtime.Time) []media.ClipID {
+	if !p.scan {
+		return p.victimsIndexed(view, need)
+	}
 	resident := view.ResidentClips()
 	taken := make(map[media.ClipID]bool, len(resident))
 	var out []media.ClipID
@@ -122,11 +152,24 @@ func less(incDist float64, incLast vtime.Time, incClip media.Clip,
 	}
 }
 
-// OnInsert implements core.Policy.
-func (p *Policy) OnInsert(media.Clip, vtime.Time) {}
+// OnInsert implements core.Policy: the new resident enters the index.
+func (p *Policy) OnInsert(clip media.Clip, _ vtime.Time) {
+	if !p.scan {
+		p.index(clip)
+	}
+}
 
-// OnEvict implements core.Policy. History is retained across evictions.
-func (p *Policy) OnEvict(media.ClipID, vtime.Time) {}
+// OnEvict implements core.Policy. History is retained across evictions; only
+// the index entry is dropped.
+func (p *Policy) OnEvict(id media.ClipID, _ vtime.Time) {
+	if !p.scan {
+		p.unindex(id)
+	}
+}
 
 // Reset implements core.Policy.
-func (p *Policy) Reset() { p.tracker = history.NewTracker(p.n, p.k) }
+func (p *Policy) Reset() {
+	p.tracker = history.NewTracker(p.n, p.k)
+	p.newTrees()
+	p.out = p.out[:0]
+}

@@ -2,90 +2,26 @@ package lrusk
 
 import (
 	"fmt"
-	"sort"
 
 	"mediacache/internal/core"
 	"mediacache/internal/history"
 	"mediacache/internal/media"
-	"mediacache/internal/rbtree"
 	"mediacache/internal/vtime"
 )
 
 // Fast is the tree-based LRU-SK implementation the paper names as future
 // work in Section 5 ("develop efficient implementations ... may require
 // tree-based data structures to minimize the complexity of identifying a
-// victim clip").
-//
-// The insight: the LRU-SK eviction score Δ_K(x,t)·s(x) depends on the
-// current time t, so no single static order exists across clip sizes — but
-// *within* one size class the ordering is static: larger Δ_K means smaller
-// t_K, independent of t. Fast therefore keeps one red-black tree per
-// distinct clip size, ordered by (t_K, t_last, id); the per-class best
-// victim is the tree minimum, and the global victim is chosen by comparing
-// one candidate score per class. Clips with incomplete history (infinite
-// Δ_K) live in per-class side trees ordered by (t_last, id) and are always
-// preferred, largest class first — exactly the scan implementation's
-// ordering, which the equivalence property test asserts decision-for-
-// decision.
-//
-// Victim selection costs O(C + log n) for C distinct sizes (the paper's
-// repository has 6) instead of the scan's O(n).
+// victim clip"). The victim-selection machinery lives in skIndex, shared
+// with the default Policy (which now runs the same indexed algorithm); Fast
+// remains as the named "(tree)" variant so experiments can quote it
+// explicitly, and as the historical home of the approach.
 type Fast struct {
 	k       int
 	n       int
 	tracker *history.Tracker
-
-	// full holds resident clips with complete K-reference history, one tree
-	// per size class ordered by (t_K, t_last, id).
-	full map[media.Bytes]*rbtree.Tree[fullKey, media.ClipID]
-	// partial holds resident clips with incomplete history, one tree per
-	// size class ordered by (t_last, id).
-	partial map[media.Bytes]*rbtree.Tree[partialKey, media.ClipID]
-	// resident records where each resident clip currently lives so that
-	// re-keying on reference and removal on eviction are O(log n).
-	resident map[media.ClipID]location
-	// sizesDesc caches the distinct resident size classes in descending
-	// order (rebuilt lazily when classes appear).
-	sizesDesc []media.Bytes
-}
-
-// fullKey orders complete-history clips: smaller t_K = larger Δ_K = better
-// victim; ties prefer the older last reference, then the lower id.
-type fullKey struct {
-	kth  vtime.Time
-	last vtime.Time
-	id   media.ClipID
-}
-
-func lessFull(a, b fullKey) bool {
-	if a.kth != b.kth {
-		return a.kth < b.kth
-	}
-	if a.last != b.last {
-		return a.last < b.last
-	}
-	return a.id < b.id
-}
-
-// partialKey orders incomplete-history clips by LRU then id.
-type partialKey struct {
-	last vtime.Time
-	id   media.ClipID
-}
-
-func lessPartial(a, b partialKey) bool {
-	if a.last != b.last {
-		return a.last < b.last
-	}
-	return a.id < b.id
-}
-
-// location records a resident clip's tree and key.
-type location struct {
-	size   media.Bytes
-	isFull bool
-	fk     fullKey
-	pk     partialKey
+	idx     *skIndex
+	out     []media.ClipID
 }
 
 var _ core.Policy = (*Fast)(nil)
@@ -98,14 +34,8 @@ func NewFast(n, k int) (*Fast, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("lrusk: K must be positive, got %d", k)
 	}
-	return &Fast{
-		k:        k,
-		n:        n,
-		tracker:  history.NewTracker(n, k),
-		full:     make(map[media.Bytes]*rbtree.Tree[fullKey, media.ClipID]),
-		partial:  make(map[media.Bytes]*rbtree.Tree[partialKey, media.ClipID]),
-		resident: make(map[media.ClipID]location),
-	}, nil
+	tracker := history.NewTracker(n, k)
+	return &Fast{k: k, n: n, tracker: tracker, idx: newSKIndex(tracker)}, nil
 }
 
 // MustNewFast is like NewFast but panics on error.
@@ -126,61 +56,13 @@ func (p *Fast) K() int { return p.k }
 // Tracker exposes the underlying reference history.
 func (p *Fast) Tracker() *history.Tracker { return p.tracker }
 
-// classFor returns (creating if needed) the trees for a size class.
-func (p *Fast) classFor(size media.Bytes) (*rbtree.Tree[fullKey, media.ClipID], *rbtree.Tree[partialKey, media.ClipID]) {
-	f, ok := p.full[size]
-	if !ok {
-		f = rbtree.New[fullKey, media.ClipID](lessFull)
-		p.full[size] = f
-		p.partial[size] = rbtree.New[partialKey, media.ClipID](lessPartial)
-		p.sizesDesc = append(p.sizesDesc, size)
-		sort.Slice(p.sizesDesc, func(i, j int) bool { return p.sizesDesc[i] > p.sizesDesc[j] })
-	}
-	return f, p.partial[size]
-}
-
-// index inserts a resident clip into the tree matching its current history.
-func (p *Fast) index(clip media.Clip) {
-	f, pt := p.classFor(clip.Size)
-	last, _ := p.tracker.LastTime(clip.ID)
-	if kth, ok := p.tracker.KthLastTime(clip.ID); ok {
-		key := fullKey{kth: kth, last: last, id: clip.ID}
-		f.Put(key, clip.ID)
-		p.resident[clip.ID] = location{size: clip.Size, isFull: true, fk: key}
-		return
-	}
-	key := partialKey{last: last, id: clip.ID}
-	pt.Put(key, clip.ID)
-	p.resident[clip.ID] = location{size: clip.Size, pk: key}
-}
-
-// unindex removes a resident clip from its tree, reporting whether it was
-// indexed.
-func (p *Fast) unindex(id media.ClipID) (location, bool) {
-	loc, ok := p.resident[id]
-	if !ok {
-		return location{}, false
-	}
-	if loc.isFull {
-		p.full[loc.size].Delete(loc.fk)
-	} else {
-		p.partial[loc.size].Delete(loc.pk)
-	}
-	delete(p.resident, id)
-	return loc, true
-}
-
 // Record implements core.Policy: the history advances and a resident clip
 // is re-keyed under its new (t_K, t_last).
-func (p *Fast) Record(clip media.Clip, now vtime.Time, hit bool) {
-	resident := false
-	if _, ok := p.resident[clip.ID]; ok {
-		p.unindex(clip.ID)
-		resident = true
-	}
+func (p *Fast) Record(clip media.Clip, now vtime.Time, _ bool) {
+	_, resident := p.idx.unindex(clip.ID)
 	p.tracker.Observe(clip.ID, now)
 	if resident {
-		p.index(clip)
+		p.idx.index(clip)
 	}
 }
 
@@ -189,91 +71,41 @@ func (p *Fast) Admit(media.Clip, vtime.Time) bool { return true }
 
 // Victims implements core.Policy: per-class tree minima are compared by the
 // same ordering as the scan implementation until need bytes are covered.
+// The returned slice is reused across calls.
 func (p *Fast) Victims(_ media.Clip, view core.ResidentView, need media.Bytes, now vtime.Time) []media.ClipID {
-	var out []media.ClipID
+	p.out = p.out[:0]
 	var freed media.Bytes
 	for freed < need {
-		id, size, ok := p.popBest(now)
+		id, size, ok := p.idx.popBest(now)
 		if !ok {
 			break
 		}
-		out = append(out, id)
+		p.out = append(p.out, id)
 		freed += size
 	}
 	// The engine will confirm each eviction through OnEvict; entries are
 	// already unindexed, so OnEvict's removal is a no-op for them.
 	_ = view
-	return out
-}
-
-// popBest removes and returns the current best victim.
-func (p *Fast) popBest(now vtime.Time) (media.ClipID, media.Bytes, bool) {
-	// Incomplete-history clips first: infinite score; largest class wins,
-	// then LRU within the class.
-	for _, size := range p.sizesDesc {
-		pt := p.partial[size]
-		if pt.Len() == 0 {
-			continue
-		}
-		key, id, _ := pt.Min()
-		pt.Delete(key)
-		delete(p.resident, id)
-		return id, size, true
+	if len(p.out) == 0 {
+		return nil
 	}
-	// Otherwise compare one complete-history candidate per class.
-	var (
-		bestID    media.ClipID
-		bestSize  media.Bytes
-		bestKey   fullKey
-		bestScore float64
-		found     bool
-	)
-	for _, size := range p.sizesDesc {
-		f := p.full[size]
-		if f.Len() == 0 {
-			continue
-		}
-		key, id, _ := f.Min()
-		score := float64(now-key.kth) * float64(size)
-		better := false
-		switch {
-		case !found:
-			better = true
-		case score != bestScore:
-			better = score > bestScore
-		case key.last != bestKey.last:
-			better = key.last < bestKey.last
-		default:
-			better = id < bestID
-		}
-		if better {
-			bestID, bestSize, bestKey, bestScore, found = id, size, key, score, true
-		}
-	}
-	if !found {
-		return 0, 0, false
-	}
-	p.full[bestSize].Delete(bestKey)
-	delete(p.resident, bestID)
-	return bestID, bestSize, true
+	return p.out
 }
 
 // OnInsert implements core.Policy.
 func (p *Fast) OnInsert(clip media.Clip, _ vtime.Time) {
-	p.index(clip)
+	p.idx.index(clip)
 }
 
 // OnEvict implements core.Policy. Victims chosen by popBest are already
 // unindexed; external evictions (none in practice) are handled too.
 func (p *Fast) OnEvict(id media.ClipID, _ vtime.Time) {
-	p.unindex(id)
+	p.idx.unindex(id)
 }
 
 // Reset implements core.Policy.
 func (p *Fast) Reset() {
 	p.tracker = history.NewTracker(p.n, p.k)
-	p.full = make(map[media.Bytes]*rbtree.Tree[fullKey, media.ClipID])
-	p.partial = make(map[media.Bytes]*rbtree.Tree[partialKey, media.ClipID])
-	p.resident = make(map[media.ClipID]location)
-	p.sizesDesc = nil
+	p.idx.reset(p.tracker)
+	p.out = p.out[:0]
 }

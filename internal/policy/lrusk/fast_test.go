@@ -70,7 +70,7 @@ func TestFastReset(t *testing.T) {
 	if p.Tracker().Count(1) != 0 {
 		t.Fatal("Reset must clear history")
 	}
-	if len(p.resident) != 0 || len(p.sizesDesc) != 0 {
+	if p.idx.len() != 0 || len(p.idx.sizesDesc) != 0 {
 		t.Fatal("Reset must clear indexes")
 	}
 }
@@ -98,7 +98,7 @@ func TestFastEquivalentToScan(t *testing.T) {
 	dist := zipf.MustNew(repo.N(), zipf.DefaultMean)
 	for _, k := range []int{1, 2, 4} {
 		for seed := uint64(1); seed <= 3; seed++ {
-			scan := MustNew(repo.N(), k)
+			scan := MustNew(repo.N(), k).Scan()
 			fast := MustNewFast(repo.N(), k)
 			cScan, _ := core.New(repo, repo.CacheSizeForRatio(0.05), scan)
 			cFast, _ := core.New(repo, repo.CacheSizeForRatio(0.05), fast)
@@ -141,7 +141,7 @@ func TestFastEquivalenceProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 	check := func(reqs []uint8) bool {
-		scan := MustNew(repo.N(), 2)
+		scan := MustNew(repo.N(), 2).Scan()
 		fast := MustNewFast(repo.N(), 2)
 		cScan, _ := core.New(repo, 70, scan)
 		cFast, _ := core.New(repo, 70, fast)

@@ -24,6 +24,12 @@ type Policy struct {
 	k       int
 	n       int
 	tracker *history.Tracker
+
+	// scan disables the per-size-class tree index and restores the original
+	// O(n)-per-victim linear scan (the differential-test baseline).
+	scan bool
+	idx  *skIndex
+	out  []media.ClipID
 }
 
 var _ core.Policy = (*Policy)(nil)
@@ -36,8 +42,13 @@ func New(n, k int) (*Policy, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("lrusk: K must be positive, got %d", k)
 	}
-	return &Policy{k: k, n: n, tracker: history.NewTracker(n, k)}, nil
+	tracker := history.NewTracker(n, k)
+	return &Policy{k: k, n: n, tracker: tracker, idx: newSKIndex(tracker)}, nil
 }
+
+// Scan switches the policy to the original O(n)-per-victim linear-scan
+// selection; decisions are identical either way.
+func (p *Policy) Scan() *Policy { p.scan = true; return p }
 
 // MustNew is like New but panics on error; for experiment setup.
 func MustNew(n, k int) *Policy {
@@ -57,8 +68,16 @@ func (p *Policy) K() int { return p.k }
 // Tracker exposes the underlying reference history.
 func (p *Policy) Tracker() *history.Tracker { return p.tracker }
 
-// Record implements core.Policy.
+// Record implements core.Policy. In indexed mode a resident clip is re-keyed
+// under its post-reference (t_K, t_last).
 func (p *Policy) Record(clip media.Clip, now vtime.Time, _ bool) {
+	if !p.scan {
+		if _, resident := p.idx.unindex(clip.ID); resident {
+			p.tracker.Observe(clip.ID, now)
+			p.idx.index(clip)
+			return
+		}
+	}
 	p.tracker.Observe(clip.ID, now)
 }
 
@@ -72,8 +91,13 @@ func (p *Policy) Score(c media.Clip, now vtime.Time) float64 {
 }
 
 // Victims implements core.Policy: repeatedly evict the clip with the maximum
-// Δ_K × size until need bytes are covered.
+// Δ_K × size until need bytes are covered. In indexed mode (the default) the
+// victims come from the shared per-size-class tree index in O(C + log n) per
+// victim, allocation-free; decisions match the scan exactly.
 func (p *Policy) Victims(_ media.Clip, view core.ResidentView, need media.Bytes, now vtime.Time) []media.ClipID {
+	if !p.scan {
+		return p.victimsIndexed(view, need, now)
+	}
 	resident := view.ResidentClips()
 	taken := make(map[media.ClipID]bool, len(resident))
 	var out []media.ClipID
@@ -127,11 +151,52 @@ func better(incScore float64, incLast vtime.Time, incClip media.Clip,
 	}
 }
 
-// OnInsert implements core.Policy.
-func (p *Policy) OnInsert(media.Clip, vtime.Time) {}
+// victimsIndexed pops best victims from the shared class index until need
+// bytes are covered, adopting any resident clip the index does not know
+// about (direct warm placement) first.
+func (p *Policy) victimsIndexed(view core.ResidentView, need media.Bytes, now vtime.Time) []media.ClipID {
+	if p.idx.len() != view.NumResident() {
+		view.ForEachResident(func(c media.Clip) bool {
+			if !p.idx.has(c.ID) {
+				p.idx.index(c)
+			}
+			return true
+		})
+	}
+	p.out = p.out[:0]
+	var freed media.Bytes
+	for freed < need {
+		id, size, ok := p.idx.popBest(now)
+		if !ok {
+			break
+		}
+		p.out = append(p.out, id)
+		freed += size
+	}
+	if len(p.out) == 0 {
+		return nil
+	}
+	return p.out
+}
 
-// OnEvict implements core.Policy. History is retained across evictions.
-func (p *Policy) OnEvict(media.ClipID, vtime.Time) {}
+// OnInsert implements core.Policy: the new resident enters the index.
+func (p *Policy) OnInsert(clip media.Clip, _ vtime.Time) {
+	if !p.scan {
+		p.idx.index(clip)
+	}
+}
+
+// OnEvict implements core.Policy. History is retained across evictions; only
+// the index entry is dropped (a no-op for victims popBest already removed).
+func (p *Policy) OnEvict(id media.ClipID, _ vtime.Time) {
+	if !p.scan {
+		p.idx.unindex(id)
+	}
+}
 
 // Reset implements core.Policy.
-func (p *Policy) Reset() { p.tracker = history.NewTracker(p.n, p.k) }
+func (p *Policy) Reset() {
+	p.tracker = history.NewTracker(p.n, p.k)
+	p.idx.reset(p.tracker)
+	p.out = p.out[:0]
+}

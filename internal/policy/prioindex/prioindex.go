@@ -1,0 +1,96 @@
+// Package prioindex provides the incrementally maintained victim index
+// shared by the function-based replacement techniques (GreedyDual and its
+// descendants, LFU/LFU-DA, Simple).
+//
+// The paper's Section 5 names efficient victim selection as future work:
+// "This may require tree-based data structures to minimize the complexity
+// of identifying a victim clip." Each policy keeps its resident clips in an
+// Index ordered by (priority, last-reference, id); the minimum is the next
+// victim, so selection is O(log n) maintenance per reference instead of an
+// O(n) scan per eviction. The key ordering reproduces, field for field, the
+// tie-break rules of the linear scans it replaces, so indexing changes cost,
+// never decisions — the property the differential tests in package
+// conformance assert.
+package prioindex
+
+import (
+	"mediacache/internal/media"
+	"mediacache/internal/rbtree"
+	"mediacache/internal/vtime"
+)
+
+// Key orders resident clips by eviction preference: the smaller priority P
+// is the better victim; ties prefer the smaller Last (older reference, or
+// any policy-specific secondary criterion encoded into it), then the lower
+// clip ID. Policies without a secondary criterion leave Last at zero, making
+// equal-priority entries ascend by ID — exactly the order the linear scans
+// collected ties in when walking ResidentClips.
+type Key struct {
+	P    float64
+	Last vtime.Time
+	ID   media.ClipID
+}
+
+func lessKey(a, b Key) bool {
+	if a.P != b.P {
+		return a.P < b.P
+	}
+	if a.Last != b.Last {
+		return a.Last < b.Last
+	}
+	return a.ID < b.ID
+}
+
+// Index is an ordered set of resident clips keyed by eviction preference.
+// The zero value is not usable; create indexes with New.
+type Index struct {
+	tree *rbtree.Tree[Key, media.Clip]
+	ties []media.ClipID
+}
+
+// New returns an empty index.
+func New() *Index {
+	return &Index{tree: rbtree.New[Key, media.Clip](lessKey)}
+}
+
+// Len returns the number of indexed clips.
+func (x *Index) Len() int { return x.tree.Len() }
+
+// Put inserts (or re-inserts) a clip under key.
+func (x *Index) Put(k Key, c media.Clip) { x.tree.Put(k, c) }
+
+// Delete removes the entry stored under key, reporting whether it existed.
+func (x *Index) Delete(k Key) bool { return x.tree.Delete(k) }
+
+// Min returns the best victim's key and clip.
+func (x *Index) Min() (Key, media.Clip, bool) { return x.tree.Min() }
+
+// Ascend visits entries in eviction-preference order until fn returns false.
+func (x *Index) Ascend(fn func(Key, media.Clip) bool) { x.tree.Ascend(fn) }
+
+// MinTies returns the minimum priority and the IDs of every entry tied at
+// exactly that priority, in ascending (Last, ID) order — the order the
+// linear scans gathered ties in, which matters because the caller breaks the
+// tie with a seeded random draw over the slice. The returned slice is reused
+// across calls; callers must not retain it.
+func (x *Index) MinTies() (minP float64, ties []media.ClipID, ok bool) {
+	k, _, ok := x.tree.Min()
+	if !ok {
+		return 0, nil, false
+	}
+	x.ties = x.ties[:0]
+	x.tree.Ascend(func(key Key, _ media.Clip) bool {
+		if key.P != k.P {
+			return false
+		}
+		x.ties = append(x.ties, key.ID)
+		return true
+	})
+	return k.P, x.ties, true
+}
+
+// Reset empties the index, retaining the tie buffer's capacity.
+func (x *Index) Reset() {
+	x.tree = rbtree.New[Key, media.Clip](lessKey)
+	x.ties = x.ties[:0]
+}

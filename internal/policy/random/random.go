@@ -14,6 +14,14 @@ import (
 type Policy struct {
 	src  *randutil.Source
 	seed uint64
+
+	// Reusable per-call buffers keep victim selection allocation-free. The
+	// collect closure is built once: handed through the ResidentView
+	// interface every call, a fresh literal would escape to the heap.
+	clips   []media.Clip
+	perm    []int
+	out     []media.ClipID
+	collect func(media.Clip) bool
 }
 
 var _ core.Policy = (*Policy)(nil)
@@ -35,21 +43,43 @@ func (p *Policy) Record(media.Clip, vtime.Time, bool) {}
 func (p *Policy) Admit(media.Clip, vtime.Time) bool { return true }
 
 // Victims implements core.Policy: it returns uniformly chosen resident clips
-// until at least need bytes are covered.
+// until at least need bytes are covered. The Fisher-Yates shuffle runs on
+// reusable buffers but consumes exactly the draws randutil.Perm would, so the
+// victim sequence of seeded runs is unchanged.
 func (p *Policy) Victims(_ media.Clip, view core.ResidentView, need media.Bytes, _ vtime.Time) []media.ClipID {
-	resident := view.ResidentClips()
-	// Shuffle a copy of the resident set and take a prefix covering need.
-	perm := p.src.Perm(len(resident))
-	var out []media.ClipID
+	p.clips = p.clips[:0]
+	if p.collect == nil {
+		p.collect = func(c media.Clip) bool {
+			p.clips = append(p.clips, c)
+			return true
+		}
+	}
+	view.ForEachResident(p.collect)
+	n := len(p.clips)
+	if cap(p.perm) < n {
+		p.perm = make([]int, n)
+	}
+	p.perm = p.perm[:n]
+	for i := range p.perm {
+		p.perm[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := p.src.Intn(i + 1)
+		p.perm[i], p.perm[j] = p.perm[j], p.perm[i]
+	}
+	p.out = p.out[:0]
 	var freed media.Bytes
-	for _, idx := range perm {
+	for _, idx := range p.perm {
 		if freed >= need {
 			break
 		}
-		out = append(out, resident[idx].ID)
-		freed += resident[idx].Size
+		p.out = append(p.out, p.clips[idx].ID)
+		freed += p.clips[idx].Size
 	}
-	return out
+	if len(p.out) == 0 {
+		return nil
+	}
+	return p.out
 }
 
 // OnInsert implements core.Policy.

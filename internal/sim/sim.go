@@ -48,7 +48,8 @@ type Metrics struct {
 	Requests     uint64        // references issued
 	Hits         uint64        // references serviced from cache
 	Evictions    uint64        // clips swapped out
-	BytesFetched media.Bytes   // network traffic: Σ size of missed clips
+	BytesFetched media.Bytes   // network traffic: Σ size of clips actually delivered on misses
+	BytesFailed  media.Bytes   // Σ size of clips whose remote fetch failed (fault injection)
 	BytesEvicted media.Bytes   // Σ size of evicted clips
 	Bypassed     uint64        // misses streamed without caching
 	FetchFailed  uint64        // misses whose remote fetch failed (fault injection)
@@ -63,6 +64,7 @@ func metricsFromStats(s core.Stats, wall time.Duration) Metrics {
 		Hits:         s.Hits,
 		Evictions:    s.Evictions,
 		BytesFetched: s.BytesFetched,
+		BytesFailed:  s.BytesFailed,
 		BytesEvicted: s.BytesEvicted,
 		Bypassed:     s.Bypassed,
 		FetchFailed:  s.FetchFailed,
@@ -79,6 +81,7 @@ func (m *Metrics) Add(other Metrics) {
 	m.Hits += other.Hits
 	m.Evictions += other.Evictions
 	m.BytesFetched += other.BytesFetched
+	m.BytesFailed += other.BytesFailed
 	m.BytesEvicted += other.BytesEvicted
 	m.Bypassed += other.Bypassed
 	m.FetchFailed += other.FetchFailed
