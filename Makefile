@@ -1,7 +1,7 @@
 GO ?= go
 BENCH_DATE := $(shell date +%Y-%m-%d)
 
-.PHONY: build test vet race alloccheck check bench benchcmp fuzz-smoke
+.PHONY: build test vet race racecheck alloccheck check bench benchcmp fuzz-smoke
 
 # Each fuzz target gets a short smoke budget; go test allows only one
 # -fuzz pattern per invocation, so targets run sequentially.
@@ -18,6 +18,13 @@ vet:
 
 race:
 	$(GO) test -race ./...
+
+# racecheck reruns the concurrency-heavy packages — the sharded pool, its
+# metrics adapter and the server's chaos drive — under the race detector
+# with fresh state each time, to shake out order-dependent interleavings
+# a single pass can miss. `race` already covers every package once.
+racecheck:
+	$(GO) test -race -count=2 ./internal/shard ./internal/obs ./cmd/cacheserver
 
 # alloccheck asserts the allocation guarantees: with no observer installed,
 # core.Cache.Request allocates nothing on the request path (an attached

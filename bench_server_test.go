@@ -1,0 +1,111 @@
+package mediacache_test
+
+// bench_server_test.go measures the sharded front-end (internal/shard)
+// against the single-global-lock layout the cacheserver used before
+// sharding. The workload models the server's serving path: concurrent
+// clients (16 goroutines) requesting Zipf-distributed clips, where every
+// miss pays a simulated remote-fetch latency. The global baseline holds
+// one mutex across the whole request — fetch included — exactly as the
+// pre-sharding server did; the sharded pool routes by clip ID, runs the
+// fetch outside any shard lock, and coalesces concurrent misses for the
+// same clip, so misses on different clips overlap their link time.
+//
+// Compare the layouts from one archived `make bench` run with
+// `make benchcmp`: it pairs ServerThroughput/global with each
+// ServerThroughput/shards=N sibling and reports the speedup. (The
+// variant is spelled shards=N, not sharded-N: a trailing -N is
+// indistinguishable from Go's -GOMAXPROCS benchmark-name suffix.)
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mediacache/internal/core"
+	"mediacache/internal/media"
+	"mediacache/internal/shard"
+	"mediacache/internal/sim"
+	"mediacache/internal/vtime"
+	"mediacache/internal/workload"
+	"mediacache/internal/zipf"
+)
+
+// serverFetchLatency is the simulated per-miss link time. 100µs is
+// conservative for a wireless link (real fetches are milliseconds); a
+// larger value only widens the gap between the layouts.
+const serverFetchLatency = 100 * time.Microsecond
+
+// serverBenchClients is the simulated client concurrency:
+// SetParallelism(16) gives 16×GOMAXPROCS driver goroutines.
+const serverBenchClients = 16
+
+// BenchmarkServerThroughput compares aggregate request throughput of the
+// single-global-lock cache against hash-partitioned pools at 2, 4 and 8
+// shards under concurrent Zipf traffic with a 100µs simulated fetch.
+func BenchmarkServerThroughput(b *testing.B) {
+	repo := media.PaperRepository()
+	dist := zipf.MustNew(repo.N(), zipf.DefaultMean)
+	gen := workload.MustNewGenerator(dist, sim.DefaultSeed)
+	trace := make([]media.ClipID, 1<<16)
+	for i := range trace {
+		trace[i] = gen.Next()
+	}
+	capacity := repo.CacheSizeForRatio(0.125)
+	fetch := func(media.Clip, vtime.Time) error {
+		time.Sleep(serverFetchLatency)
+		return nil
+	}
+
+	drive := func(b *testing.B, request func(media.ClipID) (core.Outcome, error)) {
+		// Warm into the steady-state mix of hits and misses.
+		for i := 0; i < 2000; i++ {
+			if _, err := request(trace[i%len(trace)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		var idx atomic.Uint64
+		b.SetParallelism(serverBenchClients)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				id := trace[idx.Add(1)%uint64(len(trace))]
+				if _, err := request(id); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+	}
+
+	b.Run("global", func(b *testing.B) {
+		cache, err := sim.NewCache("greedydual", repo, capacity, nil, sim.DefaultSeed,
+			core.WithFetch(fetch))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var mu sync.Mutex
+		drive(b, func(id media.ClipID) (core.Outcome, error) {
+			mu.Lock()
+			defer mu.Unlock()
+			return cache.Request(id)
+		})
+	})
+	for _, n := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
+			pool, err := shard.New(shard.Config{
+				Policy:   "greedydual",
+				Repo:     repo,
+				Capacity: capacity,
+				Seed:     sim.DefaultSeed,
+				Shards:   n,
+				Fetch:    fetch,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			drive(b, pool.Request)
+		})
+	}
+}

@@ -8,9 +8,12 @@
 // Inputs are the test2json archives `make bench` writes (BENCH_<date>.json).
 // With two files, same-named benchmarks are compared old→new with their
 // ns/op, B/op and allocs/op deltas. With one file, the tool pairs each
-// benchmark ending in /scan (or /naive) with its /indexed (or /tree,
-// /inflation) sibling and reports the speedup of the indexed implementation
-// — the ISSUE 4 acceptance view of a single `make bench` run.
+// baseline benchmark with its optimized sibling — /scan against /indexed
+// (or /tree), /naive against /inflation, and the single-global-lock
+// /global server layout against each /shards=N pool — and reports the
+// speedup of the optimized implementation from a single `make bench` run.
+// Rows are labelled with the optimized variant, since one baseline can
+// anchor several comparisons.
 package main
 
 import (
@@ -101,11 +104,16 @@ func parseResultLine(line string) (string, result, bool) {
 	return name, res, true
 }
 
-// baselinePairs finds (baseline, indexed) benchmark pairs inside one run.
+// pairSuffixes maps baseline benchmark suffixes to their optimized
+// siblings inside one run. A baseline suffix may appear several times
+// (e.g. /global against every shard count).
 var pairSuffixes = []struct{ base, indexed string }{
 	{"/scan", "/indexed"},
 	{"/scan", "/tree"},
 	{"/naive", "/inflation"},
+	{"/global", "/shards=2"},
+	{"/global", "/shards=4"},
+	{"/global", "/shards=8"},
 }
 
 // writePairs renders the single-run speedup table.
@@ -130,8 +138,10 @@ func writePairs(w io.Writer, runs map[string]result) error {
 			}
 			base := runs[name]
 			found = true
+			// Label with the optimized variant: one baseline (e.g.
+			// /global) can anchor several rows.
 			fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%.2fx\t%s\t%s\n",
-				strings.TrimSuffix(name, sfx.base),
+				other,
 				base["ns/op"], idx["ns/op"], base["ns/op"]/idx["ns/op"],
 				deltaInt(base["B/op"], idx["B/op"]),
 				deltaInt(base["allocs/op"], idx["allocs/op"]))

@@ -74,6 +74,35 @@ func TestWritePairs(t *testing.T) {
 	}
 }
 
+// TestWritePairsMultipleAgainstOneBaseline checks one /global baseline can
+// anchor several /sharded-N rows, each labelled with its own variant.
+func TestWritePairsMultipleAgainstOneBaseline(t *testing.T) {
+	sample := "BenchmarkServerThroughput/global-4   1000   400000 ns/op   512 B/op   8 allocs/op\n" +
+		"BenchmarkServerThroughput/shards=2-4   10000   40000 ns/op   520 B/op   9 allocs/op\n" +
+		// No -GOMAXPROCS suffix, as emitted on a single-CPU host: the
+		// variant spelling must survive the proc-suffix strip either way.
+		"BenchmarkServerThroughput/shards=4   16000   25000 ns/op   520 B/op   9 allocs/op\n" +
+		"BenchmarkServerThroughput/shards=8-4   20000   20000 ns/op   520 B/op   9 allocs/op\n"
+	runs, err := parseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := writePairs(&sb, runs); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"ServerThroughput/shards=2", "10.00x",
+		"ServerThroughput/shards=4", "16.00x",
+		"ServerThroughput/shards=8", "20.00x",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("pair table missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestWriteCompare(t *testing.T) {
 	old, err := parseBench(strings.NewReader(sampleJSON))
 	if err != nil {

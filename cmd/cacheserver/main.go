@@ -2,21 +2,32 @@
 // a minimal service harness showing the library embedded in a long-running
 // program rather than a batch simulation.
 //
+// The cache is a hash-partitioned pool of engines (-shards, default
+// GOMAXPROCS): each shard owns a slice of the clip-ID space, its own
+// replacement-policy instance and its own lock, so concurrent requests for
+// clips on different shards proceed in parallel. -shards 1 reproduces the
+// single serialized engine of earlier versions exactly, decision for
+// decision.
+//
 // Endpoints (v1):
 //
 //	GET  /v1/clips/{id}  service a reference to clip id; returns the outcome,
 //	                     whether it hit, and the startup latency the device
 //	                     would observe at the configured link bandwidth
-//	GET  /v1/stats       accumulated cache statistics and engine counters
+//	GET  /v1/stats       accumulated cache statistics, aggregated over all
+//	                     shards under one consistent snapshot
 //	GET  /v1/resident    resident clips with per-clip detail; supports
 //	                     ?limit=/?offset= pagination and ?format=ids for the
 //	                     bare-ID shape
+//	GET  /v1/shards      per-shard requests, hits, occupancy and capacity
 //	POST /v1/reset       clear the cache, statistics and policy state
-//	GET  /v1/snapshot    gob-encoded persistent cache state
+//	GET  /v1/snapshot    gob-encoded persistent cache state (portable across
+//	                     shard counts)
 //	POST /v1/restore     restore a previously captured snapshot
 //	GET  /v1/policies    policy specs the registry can build
 //	GET  /v1/metrics     Prometheus text exposition: engine counters,
-//	                     per-route HTTP latency histograms, sweep-pool gauges
+//	                     per-shard gauges, per-route HTTP latency histograms,
+//	                     sweep-pool gauges
 //	GET  /v1/healthz     liveness plus the used ≤ capacity invariant
 //	GET  /v1/version     API version, go version, policy and build info
 //
@@ -26,10 +37,10 @@
 // present), and each request is access-logged through log/slog. With -pprof
 // the net/http/pprof profiles mount under /debug/pprof/.
 //
-// The unversioned paths (/clips/{id}, /stats, ...) are deprecated aliases
-// for pre-v1 clients; they serve the same responses with a Deprecation
-// header. The alias set is frozen — observability routes exist only under
-// /v1.
+// The unversioned pre-v1 paths (/clips/{id}, /stats, ...) are retired:
+// they answer 410 Gone with the JSON error envelope and a Link header
+// naming the /v1 successor, after serving Deprecation headers for a full
+// release cycle.
 //
 // The failure and degradation layer (all off by default): -faults injects
 // a deterministic, seed-replayable fault schedule into the clip route
@@ -42,8 +53,8 @@
 //
 // Usage:
 //
-//	cacheserver -addr :8377 -policy dynsimple:2 -ratio 0.125 -alloc 4000000 [-pprof] [-trace]
-//	            [-faults p=0.05] [-maxinflight 256] [-memlimit 1073741824]
+//	cacheserver -addr :8377 -policy dynsimple:2 -ratio 0.125 -alloc 4000000 [-shards 8]
+//	            [-pprof] [-trace] [-faults p=0.05] [-maxinflight 256] [-memlimit 1073741824]
 package main
 
 import (
@@ -52,6 +63,7 @@ import (
 	"log/slog"
 	"net/http"
 	"os"
+	"runtime"
 
 	"mediacache/internal/fault"
 	"mediacache/internal/media"
@@ -67,6 +79,7 @@ func main() {
 	alloc := fs.Int64("alloc", 4_000_000, "per-stream network bandwidth in bits/second")
 	admission := fs.Float64("admission", 0.5, "admission-control overhead in seconds")
 	seed := fs.Uint64("seed", sim.DefaultSeed, "policy tie-break seed")
+	shards := fs.Int("shards", runtime.GOMAXPROCS(0), "cache shard count (1 = the single serialized engine)")
 	pprofFlag := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	trace := fs.Bool("trace", false, "log every cache event (hit/miss/eviction/bypass/restore) at debug level")
 	faultsFlag := fs.String("faults", "", `fault-injection profile for the clip route, e.g. "p=0.05" or "error=0.1,timeout=0.05,latency=20ms" ("" or "off" disables)`)
@@ -93,6 +106,7 @@ func main() {
 		alloc:       media.BitsPerSecond(*alloc),
 		admission:   *admission,
 		seed:        *seed,
+		shards:      *shards,
 		logger:      logger,
 		trace:       *trace,
 		pprof:       *pprofFlag,
@@ -105,9 +119,10 @@ func main() {
 		os.Exit(1)
 	}
 	logger.Info("cacheserver listening",
-		slog.String("policy", srv.cache.Policy().Name()),
+		slog.String("policy", srv.pool.PolicyName()),
 		slog.String("addr", *addr),
-		slog.String("cache", srv.cache.Capacity().String()),
+		slog.String("cache", srv.pool.Capacity().String()),
+		slog.Int("shards", srv.pool.NumShards()),
 		slog.String("link", srv.alloc.String()),
 		slog.Bool("pprof", *pprofFlag),
 	)

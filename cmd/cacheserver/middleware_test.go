@@ -10,6 +10,8 @@ import (
 	"regexp"
 	"strings"
 	"testing"
+
+	"mediacache/internal/api"
 )
 
 // TestRequestIDPropagation checks a client-supplied X-Request-ID is echoed
@@ -52,7 +54,7 @@ func TestJSON404Envelope(t *testing.T) {
 	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
 		t.Errorf("Content-Type = %q, want application/json", ct)
 	}
-	var envelope errorResponse
+	var envelope api.Error
 	if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil {
 		t.Fatalf("404 body is not the JSON envelope: %v", err)
 	}
@@ -79,7 +81,7 @@ func TestJSON405EnvelopeWithAllow(t *testing.T) {
 	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
 		t.Errorf("Content-Type = %q, want application/json", ct)
 	}
-	var envelope errorResponse
+	var envelope api.Error
 	if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil {
 		t.Fatalf("405 body is not the JSON envelope: %v", err)
 	}
@@ -156,7 +158,7 @@ func TestMetricsExposition(t *testing.T) {
 		}
 	}
 	// bytes_fetched must equal the two missed clip sizes summed.
-	var st statsResponse
+	var st api.Stats
 	getJSON(t, ts.URL+"/v1/stats", &st)
 	want := fmt.Sprintf("mediacache_cache_bytes_fetched_total %d", st.BytesFetched)
 	if !strings.Contains(text, want) {
@@ -167,7 +169,7 @@ func TestMetricsExposition(t *testing.T) {
 // TestHealthz checks liveness and the invariant payload.
 func TestHealthz(t *testing.T) {
 	_, ts := newTestServer(t)
-	var h healthResponse
+	var h api.Health
 	if resp := getJSON(t, ts.URL+"/v1/healthz", &h); resp.StatusCode != http.StatusOK {
 		t.Fatalf("healthz status = %d", resp.StatusCode)
 	}
@@ -182,7 +184,7 @@ func TestHealthz(t *testing.T) {
 // TestVersion checks the build/runtime identity endpoint.
 func TestVersion(t *testing.T) {
 	_, ts := newTestServer(t)
-	var v versionResponse
+	var v api.BuildVersion
 	if resp := getJSON(t, ts.URL+"/v1/version", &v); resp.StatusCode != http.StatusOK {
 		t.Fatalf("version status = %d", resp.StatusCode)
 	}
@@ -207,7 +209,7 @@ func TestResidentPagination(t *testing.T) {
 		}
 		resp.Body.Close()
 	}
-	var all residentResponse
+	var all api.Resident
 	getJSON(t, ts.URL+"/v1/resident", &all)
 	if all.Total != 5 || len(all.Clips) != 5 {
 		t.Fatalf("unpaginated listing = %+v", all)
@@ -216,7 +218,7 @@ func TestResidentPagination(t *testing.T) {
 		t.Fatalf("per-clip detail missing: %+v", all.Clips[0])
 	}
 
-	var page residentResponse
+	var page api.Resident
 	getJSON(t, ts.URL+"/v1/resident?limit=2&offset=1", &page)
 	if page.Total != 5 || len(page.Clips) != 2 || page.Offset != 1 || page.Limit != 2 {
 		t.Fatalf("page = %+v", page)
@@ -226,14 +228,14 @@ func TestResidentPagination(t *testing.T) {
 	}
 
 	// Offset past the end: empty page, not an error.
-	var empty residentResponse
+	var empty api.Resident
 	getJSON(t, ts.URL+"/v1/resident?offset=99", &empty)
 	if len(empty.Clips) != 0 || empty.Total != 5 {
 		t.Fatalf("past-the-end page = %+v", empty)
 	}
 
 	// Bare-ID shape for existing clients, still paginated.
-	var ids residentIDsResponse
+	var ids api.ResidentIDs
 	getJSON(t, ts.URL+"/v1/resident?format=ids&limit=3", &ids)
 	if len(ids.Clips) != 3 || ids.UsedBytes <= 0 {
 		t.Fatalf("ids format = %+v", ids)

@@ -6,7 +6,9 @@ import (
 	"runtime"
 	"runtime/debug"
 
+	"mediacache/internal/api"
 	"mediacache/internal/metrics"
+	"mediacache/internal/obs"
 )
 
 // httpLatencyBuckets are the fixed per-route latency buckets: the engine
@@ -21,23 +23,20 @@ func metricLabelRoute(pattern string) metrics.Label {
 	return metrics.Label{Name: "route", Value: pattern}
 }
 
-// registerCacheGauges exposes the cache's instantaneous state as callback
-// gauges. Reads take the server mutex, so scrapes see consistent values;
-// the metrics handler itself never holds the mutex while rendering.
+// registerCacheGauges exposes the pool's instantaneous state as callback
+// gauges: the pool-wide totals under the historical mediacache_cache_*
+// names, plus the per-shard series (shard="i") and fetch-coalescing
+// counters through obs.RegisterShardMetrics. Pool-wide reads lock every
+// shard for one consistent snapshot; per-shard reads lock only their own
+// shard, so scrapes never serialize the whole pool.
 func (s *server) registerCacheGauges() {
-	locked := func(read func() float64) func() float64 {
-		return func() float64 {
-			s.mu.Lock()
-			defer s.mu.Unlock()
-			return read()
-		}
-	}
 	s.reg.GaugeFunc("mediacache_cache_used_bytes", "Bytes occupied by resident clips.",
-		locked(func() float64 { return float64(s.cache.UsedBytes()) }))
+		func() float64 { return float64(s.pool.UsedBytes()) })
 	s.reg.GaugeFunc("mediacache_cache_capacity_bytes", "Cache capacity S_T.",
-		locked(func() float64 { return float64(s.cache.Capacity()) }))
+		func() float64 { return float64(s.pool.Capacity()) })
 	s.reg.GaugeFunc("mediacache_cache_resident_clips", "Clips currently resident.",
-		locked(func() float64 { return float64(s.cache.NumResident()) }))
+		func() float64 { return float64(s.pool.NumResident()) })
+	obs.RegisterShardMetrics(s.reg, s.pool)
 }
 
 // handleMetrics services GET /v1/metrics with Prometheus text exposition.
@@ -49,27 +48,22 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// healthResponse is the JSON body of GET /v1/healthz.
-type healthResponse struct {
-	Status        string `json:"status"`
-	ResidentClips int    `json:"residentClips"`
-	UsedBytes     int64  `json:"usedBytes"`
-	CapacityBytes int64  `json:"capacityBytes"`
-}
-
 // handleHealthz services GET /v1/healthz: liveness plus the cache's core
-// invariant (used ≤ capacity). An invariant violation answers 500 so
-// orchestrators restart a corrupted instance.
+// invariant (used ≤ capacity) checked per shard and in aggregate. An
+// invariant violation answers 500 so orchestrators restart a corrupted
+// instance.
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	resp := healthResponse{
-		Status:        "ok",
-		ResidentClips: s.cache.NumResident(),
-		UsedBytes:     int64(s.cache.UsedBytes()),
-		CapacityBytes: int64(s.cache.Capacity()),
+	resp := api.Health{Status: "ok"}
+	violated := false
+	for _, sh := range s.pool.ShardStats() {
+		resp.ResidentClips += sh.NumResident
+		resp.UsedBytes += int64(sh.UsedBytes)
+		resp.CapacityBytes += int64(sh.Capacity)
+		if sh.UsedBytes > sh.Capacity {
+			violated = true
+		}
 	}
-	s.mu.Unlock()
-	if resp.UsedBytes > resp.CapacityBytes {
+	if violated || resp.UsedBytes > resp.CapacityBytes {
 		resp.Status = "invariant violated: used > capacity"
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusInternalServerError)
@@ -79,26 +73,13 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
-// versionResponse is the JSON body of GET /v1/version.
-type versionResponse struct {
-	API        string `json:"api"`
-	GoVersion  string `json:"goVersion"`
-	Policy     string `json:"policy"`
-	PolicySpec string `json:"policySpec"`
-	Module     string `json:"module,omitempty"`
-	Revision   string `json:"revision,omitempty"`
-}
-
 // handleVersion services GET /v1/version: API version, runtime and build
 // identity, and the policy this instance runs.
 func (s *server) handleVersion(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	name := s.cache.Policy().Name()
-	s.mu.Unlock()
-	resp := versionResponse{
+	resp := api.BuildVersion{
 		API:        "v1",
 		GoVersion:  runtime.Version(),
-		Policy:     name,
+		Policy:     s.pool.PolicyName(),
 		PolicySpec: s.policySpec,
 	}
 	if info, ok := debug.ReadBuildInfo(); ok {

@@ -7,8 +7,8 @@ import (
 	"log/slog"
 	"net/http"
 	"strconv"
-	"sync"
 
+	"mediacache/internal/api"
 	"mediacache/internal/core"
 	"mediacache/internal/fault"
 	"mediacache/internal/media"
@@ -16,24 +16,20 @@ import (
 	"mediacache/internal/netsim"
 	"mediacache/internal/obs"
 	"mediacache/internal/policy/registry"
+	"mediacache/internal/shard"
 	"mediacache/internal/sim"
 )
 
-// apiVersion is the current API version prefix. Unversioned paths are
-// deprecated aliases kept for pre-v1 clients; they serve the same handlers
-// with a Deprecation header pointing at the successor route. The alias set
-// is frozen: observability routes (/v1/metrics, /v1/healthz, /v1/version)
-// exist only under /v1.
-const apiVersion = "/v1"
-
 // config bundles everything newServer needs. Zero values are invalid for
-// policy/ratio/alloc; logger nil means "discard".
+// policy/ratio/alloc; logger nil means "discard"; shards <= 0 means one
+// shard (the single-engine layout every pre-sharding deployment ran).
 type config struct {
 	policy    string
 	ratio     float64
 	alloc     media.BitsPerSecond
 	admission float64
 	seed      uint64
+	shards    int          // cache shard count; <= 0 means 1
 	logger    *slog.Logger // access log + event traces; nil discards
 	trace     bool         // log every cache event at debug level
 	pprof     bool         // mount net/http/pprof under /debug/pprof/
@@ -45,15 +41,16 @@ type config struct {
 	memLimit    uint64        // bypass admission above this heap size (0 = off)
 }
 
-// server wires a device cache into an http.Handler. The core engine is
-// single-threaded by design (it models one device); the server serializes
-// requests with a mutex, which is also the honest model — a device displays
-// one clip at a time. Engine events flow through the core observer hook
-// into the metrics registry (and, with -trace, into slog), off the locked
-// path's critical section only in the sense that observers are atomics.
+// server wires a device cache into an http.Handler. The cache is a
+// hash-partitioned pool of single-threaded engines (internal/shard): each
+// shard owns a slice of the clip-ID space, its own policy instance and its
+// own lock, so requests for clips on different shards proceed in parallel
+// while each engine keeps the paper's one-device semantics. With -shards 1
+// the pool degenerates to exactly the single serialized engine earlier
+// versions ran. Engine events flow through the core observer hook into the
+// metrics registry (and, with -trace, into slog).
 type server struct {
-	mu         sync.Mutex
-	cache      *core.Cache
+	pool       *shard.Pool
 	alloc      media.BitsPerSecond
 	admission  netsim.Seconds
 	policySpec string
@@ -66,10 +63,14 @@ type server struct {
 	guard      *memGuard
 }
 
-// newServer builds the cache per the CLI configuration and mounts the API.
+// newServer builds the cache pool per the CLI configuration and mounts the
+// API.
 func newServer(cfg config) (*server, error) {
 	if cfg.alloc <= 0 {
 		return nil, fmt.Errorf("link bandwidth must be positive, got %v", cfg.alloc)
+	}
+	if cfg.ratio <= 0 || cfg.ratio >= 1 {
+		return nil, fmt.Errorf("cache ratio must be in (0, 1), got %v", cfg.ratio)
 	}
 	repo := media.PaperRepository()
 	pmf, err := pmfFor(repo)
@@ -84,22 +85,35 @@ func newServer(cfg config) (*server, error) {
 		return nil, err
 	}
 	reg := metrics.NewRegistry()
-	observer := core.Observer(obs.NewCacheMetrics(reg))
-	if cfg.trace {
-		observer = core.CombineObservers(observer, obs.NewTracer(log))
-	}
 	guard := newMemGuard(cfg.memLimit, reg)
-	engineOpts := []core.Option{core.WithObserver(observer)}
-	if cfg.memLimit > 0 {
-		engineOpts = append(engineOpts, core.WithAdmission(guard.admission))
+	// Every shard shares the registry-backed counters (registration is
+	// idempotent) but owns its observer instance, whose unexported state is
+	// guarded by that shard's lock.
+	shardOptions := func(int) []core.Option {
+		observer := core.Observer(obs.NewCacheMetrics(reg))
+		if cfg.trace {
+			observer = core.CombineObservers(observer, obs.NewTracer(log))
+		}
+		opts := []core.Option{core.WithObserver(observer)}
+		if cfg.memLimit > 0 {
+			opts = append(opts, core.WithAdmission(guard.admission))
+		}
+		return opts
 	}
-	cache, err := sim.NewCache(cfg.policy, repo, repo.CacheSizeForRatio(cfg.ratio),
-		pmf, cfg.seed, engineOpts...)
+	pool, err := shard.New(shard.Config{
+		Policy:       cfg.policy,
+		Repo:         repo,
+		PMF:          pmf,
+		Capacity:     repo.CacheSizeForRatio(cfg.ratio),
+		Seed:         cfg.seed,
+		Shards:       cfg.shards,
+		ShardOptions: shardOptions,
+	})
 	if err != nil {
 		return nil, err
 	}
 	s := &server{
-		cache:      cache,
+		pool:       pool,
 		alloc:      cfg.alloc,
 		admission:  netsim.Seconds(cfg.admission),
 		policySpec: cfg.policy,
@@ -124,7 +138,7 @@ func newServer(cfg config) (*server, error) {
 	routes := []struct {
 		pattern string
 		handler http.HandlerFunc
-		legacy  bool // also mount the deprecated unversioned alias
+		legacy  bool // also mount the retired unversioned alias (410 Gone)
 	}{
 		{"GET /clips/{id}", s.handleClip, true},
 		{"GET /stats", s.handleStats, true},
@@ -133,13 +147,14 @@ func newServer(cfg config) (*server, error) {
 		{"GET /snapshot", s.handleSnapshot, true},
 		{"POST /restore", s.handleRestore, true},
 		{"GET /policies", s.handlePolicies, true},
+		{"GET /shards", s.handleShards, false},
 		{"GET /metrics", s.handleMetrics, false},
 		{"GET /healthz", s.handleHealthz, false},
 		{"GET /version", s.handleVersion, false},
 	}
 	for _, rt := range routes {
 		method, path, _ := splitPattern(rt.pattern)
-		v1 := method + " " + apiVersion + path
+		v1 := method + " " + api.Version + path
 		handler := rt.handler
 		if s.chaos != nil && rt.pattern == "GET /clips/{id}" {
 			// The flaky link only affects clip fetches; the control and
@@ -148,12 +163,12 @@ func newServer(cfg config) (*server, error) {
 			// latency histogram.
 			handler = s.chaos.wrap(handler)
 		}
-		h := s.instrument(v1, handler)
-		s.mux.Handle(v1, h)
+		s.mux.Handle(v1, s.instrument(v1, handler))
 		if rt.legacy {
-			// Deprecated unversioned alias for pre-v1 clients; it shares
-			// the v1 route's latency series.
-			s.mux.Handle(rt.pattern, deprecated(apiVersion+path, h))
+			// The pre-v1 alias is retired: answer 410 Gone with a pointer
+			// at the versioned successor instead of serving stale wire
+			// shapes forever.
+			s.mux.Handle(rt.pattern, gone(api.Version+path))
 		}
 	}
 	if cfg.pprof {
@@ -173,14 +188,14 @@ func splitPattern(pattern string) (method, path string, ok bool) {
 	return "", pattern, false
 }
 
-// deprecated wraps a legacy-alias handler, marking responses with a
-// Deprecation header (RFC 9745) and a successor-version link so clients
-// can discover the /v1 route.
-func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
+// gone answers a retired pre-v1 alias path: 410 Gone in the uniform JSON
+// envelope, with a Link header (RFC 8288) naming the successor route so
+// stranded clients can self-migrate. The aliases served deprecation
+// headers for a full release cycle before retirement.
+func gone(successor string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Deprecation", "@1767225600") // 2026-01-01T00:00:00Z
 		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
-		h(w, r)
+		writeError(w, http.StatusGone, "unversioned path retired; use %s", successor)
 	}
 }
 
@@ -189,11 +204,6 @@ func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
 // rewrite → mux.
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.handler.ServeHTTP(w, r)
-}
-
-// errorResponse is the uniform JSON error envelope of the v1 API.
-type errorResponse struct {
-	Error string `json:"error"`
 }
 
 // writeError reports an error as the uniform JSON envelope.
@@ -207,17 +217,7 @@ func writeError(w http.ResponseWriter, status int, format string, args ...interf
 // wrapped writer).
 func writeErrorHeaderless(w http.ResponseWriter, status int, format string, args ...interface{}) {
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(errorResponse{Error: fmt.Sprintf(format, args...)})
-}
-
-// clipResponse is the JSON body of GET /v1/clips/{id}.
-type clipResponse struct {
-	Clip           media.ClipID `json:"clip"`
-	Kind           string       `json:"kind"`
-	SizeBytes      int64        `json:"sizeBytes"`
-	Outcome        string       `json:"outcome"`
-	Hit            bool         `json:"hit"`
-	LatencySeconds float64      `json:"latencySeconds"`
+	json.NewEncoder(w).Encode(api.Error{Error: fmt.Sprintf(format, args...)})
 }
 
 // handleClip services GET /v1/clips/{id}.
@@ -228,19 +228,17 @@ func (s *server) handleClip(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad clip id %q", raw)
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	clip, ok := s.cache.Repository().Lookup(media.ClipID(id))
+	clip, ok := s.pool.Repository().Lookup(media.ClipID(id))
 	if !ok {
 		writeError(w, http.StatusNotFound, "clip %d not in repository", id)
 		return
 	}
-	out, err := s.cache.Request(clip.ID)
+	out, err := s.pool.Request(clip.ID)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	resp := clipResponse{
+	resp := api.Clip{
 		Clip:      clip.ID,
 		Kind:      clip.Kind.String(),
 		SizeBytes: int64(clip.Size),
@@ -258,32 +256,25 @@ func (s *server) handleClip(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
-// statsResponse is the JSON body of GET /v1/stats.
-type statsResponse struct {
-	Policy          string  `json:"policy"`
-	Requests        uint64  `json:"requests"`
-	Hits            uint64  `json:"hits"`
-	HitRate         float64 `json:"hitRate"`
-	ByteHitRate     float64 `json:"byteHitRate"`
-	Evictions       uint64  `json:"evictions"`
-	BytesFetched    int64   `json:"bytesFetched"`
-	BytesFailed     int64   `json:"bytesFailed"`
-	DegradedMisses  uint64  `json:"degradedMisses"`
-	ResidentClips   int     `json:"residentClips"`
-	UsedBytes       int64   `json:"usedBytes"`
-	CapacityBytes   int64   `json:"capacityBytes"`
-	BypassedMisses  uint64  `json:"bypassedMisses"`
-	VictimCalls     uint64  `json:"victimCalls"`
-	TheoreticalNote string  `json:"note,omitempty"`
-}
-
-// handleStats services GET /v1/stats.
+// handleStats services GET /v1/stats: every shard's counters aggregated
+// under one consistent snapshot. The shards field appears only on sharded
+// pools, keeping single-shard responses byte-identical to pre-sharding
+// servers.
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st := s.cache.Stats()
-	writeJSON(w, statsResponse{
-		Policy:         s.cache.Policy().Name(),
+	var (
+		st       core.Stats
+		resident int
+		used     media.Bytes
+		capacity media.Bytes
+	)
+	for _, sh := range s.pool.ShardStats() {
+		st = st.Add(sh.Stats)
+		resident += sh.NumResident
+		used += sh.UsedBytes
+		capacity += sh.Capacity
+	}
+	resp := api.Stats{
+		Policy:         s.pool.PolicyName(),
 		Requests:       st.Requests,
 		Hits:           st.Hits,
 		HitRate:        st.HitRate(),
@@ -292,38 +283,35 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		BytesFetched:   int64(st.BytesFetched),
 		BytesFailed:    int64(st.BytesFailed),
 		DegradedMisses: st.FetchFailed,
-		ResidentClips:  s.cache.NumResident(),
-		UsedBytes:      int64(s.cache.UsedBytes()),
-		CapacityBytes:  int64(s.cache.Capacity()),
+		ResidentClips:  resident,
+		UsedBytes:      int64(used),
+		CapacityBytes:  int64(capacity),
 		BypassedMisses: st.Bypassed,
 		VictimCalls:    st.VictimCalls,
-	})
+	}
+	if n := s.pool.NumShards(); n > 1 {
+		resp.Shards = n
+	}
+	writeJSON(w, resp)
 }
 
-// residentClip is one entry of the detailed GET /v1/resident listing.
-type residentClip struct {
-	ID        media.ClipID `json:"id"`
-	Kind      string       `json:"kind"`
-	SizeBytes int64        `json:"sizeBytes"`
-}
-
-// residentResponse is the JSON body of GET /v1/resident (default, detailed
-// format). Total is the full resident count; Clips is the requested page.
-type residentResponse struct {
-	Clips     []residentClip `json:"clips"`
-	Total     int            `json:"total"`
-	Offset    int            `json:"offset"`
-	Limit     int            `json:"limit,omitempty"`
-	UsedBytes int64          `json:"usedBytes"`
-	FreeBytes int64          `json:"freeBytes"`
-}
-
-// residentIDsResponse is the bare-ID shape served under ?format=ids — the
-// pre-pagination wire format, kept for existing clients.
-type residentIDsResponse struct {
-	Clips     []media.ClipID `json:"clips"`
-	UsedBytes int64          `json:"usedBytes"`
-	FreeBytes int64          `json:"freeBytes"`
+// handleShards services GET /v1/shards: the pool's per-shard occupancy and
+// hit statistics, in shard-index order, from one consistent snapshot.
+func (s *server) handleShards(w http.ResponseWriter, r *http.Request) {
+	stats := s.pool.ShardStats()
+	resp := api.Shards{Shards: make([]api.Shard, len(stats))}
+	for i, sh := range stats {
+		resp.Shards[i] = api.Shard{
+			Shard:         sh.Index,
+			Requests:      sh.Stats.Requests,
+			Hits:          sh.Stats.Hits,
+			HitRate:       sh.Stats.HitRate(),
+			ResidentClips: sh.NumResident,
+			UsedBytes:     int64(sh.UsedBytes),
+			CapacityBytes: int64(sh.Capacity),
+		}
+	}
+	writeJSON(w, resp)
 }
 
 // queryInt parses a non-negative integer query parameter, with def for
@@ -360,58 +348,63 @@ func (s *server) handleResident(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	s.mu.Lock()
-	ids := s.cache.ResidentIDs()
-	used := int64(s.cache.UsedBytes())
-	free := int64(s.cache.FreeBytes())
-	repo := s.cache.Repository()
-	total := len(ids)
+	// One consistent pool snapshot, merged ascending by ID; byte occupancy
+	// derives from the same snapshot so used+free always equals capacity.
+	var (
+		all  []media.Clip
+		used media.Bytes
+	)
+	for c := range s.pool.Residents() {
+		all = append(all, c)
+		used += c.Size
+	}
+	free := s.pool.Capacity() - used
+	total := len(all)
 	// Page in ascending-ID order. offset past the end is an empty page,
 	// not an error, so clients can walk until exhaustion.
 	if offset > total {
 		offset = total
 	}
-	page := ids[offset:]
+	page := all[offset:]
 	if limit > 0 && limit < len(page) {
 		page = page[:limit]
 	}
-	clips := make([]residentClip, len(page))
-	for i, id := range page {
-		c := repo.Clip(id)
-		clips[i] = residentClip{ID: c.ID, Kind: c.Kind.String(), SizeBytes: int64(c.Size)}
-	}
-	s.mu.Unlock()
 
 	if format == "ids" {
-		writeJSON(w, residentIDsResponse{Clips: page, UsedBytes: used, FreeBytes: free})
+		ids := make([]media.ClipID, len(page))
+		for i, c := range page {
+			ids[i] = c.ID
+		}
+		writeJSON(w, api.ResidentIDs{Clips: ids, UsedBytes: int64(used), FreeBytes: int64(free)})
 		return
 	}
-	writeJSON(w, residentResponse{
+	clips := make([]api.ResidentClip, len(page))
+	for i, c := range page {
+		clips[i] = api.ResidentClip{ID: c.ID, Kind: c.Kind.String(), SizeBytes: int64(c.Size)}
+	}
+	writeJSON(w, api.Resident{
 		Clips:     clips,
 		Total:     total,
 		Offset:    offset,
 		Limit:     limit,
-		UsedBytes: used,
-		FreeBytes: free,
+		UsedBytes: int64(used),
+		FreeBytes: int64(free),
 	})
 }
 
 // handleReset services POST /v1/reset.
 func (s *server) handleReset(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.cache.Reset()
+	s.pool.Reset()
 	w.WriteHeader(http.StatusNoContent)
 }
 
-// handleSnapshot services GET /v1/snapshot: the cache's persistent state as
+// handleSnapshot services GET /v1/snapshot: the pool's persistent state as
 // a gob-encoded core.Snapshot, suitable for POSTing back to /v1/restore
 // after a restart (the FMC device's disk-backed cache surviving a power
-// cycle).
+// cycle). Snapshots are portable across shard counts: restore re-partitions
+// the resident set by the routing hash.
 func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	snap := s.cache.Snapshot()
-	s.mu.Unlock()
+	snap := s.pool.Snapshot()
 	w.Header().Set("Content-Type", "application/octet-stream")
 	if err := snap.WriteSnapshot(w); err != nil {
 		writeError(w, http.StatusInternalServerError, "%v", err)
@@ -425,30 +418,19 @@ func (s *server) handleRestore(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.cache.Restore(snap); err != nil {
+	if err := s.pool.Restore(snap); err != nil {
 		writeError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
-// policiesResponse is the JSON body of GET /v1/policies.
-type policiesResponse struct {
-	Current  string   `json:"current"`
-	Policies []string `json:"policies"`
-}
-
 // handlePolicies services GET /v1/policies: the policy specs the registry
 // can build (including any registered out-of-tree) and the one this server
 // is running.
 func (s *server) handlePolicies(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	current := s.cache.Policy().Name()
-	s.mu.Unlock()
-	writeJSON(w, policiesResponse{
-		Current:  current,
+	writeJSON(w, api.Policies{
+		Current:  s.pool.PolicyName(),
 		Policies: registry.Usages(),
 	})
 }

@@ -10,10 +10,13 @@ import (
 	"sync"
 	"testing"
 
+	"mediacache/internal/api"
 	"mediacache/internal/media"
 )
 
-// testConfig is the baseline server configuration the tests build on.
+// testConfig is the baseline server configuration the tests build on: a
+// single shard, so every request reproduces the pre-sharding engine's
+// decisions exactly.
 func testConfig() config {
 	return config{policy: "dynsimple:2", ratio: 0.125, alloc: 4 * media.Mbps, admission: 0.5, seed: 1}
 }
@@ -65,12 +68,18 @@ func TestNewServerValidation(t *testing.T) {
 	if _, err := newServer(cfg); err == nil {
 		t.Error("ratio >= 1 should fail")
 	}
+	cfg = testConfig()
+	cfg.ratio = 2.0
+	cfg.shards = 4
+	if _, err := newServer(cfg); err == nil {
+		t.Error("ratio >= 1 should fail regardless of shard count")
+	}
 }
 
 func TestClipMissThenHit(t *testing.T) {
 	_, ts := newTestServer(t)
-	var first, second clipResponse
-	resp := getJSON(t, ts.URL+"/clips/2", &first)
+	var first, second api.Clip
+	resp := getJSON(t, ts.URL+"/v1/clips/2", &first)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d", resp.StatusCode)
 	}
@@ -80,7 +89,7 @@ func TestClipMissThenHit(t *testing.T) {
 	if first.LatencySeconds <= 0 {
 		t.Fatal("miss should report startup latency")
 	}
-	getJSON(t, ts.URL+"/clips/2", &second)
+	getJSON(t, ts.URL+"/v1/clips/2", &second)
 	if !second.Hit || second.LatencySeconds != 0 {
 		t.Fatalf("second request = %+v, want zero-latency hit", second)
 	}
@@ -91,30 +100,30 @@ func TestClipMissThenHit(t *testing.T) {
 
 func TestClipErrors(t *testing.T) {
 	_, ts := newTestServer(t)
-	if resp := getJSON(t, ts.URL+"/clips/notanumber", nil); resp.StatusCode != http.StatusBadRequest {
+	if resp := getJSON(t, ts.URL+"/v1/clips/notanumber", nil); resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("bad id status = %d", resp.StatusCode)
 	}
-	if resp := getJSON(t, ts.URL+"/clips/99999", nil); resp.StatusCode != http.StatusNotFound {
+	if resp := getJSON(t, ts.URL+"/v1/clips/99999", nil); resp.StatusCode != http.StatusNotFound {
 		t.Errorf("unknown clip status = %d", resp.StatusCode)
 	}
-	resp, err := http.Post(ts.URL+"/clips/1", "text/plain", nil)
+	resp, err := http.Post(ts.URL+"/v1/clips/1", "text/plain", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
-		t.Errorf("POST /clips status = %d", resp.StatusCode)
+		t.Errorf("POST /v1/clips status = %d", resp.StatusCode)
 	}
 }
 
 func TestStatsAndResident(t *testing.T) {
 	_, ts := newTestServer(t)
 	for i := 1; i <= 6; i++ {
-		getJSON(t, fmt.Sprintf("%s/clips/%d", ts.URL, i), nil)
+		getJSON(t, fmt.Sprintf("%s/v1/clips/%d", ts.URL, i), nil)
 	}
-	getJSON(t, ts.URL+"/clips/2", nil) // a hit
-	var st statsResponse
-	getJSON(t, ts.URL+"/stats", &st)
+	getJSON(t, ts.URL+"/v1/clips/2", nil) // a hit
+	var st api.Stats
+	getJSON(t, ts.URL+"/v1/stats", &st)
 	if st.Requests != 7 || st.Hits < 1 {
 		t.Fatalf("stats = %+v", st)
 	}
@@ -124,8 +133,11 @@ func TestStatsAndResident(t *testing.T) {
 	if st.CapacityBytes <= 0 || st.UsedBytes <= 0 {
 		t.Fatalf("byte accounting = %+v", st)
 	}
-	var res residentResponse
-	getJSON(t, ts.URL+"/resident", &res)
+	if st.Shards != 0 {
+		t.Fatalf("single-shard stats must omit the shards field, got %d", st.Shards)
+	}
+	var res api.Resident
+	getJSON(t, ts.URL+"/v1/resident", &res)
 	if len(res.Clips) == 0 {
 		t.Fatal("no resident clips after requests")
 	}
@@ -136,8 +148,8 @@ func TestStatsAndResident(t *testing.T) {
 
 func TestReset(t *testing.T) {
 	_, ts := newTestServer(t)
-	getJSON(t, ts.URL+"/clips/1", nil)
-	resp, err := http.Post(ts.URL+"/reset", "", nil)
+	getJSON(t, ts.URL+"/v1/clips/1", nil)
+	resp, err := http.Post(ts.URL+"/v1/reset", "", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,13 +157,13 @@ func TestReset(t *testing.T) {
 	if resp.StatusCode != http.StatusNoContent {
 		t.Fatalf("reset status = %d", resp.StatusCode)
 	}
-	var st statsResponse
-	getJSON(t, ts.URL+"/stats", &st)
+	var st api.Stats
+	getJSON(t, ts.URL+"/v1/stats", &st)
 	if st.Requests != 0 || st.ResidentClips != 0 {
 		t.Fatalf("stats after reset = %+v", st)
 	}
-	if resp := getJSON(t, ts.URL+"/reset", nil); resp.StatusCode != http.StatusMethodNotAllowed {
-		t.Errorf("GET /reset status = %d", resp.StatusCode)
+	if resp := getJSON(t, ts.URL+"/v1/reset", nil); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/reset status = %d", resp.StatusCode)
 	}
 }
 
@@ -163,7 +175,7 @@ func TestConcurrentRequestsSafe(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for i := 0; i < 30; i++ {
-				resp, err := http.Get(fmt.Sprintf("%s/clips/%d", ts.URL, (g*30+i)%576+1))
+				resp, err := http.Get(fmt.Sprintf("%s/v1/clips/%d", ts.URL, (g*30+i)%576+1))
 				if err == nil {
 					resp.Body.Close()
 				}
@@ -171,8 +183,8 @@ func TestConcurrentRequestsSafe(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
-	var st statsResponse
-	getJSON(t, ts.URL+"/stats", &st)
+	var st api.Stats
+	getJSON(t, ts.URL+"/v1/stats", &st)
 	if st.Requests != 240 {
 		t.Fatalf("requests = %d, want 240 (lost updates under concurrency?)", st.Requests)
 	}
@@ -184,10 +196,10 @@ func TestConcurrentRequestsSafe(t *testing.T) {
 func TestSnapshotRestoreCycle(t *testing.T) {
 	_, ts := newTestServer(t)
 	for i := 1; i <= 4; i++ {
-		getJSON(t, fmt.Sprintf("%s/clips/%d", ts.URL, i), nil)
+		getJSON(t, fmt.Sprintf("%s/v1/clips/%d", ts.URL, i), nil)
 	}
 	// Capture the snapshot ("power down").
-	resp, err := http.Get(ts.URL + "/snapshot")
+	resp, err := http.Get(ts.URL + "/v1/snapshot")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +211,7 @@ func TestSnapshotRestoreCycle(t *testing.T) {
 
 	// A fresh server ("after reboot") restores it.
 	_, ts2 := newTestServer(t)
-	resp, err = http.Post(ts2.URL+"/restore", "application/octet-stream", bytes.NewReader(blob))
+	resp, err = http.Post(ts2.URL+"/v1/restore", "application/octet-stream", bytes.NewReader(blob))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,22 +219,55 @@ func TestSnapshotRestoreCycle(t *testing.T) {
 	if resp.StatusCode != http.StatusNoContent {
 		t.Fatalf("restore status %d", resp.StatusCode)
 	}
-	var st statsResponse
-	getJSON(t, ts2.URL+"/stats", &st)
+	var st api.Stats
+	getJSON(t, ts2.URL+"/v1/stats", &st)
 	if st.Requests != 4 || st.ResidentClips == 0 {
 		t.Fatalf("restored stats = %+v", st)
 	}
 	// Restored residency turns repeats into hits.
-	var clip clipResponse
-	getJSON(t, ts2.URL+"/clips/2", &clip)
+	var clip api.Clip
+	getJSON(t, ts2.URL+"/v1/clips/2", &clip)
 	if !clip.Hit {
 		t.Fatal("restored clip should hit")
 	}
 }
 
+// TestSnapshotPortableAcrossShardCounts captures a single-shard snapshot
+// and restores it into a sharded server: the resident set re-partitions by
+// the routing hash and repeats hit.
+func TestSnapshotPortableAcrossShardCounts(t *testing.T) {
+	_, ts := newTestServer(t)
+	for i := 1; i <= 4; i++ {
+		getJSON(t, fmt.Sprintf("%s/v1/clips/%d", ts.URL, i), nil)
+	}
+	resp, err := http.Get(ts.URL + "/v1/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+
+	cfg := testConfig()
+	cfg.shards = 4
+	_, ts2 := newTestServerConfig(t, cfg)
+	resp, err = http.Post(ts2.URL+"/v1/restore", "application/octet-stream", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("cross-shard restore status %d", resp.StatusCode)
+	}
+	var clip api.Clip
+	getJSON(t, ts2.URL+"/v1/clips/2", &clip)
+	if !clip.Hit {
+		t.Fatal("clip restored into the sharded pool should hit")
+	}
+}
+
 func TestRestoreRejectsGarbage(t *testing.T) {
 	_, ts := newTestServer(t)
-	resp, err := http.Post(ts.URL+"/restore", "application/octet-stream",
+	resp, err := http.Post(ts.URL+"/v1/restore", "application/octet-stream",
 		bytes.NewReader([]byte("junk")))
 	if err != nil {
 		t.Fatal(err)
@@ -232,9 +277,9 @@ func TestRestoreRejectsGarbage(t *testing.T) {
 		t.Fatalf("garbage restore status %d", resp.StatusCode)
 	}
 	// Wrong methods.
-	resp, _ = http.Post(ts.URL+"/snapshot", "", nil)
+	resp, _ = http.Post(ts.URL+"/v1/snapshot", "", nil)
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
-		t.Fatalf("POST /snapshot status %d", resp.StatusCode)
+		t.Fatalf("POST /v1/snapshot status %d", resp.StatusCode)
 	}
 }

@@ -1,0 +1,113 @@
+package main
+
+// sharded_chaos_test.go is the race-detector acceptance test of the
+// sharded front-end: concurrent clients hammer a multi-shard server
+// through a 20% fault profile with load shedding enabled, and the
+// aggregated statistics snapshot must still satisfy the engine's counting
+// identities exactly — no lost updates, no double counts.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mediacache/internal/api"
+	"mediacache/internal/fault"
+)
+
+func TestShardedChaosDriveIdentities(t *testing.T) {
+	cfg := testConfig()
+	cfg.shards = 4
+	cfg.maxInFlight = 64
+	// 20% of clip fetches fail at the HTTP layer: errors, stalls (1ms
+	// hold) and partial deliveries. Faulted and shed requests never reach
+	// the cache, so the driver counts only 200s against the engine.
+	cfg.faults = fault.Profile{ErrorRate: 0.1, TimeoutRate: 0.05, PartialRate: 0.05,
+		Hold: time.Millisecond}
+	srv, ts := newTestServerConfig(t, cfg)
+
+	const (
+		clients  = 8
+		perEach  = 150
+		universe = 576
+	)
+	var (
+		wg       sync.WaitGroup
+		outcomes sync.Map // outcome string -> *atomic.Uint64
+		served   atomic.Uint64
+	)
+	count := func(outcome string) {
+		v, _ := outcomes.LoadOrStore(outcome, new(atomic.Uint64))
+		v.(*atomic.Uint64).Add(1)
+	}
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perEach; i++ {
+				id := (g*perEach+i*7)%universe + 1
+				resp, err := http.Get(fmt.Sprintf("%s/v1/clips/%d", ts.URL, id))
+				if err != nil {
+					t.Errorf("request failed: %v", err)
+					return
+				}
+				if resp.StatusCode == http.StatusOK {
+					var clip api.Clip
+					if err := json.NewDecoder(resp.Body).Decode(&clip); err != nil {
+						t.Errorf("bad clip body: %v", err)
+						resp.Body.Close()
+						return
+					}
+					served.Add(1)
+					count(clip.Outcome)
+				}
+				resp.Body.Close()
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	load := func(outcome string) uint64 {
+		if v, ok := outcomes.Load(outcome); ok {
+			return v.(*atomic.Uint64).Load()
+		}
+		return 0
+	}
+	st := srv.pool.Stats()
+	if st.Requests != served.Load() {
+		t.Fatalf("aggregate requests %d != driver-observed 200s %d", st.Requests, served.Load())
+	}
+	if st.Hits != load("hit") {
+		t.Errorf("aggregate hits %d != driver-observed hits %d", st.Hits, load("hit"))
+	}
+	bypassed := load("miss-bypassed") + load("miss-too-large") + load("miss-error")
+	if st.Bypassed != bypassed {
+		t.Errorf("aggregate bypassed %d != driver-observed %d", st.Bypassed, bypassed)
+	}
+	// The engine's counting identity on the aggregated snapshot.
+	if st.Requests != st.Hits+load("miss-cached")+st.Bypassed+st.FetchFailed {
+		t.Errorf("requests %d != hits %d + missCached %d + bypassed %d + fetchFailed %d",
+			st.Requests, st.Hits, load("miss-cached"), st.Bypassed, st.FetchFailed)
+	}
+	// Byte identity: every referenced byte was served from cache, fetched,
+	// or failed.
+	if st.BytesHit+st.BytesFetched+st.BytesFailed != st.BytesReferenced {
+		t.Errorf("byte identity violated: hit %d + fetched %d + failed %d != referenced %d",
+			st.BytesHit, st.BytesFetched, st.BytesFailed, st.BytesReferenced)
+	}
+	// The per-shard listing must sum to the same aggregate.
+	var sum uint64
+	for _, sh := range srv.pool.ShardStats() {
+		sum += sh.Stats.Requests
+		if sh.UsedBytes > sh.Capacity {
+			t.Errorf("shard %d: used %v exceeds capacity %v", sh.Index, sh.UsedBytes, sh.Capacity)
+		}
+	}
+	if sum != st.Requests {
+		t.Errorf("per-shard request sum %d != aggregate %d", sum, st.Requests)
+	}
+}

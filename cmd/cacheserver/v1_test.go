@@ -2,29 +2,32 @@ package main
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"testing"
 
+	"mediacache/internal/api"
 	"mediacache/internal/policy/registry"
 )
 
 // TestV1Routes drives the full request cycle through the versioned paths.
 func TestV1Routes(t *testing.T) {
 	_, ts := newTestServer(t)
-	var clip clipResponse
+	var clip api.Clip
 	if resp := getJSON(t, ts.URL+"/v1/clips/2", &clip); resp.StatusCode != http.StatusOK {
 		t.Fatalf("GET /v1/clips/2 status = %d", resp.StatusCode)
 	}
 	if clip.Hit || clip.Outcome != "miss-cached" {
 		t.Fatalf("first v1 request = %+v, want miss-cached", clip)
 	}
-	var st statsResponse
+	var st api.Stats
 	getJSON(t, ts.URL+"/v1/stats", &st)
 	if st.Requests != 1 {
 		t.Fatalf("v1 stats = %+v, want 1 request", st)
 	}
-	var res residentResponse
+	var res api.Resident
 	getJSON(t, ts.URL+"/v1/resident", &res)
 	if len(res.Clips) != 1 {
 		t.Fatalf("v1 resident = %+v, want 1 clip", res)
@@ -70,7 +73,7 @@ func TestV1ErrorEnvelope(t *testing.T) {
 		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
 			t.Errorf("%s Content-Type = %q, want application/json", path, ct)
 		}
-		var envelope errorResponse
+		var envelope api.Error
 		if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil {
 			t.Fatalf("%s: error body is not the JSON envelope: %v", path, err)
 		}
@@ -81,26 +84,52 @@ func TestV1ErrorEnvelope(t *testing.T) {
 	}
 }
 
-// TestLegacyAliasDeprecation checks that unversioned paths still work but
-// carry deprecation metadata, and that /v1 paths do not.
-func TestLegacyAliasDeprecation(t *testing.T) {
+// TestLegacyAliasGone checks the retired unversioned paths answer 410 Gone
+// in the JSON envelope with a Link to the /v1 successor, and that the /v1
+// paths themselves are unaffected.
+func TestLegacyAliasGone(t *testing.T) {
 	_, ts := newTestServer(t)
-	resp, err := http.Get(ts.URL + "/stats")
+	for path, successor := range map[string]string{
+		"/stats":    "/v1/stats",
+		"/clips/2":  "/v1/clips/{id}",
+		"/resident": "/v1/resident",
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusGone {
+			t.Errorf("legacy %s status = %d, want 410", path, resp.StatusCode)
+		}
+		if link := resp.Header.Get("Link"); !strings.Contains(link, successor) {
+			t.Errorf("legacy %s Link = %q, want successor %s", path, link, successor)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("legacy %s Content-Type = %q, want application/json", path, ct)
+		}
+		var envelope api.Error
+		if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil {
+			t.Fatalf("legacy %s: 410 body is not the JSON envelope: %v", path, err)
+		}
+		resp.Body.Close()
+		if !strings.Contains(envelope.Error, "/v1/") {
+			t.Errorf("legacy %s error %q should name the successor", path, envelope.Error)
+		}
+	}
+	// The retired aliases must not count as cache traffic.
+	var st api.Stats
+	getJSON(t, ts.URL+"/v1/stats", &st)
+	if st.Requests != 0 {
+		t.Errorf("legacy 410s reached the cache: %d requests", st.Requests)
+	}
+	resp, err := http.Get(ts.URL + "/v1/stats")
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if resp.Header.Get("Deprecation") == "" {
-		t.Error("legacy /stats missing Deprecation header")
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/v1/stats status = %d, want 200", resp.StatusCode)
 	}
-	if link := resp.Header.Get("Link"); !strings.Contains(link, "/v1/stats") {
-		t.Errorf("legacy /stats Link = %q, want successor /v1/stats", link)
-	}
-	resp, err = http.Get(ts.URL + "/v1/stats")
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
 	if resp.Header.Get("Deprecation") != "" {
 		t.Error("/v1/stats must not be marked deprecated")
 	}
@@ -109,7 +138,7 @@ func TestLegacyAliasDeprecation(t *testing.T) {
 // TestV1Policies checks the registry-backed discovery endpoint.
 func TestV1Policies(t *testing.T) {
 	_, ts := newTestServer(t)
-	var pol policiesResponse
+	var pol api.Policies
 	if resp := getJSON(t, ts.URL+"/v1/policies", &pol); resp.StatusCode != http.StatusOK {
 		t.Fatalf("GET /v1/policies status = %d", resp.StatusCode)
 	}
@@ -124,5 +153,76 @@ func TestV1Policies(t *testing.T) {
 		if pol.Policies[i] != want[i] {
 			t.Fatalf("policies[%d] = %q, want %q", i, pol.Policies[i], want[i])
 		}
+	}
+}
+
+// TestV1Shards checks the per-shard listing: one entry per shard in index
+// order, capacities summing to the stats capacity, and requests summing to
+// the aggregate count.
+func TestV1Shards(t *testing.T) {
+	cfg := testConfig()
+	cfg.shards = 4
+	_, ts := newTestServerConfig(t, cfg)
+	for i := 1; i <= 20; i++ {
+		resp, err := http.Get(ts.URL + "/v1/clips/" + strconv.Itoa(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	var sh api.Shards
+	if resp := getJSON(t, ts.URL+"/v1/shards", &sh); resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/shards status = %d", resp.StatusCode)
+	}
+	if len(sh.Shards) != 4 {
+		t.Fatalf("shard count = %d, want 4", len(sh.Shards))
+	}
+	var st api.Stats
+	getJSON(t, ts.URL+"/v1/stats", &st)
+	if st.Shards != 4 {
+		t.Errorf("stats shards field = %d, want 4", st.Shards)
+	}
+	var requests, hits uint64
+	var capacity, used int64
+	for i, s := range sh.Shards {
+		if s.Shard != i {
+			t.Errorf("shard %d reports index %d", i, s.Shard)
+		}
+		requests += s.Requests
+		hits += s.Hits
+		capacity += s.CapacityBytes
+		used += s.UsedBytes
+		if s.UsedBytes > s.CapacityBytes {
+			t.Errorf("shard %d: used %d > capacity %d", i, s.UsedBytes, s.CapacityBytes)
+		}
+	}
+	if requests != st.Requests || hits != st.Hits {
+		t.Errorf("per-shard sums (%d req, %d hits) != aggregate (%d, %d)",
+			requests, hits, st.Requests, st.Hits)
+	}
+	if capacity != st.CapacityBytes {
+		t.Errorf("per-shard capacity sum %d != aggregate %d", capacity, st.CapacityBytes)
+	}
+	if used != st.UsedBytes {
+		t.Errorf("per-shard used sum %d != aggregate %d", used, st.UsedBytes)
+	}
+}
+
+// TestV1StatsShardsFieldOmitted pins the single-shard wire format: the raw
+// /v1/stats body must not grow a shards key, so pre-sharding clients (and
+// goldens) see byte-identical responses.
+func TestV1StatsShardsFieldOmitted(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(body), `"shards"`) {
+		t.Fatalf("single-shard stats body contains a shards key:\n%s", body)
 	}
 }

@@ -1,0 +1,118 @@
+// Package api declares the wire types of the cacheserver /v1 HTTP API.
+//
+// The server (cmd/cacheserver) and the resilient client
+// (internal/cacheclient) both consume these structs, so the JSON contract
+// lives in exactly one place. Field names are frozen: renaming a json tag
+// is a breaking API change and requires a version bump, not an edit here.
+package api
+
+import "mediacache/internal/media"
+
+// Version is the current API version prefix of every route.
+const Version = "/v1"
+
+// Error is the uniform JSON error envelope every non-2xx response carries.
+type Error struct {
+	Error string `json:"error"`
+}
+
+// Clip is the response of GET /v1/clips/{id}: the outcome of one cache
+// request. LatencySeconds is the modeled startup latency and is zero on
+// hits.
+type Clip struct {
+	Clip           media.ClipID `json:"clip"`
+	Kind           string       `json:"kind"`
+	SizeBytes      int64        `json:"sizeBytes"`
+	Outcome        string       `json:"outcome"`
+	Hit            bool         `json:"hit"`
+	LatencySeconds float64      `json:"latencySeconds"`
+}
+
+// Stats is the response of GET /v1/stats. With a sharded cache the counters
+// are aggregated over every shard and Shards reports the shard count
+// (omitted by pre-sharding servers).
+type Stats struct {
+	Policy          string  `json:"policy"`
+	Shards          int     `json:"shards,omitempty"`
+	Requests        uint64  `json:"requests"`
+	Hits            uint64  `json:"hits"`
+	HitRate         float64 `json:"hitRate"`
+	ByteHitRate     float64 `json:"byteHitRate"`
+	Evictions       uint64  `json:"evictions"`
+	BytesFetched    int64   `json:"bytesFetched"`
+	BytesFailed     int64   `json:"bytesFailed"`
+	DegradedMisses  uint64  `json:"degradedMisses"`
+	ResidentClips   int     `json:"residentClips"`
+	UsedBytes       int64   `json:"usedBytes"`
+	CapacityBytes   int64   `json:"capacityBytes"`
+	BypassedMisses  uint64  `json:"bypassedMisses"`
+	VictimCalls     uint64  `json:"victimCalls"`
+	TheoreticalNote string  `json:"note,omitempty"`
+}
+
+// ResidentClip is one entry of the detailed GET /v1/resident listing.
+type ResidentClip struct {
+	ID        media.ClipID `json:"id"`
+	Kind      string       `json:"kind"`
+	SizeBytes int64        `json:"sizeBytes"`
+}
+
+// Resident is the response of GET /v1/resident (default, detailed format).
+// Total is the full resident count; Clips is the requested page.
+type Resident struct {
+	Clips     []ResidentClip `json:"clips"`
+	Total     int            `json:"total"`
+	Offset    int            `json:"offset"`
+	Limit     int            `json:"limit,omitempty"`
+	UsedBytes int64          `json:"usedBytes"`
+	FreeBytes int64          `json:"freeBytes"`
+}
+
+// ResidentIDs is the bare-ID shape served under GET /v1/resident?format=ids
+// — the pre-pagination wire format, kept for existing clients.
+type ResidentIDs struct {
+	Clips     []media.ClipID `json:"clips"`
+	UsedBytes int64          `json:"usedBytes"`
+	FreeBytes int64          `json:"freeBytes"`
+}
+
+// Policies is the response of GET /v1/policies.
+type Policies struct {
+	Current  string   `json:"current"`
+	Policies []string `json:"policies"`
+}
+
+// Shard describes one cache shard in the GET /v1/shards listing.
+type Shard struct {
+	Shard         int     `json:"shard"`
+	Requests      uint64  `json:"requests"`
+	Hits          uint64  `json:"hits"`
+	HitRate       float64 `json:"hitRate"`
+	ResidentClips int     `json:"residentClips"`
+	UsedBytes     int64   `json:"usedBytes"`
+	CapacityBytes int64   `json:"capacityBytes"`
+}
+
+// Shards is the response of GET /v1/shards: the hash-partitioned pool's
+// per-shard occupancy and hit statistics, in shard-index order.
+type Shards struct {
+	Shards []Shard `json:"shards"`
+}
+
+// Health is the response of GET /v1/healthz.
+type Health struct {
+	Status        string `json:"status"`
+	ResidentClips int    `json:"residentClips"`
+	UsedBytes     int64  `json:"usedBytes"`
+	CapacityBytes int64  `json:"capacityBytes"`
+}
+
+// BuildVersion is the response of GET /v1/version.
+type BuildVersion struct {
+	API        string `json:"api"`
+	GoVersion  string `json:"goVersion"`
+	Policy     string `json:"policy"`
+	PolicySpec string `json:"policySpec"`
+	Module     string `json:"module,omitempty"`
+	Revision   string `json:"revision,omitempty"`
+}

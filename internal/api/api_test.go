@@ -1,0 +1,86 @@
+package api
+
+import (
+	"encoding/json"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// wireFields freezes the JSON contract: renaming or dropping a field is a
+// breaking change that must fail here first.
+var wireFields = map[string][]string{
+	"Error":        {"error"},
+	"Clip":         {"clip", "kind", "sizeBytes", "outcome", "hit", "latencySeconds"},
+	"Stats":        {"policy", "shards", "requests", "hits", "hitRate", "byteHitRate", "evictions", "bytesFetched", "bytesFailed", "degradedMisses", "residentClips", "usedBytes", "capacityBytes", "bypassedMisses", "victimCalls", "note"},
+	"ResidentClip": {"id", "kind", "sizeBytes"},
+	"Resident":     {"clips", "total", "offset", "limit", "usedBytes", "freeBytes"},
+	"ResidentIDs":  {"clips", "usedBytes", "freeBytes"},
+	"Policies":     {"current", "policies"},
+	"Shard":        {"shard", "requests", "hits", "hitRate", "residentClips", "usedBytes", "capacityBytes"},
+	"Shards":       {"shards"},
+	"Health":       {"status", "residentClips", "usedBytes", "capacityBytes"},
+	"BuildVersion": {"api", "goVersion", "policy", "policySpec", "module", "revision"},
+}
+
+// jsonTags extracts the json field names of a struct type.
+func jsonTags(t reflect.Type) []string {
+	var tags []string
+	for i := 0; i < t.NumField(); i++ {
+		tag := t.Field(i).Tag.Get("json")
+		for j := 0; j < len(tag); j++ {
+			if tag[j] == ',' {
+				tag = tag[:j]
+				break
+			}
+		}
+		tags = append(tags, tag)
+	}
+	return tags
+}
+
+func TestWireContractFrozen(t *testing.T) {
+	types := map[string]reflect.Type{
+		"Error":        reflect.TypeOf(Error{}),
+		"Clip":         reflect.TypeOf(Clip{}),
+		"Stats":        reflect.TypeOf(Stats{}),
+		"ResidentClip": reflect.TypeOf(ResidentClip{}),
+		"Resident":     reflect.TypeOf(Resident{}),
+		"ResidentIDs":  reflect.TypeOf(ResidentIDs{}),
+		"Policies":     reflect.TypeOf(Policies{}),
+		"Shard":        reflect.TypeOf(Shard{}),
+		"Shards":       reflect.TypeOf(Shards{}),
+		"Health":       reflect.TypeOf(Health{}),
+		"BuildVersion": reflect.TypeOf(BuildVersion{}),
+	}
+	if len(types) != len(wireFields) {
+		t.Fatalf("type map has %d entries, contract has %d", len(types), len(wireFields))
+	}
+	for name, typ := range types {
+		want := append([]string(nil), wireFields[name]...)
+		got := jsonTags(typ)
+		sort.Strings(want)
+		sorted := append([]string(nil), got...)
+		sort.Strings(sorted)
+		if !reflect.DeepEqual(sorted, want) {
+			t.Errorf("%s wire fields = %v, contract %v", name, got, wireFields[name])
+		}
+	}
+}
+
+func TestStatsOmitsShardsWhenUnsharded(t *testing.T) {
+	b, err := json.Marshal(Stats{Policy: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m["shards"]; ok {
+		t.Fatalf("shards should be omitted when zero: %s", b)
+	}
+	if _, ok := m["note"]; ok {
+		t.Fatalf("note should be omitted when empty: %s", b)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"sync"
 	"time"
 
+	"mediacache/internal/api"
 	"mediacache/internal/media"
 	"mediacache/internal/randutil"
 )
@@ -271,15 +272,9 @@ func (c *Client) attempt(ctx context.Context, method, path string, out interface
 	return resp.StatusCode, 0, nil
 }
 
-// ClipResult is the response of GET /v1/clips/{id}.
-type ClipResult struct {
-	Clip           media.ClipID `json:"clip"`
-	Kind           string       `json:"kind"`
-	SizeBytes      int64        `json:"sizeBytes"`
-	Outcome        string       `json:"outcome"`
-	Hit            bool         `json:"hit"`
-	LatencySeconds float64      `json:"latencySeconds"`
-}
+// ClipResult is the response of GET /v1/clips/{id}; the wire contract
+// lives in internal/api.
+type ClipResult = api.Clip
 
 // Clip requests clip id, riding out transient faults.
 func (c *Client) Clip(ctx context.Context, id media.ClipID) (ClipResult, error) {
@@ -288,27 +283,24 @@ func (c *Client) Clip(ctx context.Context, id media.ClipID) (ClipResult, error) 
 	return out, err
 }
 
-// Stats is the response of GET /v1/stats.
-type Stats struct {
-	Policy         string  `json:"policy"`
-	Requests       uint64  `json:"requests"`
-	Hits           uint64  `json:"hits"`
-	HitRate        float64 `json:"hitRate"`
-	ByteHitRate    float64 `json:"byteHitRate"`
-	Evictions      uint64  `json:"evictions"`
-	BytesFetched   int64   `json:"bytesFetched"`
-	ResidentClips  int     `json:"residentClips"`
-	UsedBytes      int64   `json:"usedBytes"`
-	CapacityBytes  int64   `json:"capacityBytes"`
-	BypassedMisses uint64  `json:"bypassedMisses"`
-	VictimCalls    uint64  `json:"victimCalls"`
-}
+// Stats is the response of GET /v1/stats; the wire contract lives in
+// internal/api.
+type Stats = api.Stats
 
-// Stats fetches the server's accumulated statistics.
+// Stats fetches the server's accumulated statistics, aggregated over every
+// shard on a sharded server.
 func (c *Client) Stats(ctx context.Context) (Stats, error) {
 	var out Stats
 	err := c.do(ctx, http.MethodGet, "/v1/stats", &out)
 	return out, err
+}
+
+// Shards fetches the per-shard occupancy and hit statistics of a sharded
+// server (GET /v1/shards), in shard-index order.
+func (c *Client) Shards(ctx context.Context) ([]api.Shard, error) {
+	var out api.Shards
+	err := c.do(ctx, http.MethodGet, "/v1/shards", &out)
+	return out.Shards, err
 }
 
 // Healthz reports whether the server is live and internally consistent.

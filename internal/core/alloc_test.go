@@ -11,16 +11,16 @@ import (
 // the engine's own request-path cost.
 type noopPolicy struct{}
 
-func (noopPolicy) Name() string                              { return "noop" }
-func (noopPolicy) Record(media.Clip, vtime.Time, bool)       {}
-func (noopPolicy) Admit(media.Clip, vtime.Time) bool         { return true }
-func (noopPolicy) OnInsert(media.Clip, vtime.Time)           {}
-func (noopPolicy) OnEvict(media.ClipID, vtime.Time)          {}
-func (noopPolicy) Reset()                                    {}
+func (noopPolicy) Name() string                        { return "noop" }
+func (noopPolicy) Record(media.Clip, vtime.Time, bool) {}
+func (noopPolicy) Admit(media.Clip, vtime.Time) bool   { return true }
+func (noopPolicy) OnInsert(media.Clip, vtime.Time)     {}
+func (noopPolicy) OnEvict(media.ClipID, vtime.Time)    {}
+func (noopPolicy) Reset()                              {}
 func (noopPolicy) Victims(_ media.Clip, view ResidentView, need media.Bytes, _ vtime.Time) []media.ClipID {
 	var out []media.ClipID
 	var freed media.Bytes
-	for _, c := range view.ResidentClips() {
+	for c := range view.Residents() {
 		if freed >= need {
 			break
 		}

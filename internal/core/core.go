@@ -22,6 +22,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"iter"
 
 	"mediacache/internal/media"
 	"mediacache/internal/rbtree"
@@ -82,10 +83,17 @@ func (o Outcome) String() string {
 type ResidentView interface {
 	// Resident reports whether clip id is cached.
 	Resident(id media.ClipID) bool
-	// ResidentClips returns the cached clips ordered by ascending ID. It
-	// allocates a fresh slice per call; hot paths should prefer
-	// ForEachResident.
+	// ResidentClips returns the cached clips ordered by ascending ID.
+	//
+	// Legacy: it allocates a fresh slice per call. Callers that only
+	// iterate should range over Residents (or use ForEachResident), which
+	// walk the resident index without allocating.
 	ResidentClips() []media.Clip
+	// Residents returns a range-over-func iterator over the cached clips
+	// in ascending ID order. Iteration is an allocation-free walk of the
+	// incrementally maintained resident index; breaking out early stops
+	// the walk.
+	Residents() iter.Seq[media.Clip]
 	// ForEachResident visits the cached clips in ascending ID order until
 	// fn returns false. Unlike ResidentClips it allocates nothing: the
 	// engine maintains the resident set in an incrementally updated ordered
@@ -167,6 +175,25 @@ func (s Stats) ByteHitRate() float64 {
 		return 0
 	}
 	return float64(s.BytesHit) / float64(s.BytesReferenced)
+}
+
+// Add returns the field-wise sum of two counter sets — the aggregate view
+// of several caches (e.g. the shards of a partitioned pool) as if one
+// engine had serviced every request.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		Requests:        s.Requests + o.Requests,
+		Hits:            s.Hits + o.Hits,
+		BytesReferenced: s.BytesReferenced + o.BytesReferenced,
+		BytesHit:        s.BytesHit + o.BytesHit,
+		BytesFetched:    s.BytesFetched + o.BytesFetched,
+		BytesFailed:     s.BytesFailed + o.BytesFailed,
+		Evictions:       s.Evictions + o.Evictions,
+		BytesEvicted:    s.BytesEvicted + o.BytesEvicted,
+		Bypassed:        s.Bypassed + o.Bypassed,
+		FetchFailed:     s.FetchFailed + o.FetchFailed,
+		VictimCalls:     s.VictimCalls + o.VictimCalls,
+	}
 }
 
 // Cache is a fixed-capacity clip cache managed by a Policy.
@@ -342,6 +369,9 @@ func (c *Cache) Resident(id media.ClipID) bool {
 }
 
 // ResidentIDs returns the cached clip ids in ascending order.
+//
+// Legacy: it allocates a fresh slice per call. Callers that only iterate
+// should range over Residents instead.
 func (c *Cache) ResidentIDs() []media.ClipID {
 	ids := make([]media.ClipID, 0, c.byID.Len())
 	c.byID.Ascend(func(id media.ClipID, _ media.Clip) bool {
@@ -351,9 +381,11 @@ func (c *Cache) ResidentIDs() []media.ClipID {
 	return ids
 }
 
-// ResidentClips returns the cached clips ordered by ascending ID. The slice
-// is freshly allocated; victim-selection hot paths should iterate with
-// ForEachResident instead.
+// ResidentClips returns the cached clips ordered by ascending ID.
+//
+// Legacy: the slice is freshly allocated per call. Callers that only
+// iterate should range over Residents (or use ForEachResident), which walk
+// the resident index without allocating.
 func (c *Cache) ResidentClips() []media.Clip {
 	clips := make([]media.Clip, 0, c.byID.Len())
 	c.byID.Ascend(func(_ media.ClipID, clip media.Clip) bool {
@@ -361,6 +393,18 @@ func (c *Cache) ResidentClips() []media.Clip {
 		return true
 	})
 	return clips
+}
+
+// Residents returns a range-over-func iterator over the cached clips in
+// ascending ID order. The sequence is an allocation-free walk of the
+// resident index and may be ranged over multiple times; each range sees
+// the resident set as of that iteration.
+func (c *Cache) Residents() iter.Seq[media.Clip] {
+	return func(yield func(media.Clip) bool) {
+		c.byID.Ascend(func(_ media.ClipID, clip media.Clip) bool {
+			return yield(clip)
+		})
+	}
 }
 
 // ForEachResident visits the cached clips in ascending ID order until fn

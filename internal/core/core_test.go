@@ -40,7 +40,7 @@ func (p *fifoPolicy) Victims(_ media.Clip, view ResidentView, need media.Bytes, 
 			continue
 		}
 		out = append(out, id)
-		for _, c := range view.ResidentClips() {
+		for c := range view.Residents() {
 			if c.ID == id {
 				freed += c.Size
 			}
@@ -357,6 +357,28 @@ func TestResidentViews(t *testing.T) {
 	}
 }
 
+func TestResidentsIterator(t *testing.T) {
+	c, _ := New(smallRepo(t), 60, &fifoPolicy{})
+	c.Request(3)
+	c.Request(1)
+	var got []media.ClipID
+	for clip := range c.Residents() {
+		got = append(got, clip.ID)
+	}
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("Residents yielded %v, want [1 3]", got)
+	}
+	// Early break must stop the iteration without panicking.
+	n := 0
+	for range c.Residents() {
+		n++
+		break
+	}
+	if n != 1 {
+		t.Fatalf("early break yielded %d clips, want 1", n)
+	}
+}
+
 func TestTheoreticalHitRate(t *testing.T) {
 	c, _ := New(smallRepo(t), 60, &fifoPolicy{})
 	c.Request(1)
@@ -415,7 +437,7 @@ func TestCacheInvariantsProperty(t *testing.T) {
 				return false
 			}
 			var sum media.Bytes
-			for _, clip := range c.ResidentClips() {
+			for clip := range c.Residents() {
 				sum += clip.Size
 			}
 			if sum != c.UsedBytes() {

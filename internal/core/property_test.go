@@ -75,7 +75,7 @@ func checkInvariants(t *testing.T, c *core.Cache, obs *orderObserver) {
 		t.Fatalf("negative used bytes %v", c.UsedBytes())
 	}
 	var sum media.Bytes
-	for _, clip := range c.ResidentClips() {
+	for clip := range c.Residents() {
 		sum += clip.Size
 	}
 	if sum != c.UsedBytes() {

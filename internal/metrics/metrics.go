@@ -174,6 +174,14 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Lab
 	r.register(name, help, labels, gaugeFunc(fn))
 }
 
+// CounterFunc registers a counter whose value is read from fn at
+// exposition time — for monotone counts owned by another component (e.g. a
+// cache shard's engine statistics). fn must be safe to call from the
+// scrape goroutine and must never decrease.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	r.register(name, help, labels, counterFunc(fn))
+}
+
 // Histogram registers (or fetches) a fixed-bucket histogram. buckets are
 // the inclusive upper bounds in strictly ascending order; an implicit +Inf
 // bucket is always appended. Histogram panics on unsorted bounds.
@@ -277,6 +285,19 @@ type gaugeFunc func() float64
 func (f gaugeFunc) kind() string { return "gauge" }
 
 func (f gaugeFunc) write(b *strings.Builder, name, labels string) {
+	b.WriteString(name)
+	b.WriteString(labels)
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(f()))
+	b.WriteByte('\n')
+}
+
+// counterFunc is a callback-backed counter.
+type counterFunc func() float64
+
+func (f counterFunc) kind() string { return "counter" }
+
+func (f counterFunc) write(b *strings.Builder, name, labels string) {
 	b.WriteString(name)
 	b.WriteString(labels)
 	b.WriteByte(' ')

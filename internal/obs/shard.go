@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"strconv"
+
+	"mediacache/internal/metrics"
+	"mediacache/internal/shard"
+)
+
+// Per-shard and pool-level metric names exposed by RegisterShardMetrics.
+const (
+	metricShardRequests = "mediacache_shard_requests_total"
+	metricShardHits     = "mediacache_shard_hits_total"
+	metricShardUsed     = "mediacache_shard_used_bytes"
+	metricShardCapacity = "mediacache_shard_capacity_bytes"
+	metricShardResident = "mediacache_shard_resident_clips"
+	metricPoolShards    = "mediacache_pool_shards"
+	metricPoolFetches   = "mediacache_pool_fetches_total"
+	metricPoolCoalesced = "mediacache_pool_coalesced_fetches_total"
+)
+
+// RegisterShardMetrics exposes a shard pool's per-shard occupancy and hit
+// counters (labelled shard="i") plus the pool-level fetch-coalescing
+// counters on reg. Values are read at scrape time; each per-shard read
+// locks only its own shard, so scrapes never serialize the whole pool.
+func RegisterShardMetrics(reg *metrics.Registry, pool *shard.Pool) {
+	for i := 0; i < pool.NumShards(); i++ {
+		i := i
+		label := metrics.Label{Name: "shard", Value: strconv.Itoa(i)}
+		reg.CounterFunc(metricShardRequests, "References routed to this shard.",
+			func() float64 { return float64(pool.ShardStat(i).Stats.Requests) }, label)
+		reg.CounterFunc(metricShardHits, "References this shard serviced from cache.",
+			func() float64 { return float64(pool.ShardStat(i).Stats.Hits) }, label)
+		reg.GaugeFunc(metricShardUsed, "Bytes occupied by this shard's resident clips.",
+			func() float64 { return float64(pool.ShardStat(i).UsedBytes) }, label)
+		reg.GaugeFunc(metricShardCapacity, "This shard's slice of the cache capacity.",
+			func() float64 { return float64(pool.ShardStat(i).Capacity) }, label)
+		reg.GaugeFunc(metricShardResident, "Clips resident on this shard.",
+			func() float64 { return float64(pool.ShardStat(i).NumResident) }, label)
+	}
+	reg.GaugeFunc(metricPoolShards, "Number of cache shards in the pool.",
+		func() float64 { return float64(pool.NumShards()) })
+	reg.CounterFunc(metricPoolFetches, "Logical fetches executed (coalesced groups count once).",
+		func() float64 { return float64(pool.Fetches()) })
+	reg.CounterFunc(metricPoolCoalesced, "Requests that joined an already in-flight fetch.",
+		func() float64 { return float64(pool.Coalesced()) })
+}

@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"mediacache/internal/media"
+	"mediacache/internal/metrics"
+	"mediacache/internal/shard"
+)
+
+func TestRegisterShardMetrics(t *testing.T) {
+	repo := media.PaperRepository()
+	pool, err := shard.New(shard.Config{
+		Policy:   "greedydual",
+		Repo:     repo,
+		Capacity: repo.CacheSizeForRatio(0.125),
+		Seed:     1,
+		Shards:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 1; id <= 20; id++ {
+		if _, err := pool.Request(media.ClipID(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg := metrics.NewRegistry()
+	RegisterShardMetrics(reg, pool)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`mediacache_shard_requests_total{shard="0"}`,
+		`mediacache_shard_requests_total{shard="1"}`,
+		`mediacache_shard_hits_total{shard="1"}`,
+		`mediacache_shard_used_bytes{shard="0"}`,
+		`mediacache_shard_capacity_bytes{shard="1"}`,
+		`mediacache_shard_resident_clips{shard="0"}`,
+		"mediacache_pool_shards 2",
+		"mediacache_pool_fetches_total 0",
+		"mediacache_pool_coalesced_fetches_total 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Per-shard requests must sum to the pool's total.
+	stats := pool.ShardStats()
+	var sum uint64
+	for _, st := range stats {
+		sum += st.Stats.Requests
+	}
+	if sum != 20 {
+		t.Fatalf("per-shard requests sum to %d, want 20", sum)
+	}
+}

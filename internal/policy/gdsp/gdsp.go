@@ -169,14 +169,14 @@ func (p *Policy) Victims(_ media.Clip, view core.ResidentView, _ media.Bytes, _ 
 	return p.out
 }
 
-// victimsScan is the original O(n) selection over ResidentClips.
+// victimsScan is the original O(n) selection over the resident set.
 func (p *Policy) victimsScan(view core.ResidentView) []media.ClipID {
 	var (
 		minH  float64
 		ties  []media.ClipID
 		found bool
 	)
-	for _, c := range view.ResidentClips() {
+	for c := range view.Residents() {
 		h, ok := p.h[c.ID]
 		if !ok {
 			h = p.priority(c)

@@ -153,14 +153,14 @@ func (p *Policy) Victims(_ media.Clip, view core.ResidentView, _ media.Bytes, _ 
 	return p.out
 }
 
-// victimsScan is the original O(n) selection over ResidentClips.
+// victimsScan is the original O(n) selection over the resident set.
 func (p *Policy) victimsScan(view core.ResidentView) []media.ClipID {
 	var (
 		minH  float64
 		ties  []media.ClipID
 		found bool
 	)
-	for _, c := range view.ResidentClips() {
+	for c := range view.Residents() {
 		h, ok := p.h[c.ID]
 		if !ok {
 			// Warm-inserted clip unknown to the policy: treat as freshly
@@ -261,8 +261,7 @@ func (p *Naive) Victims(_ media.Clip, view core.ResidentView, _ media.Bytes, _ v
 		ties  []media.ClipID
 		found bool
 	)
-	resident := view.ResidentClips()
-	for _, c := range resident {
+	for c := range view.Residents() {
 		h, ok := p.h[c.ID]
 		if !ok {
 			h = p.cost(c) / float64(c.Size)
@@ -279,7 +278,7 @@ func (p *Naive) Victims(_ media.Clip, view core.ResidentView, _ media.Bytes, _ v
 	if !found {
 		return nil
 	}
-	for _, c := range resident {
+	for c := range view.Residents() {
 		p.h[c.ID] -= minH
 	}
 	victim := ties[0]

@@ -181,7 +181,7 @@ func (p *Policy) Victims(_ media.Clip, view core.ResidentView, _ media.Bytes, no
 		ties  []media.ClipID
 		found bool
 	)
-	for _, c := range view.ResidentClips() {
+	for c := range view.Residents() {
 		if _, ok := p.baseL[c.ID]; !ok {
 			// Warm-inserted clip: adopt it at the current inflation.
 			p.adopt(c, now)

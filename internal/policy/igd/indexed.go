@@ -79,7 +79,7 @@ func (p *Policy) victimsIndexed(view core.ResidentView, now vtime.Time) []media.
 	// calls Victims when space is needed, so this is a rare slow path that
 	// only triggers when NumResident disagrees with the index size.
 	if p.idx.tree.Len() != view.NumResident() {
-		for _, c := range view.ResidentClips() {
+		for c := range view.Residents() {
 			if _, ok := p.baseL[c.ID]; !ok {
 				p.adopt(c, now)
 			}

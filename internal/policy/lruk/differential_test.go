@@ -84,9 +84,9 @@ func (p *bruteLRUK) Victims(_ media.Clip, view core.ResidentView, need media.Byt
 	return out
 }
 
-func (p *bruteLRUK) OnInsert(media.Clip, vtime.Time) {}
+func (p *bruteLRUK) OnInsert(media.Clip, vtime.Time)  {}
 func (p *bruteLRUK) OnEvict(media.ClipID, vtime.Time) {}
-func (p *bruteLRUK) Reset() { p.refs = make(map[media.ClipID][]vtime.Time) }
+func (p *bruteLRUK) Reset()                           { p.refs = make(map[media.ClipID][]vtime.Time) }
 
 // diffRepo builds a small repository with clip sizes that force multi-victim
 // evictions.

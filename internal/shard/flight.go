@@ -1,0 +1,60 @@
+package shard
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"mediacache/internal/media"
+)
+
+// flightGroup coalesces concurrent fetches for the same clip: the first
+// requester becomes the leader and executes the fetch; requesters arriving
+// while it is in flight wait for the leader's result instead of fetching
+// again. It is a minimal single-purpose variant of the well-known
+// singleflight pattern, keyed by clip ID.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[media.ClipID]*flightCall
+
+	// coalesced counts joins of an already in-flight fetch; it is
+	// incremented at join time (before waiting) so tests can observe that
+	// waiters have piled up while the leader is still fetching.
+	coalesced atomic.Uint64
+}
+
+// flightCall is one in-flight fetch.
+type flightCall struct {
+	done chan struct{}
+	err  error // written by the leader before done is closed
+}
+
+// init prepares the group's map; must be called before the first do.
+func (g *flightGroup) init() {
+	g.m = make(map[media.ClipID]*flightCall)
+}
+
+// do executes fn for clip id, unless a fetch for id is already in flight,
+// in which case it waits for that fetch and returns its error. The call is
+// removed from the group before its waiters are released, so a request
+// arriving after the result is settled starts a fresh fetch — results are
+// shared only within one overlapping burst, never cached.
+func (g *flightGroup) do(id media.ClipID, fn func() error) error {
+	g.mu.Lock()
+	if c, inFlight := g.m[id]; inFlight {
+		g.coalesced.Add(1)
+		g.mu.Unlock()
+		<-c.done
+		return c.err
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.m[id] = c
+	g.mu.Unlock()
+
+	c.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, id)
+	g.mu.Unlock()
+	close(c.done)
+	return c.err
+}

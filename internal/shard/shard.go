@@ -1,0 +1,526 @@
+// Package shard provides a hash-partitioned pool of core.Cache shards for
+// concurrent front-ends. The single-threaded engine in internal/core models
+// one device and stays lock-free by design; a server that fronts many
+// concurrent clients wraps N independent engines — each with its own
+// replacement-policy instance, its own mutex and its own slice of the total
+// capacity — and routes every request to the shard that owns its clip ID.
+//
+// Requests for clips on different shards proceed in parallel. Concurrent
+// misses for the same clip are coalesced: one goroutine performs the fetch
+// through the pool's core.WithFetch seam (so a fault injector is consulted
+// once per logical fetch) while the rest wait and share its result. A
+// failed shared fetch degrades every coalesced request — each counts one
+// Stats.FetchFailed, mirroring what N independent failed fetches would have
+// reported, while the flaky link was exercised only once.
+//
+// A pool with exactly one shard is byte-for-byte equivalent to a single
+// core.Cache built from the same seed and policy spec: the shard uses the
+// master seed directly, the whole capacity, and — when no fetch hook is
+// configured — services requests entirely under its lock. With more than
+// one shard the partitioning is still deterministic (per-shard seeds derive
+// from randutil.Source.Split), but decisions diverge from the single-cache
+// run: each shard sees only its own slice of the reference stream and of
+// the capacity, so victim choices and per-shard MissTooLarge thresholds
+// differ. See DESIGN.md §13 for the full caveat list.
+package shard
+
+import (
+	"fmt"
+	"iter"
+	"sync"
+	"sync/atomic"
+
+	"mediacache/internal/core"
+	"mediacache/internal/media"
+	"mediacache/internal/policy/registry"
+	"mediacache/internal/randutil"
+	"mediacache/internal/vtime"
+)
+
+// Config describes a pool. Policy, Repo and Capacity are required; the
+// policy spec is resolved through the policy registry, so the caller must
+// link the implementations it needs (cmd binaries and the sim package link
+// every built-in via mediacache/internal/policy/all).
+type Config struct {
+	// Policy is the registry spec every shard runs, e.g. "greedydual" or
+	// "dynsimple:2". Each shard gets its own policy instance.
+	Policy string
+	// Repo is the clip repository all shards front.
+	Repo *media.Repository
+	// PMF is the true access-probability vector for off-line policies; nil
+	// for on-line ones.
+	PMF []float64
+	// Capacity is the total cache size S_T, divided across shards (the
+	// remainder of Capacity/Shards goes to the lowest-index shards).
+	Capacity media.Bytes
+	// Seed is the master determinism seed. One shard uses it directly;
+	// several shards derive per-shard seeds via Split.
+	Seed uint64
+	// Shards is the number of partitions; 0 or negative means 1.
+	Shards int
+	// Fetch, when non-nil, models retrieving missed clips from the remote
+	// repository. It is invoked outside any shard lock and concurrent
+	// misses for the same clip share one invocation, so it must be safe
+	// for concurrent use. Nil means every fetch succeeds instantly and
+	// requests run entirely under their shard's lock.
+	Fetch core.FetchFunc
+	// ShardOptions, when non-nil, supplies extra engine options per shard
+	// (observers, admission hooks). The pool appends its own fetch wiring.
+	ShardOptions func(shard int) []core.Option
+}
+
+// poolShard is one partition: an engine, its lock, and the slot where a
+// coalesced fetch result is handed to the engine's fetch hook.
+type poolShard struct {
+	mu    sync.Mutex
+	cache *core.Cache
+	// pre carries the outcome of an already-performed coalesced fetch into
+	// the engine's fetch hook during the next Request call. Guarded by mu
+	// and cleared before the lock is released.
+	pre preFetch
+}
+
+// preFetch is a pre-resolved fetch result.
+type preFetch struct {
+	id  media.ClipID
+	err error
+	ok  bool
+}
+
+// Pool routes requests across hash-partitioned cache shards. All methods
+// are safe for concurrent use.
+type Pool struct {
+	repo   *media.Repository
+	fetch  core.FetchFunc
+	shards []*poolShard
+	flight flightGroup
+
+	// fetches counts logical fetch executions (flight leaders); coalesced
+	// counts requests that joined an already in-flight fetch.
+	fetches atomic.Uint64
+}
+
+// New builds a pool per cfg.
+func New(cfg Config) (*Pool, error) {
+	if cfg.Repo == nil {
+		return nil, fmt.Errorf("shard: repository must not be nil")
+	}
+	n := cfg.Shards
+	if n <= 0 {
+		n = 1
+	}
+	if cfg.Capacity < media.Bytes(n) {
+		return nil, fmt.Errorf("shard: capacity %v cannot be split across %d shards", cfg.Capacity, n)
+	}
+	p := &Pool{
+		repo:   cfg.Repo,
+		fetch:  cfg.Fetch,
+		shards: make([]*poolShard, n),
+	}
+	p.flight.init()
+	var src *randutil.Source
+	if n > 1 {
+		src = randutil.NewSource(cfg.Seed)
+	}
+	base := cfg.Capacity / media.Bytes(n)
+	rem := cfg.Capacity % media.Bytes(n)
+	for i := range p.shards {
+		seed := cfg.Seed
+		if src != nil {
+			// Independent per-shard streams; the 1-shard pool keeps the
+			// master seed so it reproduces the unsharded cache exactly.
+			seed = src.Split(fmt.Sprintf("shard-%d", i)).Uint64()
+		}
+		capacity := base
+		if media.Bytes(i) < rem {
+			capacity++
+		}
+		pol, err := registry.Build(cfg.Policy, cfg.Repo, cfg.PMF, seed)
+		if err != nil {
+			return nil, err
+		}
+		s := &poolShard{}
+		opts := []core.Option{}
+		if cfg.ShardOptions != nil {
+			opts = append(opts, cfg.ShardOptions(i)...)
+		}
+		if cfg.Fetch != nil {
+			opts = append(opts, core.WithFetch(p.shardFetch(s)))
+		}
+		cache, err := core.New(cfg.Repo, capacity, pol, opts...)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		s.cache = cache
+		p.shards[i] = s
+	}
+	return p, nil
+}
+
+// shardFetch builds the engine fetch hook for one shard: it consumes a
+// pre-resolved coalesced result when Request staged one, and falls through
+// to the configured fetch otherwise (e.g. a Warm-triggered code path that
+// never staged a flight).
+func (p *Pool) shardFetch(s *poolShard) core.FetchFunc {
+	return func(clip media.Clip, now vtime.Time) error {
+		if s.pre.ok && s.pre.id == clip.ID {
+			err := s.pre.err
+			s.pre = preFetch{}
+			return err
+		}
+		return p.fetch(clip, now)
+	}
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator, used as the
+// routing hash: clip IDs are dense small integers, and a plain modulo would
+// stripe neighbouring IDs across shards in lockstep with any sequential
+// access pattern.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// ShardFor returns the index of the shard owning clip id. The mapping is a
+// pure function of id and the shard count, so it is stable across runs and
+// restarts.
+func (p *Pool) ShardFor(id media.ClipID) int {
+	return int(splitmix64(uint64(id)) % uint64(len(p.shards)))
+}
+
+// NumShards returns the number of partitions.
+func (p *Pool) NumShards() int { return len(p.shards) }
+
+// Repository returns the backing repository shared by every shard.
+func (p *Pool) Repository() *media.Repository { return p.repo }
+
+// PolicyName returns the display name of the replacement policy (every
+// shard runs its own instance of the same technique).
+func (p *Pool) PolicyName() string {
+	s := p.shards[0]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cache.Policy().Name()
+}
+
+// Fetches returns how many logical fetches the pool has executed (each
+// coalesced group counts once).
+func (p *Pool) Fetches() uint64 { return p.fetches.Load() }
+
+// Coalesced returns how many requests joined an already in-flight fetch
+// instead of starting their own.
+func (p *Pool) Coalesced() uint64 { return p.flight.coalesced.Load() }
+
+// Request services a reference to clip id on the owning shard and returns
+// the outcome, exactly as core.Cache.Request does on an unsharded cache.
+//
+// Without a fetch hook the request runs entirely under the shard lock.
+// With one, a miss releases the lock for the duration of the (possibly
+// shared) fetch so slow fetches never serialize the shard, then re-locks
+// and hands the result to the engine. A clip that became resident while
+// the fetch was in flight is simply a hit — the fetched bytes are the same
+// bytes a waiter would have received.
+func (p *Pool) Request(id media.ClipID) (core.Outcome, error) {
+	s := p.shards[p.ShardFor(id)]
+	if p.fetch == nil {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.cache.Request(id)
+	}
+	s.mu.Lock()
+	clip, known := p.repo.Lookup(id)
+	// Requests that cannot reach the engine's fetch path — hits, unknown
+	// clips, and clips the shard could never admit — run under the lock
+	// without staging a flight.
+	if !known || s.cache.Resident(id) || clip.Size > s.cache.Capacity() {
+		out, err := s.cache.Request(id)
+		s.mu.Unlock()
+		return out, err
+	}
+	// The engine stamps the fetch with the request's tick; the best
+	// estimate before re-locking is the next tick of this shard's clock.
+	now := s.cache.Now() + 1
+	s.mu.Unlock()
+
+	ferr := p.flight.do(id, func() error {
+		p.fetches.Add(1)
+		return p.fetch(clip, now)
+	})
+
+	s.mu.Lock()
+	s.pre = preFetch{id: id, err: ferr, ok: true}
+	out, err := s.cache.Request(id)
+	s.pre = preFetch{}
+	s.mu.Unlock()
+	return out, err
+}
+
+// Stats returns the pool-wide statistics: every shard's counters summed
+// under a consistent snapshot (all shard locks are held while reading, in
+// index order; Request never holds more than one shard lock, so no
+// ordering deadlock is possible).
+func (p *Pool) Stats() core.Stats {
+	var sum core.Stats
+	p.lockAll()
+	for _, s := range p.shards {
+		sum = sum.Add(s.cache.Stats())
+	}
+	p.unlockAll()
+	return sum
+}
+
+// ShardStat is one shard's view in a consistent pool snapshot.
+type ShardStat struct {
+	// Index is the shard's position in the pool.
+	Index int
+	// Stats are the shard engine's accumulated counters.
+	Stats core.Stats
+	// NumResident is the number of clips cached on this shard.
+	NumResident int
+	// UsedBytes and Capacity describe the shard's slice of the cache.
+	UsedBytes media.Bytes
+	Capacity  media.Bytes
+}
+
+// ShardStat returns shard i's statistics and occupancy, locking only that
+// shard — the cheap path for per-shard metric scrapes.
+func (p *Pool) ShardStat(i int) ShardStat {
+	s := p.shards[i]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return ShardStat{
+		Index:       i,
+		Stats:       s.cache.Stats(),
+		NumResident: s.cache.NumResident(),
+		UsedBytes:   s.cache.UsedBytes(),
+		Capacity:    s.cache.Capacity(),
+	}
+}
+
+// ShardStats returns every shard's statistics and occupancy under one
+// consistent snapshot, in shard-index order.
+func (p *Pool) ShardStats() []ShardStat {
+	out := make([]ShardStat, len(p.shards))
+	p.lockAll()
+	for i, s := range p.shards {
+		out[i] = ShardStat{
+			Index:       i,
+			Stats:       s.cache.Stats(),
+			NumResident: s.cache.NumResident(),
+			UsedBytes:   s.cache.UsedBytes(),
+			Capacity:    s.cache.Capacity(),
+		}
+	}
+	p.unlockAll()
+	return out
+}
+
+// lockAll acquires every shard lock in index order.
+func (p *Pool) lockAll() {
+	for _, s := range p.shards {
+		s.mu.Lock()
+	}
+}
+
+// unlockAll releases every shard lock.
+func (p *Pool) unlockAll() {
+	for _, s := range p.shards {
+		s.mu.Unlock()
+	}
+}
+
+// Capacity returns the total capacity S_T across all shards.
+func (p *Pool) Capacity() media.Bytes {
+	var sum media.Bytes
+	for _, s := range p.shards {
+		sum += s.cache.Capacity() // immutable after New; no lock needed
+	}
+	return sum
+}
+
+// UsedBytes returns the bytes occupied across all shards.
+func (p *Pool) UsedBytes() media.Bytes {
+	var sum media.Bytes
+	p.lockAll()
+	for _, s := range p.shards {
+		sum += s.cache.UsedBytes()
+	}
+	p.unlockAll()
+	return sum
+}
+
+// FreeBytes returns the unused capacity across all shards.
+func (p *Pool) FreeBytes() media.Bytes {
+	var sum media.Bytes
+	p.lockAll()
+	for _, s := range p.shards {
+		sum += s.cache.FreeBytes()
+	}
+	p.unlockAll()
+	return sum
+}
+
+// NumResident returns the number of clips cached across all shards.
+func (p *Pool) NumResident() int {
+	var sum int
+	p.lockAll()
+	for _, s := range p.shards {
+		sum += s.cache.NumResident()
+	}
+	p.unlockAll()
+	return sum
+}
+
+// residentsSnapshot copies every shard's resident clips (each ascending by
+// ID) under a consistent all-shards lock.
+func (p *Pool) residentsSnapshot() [][]media.Clip {
+	per := make([][]media.Clip, len(p.shards))
+	p.lockAll()
+	for i, s := range p.shards {
+		clips := make([]media.Clip, 0, s.cache.NumResident())
+		for c := range s.cache.Residents() {
+			clips = append(clips, c)
+		}
+		per[i] = clips
+	}
+	p.unlockAll()
+	return per
+}
+
+// mergeAscending merges per-shard ascending-ID clip slices into one
+// ascending sequence.
+func mergeAscending(per [][]media.Clip, yield func(media.Clip) bool) {
+	heads := make([]int, len(per))
+	for {
+		best := -1
+		for i, clips := range per {
+			if heads[i] >= len(clips) {
+				continue
+			}
+			if best < 0 || clips[heads[i]].ID < per[best][heads[best]].ID {
+				best = i
+			}
+		}
+		if best < 0 {
+			return
+		}
+		if !yield(per[best][heads[best]]) {
+			return
+		}
+		heads[best]++
+	}
+}
+
+// Residents returns an iterator over all cached clips in ascending ID
+// order. The iteration walks a consistent snapshot taken when the sequence
+// is ranged over; concurrent mutations during iteration are not reflected.
+func (p *Pool) Residents() iter.Seq[media.Clip] {
+	return func(yield func(media.Clip) bool) {
+		mergeAscending(p.residentsSnapshot(), yield)
+	}
+}
+
+// ResidentIDs returns all cached clip ids in ascending order, from one
+// consistent snapshot.
+func (p *Pool) ResidentIDs() []media.ClipID {
+	per := p.residentsSnapshot()
+	n := 0
+	for _, clips := range per {
+		n += len(clips)
+	}
+	ids := make([]media.ClipID, 0, n)
+	mergeAscending(per, func(c media.Clip) bool {
+		ids = append(ids, c.ID)
+		return true
+	})
+	return ids
+}
+
+// Reset clears every shard's residency, statistics and policy state under
+// one consistent lock.
+func (p *Pool) Reset() {
+	p.lockAll()
+	for _, s := range p.shards {
+		s.cache.Reset()
+	}
+	p.unlockAll()
+}
+
+// Snapshot captures the pool's persistent state as one core.Snapshot: the
+// merged resident set, the summed statistics, and the summed per-shard
+// clocks (the total number of requests processed). A 1-shard pool produces
+// exactly the snapshot its underlying cache would.
+func (p *Pool) Snapshot() core.Snapshot {
+	var (
+		stats core.Stats
+		clock vtime.Time
+	)
+	per := make([][]media.Clip, len(p.shards))
+	p.lockAll()
+	for i, s := range p.shards {
+		stats = stats.Add(s.cache.Stats())
+		clock += s.cache.Now()
+		clips := make([]media.Clip, 0, s.cache.NumResident())
+		for c := range s.cache.Residents() {
+			clips = append(clips, c)
+		}
+		per[i] = clips
+	}
+	p.unlockAll()
+	var ids []media.ClipID
+	mergeAscending(per, func(c media.Clip) bool {
+		ids = append(ids, c.ID)
+		return true
+	})
+	return core.Snapshot{ResidentIDs: ids, Clock: clock, Stats: stats}
+}
+
+// Restore replaces the pool's state with the snapshot's, partitioning the
+// resident set by the routing hash. The snapshot may come from a pool with
+// a different shard count (or from an unsharded cache); the whole snapshot
+// is validated against the pool's partitioning before any shard is
+// touched, so a failed restore leaves the pool unchanged. The aggregated
+// statistics are assigned to shard 0 and every shard's clock starts at the
+// snapshot clock.
+func (p *Pool) Restore(snap core.Snapshot) error {
+	if snap.Clock < 0 {
+		return fmt.Errorf("shard: snapshot clock %d is negative", snap.Clock)
+	}
+	parts := make([][]media.ClipID, len(p.shards))
+	sizes := make([]media.Bytes, len(p.shards))
+	seen := make(map[media.ClipID]struct{}, len(snap.ResidentIDs))
+	for _, id := range snap.ResidentIDs {
+		clip, ok := p.repo.Lookup(id)
+		if !ok {
+			return fmt.Errorf("shard: snapshot references unknown clip %d", id)
+		}
+		if _, dup := seen[id]; dup {
+			return fmt.Errorf("shard: snapshot lists clip %d twice", id)
+		}
+		seen[id] = struct{}{}
+		i := p.ShardFor(id)
+		parts[i] = append(parts[i], id)
+		sizes[i] += clip.Size
+	}
+	for i, s := range p.shards {
+		if sizes[i] > s.cache.Capacity() {
+			return fmt.Errorf("shard: snapshot places %v on shard %d, exceeding its capacity %v (taken with a different shard count?)",
+				sizes[i], i, s.cache.Capacity())
+		}
+	}
+	p.lockAll()
+	defer p.unlockAll()
+	for i, s := range p.shards {
+		sub := core.Snapshot{ResidentIDs: parts[i], Clock: snap.Clock}
+		if i == 0 {
+			sub.Stats = snap.Stats
+		}
+		if err := s.cache.Restore(sub); err != nil {
+			// Unreachable after the validation above; surface it anyway.
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
