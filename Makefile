@@ -1,7 +1,7 @@
 GO ?= go
 BENCH_DATE := $(shell date +%Y-%m-%d)
 
-.PHONY: build test vet race racecheck alloccheck check bench benchcmp fuzz-smoke
+.PHONY: build test vet race racecheck alloccheck rangecheck check bench benchcmp fuzz-smoke
 
 # Each fuzz target gets a short smoke budget; go test allows only one
 # -fuzz pattern per invocation, so targets run sequentially.
@@ -33,10 +33,16 @@ racecheck:
 alloccheck:
 	$(GO) test -run 'TestRequestZeroAllocsNilObserver|TestRequestAllocsUnchangedWithObserver|TestVictimsZeroAllocsSteadyState' -count=1 ./internal/core
 
-# check is the tier-1 gate plus static analysis, the race detector and the
-# request-path allocation assertion. vet and test cover every package,
-# including internal/metrics and internal/obs.
-check: build vet test race alloccheck
+# rangecheck runs the partial-content conformance surface: the HTTP Range
+# suite (206/200/416, HEAD, extents), the segmented engine and pool tests,
+# and the per-segment byte-identity property under faults.
+rangecheck:
+	$(GO) test -run 'Range|Segment|HeadClip|Extents|Coalescing' -count=1 ./internal/core ./internal/shard ./cmd/cacheserver
+
+# check is the tier-1 gate plus static analysis, the race detector, the
+# request-path allocation assertion and the Range-conformance surface. vet
+# and test cover every package, including internal/metrics and internal/obs.
+check: build vet test race alloccheck rangecheck
 
 # bench runs the full benchmark suite and archives the run as test2json
 # events (one dated file per day; reruns overwrite).

@@ -108,4 +108,55 @@ func BenchmarkServerThroughput(b *testing.B) {
 			drive(b, pool.Request)
 		})
 	}
+
+	// Segmented pools at the same shard counts: partial-content requests
+	// from the prefix-biased range workload, misses fetched per missing
+	// 256 MB segment through the per-(clip, segment) flight group, with a
+	// two-segment pinned prefix. The variant is spelled segments=N (N =
+	// shard count) so benchcmp pairs it against ServerThroughput/global
+	// like the whole-clip siblings.
+	rgen, err := workload.NewRangeGenerator(repo, dist, sim.DefaultSeed, workload.DefaultRangeConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rtrace := rgen.Generate(nil, 1<<16)
+	segFetch := func(media.Clip, int32, vtime.Time) error {
+		time.Sleep(serverFetchLatency)
+		return nil
+	}
+	for _, n := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("segments=%d", n), func(b *testing.B) {
+			pool, err := shard.New(shard.Config{
+				Policy:         "greedydual",
+				Repo:           repo,
+				Capacity:       capacity,
+				Seed:           sim.DefaultSeed,
+				Shards:         n,
+				SegmentSize:    256 * media.MB,
+				PrefixSegments: 2,
+				SegmentFetch:   segFetch,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < 2000; i++ {
+				req := rtrace[i%len(rtrace)]
+				if _, err := pool.RequestRange(req.Clip, req.Start, req.Length); err != nil {
+					b.Fatal(err)
+				}
+			}
+			var idx atomic.Uint64
+			b.SetParallelism(serverBenchClients)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					req := rtrace[idx.Add(1)%uint64(len(rtrace))]
+					if _, err := pool.RequestRange(req.Clip, req.Start, req.Length); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
 }

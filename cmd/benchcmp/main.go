@@ -114,6 +114,9 @@ var pairSuffixes = []struct{ base, indexed string }{
 	{"/global", "/shards=2"},
 	{"/global", "/shards=4"},
 	{"/global", "/shards=8"},
+	{"/global", "/segments=2"},
+	{"/global", "/segments=4"},
+	{"/global", "/segments=8"},
 }
 
 // writePairs renders the single-run speedup table.

@@ -9,16 +9,31 @@
 // single serialized engine of earlier versions exactly, decision for
 // decision.
 //
+// With -segment the cache tracks residency per fixed-size segment instead of
+// per whole clip: GET /v1/clips/{id} becomes a partial-content API (a Range
+// header selects a byte range, serviced at segment granularity with 206 +
+// Content-Range; unsatisfiable and multi-range requests answer 416), misses
+// fetch only the missing segments, and -prefix pins the first N segments of
+// every clip so eviction trims tails first — the prefix-caching behaviour
+// that hides streaming startup latency. Without -segment every wire response
+// is byte-identical to pre-segment servers.
+//
 // Endpoints (v1):
 //
 //	GET  /v1/clips/{id}  service a reference to clip id; returns the outcome,
 //	                     whether it hit, and the startup latency the device
-//	                     would observe at the configured link bandwidth
+//	                     would observe at the configured link bandwidth.
+//	                     Honors single-range Range headers (206/200/416) and
+//	                     reports cached bytes in X-Cache-Resident-Bytes
+//	HEAD /v1/clips/{id}  the clip's Content-Length, Accept-Ranges and current
+//	                     X-Cache-Resident-Bytes without touching the cache
 //	GET  /v1/stats       accumulated cache statistics, aggregated over all
-//	                     shards under one consistent snapshot
+//	                     shards under one consistent snapshot (plus segment
+//	                     counters on segmented servers)
 //	GET  /v1/resident    resident clips with per-clip detail; supports
-//	                     ?limit=/?offset= pagination and ?format=ids for the
-//	                     bare-ID shape
+//	                     ?limit=/?offset= pagination, ?format=ids for the
+//	                     bare-ID shape, and ?format=extents for each clip's
+//	                     cached byte runs
 //	GET  /v1/shards      per-shard requests, hits, occupancy and capacity
 //	POST /v1/reset       clear the cache, statistics and policy state
 //	GET  /v1/snapshot    gob-encoded persistent cache state (portable across
@@ -54,7 +69,8 @@
 // Usage:
 //
 //	cacheserver -addr :8377 -policy dynsimple:2 -ratio 0.125 -alloc 4000000 [-shards 8]
-//	            [-pprof] [-trace] [-faults p=0.05] [-maxinflight 256] [-memlimit 1073741824]
+//	            [-segment 268435456] [-prefix 2] [-pprof] [-trace] [-faults p=0.05]
+//	            [-maxinflight 256] [-memlimit 1073741824]
 package main
 
 import (
@@ -80,6 +96,8 @@ func main() {
 	admission := fs.Float64("admission", 0.5, "admission-control overhead in seconds")
 	seed := fs.Uint64("seed", sim.DefaultSeed, "policy tie-break seed")
 	shards := fs.Int("shards", runtime.GOMAXPROCS(0), "cache shard count (1 = the single serialized engine)")
+	segment := fs.Int64("segment", 0, "segment size in bytes for segment-granular residency (0 = whole-clip caching)")
+	prefix := fs.Int("prefix", 0, "pin the first N segments of every clip (requires -segment)")
 	pprofFlag := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	trace := fs.Bool("trace", false, "log every cache event (hit/miss/eviction/bypass/restore) at debug level")
 	faultsFlag := fs.String("faults", "", `fault-injection profile for the clip route, e.g. "p=0.05" or "error=0.1,timeout=0.05,latency=20ms" ("" or "off" disables)`)
@@ -101,18 +119,20 @@ func main() {
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
 	srv, err := newServer(config{
-		policy:      *policy,
-		ratio:       *ratio,
-		alloc:       media.BitsPerSecond(*alloc),
-		admission:   *admission,
-		seed:        *seed,
-		shards:      *shards,
-		logger:      logger,
-		trace:       *trace,
-		pprof:       *pprofFlag,
-		faults:      profile,
-		maxInFlight: *maxInFlight,
-		memLimit:    *memLimit,
+		policy:         *policy,
+		ratio:          *ratio,
+		alloc:          media.BitsPerSecond(*alloc),
+		admission:      *admission,
+		seed:           *seed,
+		shards:         *shards,
+		segmentSize:    media.Bytes(*segment),
+		prefixSegments: *prefix,
+		logger:         logger,
+		trace:          *trace,
+		pprof:          *pprofFlag,
+		faults:         profile,
+		maxInFlight:    *maxInFlight,
+		memLimit:       *memLimit,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cacheserver: %v\n", err)

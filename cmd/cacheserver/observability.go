@@ -36,6 +36,12 @@ func (s *server) registerCacheGauges() {
 		func() float64 { return float64(s.pool.Capacity()) })
 	s.reg.GaugeFunc("mediacache_cache_resident_clips", "Clips currently resident.",
 		func() float64 { return float64(s.pool.NumResident()) })
+	if s.pool.SegmentSize() > 0 {
+		s.reg.GaugeFunc("mediacache_cache_segment_size_bytes", "Fixed segment granularity.",
+			func() float64 { return float64(s.pool.SegmentSize()) })
+		s.reg.GaugeFunc("mediacache_cache_resident_segments", "Segments currently resident.",
+			func() float64 { return float64(s.pool.ResidentSegments()) })
+	}
 	obs.RegisterShardMetrics(s.reg, s.pool)
 }
 

@@ -29,10 +29,15 @@ type config struct {
 	alloc     media.BitsPerSecond
 	admission float64
 	seed      uint64
-	shards    int          // cache shard count; <= 0 means 1
-	logger    *slog.Logger // access log + event traces; nil discards
-	trace     bool         // log every cache event at debug level
-	pprof     bool         // mount net/http/pprof under /debug/pprof/
+	shards    int // cache shard count; <= 0 means 1
+	// segmentSize > 0 switches every shard to segment-granular residency
+	// (clips divide into fixed-size segments, Range requests are serviced
+	// per segment); prefixSegments pins the first N segments of every clip.
+	segmentSize    media.Bytes
+	prefixSegments int
+	logger         *slog.Logger // access log + event traces; nil discards
+	trace          bool         // log every cache event at debug level
+	pprof          bool         // mount net/http/pprof under /debug/pprof/
 
 	// Failure and degradation layer (degrade.go). The zero values disable
 	// all three mechanisms.
@@ -101,13 +106,15 @@ func newServer(cfg config) (*server, error) {
 		return opts
 	}
 	pool, err := shard.New(shard.Config{
-		Policy:       cfg.policy,
-		Repo:         repo,
-		PMF:          pmf,
-		Capacity:     repo.CacheSizeForRatio(cfg.ratio),
-		Seed:         cfg.seed,
-		Shards:       cfg.shards,
-		ShardOptions: shardOptions,
+		Policy:         cfg.policy,
+		Repo:           repo,
+		PMF:            pmf,
+		Capacity:       repo.CacheSizeForRatio(cfg.ratio),
+		Seed:           cfg.seed,
+		Shards:         cfg.shards,
+		SegmentSize:    cfg.segmentSize,
+		PrefixSegments: cfg.prefixSegments,
+		ShardOptions:   shardOptions,
 	})
 	if err != nil {
 		return nil, err
@@ -141,6 +148,7 @@ func newServer(cfg config) (*server, error) {
 		legacy  bool // also mount the retired unversioned alias (410 Gone)
 	}{
 		{"GET /clips/{id}", s.handleClip, true},
+		{"HEAD /clips/{id}", s.handleHeadClip, false},
 		{"GET /stats", s.handleStats, true},
 		{"GET /resident", s.handleResident, true},
 		{"POST /reset", s.handleReset, true},
@@ -220,7 +228,15 @@ func writeErrorHeaderless(w http.ResponseWriter, status int, format string, args
 	json.NewEncoder(w).Encode(api.Error{Error: fmt.Sprintf(format, args...)})
 }
 
-// handleClip services GET /v1/clips/{id}.
+// handleClip services GET /v1/clips/{id}, the partial-content clip API. A
+// Range header selects a byte range: valid single ranges are serviced at
+// segment granularity (206 + Content-Range; 200 when the range spans a fully
+// resident clip), unsatisfiable or multi-range requests answer 416 with
+// Content-Range: bytes */size, and malformed or non-bytes ranges are ignored
+// per RFC 9110 (full response, 200). A Range combined with If-Range is also
+// ignored — the simulator has no validators to compare, and RFC 9110 §13.1.5
+// says to ignore If-Range (and serve the full representation) when its
+// validator cannot match.
 func (s *server) handleClip(w http.ResponseWriter, r *http.Request) {
 	raw := r.PathValue("id")
 	id, err := strconv.Atoi(raw)
@@ -232,6 +248,19 @@ func (s *server) handleClip(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		writeError(w, http.StatusNotFound, "clip %d not in repository", id)
 		return
+	}
+	if hdr := r.Header.Get("Range"); hdr != "" && r.Header.Get("If-Range") == "" {
+		rng, rerr := parseRange(hdr, clip.Size)
+		if rerr != nil {
+			w.Header().Set("Content-Range", fmt.Sprintf("bytes */%d", clip.Size))
+			writeError(w, http.StatusRequestedRangeNotSatisfiable, "%v: %q", rerr, hdr)
+			return
+		}
+		if rng != nil {
+			s.serveClipRange(w, clip, *rng)
+			return
+		}
+		// Malformed or non-bytes range: fall through to the full response.
 	}
 	out, err := s.pool.Request(clip.ID)
 	if err != nil {
@@ -253,6 +282,8 @@ func (s *server) handleClip(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.LatencySeconds = float64(lat)
 	}
+	s.decorateSegmented(&resp, clip)
+	w.Header().Set("Accept-Ranges", "bytes")
 	writeJSON(w, resp)
 }
 
@@ -264,12 +295,14 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	var (
 		st       core.Stats
 		resident int
+		segments int
 		used     media.Bytes
 		capacity media.Bytes
 	)
 	for _, sh := range s.pool.ShardStats() {
 		st = st.Add(sh.Stats)
 		resident += sh.NumResident
+		segments += sh.ResidentSegments
 		used += sh.UsedBytes
 		capacity += sh.Capacity
 	}
@@ -292,6 +325,16 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if n := s.pool.NumShards(); n > 1 {
 		resp.Shards = n
 	}
+	// The segment fields appear only on segmented servers, keeping the
+	// pre-segment wire shape byte-identical (the compat golden test).
+	if segSize := s.pool.SegmentSize(); segSize > 0 {
+		resp.SegmentSizeBytes = int64(segSize)
+		resp.PrefixSegments = s.pool.PrefixSegments()
+		resp.ResidentSegments = segments
+		resp.PartialHits = st.PartialHits
+		resp.SegmentsFetched = st.SegmentsFetched
+		resp.SegmentsEvicted = st.SegmentsEvicted
+	}
 	writeJSON(w, resp)
 }
 
@@ -302,13 +345,14 @@ func (s *server) handleShards(w http.ResponseWriter, r *http.Request) {
 	resp := api.Shards{Shards: make([]api.Shard, len(stats))}
 	for i, sh := range stats {
 		resp.Shards[i] = api.Shard{
-			Shard:         sh.Index,
-			Requests:      sh.Stats.Requests,
-			Hits:          sh.Stats.Hits,
-			HitRate:       sh.Stats.HitRate(),
-			ResidentClips: sh.NumResident,
-			UsedBytes:     int64(sh.UsedBytes),
-			CapacityBytes: int64(sh.Capacity),
+			Shard:            sh.Index,
+			Requests:         sh.Stats.Requests,
+			Hits:             sh.Stats.Hits,
+			HitRate:          sh.Stats.HitRate(),
+			ResidentClips:    sh.NumResident,
+			ResidentSegments: sh.ResidentSegments,
+			UsedBytes:        int64(sh.UsedBytes),
+			CapacityBytes:    int64(sh.Capacity),
 		}
 	}
 	writeJSON(w, resp)
@@ -330,7 +374,9 @@ func queryInt(r *http.Request, name string, def int) (int, error) {
 
 // handleResident services GET /v1/resident with ?limit=/?offset= pagination.
 // The default format lists per-clip detail (id, kind, sizeBytes); ?format=ids
-// serves the bare-ID shape pre-pagination clients expect.
+// serves the bare-ID shape pre-pagination clients expect; ?format=extents
+// lists each resident clip's cached byte runs — the segment-aware view, where
+// partially resident clips show exactly which extents are cached.
 func (s *server) handleResident(w http.ResponseWriter, r *http.Request) {
 	limit, err := queryInt(r, "limit", 0)
 	if err != nil {
@@ -343,21 +389,18 @@ func (s *server) handleResident(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	format := r.URL.Query().Get("format")
-	if format != "" && format != "ids" && format != "detail" {
-		writeError(w, http.StatusBadRequest, "bad format %q: want \"ids\" or \"detail\"", format)
+	switch format {
+	case "", "ids", "detail", "extents":
+	default:
+		writeError(w, http.StatusBadRequest, "bad format %q: want \"ids\", \"detail\" or \"extents\"", format)
 		return
 	}
 
 	// One consistent pool snapshot, merged ascending by ID; byte occupancy
 	// derives from the same snapshot so used+free always equals capacity.
-	var (
-		all  []media.Clip
-		used media.Bytes
-	)
-	for c := range s.pool.Residents() {
-		all = append(all, c)
-		used += c.Size
-	}
+	// Used bytes count resident bytes, not clip sizes: on a segmented pool
+	// a partially resident clip occupies only its cached segments.
+	all, used := s.pool.Residency()
 	free := s.pool.Capacity() - used
 	total := len(all)
 	// Page in ascending-ID order. offset past the end is an empty page,
@@ -370,26 +413,50 @@ func (s *server) handleResident(w http.ResponseWriter, r *http.Request) {
 		page = page[:limit]
 	}
 
-	if format == "ids" {
+	switch format {
+	case "ids":
 		ids := make([]media.ClipID, len(page))
 		for i, c := range page {
-			ids[i] = c.ID
+			ids[i] = c.Clip.ID
 		}
 		writeJSON(w, api.ResidentIDs{Clips: ids, UsedBytes: int64(used), FreeBytes: int64(free)})
-		return
+	case "extents":
+		clips := make([]api.ClipExtents, len(page))
+		for i, c := range page {
+			exts := make([]api.ResidentExtent, len(c.Extents))
+			for j, e := range c.Extents {
+				exts[j] = api.ResidentExtent{OffsetBytes: int64(e.Start), LengthBytes: int64(e.Length)}
+			}
+			clips[i] = api.ClipExtents{
+				ID:            c.Clip.ID,
+				SizeBytes:     int64(c.Clip.Size),
+				BytesResident: int64(c.Bytes),
+				Extents:       exts,
+			}
+		}
+		writeJSON(w, api.ResidentExtents{
+			Clips:            clips,
+			Total:            total,
+			Offset:           offset,
+			Limit:            limit,
+			SegmentSizeBytes: int64(s.pool.SegmentSize()),
+			UsedBytes:        int64(used),
+			FreeBytes:        int64(free),
+		})
+	default:
+		clips := make([]api.ResidentClip, len(page))
+		for i, c := range page {
+			clips[i] = api.ResidentClip{ID: c.Clip.ID, Kind: c.Clip.Kind.String(), SizeBytes: int64(c.Clip.Size)}
+		}
+		writeJSON(w, api.Resident{
+			Clips:     clips,
+			Total:     total,
+			Offset:    offset,
+			Limit:     limit,
+			UsedBytes: int64(used),
+			FreeBytes: int64(free),
+		})
 	}
-	clips := make([]api.ResidentClip, len(page))
-	for i, c := range page {
-		clips[i] = api.ResidentClip{ID: c.ID, Kind: c.Kind.String(), SizeBytes: int64(c.Size)}
-	}
-	writeJSON(w, api.Resident{
-		Clips:     clips,
-		Total:     total,
-		Offset:    offset,
-		Limit:     limit,
-		UsedBytes: int64(used),
-		FreeBytes: int64(free),
-	})
 }
 
 // handleReset services POST /v1/reset.

@@ -16,9 +16,31 @@ type Error struct {
 	Error string `json:"error"`
 }
 
+// SegmentInfo summarizes a clip's segment residency on a segmented server.
+type SegmentInfo struct {
+	// SizeBytes is the fixed segment granularity (the clip's last segment
+	// may be shorter).
+	SizeBytes int64 `json:"sizeBytes"`
+	// Total is the number of segments the clip divides into.
+	Total int `json:"total"`
+	// Resident is how many of them are currently cached.
+	Resident int `json:"resident"`
+}
+
+// RangeInfo describes how one served byte range split across cache, network
+// and failure; attached to Clip responses of Range requests.
+type RangeInfo struct {
+	StartBytes   int64 `json:"startBytes"`
+	LengthBytes  int64 `json:"lengthBytes"`
+	BytesHit     int64 `json:"bytesHit"`
+	BytesFetched int64 `json:"bytesFetched"`
+	BytesFailed  int64 `json:"bytesFailed"`
+}
+
 // Clip is the response of GET /v1/clips/{id}: the outcome of one cache
 // request. LatencySeconds is the modeled startup latency and is zero on
-// hits.
+// hits. The segment fields appear only on segmented servers, so pre-segment
+// clients decode responses unchanged.
 type Clip struct {
 	Clip           media.ClipID `json:"clip"`
 	Kind           string       `json:"kind"`
@@ -26,6 +48,10 @@ type Clip struct {
 	Outcome        string       `json:"outcome"`
 	Hit            bool         `json:"hit"`
 	LatencySeconds float64      `json:"latencySeconds"`
+	BytesResident  int64        `json:"bytesResident,omitempty"`
+	PrefixSegments int          `json:"prefixSegments,omitempty"`
+	Segments       *SegmentInfo `json:"segments,omitempty"`
+	Range          *RangeInfo   `json:"range,omitempty"`
 }
 
 // Stats is the response of GET /v1/stats. With a sharded cache the counters
@@ -48,6 +74,15 @@ type Stats struct {
 	BypassedMisses  uint64  `json:"bypassedMisses"`
 	VictimCalls     uint64  `json:"victimCalls"`
 	TheoreticalNote string  `json:"note,omitempty"`
+
+	// Segment-granular fields; all zero (and omitted) on unsegmented
+	// servers, keeping the pre-segment wire shape byte-identical.
+	SegmentSizeBytes int64  `json:"segmentSizeBytes,omitempty"`
+	PrefixSegments   int    `json:"prefixSegments,omitempty"`
+	ResidentSegments int    `json:"residentSegments,omitempty"`
+	PartialHits      uint64 `json:"partialHits,omitempty"`
+	SegmentsFetched  uint64 `json:"segmentsFetched,omitempty"`
+	SegmentsEvicted  uint64 `json:"segmentsEvicted,omitempty"`
 }
 
 // ResidentClip is one entry of the detailed GET /v1/resident listing.
@@ -76,6 +111,35 @@ type ResidentIDs struct {
 	FreeBytes int64          `json:"freeBytes"`
 }
 
+// ResidentExtent is one contiguous resident byte run of a clip.
+type ResidentExtent struct {
+	OffsetBytes int64 `json:"offsetBytes"`
+	LengthBytes int64 `json:"lengthBytes"`
+}
+
+// ClipExtents is one entry of GET /v1/resident?format=extents: a resident
+// clip's cached byte runs. A fully resident clip has one extent covering the
+// whole clip.
+type ClipExtents struct {
+	ID            media.ClipID     `json:"id"`
+	SizeBytes     int64            `json:"sizeBytes"`
+	BytesResident int64            `json:"bytesResident"`
+	Extents       []ResidentExtent `json:"extents"`
+}
+
+// ResidentExtents is the response of GET /v1/resident?format=extents —
+// the segment-aware residency listing. Unsegmented servers serve it too;
+// every clip is then a single full extent.
+type ResidentExtents struct {
+	Clips            []ClipExtents `json:"clips"`
+	Total            int           `json:"total"`
+	Offset           int           `json:"offset"`
+	Limit            int           `json:"limit,omitempty"`
+	SegmentSizeBytes int64         `json:"segmentSizeBytes,omitempty"`
+	UsedBytes        int64         `json:"usedBytes"`
+	FreeBytes        int64         `json:"freeBytes"`
+}
+
 // Policies is the response of GET /v1/policies.
 type Policies struct {
 	Current  string   `json:"current"`
@@ -83,14 +147,16 @@ type Policies struct {
 }
 
 // Shard describes one cache shard in the GET /v1/shards listing.
+// ResidentSegments appears only on segmented servers.
 type Shard struct {
-	Shard         int     `json:"shard"`
-	Requests      uint64  `json:"requests"`
-	Hits          uint64  `json:"hits"`
-	HitRate       float64 `json:"hitRate"`
-	ResidentClips int     `json:"residentClips"`
-	UsedBytes     int64   `json:"usedBytes"`
-	CapacityBytes int64   `json:"capacityBytes"`
+	Shard            int     `json:"shard"`
+	Requests         uint64  `json:"requests"`
+	Hits             uint64  `json:"hits"`
+	HitRate          float64 `json:"hitRate"`
+	ResidentClips    int     `json:"residentClips"`
+	ResidentSegments int     `json:"residentSegments,omitempty"`
+	UsedBytes        int64   `json:"usedBytes"`
+	CapacityBytes    int64   `json:"capacityBytes"`
 }
 
 // Shards is the response of GET /v1/shards: the hash-partitioned pool's

@@ -10,17 +10,22 @@ import (
 // wireFields freezes the JSON contract: renaming or dropping a field is a
 // breaking change that must fail here first.
 var wireFields = map[string][]string{
-	"Error":        {"error"},
-	"Clip":         {"clip", "kind", "sizeBytes", "outcome", "hit", "latencySeconds"},
-	"Stats":        {"policy", "shards", "requests", "hits", "hitRate", "byteHitRate", "evictions", "bytesFetched", "bytesFailed", "degradedMisses", "residentClips", "usedBytes", "capacityBytes", "bypassedMisses", "victimCalls", "note"},
-	"ResidentClip": {"id", "kind", "sizeBytes"},
-	"Resident":     {"clips", "total", "offset", "limit", "usedBytes", "freeBytes"},
-	"ResidentIDs":  {"clips", "usedBytes", "freeBytes"},
-	"Policies":     {"current", "policies"},
-	"Shard":        {"shard", "requests", "hits", "hitRate", "residentClips", "usedBytes", "capacityBytes"},
-	"Shards":       {"shards"},
-	"Health":       {"status", "residentClips", "usedBytes", "capacityBytes"},
-	"BuildVersion": {"api", "goVersion", "policy", "policySpec", "module", "revision"},
+	"Error":           {"error"},
+	"Clip":            {"clip", "kind", "sizeBytes", "outcome", "hit", "latencySeconds", "bytesResident", "prefixSegments", "segments", "range"},
+	"SegmentInfo":     {"sizeBytes", "total", "resident"},
+	"RangeInfo":       {"startBytes", "lengthBytes", "bytesHit", "bytesFetched", "bytesFailed"},
+	"Stats":           {"policy", "shards", "requests", "hits", "hitRate", "byteHitRate", "evictions", "bytesFetched", "bytesFailed", "degradedMisses", "residentClips", "usedBytes", "capacityBytes", "bypassedMisses", "victimCalls", "note", "segmentSizeBytes", "prefixSegments", "residentSegments", "partialHits", "segmentsFetched", "segmentsEvicted"},
+	"ResidentClip":    {"id", "kind", "sizeBytes"},
+	"Resident":        {"clips", "total", "offset", "limit", "usedBytes", "freeBytes"},
+	"ResidentIDs":     {"clips", "usedBytes", "freeBytes"},
+	"ResidentExtent":  {"offsetBytes", "lengthBytes"},
+	"ClipExtents":     {"id", "sizeBytes", "bytesResident", "extents"},
+	"ResidentExtents": {"clips", "total", "offset", "limit", "segmentSizeBytes", "usedBytes", "freeBytes"},
+	"Policies":        {"current", "policies"},
+	"Shard":           {"shard", "requests", "hits", "hitRate", "residentClips", "residentSegments", "usedBytes", "capacityBytes"},
+	"Shards":          {"shards"},
+	"Health":          {"status", "residentClips", "usedBytes", "capacityBytes"},
+	"BuildVersion":    {"api", "goVersion", "policy", "policySpec", "module", "revision"},
 }
 
 // jsonTags extracts the json field names of a struct type.
@@ -41,17 +46,22 @@ func jsonTags(t reflect.Type) []string {
 
 func TestWireContractFrozen(t *testing.T) {
 	types := map[string]reflect.Type{
-		"Error":        reflect.TypeOf(Error{}),
-		"Clip":         reflect.TypeOf(Clip{}),
-		"Stats":        reflect.TypeOf(Stats{}),
-		"ResidentClip": reflect.TypeOf(ResidentClip{}),
-		"Resident":     reflect.TypeOf(Resident{}),
-		"ResidentIDs":  reflect.TypeOf(ResidentIDs{}),
-		"Policies":     reflect.TypeOf(Policies{}),
-		"Shard":        reflect.TypeOf(Shard{}),
-		"Shards":       reflect.TypeOf(Shards{}),
-		"Health":       reflect.TypeOf(Health{}),
-		"BuildVersion": reflect.TypeOf(BuildVersion{}),
+		"Error":           reflect.TypeOf(Error{}),
+		"Clip":            reflect.TypeOf(Clip{}),
+		"SegmentInfo":     reflect.TypeOf(SegmentInfo{}),
+		"RangeInfo":       reflect.TypeOf(RangeInfo{}),
+		"Stats":           reflect.TypeOf(Stats{}),
+		"ResidentClip":    reflect.TypeOf(ResidentClip{}),
+		"Resident":        reflect.TypeOf(Resident{}),
+		"ResidentIDs":     reflect.TypeOf(ResidentIDs{}),
+		"ResidentExtent":  reflect.TypeOf(ResidentExtent{}),
+		"ClipExtents":     reflect.TypeOf(ClipExtents{}),
+		"ResidentExtents": reflect.TypeOf(ResidentExtents{}),
+		"Policies":        reflect.TypeOf(Policies{}),
+		"Shard":           reflect.TypeOf(Shard{}),
+		"Shards":          reflect.TypeOf(Shards{}),
+		"Health":          reflect.TypeOf(Health{}),
+		"BuildVersion":    reflect.TypeOf(BuildVersion{}),
 	}
 	if len(types) != len(wireFields) {
 		t.Fatalf("type map has %d entries, contract has %d", len(types), len(wireFields))
@@ -65,6 +75,55 @@ func TestWireContractFrozen(t *testing.T) {
 		if !reflect.DeepEqual(sorted, want) {
 			t.Errorf("%s wire fields = %v, contract %v", name, got, wireFields[name])
 		}
+	}
+}
+
+// TestPreSegmentWireCompat is the golden wire-compatibility proof: with
+// segmentation off, every response marshals to exactly the bytes a
+// pre-segment (PR 5) server produced, and the pre-segment documents decode
+// into the extended structs without loss. The golden strings are frozen —
+// do not regenerate them from the structs.
+func TestPreSegmentWireCompat(t *testing.T) {
+	cases := []struct {
+		name   string
+		v      any
+		golden string
+	}{
+		{
+			"Clip",
+			Clip{Clip: 3, Kind: "video", SizeBytes: 1932735283, Outcome: "miss-cached", Hit: false, LatencySeconds: 12.5},
+			`{"clip":3,"kind":"video","sizeBytes":1932735283,"outcome":"miss-cached","hit":false,"latencySeconds":12.5}`,
+		},
+		{
+			"Stats",
+			Stats{Policy: "GreedyDual", Shards: 4, Requests: 100, Hits: 60, HitRate: 0.6, ByteHitRate: 0.4, Evictions: 7, BytesFetched: 12345, BytesFailed: 67, DegradedMisses: 2, ResidentClips: 5, UsedBytes: 999, CapacityBytes: 1000, BypassedMisses: 1, VictimCalls: 9},
+			`{"policy":"GreedyDual","shards":4,"requests":100,"hits":60,"hitRate":0.6,"byteHitRate":0.4,"evictions":7,"bytesFetched":12345,"bytesFailed":67,"degradedMisses":2,"residentClips":5,"usedBytes":999,"capacityBytes":1000,"bypassedMisses":1,"victimCalls":9}`,
+		},
+		{
+			"Shard",
+			Shard{Shard: 2, Requests: 10, Hits: 4, HitRate: 0.4, ResidentClips: 3, UsedBytes: 55, CapacityBytes: 100},
+			`{"shard":2,"requests":10,"hits":4,"hitRate":0.4,"residentClips":3,"usedBytes":55,"capacityBytes":100}`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b, err := json.Marshal(tc.v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(b) != tc.golden {
+				t.Errorf("segmentation-off output changed:\n got %s\nwant %s", b, tc.golden)
+			}
+			// Round-trip the pre-segment document through the extended type.
+			fresh := reflect.New(reflect.TypeOf(tc.v))
+			if err := json.Unmarshal([]byte(tc.golden), fresh.Interface()); err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(fresh.Elem().Interface(), tc.v) {
+				t.Errorf("pre-segment document decoded with loss:\n got %+v\nwant %+v",
+					fresh.Elem().Interface(), tc.v)
+			}
+		})
 	}
 }
 

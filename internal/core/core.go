@@ -101,6 +101,12 @@ type ResidentView interface {
 	ForEachResident(fn func(media.Clip) bool)
 	// NumResident returns the number of cached clips.
 	NumResident() int
+	// ResidentBytes returns how many of clip id's bytes are cached. With
+	// whole-clip residency this is the clip size (resident) or zero; with
+	// segment-granular residency (WithSegments) it is the byte total of the
+	// clip's resident segments, so policies can rank partial residents by
+	// resident-byte cost.
+	ResidentBytes(id media.ClipID) media.Bytes
 	// FreeBytes returns the unused cache capacity.
 	FreeBytes() media.Bytes
 	// Capacity returns the total cache capacity S_T.
@@ -159,6 +165,12 @@ type Stats struct {
 	Bypassed        uint64      // misses not cached (admission declined, too large, or engine error)
 	FetchFailed     uint64      // misses whose fetch hook failed (degraded service)
 	VictimCalls     uint64      // Policy.Victims invocations, incl. re-invocations for short selections
+
+	// Segment-granular counters, accumulated only by caches built with
+	// WithSegments; always zero under whole-clip residency.
+	PartialHits     uint64 // requests serviced partly from resident segments, partly fetched
+	SegmentsFetched uint64 // segments materialized on misses
+	SegmentsEvicted uint64 // segments evicted, incl. tail trims of partial victims
 }
 
 // HitRate returns the cache hit rate in [0, 1].
@@ -193,6 +205,9 @@ func (s Stats) Add(o Stats) Stats {
 		Bypassed:        s.Bypassed + o.Bypassed,
 		FetchFailed:     s.FetchFailed + o.FetchFailed,
 		VictimCalls:     s.VictimCalls + o.VictimCalls,
+		PartialHits:     s.PartialHits + o.PartialHits,
+		SegmentsFetched: s.SegmentsFetched + o.SegmentsFetched,
+		SegmentsEvicted: s.SegmentsEvicted + o.SegmentsEvicted,
 	}
 }
 
@@ -228,6 +243,17 @@ type Cache struct {
 	used          media.Bytes
 	clock         vtime.Time
 	stats         Stats
+
+	// Segment-granular residency (WithSegments). segSize == 0 means legacy
+	// whole-clip residency; none of these fields are touched on that request
+	// path, which stays allocation-free and byte-identical to earlier PRs.
+	segSize      media.Bytes               // fixed segment size, 0 = whole-clip
+	prefixSegs   int                       // WithPrefixAdmission: first N segments always admitted, evicted last
+	segFetch     SegmentFetchFunc          // WithSegmentFetch: per-segment fetch seam
+	segAware     SegmentAware              // policy's optional resident-byte notification hook
+	segs         map[media.ClipID]*segMeta // per-clip residency bitmaps, keyed by resident clip
+	residentSegs int                       // total resident segments across all clips
+	segScratch   []int32                   // reusable missing-segment buffer for the request path
 }
 
 // lessClipID orders the resident index by ascending clip ID.
@@ -331,6 +357,16 @@ func New(repo *media.Repository, capacity media.Bytes, policy Policy, opts ...Op
 			return nil, err
 		}
 	}
+	if c.prefixSegs > 0 && c.segSize == 0 {
+		return nil, errors.New("core: WithPrefixAdmission requires WithSegments")
+	}
+	if c.segFetch != nil && c.segSize == 0 {
+		return nil, errors.New("core: WithSegmentFetch requires WithSegments")
+	}
+	if c.segSize > 0 {
+		c.segs = make(map[media.ClipID]*segMeta)
+		c.segAware, _ = policy.(SegmentAware)
+	}
 	c.clock = c.initClock
 	if b, ok := policy.(Binder); ok {
 		b.Bind(c)
@@ -362,10 +398,28 @@ func (c *Cache) FreeBytes() media.Bytes { return c.capacity - c.used }
 // NumResident returns the number of cached clips.
 func (c *Cache) NumResident() int { return len(c.resident) }
 
-// Resident reports whether clip id is cached.
+// Resident reports whether clip id is cached. Under segment-granular
+// residency a clip with any resident segment counts as resident; use
+// FullyResident or ResidentBytes for finer answers.
 func (c *Cache) Resident(id media.ClipID) bool {
 	_, ok := c.resident[id]
 	return ok
+}
+
+// ResidentBytes implements ResidentView: the number of clip id's bytes that
+// are cached. Whole-clip residency answers clip-size-or-zero; segmented
+// residency answers the byte total of the clip's resident segments.
+func (c *Cache) ResidentBytes(id media.ClipID) media.Bytes {
+	if c.segSize > 0 {
+		if sm := c.segs[id]; sm != nil {
+			return sm.resBytes
+		}
+		return 0
+	}
+	if clip, ok := c.byID.Get(id); ok {
+		return clip.Size
+	}
+	return 0
 }
 
 // ResidentIDs returns the cached clip ids in ascending order.
@@ -421,6 +475,10 @@ var _ ResidentView = (*Cache)(nil)
 // one tick, and returns the outcome. Request is the paper's unit of work: the
 // client references a clip, the cache manager services it.
 func (c *Cache) Request(id media.ClipID) (Outcome, error) {
+	if c.segSize > 0 {
+		res, err := c.RequestRange(id, 0, -1)
+		return res.Outcome, err
+	}
 	clip, ok := c.repo.Lookup(id)
 	if !ok {
 		return MissBypassed, fmt.Errorf("%w: id %d", ErrUnknownClip, id)
@@ -544,6 +602,9 @@ func (c *Cache) Warm(ids []media.ClipID) {
 		c.byID.Put(id, clip)
 		c.used += clip.Size
 		c.policy.OnInsert(clip, c.clock)
+		if c.segSize > 0 {
+			c.adoptFullClip(clip)
+		}
 	}
 }
 
@@ -555,6 +616,10 @@ func (c *Cache) Reset() {
 	c.used = 0
 	c.clock = c.initClock
 	c.stats = Stats{}
+	if c.segSize > 0 {
+		c.segs = make(map[media.ClipID]*segMeta)
+		c.residentSegs = 0
+	}
 	c.policy.Reset()
 }
 
@@ -567,8 +632,13 @@ func (c *Cache) TheoreticalHitRate(pmf []float64) float64 {
 	// and iterating the resident map directly would make the result vary
 	// run to run with Go's randomized map order. The ordered index gives
 	// that order without allocating.
+	// Under segment-granular residency only fully resident clips count: the
+	// next (whole-clip) request hits only when every segment is cached.
 	var sum float64
 	c.byID.Ascend(func(id media.ClipID, _ media.Clip) bool {
+		if c.segSize > 0 && !c.FullyResident(id) {
+			return true
+		}
 		if i := int(id) - 1; i >= 0 && i < len(pmf) {
 			sum += pmf[i]
 		}

@@ -30,6 +30,13 @@ const (
 	// EventFetchFail: a cacheable miss could not be fetched from the remote
 	// repository (the WithFetch hook failed); the request was degraded.
 	EventFetchFail
+	// EventTrim: tail segments of a partially resident clip were evicted
+	// without dropping the whole clip. Emitted only by caches built with
+	// WithSegments; Bytes carries the trimmed byte count.
+	EventTrim
+	// EventPartialHit: a request was serviced partly from resident segments
+	// while the rest was fetched. Bytes carries the bytes served from cache.
+	EventPartialHit
 )
 
 // String implements fmt.Stringer.
@@ -47,18 +54,30 @@ func (t EventType) String() string {
 		return "restore"
 	case EventFetchFail:
 		return "fetch-fail"
+	case EventTrim:
+		return "trim"
+	case EventPartialHit:
+		return "partial-hit"
 	default:
 		return fmt.Sprintf("EventType(%d)", uint8(t))
 	}
 }
 
-// Event is one engine occurrence: what happened, to which clip, at which
-// virtual time. Events are delivered synchronously from the request path,
-// so observers must be fast and must not call back into the cache.
+// Event is one engine occurrence: what happened, to which clip, how many
+// bytes were involved, at which virtual time. Events are delivered
+// synchronously from the request path, so observers must be fast and must
+// not call back into the cache.
+//
+// Bytes is the byte count the event accounts for: the clip size for
+// whole-clip hits/misses/evictions, the affected byte subrange for
+// segment-granular events (partial hits, trims, per-segment fetch
+// failures). Observers should aggregate Bytes, not Clip.Size, so the same
+// code is exact under both residency models.
 type Event struct {
-	Type EventType
-	Clip media.Clip
-	Now  vtime.Time
+	Type  EventType
+	Clip  media.Clip
+	Bytes media.Bytes
+	Now   vtime.Time
 }
 
 // Observer consumes engine events. Implementations live outside core (the
@@ -110,10 +129,18 @@ func WithObserver(o Observer) Option {
 	}
 }
 
-// emit delivers an event if an observer is installed. Kept tiny so it
-// inlines into Request and makeRoom; the nil branch is the hot path.
+// emit delivers a whole-clip event if an observer is installed. Kept tiny so
+// it inlines into Request and makeRoom; the nil branch is the hot path.
 func (c *Cache) emit(t EventType, clip media.Clip, now vtime.Time) {
 	if c.observer != nil {
-		c.observer.Observe(Event{Type: t, Clip: clip, Now: now})
+		c.observer.Observe(Event{Type: t, Clip: clip, Bytes: clip.Size, Now: now})
+	}
+}
+
+// emitB delivers an event covering an explicit byte count — the segmented
+// request path's form, where an event rarely spans the whole clip.
+func (c *Cache) emitB(t EventType, clip media.Clip, bytes media.Bytes, now vtime.Time) {
+	if c.observer != nil {
+		c.observer.Observe(Event{Type: t, Clip: clip, Bytes: bytes, Now: now})
 	}
 }

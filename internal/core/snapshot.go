@@ -22,21 +22,61 @@ import (
 // format to implementation details. Restore notifies the policy of each
 // resident clip through OnInsert, the same adoption path used by Warm.
 type Snapshot struct {
-	// ResidentIDs is the resident clip set in ascending id order.
+	// ResidentIDs is the fully resident clip set in ascending id order.
+	// (For whole-clip caches that is every resident clip.)
 	ResidentIDs []media.ClipID
 	// Clock is the virtual time at capture.
 	Clock vtime.Time
 	// Stats are the accumulated statistics at capture.
 	Stats Stats
+	// SegmentSize is the capturing cache's segment granularity, zero for
+	// whole-clip caches. Snapshots decode with gob, so pre-segment archives
+	// read back with a zero here and restore unchanged.
+	SegmentSize media.Bytes
+	// Partial lists partially resident clips with their resident segment
+	// indices in ascending order — present only for segmented captures,
+	// sorted by clip id so encoding is deterministic.
+	Partial []ClipSegments
+}
+
+// ClipSegments is one partially resident clip in a segmented Snapshot.
+type ClipSegments struct {
+	ID       media.ClipID
+	Segments []int32
 }
 
 // Snapshot captures the cache's current persistent state.
 func (c *Cache) Snapshot() Snapshot {
-	return Snapshot{
-		ResidentIDs: c.ResidentIDs(),
+	s := Snapshot{
 		Clock:       c.clock,
 		Stats:       c.stats,
+		SegmentSize: c.segSize,
 	}
+	if c.segSize == 0 {
+		s.ResidentIDs = c.ResidentIDs()
+		return s
+	}
+	ids := make([]media.ClipID, 0, c.byID.Len())
+	c.byID.Ascend(func(id media.ClipID, _ media.Clip) bool {
+		sm := c.segs[id]
+		if sm == nil || sm.resident == 0 {
+			return true
+		}
+		if sm.resident == sm.nSegs {
+			ids = append(ids, id)
+			return true
+		}
+		segs := make([]int32, 0, sm.resident)
+		for i := int32(0); i < sm.nSegs; i++ {
+			if sm.has(i) {
+				segs = append(segs, i)
+			}
+		}
+		s.Partial = append(s.Partial, ClipSegments{ID: id, Segments: segs})
+		return true
+	})
+	s.ResidentIDs = ids
+	return s
 }
 
 // Restore replaces the cache's state with the snapshot's. The snapshot must
@@ -44,8 +84,19 @@ func (c *Cache) Snapshot() Snapshot {
 // or a resident set exceeding capacity are rejected, leaving the cache
 // untouched. The policy is reset and re-warmed via OnInsert.
 func (c *Cache) Restore(s Snapshot) error {
+	// Granularity compatibility: a segmented cache adopts whole-clip
+	// snapshots (pre-segment archives) by marking every segment of each
+	// clip resident, but segment lists only restore at the exact same
+	// segment size, and a whole-clip cache cannot represent partial clips.
+	switch {
+	case s.SegmentSize == c.segSize:
+	case s.SegmentSize == 0 && len(s.Partial) == 0 && c.segSize > 0:
+	default:
+		return fmt.Errorf("core: snapshot segment size %v does not match cache segment size %v",
+			s.SegmentSize, c.segSize)
+	}
 	var total media.Bytes
-	seen := make(map[media.ClipID]struct{}, len(s.ResidentIDs))
+	seen := make(map[media.ClipID]struct{}, len(s.ResidentIDs)+len(s.Partial))
 	for _, id := range s.ResidentIDs {
 		clip, ok := c.repo.Lookup(id)
 		if !ok {
@@ -57,17 +108,46 @@ func (c *Cache) Restore(s Snapshot) error {
 		seen[id] = struct{}{}
 		total += clip.Size
 	}
+	for _, ps := range s.Partial {
+		clip, ok := c.repo.Lookup(ps.ID)
+		if !ok {
+			return fmt.Errorf("core: snapshot references unknown clip %d", ps.ID)
+		}
+		if _, dup := seen[ps.ID]; dup {
+			return fmt.Errorf("core: snapshot lists clip %d twice", ps.ID)
+		}
+		seen[ps.ID] = struct{}{}
+		if len(ps.Segments) == 0 {
+			return fmt.Errorf("core: snapshot lists clip %d as partial with no segments", ps.ID)
+		}
+		n := int32(c.SegmentsOf(clip))
+		prev := int32(-1)
+		for _, seg := range ps.Segments {
+			if seg < 0 || seg >= n {
+				return fmt.Errorf("core: snapshot segment %d of clip %d out of range [0,%d)", seg, ps.ID, n)
+			}
+			if seg <= prev {
+				return fmt.Errorf("core: snapshot segments of clip %d not strictly ascending", ps.ID)
+			}
+			prev = seg
+			total += c.segmentBytes(clip, seg)
+		}
+	}
 	if total > c.capacity {
 		return fmt.Errorf("core: snapshot holds %v, exceeding capacity %v", total, c.capacity)
 	}
 	if s.Clock < 0 {
 		return fmt.Errorf("core: snapshot clock %d is negative", s.Clock)
 	}
-	c.resident = make(map[media.ClipID]struct{}, len(s.ResidentIDs))
+	c.resident = make(map[media.ClipID]struct{}, len(s.ResidentIDs)+len(s.Partial))
 	c.byID = rbtree.New[media.ClipID, media.Clip](lessClipID)
 	c.used = 0
 	c.clock = s.Clock
 	c.stats = s.Stats
+	if c.segSize > 0 {
+		c.segs = make(map[media.ClipID]*segMeta, len(s.ResidentIDs)+len(s.Partial))
+		c.residentSegs = 0
+	}
 	c.policy.Reset()
 	for _, id := range s.ResidentIDs {
 		clip := c.repo.Clip(id)
@@ -75,7 +155,26 @@ func (c *Cache) Restore(s Snapshot) error {
 		c.byID.Put(id, clip)
 		c.used += clip.Size
 		c.policy.OnInsert(clip, c.clock)
+		if c.segSize > 0 {
+			c.adoptFullClip(clip)
+		}
 		c.emit(EventRestore, clip, c.clock)
+	}
+	for _, ps := range s.Partial {
+		clip := c.repo.Clip(ps.ID)
+		sm := newSegMeta(clip, c.SegmentsOf(clip))
+		for _, seg := range ps.Segments {
+			sm.set(seg)
+			sm.resBytes += c.segmentBytes(clip, seg)
+		}
+		c.segs[ps.ID] = sm
+		c.resident[ps.ID] = struct{}{}
+		c.byID.Put(ps.ID, clip)
+		c.used += sm.resBytes
+		c.residentSegs += int(sm.resident)
+		c.policy.OnInsert(clip, c.clock)
+		c.notifyResidentBytes(clip, sm.resBytes, c.clock)
+		c.emitB(EventRestore, clip, sm.resBytes, c.clock)
 	}
 	return nil
 }

@@ -29,6 +29,9 @@ const (
 	metricBytesEvicted  = "mediacache_cache_bytes_evicted_total"
 	metricVictimCalls   = "mediacache_cache_victim_calls_total"
 	metricEvictionBatch = "mediacache_cache_eviction_batch_size"
+	metricPartialHits   = "mediacache_cache_partial_hits_total"
+	metricTrims         = "mediacache_cache_trims_total"
+	metricBytesHitPart  = "mediacache_cache_partial_hit_bytes_total"
 )
 
 // CacheMetrics translates core engine events into registry counters and
@@ -50,6 +53,11 @@ type CacheMetrics struct {
 	// EvictionBatch observes the number of victims evicted per cacheable
 	// miss (only misses that evicted at least one clip are observed).
 	EvictionBatch *metrics.Histogram
+	// PartialHits, Trims and PartialHitBytes observe the segment-granular
+	// events (core.WithSegments); they stay zero for whole-clip caches.
+	PartialHits     *metrics.Counter
+	Trims           *metrics.Counter
+	PartialHitBytes *metrics.Counter
 
 	batch uint64 // evictions since the last non-eviction event
 }
@@ -69,31 +77,37 @@ func NewCacheMetrics(reg *metrics.Registry) *CacheMetrics {
 		BytesEvicted:  reg.Counter(metricBytesEvicted, "Bytes freed by eviction."),
 		VictimCalls:   reg.Counter(metricVictimCalls, "Policy.Victims invocations (batch sweeps only; the live path counts via evictions)."),
 		EvictionBatch: reg.Histogram(metricEvictionBatch, "Victims evicted per cacheable miss.", metrics.SizeBuckets),
+		PartialHits:   reg.Counter(metricPartialHits, "Requests serviced partly from resident segments (segmented caches only)."),
+		Trims:         reg.Counter(metricTrims, "Partial evictions: tail segments trimmed without dropping the clip."),
+		PartialHitBytes: reg.Counter(metricBytesHitPart,
+			"Bytes served from resident segments on partially hit requests."),
 	}
 }
 
 // Observe implements core.Observer. The engine emits a miss's evictions
 // before the concluding EventMiss, so the batch counter closes exactly when
-// the miss that caused it lands.
+// the miss that caused it lands. Byte counters aggregate ev.Bytes — the
+// clip size on whole-clip events, the affected subrange on segment-granular
+// ones — so the same observer is exact under both residency models.
 func (m *CacheMetrics) Observe(ev core.Event) {
 	switch ev.Type {
 	case core.EventHit:
 		m.Hits.Inc()
 	case core.EventMiss:
 		m.Misses.Inc()
-		m.BytesFetched.Add(uint64(ev.Clip.Size))
+		m.BytesFetched.Add(uint64(ev.Bytes))
 		if m.batch > 0 {
 			m.EvictionBatch.Observe(float64(m.batch))
 			m.batch = 0
 		}
 	case core.EventEviction:
 		m.Evictions.Inc()
-		m.BytesEvicted.Add(uint64(ev.Clip.Size))
+		m.BytesEvicted.Add(uint64(ev.Bytes))
 		m.batch++
 	case core.EventBypass:
 		m.Misses.Inc()
 		m.Bypasses.Inc()
-		m.BytesFetched.Add(uint64(ev.Clip.Size))
+		m.BytesFetched.Add(uint64(ev.Bytes))
 	case core.EventRestore:
 		m.Restores.Inc()
 	case core.EventFetchFail:
@@ -101,7 +115,13 @@ func (m *CacheMetrics) Observe(ev core.Event) {
 		m.FetchFailed.Inc()
 		// No BytesFetched: a failed fetch delivered nothing, so it is not
 		// network traffic (mirrors core.Stats.BytesFailed accounting).
-		m.BytesFailed.Add(uint64(ev.Clip.Size))
+		m.BytesFailed.Add(uint64(ev.Bytes))
+	case core.EventTrim:
+		m.Trims.Inc()
+		m.BytesEvicted.Add(uint64(ev.Bytes))
+	case core.EventPartialHit:
+		m.PartialHits.Inc()
+		m.PartialHitBytes.Add(uint64(ev.Bytes))
 	}
 }
 
@@ -148,6 +168,7 @@ func (t *Tracer) Observe(ev core.Event) {
 		slog.Int("clip", int(ev.Clip.ID)),
 		slog.String("kind", ev.Clip.Kind.String()),
 		slog.Int64("sizeBytes", int64(ev.Clip.Size)),
+		slog.Int64("bytes", int64(ev.Bytes)),
 		slog.Int64("vtime", int64(ev.Now)),
 	)
 }

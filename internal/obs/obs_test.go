@@ -23,15 +23,17 @@ func TestCacheMetricsEventStream(t *testing.T) {
 	reg := metrics.NewRegistry()
 	m := NewCacheMetrics(reg)
 	// Request 1: cold miss. Request 2: hit. Request 3: miss evicting two
-	// clips. Request 4: bypass. Restore of one clip.
+	// clips. Request 4: bypass. Restore of one clip. The engine sets
+	// Event.Bytes to the clip size on whole-clip events; the observer
+	// aggregates Bytes, so the literals carry it too.
 	events := []core.Event{
-		{Type: core.EventMiss, Clip: clip(1, 100)},
-		{Type: core.EventHit, Clip: clip(1, 100)},
-		{Type: core.EventEviction, Clip: clip(1, 100)},
-		{Type: core.EventEviction, Clip: clip(2, 50)},
-		{Type: core.EventMiss, Clip: clip(3, 120)},
-		{Type: core.EventBypass, Clip: clip(4, 999)},
-		{Type: core.EventRestore, Clip: clip(5, 10)},
+		{Type: core.EventMiss, Clip: clip(1, 100), Bytes: 100},
+		{Type: core.EventHit, Clip: clip(1, 100), Bytes: 100},
+		{Type: core.EventEviction, Clip: clip(1, 100), Bytes: 100},
+		{Type: core.EventEviction, Clip: clip(2, 50), Bytes: 50},
+		{Type: core.EventMiss, Clip: clip(3, 120), Bytes: 120},
+		{Type: core.EventBypass, Clip: clip(4, 999), Bytes: 999},
+		{Type: core.EventRestore, Clip: clip(5, 10), Bytes: 10},
 	}
 	for _, ev := range events {
 		m.Observe(ev)

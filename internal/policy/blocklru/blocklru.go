@@ -136,6 +136,16 @@ func (c *Cache) BlocksOf(clip media.Clip) int {
 // CapacityBlocks returns the cache capacity in blocks.
 func (c *Cache) CapacityBlocks() int { return c.capBlocks }
 
+// blockBytes returns the exact byte length of clip's block index —
+// blockSize except for the clip's short last block (and a single-block clip
+// smaller than one block, whose only block is that short last block).
+func (c *Cache) blockBytes(clip media.Clip, index int32) media.Bytes {
+	if rest := clip.Size - media.Bytes(index)*c.blockSize; rest < c.blockSize {
+		return rest
+	}
+	return c.blockSize
+}
+
 // ResidentBlocks returns the number of currently cached blocks.
 func (c *Cache) ResidentBlocks() int { return len(c.resident) }
 
@@ -235,9 +245,17 @@ func (c *Cache) Request(id media.ClipID) (core.Outcome, error) {
 		return core.Hit, nil
 	}
 	// Partial hits still save the resident fraction of the clip's bytes.
-	residentBlocks := nBlocks - len(missing)
-	c.stats.BytesHit += clip.Size * media.Bytes(residentBlocks) / media.Bytes(nBlocks)
-	c.stats.BytesFetched += clip.Size * media.Bytes(len(missing)) / media.Bytes(nBlocks)
+	// Sum the missing blocks' exact sizes (the last block of a clip is
+	// short) rather than splitting clip.Size proportionally: the truncating
+	// proportional split dropped bytes, breaking the conservation identity
+	// BytesHit + BytesFetched == BytesReferenced (e.g. a 10-byte clip in
+	// three 4-byte blocks with one resident split 3 + 6 = 9).
+	var missingBytes media.Bytes
+	for _, key := range missing {
+		missingBytes += c.blockBytes(clip, key.index)
+	}
+	c.stats.BytesHit += clip.Size - missingBytes
+	c.stats.BytesFetched += missingBytes
 
 	if nBlocks > c.capBlocks {
 		// The clip cannot fully fit; stream it without caching, like
@@ -278,7 +296,10 @@ func (c *Cache) evictUntil(max int, incoming media.ClipID) {
 		c.history[e.key] = st
 		delete(c.resident, e.key)
 		c.stats.Evictions++
-		c.stats.BytesEvicted += c.blockSize
+		// Account the block's exact bytes: a clip's short last block (or a
+		// single-block clip smaller than one block) frees less than a full
+		// block slot.
+		c.stats.BytesEvicted += c.blockBytes(c.repo.Clip(e.key.clip), e.key.index)
 	}
 	for _, e := range skipped {
 		heap.Push(&c.pq, e)

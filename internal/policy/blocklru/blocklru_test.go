@@ -223,3 +223,69 @@ func TestHistoryRetainedAcrossBlockEviction(t *testing.T) {
 		t.Fatal("over capacity")
 	}
 }
+
+// TestShortLastBlockByteSplit pins the exact-byte partial-hit accounting: a
+// 10-byte clip in 4-byte blocks has blocks of 4, 4 and 2 bytes, and the
+// resident/fetched split must sum block sizes, not truncate a proportional
+// share of the clip (which dropped bytes and broke the conservation
+// identity BytesHit + BytesFetched == BytesReferenced).
+func TestShortLastBlockByteSplit(t *testing.T) {
+	r, _ := media.NewRepository([]media.Clip{
+		{ID: 1, Size: 10}, // blocks 4, 4, 2
+		{ID: 2, Size: 8},  // blocks 4, 4
+	})
+	c, _ := New(r, 16, 4, 1)
+	c.Request(1) // cold: fetch all 10 bytes
+	c.Request(2) // evicts clip 1's block 0 (oldest, lowest key)
+	out, err := c.Request(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != core.MissCached {
+		t.Fatalf("partial re-request outcome = %v", out)
+	}
+	s := c.Stats()
+	if want := media.Bytes(6); s.BytesHit != want {
+		t.Errorf("BytesHit = %v, want %v (blocks 1 and 2: 4+2 bytes)", s.BytesHit, want)
+	}
+	if want := media.Bytes(22); s.BytesFetched != want {
+		t.Errorf("BytesFetched = %v, want %v (10 + 8 + refetched block 0)", s.BytesFetched, want)
+	}
+	if s.BytesHit+s.BytesFetched != s.BytesReferenced {
+		t.Errorf("conservation broken: hit %v + fetched %v != referenced %v",
+			s.BytesHit, s.BytesFetched, s.BytesReferenced)
+	}
+}
+
+// TestSingleBlockClipEviction pins eviction accounting for a clip occupying
+// one (short) block: the freed bytes are the clip's size, not a full block
+// slot.
+func TestSingleBlockClipEviction(t *testing.T) {
+	r, _ := media.NewRepository([]media.Clip{
+		{ID: 1, Size: 3}, // one short block at B=4
+		{ID: 2, Size: 4}, // one full block
+	})
+	c, _ := New(r, 4, 4, 1)
+	c.Request(1)
+	out, err := c.Request(2) // must evict clip 1's only block
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != core.MissCached {
+		t.Fatalf("outcome = %v", out)
+	}
+	s := c.Stats()
+	if s.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", s.Evictions)
+	}
+	if want := media.Bytes(3); s.BytesEvicted != want {
+		t.Errorf("BytesEvicted = %v, want %v (the short block's exact bytes)", s.BytesEvicted, want)
+	}
+	if c.ResidentBlocks() != 1 {
+		t.Errorf("resident blocks = %d, want 1", c.ResidentBlocks())
+	}
+	if s.BytesHit+s.BytesFetched != s.BytesReferenced {
+		t.Errorf("conservation broken: hit %v + fetched %v != referenced %v",
+			s.BytesHit, s.BytesFetched, s.BytesReferenced)
+	}
+}

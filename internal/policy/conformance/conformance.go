@@ -39,6 +39,7 @@ func Run(t *testing.T, name string, factory Factory) {
 	t.Run(name+"/singleSlot", func(t *testing.T) { checkSingleSlot(t, factory) })
 	t.Run(name+"/resetReplay", func(t *testing.T) { checkResetReplay(t, factory) })
 	t.Run(name+"/warmAdoption", func(t *testing.T) { checkWarmAdoption(t, factory) })
+	t.Run(name+"/segmented", func(t *testing.T) { checkSegmented(t, factory) })
 }
 
 // paperCache builds a cache on the 576-clip repository at ratio.
@@ -193,4 +194,73 @@ func checkWarmAdoption(t *testing.T, factory Factory) {
 	}
 	// The policy must handle evicting warm clips it never saw requested.
 	drive(t, c, 13, 1500)
+}
+
+// segmentedCache builds a segmented, prefix-pinned cache on the paper
+// repository at ratio.
+func segmentedCache(t *testing.T, factory Factory, ratio float64) *core.Cache {
+	t.Helper()
+	repo := media.PaperRepository()
+	p, err := factory(repo.N())
+	if err != nil {
+		t.Fatalf("factory: %v", err)
+	}
+	c, err := core.New(repo, repo.CacheSizeForRatio(ratio), p,
+		core.WithSegments(64*media.MB), core.WithPrefixAdmission(2))
+	if err != nil {
+		t.Fatalf("core.New: %v", err)
+	}
+	return c
+}
+
+// driveRanges issues n partial-content references and returns their results,
+// failing on engine errors, capacity violations or broken byte identities.
+func driveRanges(t *testing.T, c *core.Cache, seed uint64, n int) []core.RangeResult {
+	t.Helper()
+	gen, err := workload.NewRangeGenerator(c.Repository(),
+		zipf.MustNew(c.Repository().N(), zipf.DefaultMean), seed, workload.DefaultRangeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := make([]core.RangeResult, 0, n)
+	for i := 0; i < n; i++ {
+		req := gen.Next()
+		res, err := c.RequestRange(req.Clip, req.Start, req.Length)
+		if err != nil {
+			t.Fatalf("request %d (%+v): %v", i, req, err)
+		}
+		if c.UsedBytes() > c.Capacity() {
+			t.Fatalf("request %d: capacity exceeded (%v > %v)", i, c.UsedBytes(), c.Capacity())
+		}
+		results = append(results, res)
+	}
+	st := c.Stats()
+	if st.BytesHit+st.BytesFetched+st.BytesFailed != st.BytesReferenced {
+		t.Fatalf("segment byte identity broken: %d+%d+%d != %d",
+			st.BytesHit, st.BytesFetched, st.BytesFailed, st.BytesReferenced)
+	}
+	return results
+}
+
+// checkSegmented drives the policy under segment-granular residency with a
+// pinned prefix: victim selection must stay live while trims and evictions
+// interleave, decisions must stay deterministic, and the per-segment byte
+// identities must hold throughout.
+func checkSegmented(t *testing.T, factory Factory) {
+	a := segmentedCache(t, factory, 0.05)
+	b := segmentedCache(t, factory, 0.05)
+	ra := driveRanges(t, a, 17, 2000)
+	rb := driveRanges(t, b, 17, 2000)
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Fatalf("request %d: segmented outcomes diverge (%+v vs %+v)", i, ra[i], rb[i])
+		}
+	}
+	st := a.Stats()
+	if st.SegmentsEvicted == 0 && st.Evictions == 0 {
+		t.Fatal("segmented drive never evicted; workload broken")
+	}
+	if st.PartialHits == 0 {
+		t.Fatal("segmented drive never partially hit; workload broken")
+	}
 }

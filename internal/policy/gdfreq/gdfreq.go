@@ -34,6 +34,9 @@ type Policy struct {
 	inflation float64
 	h         map[media.ClipID]float64
 	nref      map[media.ClipID]uint64
+	// eff overrides a clip's size with its resident byte total for partially
+	// resident clips under segment-granular caches (core.SegmentAware).
+	eff map[media.ClipID]media.Bytes
 
 	// scan disables the ordered index and restores the original O(n)
 	// linear-scan victim selection (the differential-test baseline).
@@ -56,6 +59,7 @@ func New(cost CostFunc, seed uint64) *Policy {
 		src:  randutil.NewSource(seed),
 		h:    make(map[media.ClipID]float64),
 		nref: make(map[media.ClipID]uint64),
+		eff:  make(map[media.ClipID]media.Bytes),
 		idx:  prioindex.New(),
 	}
 }
@@ -74,9 +78,32 @@ func (p *Policy) Inflation() float64 { return p.inflation }
 // resident (0 for non-resident clips).
 func (p *Policy) NRef(id media.ClipID) uint64 { return p.nref[id] }
 
-// priority computes L + nref·cost/size for a resident clip.
+// sizeOf returns the bytes a clip occupies for ranking: its resident byte
+// total when a segmented cache reported one, the full clip size otherwise.
+func (p *Policy) sizeOf(c media.Clip) float64 {
+	if b, ok := p.eff[c.ID]; ok {
+		return float64(b)
+	}
+	return float64(c.Size)
+}
+
+// priority computes L + nref·cost/size for a resident clip, with size the
+// occupied (resident) bytes under segment-granular caches.
 func (p *Policy) priority(c media.Clip) float64 {
-	return p.inflation + float64(p.nref[c.ID])*p.cost(c)/float64(c.Size)
+	return p.inflation + float64(p.nref[c.ID])*p.cost(c)/p.sizeOf(c)
+}
+
+// OnResidentBytes implements core.SegmentAware: re-rank the clip under its
+// new resident byte total.
+func (p *Policy) OnResidentBytes(clip media.Clip, resident media.Bytes, _ vtime.Time) {
+	if resident > 0 && resident < clip.Size {
+		p.eff[clip.ID] = resident
+	} else {
+		delete(p.eff, clip.ID)
+	}
+	if _, tracked := p.h[clip.ID]; tracked {
+		p.rekey(clip, p.priority(clip))
+	}
 }
 
 // Record implements core.Policy: a hit increments nref and restores the
@@ -181,6 +208,7 @@ func (p *Policy) OnEvict(id media.ClipID, _ vtime.Time) {
 	}
 	delete(p.h, id)
 	delete(p.nref, id)
+	delete(p.eff, id)
 }
 
 // Reset implements core.Policy.
@@ -188,6 +216,7 @@ func (p *Policy) Reset() {
 	p.inflation = 0
 	p.h = make(map[media.ClipID]float64)
 	p.nref = make(map[media.ClipID]uint64)
+	p.eff = make(map[media.ClipID]media.Bytes)
 	p.idx.Reset()
 	p.src = randutil.NewSource(p.seed)
 }

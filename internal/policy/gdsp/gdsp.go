@@ -55,6 +55,9 @@ type Policy struct {
 	// freq is the long-run reference count; unlike GreedyDual-Freq it
 	// survives eviction (popularity, not residency, is what GDSP tracks).
 	freq map[media.ClipID]uint64
+	// eff overrides a clip's size with its resident byte total for partially
+	// resident clips under segment-granular caches (core.SegmentAware).
+	eff map[media.ClipID]media.Bytes
 
 	// scan disables the ordered index and restores the original O(n)
 	// linear-scan victim selection (the differential-test baseline).
@@ -84,6 +87,7 @@ func New(cost CostFunc, beta float64, seed uint64) (*Policy, error) {
 		src:  randutil.NewSource(seed),
 		h:    make(map[media.ClipID]float64),
 		freq: make(map[media.ClipID]uint64),
+		eff:  make(map[media.ClipID]media.Bytes),
 		idx:  prioindex.New(),
 	}, nil
 }
@@ -110,10 +114,33 @@ func (p *Policy) Inflation() float64 { return p.inflation }
 // Freq returns the long-run reference count of a clip.
 func (p *Policy) Freq(id media.ClipID) uint64 { return p.freq[id] }
 
-// priority computes L + f^β·cost/size.
+// sizeOf returns the bytes a clip occupies for ranking: its resident byte
+// total when a segmented cache reported one, the full clip size otherwise.
+func (p *Policy) sizeOf(c media.Clip) float64 {
+	if b, ok := p.eff[c.ID]; ok {
+		return float64(b)
+	}
+	return float64(c.Size)
+}
+
+// priority computes L + f^β·cost/size, with size the occupied (resident)
+// bytes under segment-granular caches.
 func (p *Policy) priority(c media.Clip) float64 {
 	f := float64(p.freq[c.ID])
-	return p.inflation + math.Pow(f, p.beta)*p.cost(c)/float64(c.Size)
+	return p.inflation + math.Pow(f, p.beta)*p.cost(c)/p.sizeOf(c)
+}
+
+// OnResidentBytes implements core.SegmentAware: re-rank the clip under its
+// new resident byte total.
+func (p *Policy) OnResidentBytes(clip media.Clip, resident media.Bytes, _ vtime.Time) {
+	if resident > 0 && resident < clip.Size {
+		p.eff[clip.ID] = resident
+	} else {
+		delete(p.eff, clip.ID)
+	}
+	if _, tracked := p.h[clip.ID]; tracked {
+		p.rekey(clip, p.priority(clip))
+	}
 }
 
 // Record implements core.Policy: every reference (hit or miss) advances the
@@ -212,6 +239,7 @@ func (p *Policy) OnEvict(id media.ClipID, _ vtime.Time) {
 		p.idx.Delete(prioindex.Key{P: h, ID: id})
 	}
 	delete(p.h, id)
+	delete(p.eff, id)
 }
 
 // Reset implements core.Policy.
@@ -219,6 +247,7 @@ func (p *Policy) Reset() {
 	p.inflation = 0
 	p.h = make(map[media.ClipID]float64)
 	p.freq = make(map[media.ClipID]uint64)
+	p.eff = make(map[media.ClipID]media.Bytes)
 	p.idx.Reset()
 	p.src = randutil.NewSource(p.seed)
 }

@@ -47,6 +47,10 @@ type Policy struct {
 
 	inflation float64
 	h         map[media.ClipID]float64
+	// eff overrides a clip's size with its resident byte total for partially
+	// resident clips under segment-granular caches (core.SegmentAware).
+	// Empty under whole-clip residency, so decisions there are untouched.
+	eff map[media.ClipID]media.Bytes
 
 	// scan disables the ordered index and restores the original O(n)
 	// linear-scan victim selection. Decisions are identical either way; the
@@ -69,6 +73,7 @@ func New(cost CostFunc, seed uint64) *Policy {
 		seed: seed,
 		src:  randutil.NewSource(seed),
 		h:    make(map[media.ClipID]float64),
+		eff:  make(map[media.ClipID]media.Bytes),
 		idx:  prioindex.New(),
 	}
 }
@@ -91,9 +96,35 @@ func (p *Policy) Priority(id media.ClipID) (float64, bool) {
 	return h, ok
 }
 
-// priority computes L + cost/size for a clip.
+// sizeOf returns the bytes a clip occupies for ranking: its resident byte
+// total when a segmented cache reported one, the full clip size otherwise.
+func (p *Policy) sizeOf(c media.Clip) float64 {
+	if b, ok := p.eff[c.ID]; ok {
+		return float64(b)
+	}
+	return float64(c.Size)
+}
+
+// priority computes L + cost/size for a clip. size is the occupied bytes,
+// so a prefix-only resident ranks by the cost of its few cached bytes —
+// high priority per byte, exactly the partial-resident ranking the
+// LRU-generalization literature calls for.
 func (p *Policy) priority(c media.Clip) float64 {
-	return p.inflation + p.cost(c)/float64(c.Size)
+	return p.inflation + p.cost(c)/p.sizeOf(c)
+}
+
+// OnResidentBytes implements core.SegmentAware: a segmented engine reports
+// the clip's new resident byte total after segment inserts and tail trims,
+// and the clip is re-ranked under it.
+func (p *Policy) OnResidentBytes(clip media.Clip, resident media.Bytes, _ vtime.Time) {
+	if resident > 0 && resident < clip.Size {
+		p.eff[clip.ID] = resident
+	} else {
+		delete(p.eff, clip.ID)
+	}
+	if _, tracked := p.h[clip.ID]; tracked {
+		p.rekey(clip, p.priority(clip))
+	}
 }
 
 // Record implements core.Policy: on a hit, the clip's priority is restored
@@ -198,12 +229,14 @@ func (p *Policy) OnEvict(id media.ClipID, _ vtime.Time) {
 		p.idx.Delete(prioindex.Key{P: h, ID: id})
 	}
 	delete(p.h, id)
+	delete(p.eff, id)
 }
 
 // Reset implements core.Policy, rewinding the tie-break stream.
 func (p *Policy) Reset() {
 	p.inflation = 0
 	p.h = make(map[media.ClipID]float64)
+	p.eff = make(map[media.ClipID]media.Bytes)
 	p.idx.Reset()
 	p.src = randutil.NewSource(p.seed)
 }

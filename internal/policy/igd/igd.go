@@ -49,6 +49,11 @@ type Policy struct {
 	inflation float64
 	baseL     map[media.ClipID]float64
 	nref      map[media.ClipID]uint64
+	// eff overrides a clip's size with its resident byte total for partially
+	// resident clips under segment-granular caches (core.SegmentAware). The
+	// base-inflation index needs no rekey: L(x) stays a lower bound on the
+	// score whatever the size term, so branch-and-bound pruning is unchanged.
+	eff map[media.ClipID]media.Bytes
 
 	// freezeAging disables selection-time Δ evaluation and freezes the
 	// priority at touch time instead — the BenchmarkIGDAging ablation.
@@ -88,6 +93,7 @@ func New(n, k int, seed uint64, opts ...Option) (*Policy, error) {
 		src:     randutil.NewSource(seed),
 		baseL:   make(map[media.ClipID]float64),
 		nref:    make(map[media.ClipID]uint64),
+		eff:     make(map[media.ClipID]media.Bytes),
 		frozen:  make(map[media.ClipID]float64),
 	}
 	for _, o := range opts {
@@ -146,7 +152,33 @@ func (p *Policy) Score(c media.Clip, now vtime.Time) float64 {
 	if delta <= 0 {
 		delta = 1 // the K-th reference happened this tick; clamp to one tick
 	}
-	return base + float64(p.nref[c.ID])/(delta*float64(c.Size))
+	return base + float64(p.nref[c.ID])/(delta*p.sizeOf(c))
+}
+
+// sizeOf returns the bytes a clip occupies for ranking: its resident byte
+// total when a segmented cache reported one, the full clip size otherwise.
+func (p *Policy) sizeOf(c media.Clip) float64 {
+	if b, ok := p.eff[c.ID]; ok {
+		return float64(b)
+	}
+	return float64(c.Size)
+}
+
+// OnResidentBytes implements core.SegmentAware. Scores are evaluated at
+// victim-selection time, so recording the new occupancy suffices; only the
+// frozen-aging ablation refreshes its cached score.
+func (p *Policy) OnResidentBytes(clip media.Clip, resident media.Bytes, now vtime.Time) {
+	if resident > 0 && resident < clip.Size {
+		p.eff[clip.ID] = resident
+	} else {
+		delete(p.eff, clip.ID)
+	}
+	if p.freezeAging {
+		if _, ok := p.frozen[clip.ID]; ok {
+			delete(p.frozen, clip.ID)
+			p.frozen[clip.ID] = p.Score(clip, now)
+		}
+	}
 }
 
 // Record implements core.Policy: every reference updates the history; a hit
@@ -231,6 +263,7 @@ func (p *Policy) OnEvict(id media.ClipID, _ vtime.Time) {
 	p.indexRemove(id, p.baseL[id])
 	delete(p.baseL, id)
 	delete(p.nref, id)
+	delete(p.eff, id)
 	delete(p.frozen, id)
 }
 
@@ -241,6 +274,7 @@ func (p *Policy) Reset() {
 	p.src = randutil.NewSource(p.seed)
 	p.baseL = make(map[media.ClipID]float64)
 	p.nref = make(map[media.ClipID]uint64)
+	p.eff = make(map[media.ClipID]media.Bytes)
 	p.frozen = make(map[media.ClipID]float64)
 	if p.idx != nil {
 		p.idx = newIndex()

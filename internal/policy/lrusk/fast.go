@@ -73,6 +73,17 @@ func (p *Fast) Admit(media.Clip, vtime.Time) bool { return true }
 // same ordering as the scan implementation until need bytes are covered.
 // The returned slice is reused across calls.
 func (p *Fast) Victims(_ media.Clip, view core.ResidentView, need media.Bytes, now vtime.Time) []media.ClipID {
+	// Resync with the engine's resident set: warm placement and the
+	// segmented engine's partial trims leave clips resident that popBest
+	// already removed from the index, and they must stay evictable.
+	if p.idx.len() != view.NumResident() {
+		view.ForEachResident(func(c media.Clip) bool {
+			if !p.idx.has(c.ID) {
+				p.idx.index(c)
+			}
+			return true
+		})
+	}
 	p.out = p.out[:0]
 	var freed media.Bytes
 	for freed < need {
@@ -85,7 +96,6 @@ func (p *Fast) Victims(_ media.Clip, view core.ResidentView, need media.Bytes, n
 	}
 	// The engine will confirm each eviction through OnEvict; entries are
 	// already unindexed, so OnEvict's removal is a no-op for them.
-	_ = view
 	if len(p.out) == 0 {
 		return nil
 	}

@@ -7,14 +7,26 @@ import (
 	"mediacache/internal/media"
 )
 
-// flightGroup coalesces concurrent fetches for the same clip: the first
+// flightKey identifies one coalescable fetch: a whole clip (seg == wholeClip)
+// or one segment of a clip under a segmented pool. Keying per segment lets
+// two requests for disjoint ranges of the same clip fetch in parallel while
+// still sharing any segment they both miss.
+type flightKey struct {
+	id  media.ClipID
+	seg int32
+}
+
+// wholeClip is the flightKey segment index of an unsegmented fetch.
+const wholeClip int32 = -1
+
+// flightGroup coalesces concurrent fetches for the same key: the first
 // requester becomes the leader and executes the fetch; requesters arriving
 // while it is in flight wait for the leader's result instead of fetching
 // again. It is a minimal single-purpose variant of the well-known
-// singleflight pattern, keyed by clip ID.
+// singleflight pattern, keyed by (clip ID, segment index).
 type flightGroup struct {
 	mu sync.Mutex
-	m  map[media.ClipID]*flightCall
+	m  map[flightKey]*flightCall
 
 	// coalesced counts joins of an already in-flight fetch; it is
 	// incremented at join time (before waiting) so tests can observe that
@@ -30,30 +42,30 @@ type flightCall struct {
 
 // init prepares the group's map; must be called before the first do.
 func (g *flightGroup) init() {
-	g.m = make(map[media.ClipID]*flightCall)
+	g.m = make(map[flightKey]*flightCall)
 }
 
-// do executes fn for clip id, unless a fetch for id is already in flight,
-// in which case it waits for that fetch and returns its error. The call is
+// do executes fn for key, unless a fetch for key is already in flight, in
+// which case it waits for that fetch and returns its error. The call is
 // removed from the group before its waiters are released, so a request
 // arriving after the result is settled starts a fresh fetch — results are
 // shared only within one overlapping burst, never cached.
-func (g *flightGroup) do(id media.ClipID, fn func() error) error {
+func (g *flightGroup) do(key flightKey, fn func() error) error {
 	g.mu.Lock()
-	if c, inFlight := g.m[id]; inFlight {
+	if c, inFlight := g.m[key]; inFlight {
 		g.coalesced.Add(1)
 		g.mu.Unlock()
 		<-c.done
 		return c.err
 	}
 	c := &flightCall{done: make(chan struct{})}
-	g.m[id] = c
+	g.m[key] = c
 	g.mu.Unlock()
 
 	c.err = fn()
 
 	g.mu.Lock()
-	delete(g.m, id)
+	delete(g.m, key)
 	g.mu.Unlock()
 	close(c.done)
 	return c.err

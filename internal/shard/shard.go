@@ -27,6 +27,7 @@ package shard
 import (
 	"fmt"
 	"iter"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -64,13 +65,26 @@ type Config struct {
 	// for concurrent use. Nil means every fetch succeeds instantly and
 	// requests run entirely under their shard's lock.
 	Fetch core.FetchFunc
+	// SegmentSize, when positive, builds every shard with segment-granular
+	// residency (core.WithSegments): clips divide into fixed-size segments,
+	// RequestRange serves byte ranges, and misses fetch only the missing
+	// segments with per-segment coalescing keyed on (clip, segment).
+	SegmentSize media.Bytes
+	// PrefixSegments, when positive, pins the first N segments of every
+	// clip (core.WithPrefixAdmission). Requires SegmentSize.
+	PrefixSegments int
+	// SegmentFetch, when non-nil, models retrieving one missing segment.
+	// Requires SegmentSize. When nil on a segmented pool, Fetch (if set) is
+	// consulted once per missing segment — each segment is an independent
+	// network transfer, so a flaky link degrades segments independently.
+	SegmentFetch core.SegmentFetchFunc
 	// ShardOptions, when non-nil, supplies extra engine options per shard
 	// (observers, admission hooks). The pool appends its own fetch wiring.
 	ShardOptions func(shard int) []core.Option
 }
 
-// poolShard is one partition: an engine, its lock, and the slot where a
-// coalesced fetch result is handed to the engine's fetch hook.
+// poolShard is one partition: an engine, its lock, and the slots where
+// coalesced fetch results are handed to the engine's fetch hooks.
 type poolShard struct {
 	mu    sync.Mutex
 	cache *core.Cache
@@ -78,6 +92,13 @@ type poolShard struct {
 	// the engine's fetch hook during the next Request call. Guarded by mu
 	// and cleared before the lock is released.
 	pre preFetch
+	// preSegs carries per-segment coalesced fetch results into the engine's
+	// segment fetch hook during the next RequestRange call. Guarded by mu
+	// and cleared before the lock is released.
+	preSegs preSegFetch
+	// missBuf is the shard's reusable probe buffer for missing-segment
+	// scans under mu.
+	missBuf []int32
 }
 
 // preFetch is a pre-resolved fetch result.
@@ -87,13 +108,23 @@ type preFetch struct {
 	ok  bool
 }
 
+// preSegFetch is a batch of pre-resolved per-segment fetch results for one
+// clip.
+type preSegFetch struct {
+	id   media.ClipID
+	errs map[int32]error
+	ok   bool
+}
+
 // Pool routes requests across hash-partitioned cache shards. All methods
 // are safe for concurrent use.
 type Pool struct {
-	repo   *media.Repository
-	fetch  core.FetchFunc
-	shards []*poolShard
-	flight flightGroup
+	repo     *media.Repository
+	fetch    core.FetchFunc
+	segFetch core.SegmentFetchFunc
+	segSize  media.Bytes
+	shards   []*poolShard
+	flight   flightGroup
 
 	// fetches counts logical fetch executions (flight leaders); coalesced
 	// counts requests that joined an already in-flight fetch.
@@ -112,10 +143,25 @@ func New(cfg Config) (*Pool, error) {
 	if cfg.Capacity < media.Bytes(n) {
 		return nil, fmt.Errorf("shard: capacity %v cannot be split across %d shards", cfg.Capacity, n)
 	}
+	if cfg.SegmentFetch != nil && cfg.SegmentSize <= 0 {
+		return nil, fmt.Errorf("shard: SegmentFetch requires SegmentSize")
+	}
+	if cfg.PrefixSegments > 0 && cfg.SegmentSize <= 0 {
+		return nil, fmt.Errorf("shard: PrefixSegments requires SegmentSize")
+	}
 	p := &Pool{
-		repo:   cfg.Repo,
-		fetch:  cfg.Fetch,
-		shards: make([]*poolShard, n),
+		repo:     cfg.Repo,
+		fetch:    cfg.Fetch,
+		segSize:  cfg.SegmentSize,
+		segFetch: cfg.SegmentFetch,
+		shards:   make([]*poolShard, n),
+	}
+	if p.segSize > 0 && p.segFetch == nil && p.fetch != nil {
+		// Adapt the whole-clip fetch: each missing segment is its own
+		// network transfer through the same (possibly faulty) link.
+		p.segFetch = func(clip media.Clip, _ int32, now vtime.Time) error {
+			return p.fetch(clip, now)
+		}
 	}
 	p.flight.init()
 	var src *randutil.Source
@@ -144,7 +190,16 @@ func New(cfg Config) (*Pool, error) {
 		if cfg.ShardOptions != nil {
 			opts = append(opts, cfg.ShardOptions(i)...)
 		}
-		if cfg.Fetch != nil {
+		if cfg.SegmentSize > 0 {
+			opts = append(opts, core.WithSegments(cfg.SegmentSize))
+			if cfg.PrefixSegments > 0 {
+				opts = append(opts, core.WithPrefixAdmission(cfg.PrefixSegments))
+			}
+		}
+		switch {
+		case p.segFetch != nil:
+			opts = append(opts, core.WithSegmentFetch(p.shardSegFetch(s)))
+		case cfg.Fetch != nil:
 			opts = append(opts, core.WithFetch(p.shardFetch(s)))
 		}
 		cache, err := core.New(cfg.Repo, capacity, pol, opts...)
@@ -169,6 +224,23 @@ func (p *Pool) shardFetch(s *poolShard) core.FetchFunc {
 			return err
 		}
 		return p.fetch(clip, now)
+	}
+}
+
+// shardSegFetch builds the engine's per-segment fetch hook for one shard: it
+// consumes the pre-resolved coalesced result RequestRange staged for that
+// segment, and falls through to a direct fetch for segments the engine asks
+// for that were not staged (a segment evicted between the probe and the
+// request, or a whole-clip Request on a segmented cache).
+func (p *Pool) shardSegFetch(s *poolShard) core.SegmentFetchFunc {
+	return func(clip media.Clip, seg int32, now vtime.Time) error {
+		if s.preSegs.ok && s.preSegs.id == clip.ID {
+			if err, staged := s.preSegs.errs[seg]; staged {
+				delete(s.preSegs.errs, seg)
+				return err
+			}
+		}
+		return p.segFetch(clip, seg, now)
 	}
 }
 
@@ -244,7 +316,7 @@ func (p *Pool) Request(id media.ClipID) (core.Outcome, error) {
 	now := s.cache.Now() + 1
 	s.mu.Unlock()
 
-	ferr := p.flight.do(id, func() error {
+	ferr := p.flight.do(flightKey{id: id, seg: wholeClip}, func() error {
 		p.fetches.Add(1)
 		return p.fetch(clip, now)
 	})
@@ -255,6 +327,88 @@ func (p *Pool) Request(id media.ClipID) (core.Outcome, error) {
 	s.pre = preFetch{}
 	s.mu.Unlock()
 	return out, err
+}
+
+// RequestRange services a reference to bytes [start, start+length) of clip
+// id on the owning shard, exactly as core.Cache.RequestRange does on an
+// unsharded cache. A negative length means "to the end of the clip".
+//
+// On a segmented pool with a fetch hook, the missing segments of the range
+// are probed under the shard lock, fetched outside it — one singleflight per
+// (clip, segment), so concurrent requests for overlapping ranges share the
+// transfer of every segment they both miss while disjoint ranges proceed in
+// parallel — and the results are handed to the engine under the lock.
+func (p *Pool) RequestRange(id media.ClipID, start, length media.Bytes) (core.RangeResult, error) {
+	s := p.shards[p.ShardFor(id)]
+	if p.segFetch == nil || p.segSize == 0 {
+		// No per-segment fetching: the engine resolves the range entirely
+		// under the lock (unsegmented pools delegate to Request inside).
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.cache.RequestRange(id, start, length)
+	}
+	s.mu.Lock()
+	clip, known := p.repo.Lookup(id)
+	if !known || start < 0 || start >= clip.Size || clip.Size > s.cache.Capacity() {
+		// Errors and too-large clips never reach the engine's fetch path.
+		res, err := s.cache.RequestRange(id, start, length)
+		s.mu.Unlock()
+		return res, err
+	}
+	if length < 0 || start+length > clip.Size {
+		length = clip.Size - start
+	}
+	s0 := int32(start / p.segSize)
+	s1 := int32((start + length - 1) / p.segSize)
+	s.missBuf = s.cache.AppendMissingSegments(s.missBuf[:0], id, s0, s1)
+	if len(s.missBuf) == 0 {
+		// Fully resident range: a pure hit under the lock.
+		res, err := s.cache.RequestRange(id, start, length)
+		s.mu.Unlock()
+		return res, err
+	}
+	missing := append([]int32(nil), s.missBuf...)
+	// The engine stamps the fetches with the request's tick; the best
+	// estimate before re-locking is the next tick of this shard's clock.
+	now := s.cache.Now() + 1
+	s.mu.Unlock()
+
+	errs := make(map[int32]error, len(missing))
+	if len(missing) == 1 {
+		seg := missing[0]
+		errs[seg] = p.flight.do(flightKey{id: id, seg: seg}, func() error {
+			p.fetches.Add(1)
+			return p.segFetch(clip, seg, now)
+		})
+	} else {
+		// Fetch the range's missing segments concurrently; each joins or
+		// leads its own flight.
+		var (
+			wg sync.WaitGroup
+			mu sync.Mutex
+		)
+		wg.Add(len(missing))
+		for _, seg := range missing {
+			go func(seg int32) {
+				defer wg.Done()
+				err := p.flight.do(flightKey{id: id, seg: seg}, func() error {
+					p.fetches.Add(1)
+					return p.segFetch(clip, seg, now)
+				})
+				mu.Lock()
+				errs[seg] = err
+				mu.Unlock()
+			}(seg)
+		}
+		wg.Wait()
+	}
+
+	s.mu.Lock()
+	s.preSegs = preSegFetch{id: id, errs: errs, ok: true}
+	res, err := s.cache.RequestRange(id, start, length)
+	s.preSegs = preSegFetch{}
+	s.mu.Unlock()
+	return res, err
 }
 
 // Stats returns the pool-wide statistics: every shard's counters summed
@@ -279,9 +433,24 @@ type ShardStat struct {
 	Stats core.Stats
 	// NumResident is the number of clips cached on this shard.
 	NumResident int
+	// ResidentSegments is the number of resident segments on this shard;
+	// zero on unsegmented pools.
+	ResidentSegments int
 	// UsedBytes and Capacity describe the shard's slice of the cache.
 	UsedBytes media.Bytes
 	Capacity  media.Bytes
+}
+
+// statOf reads one shard's ShardStat; the caller holds the shard lock.
+func statOf(i int, s *poolShard) ShardStat {
+	return ShardStat{
+		Index:            i,
+		Stats:            s.cache.Stats(),
+		NumResident:      s.cache.NumResident(),
+		ResidentSegments: s.cache.ResidentSegments(),
+		UsedBytes:        s.cache.UsedBytes(),
+		Capacity:         s.cache.Capacity(),
+	}
 }
 
 // ShardStat returns shard i's statistics and occupancy, locking only that
@@ -290,13 +459,7 @@ func (p *Pool) ShardStat(i int) ShardStat {
 	s := p.shards[i]
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return ShardStat{
-		Index:       i,
-		Stats:       s.cache.Stats(),
-		NumResident: s.cache.NumResident(),
-		UsedBytes:   s.cache.UsedBytes(),
-		Capacity:    s.cache.Capacity(),
-	}
+	return statOf(i, s)
 }
 
 // ShardStats returns every shard's statistics and occupancy under one
@@ -305,16 +468,48 @@ func (p *Pool) ShardStats() []ShardStat {
 	out := make([]ShardStat, len(p.shards))
 	p.lockAll()
 	for i, s := range p.shards {
-		out[i] = ShardStat{
-			Index:       i,
-			Stats:       s.cache.Stats(),
-			NumResident: s.cache.NumResident(),
-			UsedBytes:   s.cache.UsedBytes(),
-			Capacity:    s.cache.Capacity(),
-		}
+		out[i] = statOf(i, s)
 	}
 	p.unlockAll()
 	return out
+}
+
+// SegmentSize returns the pool's segment granularity, zero when unsegmented.
+func (p *Pool) SegmentSize() media.Bytes { return p.segSize }
+
+// PrefixSegments returns the pinned-prefix segment count (zero if unset).
+func (p *Pool) PrefixSegments() int {
+	return p.shards[0].cache.PrefixSegments() // immutable after New; no lock needed
+}
+
+// ResidentSegments returns the number of resident segments across all
+// shards; zero on unsegmented pools.
+func (p *Pool) ResidentSegments() int {
+	var sum int
+	p.lockAll()
+	for _, s := range p.shards {
+		sum += s.cache.ResidentSegments()
+	}
+	p.unlockAll()
+	return sum
+}
+
+// ResidentBytes returns the cached byte total of clip id (the full clip size
+// when fully resident, 0 when absent), locking only the owning shard.
+func (p *Pool) ResidentBytes(id media.ClipID) media.Bytes {
+	s := p.shards[p.ShardFor(id)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cache.ResidentBytes(id)
+}
+
+// ResidentExtentsOf returns clip id's resident bytes as maximal contiguous
+// extents in ascending offset order, locking only the owning shard.
+func (p *Pool) ResidentExtentsOf(id media.ClipID) []core.Extent {
+	s := p.shards[p.ShardFor(id)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cache.ResidentExtentsOf(id)
 }
 
 // lockAll acquires every shard lock in index order.
@@ -422,6 +617,40 @@ func (p *Pool) Residents() iter.Seq[media.Clip] {
 	}
 }
 
+// ClipResidency is one resident clip's cached-byte summary in a consistent
+// pool listing. On unsegmented pools Bytes is the full clip size and Extents
+// is one whole-clip run.
+type ClipResidency struct {
+	Clip    media.Clip
+	Bytes   media.Bytes
+	Extents []core.Extent
+}
+
+// Residency returns every resident clip's cached-byte summary in ascending
+// ID order plus the total used bytes, all under one consistent all-shards
+// snapshot. Partially resident clips (segmented pools) are included with
+// their actual resident byte totals.
+func (p *Pool) Residency() ([]ClipResidency, media.Bytes) {
+	var (
+		all  []ClipResidency
+		used media.Bytes
+	)
+	p.lockAll()
+	for _, s := range p.shards {
+		used += s.cache.UsedBytes()
+		for c := range s.cache.Residents() {
+			all = append(all, ClipResidency{
+				Clip:    c,
+				Bytes:   s.cache.ResidentBytes(c.ID),
+				Extents: s.cache.ResidentExtentsOf(c.ID),
+			})
+		}
+	}
+	p.unlockAll()
+	sort.Slice(all, func(i, j int) bool { return all[i].Clip.ID < all[j].Clip.ID })
+	return all, used
+}
+
 // ResidentIDs returns all cached clip ids in ascending order, from one
 // consistent snapshot.
 func (p *Pool) ResidentIDs() []media.ClipID {
@@ -449,32 +678,40 @@ func (p *Pool) Reset() {
 }
 
 // Snapshot captures the pool's persistent state as one core.Snapshot: the
-// merged resident set, the summed statistics, and the summed per-shard
-// clocks (the total number of requests processed). A 1-shard pool produces
-// exactly the snapshot its underlying cache would.
+// merged resident set (fully resident clips in ResidentIDs, partially
+// resident ones in Partial), the summed statistics, and the summed
+// per-shard clocks (the total number of requests processed). A 1-shard pool
+// produces exactly the snapshot its underlying cache would.
 func (p *Pool) Snapshot() core.Snapshot {
-	var (
-		stats core.Stats
-		clock vtime.Time
-	)
-	per := make([][]media.Clip, len(p.shards))
+	subs := make([]core.Snapshot, len(p.shards))
 	p.lockAll()
 	for i, s := range p.shards {
-		stats = stats.Add(s.cache.Stats())
-		clock += s.cache.Now()
-		clips := make([]media.Clip, 0, s.cache.NumResident())
-		for c := range s.cache.Residents() {
-			clips = append(clips, c)
-		}
-		per[i] = clips
+		subs[i] = s.cache.Snapshot()
 	}
 	p.unlockAll()
-	var ids []media.ClipID
-	mergeAscending(per, func(c media.Clip) bool {
-		ids = append(ids, c.ID)
-		return true
-	})
-	return core.Snapshot{ResidentIDs: ids, Clock: clock, Stats: stats}
+	var (
+		stats   core.Stats
+		clock   vtime.Time
+		ids     []media.ClipID
+		partial []core.ClipSegments
+	)
+	for _, sub := range subs {
+		stats = stats.Add(sub.Stats)
+		clock += sub.Clock
+		ids = append(ids, sub.ResidentIDs...)
+		partial = append(partial, sub.Partial...)
+	}
+	// Each shard's lists are ascending but interleave across shards; restore
+	// the global ascending order (clip ids are unique across shards).
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	sort.Slice(partial, func(i, j int) bool { return partial[i].ID < partial[j].ID })
+	return core.Snapshot{
+		ResidentIDs: ids,
+		Partial:     partial,
+		SegmentSize: p.segSize,
+		Clock:       clock,
+		Stats:       stats,
+	}
 }
 
 // Restore replaces the pool's state with the snapshot's, partitioning the
@@ -488,9 +725,20 @@ func (p *Pool) Restore(snap core.Snapshot) error {
 	if snap.Clock < 0 {
 		return fmt.Errorf("shard: snapshot clock %d is negative", snap.Clock)
 	}
+	// Granularity compatibility mirrors core.Cache.Restore: an exact
+	// segment-size match, or a pre-segment whole-clip snapshot adopted into
+	// a segmented pool.
+	switch {
+	case snap.SegmentSize == p.segSize:
+	case snap.SegmentSize == 0 && len(snap.Partial) == 0 && p.segSize > 0:
+	default:
+		return fmt.Errorf("shard: snapshot segment size %v does not match pool segment size %v",
+			snap.SegmentSize, p.segSize)
+	}
 	parts := make([][]media.ClipID, len(p.shards))
+	partsPartial := make([][]core.ClipSegments, len(p.shards))
 	sizes := make([]media.Bytes, len(p.shards))
-	seen := make(map[media.ClipID]struct{}, len(snap.ResidentIDs))
+	seen := make(map[media.ClipID]struct{}, len(snap.ResidentIDs)+len(snap.Partial))
 	for _, id := range snap.ResidentIDs {
 		clip, ok := p.repo.Lookup(id)
 		if !ok {
@@ -504,6 +752,37 @@ func (p *Pool) Restore(snap core.Snapshot) error {
 		parts[i] = append(parts[i], id)
 		sizes[i] += clip.Size
 	}
+	for _, cs := range snap.Partial {
+		clip, ok := p.repo.Lookup(cs.ID)
+		if !ok {
+			return fmt.Errorf("shard: snapshot references unknown clip %d", cs.ID)
+		}
+		if _, dup := seen[cs.ID]; dup {
+			return fmt.Errorf("shard: snapshot lists clip %d twice", cs.ID)
+		}
+		seen[cs.ID] = struct{}{}
+		if len(cs.Segments) == 0 {
+			return fmt.Errorf("shard: snapshot partial clip %d has no segments", cs.ID)
+		}
+		nSegs := int32((clip.Size + p.segSize - 1) / p.segSize)
+		i := p.ShardFor(cs.ID)
+		prev := int32(-1)
+		for _, seg := range cs.Segments {
+			if seg < 0 || seg >= nSegs {
+				return fmt.Errorf("shard: snapshot partial clip %d lists segment %d outside [0, %d)", cs.ID, seg, nSegs)
+			}
+			if seg <= prev {
+				return fmt.Errorf("shard: snapshot partial clip %d segments are not strictly ascending", cs.ID)
+			}
+			prev = seg
+			if rest := clip.Size - media.Bytes(seg)*p.segSize; rest < p.segSize {
+				sizes[i] += rest
+			} else {
+				sizes[i] += p.segSize
+			}
+		}
+		partsPartial[i] = append(partsPartial[i], cs)
+	}
 	for i, s := range p.shards {
 		if sizes[i] > s.cache.Capacity() {
 			return fmt.Errorf("shard: snapshot places %v on shard %d, exceeding its capacity %v (taken with a different shard count?)",
@@ -513,7 +792,12 @@ func (p *Pool) Restore(snap core.Snapshot) error {
 	p.lockAll()
 	defer p.unlockAll()
 	for i, s := range p.shards {
-		sub := core.Snapshot{ResidentIDs: parts[i], Clock: snap.Clock}
+		sub := core.Snapshot{
+			ResidentIDs: parts[i],
+			Partial:     partsPartial[i],
+			SegmentSize: snap.SegmentSize,
+			Clock:       snap.Clock,
+		}
 		if i == 0 {
 			sub.Stats = snap.Stats
 		}

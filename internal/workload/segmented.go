@@ -1,0 +1,135 @@
+package workload
+
+import (
+	"fmt"
+
+	"mediacache/internal/media"
+	"mediacache/internal/randutil"
+	"mediacache/internal/zipf"
+)
+
+// RangeRequest is one partial-content reference: a byte range of a clip, as
+// issued by a device that starts playback at Start and watches Length bytes.
+type RangeRequest struct {
+	Clip   media.ClipID
+	Start  media.Bytes
+	Length media.Bytes
+}
+
+// RangeConfig shapes the ranges a RangeGenerator draws.
+type RangeConfig struct {
+	// PrefixProb is the probability a reference starts at byte 0 — the
+	// dominant mobile-streaming case (users press play far more often
+	// than they seek). Must lie in [0, 1].
+	PrefixProb float64
+	// FullProb is the probability a reference plays the clip to the end
+	// regardless of where it starts. Must lie in [0, 1].
+	FullProb float64
+	// MinLength floors the drawn range length (clamped to the clip).
+	// Zero means a single byte suffices.
+	MinLength media.Bytes
+}
+
+// DefaultRangeConfig matches the abandonment behaviour the prefix-caching
+// literature assumes: most sessions start at zero and few run to the end.
+func DefaultRangeConfig() RangeConfig {
+	return RangeConfig{PrefixProb: 0.75, FullProb: 0.25, MinLength: media.MB}
+}
+
+// RangeGenerator produces a deterministic stream of RangeRequests: clip
+// identities from the same shifted-Zipf popularity model as Generator, byte
+// ranges from a seeded source biased toward prefixes (quadratic skew, so
+// early offsets and short abandoned sessions dominate).
+type RangeGenerator struct {
+	gen  *Generator
+	repo *media.Repository
+	src  *randutil.Source
+	cfg  RangeConfig
+}
+
+// NewRangeGenerator builds a RangeGenerator over repo's clips. The clip
+// stream is seeded exactly like NewGenerator(dist, seed) — two generators
+// with the same seed reference the same clips in the same order — while the
+// range draws consume an independent split of the seed, so adding range
+// modeling does not perturb the reference string.
+func NewRangeGenerator(repo *media.Repository, dist *zipf.Distribution, seed uint64, cfg RangeConfig) (*RangeGenerator, error) {
+	if repo == nil {
+		return nil, fmt.Errorf("workload: repository must not be nil")
+	}
+	if cfg.PrefixProb < 0 || cfg.PrefixProb > 1 {
+		return nil, fmt.Errorf("workload: PrefixProb %v outside [0, 1]", cfg.PrefixProb)
+	}
+	if cfg.FullProb < 0 || cfg.FullProb > 1 {
+		return nil, fmt.Errorf("workload: FullProb %v outside [0, 1]", cfg.FullProb)
+	}
+	if cfg.MinLength < 0 {
+		return nil, fmt.Errorf("workload: MinLength %v negative", cfg.MinLength)
+	}
+	gen, err := NewGenerator(dist, seed)
+	if err != nil {
+		return nil, err
+	}
+	if dist.N() > repo.N() {
+		return nil, fmt.Errorf("workload: distribution draws %d identities but repository has %d clips",
+			dist.N(), repo.N())
+	}
+	return &RangeGenerator{
+		gen:  gen,
+		repo: repo,
+		src:  randutil.NewSource(seed).Split("range"),
+		cfg:  cfg,
+	}, nil
+}
+
+// Next returns the next range reference. The start offset is 0 with
+// probability PrefixProb, else u²·size for uniform u — the quadratic skew
+// concentrates seeks near the front of the clip. The length runs to the end
+// with probability FullProb, else covers a quadratically skewed fraction of
+// the remainder, floored at MinLength.
+func (g *RangeGenerator) Next() RangeRequest {
+	id := g.gen.Next()
+	clip, ok := g.repo.Lookup(id)
+	if !ok {
+		// The constructor proved every identity resolves; reaching this
+		// branch means the repository changed underneath us.
+		panic(fmt.Sprintf("workload: clip %d vanished from repository", id))
+	}
+	var start media.Bytes
+	if g.src.Float64() >= g.cfg.PrefixProb {
+		u := g.src.Float64()
+		start = media.Bytes(u * u * float64(clip.Size))
+		if start >= clip.Size {
+			start = clip.Size - 1
+		}
+	}
+	remain := clip.Size - start
+	length := remain
+	if g.src.Float64() >= g.cfg.FullProb {
+		u := g.src.Float64()
+		length = media.Bytes(u * u * float64(remain))
+		if length < g.cfg.MinLength {
+			length = g.cfg.MinLength
+		}
+		if length > remain {
+			length = remain
+		}
+	}
+	if length <= 0 {
+		length = 1
+	}
+	return RangeRequest{Clip: id, Start: start, Length: length}
+}
+
+// Generate appends n range references to dst and returns it.
+func (g *RangeGenerator) Generate(dst []RangeRequest, n int) []RangeRequest {
+	for i := 0; i < n; i++ {
+		dst = append(dst, g.Next())
+	}
+	return dst
+}
+
+// Count returns how many references have been generated.
+func (g *RangeGenerator) Count() int64 { return g.gen.Count() }
+
+// SetShift changes the identity shift of the underlying clip stream.
+func (g *RangeGenerator) SetShift(s int) error { return g.gen.SetShift(s) }

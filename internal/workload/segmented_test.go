@@ -1,0 +1,172 @@
+package workload
+
+import (
+	"testing"
+
+	"mediacache/internal/media"
+	"mediacache/internal/zipf"
+)
+
+func newTestRangeGenerator(t *testing.T, seed uint64, cfg RangeConfig) *RangeGenerator {
+	t.Helper()
+	repo := media.PaperRepository()
+	dist, err := zipf.New(repo.N(), zipf.DefaultMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewRangeGenerator(repo, dist, seed, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestRangeGeneratorValidation covers the constructor's rejections.
+func TestRangeGeneratorValidation(t *testing.T) {
+	repo := media.PaperRepository()
+	dist, err := zipf.New(repo.N(), zipf.DefaultMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewRangeGenerator(nil, dist, 1, DefaultRangeConfig()); err == nil {
+		t.Error("nil repository accepted")
+	}
+	for _, cfg := range []RangeConfig{
+		{PrefixProb: -0.1},
+		{PrefixProb: 1.1},
+		{FullProb: -0.1},
+		{FullProb: 1.1},
+		{MinLength: -1},
+	} {
+		if _, err := NewRangeGenerator(repo, dist, 1, cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+	big, err := zipf.New(repo.N()+1, zipf.DefaultMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewRangeGenerator(repo, big, 1, DefaultRangeConfig()); err == nil {
+		t.Error("distribution wider than the repository accepted")
+	}
+}
+
+// TestRangeGeneratorDeterministic pins seed-replayability: same seed, same
+// stream; different seeds diverge.
+func TestRangeGeneratorDeterministic(t *testing.T) {
+	a := newTestRangeGenerator(t, 42, DefaultRangeConfig())
+	b := newTestRangeGenerator(t, 42, DefaultRangeConfig())
+	c := newTestRangeGenerator(t, 43, DefaultRangeConfig())
+	diverged := false
+	for i := 0; i < 1000; i++ {
+		ra, rb, rc := a.Next(), b.Next(), c.Next()
+		if ra != rb {
+			t.Fatalf("request %d: seed-identical generators diverged: %+v vs %+v", i, ra, rb)
+		}
+		if ra != rc {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Error("1000 requests from different seeds never diverged")
+	}
+	if a.Count() != 1000 {
+		t.Errorf("Count = %d, want 1000", a.Count())
+	}
+}
+
+// TestRangeGeneratorClipStreamMatchesGenerator checks the clip identities are
+// exactly those of a plain Generator with the same seed: range modeling is a
+// pure extension of the reference string, not a different workload.
+func TestRangeGeneratorClipStreamMatchesGenerator(t *testing.T) {
+	repo := media.PaperRepository()
+	dist, err := zipf.New(repo.N(), zipf.DefaultMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := MustNewGenerator(dist, 7)
+	ranged, err := NewRangeGenerator(repo, dist, 7, DefaultRangeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		want := plain.Next()
+		if got := ranged.Next().Clip; got != want {
+			t.Fatalf("request %d: ranged clip %d, plain clip %d", i, got, want)
+		}
+	}
+}
+
+// TestRangeGeneratorBounds checks every drawn range lies inside its clip
+// and respects MinLength where the clip allows it.
+func TestRangeGeneratorBounds(t *testing.T) {
+	repo := media.PaperRepository()
+	cfg := RangeConfig{PrefixProb: 0.5, FullProb: 0.1, MinLength: media.MB}
+	g := newTestRangeGenerator(t, 11, cfg)
+	for i := 0; i < 5000; i++ {
+		r := g.Next()
+		clip, ok := repo.Lookup(r.Clip)
+		if !ok {
+			t.Fatalf("request %d references unknown clip %d", i, r.Clip)
+		}
+		if r.Start < 0 || r.Start >= clip.Size {
+			t.Fatalf("request %d: start %d outside clip of %d bytes", i, r.Start, clip.Size)
+		}
+		if r.Length <= 0 || r.Start+r.Length > clip.Size {
+			t.Fatalf("request %d: range [%d,+%d) escapes clip of %d bytes", i, r.Start, r.Length, clip.Size)
+		}
+		if r.Length < cfg.MinLength && r.Start+r.Length != clip.Size && clip.Size-r.Start >= cfg.MinLength {
+			t.Fatalf("request %d: length %d under the %d floor", i, r.Length, cfg.MinLength)
+		}
+	}
+}
+
+// TestRangeGeneratorPrefixBias checks the configured share of references
+// starts at byte zero and that FullProb plays clips to the end.
+func TestRangeGeneratorPrefixBias(t *testing.T) {
+	repo := media.PaperRepository()
+	cfg := DefaultRangeConfig()
+	g := newTestRangeGenerator(t, 3, cfg)
+	const n = 20000
+	fromZero, toEnd := 0, 0
+	for i := 0; i < n; i++ {
+		r := g.Next()
+		if r.Start == 0 {
+			fromZero++
+		}
+		clip, _ := repo.Lookup(r.Clip)
+		if r.Start+r.Length == clip.Size {
+			toEnd++
+		}
+	}
+	zeroFrac := float64(fromZero) / n
+	if zeroFrac < cfg.PrefixProb-0.02 || zeroFrac > cfg.PrefixProb+0.02 {
+		t.Errorf("prefix fraction = %.3f, want ≈ %.2f", zeroFrac, cfg.PrefixProb)
+	}
+	// FullProb is a floor: short quadratic draws can also land on the end.
+	if endFrac := float64(toEnd) / n; endFrac < cfg.FullProb-0.02 {
+		t.Errorf("play-to-end fraction = %.3f, want ≥ ≈%.2f", endFrac, cfg.FullProb)
+	}
+}
+
+// TestRangeGeneratorAlwaysPrefix checks the degenerate configs.
+func TestRangeGeneratorAlwaysPrefix(t *testing.T) {
+	repo := media.PaperRepository()
+	g := newTestRangeGenerator(t, 9, RangeConfig{PrefixProb: 1, FullProb: 1})
+	for i := 0; i < 200; i++ {
+		r := g.Next()
+		clip, _ := repo.Lookup(r.Clip)
+		if r.Start != 0 || r.Length != clip.Size {
+			t.Fatalf("request %d: %+v, want the whole clip from 0", i, r)
+		}
+	}
+}
+
+// TestRangeGeneratorGenerate checks batch generation appends n requests.
+func TestRangeGeneratorGenerate(t *testing.T) {
+	g := newTestRangeGenerator(t, 5, DefaultRangeConfig())
+	got := g.Generate(nil, 64)
+	if len(got) != 64 || g.Count() != 64 {
+		t.Fatalf("Generate produced %d requests, Count = %d", len(got), g.Count())
+	}
+}
