@@ -1,7 +1,7 @@
 GO ?= go
 BENCH_DATE := $(shell date +%Y-%m-%d)
 
-.PHONY: build test vet race racecheck alloccheck rangecheck check bench benchcmp fuzz-smoke
+.PHONY: build test vet race racecheck alloccheck rangecheck loadcheck check bench loadbench benchcmp fuzz-smoke
 
 # Each fuzz target gets a short smoke budget; go test allows only one
 # -fuzz pattern per invocation, so targets run sequentially.
@@ -39,15 +39,31 @@ alloccheck:
 rangecheck:
 	$(GO) test -run 'Range|Segment|HeadClip|Extents|Coalescing' -count=1 ./internal/core ./internal/shard ./cmd/cacheserver
 
+# loadcheck is the open-loop load smoke: a short fixed-seed loadgen run
+# (in-process pool, batched arrivals, 10% fault profile) that must sustain
+# nonzero throughput and leave the engine statistics satisfying the
+# counting and byte identities.
+loadcheck:
+	$(GO) run ./cmd/loadgen -check
+
 # check is the tier-1 gate plus static analysis, the race detector, the
-# request-path allocation assertion and the Range-conformance surface. vet
-# and test cover every package, including internal/metrics and internal/obs.
-check: build vet test race alloccheck rangecheck
+# request-path allocation assertion, the Range-conformance surface and the
+# open-loop load smoke. vet and test cover every package, including
+# internal/metrics and internal/obs.
+check: build vet test race alloccheck rangecheck loadcheck
 
 # bench runs the full benchmark suite and archives the run as test2json
 # events (one dated file per day; reruns overwrite).
 bench:
 	$(GO) test -run '^$$' -bench=. -benchmem -json . | tee BENCH_$(BENCH_DATE).json
+
+# loadbench sweeps the open-loop generator across offered rates and
+# archives the latency table next to the benchmark archives (the -load
+# suffix keeps it from clobbering the same-day `make bench` file).
+LOADRATES ?= 2000,10000,50000,200000
+loadbench:
+	$(GO) run ./cmd/loadgen -rates $(LOADRATES) -duration 2s -batch 8 -error-rate 0.05 \
+		-json BENCH_$(BENCH_DATE)-load.json
 
 # benchcmp summarizes the newest archived run (baseline-vs-indexed speedup
 # table), or compares two archives: make benchcmp OLD=BENCH_a.json NEW=BENCH_b.json

@@ -14,6 +14,10 @@
 // speedup of the optimized implementation from a single `make bench` run.
 // Rows are labelled with the optimized variant, since one baseline can
 // anchor several comparisons.
+//
+// Archives written by `loadgen -json` (BENCH_<date>-load.json) are also
+// accepted: one file renders its latency-vs-offered-load table; two files
+// compare achieved throughput and tail latency per matching rate point.
 package main
 
 import (
@@ -111,6 +115,7 @@ var pairSuffixes = []struct{ base, indexed string }{
 	{"/scan", "/indexed"},
 	{"/scan", "/tree"},
 	{"/naive", "/inflation"},
+	{"/global", "/shards=1"},
 	{"/global", "/shards=2"},
 	{"/global", "/shards=4"},
 	{"/global", "/shards=8"},
@@ -185,6 +190,84 @@ func deltaInt(from, to float64) string {
 	return fmt.Sprintf("%.0f→%.0f", from, to)
 }
 
+// loadPoint is one rate point of a `loadgen -json` archive (the subset
+// benchcmp renders; the full schema lives in cmd/loadgen).
+type loadPoint struct {
+	RateHz     float64 `json:"rateHz"`
+	Offered    int     `json:"offered"`
+	Completed  int     `json:"completed"`
+	Shed       int     `json:"shed"`
+	Degraded   int     `json:"degraded"`
+	AchievedHz float64 `json:"achievedHz"`
+	P50Micros  float64 `json:"p50Micros"`
+	P99Micros  float64 `json:"p99Micros"`
+	P999Micros float64 `json:"p999Micros"`
+}
+
+// loadArchive is the `loadgen -json` document; Tool == "loadgen"
+// distinguishes it from test2json streams.
+type loadArchive struct {
+	Tool     string      `json:"tool"`
+	Mode     string      `json:"mode"`
+	Workload string      `json:"workload"`
+	Points   []loadPoint `json:"points"`
+}
+
+// parseLoadArchive tries to read path as a loadgen archive; ok is false
+// when the file is something else (e.g. a test2json stream).
+func parseLoadArchive(path string) (loadArchive, bool) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return loadArchive{}, false
+	}
+	var doc loadArchive
+	if json.Unmarshal(b, &doc) != nil || doc.Tool != "loadgen" {
+		return loadArchive{}, false
+	}
+	return doc, true
+}
+
+// writeLoadTable renders one loadgen archive's rate table.
+func writeLoadTable(w io.Writer, doc loadArchive) error {
+	fmt.Fprintf(w, "loadgen %s %s\n", doc.Mode, doc.Workload)
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "rate/s\toffered\tachieved/s\tp50(µs)\tp99(µs)\tp999(µs)\tshed\tdegraded")
+	for _, p := range doc.Points {
+		fmt.Fprintf(tw, "%.0f\t%d\t%.0f\t%.0f\t%.0f\t%.0f\t%d\t%d\n",
+			p.RateHz, p.Offered, p.AchievedHz, p.P50Micros, p.P99Micros, p.P999Micros,
+			p.Shed, p.Degraded)
+	}
+	return tw.Flush()
+}
+
+// writeLoadCompare compares two loadgen archives point by point, matching
+// on offered rate.
+func writeLoadCompare(w io.Writer, old, new loadArchive) error {
+	byRate := make(map[float64]loadPoint, len(old.Points))
+	for _, p := range old.Points {
+		byRate[p.RateHz] = p
+	}
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "rate/s\told achieved/s\tnew achieved/s\tdelta\told p99(µs)\tnew p99(µs)\tdelta")
+	found := false
+	for _, n := range new.Points {
+		o, ok := byRate[n.RateHz]
+		if !ok {
+			continue
+		}
+		found = true
+		fmt.Fprintf(tw, "%.0f\t%.0f\t%.0f\t%+.1f%%\t%.0f\t%.0f\t%+.1f%%\n",
+			n.RateHz, o.AchievedHz, n.AchievedHz,
+			100*(n.AchievedHz-o.AchievedHz)/o.AchievedHz,
+			o.P99Micros, n.P99Micros,
+			100*(n.P99Micros-o.P99Micros)/o.P99Micros)
+	}
+	if !found {
+		return fmt.Errorf("no common rate points between the two archives")
+	}
+	return tw.Flush()
+}
+
 func loadFile(path string) (map[string]result, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -204,12 +287,23 @@ func loadFile(path string) (map[string]result, error) {
 func run(args []string, w io.Writer) error {
 	switch len(args) {
 	case 1:
+		if doc, ok := parseLoadArchive(args[0]); ok {
+			return writeLoadTable(w, doc)
+		}
 		runs, err := loadFile(args[0])
 		if err != nil {
 			return err
 		}
 		return writePairs(w, runs)
 	case 2:
+		oldLoad, oldOK := parseLoadArchive(args[0])
+		newLoad, newOK := parseLoadArchive(args[1])
+		if oldOK != newOK {
+			return fmt.Errorf("cannot compare a loadgen archive with a benchmark archive")
+		}
+		if oldOK {
+			return writeLoadCompare(w, oldLoad, newLoad)
+		}
 		old, err := loadFile(args[0])
 		if err != nil {
 			return err

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -130,5 +132,60 @@ func TestNoPairsErrors(t *testing.T) {
 	}
 	if err := writeCompare(&strings.Builder{}, runs, map[string]result{"Other": {"ns/op": 1}}); err == nil {
 		t.Fatal("want error when no common benchmarks exist")
+	}
+}
+
+const sampleLoadJSON = `{
+  "tool": "loadgen", "mode": "pool", "workload": "zipf=0.271",
+  "points": [
+    {"rateHz": 2000, "offered": 4000, "completed": 4000, "shed": 0, "degraded": 12,
+     "achievedHz": 1998, "p50Micros": 150, "p99Micros": 900, "p999Micros": 2100},
+    {"rateHz": 50000, "offered": 100000, "completed": 91000, "shed": 9000, "degraded": 300,
+     "achievedHz": 45500, "p50Micros": 800, "p99Micros": 9500, "p999Micros": 31000}
+  ]
+}`
+
+func TestLoadArchiveTable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_load.json")
+	if err := os.WriteFile(path, []byte(sampleLoadJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run([]string{path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"loadgen pool zipf=0.271", "50000", "45500", "9500"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("load table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLoadArchiveCompare(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	if err := os.WriteFile(oldPath, []byte(sampleLoadJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	improved := strings.ReplaceAll(sampleLoadJSON, `"achievedHz": 45500`, `"achievedHz": 50000`)
+	if err := os.WriteFile(newPath, []byte(improved), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run([]string{oldPath, newPath}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "+9.9%") {
+		t.Fatalf("expected +9.9%% throughput delta in:\n%s", sb.String())
+	}
+	// A loadgen archive cannot compare against a benchmark stream.
+	benchPath := filepath.Join(dir, "bench.json")
+	if err := os.WriteFile(benchPath, []byte(sampleJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{oldPath, benchPath}, &sb); err == nil {
+		t.Fatal("mixed archive kinds should fail")
 	}
 }

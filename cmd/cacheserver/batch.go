@@ -1,0 +1,186 @@
+package main
+
+// batch.go services POST /v1/batch: an ordered list of clip references
+// submitted as one body and serviced through the pool's RequestBatch, which
+// groups items by owning shard and amortizes engine-lock acquisitions
+// across the group. Per-item semantics mirror the single-clip route — the
+// same statuses, outcomes and modeled latencies an equivalent sequence of
+// GET /v1/clips/{id} calls would have produced — so clients can switch
+// between the forms freely.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"mediacache/internal/api"
+	"mediacache/internal/fault"
+	"mediacache/internal/media"
+	"mediacache/internal/netsim"
+	"mediacache/internal/shard"
+)
+
+const (
+	// maxBatchItems bounds one batch. Bigger batches amortize no better and
+	// hold their per-shard groups pinned longer; clients should split.
+	maxBatchItems = 1024
+	// maxBatchBody bounds the request body (a full 1024-item batch with
+	// ranges is under 64 KiB).
+	maxBatchBody = 1 << 20
+)
+
+// handleBatch services POST /v1/batch.
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req api.BatchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBody))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad batch body: %v", err)
+		return
+	}
+	if len(req.Items) == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if len(req.Items) > maxBatchItems {
+		writeError(w, http.StatusBadRequest,
+			"batch of %d items exceeds the %d-item bound", len(req.Items), maxBatchItems)
+		return
+	}
+
+	resp := api.BatchResponse{Items: make([]api.BatchItemResult, len(req.Items))}
+	// Pre-screen every item: unknown clips and injected faults resolve
+	// without touching the cache (a faulted transfer fails before the clip
+	// materializes, exactly as on the single-clip route). Survivors become
+	// pool batch items; back maps them to their response slots.
+	items := make([]shard.BatchItem, 0, len(req.Items))
+	back := make([]int, 0, len(req.Items))
+	clips := make([]media.Clip, 0, len(req.Items))
+	var stall time.Duration
+	for i := range req.Items {
+		it := &req.Items[i]
+		res := &resp.Items[i]
+		res.Clip = it.Clip
+		clip, ok := s.pool.Repository().Lookup(it.Clip)
+		if !ok {
+			res.Status = http.StatusNotFound
+			res.Error = fmt.Sprintf("clip %d not in repository", it.Clip)
+			continue
+		}
+		if s.chaos != nil {
+			// Item transfers proceed concurrently, so the batch stalls for
+			// the slowest injected delay rather than their sum.
+			d, failed := s.chaos.drawItem(res)
+			if d > stall {
+				stall = d
+			}
+			if failed {
+				continue
+			}
+		}
+		bi := shard.BatchItem{ID: it.Clip}
+		if it.StartBytes != nil || it.LengthBytes != nil {
+			start := int64(0)
+			if it.StartBytes != nil {
+				start = *it.StartBytes
+			}
+			length := int64(-1)
+			if it.LengthBytes != nil {
+				length = *it.LengthBytes
+			}
+			if start < 0 || media.Bytes(start) >= clip.Size {
+				res.Status = http.StatusRequestedRangeNotSatisfiable
+				res.Error = fmt.Sprintf("start %d outside clip of %d bytes", start, clip.Size)
+				continue
+			}
+			bi.Ranged, bi.Start, bi.Length = true, media.Bytes(start), media.Bytes(length)
+		}
+		items = append(items, bi)
+		back = append(back, i)
+		clips = append(clips, clip)
+	}
+	if stall > 0 {
+		time.Sleep(stall)
+	}
+
+	// Ranged items judge prefix residency before the batch mutates it, as
+	// the single-clip route does: a range whose first byte is cached starts
+	// streaming immediately, so its modeled startup latency is zero.
+	startResident := make([]bool, len(items))
+	for k := range items {
+		if !items[k].Ranged {
+			continue
+		}
+		for _, ext := range s.pool.ResidentExtentsOf(items[k].ID) {
+			if ext.Start <= items[k].Start && items[k].Start < ext.Start+ext.Length {
+				startResident[k] = true
+				break
+			}
+		}
+	}
+
+	for k, br := range s.pool.RequestBatch(items) {
+		res := &resp.Items[back[k]]
+		clip := clips[k]
+		if br.Err != nil {
+			res.Status = http.StatusInternalServerError
+			res.Error = br.Err.Error()
+			continue
+		}
+		res.Status = http.StatusOK
+		res.Outcome = br.Outcome.String()
+		res.Hit = br.Outcome.IsHit()
+		res.SizeBytes = int64(clip.Size)
+		if items[k].Ranged {
+			res.Range = &api.RangeInfo{
+				StartBytes:   int64(br.Range.Start),
+				LengthBytes:  int64(br.Range.Length),
+				BytesHit:     int64(br.Range.BytesHit),
+				BytesFetched: int64(br.Range.BytesFetched),
+				BytesFailed:  int64(br.Range.BytesFailed),
+			}
+			if !(br.Range.Start == 0 && br.Range.Length == clip.Size && res.Hit) {
+				res.Status = http.StatusPartialContent
+			}
+		}
+		if !res.Hit && !(items[k].Ranged && startResident[k]) {
+			lat, err := netsim.StartupLatency(clip, s.alloc, s.admission)
+			if err != nil {
+				res.Status = http.StatusInternalServerError
+				res.Error = err.Error()
+				continue
+			}
+			res.LatencySeconds = float64(lat)
+		}
+	}
+	resp.Shed = s.shed.saturated() || s.guard.degradedNow()
+	writeJSON(w, resp)
+}
+
+// drawItem draws the next scheduled fault for one batch item. A failed draw
+// resolves the item with the status its single-request form would have
+// received and reports failed=true; the item never reaches the cache. The
+// returned delay is the item's injected stall — the scheduled latency, plus
+// the profile's hold for a timeout fault (a stalled transfer runs to its
+// deadline), exactly what the single-clip route would have slept.
+func (c *chaos) drawItem(res *api.BatchItemResult) (delay time.Duration, failed bool) {
+	f := c.draw()
+	delay = f.Latency
+	if !f.Failed() {
+		return delay, false
+	}
+	c.injected[f.Kind].Inc()
+	switch f.Kind {
+	case fault.Error:
+		res.Status = http.StatusBadGateway
+		res.Error = "injected link error fetching clip"
+	case fault.Timeout:
+		delay += c.inj.Profile().HoldOrDefault()
+		res.Status = http.StatusGatewayTimeout
+		res.Error = "injected link stall fetching clip"
+	case fault.Partial:
+		res.Status = http.StatusBadGateway
+		res.Error = fmt.Sprintf("injected partial delivery (%.0f%% of clip) fetching clip", f.Fraction*100)
+	}
+	return delay, true
+}

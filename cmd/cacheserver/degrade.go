@@ -104,6 +104,14 @@ func newShedder(limit int, reg *metrics.Registry) *shedder {
 	return s
 }
 
+// saturated reports whether the in-flight population has reached the shed
+// bound — the signal a batch response's shed flag carries so open-loop
+// drivers can count the batch against their shed budget even though the
+// batch itself was admitted.
+func (sh *shedder) saturated() bool {
+	return sh.limit > 0 && sh.inFlight.Load() >= sh.limit
+}
+
 // wrap applies the in-flight bound to next.
 func (sh *shedder) wrap(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -172,6 +180,12 @@ func (g *memGuard) check() {
 		return
 	}
 	g.degraded.Store(g.readHeap() > g.limit)
+}
+
+// degradedNow refreshes and reports the pressure flag.
+func (g *memGuard) degradedNow() bool {
+	g.check()
+	return g.degraded.Load()
 }
 
 // admission is the core.WithAdmission hook: under pressure every cacheable

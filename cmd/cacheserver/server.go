@@ -149,6 +149,7 @@ func newServer(cfg config) (*server, error) {
 	}{
 		{"GET /clips/{id}", s.handleClip, true},
 		{"HEAD /clips/{id}", s.handleHeadClip, false},
+		{"POST /batch", s.handleBatch, false},
 		{"GET /stats", s.handleStats, true},
 		{"GET /resident", s.handleResident, true},
 		{"POST /reset", s.handleReset, true},

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"mediacache/internal/api"
+)
+
+func TestCheckMode(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-check"}, &buf); err != nil {
+		t.Fatalf("check failed: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "loadcheck ok") {
+		t.Fatalf("no ok line:\n%s", buf.String())
+	}
+}
+
+func TestPoolSweepArchivesJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "load.json")
+	var buf bytes.Buffer
+	err := run([]string{
+		"-rates", "2000,4000", "-duration", "100ms", "-batch", "4",
+		"-error-rate", "0.05", "-json", path,
+	}, &buf)
+	if err != nil {
+		t.Fatalf("sweep failed: %v\n%s", err, buf.String())
+	}
+	var doc archive
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Tool != "loadgen" || len(doc.Points) != 2 {
+		t.Fatalf("archive: tool %q, %d points", doc.Tool, len(doc.Points))
+	}
+	for _, p := range doc.Points {
+		if p.Completed == 0 || p.AchievedHz <= 0 {
+			t.Fatalf("point %v produced no throughput: %+v", p.RateHz, p)
+		}
+		if p.P50Micros <= 0 || p.P999Micros < p.P99Micros || p.P99Micros < p.P50Micros {
+			t.Fatalf("point %v has inconsistent percentiles: %+v", p.RateHz, p)
+		}
+	}
+}
+
+func TestRangedPoolSweep(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-ranges", "-rate", "2000", "-duration", "100ms", "-batch", "2"}, &buf)
+	if err != nil {
+		t.Fatalf("ranged sweep failed: %v\n%s", err, buf.String())
+	}
+}
+
+func TestChurnSchedule(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-workload", "zipf=0.271,0x100,200x100", "-rate", "2000", "-duration", "100ms"}, &buf)
+	if err != nil {
+		t.Fatalf("churn sweep failed: %v\n%s", err, buf.String())
+	}
+}
+
+// TestHTTPModeBatched drives the http target against a stub serving the
+// batch route, asserting batched arrivals route through POST /v1/batch.
+func TestHTTPModeBatched(t *testing.T) {
+	var batches, singles atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if r.Method == http.MethodPost && r.URL.Path == "/v1/batch" {
+			batches.Add(1)
+			var req api.BatchRequest
+			json.NewDecoder(r.Body).Decode(&req)
+			resp := api.BatchResponse{Items: make([]api.BatchItemResult, len(req.Items))}
+			for i, it := range req.Items {
+				resp.Items[i] = api.BatchItemResult{Clip: it.Clip, Status: 200, Outcome: "hit", Hit: true}
+			}
+			json.NewEncoder(w).Encode(resp)
+			return
+		}
+		singles.Add(1)
+		json.NewEncoder(w).Encode(api.Clip{Clip: 1, Outcome: "hit", Hit: true})
+	}))
+	defer ts.Close()
+
+	var buf bytes.Buffer
+	err := run([]string{"-mode", "http", "-url", ts.URL, "-rate", "1000", "-duration", "100ms", "-batch", "8"}, &buf)
+	if err != nil {
+		t.Fatalf("http sweep failed: %v\n%s", err, buf.String())
+	}
+	if batches.Load() == 0 {
+		t.Fatal("no batch requests reached the server")
+	}
+	if singles.Load() != 0 {
+		t.Fatalf("%d arrivals bypassed the batch route", singles.Load())
+	}
+}
+
+func TestFlagValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-mode", "http"}, &buf); err == nil {
+		t.Error("http mode without -url should fail")
+	}
+	if err := run([]string{"-mode", "bogus"}, &buf); err == nil {
+		t.Error("unknown mode should fail")
+	}
+	if err := run([]string{"-rates", "nope"}, &buf); err == nil {
+		t.Error("bad -rates should fail")
+	}
+}

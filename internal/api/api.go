@@ -54,6 +54,45 @@ type Clip struct {
 	Range          *RangeInfo   `json:"range,omitempty"`
 }
 
+// BatchItem is one clip reference in a POST /v1/batch request. When
+// StartBytes/LengthBytes are present the item is a partial-content
+// reference, exactly like GET /v1/clips/{id}?start=&length=; a negative
+// LengthBytes means "to the end of the clip".
+type BatchItem struct {
+	Clip        media.ClipID `json:"clip"`
+	StartBytes  *int64       `json:"startBytes,omitempty"`
+	LengthBytes *int64       `json:"lengthBytes,omitempty"`
+}
+
+// BatchRequest is the body of POST /v1/batch: an ordered list of clip
+// references serviced as one cache batch.
+type BatchRequest struct {
+	Items []BatchItem `json:"items"`
+}
+
+// BatchItemResult is the outcome of one BatchItem, in the same position.
+// Status carries the HTTP status the item would have received as an
+// individual request (200, 404, ...); on non-2xx items Error holds the
+// message and the outcome fields are zero.
+type BatchItemResult struct {
+	Clip           media.ClipID `json:"clip"`
+	Status         int          `json:"status"`
+	Outcome        string       `json:"outcome,omitempty"`
+	Hit            bool         `json:"hit,omitempty"`
+	SizeBytes      int64        `json:"sizeBytes,omitempty"`
+	LatencySeconds float64      `json:"latencySeconds,omitempty"`
+	Range          *RangeInfo   `json:"range,omitempty"`
+	Error          string       `json:"error,omitempty"`
+}
+
+// BatchResponse is the response of POST /v1/batch. Shed reports that the
+// server was saturated or degraded while servicing the batch, signalling
+// open-loop load generators to count the batch against their shed budget.
+type BatchResponse struct {
+	Items []BatchItemResult `json:"items"`
+	Shed  bool              `json:"shed,omitempty"`
+}
+
 // Stats is the response of GET /v1/stats. With a sharded cache the counters
 // are aggregated over every shard and Shards reports the shard count
 // (omitted by pre-sharding servers).

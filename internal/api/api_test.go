@@ -14,6 +14,10 @@ var wireFields = map[string][]string{
 	"Clip":            {"clip", "kind", "sizeBytes", "outcome", "hit", "latencySeconds", "bytesResident", "prefixSegments", "segments", "range"},
 	"SegmentInfo":     {"sizeBytes", "total", "resident"},
 	"RangeInfo":       {"startBytes", "lengthBytes", "bytesHit", "bytesFetched", "bytesFailed"},
+	"BatchItem":       {"clip", "startBytes", "lengthBytes"},
+	"BatchRequest":    {"items"},
+	"BatchItemResult": {"clip", "status", "outcome", "hit", "sizeBytes", "latencySeconds", "range", "error"},
+	"BatchResponse":   {"items", "shed"},
 	"Stats":           {"policy", "shards", "requests", "hits", "hitRate", "byteHitRate", "evictions", "bytesFetched", "bytesFailed", "degradedMisses", "residentClips", "usedBytes", "capacityBytes", "bypassedMisses", "victimCalls", "note", "segmentSizeBytes", "prefixSegments", "residentSegments", "partialHits", "segmentsFetched", "segmentsEvicted"},
 	"ResidentClip":    {"id", "kind", "sizeBytes"},
 	"Resident":        {"clips", "total", "offset", "limit", "usedBytes", "freeBytes"},
@@ -50,6 +54,10 @@ func TestWireContractFrozen(t *testing.T) {
 		"Clip":            reflect.TypeOf(Clip{}),
 		"SegmentInfo":     reflect.TypeOf(SegmentInfo{}),
 		"RangeInfo":       reflect.TypeOf(RangeInfo{}),
+		"BatchItem":       reflect.TypeOf(BatchItem{}),
+		"BatchRequest":    reflect.TypeOf(BatchRequest{}),
+		"BatchItemResult": reflect.TypeOf(BatchItemResult{}),
+		"BatchResponse":   reflect.TypeOf(BatchResponse{}),
 		"Stats":           reflect.TypeOf(Stats{}),
 		"ResidentClip":    reflect.TypeOf(ResidentClip{}),
 		"Resident":        reflect.TypeOf(Resident{}),
@@ -121,6 +129,61 @@ func TestPreSegmentWireCompat(t *testing.T) {
 			}
 			if !reflect.DeepEqual(fresh.Elem().Interface(), tc.v) {
 				t.Errorf("pre-segment document decoded with loss:\n got %+v\nwant %+v",
+					fresh.Elem().Interface(), tc.v)
+			}
+		})
+	}
+}
+
+// TestBatchWireCompat freezes the POST /v1/batch contract introduced in
+// PR 7. The golden strings are hand-written, not regenerated: a marshaling
+// difference here is a breaking wire change.
+func TestBatchWireCompat(t *testing.T) {
+	start, length := int64(1048576), int64(-1)
+	cases := []struct {
+		name   string
+		v      any
+		golden string
+	}{
+		{
+			"BatchRequest",
+			BatchRequest{Items: []BatchItem{
+				{Clip: 7},
+				{Clip: 12, StartBytes: &start, LengthBytes: &length},
+			}},
+			`{"items":[{"clip":7},{"clip":12,"startBytes":1048576,"lengthBytes":-1}]}`,
+		},
+		{
+			"BatchResponse",
+			BatchResponse{Items: []BatchItemResult{
+				{Clip: 7, Status: 200, Outcome: "hit", Hit: true, SizeBytes: 1932735283},
+				{Clip: 12, Status: 200, Outcome: "miss-cached", SizeBytes: 536870912, LatencySeconds: 4.25,
+					Range: &RangeInfo{StartBytes: 1048576, LengthBytes: 535822336, BytesFetched: 535822336}},
+				{Clip: 9999, Status: 404, Error: "unknown clip id 9999"},
+			}},
+			`{"items":[{"clip":7,"status":200,"outcome":"hit","hit":true,"sizeBytes":1932735283},{"clip":12,"status":200,"outcome":"miss-cached","sizeBytes":536870912,"latencySeconds":4.25,"range":{"startBytes":1048576,"lengthBytes":535822336,"bytesHit":0,"bytesFetched":535822336,"bytesFailed":0}},{"clip":9999,"status":404,"error":"unknown clip id 9999"}]}`,
+		},
+		{
+			"BatchResponseShed",
+			BatchResponse{Items: []BatchItemResult{}, Shed: true},
+			`{"items":[],"shed":true}`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b, err := json.Marshal(tc.v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(b) != tc.golden {
+				t.Errorf("batch wire output changed:\n got %s\nwant %s", b, tc.golden)
+			}
+			fresh := reflect.New(reflect.TypeOf(tc.v))
+			if err := json.Unmarshal([]byte(tc.golden), fresh.Interface()); err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(fresh.Elem().Interface(), tc.v) {
+				t.Errorf("golden document decoded with loss:\n got %+v\nwant %+v",
 					fresh.Elem().Interface(), tc.v)
 			}
 		})

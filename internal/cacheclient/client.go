@@ -10,6 +10,7 @@
 package cacheclient
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -20,6 +21,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mediacache/internal/api"
@@ -121,6 +123,11 @@ type Client struct {
 	src *randutil.Source // jitter stream; guarded by mu
 
 	retries uint64 // total retry sleeps, guarded by mu
+
+	// noBatch latches after the server 404s POST /v1/batch (a pre-batch
+	// deployment): later GetBatch calls go straight to per-clip GETs
+	// instead of re-probing the missing route on every batch.
+	noBatch atomic.Bool
 }
 
 // New builds a client for the server at cfg.BaseURL.
@@ -209,12 +216,18 @@ func parseRetryAfter(h string) time.Duration {
 // once MaxAttempts is exhausted, ctx expires, or a non-retryable status
 // arrives.
 func (c *Client) do(ctx context.Context, method, path string, out interface{}) error {
+	return c.doBody(ctx, method, path, nil, out)
+}
+
+// doBody is do with a JSON request body (nil for bodiless calls). The body
+// bytes are replayed on every retry attempt.
+func (c *Client) doBody(ctx context.Context, method, path string, body []byte, out interface{}) error {
 	var lastErr error
 	for attempt := 1; ; attempt++ {
 		if err := c.breaker.Allow(ctx, c.cfg.Sleep); err != nil {
 			return err
 		}
-		status, retryAfter, err := c.attempt(ctx, method, path, out)
+		status, retryAfter, err := c.attempt(ctx, method, path, body, out)
 		if err == nil {
 			c.breaker.Success()
 			return nil
@@ -244,12 +257,19 @@ func (c *Client) do(ctx context.Context, method, path string, out interface{}) e
 
 // attempt is one HTTP exchange. status is 0 for transport errors;
 // retryAfter carries the server's back-off hint on failures.
-func (c *Client) attempt(ctx context.Context, method, path string, out interface{}) (status int, retryAfter time.Duration, err error) {
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte, out interface{}) (status int, retryAfter time.Duration, err error) {
 	actx, cancel := context.WithTimeout(ctx, c.cfg.AttemptTimeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(actx, method, c.base+path, nil)
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(actx, method, c.base+path, rd)
 	if err != nil {
 		return 0, 0, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.cfg.HTTPClient.Do(req)
 	if err != nil {
@@ -301,6 +321,67 @@ func (c *Client) Shards(ctx context.Context) ([]api.Shard, error) {
 	var out api.Shards
 	err := c.do(ctx, http.MethodGet, "/v1/shards", &out)
 	return out.Shards, err
+}
+
+// Batch submits an ordered list of clip references as one POST /v1/batch
+// call, riding out transient faults like every other call (the whole batch
+// retries as a unit; the server's per-item semantics make replays safe for
+// the simulated cache). The error is non-nil only for whole-batch failures;
+// per-item failures come back inside the response with their status codes.
+func (c *Client) Batch(ctx context.Context, items []api.BatchItem) (api.BatchResponse, error) {
+	var out api.BatchResponse
+	body, err := json.Marshal(api.BatchRequest{Items: items})
+	if err != nil {
+		return out, err
+	}
+	err = c.doBody(ctx, http.MethodPost, "/v1/batch", body, &out)
+	return out, err
+}
+
+// GetBatch requests a list of clips in one round trip via POST /v1/batch
+// and returns one result per id, positionally. Against a pre-batch server
+// (the route 404s) it falls back to per-clip GETs — transparently, and only
+// probing the missing route once — so callers can batch unconditionally.
+func (c *Client) GetBatch(ctx context.Context, ids []media.ClipID) ([]api.BatchItemResult, error) {
+	if !c.noBatch.Load() {
+		items := make([]api.BatchItem, len(ids))
+		for i, id := range ids {
+			items[i] = api.BatchItem{Clip: id}
+		}
+		resp, err := c.Batch(ctx, items)
+		var se *StatusError
+		if err == nil {
+			return resp.Items, nil
+		}
+		if !errors.As(err, &se) || se.Status != http.StatusNotFound {
+			return nil, err
+		}
+		c.noBatch.Store(true)
+	}
+	// Pre-batch server: issue the clips individually. Per-clip 404s become
+	// per-item results, matching the batch route's envelope.
+	out := make([]api.BatchItemResult, len(ids))
+	for i, id := range ids {
+		res := &out[i]
+		res.Clip = id
+		clip, err := c.Clip(ctx, id)
+		if err != nil {
+			var se *StatusError
+			if errors.As(err, &se) {
+				res.Status = se.Status
+				res.Error = se.Body
+				continue
+			}
+			return nil, err
+		}
+		res.Status = http.StatusOK
+		res.Outcome = clip.Outcome
+		res.Hit = clip.Hit
+		res.SizeBytes = clip.SizeBytes
+		res.LatencySeconds = clip.LatencySeconds
+		res.Range = clip.Range
+	}
+	return out, nil
 }
 
 // Healthz reports whether the server is live and internally consistent.

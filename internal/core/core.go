@@ -83,12 +83,6 @@ func (o Outcome) String() string {
 type ResidentView interface {
 	// Resident reports whether clip id is cached.
 	Resident(id media.ClipID) bool
-	// ResidentClips returns the cached clips ordered by ascending ID.
-	//
-	// Legacy: it allocates a fresh slice per call. Callers that only
-	// iterate should range over Residents (or use ForEachResident), which
-	// walk the resident index without allocating.
-	ResidentClips() []media.Clip
 	// Residents returns a range-over-func iterator over the cached clips
 	// in ascending ID order. Iteration is an allocation-free walk of the
 	// incrementally maintained resident index; breaking out early stops
@@ -227,6 +221,10 @@ type Cache struct {
 	// (hit, miss, eviction, bypass, restore). Nil-checked at every
 	// emission so the disabled path stays allocation-free.
 	observer Observer
+	// mirror, when set via WithResidencyMirror, receives every residency
+	// transition so lock-free readers can consult a published view of the
+	// resident set. Nil-checked at every transition.
+	mirror *ResidencyMirror
 	// initClock is the virtual time the cache starts (and Resets) at.
 	initClock vtime.Time
 
@@ -422,31 +420,27 @@ func (c *Cache) ResidentBytes(id media.ClipID) media.Bytes {
 	return 0
 }
 
-// ResidentIDs returns the cached clip ids in ascending order.
-//
-// Legacy: it allocates a fresh slice per call. Callers that only iterate
-// should range over Residents instead.
-func (c *Cache) ResidentIDs() []media.ClipID {
-	ids := make([]media.ClipID, 0, c.byID.Len())
-	c.byID.Ascend(func(id media.ClipID, _ media.Clip) bool {
-		ids = append(ids, id)
-		return true
-	})
-	return ids
+// CollectResidents copies view's resident set into a fresh slice in
+// ascending ID order — for scan-mode victim selection that must sort or
+// repeatedly index the whole set. Callers that only iterate should range
+// over view.Residents(), which allocates nothing.
+func CollectResidents(view ResidentView) []media.Clip {
+	clips := make([]media.Clip, 0, view.NumResident())
+	for clip := range view.Residents() {
+		clips = append(clips, clip)
+	}
+	return clips
 }
 
-// ResidentClips returns the cached clips ordered by ascending ID.
-//
-// Legacy: the slice is freshly allocated per call. Callers that only
-// iterate should range over Residents (or use ForEachResident), which walk
-// the resident index without allocating.
-func (c *Cache) ResidentClips() []media.Clip {
-	clips := make([]media.Clip, 0, c.byID.Len())
-	c.byID.Ascend(func(_ media.ClipID, clip media.Clip) bool {
-		clips = append(clips, clip)
-		return true
-	})
-	return clips
+// CollectResidentIDs copies view's resident clip ids into a fresh slice in
+// ascending order — the slice-returning counterpart of ranging over
+// Residents, for callers (mostly tests) that need a materialized set.
+func CollectResidentIDs(view ResidentView) []media.ClipID {
+	ids := make([]media.ClipID, 0, view.NumResident())
+	for clip := range view.Residents() {
+		ids = append(ids, clip.ID)
+	}
+	return ids
 }
 
 // Residents returns a range-over-func iterator over the cached clips in
@@ -544,9 +538,47 @@ func (c *Cache) Request(id media.ClipID) (Outcome, error) {
 	c.resident[id] = struct{}{}
 	c.byID.Put(id, clip)
 	c.used += clip.Size
+	c.mirrorAdd(id)
 	c.policy.OnInsert(clip, now)
 	c.emit(EventMiss, clip, now)
 	return MissCached, nil
+}
+
+// ApplyHit services a reference to clip id that a concurrent reader already
+// classified as a hit against the cache's published residency view
+// (WithResidencyMirror): clock tick, policy Record, hit statistics and the
+// EventHit emission — the exact hit branch of Request. It exists so a
+// lock-reduced front-end can serve the bytes without the engine lock and
+// later drain a batch of such touches under one lock acquisition.
+//
+// The request is accounted as a hit unconditionally, because the bytes were
+// served from the view at the reader's linearization point even if the clip
+// has been evicted since. The policy, however, is told the truth about the
+// engine's current state: Record(hit) reflects residency at drain time, so
+// reference histories never diverge from the resident set. Driven serially
+// (drain before any intervening mutation) this is byte-identical to Request
+// on a hit. Only whole-clip caches support it; segmented caches account
+// partial residency per byte range and must use RequestRange.
+func (c *Cache) ApplyHit(id media.ClipID) error {
+	if c.segSize > 0 {
+		return errors.New("core: ApplyHit requires whole-clip residency")
+	}
+	clip, ok := c.repo.Lookup(id)
+	if !ok {
+		return fmt.Errorf("%w: id %d", ErrUnknownClip, id)
+	}
+	c.clock++
+	now := c.clock
+
+	_, hit := c.resident[id]
+	c.policy.Record(clip, now, hit)
+
+	c.stats.Requests++
+	c.stats.BytesReferenced += clip.Size
+	c.stats.Hits++
+	c.stats.BytesHit += clip.Size
+	c.emit(EventHit, clip, now)
+	return nil
 }
 
 // makeRoom evicts policy-selected victims until clip fits. Each victim
@@ -579,6 +611,7 @@ func (c *Cache) makeRoom(clip media.Clip, now vtime.Time) error {
 			victim := c.repo.Clip(vid)
 			delete(c.resident, vid)
 			c.byID.Delete(vid)
+			c.mirrorRemove(vid)
 			c.used -= victim.Size
 			c.stats.Evictions++
 			c.stats.BytesEvicted += victim.Size
@@ -600,6 +633,7 @@ func (c *Cache) Warm(ids []media.ClipID) {
 		}
 		c.resident[id] = struct{}{}
 		c.byID.Put(id, clip)
+		c.mirrorAdd(id)
 		c.used += clip.Size
 		c.policy.OnInsert(clip, c.clock)
 		if c.segSize > 0 {
@@ -613,6 +647,7 @@ func (c *Cache) Warm(ids []media.ClipID) {
 func (c *Cache) Reset() {
 	c.resident = make(map[media.ClipID]struct{})
 	c.byID = rbtree.New[media.ClipID, media.Clip](lessClipID)
+	c.mirrorClear()
 	c.used = 0
 	c.clock = c.initClock
 	c.stats = Stats{}

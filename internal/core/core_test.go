@@ -338,11 +338,11 @@ func TestResidentViews(t *testing.T) {
 	c, _ := New(smallRepo(t), 60, &fifoPolicy{})
 	c.Request(3)
 	c.Request(1)
-	ids := c.ResidentIDs()
+	ids := CollectResidentIDs(c)
 	if len(ids) != 2 || ids[0] != 1 || ids[1] != 3 {
 		t.Fatalf("ResidentIDs = %v", ids)
 	}
-	clips := c.ResidentClips()
+	clips := CollectResidents(c)
 	if len(clips) != 2 || clips[0].ID != 1 || clips[1].ID != 3 {
 		t.Fatalf("ResidentClips = %v", clips)
 	}
@@ -478,7 +478,7 @@ func TestMisbehavingPolicyAccounting(t *testing.T) {
 		t.Fatalf("outcome = %v, want MissError", out)
 	}
 	if !c.Resident(1) || !c.Resident(2) || c.Resident(4) {
-		t.Fatalf("partial eviction: resident = %v", c.ResidentIDs())
+		t.Fatalf("partial eviction: resident = %v", CollectResidentIDs(c))
 	}
 	if c.UsedBytes() != usedBefore {
 		t.Fatalf("used changed: %v -> %v", usedBefore, c.UsedBytes())

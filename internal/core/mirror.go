@@ -1,0 +1,97 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"mediacache/internal/media"
+)
+
+// ResidencyMirror is a concurrently readable mirror of a cache's resident
+// clip set. The engine itself is single-threaded and its resident map must
+// never be read while another goroutine mutates it; a mirror gives callers
+// that hold no lock (the sharded pool's read-mostly hit path) a published
+// view they can consult without serializing on the engine.
+//
+// The engine publishes every residency transition — insert, eviction, warm,
+// reset, restore, segment adoption and trim-to-empty — while it holds
+// whatever lock its owner wraps it in, so a reader observes each clip's
+// residency at some point in the recent past: the view is always a state the
+// cache actually passed through, never a torn or invented one. Readers must
+// still treat an answer as a hint — the clip can be evicted between the
+// lookup and whatever the reader does with it — and re-validate under the
+// engine lock when exactness matters.
+//
+// The zero value is ready to use. All methods are safe for concurrent use.
+type ResidencyMirror struct {
+	set sync.Map // media.ClipID -> struct{}
+	n   atomic.Int64
+}
+
+// Resident reports whether clip id was resident at the last published
+// transition affecting it.
+func (m *ResidencyMirror) Resident(id media.ClipID) bool {
+	_, ok := m.set.Load(id)
+	return ok
+}
+
+// Len returns the number of clips in the published view.
+func (m *ResidencyMirror) Len() int { return int(m.n.Load()) }
+
+// add publishes clip id as resident.
+func (m *ResidencyMirror) add(id media.ClipID) {
+	if _, loaded := m.set.LoadOrStore(id, struct{}{}); !loaded {
+		m.n.Add(1)
+	}
+}
+
+// remove publishes clip id as no longer resident.
+func (m *ResidencyMirror) remove(id media.ClipID) {
+	if _, loaded := m.set.LoadAndDelete(id); loaded {
+		m.n.Add(-1)
+	}
+}
+
+// clear empties the published view.
+func (m *ResidencyMirror) clear() {
+	m.set.Range(func(k, _ any) bool {
+		m.set.Delete(k)
+		return true
+	})
+	m.n.Store(0)
+}
+
+// WithResidencyMirror attaches a mirror the engine keeps in sync with its
+// resident set. The mirror may be read concurrently with engine operation;
+// see ResidencyMirror for the exact guarantees.
+func WithResidencyMirror(m *ResidencyMirror) Option {
+	return func(c *Cache) error {
+		if m == nil {
+			return errors.New("core: WithResidencyMirror mirror must not be nil")
+		}
+		c.mirror = m
+		return nil
+	}
+}
+
+// mirrorAdd publishes an insert to the attached mirror, if any.
+func (c *Cache) mirrorAdd(id media.ClipID) {
+	if c.mirror != nil {
+		c.mirror.add(id)
+	}
+}
+
+// mirrorRemove publishes an eviction to the attached mirror, if any.
+func (c *Cache) mirrorRemove(id media.ClipID) {
+	if c.mirror != nil {
+		c.mirror.remove(id)
+	}
+}
+
+// mirrorClear publishes a full reset to the attached mirror, if any.
+func (c *Cache) mirrorClear() {
+	if c.mirror != nil {
+		c.mirror.clear()
+	}
+}

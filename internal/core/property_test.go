@@ -82,7 +82,7 @@ func checkInvariants(t *testing.T, c *core.Cache, obs *orderObserver) {
 		t.Fatalf("bookkeeping drift: resident clips sum to %v, UsedBytes reports %v",
 			sum, c.UsedBytes())
 	}
-	if got, want := c.NumResident(), len(c.ResidentIDs()); got != want {
+	if got, want := c.NumResident(), len(core.CollectResidentIDs(c)); got != want {
 		t.Fatalf("NumResident %d != len(ResidentIDs) %d", got, want)
 	}
 	s := c.Stats()

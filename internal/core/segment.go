@@ -468,6 +468,7 @@ func (c *Cache) insertSegment(clip media.Clip, seg int32, now vtime.Time) error 
 	if sm.resident == 1 {
 		c.resident[clip.ID] = struct{}{}
 		c.byID.Put(clip.ID, clip)
+		c.mirrorAdd(clip.ID)
 		c.policy.OnInsert(clip, now)
 	}
 	c.notifyResidentBytes(clip, sm.resBytes, now)
@@ -559,6 +560,7 @@ func (c *Cache) trimVictim(vid media.ClipID, need media.Bytes, now vtime.Time) {
 		delete(c.segs, vid)
 		delete(c.resident, vid)
 		c.byID.Delete(vid)
+		c.mirrorRemove(vid)
 		c.stats.Evictions++
 		c.policy.OnEvict(vid, now)
 		c.emitB(EventEviction, clip, trimmed, now)

@@ -53,7 +53,12 @@ func (c *Cache) Snapshot() Snapshot {
 		SegmentSize: c.segSize,
 	}
 	if c.segSize == 0 {
-		s.ResidentIDs = c.ResidentIDs()
+		ids := make([]media.ClipID, 0, c.byID.Len())
+		c.byID.Ascend(func(id media.ClipID, _ media.Clip) bool {
+			ids = append(ids, id)
+			return true
+		})
+		s.ResidentIDs = ids
 		return s
 	}
 	ids := make([]media.ClipID, 0, c.byID.Len())
@@ -141,6 +146,7 @@ func (c *Cache) Restore(s Snapshot) error {
 	}
 	c.resident = make(map[media.ClipID]struct{}, len(s.ResidentIDs)+len(s.Partial))
 	c.byID = rbtree.New[media.ClipID, media.Clip](lessClipID)
+	c.mirrorClear()
 	c.used = 0
 	c.clock = s.Clock
 	c.stats = s.Stats
@@ -153,6 +159,7 @@ func (c *Cache) Restore(s Snapshot) error {
 		clip := c.repo.Clip(id)
 		c.resident[id] = struct{}{}
 		c.byID.Put(id, clip)
+		c.mirrorAdd(id)
 		c.used += clip.Size
 		c.policy.OnInsert(clip, c.clock)
 		if c.segSize > 0 {
@@ -170,6 +177,7 @@ func (c *Cache) Restore(s Snapshot) error {
 		c.segs[ps.ID] = sm
 		c.resident[ps.ID] = struct{}{}
 		c.byID.Put(ps.ID, clip)
+		c.mirrorAdd(ps.ID)
 		c.used += sm.resBytes
 		c.residentSegs += int(sm.resident)
 		c.policy.OnInsert(clip, c.clock)

@@ -17,6 +17,9 @@ const (
 	metricPoolShards    = "mediacache_pool_shards"
 	metricPoolFetches   = "mediacache_pool_fetches_total"
 	metricPoolCoalesced = "mediacache_pool_coalesced_fetches_total"
+	metricPoolFastHits  = "mediacache_pool_fastpath_hits_total"
+	metricPoolFlushes   = "mediacache_pool_touch_flushes_total"
+	metricPoolBatches   = "mediacache_pool_batches_total"
 )
 
 // RegisterShardMetrics exposes a shard pool's per-shard occupancy and hit
@@ -44,4 +47,10 @@ func RegisterShardMetrics(reg *metrics.Registry, pool *shard.Pool) {
 		func() float64 { return float64(pool.Fetches()) })
 	reg.CounterFunc(metricPoolCoalesced, "Requests that joined an already in-flight fetch.",
 		func() float64 { return float64(pool.Coalesced()) })
+	reg.CounterFunc(metricPoolFastHits, "Hits served off the published residency view without a shard lock.",
+		func() float64 { return float64(pool.FastPathHits()) })
+	reg.CounterFunc(metricPoolFlushes, "Batched drains replaying fast-path policy touches into the engines.",
+		func() float64 { return float64(pool.TouchFlushes()) })
+	reg.CounterFunc(metricPoolBatches, "RequestBatch calls served.",
+		func() float64 { return float64(pool.Batches()) })
 }

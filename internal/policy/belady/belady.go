@@ -126,7 +126,7 @@ func (p *Policy) Admit(clip media.Clip, _ vtime.Time) bool {
 // Victims implements core.Policy: evict the resident clips with the
 // furthest (optionally size-weighted) next use until need bytes are freed.
 func (p *Policy) Victims(_ media.Clip, view core.ResidentView, need media.Bytes, _ vtime.Time) []media.ClipID {
-	resident := view.ResidentClips()
+	resident := core.CollectResidents(view)
 	taken := make(map[media.ClipID]bool, len(resident))
 	var out []media.ClipID
 	var freed media.Bytes

@@ -86,7 +86,7 @@ func checkDeterminism(t *testing.T, factory Factory) {
 			t.Fatalf("request %d: outcomes diverge (%v vs %v)", i, oa[i], ob[i])
 		}
 	}
-	ra, rb := a.ResidentIDs(), b.ResidentIDs()
+	ra, rb := core.CollectResidentIDs(a), core.CollectResidentIDs(b)
 	if len(ra) != len(rb) {
 		t.Fatalf("resident counts diverge (%d vs %d)", len(ra), len(rb))
 	}

@@ -124,7 +124,7 @@ func runDifferential(t *testing.T, pair diffPair, ratio float64, seed uint64, re
 			t.Fatalf("victim %d diverged: indexed=%d scan=%d", i, logIdx.ids[i], logScan.ids[i])
 		}
 	}
-	ra, rb := cIdx.ResidentIDs(), cScan.ResidentIDs()
+	ra, rb := core.CollectResidentIDs(cIdx), core.CollectResidentIDs(cScan)
 	if len(ra) != len(rb) {
 		t.Fatalf("resident counts diverge: indexed=%d scan=%d", len(ra), len(rb))
 	}

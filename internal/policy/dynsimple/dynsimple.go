@@ -152,7 +152,7 @@ func (p *Policy) Victims(_ media.Clip, view core.ResidentView, need media.Bytes,
 	if !p.scan {
 		return p.victimsIndexed(view, need, now)
 	}
-	candidates := view.ResidentClips()
+	candidates := core.CollectResidents(view)
 	// Phase 1: ascending estimated byte-freq; ties prefer the larger clip,
 	// then the lower id, keeping runs deterministic.
 	sort.Slice(candidates, func(i, j int) bool {

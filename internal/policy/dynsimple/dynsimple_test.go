@@ -59,7 +59,7 @@ func TestEvictsLowestEstimatedByteFreq(t *testing.T) {
 		t.Fatal("colder clip 2 should be evicted")
 	}
 	if !c.Resident(1) || !c.Resident(3) {
-		t.Fatalf("resident = %v", c.ResidentIDs())
+		t.Fatalf("resident = %v", core.CollectResidentIDs(c))
 	}
 }
 
@@ -200,13 +200,13 @@ func TestAdaptsToShiftedPattern(t *testing.T) {
 		c.Request(media.ClipID(i%3 + 1)) // hot: 1,2,3
 	}
 	if !c.Resident(1) || !c.Resident(2) || !c.Resident(3) {
-		t.Fatalf("hot set not resident: %v", c.ResidentIDs())
+		t.Fatalf("hot set not resident: %v", core.CollectResidentIDs(c))
 	}
 	for i := 0; i < 300; i++ {
 		c.Request(media.ClipID(i%3 + 4)) // hot: 4,5,6
 	}
 	if !c.Resident(4) || !c.Resident(5) || !c.Resident(6) {
-		t.Fatalf("new hot set not resident after shift: %v", c.ResidentIDs())
+		t.Fatalf("new hot set not resident after shift: %v", core.CollectResidentIDs(c))
 	}
 }
 

@@ -134,7 +134,7 @@ func TestResetAndReplay(t *testing.T) {
 	for _, id := range seq {
 		c.Request(id)
 	}
-	first := c.ResidentIDs()
+	first := core.CollectResidentIDs(c)
 	c.Reset()
 	if p.Inflation() != 0 {
 		t.Fatal("Reset must zero inflation")
@@ -142,7 +142,7 @@ func TestResetAndReplay(t *testing.T) {
 	for _, id := range seq {
 		c.Request(id)
 	}
-	second := c.ResidentIDs()
+	second := core.CollectResidentIDs(c)
 	if len(first) != len(second) {
 		t.Fatal("replay diverged")
 	}

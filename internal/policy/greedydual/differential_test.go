@@ -42,7 +42,7 @@ func (p *bruteGD) Record(clip media.Clip, _ vtime.Time, hit bool) {
 func (p *bruteGD) Admit(media.Clip, vtime.Time) bool { return true }
 
 func (p *bruteGD) Victims(_ media.Clip, view core.ResidentView, _ media.Bytes, _ vtime.Time) []media.ClipID {
-	resident := view.ResidentClips()
+	resident := core.CollectResidents(view)
 	if len(resident) == 0 {
 		return nil
 	}
@@ -126,9 +126,9 @@ func TestDifferentialAgainstBruteForce(t *testing.T) {
 			if a != b {
 				t.Fatalf("seed=%d req %d (clip %d): outcome %v vs reference %v", seed, i, id, a, b)
 			}
-			if !reflect.DeepEqual(real.ResidentIDs(), ref.ResidentIDs()) {
+			if !reflect.DeepEqual(core.CollectResidentIDs(real), core.CollectResidentIDs(ref)) {
 				t.Fatalf("seed=%d req %d: resident sets diverged:\nreal %v\nref  %v",
-					seed, i, real.ResidentIDs(), ref.ResidentIDs())
+					seed, i, core.CollectResidentIDs(real), core.CollectResidentIDs(ref))
 			}
 		}
 		if real.Stats() != ref.Stats() {

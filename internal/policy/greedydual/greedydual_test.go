@@ -44,7 +44,7 @@ func TestPrefersEvictingLargeClips(t *testing.T) {
 		t.Fatal("largest clip must have the lowest priority")
 	}
 	if !c.Resident(2) || !c.Resident(3) {
-		t.Fatalf("resident = %v", c.ResidentIDs())
+		t.Fatalf("resident = %v", core.CollectResidentIDs(c))
 	}
 }
 
@@ -58,7 +58,7 @@ func TestHitRestoresPriority(t *testing.T) {
 	c.Request(2)
 	c.Request(3) // eviction happens; L rises to 0.1; equal priorities -> random victim
 	// Whoever survived, hit it so its H is restored above L.
-	survivors := c.ResidentIDs()
+	survivors := core.CollectResidentIDs(c)
 	victimlessID := survivors[0]
 	c.Request(victimlessID) // hit: H = L + 0.1
 	h, ok := p.Priority(victimlessID)
@@ -90,7 +90,7 @@ func TestPriorityNeverBelowInflation(t *testing.T) {
 	c, _ := core.New(r, 50, p)
 	for i := 0; i < 500; i++ {
 		c.Request(media.ClipID((i*7)%20 + 1))
-		for _, id := range c.ResidentIDs() {
+		for _, id := range core.CollectResidentIDs(c) {
 			h, ok := p.Priority(id)
 			if !ok {
 				t.Fatalf("resident clip %d has no priority", id)
@@ -113,7 +113,7 @@ func TestRandomTieBreakOnEquiSized(t *testing.T) {
 		for i := 0; i < 50; i++ {
 			c.Request(media.ClipID(i%10 + 1))
 		}
-		return c.ResidentIDs()
+		return core.CollectResidentIDs(c)
 	}
 	a := run(1)
 	differs := false
@@ -138,7 +138,7 @@ func TestDeterministicReplay(t *testing.T) {
 		for i := 0; i < 100; i++ {
 			c.Request(media.ClipID((i*3)%10 + 1))
 		}
-		return c.ResidentIDs()
+		return core.CollectResidentIDs(c)
 	}
 	a, b := run(), run()
 	for i := range a {
@@ -159,7 +159,7 @@ func TestResetRewinds(t *testing.T) {
 	for _, id := range seq {
 		c.Request(id)
 	}
-	first := c.ResidentIDs()
+	first := core.CollectResidentIDs(c)
 	c.Reset()
 	if p.Inflation() != 0 {
 		t.Fatal("Reset must clear inflation")
@@ -167,7 +167,7 @@ func TestResetRewinds(t *testing.T) {
 	for _, id := range seq {
 		c.Request(id)
 	}
-	second := c.ResidentIDs()
+	second := core.CollectResidentIDs(c)
 	for i := range first {
 		if first[i] != second[i] {
 			t.Fatal("reset replay diverged")
@@ -205,7 +205,7 @@ func TestNaiveEquivalence(t *testing.T) {
 				return false
 			}
 		}
-		a, b := cf.ResidentIDs(), cs.ResidentIDs()
+		a, b := core.CollectResidentIDs(cf), core.CollectResidentIDs(cs)
 		if len(a) != len(b) {
 			return false
 		}

@@ -150,7 +150,7 @@ func TestAdaptsToShift(t *testing.T) {
 	}
 	for id := media.ClipID(4); id <= 6; id++ {
 		if !c.Resident(id) {
-			t.Fatalf("IGD failed to adapt; resident = %v", c.ResidentIDs())
+			t.Fatalf("IGD failed to adapt; resident = %v", core.CollectResidentIDs(c))
 		}
 	}
 }
@@ -204,7 +204,7 @@ func TestDeterministicReplay(t *testing.T) {
 		for i := 0; i < 200; i++ {
 			c.Request(media.ClipID((i*7)%10 + 1))
 		}
-		return c.ResidentIDs()
+		return core.CollectResidentIDs(c)
 	}
 	a, b := run(), run()
 	for i := range a {

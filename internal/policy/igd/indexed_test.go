@@ -42,7 +42,7 @@ func TestIndexedEquivalence(t *testing.T) {
 					t.Fatalf("seed %d req %d (clip %d): scan=%v indexed=%v", seed, i, id, a, b)
 				}
 			}
-			sa, sb := cScan.ResidentIDs(), cIdx.ResidentIDs()
+			sa, sb := core.CollectResidentIDs(cScan), core.CollectResidentIDs(cIdx)
 			if len(sa) != len(sb) {
 				t.Fatalf("seed %d: resident counts differ", seed)
 			}
@@ -73,7 +73,7 @@ func TestIndexedEquivalenceProperty(t *testing.T) {
 				return false
 			}
 		}
-		sa, sb := cScan.ResidentIDs(), cIdx.ResidentIDs()
+		sa, sb := core.CollectResidentIDs(cScan), core.CollectResidentIDs(cIdx)
 		if len(sa) != len(sb) {
 			return false
 		}

@@ -53,7 +53,7 @@ func (p *bruteLRUK) dist(id media.ClipID, now vtime.Time) (float64, vtime.Time) 
 }
 
 func (p *bruteLRUK) Victims(_ media.Clip, view core.ResidentView, need media.Bytes, now vtime.Time) []media.ClipID {
-	remaining := view.ResidentClips()
+	remaining := core.CollectResidents(view)
 	var out []media.ClipID
 	var freed media.Bytes
 	for freed < need && len(remaining) > 0 {
@@ -146,9 +146,9 @@ func TestDifferentialAgainstBruteForce(t *testing.T) {
 					t.Fatalf("k=%d seed=%d req %d (clip %d): outcome %v vs reference %v",
 						k, seed, i, id, a, b)
 				}
-				if !reflect.DeepEqual(real.ResidentIDs(), ref.ResidentIDs()) {
+				if !reflect.DeepEqual(core.CollectResidentIDs(real), core.CollectResidentIDs(ref)) {
 					t.Fatalf("k=%d seed=%d req %d: resident sets diverged:\nreal %v\nref  %v",
-						k, seed, i, real.ResidentIDs(), ref.ResidentIDs())
+						k, seed, i, core.CollectResidentIDs(real), core.CollectResidentIDs(ref))
 				}
 			}
 			if real.Stats() != ref.Stats() {

@@ -103,7 +103,7 @@ func (p *Policy) Victims(_ media.Clip, view core.ResidentView, need media.Bytes,
 	if !p.scan {
 		return p.victimsIndexed(view, need)
 	}
-	resident := view.ResidentClips()
+	resident := core.CollectResidents(view)
 	taken := make(map[media.ClipID]bool, len(resident))
 	var out []media.ClipID
 	var freed media.Bytes

@@ -65,7 +65,7 @@ func TestLRU1IsClassicLRU(t *testing.T) {
 		t.Fatal("clip 2 should be the LRU victim")
 	}
 	if !c.Resident(1) || !c.Resident(3) {
-		t.Fatalf("resident = %v", c.ResidentIDs())
+		t.Fatalf("resident = %v", core.CollectResidentIDs(c))
 	}
 }
 
@@ -117,7 +117,7 @@ func TestEvictsMaxBackwardKDistance(t *testing.T) {
 		t.Fatal("clip 1 has the max backward-2 distance and must be evicted")
 	}
 	if !c.Resident(2) || !c.Resident(3) {
-		t.Fatalf("resident = %v", c.ResidentIDs())
+		t.Fatalf("resident = %v", core.CollectResidentIDs(c))
 	}
 }
 
@@ -186,7 +186,7 @@ func TestVictimsBatchForLargeIncoming(t *testing.T) {
 		t.Fatal("two oldest clips must be evicted")
 	}
 	if !c.Resident(3) || !c.Resident(4) {
-		t.Fatalf("resident = %v", c.ResidentIDs())
+		t.Fatalf("resident = %v", core.CollectResidentIDs(c))
 	}
 }
 

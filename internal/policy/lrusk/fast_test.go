@@ -57,7 +57,7 @@ func TestFastBasicEviction(t *testing.T) {
 		t.Fatal("big clip should be evicted")
 	}
 	if !c.Resident(2) || !c.Resident(3) {
-		t.Fatalf("resident = %v", c.ResidentIDs())
+		t.Fatalf("resident = %v", core.CollectResidentIDs(c))
 	}
 }
 
@@ -115,7 +115,7 @@ func TestFastEquivalentToScan(t *testing.T) {
 						k, seed, i, id, a, b)
 				}
 			}
-			sa, sb := cScan.ResidentIDs(), cFast.ResidentIDs()
+			sa, sb := core.CollectResidentIDs(cScan), core.CollectResidentIDs(cFast)
 			if len(sa) != len(sb) {
 				t.Fatalf("k=%d seed=%d: resident counts differ (%d vs %d)", k, seed, len(sa), len(sb))
 			}
@@ -153,7 +153,7 @@ func TestFastEquivalenceProperty(t *testing.T) {
 				return false
 			}
 		}
-		sa, sb := cScan.ResidentIDs(), cFast.ResidentIDs()
+		sa, sb := core.CollectResidentIDs(cScan), core.CollectResidentIDs(cFast)
 		if len(sa) != len(sb) {
 			return false
 		}

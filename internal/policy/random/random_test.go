@@ -50,7 +50,7 @@ func TestDeterministicAcrossRuns(t *testing.T) {
 		for _, id := range seq {
 			c.Request(id)
 		}
-		return c.ResidentIDs()
+		return core.CollectResidentIDs(c)
 	}
 	a, b := run(), run()
 	if len(a) != len(b) {
@@ -69,7 +69,7 @@ func TestDifferentSeedsCanDiffer(t *testing.T) {
 		for i := 0; i < 60; i++ {
 			c.Request(media.ClipID(i%6 + 1))
 		}
-		return c.ResidentIDs()
+		return core.CollectResidentIDs(c)
 	}
 	same := true
 	base := run(1)
@@ -98,12 +98,12 @@ func TestResetRewindsStream(t *testing.T) {
 	for _, id := range seq {
 		c.Request(id)
 	}
-	first := c.ResidentIDs()
+	first := core.CollectResidentIDs(c)
 	c.Reset()
 	for _, id := range seq {
 		c.Request(id)
 	}
-	second := c.ResidentIDs()
+	second := core.CollectResidentIDs(c)
 	for i := range first {
 		if first[i] != second[i] {
 			t.Fatal("Reset must rewind the random stream for identical replay")

@@ -156,7 +156,7 @@ func (p *Policy) Victims(incoming media.Clip, view core.ResidentView, need media
 	if !p.scan {
 		return p.victimsIndexed(view, need)
 	}
-	resident := view.ResidentClips()
+	resident := core.CollectResidents(view)
 	sort.Slice(resident, func(i, j int) bool {
 		bi, bj := p.ByteFreq(resident[i]), p.ByteFreq(resident[j])
 		if bi != bj {

@@ -199,7 +199,7 @@ func TestHotWorkingSetConverges(t *testing.T) {
 		}
 	}
 	if !c.Resident(1) || !c.Resident(2) {
-		t.Fatalf("hot clips should be resident; got %v", c.ResidentIDs())
+		t.Fatalf("hot clips should be resident; got %v", core.CollectResidentIDs(c))
 	}
 }
 

@@ -1,0 +1,242 @@
+package shard
+
+// batch.go is the pool half of the batched request API: callers submit an
+// ordered list of clip references (optionally ranged) and get per-item
+// outcomes back. Items are grouped by owning shard and the groups proceed
+// concurrently; within a shard the engine work for the whole group runs
+// under a bounded number of lock acquisitions instead of one per item —
+// zero when every item is a published-view hit, one when nothing needs
+// fetching, two when misses were fetched outside the lock.
+
+import (
+	"sync"
+
+	"mediacache/internal/core"
+	"mediacache/internal/media"
+)
+
+// BatchItem is one reference in a RequestBatch call.
+type BatchItem struct {
+	// ID is the referenced clip.
+	ID media.ClipID
+	// Ranged selects the partial-content form: bytes [Start, Start+Length)
+	// are referenced, with negative Length meaning "to the end of the
+	// clip". When false the whole clip is referenced and Start/Length are
+	// ignored.
+	Ranged bool
+	Start  media.Bytes
+	Length media.Bytes
+}
+
+// BatchResult is the outcome of one BatchItem, in the same position.
+type BatchResult struct {
+	// Outcome classifies the servicing. For ranged items it is
+	// Range.Outcome, duplicated here so callers can switch uniformly.
+	Outcome core.Outcome
+	// Range carries the byte-level accounting for ranged items; zero for
+	// whole-clip items.
+	Range core.RangeResult
+	// Err is the per-item engine error, if any (unknown clip, policy
+	// misbehaviour). Other items in the batch are unaffected.
+	Err error
+}
+
+// RequestBatch services an ordered list of references and returns one
+// result per item, positionally. Items are routed to their owning shards
+// and shard groups proceed concurrently; items within a shard group are
+// serviced in submission order. Outcomes and statistics are exactly those
+// of issuing the items individually — the batch form only amortizes lock
+// acquisitions and, like Request, coalesces concurrent fetches of the same
+// clip through the flight group.
+func (p *Pool) RequestBatch(items []BatchItem) []BatchResult {
+	out := make([]BatchResult, len(items))
+	if len(items) == 0 {
+		return out
+	}
+	p.batches.Add(1)
+	if len(p.shards) == 1 {
+		p.batchShard(p.shards[0], items, nil, out)
+		return out
+	}
+	groups := make([][]int, len(p.shards))
+	for i := range items {
+		si := p.ShardFor(items[i].ID)
+		groups[si] = append(groups[si], i)
+	}
+	var wg sync.WaitGroup
+	for si, idxs := range groups {
+		if len(idxs) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(s *poolShard, idxs []int) {
+			defer wg.Done()
+			p.batchShard(s, items, idxs, out)
+		}(p.shards[si], idxs)
+	}
+	wg.Wait()
+	return out
+}
+
+// batchShard services one shard's slice of a batch. idxs lists the item
+// indices owned by this shard in submission order; nil means all of them
+// (the single-shard pool).
+func (p *Pool) batchShard(s *poolShard, items []BatchItem, idxs []int, out []BatchResult) {
+	n := len(idxs)
+	if idxs == nil {
+		n = len(items)
+	}
+	at := func(k int) int {
+		if idxs == nil {
+			return k
+		}
+		return idxs[k]
+	}
+
+	// Pure-hit groups: every item whole-clip and in the published view.
+	// Touches enqueue under one buffer-lock acquisition; the engine lock is
+	// not taken at all.
+	if p.fastPath {
+		allHit := true
+		for k := 0; k < n; k++ {
+			it := &items[at(k)]
+			if it.Ranged || !s.mirror.Resident(it.ID) {
+				allHit = false
+				break
+			}
+		}
+		if allHit {
+			ids := make([]media.ClipID, n)
+			for k := 0; k < n; k++ {
+				i := at(k)
+				ids[k] = items[i].ID
+				out[i] = BatchResult{Outcome: core.Hit}
+			}
+			p.recordTouchSlice(s, ids)
+			return
+		}
+	}
+
+	// Segment-granular pools fetch per missing segment with per-item
+	// flight staging; the batch form keeps submission order per shard and
+	// cross-shard concurrency, but does not amortize the lock further.
+	if p.segFetch != nil && p.segSize > 0 {
+		for k := 0; k < n; k++ {
+			i := at(k)
+			it := &items[i]
+			if it.Ranged {
+				res, err := p.RequestRange(it.ID, it.Start, it.Length)
+				out[i] = BatchResult{Outcome: res.Outcome, Range: res, Err: err}
+			} else {
+				o, err := p.Request(it.ID)
+				out[i] = BatchResult{Outcome: o, Err: err}
+			}
+		}
+		return
+	}
+
+	// Whole-clip engines. Probe under the lock for items that will reach
+	// the engine's fetch path, fetch each distinct missing clip outside it
+	// (sharing flights with concurrent requests), then apply every item in
+	// order under one acquisition with the results staged.
+	var missing []media.Clip
+	if p.fetch != nil {
+		p.lockDrained(s)
+		var seen map[media.ClipID]struct{}
+		for k := 0; k < n; k++ {
+			it := &items[at(k)]
+			clip, known := p.repo.Lookup(it.ID)
+			if !known || s.cache.Resident(it.ID) || clip.Size > s.cache.Capacity() {
+				continue
+			}
+			if seen == nil {
+				seen = make(map[media.ClipID]struct{}, n)
+			}
+			if _, dup := seen[clip.ID]; dup {
+				continue
+			}
+			seen[clip.ID] = struct{}{}
+			missing = append(missing, clip)
+		}
+		if len(missing) == 0 {
+			// Nothing to fetch: service the whole group under the lock we
+			// already hold.
+			p.applyBatchLocked(s, items, idxs, out, nil)
+			s.mu.Unlock()
+			return
+		}
+		// The engine stamps fetches with the servicing request's tick; the
+		// best estimate before re-locking is the next tick of this shard's
+		// clock, exactly as in Request.
+		now := s.cache.Now() + 1
+		s.mu.Unlock()
+
+		errs := make(map[media.ClipID]error, len(missing))
+		if len(missing) == 1 {
+			clip := missing[0]
+			errs[clip.ID] = p.flight.do(flightKey{id: clip.ID, seg: wholeClip}, func() error {
+				p.fetches.Add(1)
+				return p.fetch(clip, now)
+			})
+		} else {
+			var (
+				wg sync.WaitGroup
+				mu sync.Mutex
+			)
+			wg.Add(len(missing))
+			for _, clip := range missing {
+				go func(clip media.Clip) {
+					defer wg.Done()
+					err := p.flight.do(flightKey{id: clip.ID, seg: wholeClip}, func() error {
+						p.fetches.Add(1)
+						return p.fetch(clip, now)
+					})
+					mu.Lock()
+					errs[clip.ID] = err
+					mu.Unlock()
+				}(clip)
+			}
+			wg.Wait()
+		}
+
+		p.lockDrained(s)
+		p.applyBatchLocked(s, items, idxs, out, errs)
+		s.mu.Unlock()
+		return
+	}
+
+	p.lockDrained(s)
+	p.applyBatchLocked(s, items, idxs, out, nil)
+	s.mu.Unlock()
+}
+
+// applyBatchLocked services a shard group in submission order under the
+// held engine lock, staging any pre-resolved fetch results item by item. A
+// miss whose clip was not pre-fetched (evicted or newly referenced between
+// probe and apply) falls through shardFetch to the pool's fetch hook, which
+// runs under the lock — rare enough not to matter, and identical to what a
+// Warm-path fetch does today.
+func (p *Pool) applyBatchLocked(s *poolShard, items []BatchItem, idxs []int, out []BatchResult, errs map[media.ClipID]error) {
+	n := len(idxs)
+	if idxs == nil {
+		n = len(items)
+	}
+	for k := 0; k < n; k++ {
+		i := k
+		if idxs != nil {
+			i = idxs[k]
+		}
+		it := &items[i]
+		if err, ok := errs[it.ID]; ok {
+			s.pre = preFetch{id: it.ID, err: err, ok: true}
+		}
+		if it.Ranged {
+			res, err := s.cache.RequestRange(it.ID, it.Start, it.Length)
+			out[i] = BatchResult{Outcome: res.Outcome, Range: res, Err: err}
+		} else {
+			o, err := s.cache.Request(it.ID)
+			out[i] = BatchResult{Outcome: o, Err: err}
+		}
+		s.pre = preFetch{}
+	}
+}

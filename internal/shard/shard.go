@@ -99,6 +99,21 @@ type poolShard struct {
 	// missBuf is the shard's reusable probe buffer for missing-segment
 	// scans under mu.
 	missBuf []int32
+
+	// mirror is the engine's published residency view. On unsegmented
+	// pools the read-mostly hit path consults it without taking mu; the
+	// engine keeps it in sync under mu via core.WithResidencyMirror.
+	mirror core.ResidencyMirror
+	// touchMu guards the pending-touch buffers. It is never held while
+	// acquiring mu (drains swap the buffer out first), so the hot append
+	// path contends only on this short critical section.
+	touchMu sync.Mutex
+	// touches holds fast-path hits whose policy bookkeeping has not yet
+	// been replayed into the engine; drained under one mu acquisition.
+	touches []media.ClipID
+	// touchSpare is the standby buffer swapped in during a drain so the
+	// steady state recycles two allocations.
+	touchSpare []media.ClipID
 }
 
 // preFetch is a pre-resolved fetch result.
@@ -126,9 +141,22 @@ type Pool struct {
 	shards   []*poolShard
 	flight   flightGroup
 
+	// fastPath enables the lock-reduced hit path: pure hits are served off
+	// each shard's published residency mirror and only enqueue a policy
+	// touch. Set for unsegmented pools; segment-granular pools account
+	// residency per byte range and always take the engine path.
+	fastPath bool
+
 	// fetches counts logical fetch executions (flight leaders); coalesced
 	// counts requests that joined an already in-flight fetch.
 	fetches atomic.Uint64
+	// fastHits counts hits served off the published residency view without
+	// the shard lock; touchFlushes counts the batched drains that replayed
+	// them into the engines.
+	fastHits     atomic.Uint64
+	touchFlushes atomic.Uint64
+	// batches counts RequestBatch calls.
+	batches atomic.Uint64
 }
 
 // New builds a pool per cfg.
@@ -155,6 +183,7 @@ func New(cfg Config) (*Pool, error) {
 		segSize:  cfg.SegmentSize,
 		segFetch: cfg.SegmentFetch,
 		shards:   make([]*poolShard, n),
+		fastPath: cfg.SegmentSize == 0,
 	}
 	if p.segSize > 0 && p.segFetch == nil && p.fetch != nil {
 		// Adapt the whole-clip fetch: each missing segment is its own
@@ -189,6 +218,11 @@ func New(cfg Config) (*Pool, error) {
 		opts := []core.Option{}
 		if cfg.ShardOptions != nil {
 			opts = append(opts, cfg.ShardOptions(i)...)
+		}
+		if p.fastPath {
+			opts = append(opts, core.WithResidencyMirror(&s.mirror))
+			s.touches = make([]media.ClipID, 0, touchBatchSize+16)
+			s.touchSpare = make([]media.ClipID, 0, touchBatchSize+16)
 		}
 		if cfg.SegmentSize > 0 {
 			opts = append(opts, core.WithSegments(cfg.SegmentSize))
@@ -296,12 +330,19 @@ func (p *Pool) Coalesced() uint64 { return p.flight.coalesced.Load() }
 // bytes a waiter would have received.
 func (p *Pool) Request(id media.ClipID) (core.Outcome, error) {
 	s := p.shards[p.ShardFor(id)]
+	// Read-mostly fast path: a clip in the shard's published residency view
+	// is a hit. The bytes stream without the engine lock; only the policy
+	// touch is enqueued, to be replayed in a batch under one acquisition.
+	if p.fastPath && s.mirror.Resident(id) {
+		p.recordTouch(s, id)
+		return core.Hit, nil
+	}
 	if p.fetch == nil {
-		s.mu.Lock()
+		p.lockDrained(s)
 		defer s.mu.Unlock()
 		return s.cache.Request(id)
 	}
-	s.mu.Lock()
+	p.lockDrained(s)
 	clip, known := p.repo.Lookup(id)
 	// Requests that cannot reach the engine's fetch path — hits, unknown
 	// clips, and clips the shard could never admit — run under the lock
@@ -321,7 +362,7 @@ func (p *Pool) Request(id media.ClipID) (core.Outcome, error) {
 		return p.fetch(clip, now)
 	})
 
-	s.mu.Lock()
+	p.lockDrained(s)
 	s.pre = preFetch{id: id, err: ferr, ok: true}
 	out, err := s.cache.Request(id)
 	s.pre = preFetch{}
@@ -343,7 +384,7 @@ func (p *Pool) RequestRange(id media.ClipID, start, length media.Bytes) (core.Ra
 	if p.segFetch == nil || p.segSize == 0 {
 		// No per-segment fetching: the engine resolves the range entirely
 		// under the lock (unsegmented pools delegate to Request inside).
-		s.mu.Lock()
+		p.lockDrained(s)
 		defer s.mu.Unlock()
 		return s.cache.RequestRange(id, start, length)
 	}
@@ -417,7 +458,7 @@ func (p *Pool) RequestRange(id media.ClipID, start, length media.Bytes) (core.Ra
 // ordering deadlock is possible).
 func (p *Pool) Stats() core.Stats {
 	var sum core.Stats
-	p.lockAll()
+	p.lockAllDrained()
 	for _, s := range p.shards {
 		sum = sum.Add(s.cache.Stats())
 	}
@@ -457,7 +498,7 @@ func statOf(i int, s *poolShard) ShardStat {
 // shard — the cheap path for per-shard metric scrapes.
 func (p *Pool) ShardStat(i int) ShardStat {
 	s := p.shards[i]
-	s.mu.Lock()
+	p.lockDrained(s)
 	defer s.mu.Unlock()
 	return statOf(i, s)
 }
@@ -466,7 +507,7 @@ func (p *Pool) ShardStat(i int) ShardStat {
 // consistent snapshot, in shard-index order.
 func (p *Pool) ShardStats() []ShardStat {
 	out := make([]ShardStat, len(p.shards))
-	p.lockAll()
+	p.lockAllDrained()
 	for i, s := range p.shards {
 		out[i] = statOf(i, s)
 	}
@@ -486,7 +527,7 @@ func (p *Pool) PrefixSegments() int {
 // shards; zero on unsegmented pools.
 func (p *Pool) ResidentSegments() int {
 	var sum int
-	p.lockAll()
+	p.lockAllDrained()
 	for _, s := range p.shards {
 		sum += s.cache.ResidentSegments()
 	}
@@ -498,7 +539,7 @@ func (p *Pool) ResidentSegments() int {
 // when fully resident, 0 when absent), locking only the owning shard.
 func (p *Pool) ResidentBytes(id media.ClipID) media.Bytes {
 	s := p.shards[p.ShardFor(id)]
-	s.mu.Lock()
+	p.lockDrained(s)
 	defer s.mu.Unlock()
 	return s.cache.ResidentBytes(id)
 }
@@ -507,7 +548,7 @@ func (p *Pool) ResidentBytes(id media.ClipID) media.Bytes {
 // extents in ascending offset order, locking only the owning shard.
 func (p *Pool) ResidentExtentsOf(id media.ClipID) []core.Extent {
 	s := p.shards[p.ShardFor(id)]
-	s.mu.Lock()
+	p.lockDrained(s)
 	defer s.mu.Unlock()
 	return s.cache.ResidentExtentsOf(id)
 }
@@ -538,7 +579,7 @@ func (p *Pool) Capacity() media.Bytes {
 // UsedBytes returns the bytes occupied across all shards.
 func (p *Pool) UsedBytes() media.Bytes {
 	var sum media.Bytes
-	p.lockAll()
+	p.lockAllDrained()
 	for _, s := range p.shards {
 		sum += s.cache.UsedBytes()
 	}
@@ -549,7 +590,7 @@ func (p *Pool) UsedBytes() media.Bytes {
 // FreeBytes returns the unused capacity across all shards.
 func (p *Pool) FreeBytes() media.Bytes {
 	var sum media.Bytes
-	p.lockAll()
+	p.lockAllDrained()
 	for _, s := range p.shards {
 		sum += s.cache.FreeBytes()
 	}
@@ -560,7 +601,7 @@ func (p *Pool) FreeBytes() media.Bytes {
 // NumResident returns the number of clips cached across all shards.
 func (p *Pool) NumResident() int {
 	var sum int
-	p.lockAll()
+	p.lockAllDrained()
 	for _, s := range p.shards {
 		sum += s.cache.NumResident()
 	}
@@ -572,7 +613,7 @@ func (p *Pool) NumResident() int {
 // ID) under a consistent all-shards lock.
 func (p *Pool) residentsSnapshot() [][]media.Clip {
 	per := make([][]media.Clip, len(p.shards))
-	p.lockAll()
+	p.lockAllDrained()
 	for i, s := range p.shards {
 		clips := make([]media.Clip, 0, s.cache.NumResident())
 		for c := range s.cache.Residents() {
@@ -635,7 +676,7 @@ func (p *Pool) Residency() ([]ClipResidency, media.Bytes) {
 		all  []ClipResidency
 		used media.Bytes
 	)
-	p.lockAll()
+	p.lockAllDrained()
 	for _, s := range p.shards {
 		used += s.cache.UsedBytes()
 		for c := range s.cache.Residents() {
@@ -670,7 +711,9 @@ func (p *Pool) ResidentIDs() []media.ClipID {
 // Reset clears every shard's residency, statistics and policy state under
 // one consistent lock.
 func (p *Pool) Reset() {
-	p.lockAll()
+	// Pending touches belong to the pre-reset epoch: replay them into the
+	// old state first so they cannot leak into the fresh counters.
+	p.lockAllDrained()
 	for _, s := range p.shards {
 		s.cache.Reset()
 	}
@@ -684,7 +727,7 @@ func (p *Pool) Reset() {
 // produces exactly the snapshot its underlying cache would.
 func (p *Pool) Snapshot() core.Snapshot {
 	subs := make([]core.Snapshot, len(p.shards))
-	p.lockAll()
+	p.lockAllDrained()
 	for i, s := range p.shards {
 		subs[i] = s.cache.Snapshot()
 	}
@@ -789,7 +832,7 @@ func (p *Pool) Restore(snap core.Snapshot) error {
 				sizes[i], i, s.cache.Capacity())
 		}
 	}
-	p.lockAll()
+	p.lockAllDrained()
 	defer p.unlockAll()
 	for i, s := range p.shards {
 		sub := core.Snapshot{

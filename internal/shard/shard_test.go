@@ -105,7 +105,7 @@ func TestSingleShardEquivalence(t *testing.T) {
 			if ps, cs := pool.Stats(), cache.Stats(); ps != cs {
 				t.Fatalf("stats diverged:\npool  %+v\ncache %+v", ps, cs)
 			}
-			pids, cids := pool.ResidentIDs(), cache.ResidentIDs()
+			pids, cids := pool.ResidentIDs(), core.CollectResidentIDs(cache)
 			if len(pids) != len(cids) {
 				t.Fatalf("resident sets diverged: %v vs %v", pids, cids)
 			}
