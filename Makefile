@@ -1,7 +1,7 @@
 GO ?= go
 BENCH_DATE := $(shell date +%Y-%m-%d)
 
-.PHONY: build test vet race racecheck alloccheck rangecheck loadcheck check bench loadbench benchcmp fuzz-smoke
+.PHONY: build test vet race racecheck alloccheck rangecheck loadcheck churncheck check bench loadbench benchcmp fuzz-smoke
 
 # Each fuzz target gets a short smoke budget; go test allows only one
 # -fuzz pattern per invocation, so targets run sequentially.
@@ -20,7 +20,8 @@ race:
 	$(GO) test -race ./...
 
 # racecheck reruns the concurrency-heavy packages — the sharded pool, its
-# metrics adapter and the server's chaos drive — under the race detector
+# metrics adapter and the server's chaos drives (fault injection and the
+# concurrent GET/DELETE/expiry churn drive) — under the race detector
 # with fresh state each time, to shake out order-dependent interleavings
 # a single pass can miss. `race` already covers every package once.
 racecheck:
@@ -46,11 +47,20 @@ rangecheck:
 loadcheck:
 	$(GO) run ./cmd/loadgen -check
 
+# churncheck runs the catalog-churn conformance surface: the churn grammar
+# and generator, the invalidation/TTL property suite over every registry
+# policy, the 1-shard-equals-bare differential with TTL, the DELETE route
+# and its client fallback, and the churn experiment's determinism.
+churncheck:
+	$(GO) test -run 'Churn|Invalidate|TTL|Expir|Delete' -count=1 \
+		./internal/workload ./internal/core ./internal/shard \
+		./internal/sim ./internal/cacheclient ./cmd/cacheserver
+
 # check is the tier-1 gate plus static analysis, the race detector, the
-# request-path allocation assertion, the Range-conformance surface and the
-# open-loop load smoke. vet and test cover every package, including
-# internal/metrics and internal/obs.
-check: build vet test race alloccheck rangecheck loadcheck
+# request-path allocation assertion, the Range-conformance surface, the
+# open-loop load smoke and the catalog-churn surface. vet and test cover
+# every package, including internal/metrics and internal/obs.
+check: build vet test race alloccheck rangecheck loadcheck churncheck
 
 # bench runs the full benchmark suite and archives the run as test2json
 # events (one dated file per day; reruns overwrite).
@@ -76,5 +86,6 @@ benchcmp:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzReadCSV$$' -fuzztime $(FUZZTIME) ./internal/workload
 	$(GO) test -run '^$$' -fuzz '^FuzzParseSpec$$' -fuzztime $(FUZZTIME) ./internal/workload
+	$(GO) test -run '^$$' -fuzz '^FuzzParseChurn$$' -fuzztime $(FUZZTIME) ./internal/workload
 	$(GO) test -run '^$$' -fuzz '^FuzzReadRepositoryCSV$$' -fuzztime $(FUZZTIME) ./internal/media
 	$(GO) test -run '^$$' -fuzz '^FuzzParseProfile$$' -fuzztime $(FUZZTIME) ./internal/fault

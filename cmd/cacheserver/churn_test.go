@@ -1,0 +1,237 @@
+package main
+
+// churn_test.go (ISSUE 8): the catalog-churn surface of the HTTP API —
+// DELETE /v1/clips/{id} semantics, TTL surfacing on /v1/stats and the clip
+// detail, pre-churn wire compatibility when TTL is off, and a race-detector
+// chaos drive mixing concurrent readers with invalidations and expiry
+// sweeps (rides in `make racecheck`, which covers ./cmd/cacheserver).
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"testing"
+
+	"mediacache/internal/api"
+	"mediacache/internal/vtime"
+)
+
+// doDelete issues DELETE url and returns the response (body closed).
+func doDelete(t *testing.T, url string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp
+}
+
+func TestDeleteClip(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	// Cache clip 1, then invalidate it: 204, freed bytes in the header.
+	var clip api.Clip
+	getJSON(t, ts.URL+"/v1/clips/1", &clip)
+	resp := doDelete(t, ts.URL+"/v1/clips/1")
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("DELETE resident clip: status %d, want 204", resp.StatusCode)
+	}
+	freed, err := strconv.ParseInt(resp.Header.Get("X-Cache-Invalidated-Bytes"), 10, 64)
+	if err != nil || freed != clip.SizeBytes {
+		t.Fatalf("X-Cache-Invalidated-Bytes = %q (err %v), want %d",
+			resp.Header.Get("X-Cache-Invalidated-Bytes"), err, clip.SizeBytes)
+	}
+
+	// Idempotent: deleting again is still 204, now freeing nothing.
+	resp = doDelete(t, ts.URL+"/v1/clips/1")
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("repeat DELETE: status %d, want 204", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Cache-Invalidated-Bytes"); got != "0" {
+		t.Fatalf("repeat DELETE freed %q bytes, want 0", got)
+	}
+
+	// The next reference misses again — the invalidation really dropped it.
+	getJSON(t, ts.URL+"/v1/clips/1", &clip)
+	if clip.Hit {
+		t.Fatal("clip hit immediately after invalidation")
+	}
+
+	// Errors: malformed id 400, id outside the repository 404.
+	if resp := doDelete(t, ts.URL+"/v1/clips/bogus"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("DELETE bad id: status %d, want 400", resp.StatusCode)
+	}
+	if resp := doDelete(t, ts.URL+"/v1/clips/99999"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("DELETE unknown clip: status %d, want 404", resp.StatusCode)
+	}
+
+	// Exactly one invalidation counted: the idempotent repeat and the error
+	// paths must not inflate the counter, and invalidations are not requests.
+	var stats api.Stats
+	getJSON(t, ts.URL+"/v1/stats", &stats)
+	if stats.Invalidated != 1 || stats.BytesInvalidated != clip.SizeBytes {
+		t.Fatalf("stats report %d invalidations / %d bytes, want 1 / %d",
+			stats.Invalidated, stats.BytesInvalidated, clip.SizeBytes)
+	}
+	if stats.Requests != 2 {
+		t.Fatalf("stats report %d requests, want 2 (invalidations are not requests)", stats.Requests)
+	}
+}
+
+func TestTTLSurfacedOnStatsAndClip(t *testing.T) {
+	cfg := testConfig()
+	cfg.ttl = 5000
+	_, ts := newTestServerConfig(t, cfg)
+
+	var clip api.Clip
+	getJSON(t, ts.URL+"/v1/clips/3", &clip)
+	// First reference at tick 1, so the cached copy expires at 1+ttl.
+	if clip.ExpiresAtTick != 5001 {
+		t.Fatalf("expiresAtTick = %d, want 5001", clip.ExpiresAtTick)
+	}
+	var stats api.Stats
+	getJSON(t, ts.URL+"/v1/stats", &stats)
+	if stats.TTLTicks != 5000 {
+		t.Fatalf("ttlTicks = %d, want 5000", stats.TTLTicks)
+	}
+}
+
+// TestPreChurnWireShape: a TTL-off server that never saw a DELETE answers
+// /v1/stats and the clip detail without any of the churn fields — the
+// live-server half of the pre-churn compatibility promise (the marshalling
+// half is pinned by goldens in internal/api).
+func TestPreChurnWireShape(t *testing.T) {
+	_, ts := newTestServer(t)
+	getJSON(t, ts.URL+"/v1/clips/2", nil)
+
+	for path, fields := range map[string][]string{
+		"/v1/stats":   {"ttlTicks", "invalidated", "expired", "bytesInvalidated"},
+		"/v1/clips/2": {"expiresAtTick"},
+	} {
+		var doc map[string]any
+		getJSON(t, ts.URL+path, &doc)
+		for _, f := range fields {
+			if _, ok := doc[f]; ok {
+				t.Errorf("%s: churn field %q present on a TTL-off server", path, f)
+			}
+		}
+	}
+}
+
+// TestExpiryVisibleOverHTTP drives enough requests through a short-TTL
+// server that clips expire, then checks the sweep surfaced in /v1/stats.
+func TestExpiryVisibleOverHTTP(t *testing.T) {
+	cfg := testConfig()
+	cfg.ttl = 20
+	_, ts := newTestServerConfig(t, cfg)
+
+	for i := 0; i < 300; i++ {
+		getJSON(t, fmt.Sprintf("%s/v1/clips/%d", ts.URL, i%7+1), nil)
+	}
+	var stats api.Stats
+	getJSON(t, ts.URL+"/v1/stats", &stats)
+	if stats.Expired == 0 {
+		t.Fatalf("no expiries after 300 requests at ttl 20: %+v", stats)
+	}
+	if stats.Expired > stats.Invalidated {
+		t.Fatalf("expired %d exceeds invalidated %d", stats.Expired, stats.Invalidated)
+	}
+}
+
+// TestConcurrentDeleteChaos is the race-detector drive of ISSUE 8: several
+// goroutines hammer GETs while others issue DELETEs for the same ids on a
+// sharded, short-TTL server (so lazy expiry and the amortized sweep fire
+// under load, concurrently with stats snapshots). Afterwards the counting
+// and byte identities must hold on the drained statistics.
+func TestConcurrentDeleteChaos(t *testing.T) {
+	cfg := testConfig()
+	cfg.shards = 4
+	cfg.ttl = vtime.Duration(50)
+	_, ts := newTestServerConfig(t, cfg)
+
+	const (
+		readers  = 4
+		deleters = 2
+		rounds   = 150
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < readers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				id := (i*7+w*13)%25 + 1
+				resp, err := http.Get(fmt.Sprintf("%s/v1/clips/%d", ts.URL, id))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("GET clip %d: status %d", id, resp.StatusCode)
+					return
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < deleters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				id := (i*5+w*17)%25 + 1
+				req, err := http.NewRequest(http.MethodDelete,
+					fmt.Sprintf("%s/v1/clips/%d", ts.URL, id), nil)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusNoContent {
+					t.Errorf("DELETE clip %d: status %d", id, resp.StatusCode)
+					return
+				}
+				if i%40 == 0 {
+					resp, err := http.Get(ts.URL + "/v1/stats")
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					json.NewDecoder(resp.Body).Decode(&api.Stats{})
+					resp.Body.Close()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var stats api.Stats
+	getJSON(t, ts.URL+"/v1/stats", &stats)
+	if want := uint64(readers * rounds); stats.Requests != want {
+		t.Fatalf("stats report %d requests, drove %d (DELETEs must not count)", stats.Requests, want)
+	}
+	if stats.Hits+stats.BypassedMisses+stats.DegradedMisses > stats.Requests {
+		t.Fatalf("counting identity broken under churn chaos: %+v", stats)
+	}
+	if stats.Invalidated == 0 {
+		t.Fatalf("chaos drive produced no invalidations: %+v", stats)
+	}
+	if stats.Expired > stats.Invalidated {
+		t.Fatalf("expired %d exceeds invalidated %d", stats.Expired, stats.Invalidated)
+	}
+	if stats.UsedBytes < 0 || stats.UsedBytes > stats.CapacityBytes {
+		t.Fatalf("used bytes %d outside [0, %d]", stats.UsedBytes, stats.CapacityBytes)
+	}
+}

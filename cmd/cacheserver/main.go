@@ -18,6 +18,15 @@
 // that hides streaming startup latency. Without -segment every wire response
 // is byte-identical to pre-segment servers.
 //
+// With -ttl every cached clip expires after that many virtual ticks:
+// expired clips are invalidated lazily on access and by an amortized sweep
+// riding the engine's existing drain points, so the lock-reduced hit path
+// stays lock-free. DELETE /v1/clips/{id} invalidates a clip on demand —
+// the catalog-churn operation a publisher issues when a clip is replaced.
+// Invalidations are neither requests nor evictions: they never perturb the
+// hit/miss identities. Without -ttl and without DELETEs every response is
+// byte-identical to pre-churn servers.
+//
 // Endpoints (v1):
 //
 //	GET  /v1/clips/{id}  service a reference to clip id; returns the outcome,
@@ -27,6 +36,9 @@
 //	                     reports cached bytes in X-Cache-Resident-Bytes
 //	HEAD /v1/clips/{id}  the clip's Content-Length, Accept-Ranges and current
 //	                     X-Cache-Resident-Bytes without touching the cache
+//	DELETE /v1/clips/{id} invalidate the clip's cached bytes immediately
+//	                     (204; idempotent; X-Cache-Invalidated-Bytes reports
+//	                     the freed bytes) without touching request statistics
 //	GET  /v1/stats       accumulated cache statistics, aggregated over all
 //	                     shards under one consistent snapshot (plus segment
 //	                     counters on segmented servers)
@@ -69,8 +81,8 @@
 // Usage:
 //
 //	cacheserver -addr :8377 -policy dynsimple:2 -ratio 0.125 -alloc 4000000 [-shards 8]
-//	            [-segment 268435456] [-prefix 2] [-pprof] [-trace] [-faults p=0.05]
-//	            [-maxinflight 256] [-memlimit 1073741824]
+//	            [-segment 268435456] [-prefix 2] [-ttl 5000] [-pprof] [-trace]
+//	            [-faults p=0.05] [-maxinflight 256] [-memlimit 1073741824]
 package main
 
 import (
@@ -84,6 +96,7 @@ import (
 	"mediacache/internal/fault"
 	"mediacache/internal/media"
 	"mediacache/internal/sim"
+	"mediacache/internal/vtime"
 	"mediacache/internal/zipf"
 )
 
@@ -98,6 +111,7 @@ func main() {
 	shards := fs.Int("shards", runtime.GOMAXPROCS(0), "cache shard count (1 = the single serialized engine)")
 	segment := fs.Int64("segment", 0, "segment size in bytes for segment-granular residency (0 = whole-clip caching)")
 	prefix := fs.Int("prefix", 0, "pin the first N segments of every clip (requires -segment)")
+	ttl := fs.Int64("ttl", 0, "clip time-to-live in virtual ticks; expired clips are invalidated (0 = no expiry)")
 	pprofFlag := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	trace := fs.Bool("trace", false, "log every cache event (hit/miss/eviction/bypass/restore) at debug level")
 	faultsFlag := fs.String("faults", "", `fault-injection profile for the clip route, e.g. "p=0.05" or "error=0.1,timeout=0.05,latency=20ms" ("" or "off" disables)`)
@@ -127,6 +141,7 @@ func main() {
 		shards:         *shards,
 		segmentSize:    media.Bytes(*segment),
 		prefixSegments: *prefix,
+		ttl:            vtime.Duration(*ttl),
 		logger:         logger,
 		trace:          *trace,
 		pprof:          *pprofFlag,

@@ -184,6 +184,7 @@ func (s *server) serveClipRange(w http.ResponseWriter, clip media.Clip, rng byte
 		resp.LatencySeconds = float64(lat)
 	}
 	s.decorateSegmented(&resp, clip)
+	s.decorateTTL(&resp, clip.ID)
 	w.Header().Set("Accept-Ranges", "bytes")
 	s.setResidentBytesHeader(w, clip.ID)
 	if rng.start == 0 && rng.length == clip.Size && res.Outcome.IsHit() {

@@ -18,6 +18,7 @@ import (
 	"mediacache/internal/policy/registry"
 	"mediacache/internal/shard"
 	"mediacache/internal/sim"
+	"mediacache/internal/vtime"
 )
 
 // config bundles everything newServer needs. Zero values are invalid for
@@ -35,7 +36,12 @@ type config struct {
 	// per segment); prefixSegments pins the first N segments of every clip.
 	segmentSize    media.Bytes
 	prefixSegments int
-	logger         *slog.Logger // access log + event traces; nil discards
+	// ttl > 0 gives every cached clip a time-to-live of that many virtual
+	// ticks: expired clips are invalidated lazily on access and by an
+	// amortized sweep, and DELETE /v1/clips/{id} drops a clip immediately.
+	// 0 disables expiry (the pre-churn behaviour).
+	ttl    vtime.Duration
+	logger *slog.Logger // access log + event traces; nil discards
 	trace          bool         // log every cache event at debug level
 	pprof          bool         // mount net/http/pprof under /debug/pprof/
 
@@ -114,6 +120,7 @@ func newServer(cfg config) (*server, error) {
 		Shards:         cfg.shards,
 		SegmentSize:    cfg.segmentSize,
 		PrefixSegments: cfg.prefixSegments,
+		TTL:            cfg.ttl,
 		ShardOptions:   shardOptions,
 	})
 	if err != nil {
@@ -149,6 +156,7 @@ func newServer(cfg config) (*server, error) {
 	}{
 		{"GET /clips/{id}", s.handleClip, true},
 		{"HEAD /clips/{id}", s.handleHeadClip, false},
+		{"DELETE /clips/{id}", s.handleDeleteClip, false},
 		{"POST /batch", s.handleBatch, false},
 		{"GET /stats", s.handleStats, true},
 		{"GET /resident", s.handleResident, true},
@@ -284,8 +292,41 @@ func (s *server) handleClip(w http.ResponseWriter, r *http.Request) {
 		resp.LatencySeconds = float64(lat)
 	}
 	s.decorateSegmented(&resp, clip)
+	s.decorateTTL(&resp, clip.ID)
 	w.Header().Set("Accept-Ranges", "bytes")
 	writeJSON(w, resp)
+}
+
+// decorateTTL attaches the clip's expiry tick on TTL-enabled servers. A
+// no-op otherwise — and for non-resident clips, whose deadline is zero and
+// therefore omitted — so pre-churn responses stay byte-identical.
+func (s *server) decorateTTL(resp *api.Clip, id media.ClipID) {
+	if s.pool.TTL() > 0 {
+		resp.ExpiresAtTick = int64(s.pool.DeadlineOf(id))
+	}
+}
+
+// handleDeleteClip services DELETE /v1/clips/{id}: drop the clip's cached
+// bytes immediately — the catalog invalidation a publisher issues when a
+// clip is replaced or withdrawn. Invalidation is not a request and not an
+// eviction: it leaves the request counters and the hit/miss identities
+// untouched. Idempotent — deleting a non-resident clip answers 204 with
+// zero freed bytes; only an id outside the repository is 404. The freed
+// byte count is reported in X-Cache-Invalidated-Bytes.
+func (s *server) handleDeleteClip(w http.ResponseWriter, r *http.Request) {
+	raw := r.PathValue("id")
+	id, err := strconv.Atoi(raw)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad clip id %q", raw)
+		return
+	}
+	if _, ok := s.pool.Repository().Lookup(media.ClipID(id)); !ok {
+		writeError(w, http.StatusNotFound, "clip %d not in repository", id)
+		return
+	}
+	freed := s.pool.Invalidate(media.ClipID(id))
+	w.Header().Set("X-Cache-Invalidated-Bytes", strconv.FormatInt(int64(freed), 10))
+	w.WriteHeader(http.StatusNoContent)
 }
 
 // handleStats services GET /v1/stats: every shard's counters aggregated
@@ -335,6 +376,15 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.PartialHits = st.PartialHits
 		resp.SegmentsFetched = st.SegmentsFetched
 		resp.SegmentsEvicted = st.SegmentsEvicted
+	}
+	// Catalog-dynamics counters: omitempty hides them on TTL-off servers
+	// that never invalidated, keeping the pre-churn wire shape
+	// byte-identical (TestPreChurnWireCompat in internal/api).
+	resp.Invalidated = st.Invalidated
+	resp.Expired = st.Expired
+	resp.BytesInvalidated = int64(st.BytesInvalidated)
+	if ttl := s.pool.TTL(); ttl > 0 {
+		resp.TTLTicks = int64(ttl)
 	}
 	writeJSON(w, resp)
 }

@@ -52,6 +52,10 @@ type Clip struct {
 	PrefixSegments int          `json:"prefixSegments,omitempty"`
 	Segments       *SegmentInfo `json:"segments,omitempty"`
 	Range          *RangeInfo   `json:"range,omitempty"`
+	// ExpiresAtTick is the virtual time (on the owning shard's clock) at
+	// which the clip's cached copy expires. Present only on TTL-enabled
+	// servers for resident clips, so pre-churn responses are unchanged.
+	ExpiresAtTick int64 `json:"expiresAtTick,omitempty"`
 }
 
 // BatchItem is one clip reference in a POST /v1/batch request. When
@@ -122,6 +126,14 @@ type Stats struct {
 	PartialHits      uint64 `json:"partialHits,omitempty"`
 	SegmentsFetched  uint64 `json:"segmentsFetched,omitempty"`
 	SegmentsEvicted  uint64 `json:"segmentsEvicted,omitempty"`
+
+	// Catalog-dynamics fields (ISSUE 8); all zero (and omitted) when TTL is
+	// off and nothing was invalidated, keeping the pre-churn wire shape
+	// byte-identical. TTLTicks is the per-clip expiry in virtual ticks.
+	TTLTicks         int64  `json:"ttlTicks,omitempty"`
+	Invalidated      uint64 `json:"invalidated,omitempty"`
+	Expired          uint64 `json:"expired,omitempty"`
+	BytesInvalidated int64  `json:"bytesInvalidated,omitempty"`
 }
 
 // ResidentClip is one entry of the detailed GET /v1/resident listing.

@@ -11,14 +11,14 @@ import (
 // breaking change that must fail here first.
 var wireFields = map[string][]string{
 	"Error":           {"error"},
-	"Clip":            {"clip", "kind", "sizeBytes", "outcome", "hit", "latencySeconds", "bytesResident", "prefixSegments", "segments", "range"},
+	"Clip":            {"clip", "kind", "sizeBytes", "outcome", "hit", "latencySeconds", "bytesResident", "prefixSegments", "segments", "range", "expiresAtTick"},
 	"SegmentInfo":     {"sizeBytes", "total", "resident"},
 	"RangeInfo":       {"startBytes", "lengthBytes", "bytesHit", "bytesFetched", "bytesFailed"},
 	"BatchItem":       {"clip", "startBytes", "lengthBytes"},
 	"BatchRequest":    {"items"},
 	"BatchItemResult": {"clip", "status", "outcome", "hit", "sizeBytes", "latencySeconds", "range", "error"},
 	"BatchResponse":   {"items", "shed"},
-	"Stats":           {"policy", "shards", "requests", "hits", "hitRate", "byteHitRate", "evictions", "bytesFetched", "bytesFailed", "degradedMisses", "residentClips", "usedBytes", "capacityBytes", "bypassedMisses", "victimCalls", "note", "segmentSizeBytes", "prefixSegments", "residentSegments", "partialHits", "segmentsFetched", "segmentsEvicted"},
+	"Stats":           {"policy", "shards", "requests", "hits", "hitRate", "byteHitRate", "evictions", "bytesFetched", "bytesFailed", "degradedMisses", "residentClips", "usedBytes", "capacityBytes", "bypassedMisses", "victimCalls", "note", "segmentSizeBytes", "prefixSegments", "residentSegments", "partialHits", "segmentsFetched", "segmentsEvicted", "ttlTicks", "invalidated", "expired", "bytesInvalidated"},
 	"ResidentClip":    {"id", "kind", "sizeBytes"},
 	"Resident":        {"clips", "total", "offset", "limit", "usedBytes", "freeBytes"},
 	"ResidentIDs":     {"clips", "usedBytes", "freeBytes"},
@@ -187,6 +187,79 @@ func TestBatchWireCompat(t *testing.T) {
 					fresh.Elem().Interface(), tc.v)
 			}
 		})
+	}
+}
+
+// TestPreChurnWireCompat freezes the ISSUE 8 compatibility promise: with
+// TTL disabled and no invalidations, every response marshals to exactly
+// the bytes a pre-churn (PR 7) server produced — including on segmented
+// servers — and pre-churn documents decode into the extended structs
+// without loss. The golden strings are hand-written and frozen; do not
+// regenerate them from the structs.
+func TestPreChurnWireCompat(t *testing.T) {
+	cases := []struct {
+		name   string
+		v      any
+		golden string
+	}{
+		{
+			"StatsSegmented",
+			Stats{Policy: "GreedyDual", Shards: 2, Requests: 50, Hits: 20, HitRate: 0.4, ByteHitRate: 0.3, Evictions: 3, BytesFetched: 777, ResidentClips: 4, UsedBytes: 500, CapacityBytes: 1000, VictimCalls: 5, SegmentSizeBytes: 1048576, ResidentSegments: 12, PartialHits: 2, SegmentsFetched: 9, SegmentsEvicted: 4},
+			`{"policy":"GreedyDual","shards":2,"requests":50,"hits":20,"hitRate":0.4,"byteHitRate":0.3,"evictions":3,"bytesFetched":777,"bytesFailed":0,"degradedMisses":0,"residentClips":4,"usedBytes":500,"capacityBytes":1000,"bypassedMisses":0,"victimCalls":5,"segmentSizeBytes":1048576,"residentSegments":12,"partialHits":2,"segmentsFetched":9,"segmentsEvicted":4}`,
+		},
+		{
+			"ClipSegmented",
+			Clip{Clip: 12, Kind: "audio", SizeBytes: 65536000, Outcome: "hit", Hit: true, BytesResident: 65536000, Segments: &SegmentInfo{SizeBytes: 1048576, Total: 63, Resident: 63}},
+			`{"clip":12,"kind":"audio","sizeBytes":65536000,"outcome":"hit","hit":true,"latencySeconds":0,"bytesResident":65536000,"segments":{"sizeBytes":1048576,"total":63,"resident":63}}`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b, err := json.Marshal(tc.v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(b) != tc.golden {
+				t.Errorf("TTL-off output changed:\n got %s\nwant %s", b, tc.golden)
+			}
+			fresh := reflect.New(reflect.TypeOf(tc.v))
+			if err := json.Unmarshal([]byte(tc.golden), fresh.Interface()); err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(fresh.Elem().Interface(), tc.v) {
+				t.Errorf("pre-churn document decoded with loss:\n got %+v\nwant %+v",
+					fresh.Elem().Interface(), tc.v)
+			}
+		})
+	}
+}
+
+// TestStatsOmitsChurnFieldsWhenOff: the four churn fields never appear in
+// a TTL-off, invalidation-free document.
+func TestStatsOmitsChurnFieldsWhenOff(t *testing.T) {
+	b, err := json.Marshal(Stats{Policy: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"ttlTicks", "invalidated", "expired", "bytesInvalidated"} {
+		if _, ok := m[field]; ok {
+			t.Errorf("%s should be omitted when zero: %s", field, b)
+		}
+	}
+	cb, err := json.Marshal(Clip{Clip: 1, Kind: "video"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cm map[string]any
+	if err := json.Unmarshal(cb, &cm); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cm["expiresAtTick"]; ok {
+		t.Errorf("expiresAtTick should be omitted when zero: %s", cb)
 	}
 }
 

@@ -128,7 +128,19 @@ type Client struct {
 	// deployment): later GetBatch calls go straight to per-clip GETs
 	// instead of re-probing the missing route on every batch.
 	noBatch atomic.Bool
+
+	// noDelete latches after the server 405s DELETE /v1/clips/{id} (a
+	// pre-churn deployment, whose method-patterned mux knows the path but
+	// not the method): later Delete calls fail fast with
+	// ErrDeleteUnsupported instead of re-probing.
+	noDelete atomic.Bool
 }
+
+// ErrDeleteUnsupported reports that the server predates catalog
+// invalidation (DELETE /v1/clips/{id} answers 405). The client latches the
+// first such answer, so subsequent Delete calls return this error without
+// a round trip.
+var ErrDeleteUnsupported = errors.New("cacheclient: server does not support clip invalidation")
 
 // New builds a client for the server at cfg.BaseURL.
 func New(cfg Config) (*Client, error) {
@@ -382,6 +394,25 @@ func (c *Client) GetBatch(ctx context.Context, ids []media.ClipID) ([]api.BatchI
 		res.Range = clip.Range
 	}
 	return out, nil
+}
+
+// Delete invalidates clip id's cached bytes (DELETE /v1/clips/{id}),
+// riding out transient faults. Idempotent on the server: deleting a
+// non-resident clip succeeds. A clip outside the repository surfaces as a
+// *StatusError with Status 404. Against a pre-churn server — whose mux
+// answers 405 for the known path with an unknown method — Delete returns
+// ErrDeleteUnsupported and latches, so callers can probe once and degrade.
+func (c *Client) Delete(ctx context.Context, id media.ClipID) error {
+	if c.noDelete.Load() {
+		return ErrDeleteUnsupported
+	}
+	err := c.do(ctx, http.MethodDelete, fmt.Sprintf("/v1/clips/%d", id), nil)
+	var se *StatusError
+	if errors.As(err, &se) && se.Status == http.StatusMethodNotAllowed {
+		c.noDelete.Store(true)
+		return ErrDeleteUnsupported
+	}
+	return err
 }
 
 // Healthz reports whether the server is live and internally consistent.

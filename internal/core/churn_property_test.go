@@ -1,0 +1,313 @@
+package core_test
+
+// churn_property_test.go (ISSUE 8) drives every registered policy through
+// randomized interleavings of requests, explicit Invalidate calls, TTL
+// expiry and fetch faults, asserting that the PR 4 counting and byte
+// identities survive arbitrary purge/expiry schedules and that an attached
+// ResidencyMirror never disagrees with the engine's resident set.
+
+import (
+	"fmt"
+	"testing"
+
+	"mediacache/internal/core"
+	"mediacache/internal/media"
+	_ "mediacache/internal/policy/all"
+	"mediacache/internal/policy/registry"
+	"mediacache/internal/randutil"
+	"mediacache/internal/vtime"
+)
+
+// churnObserver balances the full residency ledger: bytes enter via miss
+// inserts and leave via evictions OR invalidations, and the engine's used
+// counter must equal the running difference at every step.
+type churnObserver struct {
+	t                *testing.T
+	insertedBytes    media.Bytes
+	evictedBytes     media.Bytes
+	invalidatedBytes media.Bytes
+	evictions        uint64
+	invalidations    uint64
+}
+
+func (o *churnObserver) Observe(ev core.Event) {
+	switch ev.Type {
+	case core.EventMiss:
+		o.insertedBytes += ev.Bytes
+	case core.EventEviction:
+		o.evictedBytes += ev.Bytes
+		o.evictions++
+	case core.EventInvalidate:
+		o.invalidatedBytes += ev.Bytes
+		o.invalidations++
+	}
+}
+
+// checkChurnInvariants asserts the identities after any operation.
+func checkChurnInvariants(t *testing.T, c *core.Cache, obs *churnObserver, m *core.ResidencyMirror) {
+	t.Helper()
+	s := c.Stats()
+	if s.BytesHit+s.BytesFetched+s.BytesFailed != s.BytesReferenced {
+		t.Fatalf("byte identity broken: hit %v + fetched %v + failed %v != referenced %v",
+			s.BytesHit, s.BytesFetched, s.BytesFailed, s.BytesReferenced)
+	}
+	if s.Expired > s.Invalidated {
+		t.Fatalf("Expired %d exceeds Invalidated %d", s.Expired, s.Invalidated)
+	}
+	if obs.invalidations != s.Invalidated {
+		t.Fatalf("observer saw %d invalidations, stats report %d", obs.invalidations, s.Invalidated)
+	}
+	if obs.invalidatedBytes != s.BytesInvalidated {
+		t.Fatalf("observer invalidated bytes %v, stats report %v", obs.invalidatedBytes, s.BytesInvalidated)
+	}
+	if obs.evictions != s.Evictions {
+		t.Fatalf("observer saw %d evictions, stats report %d", obs.evictions, s.Evictions)
+	}
+	if got := obs.insertedBytes - obs.evictedBytes - obs.invalidatedBytes; got != c.UsedBytes() {
+		t.Fatalf("ledger imbalance: inserted %v - evicted %v - invalidated %v = %v, used %v",
+			obs.insertedBytes, obs.evictedBytes, obs.invalidatedBytes, got, c.UsedBytes())
+	}
+	if c.UsedBytes() > c.Capacity() || c.UsedBytes() < 0 {
+		t.Fatalf("used %v outside [0, %v]", c.UsedBytes(), c.Capacity())
+	}
+	var sum media.Bytes
+	for clip := range c.Residents() {
+		sum += clip.Size
+	}
+	if sum != c.UsedBytes() {
+		t.Fatalf("resident clips sum to %v, UsedBytes reports %v", sum, c.UsedBytes())
+	}
+	if got, want := m.Len(), c.NumResident(); got != want {
+		t.Fatalf("mirror holds %d clips, engine %d", got, want)
+	}
+	for clip := range c.Residents() {
+		if !m.Resident(clip.ID) {
+			t.Fatalf("resident clip %d missing from mirror", clip.ID)
+		}
+		if c.TTL() > 0 {
+			dl, ok := m.Deadline(clip.ID)
+			if !ok || dl != c.DeadlineOf(clip.ID) {
+				t.Fatalf("mirror deadline of clip %d = (%v,%v), engine %v",
+					clip.ID, dl, ok, c.DeadlineOf(clip.ID))
+			}
+		}
+	}
+}
+
+// TestChurnInvariantsAllPolicies interleaves requests, Invalidate, TTL
+// expiry and 20% fetch faults for every registered policy, checking the
+// identities, the residency ledger and the mirror after every operation.
+func TestChurnInvariantsAllPolicies(t *testing.T) {
+	for _, name := range registry.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			for trial := 0; trial < 3; trial++ {
+				src := randutil.NewSource(uint64(trial + 11)).Split("churn-property").Split(name)
+				n := 8 + src.Intn(33)
+				repo := randomRepo(t, src.Split("repo"), n)
+				pmf := make([]float64, n)
+				for i := range pmf {
+					pmf[i] = 1 / float64(n)
+				}
+				policy, err := registry.Build(name, repo, pmf, uint64(trial+11))
+				if err != nil {
+					t.Fatalf("trial %d: %v", trial, err)
+				}
+				ttl := vtime.Duration(20 + src.Intn(200))
+				fsrc := src.Split("fetch")
+				obs := &churnObserver{t: t}
+				var mirror core.ResidencyMirror
+				capacity := repo.TotalSize()/8 + media.Bytes(src.Intn(int(repo.TotalSize()/2)))
+				cache, err := core.New(repo, capacity, policy,
+					core.WithObserver(obs),
+					core.WithResidencyMirror(&mirror),
+					core.WithTTL(ttl),
+					core.WithFetch(func(clip media.Clip, _ vtime.Time) error {
+						if fsrc.Float64() < 0.2 {
+							return fmt.Errorf("injected failure fetching clip %d", clip.ID)
+						}
+						return nil
+					}))
+				if err != nil {
+					t.Fatalf("trial %d: %v", trial, err)
+				}
+
+				drive := src.Split("drive")
+				outcomes := make(map[core.Outcome]uint64)
+				requests := 0
+				for i := 0; i < 600; i++ {
+					id := media.ClipID(1 + drive.Intn(n))
+					if drive.Float64() < 0.5 {
+						id = media.ClipID(1 + drive.Intn(1+n/4)) // hot quarter
+					}
+					switch op := drive.Intn(10); {
+					case op < 7: // request
+						// Hit is exactly predicted by residency plus the TTL
+						// deadline at the request's tick (the amortized sweep
+						// only ever expires other clips).
+						wantHit := cache.Resident(id) && cache.Now()+1 <= cache.DeadlineOf(id)
+						out, err := cache.Request(id)
+						if err != nil {
+							t.Fatalf("request %d (clip %d): %v", i, id, err)
+						}
+						outcomes[out]++
+						requests++
+						if out.IsHit() != wantHit {
+							t.Fatalf("request %d: clip %d predicted hit=%v, outcome %v",
+								i, id, wantHit, out)
+						}
+					case op < 9: // explicit invalidation
+						wantFreed := cache.ResidentBytes(id)
+						if freed := cache.Invalidate(id); freed != wantFreed {
+							t.Fatalf("op %d: Invalidate(%d) freed %v, resident bytes were %v",
+								i, id, freed, wantFreed)
+						}
+						if cache.Resident(id) {
+							t.Fatalf("op %d: clip %d still resident after Invalidate", i, id)
+						}
+					default: // forced expiry sweep
+						cache.SweepExpired()
+					}
+					checkChurnInvariants(t, cache, obs, &mirror)
+					checkOutcomeIdentity(t, cache, outcomes)
+				}
+				if got := cache.Stats().Requests; got != uint64(requests) {
+					t.Fatalf("stats report %d requests, drove %d", got, requests)
+				}
+				if cache.Stats().Invalidated == 0 {
+					t.Fatalf("drive produced no invalidations")
+				}
+
+				// Reset must clear the churn state too.
+				cache.Reset()
+				if cache.UsedBytes() != 0 || cache.NumResident() != 0 ||
+					cache.Stats() != (core.Stats{}) || mirror.Len() != 0 {
+					t.Fatalf("trial %d: Reset left state behind", trial)
+				}
+			}
+		})
+	}
+}
+
+// TestTTLExpiryDeterministic pins the lazy-plus-amortized expiry semantics
+// on a single policy: a clip inserted at tick t answers hits through tick
+// t+ttl and is gone afterwards, with Stats.Expired counting it.
+func TestTTLExpiryDeterministic(t *testing.T) {
+	src := randutil.NewSource(5).Split("ttl-exact")
+	repo := randomRepo(t, src, 6)
+	policy, err := registry.Build("lru", repo, nil, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const ttl = 7
+	cache, err := core.New(repo, repo.TotalSize()-1, policy, core.WithTTL(ttl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cache.Request(1); err != nil { // t=1: miss, deadline 1+ttl
+		t.Fatal(err)
+	}
+	dl := cache.DeadlineOf(1)
+	if dl != 1+ttl {
+		t.Fatalf("deadline = %d, want %d", dl, 1+ttl)
+	}
+	// Hits up to and including the deadline tick.
+	for tick := vtime.Time(2); tick <= dl; tick++ {
+		out, err := cache.Request(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.IsHit() {
+			t.Fatalf("tick %d (deadline %d): outcome %v, want hit", tick, dl, out)
+		}
+	}
+	// One tick past the deadline the clip expires and re-materializes.
+	out, err := cache.Request(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != core.MissCached {
+		t.Fatalf("tick past deadline: outcome %v, want miss-cached", out)
+	}
+	s := cache.Stats()
+	if s.Expired != 1 || s.Invalidated != 1 {
+		t.Fatalf("Expired/Invalidated = %d/%d, want 1/1", s.Expired, s.Invalidated)
+	}
+	if s.BytesInvalidated != repo.Clip(1).Size {
+		t.Fatalf("BytesInvalidated = %v, want clip size %v", s.BytesInvalidated, repo.Clip(1).Size)
+	}
+	// The re-insert carries a fresh deadline.
+	if got := cache.DeadlineOf(1); got != cache.Now()+ttl {
+		t.Fatalf("fresh deadline = %d, want %d", got, cache.Now()+ttl)
+	}
+}
+
+// TestInvalidateSegmented: segment-aware invalidation credits exactly the
+// resident bytes of a partially resident clip and leaves the segment
+// counters coherent.
+func TestInvalidateSegmented(t *testing.T) {
+	src := randutil.NewSource(9).Split("churn-seg")
+	repo := randomRepo(t, src, 6)
+	policy, err := registry.Build("lru", repo, nil, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const segSize = 64 << 10
+	cache, err := core.New(repo, repo.TotalSize()-1, policy, core.WithSegments(segSize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clip := repo.Clip(2)
+	// Materialize only the first segment.
+	if _, err := cache.RequestRange(clip.ID, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	resBytes := cache.ResidentBytes(clip.ID)
+	if resBytes <= 0 || resBytes >= clip.Size {
+		t.Fatalf("want partial residency, have %v of %v", resBytes, clip.Size)
+	}
+	used := cache.UsedBytes()
+	freed := cache.Invalidate(clip.ID)
+	if freed != resBytes {
+		t.Fatalf("Invalidate freed %v, resident bytes were %v", freed, resBytes)
+	}
+	if cache.Resident(clip.ID) || cache.ResidentBytes(clip.ID) != 0 {
+		t.Fatal("clip still resident after segmented Invalidate")
+	}
+	if got := cache.UsedBytes(); got != used-resBytes {
+		t.Fatalf("used %v after invalidate, want %v", got, used-resBytes)
+	}
+	if cache.ResidentSegments() != 0 {
+		t.Fatalf("ResidentSegments = %d after invalidating sole resident", cache.ResidentSegments())
+	}
+	s := cache.Stats()
+	if s.SegmentsEvicted != 0 || s.Evictions != 0 {
+		t.Fatalf("invalidation counted as eviction: SegmentsEvicted=%d Evictions=%d",
+			s.SegmentsEvicted, s.Evictions)
+	}
+	if s.Invalidated != 1 || s.BytesInvalidated != resBytes {
+		t.Fatalf("Invalidated/BytesInvalidated = %d/%v, want 1/%v",
+			s.Invalidated, s.BytesInvalidated, resBytes)
+	}
+}
+
+// TestInvalidateNonResident: a no-op that frees nothing and counts nothing.
+func TestInvalidateNonResident(t *testing.T) {
+	src := randutil.NewSource(3).Split("churn-noop")
+	repo := randomRepo(t, src, 4)
+	policy, err := registry.Build("lru", repo, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache, err := core.New(repo, repo.TotalSize()/2, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if freed := cache.Invalidate(1); freed != 0 {
+		t.Fatalf("invalidating non-resident clip freed %v", freed)
+	}
+	if s := cache.Stats(); s.Invalidated != 0 || s.BytesInvalidated != 0 {
+		t.Fatalf("no-op invalidation counted: %+v", s)
+	}
+}

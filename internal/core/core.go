@@ -165,6 +165,14 @@ type Stats struct {
 	PartialHits     uint64 // requests serviced partly from resident segments, partly fetched
 	SegmentsFetched uint64 // segments materialized on misses
 	SegmentsEvicted uint64 // segments evicted, incl. tail trims of partial victims
+
+	// Catalog-dynamics counters (ISSUE 8). Invalidations are not requests:
+	// they tick no clock and touch none of the counting or byte identities
+	// above, so Requests == Hits+MissCached+Bypassed+FetchFailed and the
+	// byte identity hold by construction under any purge/expiry schedule.
+	Invalidated      uint64      // clips dropped by Invalidate or TTL expiry
+	Expired          uint64      // the TTL-expiry subset of Invalidated
+	BytesInvalidated media.Bytes // Σ resident bytes credited by invalidations
 }
 
 // HitRate returns the cache hit rate in [0, 1].
@@ -202,6 +210,10 @@ func (s Stats) Add(o Stats) Stats {
 		PartialHits:     s.PartialHits + o.PartialHits,
 		SegmentsFetched: s.SegmentsFetched + o.SegmentsFetched,
 		SegmentsEvicted: s.SegmentsEvicted + o.SegmentsEvicted,
+
+		Invalidated:      s.Invalidated + o.Invalidated,
+		Expired:          s.Expired + o.Expired,
+		BytesInvalidated: s.BytesInvalidated + o.BytesInvalidated,
 	}
 }
 
@@ -252,6 +264,17 @@ type Cache struct {
 	segs         map[media.ClipID]*segMeta // per-clip residency bitmaps, keyed by resident clip
 	residentSegs int                       // total resident segments across all clips
 	segScratch   []int32                   // reusable missing-segment buffer for the request path
+
+	// TTL expiry (WithTTL). ttl == 0 means no expiry: none of these fields
+	// are touched on that request path, which stays byte-identical to
+	// earlier PRs. Deadlines are absolute virtual times, one per resident
+	// clip; expiry is lazy (checked on the requested clip) plus an
+	// amortized sweep every sweepEvery ticks.
+	ttl           vtime.Duration
+	deadlines     map[media.ClipID]vtime.Time
+	lastSweep     vtime.Time
+	sweepEvery    vtime.Time
+	expireScratch []media.ClipID // reusable expired-id buffer for the sweep
 }
 
 // lessClipID orders the resident index by ascending clip ID.
@@ -365,7 +388,16 @@ func New(repo *media.Repository, capacity media.Bytes, policy Policy, opts ...Op
 		c.segs = make(map[media.ClipID]*segMeta)
 		c.segAware, _ = policy.(SegmentAware)
 	}
+	if c.ttl > 0 {
+		c.deadlines = make(map[media.ClipID]vtime.Time)
+		// Sweep cadence is a pure function of the TTL so the event stream is
+		// deterministic: often enough that expired clips do not linger past
+		// a quarter TTL, capped so huge TTLs still sweep regularly.
+		c.sweepEvery = min(max(vtime.Time(c.ttl)/4, 1), 1024)
+		c.lastSweep = c.initClock
+	}
 	c.clock = c.initClock
+	c.mirrorClock(c.clock)
 	if b, ok := policy.(Binder); ok {
 		b.Bind(c)
 	}
@@ -479,6 +511,15 @@ func (c *Cache) Request(id media.ClipID) (Outcome, error) {
 	}
 	c.clock++
 	now := c.clock
+	c.mirrorClock(now)
+	if c.ttl > 0 {
+		// Amortized sweep first, then the lazy check on the requested clip:
+		// the sweep may already have expired it, and the order must be fixed
+		// so the event stream is deterministic. An expired requested clip
+		// falls through as an ordinary miss.
+		c.maybeSweep(now)
+		c.expireIfDue(id, now)
+	}
 
 	_, hit := c.resident[id]
 	c.policy.Record(clip, now, hit)
@@ -538,6 +579,7 @@ func (c *Cache) Request(id media.ClipID) (Outcome, error) {
 	c.resident[id] = struct{}{}
 	c.byID.Put(id, clip)
 	c.used += clip.Size
+	c.setDeadline(id, now)
 	c.mirrorAdd(id)
 	c.policy.OnInsert(clip, now)
 	c.emit(EventMiss, clip, now)
@@ -569,6 +611,14 @@ func (c *Cache) ApplyHit(id media.ClipID) error {
 	}
 	c.clock++
 	now := c.clock
+	c.mirrorClock(now)
+	// Sweep only; no lazy check of id itself. The lock-free fast path that
+	// feeds ApplyHit verified the deadline against its tick estimate before
+	// classifying the hit, and ApplyHit's contract counts the hit
+	// unconditionally anyway — residency truth is told to the policy below.
+	if c.ttl > 0 {
+		c.maybeSweep(now)
+	}
 
 	_, hit := c.resident[id]
 	c.policy.Record(clip, now, hit)
@@ -612,6 +662,7 @@ func (c *Cache) makeRoom(clip media.Clip, now vtime.Time) error {
 			delete(c.resident, vid)
 			c.byID.Delete(vid)
 			c.mirrorRemove(vid)
+			c.clearDeadline(vid)
 			c.used -= victim.Size
 			c.stats.Evictions++
 			c.stats.BytesEvicted += victim.Size
@@ -633,6 +684,7 @@ func (c *Cache) Warm(ids []media.ClipID) {
 		}
 		c.resident[id] = struct{}{}
 		c.byID.Put(id, clip)
+		c.setDeadline(id, c.clock)
 		c.mirrorAdd(id)
 		c.used += clip.Size
 		c.policy.OnInsert(clip, c.clock)
@@ -650,10 +702,15 @@ func (c *Cache) Reset() {
 	c.mirrorClear()
 	c.used = 0
 	c.clock = c.initClock
+	c.mirrorClock(c.clock)
 	c.stats = Stats{}
 	if c.segSize > 0 {
 		c.segs = make(map[media.ClipID]*segMeta)
 		c.residentSegs = 0
+	}
+	if c.ttl > 0 {
+		c.deadlines = make(map[media.ClipID]vtime.Time)
+		c.lastSweep = c.initClock
 	}
 	c.policy.Reset()
 }

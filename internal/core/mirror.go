@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"mediacache/internal/media"
+	"mediacache/internal/vtime"
 )
 
 // ResidencyMirror is a concurrently readable mirror of a cache's resident
@@ -14,19 +15,26 @@ import (
 // that hold no lock (the sharded pool's read-mostly hit path) a published
 // view they can consult without serializing on the engine.
 //
-// The engine publishes every residency transition — insert, eviction, warm,
-// reset, restore, segment adoption and trim-to-empty — while it holds
-// whatever lock its owner wraps it in, so a reader observes each clip's
-// residency at some point in the recent past: the view is always a state the
-// cache actually passed through, never a torn or invented one. Readers must
-// still treat an answer as a hint — the clip can be evicted between the
-// lookup and whatever the reader does with it — and re-validate under the
-// engine lock when exactness matters.
+// The engine publishes every residency transition — insert, eviction,
+// invalidation, warm, reset, restore, segment adoption and trim-to-empty —
+// while it holds whatever lock its owner wraps it in, so a reader observes
+// each clip's residency at some point in the recent past: the view is
+// always a state the cache actually passed through, never a torn or
+// invented one. Readers must still treat an answer as a hint — the clip can
+// be evicted between the lookup and whatever the reader does with it — and
+// re-validate under the engine lock when exactness matters.
+//
+// Under TTL expiry (WithTTL) each entry carries the clip's expiry deadline,
+// published together with residency, and the engine additionally publishes
+// its virtual clock after every tick, so a lock-free reader can bound "is
+// this clip still live at my tick?" without touching the engine (see the
+// sharded pool's fast path).
 //
 // The zero value is ready to use. All methods are safe for concurrent use.
 type ResidencyMirror struct {
-	set sync.Map // media.ClipID -> struct{}
-	n   atomic.Int64
+	set   sync.Map // media.ClipID -> vtime.Time (expiry deadline; 0 = none)
+	n     atomic.Int64
+	clock atomic.Int64 // engine virtual clock at the last published tick
 }
 
 // Resident reports whether clip id was resident at the last published
@@ -36,12 +44,36 @@ func (m *ResidencyMirror) Resident(id media.ClipID) bool {
 	return ok
 }
 
+// Deadline returns clip id's published expiry deadline and whether the clip
+// was resident at the last published transition. A zero deadline on a
+// resident clip means it never expires (TTL disabled).
+func (m *ResidencyMirror) Deadline(id media.ClipID) (vtime.Time, bool) {
+	v, ok := m.set.Load(id)
+	if !ok {
+		return 0, false
+	}
+	return v.(vtime.Time), true
+}
+
+// Clock returns the engine virtual time at the last published tick. It lags
+// the true clock by at most the owner's undrained touches; see the sharded
+// pool for how readers bound that lag.
+func (m *ResidencyMirror) Clock() vtime.Time {
+	return vtime.Time(m.clock.Load())
+}
+
+// setClock publishes the engine's virtual clock.
+func (m *ResidencyMirror) setClock(now vtime.Time) {
+	m.clock.Store(int64(now))
+}
+
 // Len returns the number of clips in the published view.
 func (m *ResidencyMirror) Len() int { return int(m.n.Load()) }
 
-// add publishes clip id as resident.
-func (m *ResidencyMirror) add(id media.ClipID) {
-	if _, loaded := m.set.LoadOrStore(id, struct{}{}); !loaded {
+// add publishes clip id as resident with the given expiry deadline
+// (zero = never expires).
+func (m *ResidencyMirror) add(id media.ClipID, deadline vtime.Time) {
+	if _, loaded := m.set.Swap(id, deadline); !loaded {
 		m.n.Add(1)
 	}
 }
@@ -75,10 +107,16 @@ func WithResidencyMirror(m *ResidencyMirror) Option {
 	}
 }
 
-// mirrorAdd publishes an insert to the attached mirror, if any.
+// mirrorAdd publishes an insert to the attached mirror, if any, carrying
+// the clip's expiry deadline. Insert sites set the deadline before calling
+// this, so residency and expiry are published atomically.
 func (c *Cache) mirrorAdd(id media.ClipID) {
 	if c.mirror != nil {
-		c.mirror.add(id)
+		var dl vtime.Time
+		if c.ttl > 0 {
+			dl = c.deadlines[id]
+		}
+		c.mirror.add(id, dl)
 	}
 }
 
@@ -93,5 +131,13 @@ func (c *Cache) mirrorRemove(id media.ClipID) {
 func (c *Cache) mirrorClear() {
 	if c.mirror != nil {
 		c.mirror.clear()
+	}
+}
+
+// mirrorClock publishes the engine clock to the attached mirror, if any.
+// Called after every clock change so lock-free readers can bound staleness.
+func (c *Cache) mirrorClock(now vtime.Time) {
+	if c.mirror != nil {
+		c.mirror.setClock(now)
 	}
 }

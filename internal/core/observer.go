@@ -37,6 +37,10 @@ const (
 	// EventPartialHit: a request was serviced partly from resident segments
 	// while the rest was fetched. Bytes carries the bytes served from cache.
 	EventPartialHit
+	// EventInvalidate: a resident clip was dropped by explicit invalidation
+	// (Cache.Invalidate) or TTL expiry — a catalog event, not a capacity
+	// eviction. Bytes carries the resident bytes credited back.
+	EventInvalidate
 )
 
 // String implements fmt.Stringer.
@@ -58,6 +62,8 @@ func (t EventType) String() string {
 		return "trim"
 	case EventPartialHit:
 		return "partial-hit"
+	case EventInvalidate:
+		return "invalidate"
 	default:
 		return fmt.Sprintf("EventType(%d)", uint8(t))
 	}

@@ -317,6 +317,13 @@ func (c *Cache) RequestRange(id media.ClipID, start, length media.Bytes) (RangeR
 func (c *Cache) requestRangeSegmented(clip media.Clip, start, length media.Bytes) (RangeResult, error) {
 	c.clock++
 	now := c.clock
+	c.mirrorClock(now)
+	if c.ttl > 0 {
+		// Same order as Request: amortized sweep first, then the lazy check
+		// on the requested clip, which drops all its resident segments.
+		c.maybeSweep(now)
+		c.expireIfDue(clip.ID, now)
+	}
 
 	s0 := int32(start / c.segSize)
 	s1 := int32((start + length - 1) / c.segSize)
@@ -468,6 +475,7 @@ func (c *Cache) insertSegment(clip media.Clip, seg int32, now vtime.Time) error 
 	if sm.resident == 1 {
 		c.resident[clip.ID] = struct{}{}
 		c.byID.Put(clip.ID, clip)
+		c.setDeadline(clip.ID, now)
 		c.mirrorAdd(clip.ID)
 		c.policy.OnInsert(clip, now)
 	}
@@ -561,6 +569,7 @@ func (c *Cache) trimVictim(vid media.ClipID, need media.Bytes, now vtime.Time) {
 		delete(c.resident, vid)
 		c.byID.Delete(vid)
 		c.mirrorRemove(vid)
+		c.clearDeadline(vid)
 		c.stats.Evictions++
 		c.policy.OnEvict(vid, now)
 		c.emitB(EventEviction, clip, trimmed, now)

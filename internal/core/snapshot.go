@@ -149,16 +149,26 @@ func (c *Cache) Restore(s Snapshot) error {
 	c.mirrorClear()
 	c.used = 0
 	c.clock = s.Clock
+	c.mirrorClock(c.clock)
 	c.stats = s.Stats
 	if c.segSize > 0 {
 		c.segs = make(map[media.ClipID]*segMeta, len(s.ResidentIDs)+len(s.Partial))
 		c.residentSegs = 0
+	}
+	if c.ttl > 0 {
+		// Snapshots carry no deadlines (pre-churn archives must restore
+		// unchanged), so restored clips get a fresh TTL from the restore
+		// point — the device was down, the content's remaining life is
+		// unknowable, and re-expiring everything at once would be worse.
+		c.deadlines = make(map[media.ClipID]vtime.Time, len(s.ResidentIDs)+len(s.Partial))
+		c.lastSweep = s.Clock
 	}
 	c.policy.Reset()
 	for _, id := range s.ResidentIDs {
 		clip := c.repo.Clip(id)
 		c.resident[id] = struct{}{}
 		c.byID.Put(id, clip)
+		c.setDeadline(id, c.clock)
 		c.mirrorAdd(id)
 		c.used += clip.Size
 		c.policy.OnInsert(clip, c.clock)
@@ -177,6 +187,7 @@ func (c *Cache) Restore(s Snapshot) error {
 		c.segs[ps.ID] = sm
 		c.resident[ps.ID] = struct{}{}
 		c.byID.Put(ps.ID, clip)
+		c.setDeadline(ps.ID, c.clock)
 		c.mirrorAdd(ps.ID)
 		c.used += sm.resBytes
 		c.residentSegs += int(sm.resident)

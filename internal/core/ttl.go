@@ -1,0 +1,154 @@
+package core
+
+// ttl.go implements catalog dynamics (ISSUE 8): explicit invalidation and
+// per-clip TTL expiry. Both drop residency and credit bytes back without
+// ticking the virtual clock or touching the request counters, so the
+// counting identity Requests == Hits + MissCached + Bypassed + FetchFailed
+// and the byte identity BytesHit + BytesFetched + BytesFailed ==
+// BytesReferenced hold by construction under any purge/expiry schedule.
+//
+// Expiry is lazy-plus-amortized: each request checks only the clip it
+// references, and a sweep over the resident index runs every sweepEvery
+// ticks. The sweep rides the ordinary request path (Request, ApplyHit,
+// RequestRange all tick the clock), so the PR 7 lock-reduced front-end
+// needs no extra engine interaction: batched-touch drains replay through
+// ApplyHit and thereby advance the sweep too, keeping pure hits zero-lock.
+
+import (
+	"fmt"
+
+	"mediacache/internal/media"
+	"mediacache/internal/vtime"
+)
+
+// WithTTL gives every clip materialized in the cache a time-to-live of ttl
+// virtual ticks: a clip inserted at time t expires at t+ttl and is dropped
+// by the next request-path check or amortized sweep that observes the
+// deadline passed. ttl must be positive; a cache built without this option
+// never expires anything.
+func WithTTL(ttl vtime.Duration) Option {
+	return func(c *Cache) error {
+		if ttl <= 0 {
+			return fmt.Errorf("core: TTL must be positive, got %d", ttl)
+		}
+		c.ttl = ttl
+		return nil
+	}
+}
+
+// TTL returns the per-clip time-to-live in virtual ticks, or zero when
+// expiry is disabled.
+func (c *Cache) TTL() vtime.Duration { return c.ttl }
+
+// DeadlineOf returns the virtual time at which resident clip id expires,
+// or zero when expiry is disabled or the clip is not resident.
+func (c *Cache) DeadlineOf(id media.ClipID) vtime.Time {
+	if c.ttl == 0 {
+		return 0
+	}
+	return c.deadlines[id]
+}
+
+// setDeadline records the expiry deadline for a clip becoming resident at
+// time now. Must run before the mirror publication (mirrorAdd reads the
+// deadline so lock-free readers see residency and expiry atomically).
+func (c *Cache) setDeadline(id media.ClipID, now vtime.Time) {
+	if c.ttl > 0 {
+		c.deadlines[id] = now + vtime.Time(c.ttl)
+	}
+}
+
+// clearDeadline drops a clip's expiry deadline when it leaves residency.
+func (c *Cache) clearDeadline(id media.ClipID) {
+	if c.ttl > 0 {
+		delete(c.deadlines, id)
+	}
+}
+
+// Invalidate drops clip id from the cache — a catalog event (the clip
+// perished upstream), not a capacity eviction. Residency is dropped at
+// whatever granularity is cached (whole clip or resident segments), the
+// bytes are credited back, the policy and any attached ResidencyMirror are
+// notified, and Stats.Invalidated/BytesInvalidated accrue. Invalidation
+// ticks no clock and counts no request. The freed byte count is returned;
+// invalidating a non-resident clip is a no-op returning zero.
+func (c *Cache) Invalidate(id media.ClipID) media.Bytes {
+	return c.invalidate(id, c.clock, false)
+}
+
+// invalidate is the shared implementation behind Invalidate and TTL expiry.
+func (c *Cache) invalidate(id media.ClipID, now vtime.Time, expired bool) media.Bytes {
+	clip, ok := c.byID.Get(id)
+	if !ok {
+		return 0
+	}
+	freed := clip.Size
+	if c.segSize > 0 {
+		if sm := c.segs[id]; sm != nil {
+			// Segment-aware drop: credit only the resident bytes. Unlike a
+			// capacity trim this is not an eviction, so SegmentsEvicted and
+			// the eviction counters stay untouched.
+			freed = sm.resBytes
+			c.residentSegs -= int(sm.resident)
+			delete(c.segs, id)
+		}
+	}
+	delete(c.resident, id)
+	c.byID.Delete(id)
+	c.mirrorRemove(id)
+	c.clearDeadline(id)
+	c.used -= freed
+	c.stats.Invalidated++
+	if expired {
+		c.stats.Expired++
+	}
+	c.stats.BytesInvalidated += freed
+	c.policy.OnEvict(id, now)
+	c.emitB(EventInvalidate, clip, freed, now)
+	return freed
+}
+
+// SweepExpired immediately drops every resident clip whose TTL deadline has
+// passed, regardless of the amortized sweep cadence, and returns how many
+// clips were dropped. A no-op (returning zero) when expiry is disabled.
+func (c *Cache) SweepExpired() int {
+	return c.sweepExpired(c.clock)
+}
+
+// sweepExpired walks the resident index in ascending ID order collecting
+// expired clips, then invalidates them in that order. Walking the ordered
+// index — never the deadlines map, whose iteration order is randomized —
+// keeps the OnEvict/event stream deterministic for a given request history.
+func (c *Cache) sweepExpired(now vtime.Time) int {
+	if c.ttl == 0 || len(c.deadlines) == 0 {
+		return 0
+	}
+	c.expireScratch = c.expireScratch[:0]
+	c.byID.Ascend(func(id media.ClipID, _ media.Clip) bool {
+		if dl, ok := c.deadlines[id]; ok && now > dl {
+			c.expireScratch = append(c.expireScratch, id)
+		}
+		return true
+	})
+	for _, id := range c.expireScratch {
+		c.invalidate(id, now, true)
+	}
+	return len(c.expireScratch)
+}
+
+// maybeSweep runs the amortized expiry sweep when sweepEvery ticks have
+// elapsed since the last one. Called from every clock-advancing path.
+func (c *Cache) maybeSweep(now vtime.Time) {
+	if now-c.lastSweep >= c.sweepEvery {
+		c.lastSweep = now
+		c.sweepExpired(now)
+	}
+}
+
+// expireIfDue lazily expires the requested clip when its deadline has
+// passed, so a request can never hit stale content even between sweeps.
+func (c *Cache) expireIfDue(id media.ClipID, now vtime.Time) {
+	if dl, ok := c.deadlines[id]; ok && now > dl {
+		c.invalidate(id, now, true)
+	}
+}

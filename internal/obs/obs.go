@@ -32,6 +32,8 @@ const (
 	metricPartialHits   = "mediacache_cache_partial_hits_total"
 	metricTrims         = "mediacache_cache_trims_total"
 	metricBytesHitPart  = "mediacache_cache_partial_hit_bytes_total"
+	metricInvalidated   = "mediacache_cache_invalidated_total"
+	metricBytesInval    = "mediacache_cache_bytes_invalidated_total"
 )
 
 // CacheMetrics translates core engine events into registry counters and
@@ -58,6 +60,11 @@ type CacheMetrics struct {
 	PartialHits     *metrics.Counter
 	Trims           *metrics.Counter
 	PartialHitBytes *metrics.Counter
+	// Invalidated and BytesInvalidated observe catalog invalidations —
+	// explicit Invalidate calls and TTL expiries. Invalidations are neither
+	// evictions nor requests, so they get their own families.
+	Invalidated      *metrics.Counter
+	BytesInvalidated *metrics.Counter
 
 	batch uint64 // evictions since the last non-eviction event
 }
@@ -81,6 +88,10 @@ func NewCacheMetrics(reg *metrics.Registry) *CacheMetrics {
 		Trims:         reg.Counter(metricTrims, "Partial evictions: tail segments trimmed without dropping the clip."),
 		PartialHitBytes: reg.Counter(metricBytesHitPart,
 			"Bytes served from resident segments on partially hit requests."),
+		Invalidated: reg.Counter(metricInvalidated,
+			"Clips dropped by catalog invalidation (explicit or TTL expiry); not evictions."),
+		BytesInvalidated: reg.Counter(metricBytesInval,
+			"Bytes freed by catalog invalidation."),
 	}
 }
 
@@ -122,6 +133,9 @@ func (m *CacheMetrics) Observe(ev core.Event) {
 	case core.EventPartialHit:
 		m.PartialHits.Inc()
 		m.PartialHitBytes.Add(uint64(ev.Bytes))
+	case core.EventInvalidate:
+		m.Invalidated.Inc()
+		m.BytesInvalidated.Add(uint64(ev.Bytes))
 	}
 }
 
@@ -139,6 +153,8 @@ func (m *CacheMetrics) AddSweep(t sim.Metrics) {
 	m.BytesFailed.Add(uint64(t.BytesFailed))
 	m.BytesEvicted.Add(uint64(t.BytesEvicted))
 	m.VictimCalls.Add(t.VictimCalls)
+	m.Invalidated.Add(t.Invalidated)
+	m.BytesInvalidated.Add(uint64(t.BytesInval))
 }
 
 // Tracer logs every engine event through slog at debug level — the

@@ -34,6 +34,7 @@ func TestCacheMetricsEventStream(t *testing.T) {
 		{Type: core.EventMiss, Clip: clip(3, 120), Bytes: 120},
 		{Type: core.EventBypass, Clip: clip(4, 999), Bytes: 999},
 		{Type: core.EventRestore, Clip: clip(5, 10), Bytes: 10},
+		{Type: core.EventInvalidate, Clip: clip(3, 120), Bytes: 120},
 	}
 	for _, ev := range events {
 		m.Observe(ev)
@@ -51,6 +52,8 @@ func TestCacheMetricsEventStream(t *testing.T) {
 		{"bytesFetched", m.BytesFetched.Value(), 100 + 120 + 999},
 		{"bytesEvicted", m.BytesEvicted.Value(), 150},
 		{"batches", m.EvictionBatch.Count(), 1},
+		{"invalidated", m.Invalidated.Value(), 1},
+		{"bytesInvalidated", m.BytesInvalidated.Value(), 120},
 	}
 	for _, c := range checks {
 		if c.got != c.want {
@@ -90,6 +93,43 @@ func TestCacheMetricsLiveEngine(t *testing.T) {
 	}
 	if m.BytesFetched.Value() != uint64(st.BytesFetched) {
 		t.Errorf("bytesFetched counter = %d, stats = %d", m.BytesFetched.Value(), st.BytesFetched)
+	}
+}
+
+// TestCacheMetricsInvalidation attaches the observer to a TTL engine,
+// invalidates explicitly and by expiry, and checks the invalidation
+// families track core.Stats — and stay out of the eviction families.
+func TestCacheMetricsInvalidation(t *testing.T) {
+	repo := media.PaperRepository()
+	reg := metrics.NewRegistry()
+	m := NewCacheMetrics(reg)
+	cache, err := sim.NewCache("greedydual", repo, repo.CacheSizeForRatio(0.125), nil,
+		sim.DefaultSeed, core.WithObserver(m), core.WithTTL(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if _, err := cache.Request(media.ClipID(i%9 + 1)); err != nil {
+			t.Fatal(err)
+		}
+		if i%50 == 25 {
+			cache.Invalidate(media.ClipID(i%9 + 1))
+		}
+	}
+	st := cache.Stats()
+	if st.Invalidated == 0 || st.Expired == 0 {
+		t.Fatalf("drive produced no invalidations/expiries: %+v", st)
+	}
+	if m.Invalidated.Value() != st.Invalidated {
+		t.Errorf("invalidated counter = %d, stats = %d", m.Invalidated.Value(), st.Invalidated)
+	}
+	if m.BytesInvalidated.Value() != uint64(st.BytesInvalidated) {
+		t.Errorf("bytesInvalidated counter = %d, stats = %d",
+			m.BytesInvalidated.Value(), st.BytesInvalidated)
+	}
+	if m.Evictions.Value() != st.Evictions {
+		t.Errorf("invalidations leaked into evictions: counter %d, stats %d",
+			m.Evictions.Value(), st.Evictions)
 	}
 }
 

@@ -100,7 +100,9 @@ func (p *Pool) batchShard(s *poolShard, items []BatchItem, idxs []int, out []Bat
 		allHit := true
 		for k := 0; k < n; k++ {
 			it := &items[at(k)]
-			if it.Ranged || !s.mirror.Resident(it.ID) {
+			// Item k's touch replays k ticks after the already-pending ones,
+			// so its deadline is checked that many ticks ahead.
+			if it.Ranged || !p.fastHitOK(s, it.ID, int64(k)) {
 				allHit = false
 				break
 			}

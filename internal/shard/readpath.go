@@ -39,6 +39,7 @@ const touchBatchSize = 256
 func (p *Pool) recordTouch(s *poolShard, id media.ClipID) {
 	p.fastHits.Add(1)
 	s.touchMu.Lock()
+	s.pending.Add(1)
 	s.touches = append(s.touches, id)
 	if len(s.touches) < touchBatchSize {
 		s.touchMu.Unlock()
@@ -60,6 +61,7 @@ func (p *Pool) recordTouch(s *poolShard, id media.ClipID) {
 func (p *Pool) recordTouchSlice(s *poolShard, ids []media.ClipID) {
 	p.fastHits.Add(uint64(len(ids)))
 	s.touchMu.Lock()
+	s.pending.Add(int64(len(ids)))
 	s.touches = append(s.touches, ids...)
 	if len(s.touches) < touchBatchSize {
 		s.touchMu.Unlock()
@@ -117,6 +119,10 @@ func (p *Pool) applyTouches(s *poolShard, batch []media.ClipID) {
 		// of an unsegmented engine, so neither can occur.
 		_ = s.cache.ApplyHit(id)
 	}
+	// Decrement only after the replay: while the batch is in flight the
+	// TTL fast path keeps overestimating the replay tick, which at worst
+	// diverts a borderline hit to the engine path.
+	s.pending.Add(-int64(len(batch)))
 }
 
 // lockDrained acquires the shard lock and replays pending touches, so the

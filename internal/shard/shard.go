@@ -78,6 +78,12 @@ type Config struct {
 	// consulted once per missing segment — each segment is an independent
 	// network transfer, so a flaky link degrades segments independently.
 	SegmentFetch core.SegmentFetchFunc
+	// TTL, when positive, builds every shard with per-clip expiry
+	// (core.WithTTL): a clip materialized at shard-tick t expires at t+TTL.
+	// Deadlines are per-shard virtual times, so with several shards a clip's
+	// wall lifetime depends on its shard's request rate — the same caveat
+	// family as per-shard victim divergence (DESIGN.md §13).
+	TTL vtime.Duration
 	// ShardOptions, when non-nil, supplies extra engine options per shard
 	// (observers, admission hooks). The pool appends its own fetch wiring.
 	ShardOptions func(shard int) []core.Option
@@ -114,6 +120,13 @@ type poolShard struct {
 	// touchSpare is the standby buffer swapped in during a drain so the
 	// steady state recycles two allocations.
 	touchSpare []media.ClipID
+	// pending counts touches recorded but not yet replayed into the engine.
+	// Incremented inside the touchMu critical section (ordered before the
+	// swap-out that leads to the matching decrement, so it never goes
+	// negative) and decremented after a batch replays. The TTL fast path
+	// reads it to bound how far the engine clock can be ahead of the
+	// mirror's published tick.
+	pending atomic.Int64
 }
 
 // preFetch is a pre-resolved fetch result.
@@ -147,6 +160,10 @@ type Pool struct {
 	// residency per byte range and always take the engine path.
 	fastPath bool
 
+	// ttl is the per-clip expiry configured via Config.TTL; zero when
+	// expiry is off, in which case the fast path skips deadline checks.
+	ttl vtime.Duration
+
 	// fetches counts logical fetch executions (flight leaders); coalesced
 	// counts requests that joined an already in-flight fetch.
 	fetches atomic.Uint64
@@ -177,6 +194,9 @@ func New(cfg Config) (*Pool, error) {
 	if cfg.PrefixSegments > 0 && cfg.SegmentSize <= 0 {
 		return nil, fmt.Errorf("shard: PrefixSegments requires SegmentSize")
 	}
+	if cfg.TTL < 0 {
+		return nil, fmt.Errorf("shard: TTL must be non-negative, got %d", cfg.TTL)
+	}
 	p := &Pool{
 		repo:     cfg.Repo,
 		fetch:    cfg.Fetch,
@@ -184,6 +204,7 @@ func New(cfg Config) (*Pool, error) {
 		segFetch: cfg.SegmentFetch,
 		shards:   make([]*poolShard, n),
 		fastPath: cfg.SegmentSize == 0,
+		ttl:      cfg.TTL,
 	}
 	if p.segSize > 0 && p.segFetch == nil && p.fetch != nil {
 		// Adapt the whole-clip fetch: each missing segment is its own
@@ -229,6 +250,9 @@ func New(cfg Config) (*Pool, error) {
 			if cfg.PrefixSegments > 0 {
 				opts = append(opts, core.WithPrefixAdmission(cfg.PrefixSegments))
 			}
+		}
+		if cfg.TTL > 0 {
+			opts = append(opts, core.WithTTL(cfg.TTL))
 		}
 		switch {
 		case p.segFetch != nil:
@@ -276,6 +300,73 @@ func (p *Pool) shardSegFetch(s *poolShard) core.SegmentFetchFunc {
 		}
 		return p.segFetch(clip, seg, now)
 	}
+}
+
+// fastHitOK reports whether the lock-free hit path may serve clip id from
+// shard s's published residency view. Without TTL, published residency is
+// enough. With TTL the touch this hit enqueues will replay at some future
+// engine tick, which must not exceed the clip's deadline; the replay tick
+// is estimated as the mirror's published clock plus every touch already
+// pending plus the `ahead` touches this caller enqueues first plus one.
+// Under serial driving the estimate is exact, so a 1-shard pool with TTL
+// stays byte-identical to the bare engine. Under concurrent driving it can
+// be off in either direction by in-flight touches — an overestimate falls
+// through to the engine path (correct, just slower), an underestimate
+// serves a hit the replay then counts under ApplyHit's
+// hit-unconditionally contract — the same staleness class as the mirror's
+// residency answers (DESIGN.md §15).
+func (p *Pool) fastHitOK(s *poolShard, id media.ClipID, ahead int64) bool {
+	if p.ttl == 0 {
+		return s.mirror.Resident(id)
+	}
+	dl, ok := s.mirror.Deadline(id)
+	if !ok {
+		return false
+	}
+	return dl == 0 || s.mirror.Clock()+vtime.Time(s.pending.Load()+ahead+1) <= dl
+}
+
+// Invalidate drops clip id from the owning shard — the pool face of
+// core.Cache.Invalidate: residency is dropped, bytes are credited, the
+// policy and the published mirror are notified, and no request is counted.
+// Returns the freed byte count (zero when the clip was not resident).
+func (p *Pool) Invalidate(id media.ClipID) media.Bytes {
+	s := p.shards[p.ShardFor(id)]
+	p.lockDrained(s)
+	defer s.mu.Unlock()
+	return s.cache.Invalidate(id)
+}
+
+// SweepExpired immediately expires every overdue clip on every shard and
+// returns the total dropped. A no-op returning zero when TTL is off.
+func (p *Pool) SweepExpired() int {
+	if p.ttl == 0 {
+		return 0
+	}
+	var sum int
+	p.lockAllDrained()
+	for _, s := range p.shards {
+		sum += s.cache.SweepExpired()
+	}
+	p.unlockAll()
+	return sum
+}
+
+// TTL returns the per-clip expiry configured at construction, zero when
+// expiry is off.
+func (p *Pool) TTL() vtime.Duration { return p.ttl }
+
+// DeadlineOf returns the virtual time (on the owning shard's clock) at
+// which resident clip id expires, or zero when TTL is off or the clip is
+// not resident.
+func (p *Pool) DeadlineOf(id media.ClipID) vtime.Time {
+	if p.ttl == 0 {
+		return 0
+	}
+	s := p.shards[p.ShardFor(id)]
+	p.lockDrained(s)
+	defer s.mu.Unlock()
+	return s.cache.DeadlineOf(id)
 }
 
 // splitmix64 is the finalizer of the SplitMix64 generator, used as the
@@ -333,7 +424,7 @@ func (p *Pool) Request(id media.ClipID) (core.Outcome, error) {
 	// Read-mostly fast path: a clip in the shard's published residency view
 	// is a hit. The bytes stream without the engine lock; only the policy
 	// touch is enqueued, to be replayed in a batch under one acquisition.
-	if p.fastPath && s.mirror.Resident(id) {
+	if p.fastPath && p.fastHitOK(s, id, 0) {
 		p.recordTouch(s, id)
 		return core.Hit, nil
 	}

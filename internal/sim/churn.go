@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"mediacache/internal/core"
+	"mediacache/internal/media"
+	"mediacache/internal/vtime"
+	"mediacache/internal/workload"
+	"mediacache/internal/zipf"
+)
+
+// ChurnSetting is one cell column of the Churn experiment: a catalog-churn
+// regime plus the invalidation mechanism that services it. TTL > 0 expires
+// cached copies by time-to-live (set to the catalog life, so a cached copy
+// never outlives its publication window); TTL == 0 is the purge-driven
+// variant, where every perish event invalidates the clip explicitly — the
+// publisher-issued DELETE.
+type ChurnSetting struct {
+	Name string
+	Spec workload.ChurnSpec // Horizon is filled in from Options.Requests
+	TTL  vtime.Duration
+}
+
+// ChurnSettings is the regime sweep of the Churn experiment, slowest churn
+// first. Three TTL-driven regimes at increasing publish rates, plus a
+// purge-driven twin of the middle regime so the two invalidation
+// mechanisms are directly comparable at the same churn rate.
+var ChurnSettings = []ChurnSetting{
+	{"slow-ttl", workload.ChurnSpec{Rate: 0.01, Life: 4000}, 4000},
+	{"mid-ttl", workload.ChurnSpec{Rate: 0.02, Life: 2000}, 2000},
+	{"fast-ttl", workload.ChurnSpec{Rate: 0.05, Life: 1000}, 1000},
+	{"mid-purge", workload.ChurnSpec{Rate: 0.02, Life: 2000}, 0},
+}
+
+// Churn is the non-stationary catalog experiment of the churn suite
+// (extension beyond the paper, whose catalog is fixed): clips perish and
+// fresh ones are published while the cache serves a Zipf-over-the-living
+// reference stream. Cached copies of perished clips are dead weight; the
+// experiment measures how quickly each technique's utility bookkeeping
+// recovers the space, under TTL expiry and under explicit purging. The
+// event stream is deterministic per seed, so every cell is exactly
+// reproducible at any -parallel setting.
+func Churn(opt Options) (*Figure, error) {
+	opt = opt.withDefaults()
+	repo := media.PaperRepository()
+	capacity := repo.CacheSizeForRatio(RatioFigure6)
+	fig := &Figure{
+		ID:     "churn",
+		Title:  "Observed hit rate under catalog churn with TTL / purge invalidation (extension)",
+		XLabel: "Churn regime (publish rate rises left to right; last = purge-driven)",
+		YLabel: "Cache hit rate (%)",
+	}
+	specs := []string{"dynsimple:2", "igd:2", "lrusk:2", "greedydual", "gdsp", "gdfreq"}
+	// Grid: spec-major, setting-minor.
+	ns := len(ChurnSettings)
+	type cellOut struct {
+		name string
+		y    float64
+		m    Metrics
+	}
+	cells, err := mapCells(opt.Parallel, len(specs)*ns, func(i int) (cellOut, error) {
+		spec, setting := specs[i/ns], ChurnSettings[i%ns]
+		start := time.Now()
+		cspec := setting.Spec
+		cspec.Horizon = opt.Requests
+		gen, err := workload.NewChurn(repo.N(), zipf.DefaultMean, cspec, opt.Seed)
+		if err != nil {
+			return cellOut{}, err
+		}
+		var opts []core.Option
+		if setting.TTL > 0 {
+			opts = append(opts, core.WithTTL(setting.TTL))
+		}
+		cache, err := NewCache(spec, repo, capacity, nil, opt.Seed, opts...)
+		if err != nil {
+			return cellOut{}, err
+		}
+		for {
+			ev, ok := gen.Next()
+			if !ok {
+				break
+			}
+			switch ev.Kind {
+			case workload.ChurnRequest:
+				if _, err := cache.Request(ev.Clip); err != nil {
+					return cellOut{}, err
+				}
+			case workload.ChurnPerish:
+				// Purge-driven regime: the perish event is the publisher's
+				// DELETE. Under TTL the expiry does the job on its own.
+				if setting.TTL == 0 {
+					cache.Invalidate(ev.Clip)
+				}
+			}
+		}
+		stats := cache.Stats()
+		return cellOut{
+			name: cache.Policy().Name(),
+			y:    stats.HitRate(),
+			m:    metricsFromStats(stats, time.Since(start)),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for si, spec := range specs {
+		s := Series{Label: cells[si*ns].name}
+		for j, setting := range ChurnSettings {
+			c := cells[si*ns+j]
+			s.X = append(s.X, float64(j))
+			s.Y = append(s.Y, c.y)
+			fig.Cells = append(fig.Cells, CellMetrics{
+				Label:   fmt.Sprintf("%s@%s", spec, setting.Name),
+				Metrics: c.m,
+			})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}

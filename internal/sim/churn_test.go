@@ -1,0 +1,95 @@
+package sim
+
+// churn_test.go (ISSUE 8): the churn experiment must be registered, cover
+// every regime with real catalog dynamics, and be exactly reproducible —
+// the same seed gives byte-identical figures on repeat runs and at any
+// worker count (the catalog-wide TestParallelMatchesSequential covers the
+// parallel half automatically once "churn" is registered).
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChurnRegistered(t *testing.T) {
+	if _, ok := ByID("churn"); !ok {
+		t.Fatal(`experiment "churn" is not registered`)
+	}
+}
+
+func TestChurnFigure(t *testing.T) {
+	fig, err := Churn(Options{Seed: DefaultSeed, Requests: 3000, Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 6 {
+		t.Fatalf("figure has %d series, want 6 policies", len(fig.Series))
+	}
+	wantCells := 6 * len(ChurnSettings)
+	if len(fig.Cells) != wantCells {
+		t.Fatalf("figure has %d cells, want %d", len(fig.Cells), wantCells)
+	}
+	for _, s := range fig.Series {
+		if len(s.Y) != len(ChurnSettings) {
+			t.Fatalf("series %s has %d points, want %d", s.Label, len(s.Y), len(ChurnSettings))
+		}
+		for j, y := range s.Y {
+			if y <= 0 || y >= 100 {
+				t.Errorf("series %s setting %d: hit rate %v out of (0, 100)", s.Label, j, y)
+			}
+		}
+	}
+	// Cells whose invalidation mechanism can fire within this shortened
+	// horizon must have seen real catalog dynamics: the TTL regimes expire
+	// cached copies (only once the TTL fits inside the horizon — slow-ttl's
+	// 4000-tick TTL cannot expire anything in 3000 requests), the purge
+	// regime invalidates explicitly from the first perish on.
+	canInvalidate := make(map[int]bool, len(ChurnSettings))
+	for j, s := range ChurnSettings {
+		canInvalidate[j] = s.TTL == 0 || int(s.TTL) < 3000
+	}
+	for i, c := range fig.Cells {
+		if canInvalidate[i%len(ChurnSettings)] && (c.Metrics.Invalidated == 0 || c.Metrics.BytesInval == 0) {
+			t.Errorf("cell %s saw no invalidations: %+v", c.Label, c.Metrics)
+		}
+		if c.Metrics.Requests != 3000 {
+			t.Errorf("cell %s drove %d requests, want 3000 (invalidations must not count)",
+				c.Label, c.Metrics.Requests)
+		}
+	}
+	// The purge cells must be labelled and present.
+	purged := 0
+	for _, c := range fig.Cells {
+		if strings.HasSuffix(c.Label, "@mid-purge") {
+			purged++
+		}
+	}
+	if purged != 6 {
+		t.Fatalf("%d purge-driven cells, want 6", purged)
+	}
+}
+
+// TestChurnDeterministicAcrossRuns: same options → identical figures,
+// across every regime; a different seed must actually change the output.
+func TestChurnDeterministicAcrossRuns(t *testing.T) {
+	opt := Options{Seed: DefaultSeed, Requests: 2000, Parallel: 4}
+	a, err := Churn(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Churn(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := figuresEqual(a, b); err != nil {
+		t.Fatalf("repeat run diverged: %v", err)
+	}
+	opt.Seed = DefaultSeed + 1
+	c, err := Churn(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if figuresEqual(a, c) == nil {
+		t.Fatal("different seeds produced identical churn figures")
+	}
+}

@@ -754,6 +754,7 @@ var Experiments = []struct {
 	{"drift", Drift},
 	{"admission", Admission},
 	{"optimal", Optimal},
+	{"churn", Churn},
 }
 
 // ByID returns the experiment function registered under id.

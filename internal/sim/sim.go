@@ -54,6 +54,8 @@ type Metrics struct {
 	Bypassed     uint64        // misses streamed without caching
 	FetchFailed  uint64        // misses whose remote fetch failed (fault injection)
 	VictimCalls  uint64        // Policy.Victims invocations (incl. re-invocations)
+	Invalidated  uint64        // clips dropped by catalog invalidation (explicit or TTL)
+	BytesInval   media.Bytes   // Σ bytes freed by catalog invalidation
 	Wall         time.Duration // wall-clock time of the cell
 }
 
@@ -69,6 +71,8 @@ func metricsFromStats(s core.Stats, wall time.Duration) Metrics {
 		Bypassed:     s.Bypassed,
 		FetchFailed:  s.FetchFailed,
 		VictimCalls:  s.VictimCalls,
+		Invalidated:  s.Invalidated,
+		BytesInval:   s.BytesInvalidated,
 		Wall:         wall,
 	}
 }
@@ -86,6 +90,8 @@ func (m *Metrics) Add(other Metrics) {
 	m.Bypassed += other.Bypassed
 	m.FetchFailed += other.FetchFailed
 	m.VictimCalls += other.VictimCalls
+	m.Invalidated += other.Invalidated
+	m.BytesInval += other.BytesInval
 	m.Wall += other.Wall
 }
 

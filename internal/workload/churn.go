@@ -1,0 +1,294 @@
+package workload
+
+// churn.go models catalog dynamics (ISSUE 8): clips are published and
+// perish continuously, so the live catalog — and with it the Zipf rank
+// order — varies over virtual time. The model follows the
+// publish/perish framing of "Catalog Dynamics: Impact of Content
+// Publishing and Perishing on the Performance of a LRU Cache" (PAPERS.md):
+// every clip has a finite life, perished clips leave the request
+// population, and newly published clips re-enter it at a random popularity
+// rank. The schedule is fully determined by (catalog, θ, spec, seed), so
+// any two generators with the same inputs emit byte-identical event
+// streams.
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"mediacache/internal/media"
+	"mediacache/internal/randutil"
+	"mediacache/internal/zipf"
+)
+
+// ChurnSpec is a compact textual churn description for CLI flags:
+//
+//	churn=RATE,LIFExHORIZON
+//
+// where RATE ∈ [0, 1] is the per-tick publish probability (one dead clip
+// re-enters the catalog with probability RATE per request tick), LIFE is
+// each clip's lifetime in ticks, and HORIZON is the total number of
+// request ticks the schedule covers. The "churn=" prefix is optional on
+// parse and always emitted by String, mirroring the zipf= spec idiom.
+type ChurnSpec struct {
+	// Rate is the per-tick publish probability in [0, 1].
+	Rate float64
+	// Life is each published clip's lifetime in ticks.
+	Life int
+	// Horizon is the schedule length in request ticks.
+	Horizon int
+}
+
+// ParseChurn parses the textual form. The result always passes Validate.
+func ParseChurn(s string) (ChurnSpec, error) {
+	t := strings.TrimSpace(s)
+	t = strings.TrimPrefix(t, "churn=")
+	rateStr, rest, ok := strings.Cut(t, ",")
+	if !ok {
+		return ChurnSpec{}, fmt.Errorf("workload: bad churn spec %q (want [churn=]RATE,LIFExHORIZON)", s)
+	}
+	rate, err := strconv.ParseFloat(strings.TrimSpace(rateStr), 64)
+	if err != nil {
+		return ChurnSpec{}, fmt.Errorf("workload: bad churn rate in %q: %v", s, err)
+	}
+	lifeStr, horStr, ok := strings.Cut(strings.TrimSpace(rest), "x")
+	if !ok {
+		return ChurnSpec{}, fmt.Errorf("workload: bad churn term %q (want LIFExHORIZON)", rest)
+	}
+	life, err := strconv.Atoi(lifeStr)
+	if err != nil {
+		return ChurnSpec{}, fmt.Errorf("workload: bad churn life in %q: %v", s, err)
+	}
+	horizon, err := strconv.Atoi(horStr)
+	if err != nil {
+		return ChurnSpec{}, fmt.Errorf("workload: bad churn horizon in %q: %v", s, err)
+	}
+	spec := ChurnSpec{Rate: rate, Life: life, Horizon: horizon}
+	if err := spec.Validate(); err != nil {
+		return ChurnSpec{}, err
+	}
+	return spec, nil
+}
+
+// Validate reports whether the spec is well formed.
+func (sp ChurnSpec) Validate() error {
+	if !(sp.Rate >= 0 && sp.Rate <= 1) || math.IsNaN(sp.Rate) { // rejects NaN
+		return fmt.Errorf("workload: churn rate %v outside [0, 1]", sp.Rate)
+	}
+	if sp.Life <= 0 {
+		return fmt.Errorf("workload: churn life must be positive, got %d", sp.Life)
+	}
+	if sp.Horizon <= 0 {
+		return fmt.Errorf("workload: churn horizon must be positive, got %d", sp.Horizon)
+	}
+	return nil
+}
+
+// String renders the spec in ParseChurn's syntax; a valid spec round-trips
+// exactly.
+func (sp ChurnSpec) String() string {
+	return fmt.Sprintf("churn=%s,%dx%d",
+		strconv.FormatFloat(sp.Rate, 'g', -1, 64), sp.Life, sp.Horizon)
+}
+
+// ChurnEventKind classifies one event of a churn schedule.
+type ChurnEventKind uint8
+
+const (
+	// ChurnRequest: a client references the clip (one request tick).
+	ChurnRequest ChurnEventKind = iota
+	// ChurnPublish: the clip (re-)enters the live catalog at a fresh rank.
+	ChurnPublish
+	// ChurnPerish: the clip leaves the live catalog; caches should purge it.
+	ChurnPerish
+)
+
+// String implements fmt.Stringer.
+func (k ChurnEventKind) String() string {
+	switch k {
+	case ChurnRequest:
+		return "request"
+	case ChurnPublish:
+		return "publish"
+	case ChurnPerish:
+		return "perish"
+	default:
+		return fmt.Sprintf("ChurnEventKind(%d)", uint8(k))
+	}
+}
+
+// ChurnEvent is one element of the deterministic churn event stream.
+type ChurnEvent struct {
+	Kind ChurnEventKind
+	Clip media.ClipID
+}
+
+// Churn generates the deterministic event stream of a churn schedule over
+// clip ids 1..n: per request tick, first the perish events due at that
+// tick (in perish-deadline insertion order), then at most one publish,
+// then exactly one request drawn Zipf-distributed over the current live
+// catalog in rank order. Not safe for concurrent use.
+type Churn struct {
+	n     int
+	theta float64
+	spec  ChurnSpec
+	seed  uint64
+
+	src *randutil.Source
+	// aliveRanks holds the live catalog in popularity-rank order: index 0
+	// is the most popular clip. Newly published clips insert at a random
+	// rank, shifting lower ranks down — "new clips enter the Zipf rank
+	// order".
+	aliveRanks []media.ClipID
+	// deadlines maps each live clip to the tick at which it perishes.
+	deadlines map[media.ClipID]int
+	// perishQ holds the live clips in perish order (deadline, then
+	// insertion order): a simple queue, since lives are uniform.
+	perishQ []churnDeadline
+	// dead is the FIFO pool of perished clips awaiting republication.
+	dead []media.ClipID
+
+	tick int // request ticks emitted so far
+	// buf holds the events of the in-progress tick not yet handed out.
+	buf []ChurnEvent
+	// dists memoizes one Zipf distribution per live-catalog size; catalog
+	// sizes revisit a narrow band, so construction cost amortizes away.
+	dists map[int]*zipf.Distribution
+}
+
+// churnDeadline is one entry of the perish queue.
+type churnDeadline struct {
+	id media.ClipID
+	at int
+}
+
+// NewChurn builds the generator for clip ids 1..n with Zipf mean theta.
+// All n clips start alive, clip id == initial rank (the repository's
+// convention that id 1 is most popular), each with a perish deadline
+// staggered uniformly over (0, Life] so the initial catalog does not
+// expire in one burst.
+func NewChurn(n int, theta float64, spec ChurnSpec, seed uint64) (*Churn, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: churn catalog size must be positive, got %d", n)
+	}
+	if !(theta >= 0 && theta <= 1) {
+		return nil, fmt.Errorf("workload: zipf mean %v outside [0, 1]", theta)
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Churn{n: n, theta: theta, spec: spec, seed: seed}
+	c.Reset()
+	return c, nil
+}
+
+// Reset rewinds the generator to its initial state; the regenerated event
+// stream is byte-identical to the first.
+func (c *Churn) Reset() {
+	c.src = randutil.NewSource(c.seed).Split("churn")
+	c.aliveRanks = make([]media.ClipID, c.n)
+	c.deadlines = make(map[media.ClipID]int, c.n)
+	c.perishQ = c.perishQ[:0]
+	c.dead = c.dead[:0]
+	c.tick = 0
+	c.buf = c.buf[:0]
+	c.dists = make(map[int]*zipf.Distribution)
+	for i := range c.aliveRanks {
+		id := media.ClipID(i + 1)
+		c.aliveRanks[i] = id
+		at := 1 + c.src.Intn(c.spec.Life)
+		c.deadlines[id] = at
+		c.perishQ = append(c.perishQ, churnDeadline{id: id, at: at})
+	}
+	// Initial deadlines are drawn in id order but perish in deadline order:
+	// sort the queue stably so pops are chronological. (Republished clips
+	// always append with a later deadline, so the queue stays sorted.)
+	sortChurnQueue(c.perishQ)
+}
+
+// sortChurnQueue stable-sorts by deadline, preserving id order within one
+// deadline — an insertion sort is fine for the one-time initial shuffle.
+func sortChurnQueue(q []churnDeadline) {
+	for i := 1; i < len(q); i++ {
+		for j := i; j > 0 && q[j].at < q[j-1].at; j-- {
+			q[j], q[j-1] = q[j-1], q[j]
+		}
+	}
+}
+
+// Spec returns the churn spec the generator was built from.
+func (c *Churn) Spec() ChurnSpec { return c.spec }
+
+// Live returns the current live-catalog size.
+func (c *Churn) Live() int { return len(c.aliveRanks) }
+
+// Next returns the next event of the schedule. ok is false once every
+// event of all Horizon ticks has been handed out.
+func (c *Churn) Next() (ev ChurnEvent, ok bool) {
+	for len(c.buf) == 0 {
+		if c.tick >= c.spec.Horizon {
+			return ChurnEvent{}, false
+		}
+		c.step()
+	}
+	ev = c.buf[0]
+	copy(c.buf, c.buf[1:])
+	c.buf = c.buf[:len(c.buf)-1]
+	return ev, true
+}
+
+// step generates one request tick's events into buf.
+func (c *Churn) step() {
+	c.tick++
+	t := c.tick
+
+	// (a) Perish everything due at this tick — unless it would empty the
+	// catalog, in which case the clip gets another life: the request
+	// stream must always have a population to draw from.
+	for len(c.perishQ) > 0 && c.perishQ[0].at <= t {
+		d := c.perishQ[0]
+		if len(c.aliveRanks) == 1 {
+			c.perishQ[0].at = t + c.spec.Life
+			c.deadlines[d.id] = t + c.spec.Life
+			break
+		}
+		c.perishQ = c.perishQ[1:]
+		for i, id := range c.aliveRanks {
+			if id == d.id {
+				c.aliveRanks = append(c.aliveRanks[:i], c.aliveRanks[i+1:]...)
+				break
+			}
+		}
+		delete(c.deadlines, d.id)
+		c.dead = append(c.dead, d.id)
+		c.buf = append(c.buf, ChurnEvent{Kind: ChurnPerish, Clip: d.id})
+	}
+
+	// (b) Publish at most one dead clip with probability Rate, inserting
+	// it at a uniform random rank.
+	if len(c.dead) > 0 && c.src.Float64() < c.spec.Rate {
+		id := c.dead[0]
+		c.dead = c.dead[1:]
+		r := c.src.Intn(len(c.aliveRanks) + 1)
+		c.aliveRanks = append(c.aliveRanks, 0)
+		copy(c.aliveRanks[r+1:], c.aliveRanks[r:])
+		c.aliveRanks[r] = id
+		at := t + c.spec.Life
+		c.deadlines[id] = at
+		c.perishQ = append(c.perishQ, churnDeadline{id: id, at: at})
+		c.buf = append(c.buf, ChurnEvent{Kind: ChurnPublish, Clip: id})
+	}
+
+	// (c) One request: a Zipf draw over the live catalog's rank order.
+	live := len(c.aliveRanks)
+	dist := c.dists[live]
+	if dist == nil {
+		// Cannot fail: live ≥ 1 (the perish loop never empties the catalog)
+		// and theta was validated by NewChurn.
+		dist, _ = zipf.New(live, c.theta)
+		c.dists[live] = dist
+	}
+	rank := dist.Sample(c.src)
+	c.buf = append(c.buf, ChurnEvent{Kind: ChurnRequest, Clip: c.aliveRanks[rank-1]})
+}

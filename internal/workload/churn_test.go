@@ -1,0 +1,257 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"mediacache/internal/media"
+)
+
+func TestParseChurn(t *testing.T) {
+	cases := []struct {
+		in   string
+		want ChurnSpec
+	}{
+		{"churn=0.01,4000x20000", ChurnSpec{Rate: 0.01, Life: 4000, Horizon: 20000}},
+		{"0.5,10x100", ChurnSpec{Rate: 0.5, Life: 10, Horizon: 100}},
+		{" churn=0,1x1 ", ChurnSpec{Rate: 0, Life: 1, Horizon: 1}},
+		{"churn=1,2x3", ChurnSpec{Rate: 1, Life: 2, Horizon: 3}},
+	}
+	for _, c := range cases {
+		got, err := ParseChurn(c.in)
+		if err != nil {
+			t.Errorf("ParseChurn(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseChurn(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseChurnRejects(t *testing.T) {
+	for _, bad := range []string{
+		"", "churn=", "0.5", "0.5,", "x", "0.5,x", "0.5,10", "0.5,10x",
+		"0.5,x100", "1.5,10x100", "-0.1,10x100", "nan,10x100", "0.5,0x100",
+		"0.5,10x0", "0.5,-1x100", "0.5,10x-1", "a,10x100", "0.5,ax100", "0.5,10xa",
+	} {
+		if got, err := ParseChurn(bad); err == nil {
+			t.Errorf("ParseChurn(%q) accepted: %+v", bad, got)
+		}
+	}
+}
+
+func TestChurnSpecRoundTrip(t *testing.T) {
+	for _, s := range []string{
+		"churn=0.01,4000x20000",
+		"churn=0.729,1x1",
+		"churn=1,2x3",
+	} {
+		spec, err := ParseChurn(s)
+		if err != nil {
+			t.Fatalf("ParseChurn(%q): %v", s, err)
+		}
+		if got := spec.String(); got != s {
+			t.Errorf("ParseChurn(%q).String() = %q", s, got)
+		}
+	}
+}
+
+// collectChurn drains a generator into a slice.
+func collectChurn(t *testing.T, c *Churn) []ChurnEvent {
+	t.Helper()
+	var evs []ChurnEvent
+	for {
+		ev, ok := c.Next()
+		if !ok {
+			return evs
+		}
+		evs = append(evs, ev)
+	}
+}
+
+// TestChurnDeterministic: same (n, θ, spec, seed) → byte-identical event
+// streams, from a fresh generator and from Reset.
+func TestChurnDeterministic(t *testing.T) {
+	spec := ChurnSpec{Rate: 0.05, Life: 200, Horizon: 5000}
+	a, err := NewChurn(64, 0.27, spec, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewChurn(64, 0.27, spec, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea, eb := collectChurn(t, a), collectChurn(t, b)
+	if len(ea) != len(eb) {
+		t.Fatalf("stream lengths differ: %d vs %d", len(ea), len(eb))
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, ea[i], eb[i])
+		}
+	}
+	a.Reset()
+	er := collectChurn(t, a)
+	if len(er) != len(ea) {
+		t.Fatalf("reset stream length %d, first run %d", len(er), len(ea))
+	}
+	for i := range ea {
+		if er[i] != ea[i] {
+			t.Fatalf("reset event %d differs: %+v vs %+v", i, er[i], ea[i])
+		}
+	}
+	c, err := NewChurn(64, 0.27, spec, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ec := collectChurn(t, c)
+	same := len(ec) == len(ea)
+	if same {
+		for i := range ea {
+			if ec[i] != ea[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+// TestChurnSchedule checks the structural invariants of the stream: one
+// request per tick, requests only reference live clips, perished clips
+// stay out of the population until republished, every clip's life spans
+// at most Life ticks, and the live catalog never empties.
+func TestChurnSchedule(t *testing.T) {
+	const n = 48
+	spec := ChurnSpec{Rate: 0.1, Life: 100, Horizon: 8000}
+	c, err := NewChurn(n, 0.27, spec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alive := make(map[media.ClipID]bool, n)
+	bornAt := make(map[media.ClipID]int, n)
+	for i := 1; i <= n; i++ {
+		alive[media.ClipID(i)] = true
+		bornAt[media.ClipID(i)] = 0
+	}
+	requests, publishes, perishes := 0, 0, 0
+	tick := 0
+	for {
+		ev, ok := c.Next()
+		if !ok {
+			break
+		}
+		switch ev.Kind {
+		case ChurnRequest:
+			tick++
+			requests++
+			if !alive[ev.Clip] {
+				t.Fatalf("tick %d: request for dead clip %d", tick, ev.Clip)
+			}
+		case ChurnPublish:
+			publishes++
+			if alive[ev.Clip] {
+				t.Fatalf("tick %d: publish of already-live clip %d", tick, ev.Clip)
+			}
+			alive[ev.Clip] = true
+			bornAt[ev.Clip] = tick
+		case ChurnPerish:
+			perishes++
+			if !alive[ev.Clip] {
+				t.Fatalf("tick %d: perish of already-dead clip %d", tick, ev.Clip)
+			}
+			if age := tick + 1 - bornAt[ev.Clip]; age > spec.Life+1 {
+				t.Fatalf("tick %d: clip %d perished after %d ticks, life is %d",
+					tick, ev.Clip, age, spec.Life)
+			}
+			delete(alive, ev.Clip)
+			if len(alive) == 0 {
+				t.Fatalf("tick %d: catalog emptied", tick)
+			}
+		}
+	}
+	if requests != spec.Horizon {
+		t.Fatalf("stream carried %d requests, horizon is %d", requests, spec.Horizon)
+	}
+	if perishes == 0 || publishes == 0 {
+		t.Fatalf("no catalog dynamics: %d perishes, %d publishes", perishes, publishes)
+	}
+	if got := c.Live(); got != len(alive) {
+		t.Fatalf("Live() = %d, tracked %d", got, len(alive))
+	}
+}
+
+// TestChurnRateZero: with publish probability zero the population only
+// shrinks (down to the keep-one floor) and nothing is ever published.
+func TestChurnRateZero(t *testing.T) {
+	spec := ChurnSpec{Rate: 0, Life: 10, Horizon: 200}
+	c, err := NewChurn(8, 0.5, spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		ev, ok := c.Next()
+		if !ok {
+			break
+		}
+		if ev.Kind == ChurnPublish {
+			t.Fatal("publish event at rate 0")
+		}
+	}
+	if got := c.Live(); got != 1 {
+		t.Fatalf("rate-0 catalog should shrink to 1 live clip, has %d", got)
+	}
+}
+
+func TestNewChurnRejects(t *testing.T) {
+	good := ChurnSpec{Rate: 0.1, Life: 10, Horizon: 100}
+	if _, err := NewChurn(0, 0.5, good, 1); err == nil {
+		t.Error("accepted zero catalog")
+	}
+	if _, err := NewChurn(4, 1.5, good, 1); err == nil {
+		t.Error("accepted theta > 1")
+	}
+	if _, err := NewChurn(4, math.NaN(), good, 1); err == nil {
+		t.Error("accepted NaN theta")
+	}
+	if _, err := NewChurn(4, 0.5, ChurnSpec{Rate: 0.1, Life: 0, Horizon: 5}, 1); err == nil {
+		t.Error("accepted zero life")
+	}
+}
+
+// FuzzParseChurn hardens the churn grammar: ParseChurn must never panic,
+// and any spec it accepts must render back into a string that reparses to
+// the identical spec.
+func FuzzParseChurn(f *testing.F) {
+	f.Add("churn=0.01,4000x20000")
+	f.Add("0.5,10x100")
+	f.Add("churn=")
+	f.Add("churn=1,1x1")
+	f.Add("nan,1x1")
+	f.Add("-0,1x1")
+	f.Add("0x1p-3,2x9")
+	f.Add("1e-300,9999999999x1")
+	f.Add(",,,x")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		spec, err := ParseChurn(input)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("accepted spec %q fails validation: %v", input, err)
+		}
+		rendered := spec.String()
+		again, err := ParseChurn(rendered)
+		if err != nil {
+			t.Fatalf("rendering of accepted spec %q does not reparse: %q: %v",
+				input, rendered, err)
+		}
+		if again != spec {
+			t.Fatalf("round trip changed spec: %+v vs %+v", spec, again)
+		}
+	})
+}
