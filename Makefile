@@ -1,7 +1,7 @@
 GO ?= go
 BENCH_DATE := $(shell date +%Y-%m-%d)
 
-.PHONY: build test vet race racecheck alloccheck rangecheck loadcheck churncheck check bench loadbench benchcmp fuzz-smoke
+.PHONY: build test vet race racecheck alloccheck rangecheck loadcheck churncheck clustercheck check bench loadbench benchcmp fuzz-smoke
 
 # Each fuzz target gets a short smoke budget; go test allows only one
 # -fuzz pattern per invocation, so targets run sequentially.
@@ -56,11 +56,22 @@ churncheck:
 		./internal/workload ./internal/core ./internal/shard \
 		./internal/sim ./internal/cacheclient ./cmd/cacheserver
 
+# clustercheck runs the cooperative-tier conformance surface under the race
+# detector: the consistent-hash ring, digest verdicts, hedged peer reads,
+# the retry/breaker client (incl. Retry-After parsing), snapshot rebalance
+# across shard counts, the cooperative in-process model's fault accounting,
+# and the multi-node chaos drive (node loss + partition + slow peers).
+clustercheck:
+	$(GO) test -race -run 'Cluster|Ring|Digest|Hedge|RetryAfter|Rebalance|Coop|UnionCoverage|PartialPeer|Degraded' -count=1 \
+		./internal/cluster ./internal/cacheclient ./internal/shard \
+		./internal/coop ./cmd/cacheserver
+
 # check is the tier-1 gate plus static analysis, the race detector, the
 # request-path allocation assertion, the Range-conformance surface, the
-# open-loop load smoke and the catalog-churn surface. vet and test cover
-# every package, including internal/metrics and internal/obs.
-check: build vet test race alloccheck rangecheck loadcheck churncheck
+# open-loop load smoke, the catalog-churn surface and the cooperative
+# cluster surface. vet and test cover every package, including
+# internal/metrics and internal/obs.
+check: build vet test race alloccheck rangecheck loadcheck churncheck clustercheck
 
 # bench runs the full benchmark suite and archives the run as test2json
 # events (one dated file per day; reruns overwrite).

@@ -27,6 +27,17 @@
 // hit/miss identities. Without -ttl and without DELETEs every response is
 // byte-identical to pre-churn servers.
 //
+// With -node-id the server joins a cooperative cluster tier: -peers names
+// the other ring members, and a consistent-hash ring assigns every clip
+// -replicas owners. On a local miss the clip's remote owners are consulted
+// over hedged peer reads (the next replica is tried after -hedge) before
+// the origin fetch is booked; a peer win charges startup latency to the
+// -peer-alloc node-to-node link instead of the origin link. Cached peer
+// residency digests, refreshed every -digest-interval, veto most fruitless
+// probes without a round trip. See GET /v1/cluster for ring and
+// cooperative state. Without -node-id every response is byte-identical to
+// pre-cluster servers.
+//
 // Endpoints (v1):
 //
 //	GET  /v1/clips/{id}  service a reference to clip id; returns the outcome,
@@ -52,6 +63,11 @@
 //	                     shard counts)
 //	POST /v1/restore     restore a previously captured snapshot
 //	GET  /v1/policies    policy specs the registry can build
+//	GET  /v1/cluster     ring membership, per-peer breaker/digest state and
+//	                     cooperative counters (clustered servers only)
+//	GET  /v1/cluster/digest     this node's residency digest for peers
+//	GET  /v1/cluster/clips/{id} peer-serve read: 200 iff fully resident
+//	                     here; never touches local request statistics
 //	GET  /v1/metrics     Prometheus text exposition: engine counters,
 //	                     per-shard gauges, per-route HTTP latency histograms,
 //	                     sweep-pool gauges
@@ -93,6 +109,7 @@ import (
 	"os"
 	"runtime"
 
+	"mediacache/internal/cluster"
 	"mediacache/internal/fault"
 	"mediacache/internal/media"
 	"mediacache/internal/sim"
@@ -117,12 +134,27 @@ func main() {
 	faultsFlag := fs.String("faults", "", `fault-injection profile for the clip route, e.g. "p=0.05" or "error=0.1,timeout=0.05,latency=20ms" ("" or "off" disables)`)
 	maxInFlight := fs.Int("maxinflight", 0, "shed requests with 429 once this many are in flight (0 = unbounded)")
 	memLimit := fs.Uint64("memlimit", 0, "bypass cache admission while process heap exceeds this many bytes (0 = off)")
+	nodeID := fs.String("node-id", "", "this node's cluster ring ID; joins the cooperative tier (\"\" = standalone)")
+	peersFlag := fs.String("peers", "", `comma-separated ring peers as id=url pairs, e.g. "n2=http://10.0.0.2:8377,n3=http://10.0.0.3:8377"`)
+	replicas := fs.Int("replicas", cluster.DefaultReplicas, "ring owners consulted per clip")
+	hedge := fs.Duration("hedge", cluster.DefaultHedgeDelay, "delay before a peer read is hedged to the next replica")
+	digestInterval := fs.Duration("digest-interval", cluster.DefaultDigestInterval, "period of the peer residency-digest refresh loop")
+	peerAlloc := fs.Int64("peer-alloc", 100_000_000, "node-to-node link bandwidth in bits/second for peer-served misses")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
 	}
 	profile, err := fault.ParseProfile(*faultsFlag)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cacheserver: %v\n", err)
+		os.Exit(2)
+	}
+	peers, err := parsePeers(*peersFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cacheserver: %v\n", err)
+		os.Exit(2)
+	}
+	if *nodeID == "" && len(peers) > 0 {
+		fmt.Fprintln(os.Stderr, "cacheserver: -peers requires -node-id")
 		os.Exit(2)
 	}
 
@@ -148,10 +180,22 @@ func main() {
 		faults:         profile,
 		maxInFlight:    *maxInFlight,
 		memLimit:       *memLimit,
+		cluster: clusterConfig{
+			nodeID:         *nodeID,
+			peers:          peers,
+			replicas:       *replicas,
+			hedgeDelay:     *hedge,
+			digestInterval: *digestInterval,
+			peerAlloc:      media.BitsPerSecond(*peerAlloc),
+		},
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cacheserver: %v\n", err)
 		os.Exit(1)
+	}
+	if srv.cluster != nil {
+		stop := srv.cluster.StartDigestLoop()
+		defer stop()
 	}
 	logger.Info("cacheserver listening",
 		slog.String("policy", srv.pool.PolicyName()),

@@ -7,8 +7,10 @@ import (
 	"log/slog"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 
 	"mediacache/internal/api"
+	"mediacache/internal/cluster"
 	"mediacache/internal/core"
 	"mediacache/internal/fault"
 	"mediacache/internal/media"
@@ -50,6 +52,9 @@ type config struct {
 	faults      fault.Profile // injected fault schedule on the clip route
 	maxInFlight int           // shed requests beyond this bound (0 = unbounded)
 	memLimit    uint64        // bypass admission above this heap size (0 = off)
+
+	// Cooperative cluster tier (cluster.go). Zero nodeID = standalone.
+	cluster clusterConfig
 }
 
 // server wires a device cache into an http.Handler. The cache is a
@@ -72,6 +77,9 @@ type server struct {
 	chaos      *chaos       // nil when fault injection is off
 	shed       *shedder
 	guard      *memGuard
+	cluster    *cluster.Cluster // nil when -node-id is unset (standalone)
+	peerAlloc  media.BitsPerSecond
+	digestSeq  atomic.Uint64
 }
 
 // newServer builds the cache pool per the CLI configuration and mounts the
@@ -188,6 +196,11 @@ func newServer(cfg config) (*server, error) {
 			s.mux.Handle(rt.pattern, gone(api.Version+path))
 		}
 	}
+	if cfg.cluster.nodeID != "" {
+		if err := s.initCluster(cfg.cluster); err != nil {
+			return nil, err
+		}
+	}
 	if cfg.pprof {
 		s.mountPprof()
 	}
@@ -271,6 +284,10 @@ func (s *server) handleClip(w http.ResponseWriter, r *http.Request) {
 		}
 		// Malformed or non-bytes range: fall through to the full response.
 	}
+	// Clustered nodes consult the clip's ring owners before the local engine
+	// books the miss: the engine's accounting is identical either way, but a
+	// peer win charges startup latency to the peer link, not the origin.
+	peer, peerHit := s.consultPeers(r, clip)
 	out, err := s.pool.Request(clip.ID)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "%v", err)
@@ -284,7 +301,12 @@ func (s *server) handleClip(w http.ResponseWriter, r *http.Request) {
 		Hit:       out.IsHit(),
 	}
 	if !out.IsHit() {
-		lat, err := netsim.StartupLatency(clip, s.alloc, s.admission)
+		alloc := s.alloc
+		if peerHit {
+			resp.Peer = peer
+			alloc = s.peerAlloc
+		}
+		lat, err := netsim.StartupLatency(clip, alloc, s.admission)
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, "%v", err)
 			return

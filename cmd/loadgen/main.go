@@ -36,6 +36,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mediacache/internal/cacheclient"
@@ -166,6 +167,7 @@ func run(args []string, out io.Writer) error {
 // points don't inherit each other's cache state) and renders the table.
 func runSweep(out io.Writer, opt options) error {
 	var points []point
+	var peerServed uint64
 	for _, rateHz := range opt.rates {
 		n := int(rateHz * opt.duration.Seconds())
 		if n < 1 {
@@ -179,9 +181,15 @@ func runSweep(out io.Writer, opt options) error {
 		if err != nil {
 			return err
 		}
+		if ht, ok := tgt.(*httpTarget); ok {
+			peerServed += ht.peerServed.Load()
+		}
 		points = append(points, p)
 	}
 	writeTable(out, points)
+	if opt.mode == "http" {
+		writeClusterCounters(out, opt, peerServed)
+	}
 	if opt.jsonPath != "" {
 		doc := archive{
 			Tool: "loadgen", Mode: opt.mode, Workload: opt.spec.String(),
@@ -197,6 +205,25 @@ func runSweep(out io.Writer, opt options) error {
 		fmt.Fprintf(out, "archived %d points to %s\n", len(points), opt.jsonPath)
 	}
 	return nil
+}
+
+// writeClusterCounters appends the cooperative-tier line after an HTTP
+// sweep: the peer-served responses the drivers observed plus the server's
+// own peer/hedge/digest counters from GET /v1/cluster. Standalone servers
+// answer 404 there, which silently skips the line — the table is unchanged
+// for every pre-cluster deployment.
+func writeClusterCounters(out io.Writer, opt options, peerServed uint64) {
+	c, err := cacheclient.New(cacheclient.Config{BaseURL: opt.url, MaxAttempts: 1, Seed: opt.seed})
+	if err != nil {
+		return
+	}
+	st, err := c.ClusterStatus(context.Background())
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(out, "cluster %s: peer-served %d of this sweep; peerHits=%d peerMisses=%d peerErrors=%d hedges=%d hedgeWins=%d digestSkips=%d peers=%d\n",
+		st.Node, peerServed, st.PeerHits, st.PeerMisses, st.PeerErrors,
+		st.Hedges, st.HedgeWins, st.DigestSkips, len(st.Peers))
 }
 
 // writeTable renders the latency-vs-offered-load table.
@@ -522,6 +549,9 @@ type httpTarget struct {
 	client *cacheclient.Client
 	trace  []media.ClipID
 	batch  int
+	// peerServed counts responses a clustered server attributed to a ring
+	// peer (the wire peer field) — zero against standalone servers.
+	peerServed atomic.Uint64
 }
 
 func newHTTPTarget(opt options, trace []media.ClipID) (*httpTarget, error) {
@@ -569,6 +599,9 @@ func (t *httpTarget) serve(off, n int) ([]itemOutcome, error) {
 				return nil, serr
 			}
 			return nil, err
+		}
+		if clip.Peer != "" {
+			t.peerServed.Add(1)
 		}
 		out = append(out, classifyHTTP(200, clip.Outcome, clip.Hit))
 	}

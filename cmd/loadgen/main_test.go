@@ -88,6 +88,12 @@ func TestHTTPModeBatched(t *testing.T) {
 			json.NewEncoder(w).Encode(resp)
 			return
 		}
+		if r.URL.Path == "/v1/cluster" {
+			// Standalone servers have no cluster route; the sweep's final
+			// counter scrape must tolerate the 404 silently.
+			http.Error(w, `{"error":"no cluster"}`, http.StatusNotFound)
+			return
+		}
 		singles.Add(1)
 		json.NewEncoder(w).Encode(api.Clip{Clip: 1, Outcome: "hit", Hit: true})
 	}))

@@ -56,6 +56,10 @@ type Clip struct {
 	// which the clip's cached copy expires. Present only on TTL-enabled
 	// servers for resident clips, so pre-churn responses are unchanged.
 	ExpiresAtTick int64 `json:"expiresAtTick,omitempty"`
+	// Peer is the cluster node that serviced this miss over the peer link
+	// instead of the origin. Present only on clustered servers when a peer
+	// read won, so pre-cluster responses are unchanged.
+	Peer string `json:"peer,omitempty"`
 }
 
 // BatchItem is one clip reference in a POST /v1/batch request. When
@@ -232,4 +236,62 @@ type BuildVersion struct {
 	PolicySpec string `json:"policySpec"`
 	Module     string `json:"module,omitempty"`
 	Revision   string `json:"revision,omitempty"`
+}
+
+// ClusterClip is the response of GET /v1/cluster/clips/{id} — the
+// peer-serve route of the cooperative tier. A node answers 200 only when
+// the clip is fully resident locally, 404 otherwise; a partial resident is
+// not a copy. Serving a peer does not touch the serving node's cache or
+// its statistics — like internal/coop, a device's policy sees only its own
+// clients' references.
+type ClusterClip struct {
+	Clip      media.ClipID `json:"clip"`
+	Node      string       `json:"node"`
+	SizeBytes int64        `json:"sizeBytes"`
+}
+
+// ClusterDigest is the response of GET /v1/cluster/digest: a compact
+// residency summary peers cache between refreshes, so most peer probes are
+// answered locally from the digest rather than over the network. Clips
+// lists only FULLY resident clips — partial residents cannot serve a peer
+// read. PartialClips reports how many residents were excluded for being
+// partial (segmented nodes only).
+type ClusterDigest struct {
+	Node             string         `json:"node"`
+	Seq              uint64         `json:"seq"`
+	Clips            []media.ClipID `json:"clips"`
+	UsedBytes        int64          `json:"usedBytes"`
+	SegmentSizeBytes int64          `json:"segmentSizeBytes,omitempty"`
+	PartialClips     int            `json:"partialClips,omitempty"`
+}
+
+// ClusterPeer describes one configured peer in the GET /v1/cluster status,
+// including the freshness of its last digest (ages are relative to the
+// serving node's wall clock).
+type ClusterPeer struct {
+	ID               string  `json:"id"`
+	URL              string  `json:"url"`
+	Breaker          string  `json:"breaker"`
+	DigestSeq        uint64  `json:"digestSeq,omitempty"`
+	DigestClips      int     `json:"digestClips,omitempty"`
+	DigestAgeSeconds float64 `json:"digestAgeSeconds,omitempty"`
+	DigestFresh      bool    `json:"digestFresh,omitempty"`
+}
+
+// ClusterStatus is the response of GET /v1/cluster: ring membership plus
+// the node's cooperative counters.
+type ClusterStatus struct {
+	Node            string        `json:"node"`
+	Replicas        int           `json:"replicas"`
+	Peers           []ClusterPeer `json:"peers"`
+	PeerHits        uint64        `json:"peerHits"`
+	PeerMisses      uint64        `json:"peerMisses"`
+	PeerErrors      uint64        `json:"peerErrors"`
+	Hedges          uint64        `json:"hedges"`
+	HedgeWins       uint64        `json:"hedgeWins"`
+	DigestSkips     uint64        `json:"digestSkips"`
+	DigestRefreshes uint64        `json:"digestRefreshes"`
+	DigestErrors    uint64        `json:"digestErrors"`
+	PeerServed      uint64        `json:"peerServed"`
+	PeerServedBytes int64         `json:"peerServedBytes"`
 }

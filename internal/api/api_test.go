@@ -11,7 +11,7 @@ import (
 // breaking change that must fail here first.
 var wireFields = map[string][]string{
 	"Error":           {"error"},
-	"Clip":            {"clip", "kind", "sizeBytes", "outcome", "hit", "latencySeconds", "bytesResident", "prefixSegments", "segments", "range", "expiresAtTick"},
+	"Clip":            {"clip", "kind", "sizeBytes", "outcome", "hit", "latencySeconds", "bytesResident", "prefixSegments", "segments", "range", "expiresAtTick", "peer"},
 	"SegmentInfo":     {"sizeBytes", "total", "resident"},
 	"RangeInfo":       {"startBytes", "lengthBytes", "bytesHit", "bytesFetched", "bytesFailed"},
 	"BatchItem":       {"clip", "startBytes", "lengthBytes"},
@@ -30,6 +30,10 @@ var wireFields = map[string][]string{
 	"Shards":          {"shards"},
 	"Health":          {"status", "residentClips", "usedBytes", "capacityBytes"},
 	"BuildVersion":    {"api", "goVersion", "policy", "policySpec", "module", "revision"},
+	"ClusterClip":     {"clip", "node", "sizeBytes"},
+	"ClusterDigest":   {"node", "seq", "clips", "usedBytes", "segmentSizeBytes", "partialClips"},
+	"ClusterPeer":     {"id", "url", "breaker", "digestSeq", "digestClips", "digestAgeSeconds", "digestFresh"},
+	"ClusterStatus":   {"node", "replicas", "peers", "peerHits", "peerMisses", "peerErrors", "hedges", "hedgeWins", "digestSkips", "digestRefreshes", "digestErrors", "peerServed", "peerServedBytes"},
 }
 
 // jsonTags extracts the json field names of a struct type.
@@ -70,6 +74,10 @@ func TestWireContractFrozen(t *testing.T) {
 		"Shards":          reflect.TypeOf(Shards{}),
 		"Health":          reflect.TypeOf(Health{}),
 		"BuildVersion":    reflect.TypeOf(BuildVersion{}),
+		"ClusterClip":     reflect.TypeOf(ClusterClip{}),
+		"ClusterDigest":   reflect.TypeOf(ClusterDigest{}),
+		"ClusterPeer":     reflect.TypeOf(ClusterPeer{}),
+		"ClusterStatus":   reflect.TypeOf(ClusterStatus{}),
 	}
 	if len(types) != len(wireFields) {
 		t.Fatalf("type map has %d entries, contract has %d", len(types), len(wireFields))

@@ -210,17 +210,31 @@ func (c *Client) backoff(attempt int, retryAfter time.Duration) time.Duration {
 	return delay
 }
 
-// parseRetryAfter reads a Retry-After header in delay-seconds form (the
-// only form the server emits); 0 when absent or malformed.
-func parseRetryAfter(h string) time.Duration {
+// parseRetryAfter reads a Retry-After header in either RFC 9110 form:
+// delay-seconds ("120") or HTTP-date ("Fri, 08 Aug 2026 12:00:00 GMT",
+// evaluated against now). It returns 0 when absent, malformed, or already
+// in the past; callers clamp the hint to MaxBackoff via backoff().
+func parseRetryAfter(h string, now time.Time) time.Duration {
 	if h == "" {
 		return 0
 	}
-	secs, err := strconv.Atoi(h)
-	if err != nil || secs < 0 {
+	if secs, err := strconv.Atoi(h); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	// http.ParseTime tries the three RFC 9110 HTTP-date layouts (IMF-fixdate,
+	// RFC 850, ANSI C asctime).
+	when, err := http.ParseTime(h)
+	if err != nil {
 		return 0
 	}
-	return time.Duration(secs) * time.Second
+	d := when.Sub(now)
+	if d < 0 {
+		return 0
+	}
+	return d
 }
 
 // do issues method path, retrying transient failures, and decodes a 2xx
@@ -234,12 +248,21 @@ func (c *Client) do(ctx context.Context, method, path string, out interface{}) e
 // doBody is do with a JSON request body (nil for bodiless calls). The body
 // bytes are replayed on every retry attempt.
 func (c *Client) doBody(ctx context.Context, method, path string, body []byte, out interface{}) error {
+	return c.run(ctx, func(actx context.Context) (int, time.Duration, error) {
+		return c.attempt(actx, method, path, body, out)
+	})
+}
+
+// run drives one logical call through the breaker/retry/backoff machinery.
+// attempt performs a single exchange, returning the HTTP status (0 for
+// transport errors) and any Retry-After hint.
+func (c *Client) run(ctx context.Context, attempt func(context.Context) (int, time.Duration, error)) error {
 	var lastErr error
-	for attempt := 1; ; attempt++ {
+	for n := 1; ; n++ {
 		if err := c.breaker.Allow(ctx, c.cfg.Sleep); err != nil {
 			return err
 		}
-		status, retryAfter, err := c.attempt(ctx, method, path, body, out)
+		status, retryAfter, err := attempt(ctx)
 		if err == nil {
 			c.breaker.Success()
 			return nil
@@ -254,12 +277,12 @@ func (c *Client) doBody(ctx context.Context, method, path string, body []byte, o
 			return lastErr
 		}
 		c.breaker.Failure()
-		if attempt >= c.cfg.MaxAttempts {
-			return fmt.Errorf("cacheclient: %d attempts exhausted: %w", attempt, lastErr)
+		if n >= c.cfg.MaxAttempts {
+			return fmt.Errorf("cacheclient: %d attempts exhausted: %w", n, lastErr)
 		}
-		delay := c.backoff(attempt, retryAfter)
+		delay := c.backoff(n, retryAfter)
 		if obs := c.cfg.Observer; obs != nil {
-			obs.Retry(attempt, delay, lastErr)
+			obs.Retry(n, delay, lastErr)
 		}
 		if err := c.cfg.Sleep(ctx, delay); err != nil {
 			return lastErr
@@ -293,7 +316,7 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 	}()
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return resp.StatusCode, parseRetryAfter(resp.Header.Get("Retry-After")),
+		return resp.StatusCode, parseRetryAfter(resp.Header.Get("Retry-After"), time.Now()),
 			&StatusError{Status: resp.StatusCode, Body: strings.TrimSpace(string(msg))}
 	}
 	if out != nil {

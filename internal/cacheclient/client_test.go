@@ -194,11 +194,11 @@ func TestRetryAfterHonored(t *testing.T) {
 	if d := c.backoff(1, time.Minute); d != DefaultMaxBackoff {
 		t.Fatalf("Retry-After not capped: %v", d)
 	}
-	if got := parseRetryAfter("3"); got != 3*time.Second {
+	if got := parseRetryAfter("3", time.Now()); got != 3*time.Second {
 		t.Fatalf("parseRetryAfter(3) = %v", got)
 	}
 	for _, bad := range []string{"", "x", "-1"} {
-		if got := parseRetryAfter(bad); got != 0 {
+		if got := parseRetryAfter(bad, time.Now()); got != 0 {
 			t.Fatalf("parseRetryAfter(%q) = %v, want 0", bad, got)
 		}
 	}

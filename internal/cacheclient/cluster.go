@@ -1,0 +1,106 @@
+// cluster.go — the cooperative-tier calls (ISSUE 9): the peer-serve read,
+// the residency digest, the cluster status, and raw snapshot transfer for
+// ring rebalancing. Every call rides the same breaker/retry/backoff
+// machinery as the public API; a node gives each peer its own Client, so
+// each peer gets its own breaker and its own jitter stream.
+package cacheclient
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"mediacache/internal/api"
+	"mediacache/internal/media"
+)
+
+// ClusterClip asks a peer to serve clip id from its resident set
+// (GET /v1/cluster/clips/{id}). The peer answers 200 only when the clip is
+// fully resident; a miss surfaces as a *StatusError with Status 404, which
+// is not retried — a non-resident peer stays non-resident for the duration
+// of any sane retry schedule.
+func (c *Client) ClusterClip(ctx context.Context, id media.ClipID) (api.ClusterClip, error) {
+	var out api.ClusterClip
+	err := c.do(ctx, http.MethodGet, fmt.Sprintf("/v1/cluster/clips/%d", id), &out)
+	return out, err
+}
+
+// ClusterDigest fetches a peer's residency digest (GET /v1/cluster/digest).
+func (c *Client) ClusterDigest(ctx context.Context) (api.ClusterDigest, error) {
+	var out api.ClusterDigest
+	err := c.do(ctx, http.MethodGet, "/v1/cluster/digest", &out)
+	return out, err
+}
+
+// ClusterStatus fetches a node's ring membership and cooperative counters
+// (GET /v1/cluster). Non-clustered servers answer 404.
+func (c *Client) ClusterStatus(ctx context.Context) (api.ClusterStatus, error) {
+	var out api.ClusterStatus
+	err := c.do(ctx, http.MethodGet, "/v1/cluster", &out)
+	return out, err
+}
+
+// Snapshot pulls the server's portable cache snapshot (GET /v1/snapshot)
+// as raw gob bytes — kept opaque so a rebalance moves state byte-for-byte
+// without a decode/re-encode round trip.
+func (c *Client) Snapshot(ctx context.Context) ([]byte, error) {
+	var out []byte
+	err := c.run(ctx, func(actx context.Context) (int, time.Duration, error) {
+		return c.attemptRaw(actx, http.MethodGet, "/v1/snapshot", nil, "", &out)
+	})
+	return out, err
+}
+
+// Restore replaces the server's cache state with a snapshot previously
+// pulled via Snapshot (POST /v1/restore). The body bytes are replayed on
+// every retry attempt; restore is idempotent on the server.
+func (c *Client) Restore(ctx context.Context, snapshot []byte) error {
+	return c.run(ctx, func(actx context.Context) (int, time.Duration, error) {
+		return c.attemptRaw(actx, http.MethodPost, "/v1/restore", snapshot,
+			"application/octet-stream", nil)
+	})
+}
+
+// attemptRaw is attempt for non-JSON exchanges: the request body (if any)
+// is sent as contentType, and a 2xx response body is returned verbatim in
+// *out when out is non-nil.
+func (c *Client) attemptRaw(ctx context.Context, method, path string, body []byte, contentType string, out *[]byte) (status int, retryAfter time.Duration, err error) {
+	actx, cancel := context.WithTimeout(ctx, c.cfg.AttemptTimeout)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(actx, method, c.base+path, rd)
+	if err != nil {
+		return 0, 0, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := c.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return resp.StatusCode, parseRetryAfter(resp.Header.Get("Retry-After"), time.Now()),
+			&StatusError{Status: resp.StatusCode, Body: strings.TrimSpace(string(msg))}
+	}
+	if out != nil {
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return resp.StatusCode, 0, fmt.Errorf("cacheclient: reading %s: %w", path, err)
+		}
+		*out = b
+	}
+	return resp.StatusCode, 0, nil
+}

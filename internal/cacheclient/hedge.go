@@ -1,0 +1,123 @@
+// hedge.go implements hedged requests for the cooperative cluster tier: a
+// call fans out across an ordered list of candidates, firing the next
+// candidate either when the previous one fails outright (failover) or when
+// a hedge delay elapses without an answer (a speculative hedge) — whichever
+// comes first. The first success wins and the losers are cancelled. Tail
+// latency on the peer path is bounded by the hedge delay instead of a slow
+// peer's timeout, at the cost of an occasional duplicate read.
+package cacheclient
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// HedgeResult reports how a hedged call concluded.
+type HedgeResult struct {
+	// Winner is the index of the candidate whose response was used; -1 when
+	// no candidate succeeded.
+	Winner int
+	// Hedged reports whether a speculative hedge fired (a candidate was
+	// launched by the delay timer while an earlier one was still pending).
+	// Failover launches after an outright failure do not count.
+	Hedged bool
+	// HedgeWon reports that a speculatively launched candidate won.
+	HedgeWon bool
+}
+
+// ErrNoCandidates reports a hedged call over an empty candidate list.
+var ErrNoCandidates = errors.New("cacheclient: hedged call with no candidates")
+
+// Hedged runs calls[0], fires calls[i+1] after delay (or immediately when
+// calls[i] fails), and returns the first successful result. All candidates
+// failing returns the first error observed; ctx cancellation is terminal.
+// A non-positive delay launches every candidate speculatively at once.
+func Hedged[T any](ctx context.Context, delay time.Duration, calls []func(context.Context) (T, error)) (T, HedgeResult, error) {
+	var zero T
+	res := HedgeResult{Winner: -1}
+	if len(calls) == 0 {
+		return zero, res, ErrNoCandidates
+	}
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type reply struct {
+		idx int
+		val T
+		err error
+	}
+	results := make(chan reply, len(calls))
+	launch := func(i int) {
+		go func() {
+			v, err := calls[i](hctx)
+			results <- reply{idx: i, val: v, err: err}
+		}()
+	}
+
+	speculative := make([]bool, len(calls))
+	launched := 1
+	launch(0)
+	if delay <= 0 {
+		for ; launched < len(calls); launched++ {
+			speculative[launched] = true
+			res.Hedged = true
+			launch(launched)
+		}
+	}
+
+	timer := time.NewTimer(delay)
+	if delay <= 0 {
+		timer.Stop()
+	}
+	defer timer.Stop()
+
+	done := 0
+	var firstErr error
+	for {
+		var timerC <-chan time.Time
+		if launched < len(calls) {
+			timerC = timer.C
+		}
+		select {
+		case r := <-results:
+			done++
+			if r.err == nil {
+				res.Winner = r.idx
+				res.HedgeWon = speculative[r.idx]
+				return r.val, res, nil
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			if ctx.Err() != nil {
+				return zero, res, firstErr
+			}
+			if launched < len(calls) {
+				// Failover: the current candidate answered negatively, so the
+				// next one starts immediately — no point waiting out the delay.
+				launch(launched)
+				launched++
+				if !timer.Stop() {
+					select {
+					case <-timer.C:
+					default:
+					}
+				}
+				timer.Reset(delay)
+			} else if done == launched {
+				return zero, res, firstErr
+			}
+		case <-timerC:
+			speculative[launched] = true
+			res.Hedged = true
+			launch(launched)
+			launched++
+		case <-ctx.Done():
+			if firstErr == nil {
+				firstErr = ctx.Err()
+			}
+			return zero, res, firstErr
+		}
+	}
+}

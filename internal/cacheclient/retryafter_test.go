@@ -1,0 +1,60 @@
+package cacheclient
+
+// retryafter_test.go pins the ISSUE 9 satellite fix: Retry-After arrives in
+// either RFC 9110 form — delay-seconds or HTTP-date — and the hint is
+// clamped by MaxBackoff on its way into the retry schedule.
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2026, time.August, 8, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		name string
+		h    string
+		want time.Duration
+	}{
+		{"absent", "", 0},
+		{"delta seconds", "3", 3 * time.Second},
+		{"delta zero", "0", 0},
+		{"delta negative", "-5", 0},
+		{"delta garbage", "soon", 0},
+		{"imf fixdate future", "Fri, 08 Aug 2026 12:00:30 GMT", 30 * time.Second},
+		{"imf fixdate past", "Fri, 08 Aug 2026 11:59:00 GMT", 0},
+		{"imf fixdate now", "Fri, 08 Aug 2026 12:00:00 GMT", 0},
+		{"rfc850 future", "Friday, 08-Aug-26 12:01:00 GMT", time.Minute},
+		{"asctime future", "Fri Aug  8 12:00:10 2026", 10 * time.Second},
+		{"malformed date", "Fri, 99 Aug 2026 12:00:00 GMT", 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := parseRetryAfter(tc.h, now); got != tc.want {
+				t.Fatalf("parseRetryAfter(%q) = %v, want %v", tc.h, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestRetryAfterClampedByMaxBackoff routes a huge HTTP-date hint through the
+// backoff schedule and asserts the sleep never exceeds MaxBackoff.
+func TestRetryAfterClampedByMaxBackoff(t *testing.T) {
+	c, err := New(Config{
+		BaseURL:    "http://example.invalid",
+		MaxBackoff: 250 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Date(2026, time.August, 8, 12, 0, 0, 0, time.UTC)
+	hint := parseRetryAfter("Sat, 08 Aug 2026 12:00:00 GMT", now.AddDate(-1, 0, 0))
+	if hint <= 250*time.Millisecond {
+		t.Fatalf("setup: hint %v should exceed the cap", hint)
+	}
+	for attempt := 1; attempt <= 4; attempt++ {
+		if d := c.backoff(attempt, hint); d > 250*time.Millisecond {
+			t.Fatalf("attempt %d: backoff %v exceeds MaxBackoff", attempt, d)
+		}
+	}
+}

@@ -1,0 +1,413 @@
+// Package cluster is the networked cooperative tier (ISSUE 9): N
+// cacheserver processes form a consistent-hash ring and service each
+// other's misses before falling back to the origin — the paper's Section 5
+// cooperative future-work (modeled in-process by internal/coop) promoted
+// to a real peer protocol.
+//
+// On a local miss the node asks the clip's ring owners, in preference
+// order, over hedged reads: the first owner is probed immediately, the
+// next after HedgeDelay (or instantly if the first fails), first success
+// wins. Each peer gets its own cacheclient.Client — and therefore its own
+// circuit breaker, retry schedule and jitter stream. Cached residency
+// digests (GET /v1/cluster/digest) veto most fruitless probes locally.
+// Ring membership changes rebalance state through the portable shard
+// snapshot (GET /v1/snapshot → POST /v1/restore), which preserves partial
+// segments and TTL deadlines byte-for-byte.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mediacache/internal/api"
+	"mediacache/internal/cacheclient"
+	"mediacache/internal/media"
+)
+
+// Defaults for Config zero values.
+const (
+	DefaultReplicas       = 2
+	DefaultHedgeDelay     = 20 * time.Millisecond
+	DefaultDigestInterval = 1 * time.Second
+	// DefaultDigestMaxAge is DigestInterval multiplied by this factor when
+	// DigestMaxAge is left zero: a peer that misses a few refreshes in a row
+	// is presumed unreachable and stops being probed until it answers again.
+	defaultDigestMaxAgeFactor = 4
+)
+
+// Peer identifies one remote ring member.
+type Peer struct {
+	ID  string
+	URL string
+}
+
+// Config configures a Cluster.
+type Config struct {
+	// Self is this node's ring ID (required).
+	Self string
+	// Peers are the other ring members.
+	Peers []Peer
+	// Replicas is how many distinct ring owners are consulted per clip.
+	Replicas int
+	// VirtualNodes is the ring points per node.
+	VirtualNodes int
+	// HedgeDelay is how long the first peer read runs alone before the next
+	// replica is speculatively fired.
+	HedgeDelay time.Duration
+	// DigestInterval is the period of the background digest refresh loop.
+	DigestInterval time.Duration
+	// DigestMaxAge bounds how old a cached digest may be before its peer is
+	// presumed unreachable and skipped. Zero derives it from DigestInterval.
+	DigestMaxAge time.Duration
+	// Client templates the per-peer cacheclient configuration; BaseURL is
+	// overwritten per peer. Zero values select peer-appropriate defaults
+	// (2 attempts, 1s attempt timeout) rather than the public-client ones.
+	Client cacheclient.Config
+	// Now substitutes the wall clock, for tests; nil uses time.Now.
+	Now func() time.Time
+}
+
+// peerConn is one configured peer with its dedicated client.
+type peerConn struct {
+	id     string
+	url    string
+	client *cacheclient.Client
+}
+
+// Cluster consults ring peers for locally missed clips and serves the
+// cluster status. Safe for concurrent use.
+type Cluster struct {
+	cfg Config
+	now func() time.Time
+
+	mu    sync.RWMutex
+	ring  *Ring
+	peers map[string]*peerConn
+
+	digests *digestTable
+
+	peerHits        atomic.Uint64
+	peerMisses      atomic.Uint64
+	peerErrors      atomic.Uint64
+	hedges          atomic.Uint64
+	hedgeWins       atomic.Uint64
+	digestSkips     atomic.Uint64
+	digestRefreshes atomic.Uint64
+	digestErrors    atomic.Uint64
+	peerServed      atomic.Uint64
+	peerServedBytes atomic.Uint64
+}
+
+// New builds the cooperative tier for node cfg.Self.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Self == "" {
+		return nil, errors.New("cluster: Self node id is required")
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = DefaultReplicas
+	}
+	if cfg.HedgeDelay <= 0 {
+		cfg.HedgeDelay = DefaultHedgeDelay
+	}
+	if cfg.DigestInterval <= 0 {
+		cfg.DigestInterval = DefaultDigestInterval
+	}
+	if cfg.DigestMaxAge <= 0 {
+		cfg.DigestMaxAge = defaultDigestMaxAgeFactor * cfg.DigestInterval
+	}
+	if cfg.Client.MaxAttempts == 0 {
+		// Peer probes are a latency optimization, not the only path to the
+		// bytes: fail fast and let the origin handle it.
+		cfg.Client.MaxAttempts = 2
+	}
+	if cfg.Client.AttemptTimeout == 0 {
+		cfg.Client.AttemptTimeout = time.Second
+	}
+	if cfg.Client.BaseBackoff == 0 {
+		cfg.Client.BaseBackoff = 5 * time.Millisecond
+	}
+	if cfg.Client.MaxBackoff == 0 {
+		cfg.Client.MaxBackoff = 50 * time.Millisecond
+	}
+	c := &Cluster{
+		cfg:     cfg,
+		now:     cfg.Now,
+		digests: newDigestTable(),
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	if err := c.SetPeers(cfg.Peers); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Self returns this node's ring ID.
+func (c *Cluster) Self() string { return c.cfg.Self }
+
+// Replicas returns how many ring owners are consulted per clip.
+func (c *Cluster) Replicas() int { return c.cfg.Replicas }
+
+// SetPeers replaces the ring membership (self is always a member). Clients
+// of unchanged peers are reused so their breaker state and counters
+// survive; departed peers' digests are dropped.
+func (c *Cluster) SetPeers(peers []Peer) error {
+	ids := make([]string, 0, len(peers)+1)
+	ids = append(ids, c.cfg.Self)
+	next := make(map[string]*peerConn, len(peers))
+	c.mu.RLock()
+	prev := c.peers
+	c.mu.RUnlock()
+	for _, p := range peers {
+		if p.ID == c.cfg.Self {
+			return fmt.Errorf("cluster: peer %q duplicates the local node id", p.ID)
+		}
+		if _, dup := next[p.ID]; dup {
+			return fmt.Errorf("cluster: duplicate peer id %q", p.ID)
+		}
+		if old := prev[p.ID]; old != nil && old.url == p.URL {
+			next[p.ID] = old
+			ids = append(ids, p.ID)
+			continue
+		}
+		ccfg := c.cfg.Client
+		ccfg.BaseURL = p.URL
+		cl, err := cacheclient.New(ccfg)
+		if err != nil {
+			return fmt.Errorf("cluster: peer %q: %w", p.ID, err)
+		}
+		next[p.ID] = &peerConn{id: p.ID, url: p.URL, client: cl}
+		ids = append(ids, p.ID)
+	}
+	ring, err := NewRing(ids, c.cfg.VirtualNodes)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.ring = ring
+	c.peers = next
+	c.mu.Unlock()
+	for id := range prev {
+		if _, still := next[id]; !still {
+			c.digests.forget(id)
+		}
+	}
+	return nil
+}
+
+// Owners returns clip id's ring owners in preference order (self included
+// when it owns the clip) — the placement the rebalance path works against.
+func (c *Cluster) Owners(id media.ClipID) []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.ring.OwnersOf(id, c.cfg.Replicas)
+}
+
+// PeerClient returns the dedicated client of peer id, or nil — the
+// rebalance path uses it to pull snapshots from a departing node.
+func (c *Cluster) PeerClient(id string) *cacheclient.Client {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if p := c.peers[id]; p != nil {
+		return p.client
+	}
+	return nil
+}
+
+// Lookup consults clip id's ring owners over hedged peer reads and reports
+// whether a peer delivered it. Candidates are the owners excluding self,
+// filtered through the cached digests: a fresh digest proving absence — or
+// a digest stale past DigestMaxAge, the dead-node signature — vetoes the
+// probe locally. A node with no digest yet (cold start) is probed.
+func (c *Cluster) Lookup(ctx context.Context, id media.ClipID) (api.ClusterClip, bool) {
+	c.mu.RLock()
+	ring := c.ring
+	peers := c.peers
+	c.mu.RUnlock()
+
+	now := c.now()
+	var cands []*peerConn
+	for _, owner := range ring.OwnersOf(id, c.cfg.Replicas) {
+		if owner == c.cfg.Self {
+			continue
+		}
+		p := peers[owner]
+		if p == nil {
+			continue
+		}
+		switch c.digests.verdict(owner, id, now, c.cfg.DigestMaxAge) {
+		case digestAbsent, digestStale:
+			c.digestSkips.Add(1)
+		default:
+			cands = append(cands, p)
+		}
+	}
+	if len(cands) == 0 {
+		c.peerMisses.Add(1)
+		return api.ClusterClip{}, false
+	}
+
+	calls := make([]func(context.Context) (api.ClusterClip, error), len(cands))
+	for i, p := range cands {
+		p := p
+		calls[i] = func(cx context.Context) (api.ClusterClip, error) {
+			return p.client.ClusterClip(cx, id)
+		}
+	}
+	out, hres, err := cacheclient.Hedged(ctx, c.cfg.HedgeDelay, calls)
+	if hres.Hedged {
+		c.hedges.Add(1)
+	}
+	if hres.HedgeWon {
+		c.hedgeWins.Add(1)
+	}
+	if err != nil {
+		var se *cacheclient.StatusError
+		if !errors.As(err, &se) || se.Status != http.StatusNotFound {
+			c.peerErrors.Add(1)
+		}
+		c.peerMisses.Add(1)
+		return api.ClusterClip{}, false
+	}
+	c.peerHits.Add(1)
+	return out, true
+}
+
+// RefreshDigests pulls every peer's residency digest once. Unreachable
+// peers keep their previous digest, which ages into the stale veto.
+func (c *Cluster) RefreshDigests(ctx context.Context) {
+	c.mu.RLock()
+	peers := make([]*peerConn, 0, len(c.peers))
+	for _, p := range c.peers {
+		peers = append(peers, p)
+	}
+	c.mu.RUnlock()
+	var wg sync.WaitGroup
+	for _, p := range peers {
+		wg.Add(1)
+		go func(p *peerConn) {
+			defer wg.Done()
+			d, err := p.client.ClusterDigest(ctx)
+			if err != nil {
+				c.digestErrors.Add(1)
+				return
+			}
+			c.digests.update(p.id, d, c.now())
+			c.digestRefreshes.Add(1)
+		}(p)
+	}
+	wg.Wait()
+}
+
+// StartDigestLoop refreshes digests every DigestInterval until the
+// returned stop function is called.
+func (c *Cluster) StartDigestLoop() (stop func()) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(c.cfg.DigestInterval)
+		defer t.Stop()
+		c.RefreshDigests(ctx)
+		for {
+			select {
+			case <-t.C:
+				c.RefreshDigests(ctx)
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return func() {
+		cancel()
+		<-done
+	}
+}
+
+// NotePeerServed books one peer-serve on this node (the serving side of a
+// peer read): bytes streamed to a sibling node, not to a local client.
+func (c *Cluster) NotePeerServed(bytes int64) {
+	c.peerServed.Add(1)
+	c.peerServedBytes.Add(uint64(bytes))
+}
+
+// Counters is a consistent-enough snapshot of the cooperative counters.
+type Counters struct {
+	PeerHits        uint64
+	PeerMisses      uint64
+	PeerErrors      uint64
+	Hedges          uint64
+	HedgeWins       uint64
+	DigestSkips     uint64
+	DigestRefreshes uint64
+	DigestErrors    uint64
+	PeerServed      uint64
+	PeerServedBytes uint64
+}
+
+// Counters returns the current counter values.
+func (c *Cluster) Counters() Counters {
+	return Counters{
+		PeerHits:        c.peerHits.Load(),
+		PeerMisses:      c.peerMisses.Load(),
+		PeerErrors:      c.peerErrors.Load(),
+		Hedges:          c.hedges.Load(),
+		HedgeWins:       c.hedgeWins.Load(),
+		DigestSkips:     c.digestSkips.Load(),
+		DigestRefreshes: c.digestRefreshes.Load(),
+		DigestErrors:    c.digestErrors.Load(),
+		PeerServed:      c.peerServed.Load(),
+		PeerServedBytes: c.peerServedBytes.Load(),
+	}
+}
+
+// Status assembles the GET /v1/cluster response.
+func (c *Cluster) Status() api.ClusterStatus {
+	c.mu.RLock()
+	peers := make([]*peerConn, 0, len(c.peers))
+	for _, p := range c.peers {
+		peers = append(peers, p)
+	}
+	c.mu.RUnlock()
+	sort.Slice(peers, func(i, j int) bool { return peers[i].id < peers[j].id })
+
+	now := c.now()
+	cnt := c.Counters()
+	st := api.ClusterStatus{
+		Node:            c.cfg.Self,
+		Replicas:        c.cfg.Replicas,
+		Peers:           make([]api.ClusterPeer, 0, len(peers)),
+		PeerHits:        cnt.PeerHits,
+		PeerMisses:      cnt.PeerMisses,
+		PeerErrors:      cnt.PeerErrors,
+		Hedges:          cnt.Hedges,
+		HedgeWins:       cnt.HedgeWins,
+		DigestSkips:     cnt.DigestSkips,
+		DigestRefreshes: cnt.DigestRefreshes,
+		DigestErrors:    cnt.DigestErrors,
+		PeerServed:      cnt.PeerServed,
+		PeerServedBytes: int64(cnt.PeerServedBytes),
+	}
+	for _, p := range peers {
+		ap := api.ClusterPeer{
+			ID:      p.id,
+			URL:     p.url,
+			Breaker: p.client.Breaker().String(),
+		}
+		if seq, clips, age, fresh, known := c.digests.info(p.id, now, c.cfg.DigestMaxAge); known {
+			ap.DigestSeq = seq
+			ap.DigestClips = clips
+			ap.DigestAgeSeconds = age.Seconds()
+			ap.DigestFresh = fresh
+		}
+		st.Peers = append(st.Peers, ap)
+	}
+	return st
+}

@@ -1,0 +1,322 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mediacache/internal/api"
+	"mediacache/internal/cacheclient"
+	"mediacache/internal/media"
+)
+
+func TestDigestVerdicts(t *testing.T) {
+	tbl := newDigestTable()
+	t0 := time.Unix(1_700_000_000, 0)
+	maxAge := 2 * time.Second
+
+	if v := tbl.verdict("p1", 7, t0, maxAge); v != digestProbe {
+		t.Fatalf("no digest yet: verdict %v, want probe (cold start)", v)
+	}
+	tbl.update("p1", api.ClusterDigest{Node: "p1", Seq: 1, Clips: []media.ClipID{7, 9}}, t0)
+	if v := tbl.verdict("p1", 7, t0.Add(time.Second), maxAge); v != digestProbe {
+		t.Fatalf("fresh digest lists clip: verdict %v, want probe", v)
+	}
+	if v := tbl.verdict("p1", 8, t0.Add(time.Second), maxAge); v != digestAbsent {
+		t.Fatalf("fresh digest lacks clip: verdict %v, want absent", v)
+	}
+	if v := tbl.verdict("p1", 7, t0.Add(3*time.Second), maxAge); v != digestStale {
+		t.Fatalf("aged-out digest: verdict %v, want stale", v)
+	}
+	// A later refresh revives the peer.
+	tbl.update("p1", api.ClusterDigest{Node: "p1", Seq: 2, Clips: []media.ClipID{8}}, t0.Add(4*time.Second))
+	if v := tbl.verdict("p1", 8, t0.Add(4*time.Second), maxAge); v != digestProbe {
+		t.Fatalf("revived digest lists clip: verdict %v, want probe", v)
+	}
+	tbl.forget("p1")
+	if v := tbl.verdict("p1", 8, t0.Add(4*time.Second), maxAge); v != digestProbe {
+		t.Fatalf("forgotten peer: verdict %v, want probe (cold start)", v)
+	}
+}
+
+// fakePeer is a minimal peer node: it answers digest and peer-serve reads
+// from a fixed resident set.
+type fakePeer struct {
+	id       string
+	resident map[media.ClipID]int64 // id -> size
+	serves   atomic.Uint64
+	delay    time.Duration
+	ts       *httptest.Server
+}
+
+func newFakePeer(t *testing.T, id string, resident map[media.ClipID]int64) *fakePeer {
+	t.Helper()
+	p := &fakePeer{id: id, resident: resident}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/cluster/digest", func(w http.ResponseWriter, r *http.Request) {
+		d := api.ClusterDigest{Node: p.id, Seq: 1}
+		for cid := range p.resident {
+			d.Clips = append(d.Clips, cid)
+		}
+		json.NewEncoder(w).Encode(d)
+	})
+	mux.HandleFunc("GET /v1/cluster/clips/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if p.delay > 0 {
+			time.Sleep(p.delay)
+		}
+		var cid media.ClipID
+		if _, err := fmtSscan(r.PathValue("id"), &cid); err != nil {
+			http.Error(w, "bad id", http.StatusBadRequest)
+			return
+		}
+		size, ok := p.resident[cid]
+		if !ok {
+			http.Error(w, "not resident", http.StatusNotFound)
+			return
+		}
+		p.serves.Add(1)
+		json.NewEncoder(w).Encode(api.ClusterClip{Clip: cid, Node: p.id, SizeBytes: size})
+	})
+	p.ts = httptest.NewServer(mux)
+	t.Cleanup(p.ts.Close)
+	return p
+}
+
+// fmtSscan parses a decimal ClipID without pulling fmt verbs into every
+// call site.
+func fmtSscan(s string, id *media.ClipID) (int, error) {
+	var v int64
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return 0, http.ErrNotSupported
+		}
+		v = v*10 + int64(c-'0')
+	}
+	*id = media.ClipID(v)
+	return 1, nil
+}
+
+func newTestCluster(t *testing.T, self string, peers []Peer, mut func(*Config)) *Cluster {
+	t.Helper()
+	cfg := Config{
+		Self:       self,
+		Peers:      peers,
+		Replicas:   2,
+		HedgeDelay: 10 * time.Millisecond,
+		Client: cacheclient.Config{
+			BaseURL:        "http://placeholder.invalid",
+			MaxAttempts:    2,
+			AttemptTimeout: 2 * time.Second,
+			BaseBackoff:    time.Millisecond,
+			MaxBackoff:     5 * time.Millisecond,
+		},
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestLookupUsesDigestsAndFindsPeers(t *testing.T) {
+	// p1 holds clips 1..50, p2 holds 51..100. With replicas=3 every clip's
+	// owner set includes both peers, so every resident clip is findable.
+	res1 := map[media.ClipID]int64{}
+	res2 := map[media.ClipID]int64{}
+	for i := media.ClipID(1); i <= 50; i++ {
+		res1[i] = int64(i) * 1000
+	}
+	for i := media.ClipID(51); i <= 100; i++ {
+		res2[i] = int64(i) * 1000
+	}
+	p1 := newFakePeer(t, "p1", res1)
+	p2 := newFakePeer(t, "p2", res2)
+	c := newTestCluster(t, "self",
+		[]Peer{{ID: "p1", URL: p1.ts.URL}, {ID: "p2", URL: p2.ts.URL}},
+		func(cfg *Config) { cfg.Replicas = 3 })
+	c.RefreshDigests(context.Background())
+	if got := c.Counters().DigestRefreshes; got != 2 {
+		t.Fatalf("DigestRefreshes = %d, want 2", got)
+	}
+
+	for i := media.ClipID(1); i <= 100; i++ {
+		out, ok := c.Lookup(context.Background(), i)
+		if !ok {
+			t.Fatalf("clip %d: not found on any peer", i)
+		}
+		wantNode := "p1"
+		if i > 50 {
+			wantNode = "p2"
+		}
+		if out.Node != wantNode || out.SizeBytes != int64(i)*1000 {
+			t.Fatalf("clip %d: got %+v, want node %s size %d", i, out, wantNode, int64(i)*1000)
+		}
+	}
+	// Absent clip: fresh digests say neither peer has it — no round trips.
+	before := p1.serves.Load() + p2.serves.Load()
+	if _, ok := c.Lookup(context.Background(), 999); ok {
+		t.Fatal("clip 999 found but resident nowhere")
+	}
+	if after := p1.serves.Load() + p2.serves.Load(); after != before {
+		t.Fatalf("absent clip probed a peer (%d serves -> %d) despite fresh digests", before, after)
+	}
+	cnt := c.Counters()
+	if cnt.PeerHits != 100 {
+		t.Fatalf("PeerHits = %d, want 100", cnt.PeerHits)
+	}
+	if cnt.PeerMisses != 1 {
+		t.Fatalf("PeerMisses = %d, want 1", cnt.PeerMisses)
+	}
+	if cnt.DigestSkips == 0 {
+		t.Fatal("DigestSkips = 0: absent verdicts were not applied")
+	}
+	if cnt.PeerErrors != 0 {
+		t.Fatalf("PeerErrors = %d, want 0", cnt.PeerErrors)
+	}
+}
+
+func TestLookupHedgesSlowPeer(t *testing.T) {
+	// Both peers hold clip 1; the preferred owner is slow, so the hedge
+	// fires and the other replica wins.
+	res := map[media.ClipID]int64{1: 4096}
+	pa := newFakePeer(t, "pa", res)
+	pb := newFakePeer(t, "pb", res)
+	pa.delay = 300 * time.Millisecond
+	pb.delay = 300 * time.Millisecond
+	c := newTestCluster(t, "self",
+		[]Peer{{ID: "pa", URL: pa.ts.URL}, {ID: "pb", URL: pb.ts.URL}},
+		func(cfg *Config) {
+			cfg.Replicas = 3
+			cfg.HedgeDelay = 5 * time.Millisecond
+		})
+	c.RefreshDigests(context.Background())
+
+	// Figure out the preferred remote owner and make only it slow.
+	owners := c.Owners(1)
+	var first string
+	for _, o := range owners {
+		if o != "self" {
+			first = o
+			break
+		}
+	}
+	if first == "pa" {
+		pb.delay = 0
+	} else {
+		pa.delay = 0
+	}
+
+	start := time.Now()
+	out, ok := c.Lookup(context.Background(), 1)
+	if !ok {
+		t.Fatal("hedged lookup failed")
+	}
+	if out.Node == first {
+		t.Fatalf("slow preferred owner %s won; hedge should have beaten it", first)
+	}
+	if el := time.Since(start); el > 200*time.Millisecond {
+		t.Fatalf("hedged lookup took %v; hedge did not cut the slow peer's latency", el)
+	}
+	cnt := c.Counters()
+	if cnt.Hedges != 1 || cnt.HedgeWins != 1 {
+		t.Fatalf("Hedges=%d HedgeWins=%d, want 1/1", cnt.Hedges, cnt.HedgeWins)
+	}
+}
+
+func TestLookupFailsOverFromDeadPeer(t *testing.T) {
+	res := map[media.ClipID]int64{1: 4096}
+	dead := newFakePeer(t, "dead", res)
+	live := newFakePeer(t, "live", res)
+	deadURL := dead.ts.URL
+	dead.ts.Close()
+	c := newTestCluster(t, "self",
+		[]Peer{{ID: "dead", URL: deadURL}, {ID: "live", URL: live.ts.URL}},
+		func(cfg *Config) {
+			cfg.Replicas = 3
+			cfg.HedgeDelay = 50 * time.Millisecond
+			cfg.Client.AttemptTimeout = 200 * time.Millisecond
+		})
+	// No digest refresh: cold start means both peers are probed.
+	out, ok := c.Lookup(context.Background(), 1)
+	if !ok {
+		t.Fatal("lookup failed although the live peer holds the clip")
+	}
+	if out.Node != "live" {
+		t.Fatalf("winner %s, want live", out.Node)
+	}
+}
+
+func TestStalePeerIsSkipped(t *testing.T) {
+	res := map[media.ClipID]int64{1: 4096}
+	p := newFakePeer(t, "p1", res)
+	now := time.Unix(1_700_000_000, 0)
+	var clock atomic.Int64
+	clock.Store(now.UnixNano())
+	c := newTestCluster(t, "self",
+		[]Peer{{ID: "p1", URL: p.ts.URL}},
+		func(cfg *Config) {
+			cfg.DigestInterval = time.Second
+			cfg.DigestMaxAge = 2 * time.Second
+			cfg.Now = func() time.Time { return time.Unix(0, clock.Load()) }
+		})
+	c.RefreshDigests(context.Background())
+	if _, ok := c.Lookup(context.Background(), 1); !ok {
+		t.Fatal("fresh digest: lookup should probe and hit")
+	}
+	// Advance past DigestMaxAge without a refresh: peer presumed dead.
+	clock.Store(now.Add(10 * time.Second).UnixNano())
+	before := p.serves.Load()
+	if _, ok := c.Lookup(context.Background(), 1); ok {
+		t.Fatal("stale peer answered a lookup that should have been vetoed")
+	}
+	if p.serves.Load() != before {
+		t.Fatal("stale peer was probed over the network")
+	}
+	// Revive: a successful refresh makes it probeable again.
+	c.RefreshDigests(context.Background())
+	if _, ok := c.Lookup(context.Background(), 1); !ok {
+		t.Fatal("refreshed peer should serve again")
+	}
+}
+
+func TestSetPeersReusesClientsAndForgetsDeparted(t *testing.T) {
+	res := map[media.ClipID]int64{1: 4096}
+	p1 := newFakePeer(t, "p1", res)
+	p2 := newFakePeer(t, "p2", res)
+	c := newTestCluster(t, "self",
+		[]Peer{{ID: "p1", URL: p1.ts.URL}, {ID: "p2", URL: p2.ts.URL}}, nil)
+	c.RefreshDigests(context.Background())
+	keep := c.PeerClient("p1")
+	if keep == nil {
+		t.Fatal("p1 client missing")
+	}
+	if err := c.SetPeers([]Peer{{ID: "p1", URL: p1.ts.URL}}); err != nil {
+		t.Fatal(err)
+	}
+	if c.PeerClient("p1") != keep {
+		t.Fatal("unchanged peer's client was rebuilt; breaker state lost")
+	}
+	if c.PeerClient("p2") != nil {
+		t.Fatal("departed peer still has a client")
+	}
+	if _, _, _, _, known := c.digests.info("p2", time.Now(), time.Minute); known {
+		t.Fatal("departed peer's digest not forgotten")
+	}
+	st := c.Status()
+	if len(st.Peers) != 1 || st.Peers[0].ID != "p1" {
+		t.Fatalf("status peers = %+v, want just p1", st.Peers)
+	}
+	if !st.Peers[0].DigestFresh || st.Peers[0].DigestClips != 1 {
+		t.Fatalf("p1 digest metadata not surfaced: %+v", st.Peers[0])
+	}
+	if err := c.SetPeers([]Peer{{ID: "self", URL: "http://x"}}); err == nil {
+		t.Fatal("peer with the local node id accepted")
+	}
+}

@@ -1,0 +1,98 @@
+// digest.go — the cached residency digests that make peer probes local
+// decisions. Every node periodically pulls each peer's ClusterDigest (the
+// peer's fully resident clip set) and consults the cached copy before
+// spending a network round trip on a probe. Digests are eventually
+// consistent by construction; the staleness rules below pick which way
+// each failure mode errs (see DESIGN.md §17 for the caveats).
+package cluster
+
+import (
+	"sync"
+	"time"
+
+	"mediacache/internal/api"
+	"mediacache/internal/media"
+)
+
+// digestVerdict is the local decision for one (peer, clip) probe.
+type digestVerdict uint8
+
+const (
+	// digestProbe: no basis to skip — no digest yet (cold start) or the
+	// fresh digest lists the clip. Probe the peer.
+	digestProbe digestVerdict = iota
+	// digestAbsent: a fresh digest says the peer lacks the clip. Skip.
+	digestAbsent
+	// digestStale: the peer's digest has outlived DigestMaxAge — the peer
+	// is presumed dead or partitioned. Skip so a dark node costs nothing
+	// per request; the next successful refresh revives it.
+	digestStale
+)
+
+// digestEntry is one peer's last-known digest.
+type digestEntry struct {
+	seq     uint64
+	fetched time.Time
+	used    int64
+	clips   map[media.ClipID]struct{}
+}
+
+// digestTable caches peer digests. Reads outnumber writes by orders of
+// magnitude (one write per refresh, one read per local miss), hence RWMutex.
+type digestTable struct {
+	mu      sync.RWMutex
+	entries map[string]*digestEntry
+}
+
+func newDigestTable() *digestTable {
+	return &digestTable{entries: make(map[string]*digestEntry)}
+}
+
+// update installs node's freshly fetched digest.
+func (t *digestTable) update(node string, d api.ClusterDigest, now time.Time) {
+	clips := make(map[media.ClipID]struct{}, len(d.Clips))
+	for _, id := range d.Clips {
+		clips[id] = struct{}{}
+	}
+	t.mu.Lock()
+	t.entries[node] = &digestEntry{seq: d.Seq, fetched: now, used: d.UsedBytes, clips: clips}
+	t.mu.Unlock()
+}
+
+// forget drops node's digest (the peer left the ring).
+func (t *digestTable) forget(node string) {
+	t.mu.Lock()
+	delete(t.entries, node)
+	t.mu.Unlock()
+}
+
+// verdict decides whether probing node for clip id is worth a round trip.
+func (t *digestTable) verdict(node string, id media.ClipID, now time.Time, maxAge time.Duration) digestVerdict {
+	t.mu.RLock()
+	e := t.entries[node]
+	t.mu.RUnlock()
+	if e == nil {
+		return digestProbe
+	}
+	if maxAge > 0 && now.Sub(e.fetched) > maxAge {
+		return digestStale
+	}
+	if _, ok := e.clips[id]; ok {
+		return digestProbe
+	}
+	return digestAbsent
+}
+
+// info reports node's digest metadata for the status route: sequence, clip
+// count, age, and freshness under maxAge. known is false when the node has
+// never delivered a digest.
+func (t *digestTable) info(node string, now time.Time, maxAge time.Duration) (seq uint64, clips int, age time.Duration, fresh, known bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	e := t.entries[node]
+	if e == nil {
+		return 0, 0, 0, false, false
+	}
+	age = now.Sub(e.fetched)
+	return e.seq, len(e.clips), age, maxAge <= 0 || age <= maxAge, true
+}

@@ -1,0 +1,112 @@
+// ring.go — the consistent-hash ring that assigns every clip a stable,
+// ordered set of owning nodes. Each node projects VirtualNodes points onto
+// the ring so ownership spreads evenly and a membership change only moves
+// the arcs adjacent to the joining or departing node — which is exactly
+// the slice of the resident set the snapshot/restore rebalance path has to
+// ship. Clip keys use the same SplitMix64 finalizer as the shard pool's
+// routing hash, so the two partitioning layers share one hash family.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"mediacache/internal/media"
+)
+
+// DefaultVirtualNodes is the ring points each node projects when the
+// cluster Config leaves VirtualNodes zero.
+const DefaultVirtualNodes = 64
+
+type ringPoint struct {
+	hash uint64
+	node int // index into nodes
+}
+
+// Ring is an immutable consistent-hash ring over a set of node IDs.
+// Membership changes build a new Ring (SetPeers swaps it atomically).
+type Ring struct {
+	nodes  []string
+	points []ringPoint
+}
+
+// NewRing builds a ring over nodes (order-insensitive; the ring sorts a
+// copy) with vnodes points per node. Duplicate or empty node IDs are
+// rejected: ownership must be unambiguous.
+func NewRing(nodes []string, vnodes int) (*Ring, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one node")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	sorted := append([]string(nil), nodes...)
+	sort.Strings(sorted)
+	for i, n := range sorted {
+		if n == "" {
+			return nil, fmt.Errorf("cluster: empty node id")
+		}
+		if i > 0 && sorted[i-1] == n {
+			return nil, fmt.Errorf("cluster: duplicate node id %q", n)
+		}
+	}
+	r := &Ring{
+		nodes:  sorted,
+		points: make([]ringPoint, 0, len(sorted)*vnodes),
+	}
+	for ni, n := range sorted {
+		h := fnv.New64a()
+		h.Write([]byte(n))
+		base := h.Sum64()
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash: splitmix64(base + uint64(v)*0x9e3779b97f4a7c15),
+				node: ni,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return r, nil
+}
+
+// Nodes returns the ring members in sorted order.
+func (r *Ring) Nodes() []string { return append([]string(nil), r.nodes...) }
+
+// Owners returns the first n distinct nodes clockwise from key, in
+// preference order. n larger than the membership returns every node.
+func (r *Ring) Owners(key uint64, n int) []string {
+	if n <= 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= key })
+	owners := make([]string, 0, n)
+	seen := make(map[int]struct{}, n)
+	for i := 0; i < len(r.points) && len(owners) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if _, dup := seen[p.node]; dup {
+			continue
+		}
+		seen[p.node] = struct{}{}
+		owners = append(owners, r.nodes[p.node])
+	}
+	return owners
+}
+
+// OwnersOf returns the owners of clip id: the clip key is the SplitMix64
+// finalizer of the id, matching shard.Pool's routing hash family.
+func (r *Ring) OwnersOf(id media.ClipID, n int) []string {
+	return r.Owners(splitmix64(uint64(id)), n)
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator — the same
+// full-avalanche mix the shard pool routes with.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,100 @@
+package cluster
+
+import (
+	"testing"
+
+	"mediacache/internal/media"
+)
+
+func TestRingRejectsBadMembership(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty ring accepted")
+	}
+	if _, err := NewRing([]string{"a", ""}, 0); err == nil {
+		t.Fatal("empty node id accepted")
+	}
+	if _, err := NewRing([]string{"a", "b", "a"}, 0); err == nil {
+		t.Fatal("duplicate node id accepted")
+	}
+}
+
+func TestRingOwnersDeterministicAndDistinct(t *testing.T) {
+	nodes := []string{"n1", "n2", "n3", "n4", "n5"}
+	r1, err := NewRing(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same membership in a different order must produce the same ring.
+	r2, err := NewRing([]string{"n5", "n3", "n1", "n4", "n2"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := media.ClipID(1); id <= 200; id++ {
+		o1 := r1.OwnersOf(id, 3)
+		o2 := r2.OwnersOf(id, 3)
+		if len(o1) != 3 {
+			t.Fatalf("clip %d: %d owners, want 3", id, len(o1))
+		}
+		seen := map[string]bool{}
+		for i, n := range o1 {
+			if seen[n] {
+				t.Fatalf("clip %d: duplicate owner %s", id, n)
+			}
+			seen[n] = true
+			if o2[i] != n {
+				t.Fatalf("clip %d: owner order differs across construction order", id)
+			}
+		}
+	}
+	// Asking for more replicas than members yields every member once.
+	all := r1.Owners(12345, 99)
+	if len(all) != len(nodes) {
+		t.Fatalf("Owners(n>members) = %d nodes, want %d", len(all), len(nodes))
+	}
+}
+
+func TestRingDistributionRoughlyEven(t *testing.T) {
+	r, err := NewRing([]string{"a", "b", "c", "d"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const clips = 4000
+	for id := media.ClipID(1); id <= clips; id++ {
+		counts[r.OwnersOf(id, 1)[0]]++
+	}
+	// With 64 vnodes per node, primary ownership should land within a loose
+	// band of the fair share. This guards against hashing regressions, not
+	// statistical perfection.
+	fair := clips / 4
+	for n, c := range counts {
+		if c < fair/2 || c > fair*2 {
+			t.Errorf("node %s owns %d of %d clips (fair share %d): distribution badly skewed", n, c, clips, fair)
+		}
+	}
+}
+
+func TestRingMembershipChangeMovesFewKeys(t *testing.T) {
+	before, err := NewRing([]string{"a", "b", "c", "d"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := NewRing([]string{"a", "b", "c", "d", "e"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const clips = 4000
+	moved := 0
+	for id := media.ClipID(1); id <= clips; id++ {
+		if before.OwnersOf(id, 1)[0] != after.OwnersOf(id, 1)[0] {
+			moved++
+		}
+	}
+	// Consistent hashing moves ~1/n of the keys on a join; allow 2x slack.
+	if moved > clips/2 {
+		t.Fatalf("adding one node moved %d/%d primaries — ring is not consistent", moved, clips)
+	}
+	if moved == 0 {
+		t.Fatal("adding a node moved no keys — new node owns nothing")
+	}
+}

@@ -62,12 +62,17 @@ func (o Outcome) String() string {
 
 // Stats accumulates the global cooperative metrics.
 type Stats struct {
-	Requests       uint64
-	LocalHits      uint64
-	PeerHits       uint64
-	ServerFetches  uint64
-	BytesFromPeers media.Bytes
-	BytesFromBase  media.Bytes
+	Requests      uint64
+	LocalHits     uint64
+	PeerHits      uint64
+	ServerFetches uint64
+	// DegradedFetches counts the subset of ServerFetches where the base
+	// station was consulted but delivered nothing (fetch fault or engine
+	// error). They are still requests — the device cache booked them — so
+	// Requests stays equal to the sum of per-device core.Stats.Requests.
+	DegradedFetches uint64
+	BytesFromPeers  media.Bytes
+	BytesFromBase   media.Bytes
 }
 
 // CooperativeHitRate returns the fraction of requests serviced without the
@@ -114,11 +119,14 @@ func (n *Network) Stats() Stats { return n.stats }
 // Devices returns the attached devices.
 func (n *Network) Devices() []*Device { return n.devices }
 
-// peerCopies counts peers of d (excluding d itself) holding clip id.
+// peerCopies counts peers of d (excluding d itself) holding a complete
+// copy of clip id. Partial residency (a segmented peer holding only a
+// prefix) is not a copy: it can neither serve a PeerHit nor satisfy the
+// Dedup replication bound.
 func (n *Network) peerCopies(d *Device, id media.ClipID) int {
 	copies := 0
 	for _, other := range n.devices {
-		if other != d && other.cache.Resident(id) {
+		if other != d && other.cache.FullyResident(id) {
 			copies++
 		}
 	}
@@ -154,8 +162,9 @@ func (p *dedupPolicy) Admit(clip media.Clip, now vtime.Time) bool {
 
 // AddDevice attaches a device built from a repository, capacity, policy and
 // request generator. The policy is wrapped with the cooperative admission
-// rule when the network has MaxCopies set.
-func (n *Network) AddDevice(repo *media.Repository, capacity media.Bytes, policy core.Policy, gen *workload.Generator) (*Device, error) {
+// rule when the network has MaxCopies set. Extra core options (fetch hooks,
+// segmentation, observers) are applied to the device's cache as-is.
+func (n *Network) AddDevice(repo *media.Repository, capacity media.Bytes, policy core.Policy, gen *workload.Generator, opts ...core.Option) (*Device, error) {
 	if policy == nil {
 		return nil, errors.New("coop: policy must not be nil")
 	}
@@ -164,7 +173,7 @@ func (n *Network) AddDevice(repo *media.Repository, capacity media.Bytes, policy
 	}
 	d := &Device{id: len(n.devices), net: n, gen: gen}
 	wrapped := &dedupPolicy{Policy: policy, dev: d}
-	cache, err := core.New(repo, capacity, wrapped)
+	cache, err := core.New(repo, capacity, wrapped, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -190,10 +199,21 @@ func (d *Device) Request(id media.ClipID) (Outcome, error) {
 	}
 	wasResident := d.cache.Resident(id)
 	peerHeld := !wasResident && d.net.peerCopies(d, id) > 0
-	if _, err := d.cache.Request(id); err != nil {
+	out, err := d.cache.Request(id)
+	// The device cache booked the reference the moment Request ran (the
+	// Lookup above rules out the unknown-clip early return), even when the
+	// engine errors afterwards — so the network totals must book it too, or
+	// coop.Stats.Requests diverges from the sum of device core.Stats.
+	d.net.stats.Requests++
+	if err != nil {
+		// Engine error past the booking point (e.g. victim selection failed
+		// after the fetch): the base station was consulted and the bytes
+		// streamed, but the device is degraded.
+		d.net.stats.ServerFetches++
+		d.net.stats.DegradedFetches++
+		d.net.stats.BytesFromBase += clip.Size
 		return ServerFetch, err
 	}
-	d.net.stats.Requests++
 	switch {
 	case wasResident:
 		d.net.stats.LocalHits++
@@ -202,6 +222,12 @@ func (d *Device) Request(id media.ClipID) (Outcome, error) {
 		d.net.stats.PeerHits++
 		d.net.stats.BytesFromPeers += clip.Size
 		return PeerHit, nil
+	case out == core.MissDegraded:
+		// Fetch fault: the base station was consulted but delivered
+		// nothing, so no bytes are booked against the base-station link.
+		d.net.stats.ServerFetches++
+		d.net.stats.DegradedFetches++
+		return ServerFetch, nil
 	default:
 		d.net.stats.ServerFetches++
 		d.net.stats.BytesFromBase += clip.Size
@@ -232,19 +258,30 @@ func (n *Network) Run(rounds int) error {
 
 // UnionCoverage returns the fraction of repository bytes held by at least
 // one device — the coverage a cooperative placement rule tries to widen.
+// It walks the devices' resident sets rather than assuming dense clip IDs
+// 1..N, so churned or perished catalogs (and devices attached to different
+// repositories) are handled without out-of-range lookups. Under segmented
+// caches a clip contributes its largest per-device resident byte count — a
+// lower bound on the true union, exact for whole-clip residency.
 func (n *Network) UnionCoverage() float64 {
 	if len(n.devices) == 0 {
 		return 0
 	}
-	repo := n.devices[0].cache.Repository()
-	var covered media.Bytes
-	for id := media.ClipID(1); int(id) <= repo.N(); id++ {
-		for _, d := range n.devices {
-			if d.cache.Resident(id) {
-				covered += repo.Clip(id).Size
-				break
+	total := n.devices[0].cache.Repository().TotalSize()
+	if total == 0 {
+		return 0
+	}
+	covered := make(map[media.ClipID]media.Bytes)
+	for _, d := range n.devices {
+		for clip := range d.cache.Residents() {
+			if b := d.cache.ResidentBytes(clip.ID); b > covered[clip.ID] {
+				covered[clip.ID] = b
 			}
 		}
 	}
-	return float64(covered) / float64(repo.TotalSize())
+	var sum media.Bytes
+	for _, b := range covered {
+		sum += b
+	}
+	return float64(sum) / float64(total)
 }

@@ -1,0 +1,245 @@
+package coop
+
+// coop_fault_test.go pins the ISSUE 9 coop accounting fixes: the network
+// totals must book every request the device caches book — including fetch
+// faults and engine errors — and partial residency on a peer must not pass
+// for a full copy (neither for a PeerHit nor for the Dedup rule), nor may
+// UnionCoverage assume dense clip IDs spanning devices[0]'s repository.
+
+import (
+	"fmt"
+	"testing"
+
+	"mediacache/internal/core"
+	"mediacache/internal/fault"
+	"mediacache/internal/media"
+	"mediacache/internal/policy/dynsimple"
+	"mediacache/internal/vtime"
+	"mediacache/internal/workload"
+	"mediacache/internal/zipf"
+)
+
+// TestStatsRequestsMatchDevicesUnderFaults drives a 3-device neighborhood
+// against a 20% error-rate fault profile and asserts the satellite-bugfix
+// invariant: coop.Stats.Requests equals the sum of the per-device
+// core.Stats.Requests, with degraded fetches classified (not dropped) and
+// no bytes booked against the base station for fetches that delivered
+// nothing.
+func TestStatsRequestsMatchDevicesUnderFaults(t *testing.T) {
+	repo := media.PaperRepository()
+	dist := zipf.MustNew(repo.N(), zipf.DefaultMean)
+	net := NewNetwork(Config{MaxCopies: 1})
+	for i := 0; i < 3; i++ {
+		p := dynsimple.MustNew(repo.N(), 2)
+		gen := workload.MustNewGenerator(dist, uint64(2000+i))
+		inj := fault.New(fault.Profile{ErrorRate: 0.2}, uint64(50+i))
+		_, err := net.AddDevice(repo, repo.CacheSizeForRatio(0.1), p, gen,
+			core.WithFetch(func(clip media.Clip, _ vtime.Time) error {
+				if f := inj.Next(); f.Failed() {
+					return fmt.Errorf("injected %s fault fetching clip %d", f.Kind, clip.ID)
+				}
+				return nil
+			}))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := net.Run(500); err != nil {
+		t.Fatal(err)
+	}
+
+	var deviceRequests, deviceFetchFailed uint64
+	for _, d := range net.Devices() {
+		st := d.Cache().Stats()
+		deviceRequests += st.Requests
+		deviceFetchFailed += st.FetchFailed
+	}
+	st := net.Stats()
+	if st.Requests != deviceRequests {
+		t.Fatalf("coop Requests = %d, sum of device cache requests = %d",
+			st.Requests, deviceRequests)
+	}
+	if deviceFetchFailed == 0 {
+		t.Fatal("fault profile injected no fetch failures; test is vacuous")
+	}
+	if st.DegradedFetches == 0 {
+		t.Fatal("no degraded fetches classified despite injected faults")
+	}
+	// Degraded fetches can only come from fetch faults or engine errors, and
+	// every fetch fault that was not shadowed by a peer hit must be degraded.
+	if st.DegradedFetches > deviceFetchFailed {
+		t.Fatalf("DegradedFetches %d exceeds device FetchFailed %d",
+			st.DegradedFetches, deviceFetchFailed)
+	}
+	if st.Requests != st.LocalHits+st.PeerHits+st.ServerFetches {
+		t.Fatalf("outcome counts %d+%d+%d do not sum to requests %d",
+			st.LocalHits, st.PeerHits, st.ServerFetches, st.Requests)
+	}
+}
+
+// TestDegradedFetchBooksNoBaseBytes checks the byte side of the fix: a
+// fetch that faults delivers nothing, so BytesFromBase must not grow.
+func TestDegradedFetchBooksNoBaseBytes(t *testing.T) {
+	repo := media.PaperRepository()
+	net := NewNetwork(Config{})
+	p := dynsimple.MustNew(repo.N(), 2)
+	gen := workload.MustNewGenerator(zipf.MustNew(repo.N(), zipf.DefaultMean), 1)
+	fail := true
+	d, err := net.AddDevice(repo, repo.CacheSizeForRatio(0.1), p, gen,
+		core.WithFetch(func(clip media.Clip, _ vtime.Time) error {
+			if fail {
+				return fmt.Errorf("injected fault fetching clip %d", clip.ID)
+			}
+			return nil
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := d.Request(3)
+	if err != nil || out != ServerFetch {
+		t.Fatalf("degraded fetch: out=%v err=%v", out, err)
+	}
+	st := net.Stats()
+	if st.Requests != 1 || st.ServerFetches != 1 || st.DegradedFetches != 1 {
+		t.Fatalf("degraded fetch misbooked: %+v", st)
+	}
+	if st.BytesFromBase != 0 {
+		t.Fatalf("BytesFromBase = %d after a fetch that delivered nothing", st.BytesFromBase)
+	}
+
+	fail = false
+	if out, err = d.Request(3); err != nil || out != ServerFetch {
+		t.Fatalf("recovered fetch: out=%v err=%v", out, err)
+	}
+	st = net.Stats()
+	clip, _ := repo.Lookup(3)
+	if st.BytesFromBase != clip.Size {
+		t.Fatalf("BytesFromBase = %d, want %d after the successful fetch",
+			st.BytesFromBase, clip.Size)
+	}
+	if st.Requests != 2 || st.DegradedFetches != 1 {
+		t.Fatalf("recovered fetch misbooked: %+v", st)
+	}
+}
+
+// TestPartialPeerIsNotACopy materializes only a prefix of a clip on a
+// segmented peer and asserts (a) the requester classifies the reference as
+// a ServerFetch, not a PeerHit, and (b) the Dedup rule still admits the
+// clip locally — a partial peer copy must not suppress materialization.
+func TestPartialPeerIsNotACopy(t *testing.T) {
+	repo := media.PaperRepository()
+	dist := zipf.MustNew(repo.N(), zipf.DefaultMean)
+	net := NewNetwork(Config{MaxCopies: 1})
+	pa := dynsimple.MustNew(repo.N(), 2)
+	a, err := net.AddDevice(repo, repo.CacheSizeForRatio(0.1), pa,
+		workload.MustNewGenerator(dist, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb := dynsimple.MustNew(repo.N(), 2)
+	b, err := net.AddDevice(repo, repo.CacheSizeForRatio(0.1), pb,
+		workload.MustNewGenerator(dist, 2),
+		core.WithSegments(64*1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Make clip 5 partially resident on b: request only its first bytes.
+	clip, _ := repo.Lookup(5)
+	if _, err := b.Cache().RequestRange(5, 0, 64*1024); err != nil {
+		t.Fatal(err)
+	}
+	if b.Cache().FullyResident(5) || !b.Cache().Resident(5) {
+		t.Fatalf("setup: clip 5 should be partially resident on b (resident %d of %d bytes)",
+			b.Cache().ResidentBytes(5), clip.Size)
+	}
+	if got := net.peerCopies(a, 5); got != 0 {
+		t.Fatalf("peerCopies counts b's partial copy: got %d, want 0", got)
+	}
+
+	out, err := a.Request(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != ServerFetch {
+		t.Fatalf("out = %v, want server-fetch: a partial peer cannot stream the clip", out)
+	}
+	if !a.Cache().Resident(5) {
+		t.Fatal("dedup rule declined admission on the strength of a partial peer copy")
+	}
+
+	// A full copy on b IS a copy: with MaxCopies=1 satisfied, a second
+	// requester must decline and classify a peer hit.
+	if _, err := b.Cache().RequestRange(6, 0, -1); err != nil {
+		t.Fatal(err)
+	}
+	if !b.Cache().FullyResident(6) {
+		t.Skip("clip 6 did not fully materialize on b; admission declined")
+	}
+	out, err = a.Request(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != PeerHit {
+		t.Fatalf("out = %v, want peer-hit from b's full copy", out)
+	}
+	if a.Cache().Resident(6) {
+		t.Fatal("dedup rule should decline: b already holds the one allowed copy")
+	}
+}
+
+// TestUnionCoverageHandlesMixedRepositories attaches devices to
+// different-sized repositories. The old implementation walked
+// ClipID(1)..devices[0].repo.N(), silently dropping any peer resident
+// outside that range; the rewrite walks resident sets directly.
+func TestUnionCoverageHandlesMixedRepositories(t *testing.T) {
+	small, err := media.NewRepository(smallClips(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := media.NewRepository(smallClips(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := NewNetwork(Config{})
+	a, err := net.AddDevice(small, small.TotalSize()/2, dynsimple.MustNew(small.N(), 2),
+		workload.MustNewGenerator(zipf.MustNew(small.N(), zipf.DefaultMean), 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bRepo := large
+	b, err := net.AddDevice(bRepo, bRepo.TotalSize()/2, dynsimple.MustNew(bRepo.N(), 2),
+		workload.MustNewGenerator(zipf.MustNew(bRepo.N(), zipf.DefaultMean), 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// b holds a clip outside a's (devices[0]'s) dense range.
+	if _, err := b.Request(12); err != nil {
+		t.Fatal(err)
+	}
+	if !b.Cache().Resident(12) {
+		t.Fatal("setup: clip 12 should be resident on b")
+	}
+	cov := net.UnionCoverage()
+	clip12, _ := bRepo.Lookup(12)
+	want := float64(clip12.Size) / float64(small.TotalSize())
+	if cov < want {
+		t.Fatalf("coverage %v misses clip 12 beyond devices[0]'s N (want at least %v)", cov, want)
+	}
+	_ = a
+}
+
+// smallClips builds n identical 1 MB clips with a display rate, IDs 1..n.
+func smallClips(n int) []media.Clip {
+	clips := make([]media.Clip, n)
+	for i := range clips {
+		clips[i] = media.Clip{
+			ID:          media.ClipID(i + 1),
+			Size:        1 << 20,
+			DisplayRate: 4_000_000,
+		}
+	}
+	return clips
+}

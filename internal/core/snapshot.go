@@ -37,6 +37,16 @@ type Snapshot struct {
 	// indices in ascending order — present only for segmented captures,
 	// sorted by clip id so encoding is deterministic.
 	Partial []ClipSegments
+	// TTLRemaining carries each resident clip's remaining time-to-live at
+	// capture (deadline − clock), ascending by clip id. It is nil when the
+	// capturing cache has expiry disabled, so TTL-off and pre-churn archives
+	// encode byte-identically (gob omits zero-value fields). Remaining spans
+	// are clock-relative rather than absolute deadlines, which makes them
+	// portable across restores whose clock bases differ — a sharded pool
+	// snapshot sums shard clocks but restores every shard at the snapshot
+	// clock, and the cluster rebalance path moves snapshots between nodes
+	// with unrelated histories.
+	TTLRemaining []ClipTTL
 }
 
 // ClipSegments is one partially resident clip in a segmented Snapshot.
@@ -45,12 +55,30 @@ type ClipSegments struct {
 	Segments []int32
 }
 
+// ClipTTL is one resident clip's remaining time-to-live in a Snapshot
+// taken from a cache with expiry enabled.
+type ClipTTL struct {
+	ID media.ClipID
+	// Remaining is deadline − capture clock; it can be zero or negative for
+	// a clip that is overdue but not yet lazily expired, in which case the
+	// restoring cache expires it on first touch.
+	Remaining vtime.Duration
+}
+
 // Snapshot captures the cache's current persistent state.
 func (c *Cache) Snapshot() Snapshot {
 	s := Snapshot{
 		Clock:       c.clock,
 		Stats:       c.stats,
 		SegmentSize: c.segSize,
+	}
+	if c.ttl > 0 {
+		ttls := make([]ClipTTL, 0, c.byID.Len())
+		c.byID.Ascend(func(id media.ClipID, _ media.Clip) bool {
+			ttls = append(ttls, ClipTTL{ID: id, Remaining: c.deadlines[id] - c.clock})
+			return true
+		})
+		s.TTLRemaining = ttls
 	}
 	if c.segSize == 0 {
 		ids := make([]media.ClipID, 0, c.byID.Len())
@@ -144,6 +172,19 @@ func (c *Cache) Restore(s Snapshot) error {
 	if s.Clock < 0 {
 		return fmt.Errorf("core: snapshot clock %d is negative", s.Clock)
 	}
+	var rem map[media.ClipID]vtime.Duration
+	if len(s.TTLRemaining) > 0 {
+		rem = make(map[media.ClipID]vtime.Duration, len(s.TTLRemaining))
+		for _, ct := range s.TTLRemaining {
+			if _, resident := seen[ct.ID]; !resident {
+				return fmt.Errorf("core: snapshot carries a TTL for non-resident clip %d", ct.ID)
+			}
+			if _, dup := rem[ct.ID]; dup {
+				return fmt.Errorf("core: snapshot lists clip %d's TTL twice", ct.ID)
+			}
+			rem[ct.ID] = ct.Remaining
+		}
+	}
 	c.resident = make(map[media.ClipID]struct{}, len(s.ResidentIDs)+len(s.Partial))
 	c.byID = rbtree.New[media.ClipID, media.Clip](lessClipID)
 	c.mirrorClear()
@@ -156,10 +197,11 @@ func (c *Cache) Restore(s Snapshot) error {
 		c.residentSegs = 0
 	}
 	if c.ttl > 0 {
-		// Snapshots carry no deadlines (pre-churn archives must restore
-		// unchanged), so restored clips get a fresh TTL from the restore
-		// point — the device was down, the content's remaining life is
-		// unknowable, and re-expiring everything at once would be worse.
+		// Clips whose snapshot carries a remaining TTL resume it relative to
+		// the restore clock (the cluster rebalance path depends on deadlines
+		// surviving the move); clips without one — pre-churn archives, or
+		// captures from a TTL-off cache — get a fresh TTL from the restore
+		// point, since their remaining life is unknowable.
 		c.deadlines = make(map[media.ClipID]vtime.Time, len(s.ResidentIDs)+len(s.Partial))
 		c.lastSweep = s.Clock
 	}
@@ -168,7 +210,7 @@ func (c *Cache) Restore(s Snapshot) error {
 		clip := c.repo.Clip(id)
 		c.resident[id] = struct{}{}
 		c.byID.Put(id, clip)
-		c.setDeadline(id, c.clock)
+		c.restoreDeadline(id, rem)
 		c.mirrorAdd(id)
 		c.used += clip.Size
 		c.policy.OnInsert(clip, c.clock)
@@ -187,7 +229,7 @@ func (c *Cache) Restore(s Snapshot) error {
 		c.segs[ps.ID] = sm
 		c.resident[ps.ID] = struct{}{}
 		c.byID.Put(ps.ID, clip)
-		c.setDeadline(ps.ID, c.clock)
+		c.restoreDeadline(ps.ID, rem)
 		c.mirrorAdd(ps.ID)
 		c.used += sm.resBytes
 		c.residentSegs += int(sm.resident)
@@ -196,6 +238,21 @@ func (c *Cache) Restore(s Snapshot) error {
 		c.emitB(EventRestore, clip, sm.resBytes, c.clock)
 	}
 	return nil
+}
+
+// restoreDeadline installs a restored clip's expiry deadline: the carried
+// remaining TTL when the snapshot has one, a fresh TTL otherwise. Like
+// setDeadline it must run before the mirror publication so lock-free
+// readers see residency and expiry atomically.
+func (c *Cache) restoreDeadline(id media.ClipID, rem map[media.ClipID]vtime.Duration) {
+	if c.ttl <= 0 {
+		return
+	}
+	if r, ok := rem[id]; ok {
+		c.deadlines[id] = c.clock + r
+		return
+	}
+	c.setDeadline(id, c.clock)
 }
 
 // WriteSnapshot serializes the snapshot with encoding/gob.

@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"mediacache/internal/cluster"
+	"mediacache/internal/metrics"
+)
+
+// Cooperative-tier metric names exposed by RegisterClusterMetrics.
+const (
+	metricClusterPeerHits        = "mediacache_cluster_peer_hits_total"
+	metricClusterPeerMisses      = "mediacache_cluster_peer_misses_total"
+	metricClusterPeerErrors      = "mediacache_cluster_peer_errors_total"
+	metricClusterHedges          = "mediacache_cluster_hedged_reads_total"
+	metricClusterHedgeWins       = "mediacache_cluster_hedge_wins_total"
+	metricClusterDigestSkips     = "mediacache_cluster_digest_skips_total"
+	metricClusterDigestRefreshes = "mediacache_cluster_digest_refreshes_total"
+	metricClusterDigestErrors    = "mediacache_cluster_digest_errors_total"
+	metricClusterPeerServed      = "mediacache_cluster_peer_served_total"
+	metricClusterPeerServedBytes = "mediacache_cluster_peer_served_bytes_total"
+)
+
+// RegisterClusterMetrics exposes the cooperative tier's counters on reg.
+// Values are read at scrape time from the cluster's atomics — scrapes
+// never take the cluster's membership lock.
+func RegisterClusterMetrics(reg *metrics.Registry, c *cluster.Cluster) {
+	reg.CounterFunc(metricClusterPeerHits, "Local misses a ring peer serviced.",
+		func() float64 { return float64(c.Counters().PeerHits) })
+	reg.CounterFunc(metricClusterPeerMisses, "Local misses no peer could service.",
+		func() float64 { return float64(c.Counters().PeerMisses) })
+	reg.CounterFunc(metricClusterPeerErrors, "Peer lookups that failed for reasons other than a clean 404.",
+		func() float64 { return float64(c.Counters().PeerErrors) })
+	reg.CounterFunc(metricClusterHedges, "Peer lookups whose hedge timer fired a speculative second request.",
+		func() float64 { return float64(c.Counters().Hedges) })
+	reg.CounterFunc(metricClusterHedgeWins, "Hedged peer lookups the speculative request won.",
+		func() float64 { return float64(c.Counters().HedgeWins) })
+	reg.CounterFunc(metricClusterDigestSkips, "Peer probes vetoed locally by a cached residency digest.",
+		func() float64 { return float64(c.Counters().DigestSkips) })
+	reg.CounterFunc(metricClusterDigestRefreshes, "Successful peer digest refreshes.",
+		func() float64 { return float64(c.Counters().DigestRefreshes) })
+	reg.CounterFunc(metricClusterDigestErrors, "Peer digest refreshes that failed.",
+		func() float64 { return float64(c.Counters().DigestErrors) })
+	reg.CounterFunc(metricClusterPeerServed, "Peer reads this node answered from its resident set.",
+		func() float64 { return float64(c.Counters().PeerServed) })
+	reg.CounterFunc(metricClusterPeerServedBytes, "Bytes this node streamed to sibling nodes.",
+		func() float64 { return float64(c.Counters().PeerServedBytes) })
+}

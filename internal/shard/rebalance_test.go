@@ -1,0 +1,227 @@
+package shard
+
+// rebalance_test.go pins the invariant the cluster rebalance path depends
+// on (ISSUE 9): a pool snapshot restores into a pool with a DIFFERENT
+// shard count — or into a bare cache — with the resident set, the partial
+// segment lists and the TTL deadlines preserved byte-for-byte. Deadlines
+// travel as clock-relative remaining spans, so they survive moves between
+// nodes whose clock bases are unrelated.
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"mediacache/internal/core"
+	"mediacache/internal/media"
+	_ "mediacache/internal/policy/all"
+	"mediacache/internal/policy/registry"
+	"mediacache/internal/vtime"
+)
+
+const rebalanceTTL vtime.Duration = 500
+
+// driveRebalanceSource builds a segmented TTL pool with nShards shards and
+// drives a deterministic mix of full and ranged requests so the snapshot
+// carries full residents, partial residents and nontrivial deadlines.
+func driveRebalanceSource(t *testing.T, nShards int) *Pool {
+	t.Helper()
+	repo := media.PaperRepository()
+	p, err := New(Config{
+		Policy:      "greedydual",
+		Repo:        repo,
+		Capacity:    repo.CacheSizeForRatio(0.125),
+		Seed:        11,
+		Shards:      nShards,
+		SegmentSize: 512 * 1024,
+		TTL:         rebalanceTTL,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		if i%3 == 0 {
+			// Ranged touch on a disjoint id range: materializes only the
+			// covering prefix segments, leaving those clips partial.
+			id := media.ClipID(i%10 + 20)
+			if _, err := p.RequestRange(id, 0, 300*1024); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		id := media.ClipID(i%17 + 1)
+		if _, err := p.Request(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return p
+}
+
+func TestRebalanceAcrossShardCountsPreservesTTLAndSegments(t *testing.T) {
+	src := driveRebalanceSource(t, 3)
+	snap := src.Snapshot()
+	if len(snap.ResidentIDs) == 0 || len(snap.Partial) == 0 {
+		t.Fatalf("setup: want full and partial residents, got %d/%d",
+			len(snap.ResidentIDs), len(snap.Partial))
+	}
+	if len(snap.TTLRemaining) != len(snap.ResidentIDs)+len(snap.Partial) {
+		t.Fatalf("snapshot carries %d TTL spans for %d residents",
+			len(snap.TTLRemaining), len(snap.ResidentIDs)+len(snap.Partial))
+	}
+
+	repo := src.Repository()
+	for _, shards := range []int{1, 2, 5} {
+		dst, err := New(Config{
+			Policy:      "greedydual",
+			Repo:        repo,
+			Capacity:    repo.CacheSizeForRatio(0.125),
+			Seed:        23,
+			Shards:      shards,
+			SegmentSize: 512 * 1024,
+			TTL:         rebalanceTTL,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := dst.Restore(snap); err != nil {
+			t.Fatalf("restore into %d shards: %v", shards, err)
+		}
+		// Every restored shard starts at the snapshot clock, so remaining
+		// spans are directly observable as deadline − snapshot clock.
+		for _, ct := range snap.TTLRemaining {
+			got := dst.DeadlineOf(ct.ID) - snap.Clock
+			if got != ct.Remaining {
+				t.Fatalf("%d shards: clip %d remaining TTL = %d, want %d",
+					shards, ct.ID, got, ct.Remaining)
+			}
+		}
+		// Re-snapshotting must reproduce the resident state byte-for-byte.
+		// (The clock differs — a pool snapshot sums per-shard clocks — so the
+		// comparison is over the persistent content, not the whole struct.)
+		back := dst.Snapshot()
+		if !reflect.DeepEqual(back.ResidentIDs, snap.ResidentIDs) {
+			t.Fatalf("%d shards: resident ids diverge", shards)
+		}
+		if !reflect.DeepEqual(back.Partial, snap.Partial) {
+			t.Fatalf("%d shards: partial segment lists diverge", shards)
+		}
+		if !reflect.DeepEqual(back.TTLRemaining, snap.TTLRemaining) {
+			t.Fatalf("%d shards: TTL spans diverge", shards)
+		}
+	}
+}
+
+// TestRebalanceIntoBareCache restores a 3-shard pool snapshot into an
+// unsharded core.Cache and back, proving the formats are interchangeable
+// node-to-node regardless of local partitioning.
+func TestRebalanceIntoBareCache(t *testing.T) {
+	src := driveRebalanceSource(t, 3)
+	snap := src.Snapshot()
+	repo := src.Repository()
+	pol, err := registry.Build("greedydual", repo, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache, err := core.New(repo, repo.CacheSizeForRatio(0.125), pol,
+		core.WithSegments(512*1024), core.WithTTL(rebalanceTTL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cache.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	for _, ct := range snap.TTLRemaining {
+		if got := cache.DeadlineOf(ct.ID) - snap.Clock; got != ct.Remaining {
+			t.Fatalf("clip %d remaining TTL = %d, want %d", ct.ID, got, ct.Remaining)
+		}
+	}
+	back := cache.Snapshot()
+	if !reflect.DeepEqual(back.ResidentIDs, snap.ResidentIDs) ||
+		!reflect.DeepEqual(back.Partial, snap.Partial) ||
+		!reflect.DeepEqual(back.TTLRemaining, snap.TTLRemaining) {
+		t.Fatal("bare-cache round trip diverges from the pool snapshot")
+	}
+}
+
+// TestRebalanceSnapshotGobRoundTrip proves the wire form (the /v1/snapshot
+// body) carries the TTL spans: encode, decode, restore, compare.
+func TestRebalanceSnapshotGobRoundTrip(t *testing.T) {
+	src := driveRebalanceSource(t, 2)
+	snap := src.Snapshot()
+	var buf bytes.Buffer
+	if err := snap.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := core.ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(decoded, snap) {
+		t.Fatal("gob round trip altered the snapshot")
+	}
+}
+
+// TestRestoreWithoutTTLSpansRefreshes preserves the pre-churn contract: a
+// snapshot with no TTL spans (an old archive, or a TTL-off capture)
+// restores into a TTL pool with fresh deadlines from the restore point.
+func TestRestoreWithoutTTLSpansRefreshes(t *testing.T) {
+	repo := media.PaperRepository()
+	noTTL, err := New(Config{
+		Policy: "greedydual", Repo: repo,
+		Capacity: repo.CacheSizeForRatio(0.125), Seed: 1, Shards: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := media.ClipID(1); id <= 8; id++ {
+		if _, err := noTTL.Request(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := noTTL.Snapshot()
+	if snap.TTLRemaining != nil {
+		t.Fatalf("TTL-off capture must carry no TTL spans, got %d", len(snap.TTLRemaining))
+	}
+	dst, err := New(Config{
+		Policy: "greedydual", Repo: repo,
+		Capacity: repo.CacheSizeForRatio(0.125), Seed: 2, Shards: 3,
+		TTL: rebalanceTTL,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range snap.ResidentIDs {
+		if got := dst.DeadlineOf(id); got != snap.Clock+vtime.Time(rebalanceTTL) {
+			t.Fatalf("clip %d deadline = %d, want fresh TTL %d", id, got,
+				snap.Clock+vtime.Time(rebalanceTTL))
+		}
+	}
+}
+
+// TestRestoreRejectsBadTTLSpans: spans referencing non-resident clips or
+// duplicated spans fail validation before any shard is touched.
+func TestRestoreRejectsBadTTLSpans(t *testing.T) {
+	src := driveRebalanceSource(t, 2)
+	snap := src.Snapshot()
+	dst := driveRebalanceSource(t, 3)
+	want := dst.Snapshot()
+
+	orphan := snap
+	orphan.TTLRemaining = append([]core.ClipTTL(nil), snap.TTLRemaining...)
+	orphan.TTLRemaining = append(orphan.TTLRemaining, core.ClipTTL{ID: 500, Remaining: 1})
+	if err := dst.Restore(orphan); err == nil {
+		t.Fatal("TTL span for a non-resident clip must be rejected")
+	}
+	dup := snap
+	dup.TTLRemaining = append([]core.ClipTTL(nil), snap.TTLRemaining...)
+	dup.TTLRemaining = append(dup.TTLRemaining, snap.TTLRemaining[0])
+	if err := dst.Restore(dup); err == nil {
+		t.Fatal("duplicated TTL span must be rejected")
+	}
+	if got := dst.Snapshot(); !reflect.DeepEqual(got, want) {
+		t.Fatal("failed restore mutated the pool")
+	}
+}

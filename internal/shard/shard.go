@@ -828,23 +828,29 @@ func (p *Pool) Snapshot() core.Snapshot {
 		clock   vtime.Time
 		ids     []media.ClipID
 		partial []core.ClipSegments
+		ttls    []core.ClipTTL
 	)
 	for _, sub := range subs {
 		stats = stats.Add(sub.Stats)
 		clock += sub.Clock
 		ids = append(ids, sub.ResidentIDs...)
 		partial = append(partial, sub.Partial...)
+		ttls = append(ttls, sub.TTLRemaining...)
 	}
 	// Each shard's lists are ascending but interleave across shards; restore
-	// the global ascending order (clip ids are unique across shards).
+	// the global ascending order (clip ids are unique across shards). The
+	// TTL spans are clock-relative per shard, so merging them needs no
+	// rebasing even though the merged clock is the per-shard sum.
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	sort.Slice(partial, func(i, j int) bool { return partial[i].ID < partial[j].ID })
+	sort.Slice(ttls, func(i, j int) bool { return ttls[i].ID < ttls[j].ID })
 	return core.Snapshot{
-		ResidentIDs: ids,
-		Partial:     partial,
-		SegmentSize: p.segSize,
-		Clock:       clock,
-		Stats:       stats,
+		ResidentIDs:  ids,
+		Partial:      partial,
+		SegmentSize:  p.segSize,
+		Clock:        clock,
+		Stats:        stats,
+		TTLRemaining: ttls,
 	}
 }
 
@@ -923,14 +929,28 @@ func (p *Pool) Restore(snap core.Snapshot) error {
 				sizes[i], i, s.cache.Capacity())
 		}
 	}
+	partsTTL := make([][]core.ClipTTL, len(p.shards))
+	ttlSeen := make(map[media.ClipID]struct{}, len(snap.TTLRemaining))
+	for _, ct := range snap.TTLRemaining {
+		if _, resident := seen[ct.ID]; !resident {
+			return fmt.Errorf("shard: snapshot carries a TTL for non-resident clip %d", ct.ID)
+		}
+		if _, dup := ttlSeen[ct.ID]; dup {
+			return fmt.Errorf("shard: snapshot lists clip %d's TTL twice", ct.ID)
+		}
+		ttlSeen[ct.ID] = struct{}{}
+		i := p.ShardFor(ct.ID)
+		partsTTL[i] = append(partsTTL[i], ct)
+	}
 	p.lockAllDrained()
 	defer p.unlockAll()
 	for i, s := range p.shards {
 		sub := core.Snapshot{
-			ResidentIDs: parts[i],
-			Partial:     partsPartial[i],
-			SegmentSize: snap.SegmentSize,
-			Clock:       snap.Clock,
+			ResidentIDs:  parts[i],
+			Partial:      partsPartial[i],
+			SegmentSize:  snap.SegmentSize,
+			Clock:        snap.Clock,
+			TTLRemaining: partsTTL[i],
 		}
 		if i == 0 {
 			sub.Stats = snap.Stats
