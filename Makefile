@@ -1,7 +1,7 @@
 GO ?= go
 BENCH_DATE := $(shell date +%Y-%m-%d)
 
-.PHONY: build test vet race racecheck alloccheck rangecheck loadcheck churncheck clustercheck check bench loadbench benchcmp fuzz-smoke
+.PHONY: build test vet race racecheck alloccheck rangecheck loadcheck churncheck clustercheck tracecheck check bench loadbench benchcmp fuzz-smoke
 
 # Each fuzz target gets a short smoke budget; go test allows only one
 # -fuzz pattern per invocation, so targets run sequentially.
@@ -66,12 +66,22 @@ clustercheck:
 		./internal/cluster ./internal/cacheclient ./internal/shard \
 		./internal/coop ./cmd/cacheserver
 
+# tracecheck runs the sessionized-analytics conformance surface (ISSUE 10):
+# the trace v2 schema round-trips and golden bytes, the Source-face
+# byte-identity regressions, the query engine goldens, the traceql CLI, and
+# the measure→model→replay loop — reqlog → traceql -fit → replay matching
+# the recorded per-session hit rate and inter-arrival percentiles.
+tracecheck:
+	$(GO) test -run 'Source|Trace|Session|Query|Report|Fit|ReqLog|ClientID|Golden' -count=1 \
+		./internal/workload ./internal/trace ./internal/sim \
+		./cmd/traceql ./cmd/tracegen ./cmd/loadgen ./cmd/cacheserver
+
 # check is the tier-1 gate plus static analysis, the race detector, the
 # request-path allocation assertion, the Range-conformance surface, the
-# open-loop load smoke, the catalog-churn surface and the cooperative
-# cluster surface. vet and test cover every package, including
-# internal/metrics and internal/obs.
-check: build vet test race alloccheck rangecheck loadcheck churncheck clustercheck
+# open-loop load smoke, the catalog-churn surface, the cooperative cluster
+# surface and the sessionized-analytics surface. vet and test cover every
+# package, including internal/metrics and internal/obs.
+check: build vet test race alloccheck rangecheck loadcheck churncheck clustercheck tracecheck
 
 # bench runs the full benchmark suite and archives the run as test2json
 # events (one dated file per day; reruns overwrite).
@@ -100,3 +110,5 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzParseChurn$$' -fuzztime $(FUZZTIME) ./internal/workload
 	$(GO) test -run '^$$' -fuzz '^FuzzReadRepositoryCSV$$' -fuzztime $(FUZZTIME) ./internal/media
 	$(GO) test -run '^$$' -fuzz '^FuzzParseProfile$$' -fuzztime $(FUZZTIME) ./internal/fault
+	$(GO) test -run '^$$' -fuzz '^FuzzParseFit$$' -fuzztime $(FUZZTIME) ./internal/workload
+	$(GO) test -run '^$$' -fuzz '^FuzzParseQuery$$' -fuzztime $(FUZZTIME) ./internal/trace

@@ -32,6 +32,7 @@ const (
 
 // handleBatch services POST /v1/batch.
 func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	batchStart := time.Now()
 	var req api.BatchRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBody))
 	if err := dec.Decode(&req); err != nil {
@@ -152,6 +153,14 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			}
 			res.LatencySeconds = float64(lat)
 		}
+		// Log the item as its single-request form would have been; item
+		// transfers proceed concurrently, so each is charged the elapsed
+		// batch time so far.
+		var served *byteRange
+		if items[k].Ranged {
+			served = &byteRange{start: br.Range.Start, length: br.Range.Length}
+		}
+		s.logClip(r, clip, served, res.Outcome, res.Hit, res.Status, res.LatencySeconds, "", batchStart)
 	}
 	resp.Shed = s.shed.saturated() || s.guard.degradedNow()
 	writeJSON(w, resp)

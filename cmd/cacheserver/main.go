@@ -104,6 +104,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"os"
@@ -131,6 +132,7 @@ func main() {
 	ttl := fs.Int64("ttl", 0, "clip time-to-live in virtual ticks; expired clips are invalidated (0 = no expiry)")
 	pprofFlag := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	trace := fs.Bool("trace", false, "log every cache event (hit/miss/eviction/bypass/restore) at debug level")
+	reqlogPath := fs.String("reqlog", "", "append an NDJSON request log (one api.RequestLogEntry per serviced clip reference) to this file, for cmd/traceql (\"\" disables, \"-\" = stdout)")
 	faultsFlag := fs.String("faults", "", `fault-injection profile for the clip route, e.g. "p=0.05" or "error=0.1,timeout=0.05,latency=20ms" ("" or "off" disables)`)
 	maxInFlight := fs.Int("maxinflight", 0, "shed requests with 429 once this many are in flight (0 = unbounded)")
 	memLimit := fs.Uint64("memlimit", 0, "bypass cache admission while process heap exceeds this many bytes (0 = off)")
@@ -164,6 +166,19 @@ func main() {
 	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
+	var reqlog io.Writer
+	if *reqlogPath == "-" {
+		reqlog = os.Stdout
+	} else if *reqlogPath != "" {
+		f, err := os.OpenFile(*reqlogPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cacheserver: opening reqlog: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		reqlog = f
+	}
+
 	srv, err := newServer(config{
 		policy:         *policy,
 		ratio:          *ratio,
@@ -177,6 +192,7 @@ func main() {
 		logger:         logger,
 		trace:          *trace,
 		pprof:          *pprofFlag,
+		reqlog:         reqlog,
 		faults:         profile,
 		maxInFlight:    *maxInFlight,
 		memLimit:       *memLimit,

@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"mediacache/internal/api"
 	"mediacache/internal/media"
@@ -145,7 +146,7 @@ func (s *server) handleHeadClip(w http.ResponseWriter, r *http.Request) {
 // ones fetch with per-segment coalescing) and the outcome is reported with
 // 206 + Content-Range — or 200 when the range spans the whole clip and every
 // byte was already resident, the fully-resident fast path.
-func (s *server) serveClipRange(w http.ResponseWriter, clip media.Clip, rng byteRange) {
+func (s *server) serveClipRange(w http.ResponseWriter, r *http.Request, clip media.Clip, rng byteRange, start time.Time) {
 	// Prefix residency is judged before the request mutates it: a range
 	// whose first byte is already cached starts streaming immediately, so
 	// the modeled startup latency is zero even when the tail misses.
@@ -187,11 +188,16 @@ func (s *server) serveClipRange(w http.ResponseWriter, clip media.Clip, rng byte
 	s.decorateTTL(&resp, clip.ID)
 	w.Header().Set("Accept-Ranges", "bytes")
 	s.setResidentBytesHeader(w, clip.ID)
+	// The serviced (clamped) range is what the log records, so traceql's
+	// range-bias fits see the bytes the cache actually handled.
+	served := byteRange{start: res.Start, length: res.Length}
 	if rng.start == 0 && rng.length == clip.Size && res.Outcome.IsHit() {
 		// Fully resident whole-clip range: plain 200, like an unranged GET.
+		s.logClip(r, clip, &served, resp.Outcome, resp.Hit, http.StatusOK, resp.LatencySeconds, "", start)
 		writeJSON(w, resp)
 		return
 	}
+	s.logClip(r, clip, &served, resp.Outcome, resp.Hit, http.StatusPartialContent, resp.LatencySeconds, "", start)
 	w.Header().Set("Content-Range", contentRange(rng, clip.Size))
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusPartialContent)

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync/atomic"
+	"time"
 
 	"mediacache/internal/api"
 	"mediacache/internal/cluster"
@@ -44,8 +45,10 @@ type config struct {
 	// 0 disables expiry (the pre-churn behaviour).
 	ttl    vtime.Duration
 	logger *slog.Logger // access log + event traces; nil discards
-	trace          bool         // log every cache event at debug level
-	pprof          bool         // mount net/http/pprof under /debug/pprof/
+	trace  bool         // log every cache event at debug level
+	pprof  bool         // mount net/http/pprof under /debug/pprof/
+	// reqlog receives the NDJSON request log (-reqlog); nil disables it.
+	reqlog io.Writer
 
 	// Failure and degradation layer (degrade.go). The zero values disable
 	// all three mechanisms.
@@ -80,6 +83,7 @@ type server struct {
 	cluster    *cluster.Cluster // nil when -node-id is unset (standalone)
 	peerAlloc  media.BitsPerSecond
 	digestSeq  atomic.Uint64
+	reqlog     *reqLogger // nil when -reqlog is unset
 }
 
 // newServer builds the cache pool per the CLI configuration and mounts the
@@ -144,6 +148,9 @@ func newServer(cfg config) (*server, error) {
 		mux:        http.NewServeMux(),
 		shed:       newShedder(cfg.maxInFlight, reg),
 		guard:      guard,
+	}
+	if cfg.reqlog != nil {
+		s.reqlog = newReqLogger(cfg.reqlog, pool.PolicyName())
 	}
 	if cfg.faults.Enabled() {
 		s.chaos = newChaos(cfg.faults, cfg.seed, reg)
@@ -260,6 +267,7 @@ func writeErrorHeaderless(w http.ResponseWriter, status int, format string, args
 // says to ignore If-Range (and serve the full representation) when its
 // validator cannot match.
 func (s *server) handleClip(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	raw := r.PathValue("id")
 	id, err := strconv.Atoi(raw)
 	if err != nil {
@@ -279,7 +287,7 @@ func (s *server) handleClip(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if rng != nil {
-			s.serveClipRange(w, clip, *rng)
+			s.serveClipRange(w, r, clip, *rng, start)
 			return
 		}
 		// Malformed or non-bytes range: fall through to the full response.
@@ -315,6 +323,7 @@ func (s *server) handleClip(w http.ResponseWriter, r *http.Request) {
 	}
 	s.decorateSegmented(&resp, clip)
 	s.decorateTTL(&resp, clip.ID)
+	s.logClip(r, clip, nil, resp.Outcome, resp.Hit, http.StatusOK, resp.LatencySeconds, resp.Peer, start)
 	w.Header().Set("Accept-Ranges", "bytes")
 	writeJSON(w, resp)
 }

@@ -49,6 +49,8 @@ func run(args []string, out io.Writer) error {
 	tracePath := fs.String("trace", "", "replay a CSV trace instead of generating requests")
 	workloadSpec := fs.String("workload", "",
 		`compact workload spec, e.g. "zipf=0.27,0x10000,200x5000" (overrides -zipf/-shift/-requests)`)
+	fitSpec := fs.String("fit", "",
+		`replay a fitted session spec from traceql -fit, e.g. "fit=clips=576,theta=0.27,clients=8,sess=10,think=2000,gap=60000"; -requests bounds the replay`)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -63,6 +65,17 @@ func run(args []string, out io.Writer) error {
 		if len(ws.Schedule) > 0 {
 			sched = ws.Schedule
 		}
+	}
+	var fit *workload.FitSpec
+	if *fitSpec != "" {
+		if *tracePath != "" {
+			return fmt.Errorf("-fit and -trace are mutually exclusive")
+		}
+		parsed, err := workload.ParseFit(*fitSpec)
+		if err != nil {
+			return err
+		}
+		fit = &parsed
 	}
 
 	var repo *media.Repository
@@ -106,6 +119,9 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
+		if err := trace.Validate(); err != nil {
+			return err
+		}
 		if trace.NumClips != repo.N() {
 			return fmt.Errorf("trace %q targets %d clips; repository has %d",
 				trace.Name, trace.NumClips, repo.N())
@@ -114,23 +130,42 @@ func run(args []string, out io.Writer) error {
 
 	fmt.Fprintf(out, "repository  %s (%d clips, %v)\n", *repoKind, repo.N(), repo.TotalSize())
 	fmt.Fprintf(out, "cache       %v (S_T/S_DB = %.4f)\n", capacity, *ratio)
-	if trace != nil {
+	switch {
+	case trace != nil:
 		fmt.Fprintf(out, "trace       %s (%d requests)\n", trace.Name, len(trace.Requests))
-	} else {
+	case fit != nil:
+		fmt.Fprintf(out, "fit         %s seed=%d, %d requests\n", fit, *seed, *requests)
+	default:
 		fmt.Fprintf(out, "workload    %s seed=%d, %d requests\n",
 			workload.Spec{Theta: *mean, Schedule: sched}, *seed, sched.TotalRequests())
 	}
 	fmt.Fprintln(out)
 
 	if len(specs) > 1 {
-		return runComparison(out, specs, repo, dist, capacity, trace, *seed, sched)
+		return runComparison(out, specs, repo, dist, capacity, trace, fit, *seed, sched)
 	}
-	return runSingle(out, specs[0], repo, dist, capacity, trace, *seed, sched, *window)
+	return runSingle(out, specs[0], repo, dist, capacity, trace, fit, *seed, sched, *window)
+}
+
+// newSource builds the unified event stream of a run — a fresh replay or
+// session source per policy, so comparison rows see identical workloads.
+// It returns nil when the run should draw from the scheduled generator
+// instead (the windowed/theoretical path that needs per-phase PMFs).
+func newSource(repo *media.Repository, trace *workload.Trace, fit *workload.FitSpec, seed uint64) (workload.Source, error) {
+	switch {
+	case trace != nil:
+		return trace.Source(), nil
+	case fit != nil:
+		return workload.NewSessionSource(*fit, repo, seed)
+	default:
+		return nil, nil
+	}
 }
 
 // runSingle runs one policy and prints the full metric panel.
 func runSingle(out io.Writer, spec string, repo *media.Repository, dist *zipf.Distribution,
-	capacity media.Bytes, trace *workload.Trace, seed uint64, sched workload.Schedule, window int) error {
+	capacity media.Bytes, trace *workload.Trace, fit *workload.FitSpec, seed uint64,
+	sched workload.Schedule, window int) error {
 	gen, err := workload.NewGenerator(dist, seed)
 	if err != nil {
 		return err
@@ -141,9 +176,19 @@ func runSingle(out io.Writer, spec string, repo *media.Repository, dist *zipf.Di
 	}
 	fmt.Fprintf(out, "policy      %s\n\n", cache.Policy().Name())
 
+	src, err := newSource(repo, trace, fit, seed)
+	if err != nil {
+		return err
+	}
 	var res *sim.Result
-	if trace != nil {
-		res, err = sim.RunTrace(cache.Policy().Name(), cache, trace)
+	if src != nil {
+		// A recorded trace drains in full; an infinite session source is
+		// bounded by the request budget.
+		cfg := sim.SourceConfig{WindowSize: window}
+		if fit != nil {
+			cfg.Limit = sched.TotalRequests()
+		}
+		res, err = sim.RunSource(cache.Policy().Name(), cache, src, cfg)
 	} else {
 		cfg := sim.RunConfig{WindowSize: window}
 		res, err = sim.Run(cache.Policy().Name(), cache, gen, sched, cfg)
@@ -175,7 +220,7 @@ func runSingle(out io.Writer, spec string, repo *media.Repository, dist *zipf.Di
 // runComparison runs every policy against the identical workload and prints
 // a side-by-side table.
 func runComparison(out io.Writer, specs []string, repo *media.Repository, dist *zipf.Distribution,
-	capacity media.Bytes, trace *workload.Trace, seed uint64, sched workload.Schedule) error {
+	capacity media.Bytes, trace *workload.Trace, fit *workload.FitSpec, seed uint64, sched workload.Schedule) error {
 	fmt.Fprintf(out, "%-26s %10s %10s %12s %10s\n", "policy", "hit", "byte-hit", "theoretical", "evictions")
 	for _, spec := range specs {
 		spec = strings.TrimSpace(spec)
@@ -187,9 +232,17 @@ func runComparison(out io.Writer, specs []string, repo *media.Repository, dist *
 		if err != nil {
 			return err
 		}
+		src, err := newSource(repo, trace, fit, seed)
+		if err != nil {
+			return err
+		}
 		var res *sim.Result
-		if trace != nil {
-			res, err = sim.RunTrace(cache.Policy().Name(), cache, trace)
+		if src != nil {
+			cfg := sim.SourceConfig{}
+			if fit != nil {
+				cfg.Limit = sched.TotalRequests()
+			}
+			res, err = sim.RunSource(cache.Policy().Name(), cache, src, cfg)
 		} else {
 			res, err = sim.Run(cache.Policy().Name(), cache, gen, sched, sim.RunConfig{})
 		}

@@ -6,17 +6,27 @@
 // queueing collapse; the open-loop form keeps offering, so saturation shows
 // up honestly as climbing tail latency and shed arrivals.
 //
-// The workload reuses the simulator's generators: seeded Zipf popularity
-// (internal/workload), optional partial-content ranges, and optional
-// popularity churn via the SHIFTxREQUESTS schedule syntax of -workload.
-// Targets are either an in-process shard pool (-mode pool, the default;
-// misses cost -fetchlat and fail with probability -error-rate) or a running
-// cacheserver over HTTP (-mode http -url ...).
+// The workload reuses the simulator's generators through their unified
+// workload.Source face: seeded Zipf popularity (internal/workload),
+// optional partial-content ranges, optional popularity churn via the
+// SHIFTxREQUESTS schedule syntax of -workload, and fitted session specs
+// from traceql -fit (-fit replays the spec's own arrival schedule and
+// client identities instead of a fixed rate). Targets are either an
+// in-process shard pool (-mode pool, the default; misses cost -fetchlat
+// and fail with probability -error-rate) or a running cacheserver over
+// HTTP (-mode http -url ...).
+//
+// Every arrival carries a stable client identity — round-robin across
+// -clients workers, or the fitted spec's own clients — stamped into the
+// X-Client-ID header in HTTP mode, and -reqlog appends an NDJSON request
+// log (one api.RequestLogEntry per serviced item) so open-loop runs are
+// sessionizable by cmd/traceql whichever target they drove.
 //
 // Usage examples:
 //
 //	loadgen -rates 2000,10000,50000 -duration 2s
 //	loadgen -mode http -url http://localhost:8377 -rate 5000 -batch 16
+//	loadgen -fit "clips=576,theta=0.27,clients=8,sess=10,think=2000,gap=60000" -duration 2s -reqlog run.ndjson
 //	loadgen -check
 //
 // Per rate point it prints offered load, achieved throughput, p50/p99/p999
@@ -39,6 +49,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mediacache/internal/api"
 	"mediacache/internal/cacheclient"
 	"mediacache/internal/core"
 	"mediacache/internal/fault"
@@ -68,13 +79,29 @@ type options struct {
 	fetchLat  time.Duration
 	errorRate float64
 	spec      workload.Spec
+	fit       *workload.FitSpec // non-nil: session-paced replay of a fitted spec
 	ranges    bool
+	clients   int
 	rates     []float64
 	duration  time.Duration
 	batch     int
 	maxOut    int
 	jsonPath  string
 	check     bool
+	// reqlog receives the NDJSON request log (-reqlog); nil disables it.
+	// reqSeq is the file-global arrival tick shared across rate points.
+	reqlog *json.Encoder
+	reqSeq *int64
+}
+
+// plan is the precomputed reference stream of one sweep target: the
+// unified event sequence, the per-arrival client identities, and (in -fit
+// mode) the scheduled arrival times.
+type plan struct {
+	repo   *media.Repository
+	events []workload.Request
+	ids    []string                // client identity per arrival
+	timed  []workload.TimedRequest // non-nil in -fit mode; parallel to events
 }
 
 // point is one rate point's outcome — the row the table and the JSON
@@ -117,7 +144,10 @@ func run(args []string, out io.Writer) error {
 	fetchLat := fs.Duration("fetchlat", 100*time.Microsecond, "simulated fetch latency per miss (-mode pool)")
 	errorRate := fs.Float64("error-rate", 0, "probability a simulated fetch fails (-mode pool)")
 	spec := fs.String("workload", "zipf=0.271", "workload spec: zipf=THETA[,SHIFTxREQUESTS...]")
+	fitFlag := fs.String("fit", "", "replay a fitted session spec from traceql -fit at its own arrival schedule (overrides -workload/-rate/-batch)")
 	ranges := fs.Bool("ranges", false, "mix in partial-content requests (-mode pool)")
+	clients := fs.Int("clients", 8, "distinct client identities stamped round-robin per arrival (X-Client-ID, -reqlog)")
+	reqlogPath := fs.String("reqlog", "", "append an NDJSON request log (one api.RequestLogEntry per serviced item) to this file, for cmd/traceql (\"\" disables, \"-\" = stdout)")
 	rate := fs.Float64("rate", 10000, "offered load in requests/second")
 	ratesFlag := fs.String("rates", "", "comma-separated sweep of offered rates (overrides -rate)")
 	duration := fs.Duration("duration", 2*time.Second, "offered duration per rate point")
@@ -132,15 +162,31 @@ func run(args []string, out io.Writer) error {
 	opt := options{
 		mode: *mode, url: *url, policy: *policy, ratio: *ratio, shards: *shards,
 		seed: *seed, fetchLat: *fetchLat, errorRate: *errorRate, ranges: *ranges,
-		duration: *duration, batch: *batch, maxOut: *maxOut, jsonPath: *jsonPath,
-		check: *check,
+		clients: *clients, duration: *duration, batch: *batch, maxOut: *maxOut,
+		jsonPath: *jsonPath, check: *check,
 	}
 	parsed, err := workload.ParseSpec(*spec)
 	if err != nil {
 		return err
 	}
 	opt.spec = parsed
+	if *fitFlag != "" {
+		if *ranges {
+			return fmt.Errorf("-fit carries its own range mix; drop -ranges")
+		}
+		fit, err := workload.ParseFit(*fitFlag)
+		if err != nil {
+			return err
+		}
+		opt.fit = &fit
+		// The fitted spec paces itself: one point, one item per arrival.
+		opt.rates = []float64{0}
+		opt.batch = 1
+	}
 	if *ratesFlag != "" {
+		if opt.fit != nil {
+			return fmt.Errorf("-fit replays the spec's own arrival schedule; drop -rates")
+		}
 		for _, f := range strings.Split(*ratesFlag, ",") {
 			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
 			if err != nil || v <= 0 {
@@ -148,7 +194,7 @@ func run(args []string, out io.Writer) error {
 			}
 			opt.rates = append(opt.rates, v)
 		}
-	} else {
+	} else if opt.fit == nil {
 		opt.rates = []float64{*rate}
 	}
 	if opt.batch < 1 {
@@ -156,6 +202,22 @@ func run(args []string, out io.Writer) error {
 	}
 	if opt.maxOut < 1 {
 		opt.maxOut = 1
+	}
+	if opt.clients < 1 {
+		opt.clients = 1
+	}
+	if *reqlogPath != "" {
+		w := io.Writer(os.Stdout)
+		if *reqlogPath != "-" {
+			f, err := os.OpenFile(*reqlogPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return fmt.Errorf("opening reqlog: %w", err)
+			}
+			defer f.Close()
+			w = f
+		}
+		opt.reqlog = json.NewEncoder(w)
+		opt.reqSeq = new(int64)
 	}
 	if opt.check {
 		return runCheck(out, opt)
@@ -169,15 +231,21 @@ func runSweep(out io.Writer, opt options) error {
 	var points []point
 	var peerServed uint64
 	for _, rateHz := range opt.rates {
-		n := int(rateHz * opt.duration.Seconds())
-		if n < 1 {
-			n = 1
-		}
-		tgt, err := newTarget(opt)
+		tgt, pl, err := newTarget(opt)
 		if err != nil {
 			return err
 		}
-		p, err := openLoop(tgt, opt, rateHz, n)
+		n := int(rateHz * opt.duration.Seconds())
+		if opt.fit != nil {
+			// The fitted spec paces itself; the offered rate is whatever
+			// its session structure implies over the duration.
+			n = len(pl.events)
+			rateHz = float64(n) / opt.duration.Seconds()
+		}
+		if n < 1 {
+			n = 1
+		}
+		p, err := openLoop(tgt, opt, rateHz, n, pl)
 		if err != nil {
 			return err
 		}
@@ -191,8 +259,12 @@ func runSweep(out io.Writer, opt options) error {
 		writeClusterCounters(out, opt, peerServed)
 	}
 	if opt.jsonPath != "" {
+		wl := opt.spec.String()
+		if opt.fit != nil {
+			wl = opt.fit.String()
+		}
 		doc := archive{
-			Tool: "loadgen", Mode: opt.mode, Workload: opt.spec.String(),
+			Tool: "loadgen", Mode: opt.mode, Workload: wl,
 			Policy: opt.policy, Shards: opt.shards, Seed: opt.seed, Points: points,
 		}
 		b, err := json.MarshalIndent(doc, "", "  ")
@@ -242,6 +314,7 @@ func writeTable(out io.Writer, points []point) {
 
 // itemOutcome is what a target reports per serviced item.
 type itemOutcome struct {
+	outcome  string // engine outcome label, for the request log
 	hit      bool
 	degraded bool
 	shed     bool // serviced-side shed (HTTP 429); counts shed, not completed
@@ -262,9 +335,17 @@ type target interface {
 // arrival that would exceed the bound is shed — the open-loop analogue of a
 // full accept queue. Latency is measured from the scheduled arrival time,
 // so dispatch lag counts against the system, not the generator.
-func openLoop(tgt target, opt options, rateHz float64, n int) (point, error) {
+func openLoop(tgt target, opt options, rateHz float64, n int, pl *plan) (point, error) {
 	arrivals := (n + opt.batch - 1) / opt.batch
 	interarrival := time.Duration(float64(opt.batch) * float64(time.Second) / rateHz)
+	// arrivalAt schedules arrival i: the fitted spec's own inter-arrival
+	// structure in -fit mode, a fixed-rate clock otherwise.
+	arrivalAt := func(start time.Time, i int) time.Time {
+		if pl.timed != nil {
+			return start.Add(time.Duration(pl.timed[i].ArrivalMicros) * time.Microsecond)
+		}
+		return start.Add(time.Duration(i) * interarrival)
+	}
 
 	type sample struct {
 		lat      time.Duration
@@ -277,7 +358,7 @@ func openLoop(tgt target, opt options, rateHz float64, n int) (point, error) {
 	shedArrivals := 0
 	start := time.Now()
 	for i := 0; i < arrivals; i++ {
-		scheduled := start.Add(time.Duration(i) * interarrival)
+		scheduled := arrivalAt(start, i)
 		if d := time.Until(scheduled); d > 0 {
 			time.Sleep(d)
 		}
@@ -339,6 +420,45 @@ func openLoop(tgt target, opt options, rateHz float64, n int) (point, error) {
 		}
 	}
 	_ = shedArrivals
+	if opt.reqlog != nil {
+		// The log is written after the point completes, in arrival order, so
+		// ticks in the file are strictly increasing. Generator-side sheds
+		// never became requests and are not logged.
+		for i, s := range samples {
+			if s.outcomes == nil {
+				continue
+			}
+			wall := arrivalAt(start, i).UnixMicro()
+			for k, o := range s.outcomes {
+				ev := pl.events[i*opt.batch+k]
+				*opt.reqSeq++
+				e := api.RequestLogEntry{
+					Tick:          *opt.reqSeq,
+					WallMicros:    wall,
+					Client:        pl.ids[i],
+					Clip:          ev.Clip,
+					SizeBytes:     int64(pl.repo.Clip(ev.Clip).Size),
+					Outcome:       o.outcome,
+					Hit:           o.hit,
+					Status:        200,
+					LatencyMicros: s.lat.Microseconds(),
+				}
+				if opt.mode == "pool" {
+					e.Policy = opt.policy
+				}
+				if ev.Ranged {
+					e.StartBytes = int64(ev.Start)
+					e.LengthBytes = int64(ev.Length)
+				}
+				if o.shed {
+					e.Status = 429
+				}
+				if err := opt.reqlog.Encode(e); err != nil {
+					return point{}, fmt.Errorf("writing reqlog: %w", err)
+				}
+			}
+		}
+	}
 	if p.Completed > 0 {
 		p.HitRate = float64(hits) / float64(p.Completed)
 	}
@@ -367,8 +487,59 @@ func percentileMicros(sorted []time.Duration, q float64) float64 {
 }
 
 // newTarget builds the configured load target with a freshly generated
-// trace of at least the sweep's largest point.
-func newTarget(opt options) (target, error) {
+// reference plan of at least the sweep's largest point.
+func newTarget(opt options) (target, *plan, error) {
+	repo := media.PaperRepository()
+	pl, err := buildPlan(repo, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	switch opt.mode {
+	case "pool":
+		tgt, err := newPoolTarget(repo, opt, pl)
+		return tgt, pl, err
+	case "http":
+		if opt.url == "" {
+			return nil, nil, fmt.Errorf("-mode http requires -url")
+		}
+		if opt.ranges || (opt.fit != nil && opt.fit.RangedFrac > 0) {
+			return nil, nil, fmt.Errorf("ranged requests are only supported with -mode pool")
+		}
+		tgt, err := newHTTPTarget(opt, pl)
+		return tgt, pl, err
+	default:
+		return nil, nil, fmt.Errorf("bad -mode %q: want \"pool\" or \"http\"", opt.mode)
+	}
+}
+
+// fitEventCap bounds a -fit plan: a spec whose session structure implies
+// more arrivals than this over -duration is truncated rather than draining
+// the heap.
+const fitEventCap = 2_000_000
+
+// buildPlan generates the unified reference stream through the workload
+// Source face: the spec's schedule phase by phase (popularity churn), a
+// range mix, or a fitted session spec replayed on its own arrival clock.
+func buildPlan(repo *media.Repository, opt options) (*plan, error) {
+	if opt.fit != nil {
+		src, err := workload.NewSessionSource(*opt.fit, repo, opt.seed)
+		if err != nil {
+			return nil, err
+		}
+		horizon := opt.duration.Microseconds()
+		pl := &plan{repo: repo}
+		for len(pl.timed) < fitEventCap {
+			tr, _ := src.NextTimed()
+			if tr.ArrivalMicros > horizon && len(pl.timed) > 0 {
+				break
+			}
+			pl.timed = append(pl.timed, tr)
+			pl.events = append(pl.events, tr.Request)
+			pl.ids = append(pl.ids, tr.Client)
+		}
+		return pl, nil
+	}
+
 	n := 0
 	for _, r := range opt.rates {
 		if pn := int(r * opt.duration.Seconds()); pn > n {
@@ -378,82 +549,61 @@ func newTarget(opt options) (target, error) {
 	if n < 1 {
 		n = 1
 	}
-	repo := media.PaperRepository()
-	trace, rtrace, err := buildTrace(repo, opt, n)
+	dist, err := zipf.New(repo.N(), opt.spec.Theta)
 	if err != nil {
 		return nil, err
 	}
-	switch opt.mode {
-	case "pool":
-		return newPoolTarget(repo, opt, trace, rtrace)
-	case "http":
-		if opt.url == "" {
-			return nil, fmt.Errorf("-mode http requires -url")
-		}
-		if opt.ranges {
-			return nil, fmt.Errorf("-ranges is only supported with -mode pool")
-		}
-		return newHTTPTarget(opt, trace)
-	default:
-		return nil, fmt.Errorf("bad -mode %q: want \"pool\" or \"http\"", opt.mode)
-	}
-}
-
-// buildTrace generates the reference string: the workload spec's schedule
-// phase by phase (popularity churn), or a single unshifted phase. With
-// -ranges a parallel range trace is generated instead.
-func buildTrace(repo *media.Repository, opt options, n int) ([]media.ClipID, []workload.RangeRequest, error) {
-	dist, err := zipf.New(repo.N(), opt.spec.Theta)
-	if err != nil {
-		return nil, nil, err
-	}
+	var src workload.Source
 	if opt.ranges {
 		rgen, err := workload.NewRangeGenerator(repo, dist, opt.seed, workload.DefaultRangeConfig())
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
-		return nil, rgen.Generate(nil, n), nil
-	}
-	gen, err := workload.NewGenerator(dist, opt.seed)
-	if err != nil {
-		return nil, nil, err
-	}
-	schedule := opt.spec.Schedule
-	if len(schedule) == 0 {
-		schedule = workload.Schedule{{Shift: 0, Requests: n}}
-	}
-	trace := make([]media.ClipID, 0, n)
-	for len(trace) < n {
-		// Cycle the schedule until the trace covers the sweep, so short
-		// schedules still drive long points.
-		for _, ph := range schedule {
-			if err := gen.SetShift(ph.Shift); err != nil {
-				return nil, nil, err
-			}
-			remaining := n - len(trace)
-			count := ph.Requests
-			if count > remaining {
-				count = remaining
-			}
-			trace = gen.Generate(trace, count)
-			if len(trace) >= n {
-				break
+		src = rgen.Source()
+	} else {
+		gen, err := workload.NewGenerator(dist, opt.seed)
+		if err != nil {
+			return nil, err
+		}
+		schedule := opt.spec.Schedule
+		if len(schedule) == 0 {
+			schedule = workload.Schedule{{Shift: 0, Requests: n}}
+		}
+		// Cycle the schedule until it covers the sweep, so short schedules
+		// still drive long points; Take caps the stream at n.
+		repeated := make(workload.Schedule, 0, len(schedule))
+		for total := 0; total < n; {
+			for _, ph := range schedule {
+				repeated = append(repeated, ph)
+				total += ph.Requests
+				if total >= n {
+					break
+				}
 			}
 		}
+		src, err = workload.NewScheduleSource(gen, repeated)
+		if err != nil {
+			return nil, err
+		}
 	}
-	return trace, nil, nil
+	pl := &plan{repo: repo, events: workload.Take(make([]workload.Request, 0, n), src, n)}
+	arrivals := (n + opt.batch - 1) / opt.batch
+	pl.ids = make([]string, arrivals)
+	for i := range pl.ids {
+		pl.ids[i] = "w" + strconv.Itoa(i%opt.clients)
+	}
+	return pl, nil
 }
 
 // poolTarget drives an in-process shard pool, the configuration the
 // lock-reduced read path is built for.
 type poolTarget struct {
 	pool   *shard.Pool
-	trace  []media.ClipID
-	rtrace []workload.RangeRequest
+	events []workload.Request
 	batch  int
 }
 
-func newPoolTarget(repo *media.Repository, opt options, trace []media.ClipID, rtrace []workload.RangeRequest) (*poolTarget, error) {
+func newPoolTarget(repo *media.Repository, opt options, pl *plan) (*poolTarget, error) {
 	var injMu sync.Mutex
 	var inj *fault.Injector
 	if opt.errorRate > 0 {
@@ -480,7 +630,7 @@ func newPoolTarget(repo *media.Repository, opt options, trace []media.ClipID, rt
 		Seed:     opt.seed,
 		Shards:   opt.shards,
 	}
-	if opt.ranges {
+	if opt.ranges || (opt.fit != nil && opt.fit.RangedFrac > 0) {
 		cfg.SegmentSize = 256 * media.MB
 		cfg.PrefixSegments = 1
 		cfg.SegmentFetch = func(clip media.Clip, seg int32, now vtime.Time) error {
@@ -493,7 +643,7 @@ func newPoolTarget(repo *media.Repository, opt options, trace []media.ClipID, rt
 	if err != nil {
 		return nil, err
 	}
-	return &poolTarget{pool: pool, trace: trace, rtrace: rtrace, batch: opt.batch}, nil
+	return &poolTarget{pool: pool, events: pl.events, batch: opt.batch}, nil
 }
 
 func (t *poolTarget) serve(off, n int) ([]itemOutcome, error) {
@@ -501,38 +651,34 @@ func (t *poolTarget) serve(off, n int) ([]itemOutcome, error) {
 	if t.batch > 1 {
 		items := make([]shard.BatchItem, n)
 		for k := 0; k < n; k++ {
-			if t.rtrace != nil {
-				rr := t.rtrace[off+k]
-				items[k] = shard.BatchItem{ID: rr.Clip, Ranged: true, Start: rr.Start, Length: rr.Length}
-			} else {
-				items[k] = shard.BatchItem{ID: t.trace[off+k]}
-			}
+			ev := t.events[off+k]
+			items[k] = shard.BatchItem{ID: ev.Clip, Ranged: ev.Ranged, Start: ev.Start, Length: ev.Length}
 		}
 		for _, r := range t.pool.RequestBatch(items) {
 			if r.Err != nil {
 				return nil, r.Err
 			}
-			out = append(out, itemOutcome{hit: r.Outcome.IsHit(), degraded: r.Outcome == core.MissDegraded})
+			out = append(out, itemOutcome{outcome: r.Outcome.String(), hit: r.Outcome.IsHit(), degraded: r.Outcome == core.MissDegraded})
 		}
 		return out, nil
 	}
 	for k := 0; k < n; k++ {
+		ev := t.events[off+k]
 		var (
 			o   core.Outcome
 			err error
 		)
-		if t.rtrace != nil {
-			rr := t.rtrace[off+k]
+		if ev.Ranged {
 			var res core.RangeResult
-			res, err = t.pool.RequestRange(rr.Clip, rr.Start, rr.Length)
+			res, err = t.pool.RequestRange(ev.Clip, ev.Start, ev.Length)
 			o = res.Outcome
 		} else {
-			o, err = t.pool.Request(t.trace[off+k])
+			o, err = t.pool.Request(ev.Clip)
 		}
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, itemOutcome{hit: o.IsHit(), degraded: o == core.MissDegraded})
+		out = append(out, itemOutcome{outcome: o.String(), hit: o.IsHit(), degraded: o == core.MissDegraded})
 	}
 	return out, nil
 }
@@ -544,35 +690,49 @@ func (t *poolTarget) finalStats() *core.Stats {
 
 // httpTarget drives a running cacheserver through the resilient client,
 // with retries disabled: an open-loop generator must observe failures, not
-// paper over them with backoff.
+// paper over them with backoff. Each client identity gets its own
+// cacheclient instance so every request carries that identity's
+// X-Client-ID header — the server's -reqlog sessionizes per worker.
 type httpTarget struct {
-	client *cacheclient.Client
-	trace  []media.ClipID
-	batch  int
+	clients map[string]*cacheclient.Client
+	ids     []string // client identity per arrival
+	events  []workload.Request
+	batch   int
 	// peerServed counts responses a clustered server attributed to a ring
 	// peer (the wire peer field) — zero against standalone servers.
 	peerServed atomic.Uint64
 }
 
-func newHTTPTarget(opt options, trace []media.ClipID) (*httpTarget, error) {
-	c, err := cacheclient.New(cacheclient.Config{
-		BaseURL:     opt.url,
-		MaxAttempts: 1,
-		Seed:        opt.seed,
-	})
-	if err != nil {
-		return nil, err
+func newHTTPTarget(opt options, pl *plan) (*httpTarget, error) {
+	clients := make(map[string]*cacheclient.Client)
+	for _, id := range pl.ids {
+		if _, ok := clients[id]; ok {
+			continue
+		}
+		c, err := cacheclient.New(cacheclient.Config{
+			BaseURL:     opt.url,
+			MaxAttempts: 1,
+			Seed:        opt.seed,
+			ClientID:    id,
+		})
+		if err != nil {
+			return nil, err
+		}
+		clients[id] = c
 	}
-	return &httpTarget{client: c, trace: trace, batch: opt.batch}, nil
+	return &httpTarget{clients: clients, ids: pl.ids, events: pl.events, batch: opt.batch}, nil
 }
 
 func (t *httpTarget) serve(off, n int) ([]itemOutcome, error) {
 	ctx := context.Background()
+	client := t.clients[t.ids[off/t.batch]]
 	out := make([]itemOutcome, 0, n)
 	if t.batch > 1 {
 		ids := make([]media.ClipID, n)
-		copy(ids, t.trace[off:off+n])
-		items, err := t.client.GetBatch(ctx, ids)
+		for k := 0; k < n; k++ {
+			ids[k] = t.events[off+k].Clip
+		}
+		items, err := client.GetBatch(ctx, ids)
 		if err != nil {
 			if shed, serr := shedStatus(err); shed {
 				for k := 0; k < n; k++ {
@@ -590,7 +750,7 @@ func (t *httpTarget) serve(off, n int) ([]itemOutcome, error) {
 		return out, nil
 	}
 	for k := 0; k < n; k++ {
-		clip, err := t.client.Clip(ctx, t.trace[off+k])
+		clip, err := client.Clip(ctx, t.events[off+k].Clip)
 		if err != nil {
 			if shed, serr := shedStatus(err); shed {
 				out = append(out, itemOutcome{shed: true})
@@ -633,7 +793,7 @@ func classifyHTTP(status int, outcome string, hit bool) itemOutcome {
 	if status == 429 {
 		return itemOutcome{shed: true}
 	}
-	return itemOutcome{hit: hit, degraded: outcome == core.MissDegraded.String() || status >= 500}
+	return itemOutcome{outcome: outcome, hit: hit, degraded: outcome == core.MissDegraded.String() || status >= 500}
 }
 
 // asStatusError is errors.As without importing errors twice in this file's
@@ -664,12 +824,12 @@ func runCheck(out io.Writer, opt options) error {
 	opt.errorRate = 0.1
 	opt.fetchLat = 50 * time.Microsecond
 
-	tgt, err := newTarget(opt)
+	tgt, pl, err := newTarget(opt)
 	if err != nil {
 		return err
 	}
 	n := int(opt.rates[0] * opt.duration.Seconds())
-	p, err := openLoop(tgt, opt, opt.rates[0], n)
+	p, err := openLoop(tgt, opt, opt.rates[0], n, pl)
 	if err != nil {
 		return err
 	}

@@ -8,10 +8,12 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 
 	"mediacache/internal/api"
+	"mediacache/internal/trace"
 )
 
 func TestCheckMode(t *testing.T) {
@@ -112,6 +114,87 @@ func TestHTTPModeBatched(t *testing.T) {
 	}
 }
 
+// TestReqLogSessionizable drives a fitted session spec against the pool and
+// asserts the client-side request log carries everything traceql needs:
+// strictly increasing ticks, the spec's client identities, outcomes and
+// sizes, and per-client arrival times that sessionize.
+func TestReqLogSessionizable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ndjson")
+	var buf bytes.Buffer
+	err := run([]string{
+		"-fit", "clips=100,theta=0.27,clients=3,sess=5,think=500,gap=20000",
+		"-duration", "150ms", "-reqlog", path, "-seed", "7",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("fit sweep failed: %v\n%s", err, buf.String())
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := trace.ReadNDJSON(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) < 10 {
+		t.Fatalf("only %d events logged", len(events))
+	}
+	clients := map[string]bool{}
+	for i, e := range events {
+		if e.Tick != int64(i+1) {
+			t.Fatalf("event %d tick = %d, want %d", i, e.Tick, i+1)
+		}
+		if e.Client == "" || e.Outcome == "" || e.SizeBytes == 0 || e.WallMicros == 0 || e.Policy == "" {
+			t.Fatalf("event %d missing stamps: %+v", i, e)
+		}
+		clients[e.Client] = true
+	}
+	if len(clients) != 3 {
+		t.Fatalf("saw %d clients, want 3: %v", len(clients), clients)
+	}
+	if sessions := trace.Sessionize(events, 5000); len(sessions) < len(clients) {
+		t.Fatalf("only %d sessions over %d clients", len(sessions), len(clients))
+	}
+}
+
+// TestHTTPClientIDs asserts http-mode arrivals carry round-robin
+// X-Client-ID headers across -clients identities.
+func TestHTTPClientIDs(t *testing.T) {
+	var mu sync.Mutex
+	seen := map[string]int{}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/cluster" {
+			http.Error(w, `{"error":"no cluster"}`, http.StatusNotFound)
+			return
+		}
+		mu.Lock()
+		seen[r.Header.Get(api.ClientIDHeader)]++
+		mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(api.Clip{Clip: 1, Outcome: "hit", Hit: true})
+	}))
+	defer ts.Close()
+
+	var buf bytes.Buffer
+	err := run([]string{"-mode", "http", "-url", ts.URL, "-rate", "1000",
+		"-duration", "100ms", "-clients", "4"}, &buf)
+	if err != nil {
+		t.Fatalf("http sweep failed: %v\n%s", err, buf.String())
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	delete(seen, "") // the final cluster-status scrape is unnamed
+	for _, id := range []string{"w0", "w1", "w2", "w3"} {
+		if seen[id] == 0 {
+			t.Errorf("no requests carried client ID %s (saw %v)", id, seen)
+		}
+	}
+	if len(seen) != 4 {
+		t.Errorf("expected 4 client identities, saw %v", seen)
+	}
+}
+
 func TestFlagValidation(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-mode", "http"}, &buf); err == nil {
@@ -122,5 +205,14 @@ func TestFlagValidation(t *testing.T) {
 	}
 	if err := run([]string{"-rates", "nope"}, &buf); err == nil {
 		t.Error("bad -rates should fail")
+	}
+	if err := run([]string{"-fit", "clips=0"}, &buf); err == nil {
+		t.Error("bad -fit spec should fail")
+	}
+	if err := run([]string{"-fit", "clips=10,theta=0.2,clients=1,sess=1,think=1,gap=1", "-ranges"}, &buf); err == nil {
+		t.Error("-fit with -ranges should fail")
+	}
+	if err := run([]string{"-fit", "clips=10,theta=0.2,clients=1,sess=1,think=1,gap=1", "-rates", "100"}, &buf); err == nil {
+		t.Error("-fit with -rates should fail")
 	}
 }

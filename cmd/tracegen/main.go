@@ -1,10 +1,18 @@
 // Command tracegen generates, inspects and converts reference-string
 // traces for the cache simulator.
 //
+// With -fit the trace is generated from a fitted session spec (the output
+// of traceql -fit) through the unified workload.Source face, and written
+// in the v2 format carrying the client, tick and range columns. -inspect
+// reports both formats: the v1 rank/frequency summary always, plus the
+// session structure (clients, sessions, ranged mix, time span) when the
+// trace carries v2 columns.
+//
 // Usage examples:
 //
 //	tracegen -out trace.csv -requests 10000 -seed 42
 //	tracegen -out shifted.csv -shift 200
+//	tracegen -out sessions.csv -fit "clips=576,theta=0.27,clients=8,sess=10,think=2000,gap=60000"
 //	tracegen -inspect trace.csv
 package main
 
@@ -17,6 +25,7 @@ import (
 
 	"mediacache/internal/media"
 	"mediacache/internal/sim"
+	"mediacache/internal/trace"
 	"mediacache/internal/workload"
 	"mediacache/internal/zipf"
 )
@@ -39,6 +48,7 @@ func run(args []string, out io.Writer) error {
 	shift := fs.Int("shift", 0, "identity shift g")
 	clips := fs.Int("clips", media.PaperRepositorySize, "repository size the trace targets")
 	name := fs.String("name", "", "trace name (defaults to a parameter summary)")
+	fitFlag := fs.String("fit", "", "generate a v2 session trace from a fitted spec (traceql -fit output; overrides -zipf/-shift)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -49,32 +59,61 @@ func run(args []string, out io.Writer) error {
 	if *outPath == "" {
 		return fmt.Errorf("either -out or -inspect is required")
 	}
-	dist, err := zipf.New(*clips, *mean)
-	if err != nil {
-		return err
-	}
-	gen, err := workload.NewGenerator(dist, *seed)
-	if err != nil {
-		return err
-	}
-	if err := gen.SetShift(*shift); err != nil {
-		return err
-	}
 	traceName := *name
-	if traceName == "" {
-		traceName = fmt.Sprintf("zipf%.2f-shift%d-seed%d", *mean, *shift, *seed)
+	var tr *workload.Trace
+	if *fitFlag != "" {
+		spec, err := workload.ParseFit(*fitFlag)
+		if err != nil {
+			return err
+		}
+		if spec.Clips > *clips {
+			return fmt.Errorf("fit spec draws from %d clips; raise -clips (%d)", spec.Clips, *clips)
+		}
+		var repo *media.Repository
+		if spec.RangedFrac > 0 {
+			// Range draws need clip sizes; the paper repository covers any
+			// spec fitted from traffic against it.
+			repo = media.PaperRepository()
+		}
+		src, err := workload.NewSessionSource(spec, repo, *seed)
+		if err != nil {
+			return err
+		}
+		if traceName == "" {
+			traceName = fmt.Sprintf("fit-clips%d-theta%.2f-seed%d", spec.Clips, spec.Theta, *seed)
+		}
+		tr = workload.RecordTimed(traceName, src, *clips, *requests)
+	} else {
+		dist, err := zipf.New(*clips, *mean)
+		if err != nil {
+			return err
+		}
+		gen, err := workload.NewGenerator(dist, *seed)
+		if err != nil {
+			return err
+		}
+		if err := gen.SetShift(*shift); err != nil {
+			return err
+		}
+		if traceName == "" {
+			traceName = fmt.Sprintf("zipf%.2f-shift%d-seed%d", *mean, *shift, *seed)
+		}
+		tr = workload.Record(traceName, gen, *requests)
 	}
-	trace := workload.Record(traceName, gen, *requests)
 	f, err := os.Create(*outPath)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	if err := trace.WriteCSV(f); err != nil {
+	if err := tr.WriteCSV(f); err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "wrote %d requests to %s (trace %q, %d clips)\n",
-		len(trace.Requests), *outPath, trace.Name, trace.NumClips)
+	format := "v1"
+	if tr.V2() {
+		format = "v2"
+	}
+	fmt.Fprintf(out, "wrote %d requests to %s (trace %q, %d clips, %s)\n",
+		len(tr.Requests), *outPath, tr.Name, tr.NumClips, format)
 	return nil
 }
 
@@ -85,12 +124,12 @@ func inspectTrace(out io.Writer, path string) error {
 		return err
 	}
 	defer f.Close()
-	trace, err := workload.ReadCSV(f)
+	tr, err := workload.ReadCSV(f)
 	if err != nil {
 		return err
 	}
 	counts := make(map[media.ClipID]int)
-	for _, id := range trace.Requests {
+	for _, id := range tr.Requests {
 		counts[id]++
 	}
 	type pair struct {
@@ -107,10 +146,10 @@ func inspectTrace(out io.Writer, path string) error {
 		}
 		return top[i].id < top[j].id
 	})
-	fmt.Fprintf(out, "trace      %s\n", trace.Name)
-	fmt.Fprintf(out, "clips      %d in repository, %d distinct referenced\n", trace.NumClips, len(counts))
-	fmt.Fprintf(out, "requests   %d\n", len(trace.Requests))
-	countVec := make([]int, trace.NumClips)
+	fmt.Fprintf(out, "trace      %s\n", tr.Name)
+	fmt.Fprintf(out, "clips      %d in repository, %d distinct referenced\n", tr.NumClips, len(counts))
+	fmt.Fprintf(out, "requests   %d\n", len(tr.Requests))
+	countVec := make([]int, tr.NumClips)
 	for id, n := range counts {
 		countVec[id-1] = n
 	}
@@ -120,7 +159,46 @@ func inspectTrace(out io.Writer, path string) error {
 	fmt.Fprintln(out, "top 10 clips:")
 	for i := 0; i < 10 && i < len(top); i++ {
 		fmt.Fprintf(out, "  clip %-5d %6d requests (%.2f%%)\n",
-			top[i].id, top[i].n, 100*float64(top[i].n)/float64(len(trace.Requests)))
+			top[i].id, top[i].n, 100*float64(top[i].n)/float64(len(tr.Requests)))
+	}
+	if tr.V2() {
+		inspectV2(out, tr)
 	}
 	return nil
+}
+
+// inspectV2 appends the session-structure summary a v2 trace carries on
+// top of the v1 rank/frequency view: client and ranged-request counts,
+// the tick span, and the sessionization at the default idle gap.
+func inspectV2(out io.Writer, tr *workload.Trace) {
+	events := trace.FromTrace(tr)
+	clients := make(map[string]bool)
+	ranged := 0
+	for _, e := range events {
+		clients[e.Client] = true
+		if trace.Ranged(e) {
+			ranged++
+		}
+	}
+	fmt.Fprintln(out, "v2 columns:")
+	fmt.Fprintf(out, "  clients    %d distinct\n", len(clients))
+	fmt.Fprintf(out, "  ranged     %d requests (%.2f%%)\n",
+		ranged, 100*float64(ranged)/float64(len(events)))
+	if len(events) > 0 {
+		lo, hi := trace.Time(events[0]), trace.Time(events[0])
+		for _, e := range events[1:] {
+			if t := trace.Time(e); t < lo {
+				lo = t
+			} else if t > hi {
+				hi = t
+			}
+		}
+		fmt.Fprintf(out, "  time span  %d us (ticks %d..%d)\n", hi-lo, lo, hi)
+	}
+	sessions := trace.Sessionize(events, 0)
+	if len(sessions) > 0 {
+		fmt.Fprintf(out, "  sessions   %d at %dus idle gap (mean length %.1f requests)\n",
+			len(sessions), int64(trace.DefaultGapMicros),
+			float64(len(events))/float64(len(sessions)))
+	}
 }

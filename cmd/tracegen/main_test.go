@@ -45,6 +45,70 @@ func TestGenerateAndInspectRoundTrip(t *testing.T) {
 	}
 }
 
+// TestFitGenerateV2RoundTrip generates a session trace from a fitted spec,
+// re-reads it as v2, and checks -inspect reports the session structure.
+func TestFitGenerateV2RoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fit.csv")
+	var out strings.Builder
+	err := run([]string{
+		"-out", path, "-requests", "500", "-seed", "11",
+		"-fit", "clips=200,theta=0.3,clients=4,sess=8,think=1000,gap=50000,ranged=0.25,prefix=0.5,lenfrac=0.2",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "wrote 500 requests") || !strings.Contains(out.String(), "v2") {
+		t.Fatalf("unexpected output: %s", out.String())
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := workload.ReadCSV(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.V2() {
+		t.Fatal("fit-generated trace should carry v2 columns")
+	}
+	if len(tr.Requests) != 500 {
+		t.Fatalf("trace has %d requests, want 500", len(tr.Requests))
+	}
+	clients := map[string]bool{}
+	ranged := 0
+	for i := range tr.Requests {
+		if tr.Clients[i] == "" {
+			t.Fatalf("request %d has no client", i)
+		}
+		clients[tr.Clients[i]] = true
+		if i > 0 && tr.Ticks[i] < tr.Ticks[i-1] {
+			t.Fatalf("ticks not monotone at %d: %d < %d", i, tr.Ticks[i], tr.Ticks[i-1])
+		}
+		if tr.RangeLens[i] > 0 {
+			ranged++
+		}
+	}
+	if len(clients) != 4 {
+		t.Fatalf("saw %d clients, want 4", len(clients))
+	}
+	if ranged == 0 || ranged == len(tr.Requests) {
+		t.Fatalf("ranged mix = %d of %d, want a proper mix", ranged, len(tr.Requests))
+	}
+
+	out.Reset()
+	if err := run([]string{"-inspect", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"v2 columns:", "clients    4 distinct", "ranged", "sessions"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("inspect output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
 func TestCustomNameAndShift(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "s.csv")
@@ -65,6 +129,10 @@ func TestErrors(t *testing.T) {
 		{"-out", "/nope/x.csv"},          // unwritable path
 		{"-out", "x.csv", "-zipf", "5"},  // bad zipf mean
 		{"-out", "x.csv", "-clips", "0"}, // bad clip count
+		{"-out", "x.csv", "-fit", "clips=0"},
+		// fit spec drawing from more clips than the target repository
+		{"-out", "x.csv", "-clips", "100",
+			"-fit", "clips=200,theta=0.3,clients=2,sess=4,think=100,gap=9000"},
 		{"-bogus-flag"},
 	}
 	for _, args := range cases {

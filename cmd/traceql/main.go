@@ -1,0 +1,174 @@
+// Command traceql is the sessionized analytics CLI over recorded request
+// logs (ISSUE 10): it ingests either the NDJSON access log written by
+// `cacheserver -reqlog` / `loadgen -reqlog` or a CSV workload trace
+// (v1 or v2, auto-detected), sessionizes per client, and answers
+// filter/group-by/aggregate queries. `-fit` closes the measure→model→replay
+// loop by distilling the log into a `fit=` workload spec that
+// `loadgen -fit`, `cachesim -fit` and `tracegen -fit` replay.
+//
+// Usage examples:
+//
+//	traceql -in run.ndjson -report sessions
+//	traceql -in run.ndjson -q "from=events;group=outcome;agg=count,meanlat,p99lat"
+//	traceql -in trace.csv -q "from=sessions;group=client;agg=count,meanlen,hitrate" -json
+//	traceql -in run.ndjson -fit | xargs -I{} cachesim -policy greedydual -fit "{}"
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"mediacache/internal/texttable"
+	"mediacache/internal/trace"
+	"mediacache/internal/workload"
+)
+
+// reports are the canned queries for the common questions; -report runs one
+// by name. Each is in the same grammar -q accepts, so every report is also
+// a starting point for a custom query.
+var reports = map[string]string{
+	"sessions": "from=sessions;group=client;agg=count,meanlen,hitrate,p50gap",
+	"clients":  "from=events;group=client;agg=count,hits,hitrate,p99lat",
+	"clips":    "from=events;group=clip;agg=count,hitrate;top=10",
+	"outcomes": "from=events;group=outcome;agg=count,meanlat,p99lat",
+	"latency":  "from=events;agg=count,meanlat,p50lat,p90lat,p99lat,maxlat",
+	"startup":  "from=sessions;agg=count,meanlen,meanstartup,p50startup,p99startup",
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "traceql: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the CLI against args, writing output to out.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("traceql", flag.ContinueOnError)
+	in := fs.String("in", "", `input log: NDJSON reqlog or CSV trace, auto-detected ("-" = stdin)`)
+	gapFlag := fs.Int64("gap", 0,
+		"sessionization idle gap in microseconds (0 = 30s default; a query's own gap clause wins)")
+	query := fs.String("q", "", `raw query, e.g. "from=events;group=outcome;agg=count,p99lat"`)
+	report := fs.String("report", "", "named report: "+strings.Join(reportNames(), ", "))
+	fit := fs.Bool("fit", false, "distill the log into a replayable fit= workload spec")
+	jsonOut := fs.Bool("json", false, "emit JSON instead of an aligned table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("-in is required")
+	}
+	modes := 0
+	for _, on := range []bool{*query != "", *report != "", *fit} {
+		if on {
+			modes++
+		}
+	}
+	if modes != 1 {
+		return fmt.Errorf("exactly one of -q, -report or -fit is required")
+	}
+
+	events, err := readLog(*in)
+	if err != nil {
+		return err
+	}
+
+	if *fit {
+		spec, err := trace.Fit(events, *gapFlag)
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			return json.NewEncoder(out).Encode(map[string]any{
+				"events": len(events),
+				"fit":    spec.String(),
+			})
+		}
+		_, err = fmt.Fprintln(out, spec.String())
+		return err
+	}
+
+	qs := *query
+	if *report != "" {
+		var ok bool
+		if qs, ok = reports[*report]; !ok {
+			return fmt.Errorf("unknown report %q (want %s)", *report, strings.Join(reportNames(), ", "))
+		}
+	}
+	q, err := trace.ParseQuery(qs)
+	if err != nil {
+		return err
+	}
+	// The -gap flag is the fallback threshold; an explicit gap clause in the
+	// query overrides it.
+	if q.From == "sessions" && q.GapMicros == 0 {
+		q.GapMicros = *gapFlag
+	}
+	res, err := trace.Run(events, q)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		return json.NewEncoder(out).Encode(map[string]any{
+			"query":   q.String(),
+			"events":  len(events),
+			"columns": res.Columns,
+			"rows":    res.Rows,
+		})
+	}
+	fmt.Fprintf(out, "query   %s\n", q.String())
+	fmt.Fprintf(out, "events  %d\n\n", len(events))
+	rows := [][]string{res.Columns}
+	for _, r := range res.Rows {
+		cells := make([]string, len(r))
+		for i, v := range r {
+			cells[i] = trace.FormatCell(v)
+		}
+		rows = append(rows, cells)
+	}
+	return texttable.RenderRows(out, rows)
+}
+
+// readLog loads events from path, sniffing the format from the first byte:
+// a workload trace CSV opens with its '#name' header; anything else is
+// treated as an NDJSON reqlog.
+func readLog(path string) ([]trace.Event, error) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	br := bufio.NewReader(r)
+	head, err := br.Peek(1)
+	if err != nil {
+		return nil, fmt.Errorf("empty input: %w", err)
+	}
+	if head[0] == '#' {
+		t, err := workload.ReadCSV(br)
+		if err != nil {
+			return nil, err
+		}
+		return trace.FromTrace(t), nil
+	}
+	return trace.ReadNDJSON(br)
+}
+
+// reportNames lists the canned reports in stable order for -help and errors.
+func reportNames() []string {
+	names := make([]string, 0, len(reports))
+	for name := range reports {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,225 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mediacache/internal/api"
+	"mediacache/internal/workload"
+)
+
+// writeLog writes entries as an NDJSON reqlog fixture and returns the path.
+func writeLog(t *testing.T, entries []api.RequestLogEntry) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "run.ndjson")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	for _, e := range entries {
+		if err := enc.Encode(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return path
+}
+
+// fixture is a handcrafted two-client log: c0 runs two sessions (split by a
+// 60s gap), c1 one; 3 hits over 5 requests; latencies 100..500µs.
+func fixture() []api.RequestLogEntry {
+	return []api.RequestLogEntry{
+		{Tick: 1, WallMicros: 1_000_000, Client: "c0", Clip: 1, Outcome: "hit", Hit: true, Status: 200, LatencyMicros: 100},
+		{Tick: 2, WallMicros: 1_050_000, Client: "c0", Clip: 2, Outcome: "miss-cached", Status: 200, LatencyMicros: 500},
+		{Tick: 3, WallMicros: 2_000_000, Client: "c1", Clip: 1, Outcome: "hit", Hit: true, Status: 200, LatencyMicros: 200},
+		{Tick: 4, WallMicros: 61_100_000, Client: "c0", Clip: 1, Outcome: "hit", Hit: true, Status: 200, LatencyMicros: 300},
+		{Tick: 5, WallMicros: 61_200_000, Client: "c0", Clip: 3, Outcome: "miss-bypassed", Status: 200, LatencyMicros: 400},
+	}
+}
+
+// TestQueryGolden pins the full aligned output of a grouped event query
+// over the handcrafted fixture.
+func TestQueryGolden(t *testing.T) {
+	path := writeLog(t, fixture())
+	var out strings.Builder
+	err := run([]string{"-in", path, "-q", "from=events;group=outcome;agg=count,hitrate,p99lat"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "query   from=events;group=outcome;agg=count,hitrate,p99lat\n" +
+		"events  5\n" +
+		"\n" +
+		"outcome        count  hitrate  p99lat\n" +
+		"hit            3      1.0000   300\n" +
+		"miss-bypassed  1      0.0000   400\n" +
+		"miss-cached    1      0.0000   500\n"
+	if out.String() != want {
+		t.Errorf("output mismatch:\ngot:\n%s\nwant:\n%s", out.String(), want)
+	}
+}
+
+// TestSessionsReport checks the canned sessions report sessionizes the
+// fixture: c0 splits into two sessions at the default 30s gap, c1 has one.
+func TestSessionsReport(t *testing.T) {
+	path := writeLog(t, fixture())
+	var out strings.Builder
+	if err := run([]string{"-in", path, "-report", "sessions"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"client", "meanlen", "c0      2", "c1      1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("sessions report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestGapFlag checks -gap overrides the default threshold: at a 100s gap
+// c0's two bursts merge into one session.
+func TestGapFlag(t *testing.T) {
+	path := writeLog(t, fixture())
+	var out strings.Builder
+	err := run([]string{"-in", path, "-gap", "100000000",
+		"-q", "from=sessions;group=client;agg=count"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "c0      1") {
+		t.Errorf("100s gap should merge c0's sessions:\n%s", out.String())
+	}
+}
+
+// TestJSONOutput checks -json emits a machine-readable result document.
+func TestJSONOutput(t *testing.T) {
+	path := writeLog(t, fixture())
+	var out strings.Builder
+	err := run([]string{"-in", path, "-json", "-q", "from=events;agg=count,hits"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Query   string   `json:"query"`
+		Events  int      `json:"events"`
+		Columns []string `json:"columns"`
+		Rows    [][]any  `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &doc); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out.String())
+	}
+	if doc.Events != 5 || len(doc.Rows) != 1 {
+		t.Fatalf("doc = %+v", doc)
+	}
+	if doc.Rows[0][0].(float64) != 5 || doc.Rows[0][1].(float64) != 3 {
+		t.Fatalf("count/hits row = %v", doc.Rows[0])
+	}
+}
+
+// TestReportsRunOnTraceInput generates a session trace through the fit
+// source, writes it as CSV (exercising the input sniffer's trace branch),
+// and checks every canned report runs over it.
+func TestReportsRunOnTraceInput(t *testing.T) {
+	spec, err := workload.ParseFit("clips=50,theta=0.3,clients=3,sess=6,think=1000,gap=40000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := workload.NewSessionSource(spec, nil, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := workload.RecordTimed("fixture", src, 50, 300)
+	path := filepath.Join(t.TempDir(), "t.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteCSV(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	for name := range reports {
+		var out strings.Builder
+		if err := run([]string{"-in", path, "-report", name}, &out); err != nil {
+			t.Errorf("report %s failed: %v", name, err)
+		}
+		if !strings.Contains(out.String(), "events  300") {
+			t.Errorf("report %s did not see the trace:\n%s", name, out.String())
+		}
+	}
+}
+
+// TestFitRoundTrip distills a synthetic session trace and checks the
+// recovered spec replays the generating parameters.
+func TestFitRoundTrip(t *testing.T) {
+	spec, err := workload.ParseFit("clips=80,theta=0.4,clients=4,sess=8,think=2000,gap=90000000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := workload.NewSessionSource(spec, nil, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := workload.RecordTimed("fixture", src, 80, 4000)
+	path := filepath.Join(t.TempDir(), "t.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteCSV(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var out strings.Builder
+	if err := run([]string{"-in", path, "-fit"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	line := strings.TrimSpace(out.String())
+	if !strings.HasPrefix(line, "fit=") {
+		t.Fatalf("fit output %q lacks the fit= prefix", line)
+	}
+	got, err := workload.ParseFit(line)
+	if err != nil {
+		t.Fatalf("fit output does not re-parse: %v", err)
+	}
+	if got.Clients != spec.Clients {
+		t.Errorf("fitted clients = %d, want %d", got.Clients, spec.Clients)
+	}
+	if got.Sess < spec.Sess/2 || got.Sess > spec.Sess*2 {
+		t.Errorf("fitted sess = %v, want within 2x of %v", got.Sess, spec.Sess)
+	}
+}
+
+func TestFlagValidation(t *testing.T) {
+	path := writeLog(t, fixture())
+	cases := [][]string{
+		{},            // no -in
+		{"-in", path}, // no mode
+		{"-in", path, "-q", "from=events;agg=count", "-fit"}, // two modes
+		{"-in", path, "-q", "bogus"},
+		{"-in", path, "-report", "bogus"},
+		{"-in", "/nope/missing"},
+	}
+	for _, args := range cases {
+		var out strings.Builder
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v should fail", args)
+		}
+	}
+}
+
+// TestEmptyInputRejected checks a zero-byte log errors rather than
+// reporting over nothing.
+func TestEmptyInputRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.ndjson")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-in", path, "-report", "latency"}, &out); err == nil {
+		t.Fatal("empty input should fail")
+	}
+}

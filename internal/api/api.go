@@ -11,6 +11,11 @@ import "mediacache/internal/media"
 // Version is the current API version prefix of every route.
 const Version = "/v1"
 
+// ClientIDHeader names the requesting client on the wire; the server copies
+// it into the Client field of its -reqlog entries so traceql can sessionize
+// per client. Requests without it are logged anonymously.
+const ClientIDHeader = "X-Client-ID"
+
 // Error is the uniform JSON error envelope every non-2xx response carries.
 type Error struct {
 	Error string `json:"error"`
@@ -138,6 +143,33 @@ type Stats struct {
 	Invalidated      uint64 `json:"invalidated,omitempty"`
 	Expired          uint64 `json:"expired,omitempty"`
 	BytesInvalidated int64  `json:"bytesInvalidated,omitempty"`
+}
+
+// RequestLogEntry is one line of the NDJSON request log written by
+// `cacheserver -reqlog` (and mirrored client-side by `loadgen -reqlog`):
+// one serviced clip reference with its requester, arrival time, byte range,
+// outcome and latency — everything cmd/traceql needs to sessionize
+// measured traffic. Tick is the server's global arrival sequence number;
+// WallMicros is the arrival wall-clock time in microseconds since the Unix
+// epoch. A zero LengthBytes means the whole clip was referenced, matching
+// the trace v2 range convention. LatencyMicros is the measured service
+// time; ModelLatencySeconds is the paper's modeled startup latency (zero on
+// hits).
+type RequestLogEntry struct {
+	Tick                int64        `json:"tick"`
+	WallMicros          int64        `json:"wallMicros"`
+	Client              string       `json:"client,omitempty"`
+	Clip                media.ClipID `json:"clip"`
+	SizeBytes           int64        `json:"sizeBytes,omitempty"`
+	StartBytes          int64        `json:"startBytes,omitempty"`
+	LengthBytes         int64        `json:"lengthBytes,omitempty"`
+	Policy              string       `json:"policy,omitempty"`
+	Outcome             string       `json:"outcome"`
+	Hit                 bool         `json:"hit"`
+	Status              int          `json:"status"`
+	LatencyMicros       int64        `json:"latencyMicros"`
+	ModelLatencySeconds float64      `json:"modelLatencySeconds,omitempty"`
+	Peer                string       `json:"peer,omitempty"`
 }
 
 // ResidentClip is one entry of the detailed GET /v1/resident listing.

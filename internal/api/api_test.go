@@ -19,6 +19,7 @@ var wireFields = map[string][]string{
 	"BatchItemResult": {"clip", "status", "outcome", "hit", "sizeBytes", "latencySeconds", "range", "error"},
 	"BatchResponse":   {"items", "shed"},
 	"Stats":           {"policy", "shards", "requests", "hits", "hitRate", "byteHitRate", "evictions", "bytesFetched", "bytesFailed", "degradedMisses", "residentClips", "usedBytes", "capacityBytes", "bypassedMisses", "victimCalls", "note", "segmentSizeBytes", "prefixSegments", "residentSegments", "partialHits", "segmentsFetched", "segmentsEvicted", "ttlTicks", "invalidated", "expired", "bytesInvalidated"},
+	"RequestLogEntry": {"tick", "wallMicros", "client", "clip", "sizeBytes", "startBytes", "lengthBytes", "policy", "outcome", "hit", "status", "latencyMicros", "modelLatencySeconds", "peer"},
 	"ResidentClip":    {"id", "kind", "sizeBytes"},
 	"Resident":        {"clips", "total", "offset", "limit", "usedBytes", "freeBytes"},
 	"ResidentIDs":     {"clips", "usedBytes", "freeBytes"},
@@ -63,6 +64,7 @@ func TestWireContractFrozen(t *testing.T) {
 		"BatchItemResult": reflect.TypeOf(BatchItemResult{}),
 		"BatchResponse":   reflect.TypeOf(BatchResponse{}),
 		"Stats":           reflect.TypeOf(Stats{}),
+		"RequestLogEntry": reflect.TypeOf(RequestLogEntry{}),
 		"ResidentClip":    reflect.TypeOf(ResidentClip{}),
 		"Resident":        reflect.TypeOf(Resident{}),
 		"ResidentIDs":     reflect.TypeOf(ResidentIDs{}),

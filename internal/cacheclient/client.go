@@ -65,6 +65,10 @@ type Config struct {
 	AttemptTimeout time.Duration
 	// Seed feeds the deterministic jitter stream.
 	Seed uint64
+	// ClientID, when set, is stamped into the X-Client-ID header of every
+	// request so server request logs (cacheserver -reqlog) can sessionize
+	// this client's traffic per identity.
+	ClientID string
 	// Breaker configures the circuit breaker.
 	Breaker BreakerConfig
 	// Observer receives retry and breaker events; nil discards.
@@ -305,6 +309,9 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.cfg.ClientID != "" {
+		req.Header.Set(api.ClientIDHeader, c.cfg.ClientID)
 	}
 	resp, err := c.cfg.HTTPClient.Do(req)
 	if err != nil {

@@ -77,23 +77,11 @@ func Churn(opt Options) (*Figure, error) {
 		if err != nil {
 			return cellOut{}, err
 		}
-		for {
-			ev, ok := gen.Next()
-			if !ok {
-				break
-			}
-			switch ev.Kind {
-			case workload.ChurnRequest:
-				if _, err := cache.Request(ev.Clip); err != nil {
-					return cellOut{}, err
-				}
-			case workload.ChurnPerish:
-				// Purge-driven regime: the perish event is the publisher's
-				// DELETE. Under TTL the expiry does the job on its own.
-				if setting.TTL == 0 {
-					cache.Invalidate(ev.Clip)
-				}
-			}
+		// The churn schedule drives the cache through its unified Source
+		// face. Purge-driven regime (TTL == 0): every perish event is the
+		// publisher's DELETE; under TTL the expiry does the job on its own.
+		if _, err := RunSource(spec, cache, gen.Source(), SourceConfig{Purge: setting.TTL == 0}); err != nil {
+			return cellOut{}, err
 		}
 		stats := cache.Stats()
 		return cellOut{

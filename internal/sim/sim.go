@@ -177,6 +177,101 @@ func Run(name string, req Requester, gen *workload.Generator, sched workload.Sch
 	return res, nil
 }
 
+// invalidator is the purge face a Requester may additionally expose;
+// core.Cache and shard.Pool both do. RunSource uses it to service perish
+// events when SourceConfig.Purge is set.
+type invalidator interface {
+	Invalidate(media.ClipID) media.Bytes
+}
+
+// rangeRequester is the partial-content face a Requester may additionally
+// expose (segmented core.Cache and shard.Pool). RunSource services ranged
+// events through it; against a whole-clip requester a ranged event
+// degrades to a reference to the full clip.
+type rangeRequester interface {
+	RequestRange(id media.ClipID, start, length media.Bytes) (core.RangeResult, error)
+}
+
+// SourceConfig controls RunSource.
+type SourceConfig struct {
+	// Limit bounds the events consumed (0 = drain the source). Infinite
+	// sources (generators, session specs) require a positive Limit or the
+	// run never returns.
+	Limit int
+	// Purge invalidates a clip's cached bytes on every EventPerish — the
+	// publisher-issued DELETE of the purge-driven churn regimes. Leave
+	// false when TTL expiry does the invalidation on its own.
+	Purge bool
+	// WindowSize, when positive, samples a WindowPoint every WindowSize
+	// requests. Sources carry no true distribution, so the theoretical
+	// rate of each point is 0.
+	WindowSize int
+}
+
+// RunSource drives req with events from src — the unified face every
+// workload generator, recorded trace and fitted session spec presents —
+// until src exhausts or cfg.Limit events have been consumed. Publish
+// events are catalog bookkeeping and are skipped; perish events purge the
+// clip when cfg.Purge is set (and req can invalidate) and are skipped
+// otherwise.
+func RunSource(name string, req Requester, src workload.Source, cfg SourceConfig) (*Result, error) {
+	if req == nil {
+		return nil, errors.New("sim: requester must not be nil")
+	}
+	if src == nil {
+		return nil, errors.New("sim: source must not be nil")
+	}
+	inv, _ := req.(invalidator)
+	ranger, _ := req.(rangeRequester)
+	res := &Result{Policy: name}
+	start := time.Now()
+	issued, windowHits, windowCount := 0, 0, 0
+	for consumed := 0; cfg.Limit <= 0 || consumed < cfg.Limit; consumed++ {
+		ev, ok := src.Next()
+		if !ok {
+			break
+		}
+		switch ev.Kind {
+		case workload.EventPublish:
+			continue
+		case workload.EventPerish:
+			if cfg.Purge && inv != nil {
+				inv.Invalidate(ev.Clip)
+			}
+			continue
+		}
+		var (
+			out core.Outcome
+			err error
+		)
+		if ev.Ranged && ranger != nil {
+			var rr core.RangeResult
+			rr, err = ranger.RequestRange(ev.Clip, ev.Start, ev.Length)
+			out = rr.Outcome
+		} else {
+			out, err = req.Request(ev.Clip)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("sim: request %d (clip %d): %w", issued+1, ev.Clip, err)
+		}
+		issued++
+		windowCount++
+		if out.IsHit() {
+			windowHits++
+		}
+		if cfg.WindowSize > 0 && windowCount == cfg.WindowSize {
+			res.Windows = append(res.Windows, WindowPoint{
+				EndRequest: issued,
+				HitRate:    float64(windowHits) / float64(windowCount),
+			})
+			windowHits, windowCount = 0, 0
+		}
+	}
+	res.Stats = req.Stats()
+	res.Metrics = metricsFromStats(res.Stats, time.Since(start))
+	return res, nil
+}
+
 // RunTrace replays a recorded trace against req and returns the accumulated
 // statistics.
 func RunTrace(name string, req Requester, trace *workload.Trace) (*Result, error) {

@@ -66,6 +66,10 @@ func RenderCSV(w io.Writer, fig *sim.Figure) error {
 	return nil
 }
 
+// RenderRows writes rows (first row the header) with the same column
+// alignment RenderFigure uses; cmd/traceql renders query results with it.
+func RenderRows(w io.Writer, rows [][]string) error { return writeAligned(w, rows) }
+
 // Percent renders a [0,1] rate as a percentage with one decimal.
 func Percent(v float64) string { return fmt.Sprintf("%.1f", v*100) }
 

@@ -1,0 +1,89 @@
+// Package trace is the sessionized analytics engine behind cmd/traceql
+// (ISSUE 10): it ingests recorded request logs — the NDJSON access log of
+// `cacheserver -reqlog` / `loadgen -reqlog`, or a workload trace file —
+// sessionizes them per client, and answers filter/group-by/aggregate
+// queries in the sybil idiom. Fit closes the measure→model→replay loop by
+// distilling a log into a workload.FitSpec the generators can replay.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"mediacache/internal/api"
+	"mediacache/internal/workload"
+)
+
+// Event is one recorded request: exactly the reqlog wire type, so NDJSON
+// logs decode straight into the engine.
+type Event = api.RequestLogEntry
+
+// Time returns the event's position on the log's clock: the wall-clock
+// arrival when the recorder stamped one, else the arrival tick. Both are
+// microseconds for every recorder in this repo (cacheserver stamps wall
+// time; trace v2 ticks are the source's virtual arrival micros), so gaps
+// and inter-arrivals are comparable across log kinds.
+func Time(e Event) int64 {
+	if e.WallMicros != 0 {
+		return e.WallMicros
+	}
+	return e.Tick
+}
+
+// Ranged reports whether the event referenced a byte range rather than the
+// whole clip (the trace v2 convention: zero length = whole clip).
+func Ranged(e Event) bool { return e.LengthBytes > 0 }
+
+// ReadNDJSON decodes a reqlog stream: one JSON object per line, blank
+// lines skipped. A malformed line fails with its line number rather than
+// being dropped silently.
+func ReadNDJSON(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var events []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal([]byte(text), &e); err != nil {
+			return nil, fmt.Errorf("trace: reqlog line %d: %w", line, err)
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: reading reqlog: %w", err)
+	}
+	return events, nil
+}
+
+// FromTrace converts a workload trace (either schema version) into events.
+// A v1 trace yields tickless, clientless events — still aggregatable,
+// sessionizable only as one anonymous stream. Outcome fields stay zero:
+// a trace records references, not cache results.
+func FromTrace(t *workload.Trace) []Event {
+	events := make([]Event, len(t.Requests))
+	for i, id := range t.Requests {
+		e := Event{Clip: id, Tick: int64(i)}
+		if t.Clients != nil {
+			e.Client = t.Clients[i]
+		}
+		if t.Ticks != nil {
+			e.Tick = t.Ticks[i]
+		}
+		if t.RangeLens != nil && t.RangeLens[i] > 0 {
+			e.LengthBytes = int64(t.RangeLens[i])
+			if t.RangeStarts != nil {
+				e.StartBytes = int64(t.RangeStarts[i])
+			}
+		}
+		events[i] = e
+	}
+	return events
+}

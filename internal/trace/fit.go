@@ -1,0 +1,175 @@
+package trace
+
+// fit.go distills a measured request log into a replayable workload.FitSpec
+// — the model step of the measure→model→replay loop. The estimators are
+// documented in DESIGN §18: Zipf theta by log-log rank/frequency
+// regression (zipf.EstimateMean), session length by truncation-corrected
+// mean (geometric MLE), think time by median (robust exponential fit), gap
+// time by memoryless-shifted mean, range biases by empirical fractions.
+
+import (
+	"fmt"
+	"math"
+
+	"mediacache/internal/workload"
+	"mediacache/internal/zipf"
+)
+
+// Fit estimates the generating workload of a recorded log, sessionizing
+// with the given idle gap (<= 0 selects DefaultGapMicros). The log must
+// reference at least three distinct clips for the Zipf fit to be
+// meaningful; smaller logs are rejected rather than guessed at.
+//
+// Caveats (see DESIGN §18): the mean inter-session gap is observable only
+// for clients with two or more sessions — a log whose clients each ran one
+// session reports the sessionization threshold as the gap estimate; and
+// the range-length bias needs clip sizes (reqlog SizeBytes, or inferred
+// from observed range extents), falling back to 0.5 when none are known.
+func Fit(events []Event, gapMicros int64) (workload.FitSpec, error) {
+	if gapMicros <= 0 {
+		gapMicros = DefaultGapMicros
+	}
+	if len(events) == 0 {
+		return workload.FitSpec{}, fmt.Errorf("trace: cannot fit an empty log")
+	}
+
+	// Catalog size and popularity skew.
+	maxClip := 0
+	for _, e := range events {
+		if int(e.Clip) > maxClip {
+			maxClip = int(e.Clip)
+		}
+		if e.Clip < 1 {
+			return workload.FitSpec{}, fmt.Errorf("trace: event references clip %d (ids start at 1)", e.Clip)
+		}
+	}
+	counts := make([]int, maxClip)
+	for _, e := range events {
+		counts[e.Clip-1]++
+	}
+	theta, err := zipf.EstimateMean(counts)
+	if err != nil {
+		return workload.FitSpec{}, fmt.Errorf("trace: fitting zipf exponent: %w", err)
+	}
+
+	// Session shape.
+	sessions := Sessionize(events, gapMicros)
+	clients := map[string]bool{}
+	for i := range sessions {
+		clients[sessions[i].Client] = true
+	}
+	meanSess := float64(len(events)) / float64(len(sessions))
+	if meanSess < 1 {
+		meanSess = 1
+	}
+
+	// Think: exponential fit to within-session inter-arrivals. True gaps
+	// shorter than the threshold hide inside sessions and contaminate the
+	// large tail of these samples, so fit the median (robust to a small
+	// upper-tail contamination) rather than the mean: an exponential's
+	// median is mean·ln 2.
+	var thinks []int64
+	for i := range sessions {
+		thinks = sessions[i].InterArrivals(thinks)
+	}
+	think := int64(1)
+	if len(thinks) > 0 {
+		think = int64(float64(workload.FitQuantile(thinks, 0.5)) / math.Ln2)
+		if think < 1 {
+			think = 1
+		}
+	}
+
+	// Gap: idle time between a client's consecutive sessions. The
+	// sessionizer only reveals gaps longer than the threshold, but an
+	// exponential is memoryless — gap | gap > t is t plus a fresh
+	// exponential of the same mean — so mean(observed − threshold) is an
+	// unbiased estimate despite the truncation. Sessions are start-ordered;
+	// walk them per client. Clients with a single session contribute
+	// nothing; with no samples at all the threshold itself is the only
+	// defensible estimate.
+	lastEnd := map[string]int64{}
+	var gapSum, gapN int64
+	for i := range sessions {
+		s := &sessions[i]
+		if end, seen := lastEnd[s.Client]; seen {
+			gapSum += s.Start() - end - gapMicros
+			gapN++
+		}
+		lastEnd[s.Client] = s.End()
+	}
+	gap := gapMicros
+	if gapN > 0 {
+		gap = gapSum / gapN
+		if gap < 1 {
+			gap = 1
+		}
+		// Sub-threshold gaps merged adjacent true sessions, inflating the
+		// observed session length by 1/P(gap > t); undo that bias.
+		meanSess *= math.Exp(-float64(gapMicros) / float64(gap))
+		if meanSess < 1 {
+			meanSess = 1
+		}
+	}
+
+	spec := workload.FitSpec{
+		Clips:       maxClip,
+		Theta:       theta,
+		Clients:     len(clients),
+		Sess:        meanSess,
+		ThinkMicros: think,
+		GapMicros:   gap,
+	}
+	fitRanges(events, &spec)
+	if err := spec.Validate(); err != nil {
+		return workload.FitSpec{}, fmt.Errorf("trace: fitted spec invalid: %w", err)
+	}
+	return spec, nil
+}
+
+// fitRanges estimates the range-bias terms: the ranged fraction, the
+// prefix (start-at-zero) fraction, and the mean covered clip fraction.
+// Clip sizes come from reqlog SizeBytes when stamped, else from the
+// largest observed extent per clip.
+func fitRanges(events []Event, spec *workload.FitSpec) {
+	size := map[int]int64{}
+	for _, e := range events {
+		id := int(e.Clip)
+		if e.SizeBytes > size[id] {
+			size[id] = e.SizeBytes
+		}
+		if ext := e.StartBytes + e.LengthBytes; ext > size[id] {
+			size[id] = ext
+		}
+	}
+	var ranged, prefix int
+	var fracSum float64
+	var fracN int
+	for _, e := range events {
+		if !Ranged(e) {
+			continue
+		}
+		ranged++
+		if e.StartBytes == 0 {
+			prefix++
+		}
+		if sz := size[int(e.Clip)]; sz > 0 {
+			fracSum += float64(e.LengthBytes) / float64(sz)
+			fracN++
+		}
+	}
+	if ranged == 0 {
+		return
+	}
+	spec.RangedFrac = float64(ranged) / float64(len(events))
+	spec.PrefixFrac = float64(prefix) / float64(ranged)
+	// The replay draw is uniform on [0, 2·LengthFrac]·size, so the sample
+	// mean is the moment estimator; clamp to the legal range.
+	spec.LengthFrac = 0.5
+	if fracN > 0 {
+		spec.LengthFrac = fracSum / float64(fracN)
+		if spec.LengthFrac > 1 {
+			spec.LengthFrac = 1
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"mediacache/internal/media"
+	"mediacache/internal/workload"
+)
+
+// testLRU is a minimal count-capacity LRU used to stamp hit/miss outcomes
+// onto synthesized logs without dragging cache policies into this package.
+type testLRU struct {
+	cap   int
+	order []media.ClipID
+}
+
+func (l *testLRU) request(id media.ClipID) bool {
+	for i, r := range l.order {
+		if r == id {
+			l.order = append(append(l.order[:i:i], l.order[i+1:]...), id)
+			return true
+		}
+	}
+	l.order = append(l.order, id)
+	if len(l.order) > l.cap {
+		l.order = l.order[1:]
+	}
+	return false
+}
+
+// synthesize replays a spec on the virtual clock and stamps outcomes from
+// a fresh LRU — a fully deterministic measured log.
+func synthesize(t *testing.T, spec workload.FitSpec, repo *media.Repository, seed uint64, n, lruCap int) []Event {
+	t.Helper()
+	src, err := workload.NewSessionSource(spec, repo, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lru := &testLRU{cap: lruCap}
+	events := make([]Event, 0, n)
+	for i := 0; i < n; i++ {
+		tr, _ := src.NextTimed()
+		e := Event{
+			Tick:   tr.ArrivalMicros,
+			Client: tr.Client,
+			Clip:   tr.Clip,
+			Status: 200,
+		}
+		if repo != nil {
+			e.SizeBytes = int64(repo.Clip(tr.Clip).Size)
+		}
+		if tr.Ranged {
+			e.StartBytes = int64(tr.Start)
+			e.LengthBytes = int64(tr.Length)
+		}
+		if lru.request(tr.Clip) {
+			e.Hit = true
+			e.Outcome = "hit"
+			e.LatencyMicros = 200
+		} else {
+			e.Outcome = "miss-cached"
+			e.LatencyMicros = 8000
+		}
+		events = append(events, e)
+	}
+	return events
+}
+
+// sessionStats reduces a log to the round-trip comparison metrics: mean
+// per-session hit rate, and inter-arrival p50/p99.
+func sessionStats(events []Event, gapMicros int64) (hitRate float64, p50, p99 int64) {
+	sessions := Sessionize(events, gapMicros)
+	var gaps []int64
+	hits, total := 0, 0
+	for i := range sessions {
+		gaps = sessions[i].InterArrivals(gaps)
+		hits += sessions[i].Hits()
+		total += sessions[i].Len()
+	}
+	return float64(hits) / float64(total), workload.FitQuantile(gaps, 0.5), workload.FitQuantile(gaps, 0.99)
+}
+
+// TestFitRoundTrip is the loop-closing test (ISSUE 10 acceptance): a known
+// spec generates a measured log; Fit recovers the generating parameters
+// within tolerance; replaying the fitted spec reproduces the log's
+// sessionized statistics. Everything runs on the virtual clock, so the
+// test is exactly reproducible.
+func TestFitRoundTrip(t *testing.T) {
+	repo := media.PaperRepository()
+	truth := workload.FitSpec{
+		Clips: 200, Theta: 0.27, Clients: 8, Sess: 10,
+		ThinkMicros: 2000, GapMicros: 500_000,
+		RangedFrac: 0.5, PrefixFrac: 0.75, LengthFrac: 0.4,
+	}
+	const (
+		n      = 40000
+		lruCap = 40
+		gap    = 50_000 // sessionizer threshold: 25x think, 1/10 gap
+	)
+	measured := synthesize(t, truth, repo, 1, n, lruCap)
+
+	got, err := Fit(measured, gap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("fitted: %s", got)
+
+	// Parameter recovery. Tolerances are the documented DESIGN §18 bounds:
+	// the estimators see a finite, threshold-truncated sample.
+	if got.Clips != truth.Clips {
+		t.Errorf("clips = %d, want %d (every identity should appear in %d draws)", got.Clips, truth.Clips, n)
+	}
+	if math.Abs(got.Theta-truth.Theta) > 0.12 {
+		t.Errorf("theta = %v, want %v ± 0.12", got.Theta, truth.Theta)
+	}
+	if got.Clients != truth.Clients {
+		t.Errorf("clients = %d, want %d", got.Clients, truth.Clients)
+	}
+	if rel(got.Sess, truth.Sess) > 0.20 {
+		t.Errorf("sess = %v, want %v ± 20%%", got.Sess, truth.Sess)
+	}
+	if rel(float64(got.ThinkMicros), float64(truth.ThinkMicros)) > 0.20 {
+		t.Errorf("think = %d, want %d ± 20%%", got.ThinkMicros, truth.ThinkMicros)
+	}
+	if rel(float64(got.GapMicros), float64(truth.GapMicros)) > 0.20 {
+		t.Errorf("gap = %d, want %d ± 20%%", got.GapMicros, truth.GapMicros)
+	}
+	if math.Abs(got.RangedFrac-truth.RangedFrac) > 0.03 {
+		t.Errorf("ranged = %v, want %v ± 0.03", got.RangedFrac, truth.RangedFrac)
+	}
+	if math.Abs(got.PrefixFrac-truth.PrefixFrac) > 0.05 {
+		t.Errorf("prefix = %v, want %v ± 0.05", got.PrefixFrac, truth.PrefixFrac)
+	}
+	if math.Abs(got.LengthFrac-truth.LengthFrac) > 0.08 {
+		t.Errorf("lenfrac = %v, want %v ± 0.08", got.LengthFrac, truth.LengthFrac)
+	}
+
+	// Replay fidelity: drive the fitted spec (fresh seed) through the same
+	// cache and compare sessionized statistics against the measured log.
+	replayed := synthesize(t, got, repo, 2, n, lruCap)
+	mHR, mP50, mP99 := sessionStats(measured, gap)
+	rHR, rP50, rP99 := sessionStats(replayed, gap)
+	t.Logf("measured: hitrate=%.4f p50=%dµs p99=%dµs", mHR, mP50, mP99)
+	t.Logf("replayed: hitrate=%.4f p50=%dµs p99=%dµs", rHR, rP50, rP99)
+	if math.Abs(mHR-rHR) > 0.05 {
+		t.Errorf("per-session hit rate: measured %.4f, replayed %.4f (tolerance 0.05)", mHR, rHR)
+	}
+	if rel(float64(rP50), float64(mP50)) > 0.25 {
+		t.Errorf("inter-arrival p50: measured %d, replayed %d (tolerance 25%%)", mP50, rP50)
+	}
+	if rel(float64(rP99), float64(mP99)) > 0.35 {
+		t.Errorf("inter-arrival p99: measured %d, replayed %d (tolerance 35%%)", mP99, rP99)
+	}
+}
+
+// TestFitUnrangedLog: a log with no byte ranges fits to a rangeless spec.
+func TestFitUnrangedLog(t *testing.T) {
+	truth := workload.FitSpec{
+		Clips: 100, Theta: 0.3, Clients: 4, Sess: 6,
+		ThinkMicros: 1000, GapMicros: 200_000,
+	}
+	events := synthesize(t, truth, nil, 3, 10000, 20)
+	got, err := Fit(events, 25_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.RangedFrac != 0 || got.PrefixFrac != 0 || got.LengthFrac != 0 {
+		t.Errorf("unranged log fitted range terms: %+v", got)
+	}
+	if got.Clients != truth.Clients {
+		t.Errorf("clients = %d, want %d", got.Clients, truth.Clients)
+	}
+}
+
+func TestFitRejectsDegenerate(t *testing.T) {
+	if _, err := Fit(nil, 0); err == nil {
+		t.Error("empty log should fail")
+	}
+	if _, err := Fit([]Event{{Clip: 0}}, 0); err == nil {
+		t.Error("clip id 0 should fail")
+	}
+	// Two distinct clips cannot support a Zipf fit.
+	if _, err := Fit([]Event{{Clip: 1, Tick: 1}, {Clip: 2, Tick: 2}}, 0); err == nil {
+		t.Error("two-clip log should fail the zipf fit")
+	}
+}
+
+func rel(got, want float64) float64 {
+	return math.Abs(got-want) / want
+}

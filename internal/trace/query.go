@@ -1,0 +1,541 @@
+package trace
+
+// query.go is the engine's sybil-idiom query layer: a QuerySpec names a
+// scope (raw events or sessionized), equality filters, an optional
+// group-by, a list of aggregates and an optional top-k, in a compact
+// semicolon grammar:
+//
+//	from=events;where=outcome=miss-cached,client=c0;group=clip;agg=count,p99lat;top=5
+//	from=sessions;gap=30000000;group=client;agg=count,meanlen,hitrate,p99gap
+//
+// Parse rejects unknown keys, unknown aggregates and scope mismatches
+// (session aggregates over events and vice versa), so a spec that parses
+// always runs.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"mediacache/internal/workload"
+)
+
+// QuerySpec is a parsed query. The zero value is not runnable; build specs
+// with ParseQuery so scope checks have run.
+type QuerySpec struct {
+	// From is the scope: "events" or "sessions".
+	From string
+	// Where holds equality filters, in source order.
+	Where []Filter
+	// Group is the group-by key ("" = one global group).
+	Group string
+	// Aggs are the aggregate columns, in order.
+	Aggs []string
+	// Top keeps only the k rows with the largest first aggregate (0 = all).
+	Top int
+	// GapMicros is the sessionization idle gap (sessions scope only;
+	// 0 = DefaultGapMicros).
+	GapMicros int64
+}
+
+// Filter is one equality predicate of the where clause.
+type Filter struct {
+	Key   string
+	Value string
+}
+
+// The grammar's vocabulary. Aggregates map to their scope; filters and
+// group keys apply per scope as checked in ParseQuery.
+var (
+	eventFilterKeys   = map[string]bool{"client": true, "clip": true, "outcome": true, "policy": true, "hit": true, "ranged": true, "peer": true}
+	sessionFilterKeys = map[string]bool{"client": true, "minlen": true}
+	eventGroupKeys    = map[string]bool{"client": true, "clip": true, "outcome": true, "policy": true}
+	sessionGroupKeys  = map[string]bool{"client": true}
+
+	eventAggs = map[string]bool{
+		"count": true, "hits": true, "hitrate": true,
+		"meanlat": true, "p50lat": true, "p90lat": true, "p99lat": true, "maxlat": true,
+	}
+	sessionAggs = map[string]bool{
+		"count": true, "requests": true, "hitrate": true,
+		"meanlen": true, "p50len": true, "p99len": true, "maxlen": true,
+		"p50gap": true, "p90gap": true, "p99gap": true,
+		"meanstartup": true, "p50startup": true, "p99startup": true,
+	}
+)
+
+// ParseQuery parses and scope-checks the grammar above.
+func ParseQuery(s string) (QuerySpec, error) {
+	q := QuerySpec{}
+	if strings.TrimSpace(s) == "" {
+		return q, fmt.Errorf("trace: empty query")
+	}
+	seen := map[string]bool{}
+	for _, clause := range strings.Split(s, ";") {
+		key, val, ok := strings.Cut(strings.TrimSpace(clause), "=")
+		if !ok {
+			return q, fmt.Errorf("trace: bad query clause %q (want key=value)", clause)
+		}
+		if seen[key] {
+			return q, fmt.Errorf("trace: duplicate query clause %q", key)
+		}
+		seen[key] = true
+		switch key {
+		case "from":
+			if val != "events" && val != "sessions" {
+				return q, fmt.Errorf("trace: from=%q (want events or sessions)", val)
+			}
+			q.From = val
+		case "where":
+			for _, term := range strings.Split(val, ",") {
+				fk, fv, ok := strings.Cut(term, "=")
+				if !ok || fk == "" {
+					return q, fmt.Errorf("trace: bad where term %q (want key=value)", term)
+				}
+				q.Where = append(q.Where, Filter{Key: fk, Value: fv})
+			}
+		case "group":
+			q.Group = val
+		case "agg":
+			for _, a := range strings.Split(val, ",") {
+				if a == "" {
+					return q, fmt.Errorf("trace: empty aggregate in %q", val)
+				}
+				q.Aggs = append(q.Aggs, a)
+			}
+		case "top":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 1 {
+				return q, fmt.Errorf("trace: top=%q (want a positive integer)", val)
+			}
+			q.Top = n
+		case "gap":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || n < 1 {
+				return q, fmt.Errorf("trace: gap=%q (want positive microseconds)", val)
+			}
+			q.GapMicros = n
+		default:
+			return q, fmt.Errorf("trace: unknown query clause %q", key)
+		}
+	}
+	if err := q.check(); err != nil {
+		return q, err
+	}
+	return q, nil
+}
+
+// check enforces scope consistency; ParseQuery and Run both call it.
+func (q QuerySpec) check() error {
+	if q.From != "events" && q.From != "sessions" {
+		return fmt.Errorf("trace: query needs from=events or from=sessions")
+	}
+	filterKeys, groupKeys, aggs := eventFilterKeys, eventGroupKeys, eventAggs
+	if q.From == "sessions" {
+		filterKeys, groupKeys, aggs = sessionFilterKeys, sessionGroupKeys, sessionAggs
+	}
+	for _, f := range q.Where {
+		if !filterKeys[f.Key] {
+			return fmt.Errorf("trace: filter %q not valid for from=%s", f.Key, q.From)
+		}
+		switch f.Key {
+		case "hit", "ranged":
+			if f.Value != "true" && f.Value != "false" {
+				return fmt.Errorf("trace: filter %s=%q (want true or false)", f.Key, f.Value)
+			}
+		case "clip", "minlen":
+			if n, err := strconv.Atoi(f.Value); err != nil || n < 0 {
+				return fmt.Errorf("trace: filter %s=%q (want a non-negative integer)", f.Key, f.Value)
+			}
+		}
+	}
+	if q.Group != "" && !groupKeys[q.Group] {
+		return fmt.Errorf("trace: group %q not valid for from=%s", q.Group, q.From)
+	}
+	if len(q.Aggs) == 0 {
+		return fmt.Errorf("trace: query needs at least one aggregate")
+	}
+	for _, a := range q.Aggs {
+		if !aggs[a] {
+			return fmt.Errorf("trace: aggregate %q not valid for from=%s", a, q.From)
+		}
+	}
+	if q.GapMicros != 0 && q.From != "sessions" {
+		return fmt.Errorf("trace: gap applies only to from=sessions")
+	}
+	return nil
+}
+
+// String renders the spec back into the grammar; a parsed spec round-trips.
+func (q QuerySpec) String() string {
+	var parts []string
+	parts = append(parts, "from="+q.From)
+	if len(q.Where) > 0 {
+		terms := make([]string, len(q.Where))
+		for i, f := range q.Where {
+			terms[i] = f.Key + "=" + f.Value
+		}
+		parts = append(parts, "where="+strings.Join(terms, ","))
+	}
+	if q.Group != "" {
+		parts = append(parts, "group="+q.Group)
+	}
+	if len(q.Aggs) > 0 {
+		parts = append(parts, "agg="+strings.Join(q.Aggs, ","))
+	}
+	if q.Top > 0 {
+		parts = append(parts, "top="+strconv.Itoa(q.Top))
+	}
+	if q.GapMicros > 0 {
+		parts = append(parts, "gap="+strconv.FormatInt(q.GapMicros, 10))
+	}
+	return strings.Join(parts, ";")
+}
+
+// Result is a query's output table. Rows align with Columns; cells are
+// int64, float64 or string.
+type Result struct {
+	Columns []string
+	Rows    [][]any
+}
+
+// Run executes the query over the log (the sybil pipeline: sessionize →
+// filter → group → aggregate). Output row order is deterministic: by
+// descending first aggregate when Top is set, else ascending group key.
+func Run(events []Event, q QuerySpec) (*Result, error) {
+	if err := q.check(); err != nil {
+		return nil, err
+	}
+	if q.From == "events" {
+		return runEvents(events, q)
+	}
+	return runSessions(Sessionize(events, q.GapMicros), q)
+}
+
+func runEvents(events []Event, q QuerySpec) (*Result, error) {
+	var kept []Event
+	for _, e := range events {
+		if matchEvent(e, q.Where) {
+			kept = append(kept, e)
+		}
+	}
+	groups := map[string][]Event{}
+	for _, e := range kept {
+		groups[eventGroupKey(e, q.Group)] = append(groups[eventGroupKey(e, q.Group)], e)
+	}
+	res := newResult(q)
+	for key, evs := range groups {
+		row := []any{}
+		if q.Group != "" {
+			row = append(row, key)
+		}
+		for _, agg := range q.Aggs {
+			row = append(row, eventAgg(evs, agg))
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	res.finish(q)
+	return res, nil
+}
+
+func runSessions(sessions []Session, q QuerySpec) (*Result, error) {
+	var kept []Session
+	for _, s := range sessions {
+		if matchSession(&s, q.Where) {
+			kept = append(kept, s)
+		}
+	}
+	groups := map[string][]Session{}
+	for _, s := range kept {
+		key := ""
+		if q.Group == "client" {
+			key = s.Client
+		}
+		groups[key] = append(groups[key], s)
+	}
+	res := newResult(q)
+	for key, ss := range groups {
+		row := []any{}
+		if q.Group != "" {
+			row = append(row, key)
+		}
+		for _, agg := range q.Aggs {
+			row = append(row, sessionAgg(ss, agg))
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	res.finish(q)
+	return res, nil
+}
+
+func newResult(q QuerySpec) *Result {
+	res := &Result{}
+	if q.Group != "" {
+		res.Columns = append(res.Columns, q.Group)
+	}
+	res.Columns = append(res.Columns, q.Aggs...)
+	return res
+}
+
+// finish orders rows deterministically and applies top-k.
+func (r *Result) finish(q QuerySpec) {
+	keyed := q.Group != ""
+	if q.Top > 0 {
+		first := 0
+		if keyed {
+			first = 1
+		}
+		sort.SliceStable(r.Rows, func(i, j int) bool {
+			a, b := cellFloat(r.Rows[i][first]), cellFloat(r.Rows[j][first])
+			if a != b {
+				return a > b
+			}
+			if keyed {
+				return groupLess(r.Rows[i][0], r.Rows[j][0])
+			}
+			return false
+		})
+		if len(r.Rows) > q.Top {
+			r.Rows = r.Rows[:q.Top]
+		}
+		return
+	}
+	if keyed {
+		sort.SliceStable(r.Rows, func(i, j int) bool { return groupLess(r.Rows[i][0], r.Rows[j][0]) })
+	}
+}
+
+// groupLess orders group keys numerically when both parse as integers
+// (clip IDs), lexically otherwise.
+func groupLess(a, b any) bool {
+	as, bs := a.(string), b.(string)
+	ai, errA := strconv.Atoi(as)
+	bi, errB := strconv.Atoi(bs)
+	if errA == nil && errB == nil {
+		return ai < bi
+	}
+	return as < bs
+}
+
+func cellFloat(v any) float64 {
+	switch x := v.(type) {
+	case int64:
+		return float64(x)
+	case float64:
+		return x
+	default:
+		return math.NaN()
+	}
+}
+
+func matchEvent(e Event, where []Filter) bool {
+	for _, f := range where {
+		switch f.Key {
+		case "client":
+			if e.Client != f.Value {
+				return false
+			}
+		case "clip":
+			if strconv.Itoa(int(e.Clip)) != f.Value {
+				return false
+			}
+		case "outcome":
+			if e.Outcome != f.Value {
+				return false
+			}
+		case "policy":
+			if e.Policy != f.Value {
+				return false
+			}
+		case "peer":
+			if e.Peer != f.Value {
+				return false
+			}
+		case "hit":
+			if strconv.FormatBool(e.Hit) != f.Value {
+				return false
+			}
+		case "ranged":
+			if strconv.FormatBool(Ranged(e)) != f.Value {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func matchSession(s *Session, where []Filter) bool {
+	for _, f := range where {
+		switch f.Key {
+		case "client":
+			if s.Client != f.Value {
+				return false
+			}
+		case "minlen":
+			n, _ := strconv.Atoi(f.Value)
+			if s.Len() < n {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func eventGroupKey(e Event, group string) string {
+	switch group {
+	case "client":
+		return e.Client
+	case "clip":
+		return strconv.Itoa(int(e.Clip))
+	case "outcome":
+		return e.Outcome
+	case "policy":
+		return e.Policy
+	default:
+		return ""
+	}
+}
+
+func eventAgg(evs []Event, agg string) any {
+	switch agg {
+	case "count":
+		return int64(len(evs))
+	case "hits":
+		n := int64(0)
+		for _, e := range evs {
+			if e.Hit {
+				n++
+			}
+		}
+		return n
+	case "hitrate":
+		if len(evs) == 0 {
+			return float64(0)
+		}
+		return float64(eventAgg(evs, "hits").(int64)) / float64(len(evs))
+	case "meanlat", "p50lat", "p90lat", "p99lat", "maxlat":
+		lats := make([]int64, len(evs))
+		for i, e := range evs {
+			lats[i] = e.LatencyMicros
+		}
+		return latStat(lats, agg)
+	default:
+		return nil
+	}
+}
+
+func latStat(lats []int64, agg string) any {
+	switch agg {
+	case "meanlat", "meanstartup":
+		if len(lats) == 0 {
+			return float64(0)
+		}
+		sum := int64(0)
+		for _, l := range lats {
+			sum += l
+		}
+		return float64(sum) / float64(len(lats))
+	case "maxlat":
+		m := int64(0)
+		for _, l := range lats {
+			if l > m {
+				m = l
+			}
+		}
+		return m
+	case "p50lat", "p50startup":
+		return quantile(lats, 0.50)
+	case "p90lat":
+		return quantile(lats, 0.90)
+	case "p99lat", "p99startup":
+		return quantile(lats, 0.99)
+	default:
+		return nil
+	}
+}
+
+func sessionAgg(ss []Session, agg string) any {
+	switch agg {
+	case "count":
+		return int64(len(ss))
+	case "requests":
+		n := int64(0)
+		for i := range ss {
+			n += int64(ss[i].Len())
+		}
+		return n
+	case "hitrate":
+		hits, total := 0, 0
+		for i := range ss {
+			hits += ss[i].Hits()
+			total += ss[i].Len()
+		}
+		if total == 0 {
+			return float64(0)
+		}
+		return float64(hits) / float64(total)
+	case "meanlen":
+		if len(ss) == 0 {
+			return float64(0)
+		}
+		return float64(sessionAgg(ss, "requests").(int64)) / float64(len(ss))
+	case "p50len", "p99len", "maxlen":
+		lens := make([]int64, len(ss))
+		for i := range ss {
+			lens[i] = int64(ss[i].Len())
+		}
+		if agg == "maxlen" {
+			return latStat(lens, "maxlat")
+		}
+		if agg == "p50len" {
+			return quantile(lens, 0.50)
+		}
+		return quantile(lens, 0.99)
+	case "p50gap", "p90gap", "p99gap":
+		var gaps []int64
+		for i := range ss {
+			gaps = ss[i].InterArrivals(gaps)
+		}
+		switch agg {
+		case "p50gap":
+			return quantile(gaps, 0.50)
+		case "p90gap":
+			return quantile(gaps, 0.90)
+		default:
+			return quantile(gaps, 0.99)
+		}
+	case "meanstartup", "p50startup", "p99startup":
+		// Startup latency: the first request of each session, the moment the
+		// paper's latency model charges the display wait.
+		starts := make([]int64, len(ss))
+		for i := range ss {
+			starts[i] = ss[i].Events[0].LatencyMicros
+		}
+		return latStat(starts, agg)
+	default:
+		return nil
+	}
+}
+
+// quantile is the exact nearest-rank quantile of unsorted samples, the
+// same estimator loadgen reports; 0 when empty.
+func quantile(samples []int64, q float64) int64 {
+	return workload.FitQuantile(samples, q)
+}
+
+// FormatCell renders one result cell for tables and CSV: integers plainly,
+// floats with four decimals.
+func FormatCell(v any) string {
+	switch x := v.(type) {
+	case int64:
+		return strconv.FormatInt(x, 10)
+	case float64:
+		return strconv.FormatFloat(x, 'f', 4, 64)
+	case string:
+		return x
+	default:
+		return fmt.Sprintf("%v", x)
+	}
+}

@@ -1,0 +1,175 @@
+package trace
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// renderRows flattens a result for golden comparison.
+func renderRows(res *Result) [][]string {
+	out := make([][]string, len(res.Rows))
+	for i, row := range res.Rows {
+		cells := make([]string, len(row))
+		for j, v := range row {
+			cells[j] = FormatCell(v)
+		}
+		out[i] = cells
+	}
+	return out
+}
+
+// TestQueryGolden pins each query family over the fixed log: the exact
+// rows, in the engine's deterministic order.
+func TestQueryGolden(t *testing.T) {
+	cases := []struct {
+		name    string
+		query   string
+		columns []string
+		rows    [][]string
+	}{
+		{
+			name:    "events-overall",
+			query:   "from=events;agg=count,hits,hitrate,p50lat,p99lat",
+			columns: []string{"count", "hits", "hitrate", "p50lat", "p99lat"},
+			rows:    [][]string{{"6", "4", "0.6667", "200", "5000"}},
+		},
+		{
+			name:    "events-by-outcome",
+			query:   "from=events;group=outcome;agg=count,meanlat",
+			columns: []string{"outcome", "count", "meanlat"},
+			rows: [][]string{
+				{"hit", "4", "187.5000"},
+				{"miss-cached", "2", "4500.0000"},
+			},
+		},
+		{
+			name:    "top-clips",
+			query:   "from=events;group=clip;agg=count,hitrate;top=2",
+			columns: []string{"clip", "count", "hitrate"},
+			rows: [][]string{
+				{"3", "3", "0.6667"},
+				{"7", "2", "0.5000"},
+			},
+		},
+		{
+			name:    "events-filtered",
+			query:   "from=events;where=client=c0,hit=true;agg=count,maxlat",
+			columns: []string{"count", "maxlat"},
+			rows:    [][]string{{"2", "200"}},
+		},
+		{
+			name:    "events-ranged",
+			query:   "from=events;where=ranged=true;agg=count",
+			columns: []string{"count"},
+			rows:    [][]string{{"2"}},
+		},
+		{
+			name:    "sessions-overall",
+			query:   "from=sessions;gap=10000;agg=count,requests,meanlen,hitrate,p50gap,p99gap",
+			columns: []string{"count", "requests", "meanlen", "hitrate", "p50gap", "p99gap"},
+			rows:    [][]string{{"3", "6", "2.0000", "0.6667", "2000", "3000"}},
+		},
+		{
+			name:    "sessions-by-client",
+			query:   "from=sessions;gap=10000;group=client;agg=count,meanlen,p50startup",
+			columns: []string{"client", "count", "meanlen", "p50startup"},
+			rows: [][]string{
+				{"c0", "2", "2.0000", "150"},
+				{"c1", "1", "2.0000", "100"},
+			},
+		},
+		{
+			name:    "sessions-minlen",
+			query:   "from=sessions;gap=10000;where=minlen=2;agg=count,maxlen",
+			columns: []string{"count", "maxlen"},
+			rows:    [][]string{{"2", "3"}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			q, err := ParseQuery(tc.query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Run(fixedLog(), q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(res.Columns, tc.columns) {
+				t.Fatalf("columns = %v, want %v", res.Columns, tc.columns)
+			}
+			if got := renderRows(res); !reflect.DeepEqual(got, tc.rows) {
+				t.Fatalf("rows = %v, want %v", got, tc.rows)
+			}
+		})
+	}
+}
+
+func TestParseQueryRejects(t *testing.T) {
+	for _, s := range []string{
+		"",
+		"from=events",              // no aggregate
+		"from=elsewhere;agg=count", // bad scope
+		"agg=count",                // no scope
+		"from=events;agg=meanlen",  // session agg over events
+		"from=sessions;agg=p99lat", // event agg over sessions
+		"from=events;group=client;agg=count;gap=5", // gap outside sessions
+		"from=events;where=minlen=3;agg=count",     // session filter over events
+		"from=sessions;group=clip;agg=count",       // event group over sessions
+		"from=events;agg=count;top=0",
+		"from=events;agg=count;top=x",
+		"from=events;agg=count;bogus=1",
+		"from=events;agg=count;agg=hits", // duplicate clause
+		"from=events;where=hit=maybe;agg=count",
+		"from=events;where=clip=abc;agg=count",
+		"from=events;agg=",
+		"notaclause",
+	} {
+		if _, err := ParseQuery(s); err == nil {
+			t.Errorf("ParseQuery(%q) accepted invalid query", s)
+		}
+	}
+}
+
+func TestQueryStringRoundTrip(t *testing.T) {
+	for _, s := range []string{
+		"from=events;agg=count",
+		"from=events;where=client=c0,hit=true;group=clip;agg=count,hitrate;top=5",
+		"from=sessions;where=minlen=2;group=client;agg=count,meanlen,p99gap;gap=10000",
+	} {
+		q, err := ParseQuery(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q.String() != s {
+			t.Errorf("String() = %q, want %q", q.String(), s)
+		}
+	}
+}
+
+func FuzzParseQuery(f *testing.F) {
+	f.Add("from=events;agg=count")
+	f.Add("from=events;where=client=c0,hit=true;group=clip;agg=count,hitrate;top=5")
+	f.Add("from=sessions;where=minlen=2;group=client;agg=count,meanlen,p99gap;gap=10000")
+	f.Add("from=sessions;agg=p50startup,p99startup,meanstartup")
+	f.Add("from=events;;agg=count")
+	f.Add(strings.Repeat("from=events;", 30))
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := ParseQuery(input)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Anything accepted must round-trip and run without error.
+		again, err := ParseQuery(q.String())
+		if err != nil {
+			t.Fatalf("re-parsing %q: %v", q.String(), err)
+		}
+		if !reflect.DeepEqual(again, q) {
+			t.Fatalf("round trip changed query: %+v -> %+v", q, again)
+		}
+		if _, err := Run(fixedLog(), q); err != nil {
+			t.Fatalf("accepted query failed to run: %v", err)
+		}
+	})
+}

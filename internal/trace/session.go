@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"sort"
+)
+
+// DefaultGapMicros is the idle-gap threshold separating two sessions of
+// one client when the query does not name one: 30 virtual seconds, far
+// above any think time this repo's generators emit and far below their
+// inter-session gaps.
+const DefaultGapMicros = 30_000_000
+
+// Session is one client's burst of consecutive requests: every
+// inter-arrival inside it is at most the sessionizer's idle gap.
+type Session struct {
+	// Client is the requesting client ("" when the log carried no IDs).
+	Client string
+	// Events are the session's requests in arrival order.
+	Events []Event
+}
+
+// Len returns the session length in requests.
+func (s *Session) Len() int { return len(s.Events) }
+
+// Start and End bound the session on the log's clock.
+func (s *Session) Start() int64 { return Time(s.Events[0]) }
+func (s *Session) End() int64   { return Time(s.Events[len(s.Events)-1]) }
+
+// Hits counts the session's cache hits.
+func (s *Session) Hits() int {
+	n := 0
+	for _, e := range s.Events {
+		if e.Hit {
+			n++
+		}
+	}
+	return n
+}
+
+// HitRate is the session's hit fraction.
+func (s *Session) HitRate() float64 {
+	if len(s.Events) == 0 {
+		return 0
+	}
+	return float64(s.Hits()) / float64(len(s.Events))
+}
+
+// InterArrivals appends the session's within-session inter-arrival times
+// (µs) to dst; a session of n requests contributes n-1 samples.
+func (s *Session) InterArrivals(dst []int64) []int64 {
+	for i := 1; i < len(s.Events); i++ {
+		dst = append(dst, Time(s.Events[i])-Time(s.Events[i-1]))
+	}
+	return dst
+}
+
+// Sessionize groups events per client and splits each client's stream
+// where consecutive arrivals are more than gapMicros apart (the sybil
+// idiom's first stage). Events are ordered by arrival within each client
+// (stable for ties, preserving log order); sessions are returned sorted by
+// start time, then client, so output is deterministic. gapMicros <= 0
+// selects DefaultGapMicros.
+func Sessionize(events []Event, gapMicros int64) []Session {
+	if gapMicros <= 0 {
+		gapMicros = DefaultGapMicros
+	}
+	byClient := map[string][]Event{}
+	for _, e := range events {
+		byClient[e.Client] = append(byClient[e.Client], e)
+	}
+	var sessions []Session
+	for client, evs := range byClient {
+		sort.SliceStable(evs, func(i, j int) bool { return Time(evs[i]) < Time(evs[j]) })
+		start := 0
+		for i := 1; i <= len(evs); i++ {
+			if i == len(evs) || Time(evs[i])-Time(evs[i-1]) > gapMicros {
+				sessions = append(sessions, Session{Client: client, Events: evs[start:i]})
+				start = i
+			}
+		}
+	}
+	sort.Slice(sessions, func(i, j int) bool {
+		if sessions[i].Start() != sessions[j].Start() {
+			return sessions[i].Start() < sessions[j].Start()
+		}
+		return sessions[i].Client < sessions[j].Client
+	})
+	return sessions
+}

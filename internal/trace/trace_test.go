@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"mediacache/internal/media"
+	"mediacache/internal/workload"
+)
+
+// fixedLog is a small hand-written log exercised by the golden aggregation
+// tests: two clients, three sessions under a 10ms gap, mixed outcomes.
+// Times are microseconds.
+func fixedLog() []Event {
+	return []Event{
+		// c0 session 1: three requests, one hit.
+		{Tick: 1, WallMicros: 1_000, Client: "c0", Clip: 3, Outcome: "miss-cached", Status: 200, LatencyMicros: 5000, Policy: "lru"},
+		{Tick: 2, WallMicros: 3_000, Client: "c0", Clip: 3, Hit: true, Outcome: "hit", Status: 200, LatencyMicros: 200, Policy: "lru"},
+		{Tick: 3, WallMicros: 6_000, Client: "c0", Clip: 7, Outcome: "miss-cached", Status: 200, LatencyMicros: 4000, Policy: "lru",
+			SizeBytes: 1000, StartBytes: 0, LengthBytes: 500},
+		// c1 session: two requests, both hits.
+		{Tick: 4, WallMicros: 2_000, Client: "c1", Clip: 3, Hit: true, Outcome: "hit", Status: 200, LatencyMicros: 100, Policy: "lru"},
+		{Tick: 5, WallMicros: 4_000, Client: "c1", Clip: 5, Hit: true, Outcome: "hit", Status: 200, LatencyMicros: 300, Policy: "lru"},
+		// c0 session 2 (after a 20ms idle gap): one request.
+		{Tick: 6, WallMicros: 26_000, Client: "c0", Clip: 7, Hit: true, Outcome: "hit", Status: 200, LatencyMicros: 150, Policy: "lru",
+			SizeBytes: 1000, StartBytes: 200, LengthBytes: 100},
+	}
+}
+
+func TestSessionize(t *testing.T) {
+	sessions := Sessionize(fixedLog(), 10_000)
+	if len(sessions) != 3 {
+		t.Fatalf("got %d sessions, want 3", len(sessions))
+	}
+	// Sorted by start time: c0@1000 (3 events), c1@2000 (2), c0@26000 (1).
+	if sessions[0].Client != "c0" || sessions[0].Len() != 3 || sessions[0].Start() != 1000 || sessions[0].End() != 6000 {
+		t.Errorf("session 0 = %s/%d [%d, %d]", sessions[0].Client, sessions[0].Len(), sessions[0].Start(), sessions[0].End())
+	}
+	if sessions[1].Client != "c1" || sessions[1].Len() != 2 {
+		t.Errorf("session 1 = %s/%d", sessions[1].Client, sessions[1].Len())
+	}
+	if sessions[2].Client != "c0" || sessions[2].Len() != 1 {
+		t.Errorf("session 2 = %s/%d", sessions[2].Client, sessions[2].Len())
+	}
+	if hr := sessions[0].HitRate(); hr < 0.33 || hr > 0.34 {
+		t.Errorf("session 0 hit rate = %v", hr)
+	}
+	gaps := sessions[0].InterArrivals(nil)
+	if len(gaps) != 2 || gaps[0] != 2000 || gaps[1] != 3000 {
+		t.Errorf("session 0 inter-arrivals = %v", gaps)
+	}
+}
+
+func TestSessionizeDefaultsAndAnonymous(t *testing.T) {
+	// Clientless v1-style events sessionize as one anonymous stream.
+	events := []Event{{Tick: 0, Clip: 1}, {Tick: 1, Clip: 2}, {Tick: 2, Clip: 3}}
+	sessions := Sessionize(events, 0)
+	if len(sessions) != 1 || sessions[0].Client != "" || sessions[0].Len() != 3 {
+		t.Fatalf("anonymous sessions = %+v", sessions)
+	}
+}
+
+func TestReadNDJSON(t *testing.T) {
+	in := `{"tick":1,"wallMicros":500,"client":"c0","clip":3,"outcome":"hit","hit":true,"status":200,"latencyMicros":120}
+
+{"tick":2,"clip":7,"outcome":"miss-cached","status":200,"latencyMicros":9000,"lengthBytes":4096}
+`
+	events, err := ReadNDJSON(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2", len(events))
+	}
+	if events[0].Client != "c0" || !events[0].Hit || Time(events[0]) != 500 {
+		t.Errorf("event 0 = %+v", events[0])
+	}
+	if Ranged(events[0]) {
+		t.Error("event 0 should be whole-clip")
+	}
+	if !Ranged(events[1]) || Time(events[1]) != 2 {
+		t.Errorf("event 1 = %+v", events[1])
+	}
+	if _, err := ReadNDJSON(strings.NewReader("{bogus\n")); err == nil {
+		t.Fatal("malformed line should fail")
+	} else if !strings.Contains(err.Error(), "line 1") {
+		t.Errorf("error should carry the line number: %v", err)
+	}
+}
+
+func TestFromTrace(t *testing.T) {
+	v1 := &workload.Trace{Name: "v1", NumClips: 5, Requests: []media.ClipID{3, 1}}
+	events := FromTrace(v1)
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2", len(events))
+	}
+	if events[0].Clip != 3 || events[0].Tick != 0 || events[1].Tick != 1 {
+		t.Errorf("v1 events = %+v", events)
+	}
+	v2 := &workload.Trace{
+		Name:        "v2",
+		NumClips:    5,
+		Requests:    []media.ClipID{3, 1},
+		Clients:     []string{"a", "b"},
+		Ticks:       []int64{100, 900},
+		RangeStarts: []media.Bytes{0, 64},
+		RangeLens:   []media.Bytes{0, 128},
+	}
+	events = FromTrace(v2)
+	if events[0].Client != "a" || events[0].Tick != 100 || Ranged(events[0]) {
+		t.Errorf("v2 event 0 = %+v", events[0])
+	}
+	if !Ranged(events[1]) || events[1].StartBytes != 64 || events[1].LengthBytes != 128 {
+		t.Errorf("v2 event 1 = %+v", events[1])
+	}
+}

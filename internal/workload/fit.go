@@ -1,0 +1,325 @@
+package workload
+
+// fit.go closes the measure→model→replay loop (ISSUE 10): a FitSpec is a
+// workload distilled from a recorded request log by `traceql -fit` —
+// catalog size, Zipf exponent, session shape and range bias — and a
+// SessionSource replays it as a deterministic stream of timed, sessionized
+// requests any Source consumer (cmd/loadgen, cmd/cachesim, internal/sim)
+// can drive. The synthetic stream's sessionized statistics match the
+// measured log's within the tolerances documented in DESIGN §18.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"mediacache/internal/media"
+	"mediacache/internal/randutil"
+	"mediacache/internal/zipf"
+)
+
+// FitSpec is a compact, replayable description of measured traffic:
+//
+//	fit=clips=576,theta=0.27,clients=8,sess=12.5,think=2000,gap=120000
+//	    [,ranged=0.5,prefix=0.75,lenfrac=0.4]
+//
+// Clients independent request streams interleave; each client alternates
+// between sessions of geometrically distributed length (mean Sess) whose
+// requests are spaced by exponential think times (mean ThinkMicros), and
+// idle gaps of exponential length (mean GapMicros). Clip identities are
+// Zipf(Theta) over 1..Clips. With RangedFrac > 0 a request references a
+// byte range instead of the whole clip: it starts at byte zero with
+// probability PrefixFrac (else at a uniform offset) and covers a uniform
+// fraction of the clip with mean LengthFrac.
+type FitSpec struct {
+	// Clips is the catalog size the clip stream draws over.
+	Clips int
+	// Theta is the Zipf exponent estimate in [0, 1].
+	Theta float64
+	// Clients is the number of concurrent client streams.
+	Clients int
+	// Sess is the mean session length in requests (>= 1).
+	Sess float64
+	// ThinkMicros is the mean within-session inter-arrival time, µs.
+	ThinkMicros int64
+	// GapMicros is the mean idle gap between a client's sessions, µs.
+	GapMicros int64
+	// RangedFrac is the fraction of requests referencing a byte range.
+	RangedFrac float64
+	// PrefixFrac is, of ranged requests, the fraction starting at byte 0.
+	PrefixFrac float64
+	// LengthFrac is the mean fraction of the clip a ranged request covers.
+	LengthFrac float64
+}
+
+// ParseFit parses the textual form. The "fit=" prefix is optional; the
+// result always passes Validate.
+func ParseFit(s string) (FitSpec, error) {
+	t := strings.TrimSpace(s)
+	t = strings.TrimPrefix(t, "fit=")
+	if t == "" {
+		return FitSpec{}, fmt.Errorf("workload: empty fit spec")
+	}
+	var spec FitSpec
+	seen := map[string]bool{}
+	for _, term := range strings.Split(t, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(term), "=")
+		if !ok {
+			return FitSpec{}, fmt.Errorf("workload: bad fit term %q (want key=value)", term)
+		}
+		if seen[key] {
+			return FitSpec{}, fmt.Errorf("workload: duplicate fit term %q", key)
+		}
+		seen[key] = true
+		var err error
+		switch key {
+		case "clips":
+			spec.Clips, err = strconv.Atoi(val)
+		case "theta":
+			spec.Theta, err = strconv.ParseFloat(val, 64)
+		case "clients":
+			spec.Clients, err = strconv.Atoi(val)
+		case "sess":
+			spec.Sess, err = strconv.ParseFloat(val, 64)
+		case "think":
+			spec.ThinkMicros, err = strconv.ParseInt(val, 10, 64)
+		case "gap":
+			spec.GapMicros, err = strconv.ParseInt(val, 10, 64)
+		case "ranged":
+			spec.RangedFrac, err = strconv.ParseFloat(val, 64)
+		case "prefix":
+			spec.PrefixFrac, err = strconv.ParseFloat(val, 64)
+		case "lenfrac":
+			spec.LengthFrac, err = strconv.ParseFloat(val, 64)
+		default:
+			return FitSpec{}, fmt.Errorf("workload: unknown fit term %q", key)
+		}
+		if err != nil {
+			return FitSpec{}, fmt.Errorf("workload: bad fit value in %q: %v", term, err)
+		}
+	}
+	if err := spec.Validate(); err != nil {
+		return FitSpec{}, err
+	}
+	return spec, nil
+}
+
+// Validate reports whether the spec is well formed.
+func (sp FitSpec) Validate() error {
+	if sp.Clips <= 0 {
+		return fmt.Errorf("workload: fit clips must be positive, got %d", sp.Clips)
+	}
+	if !(sp.Theta >= 0 && sp.Theta <= 1) { // rejects NaN
+		return fmt.Errorf("workload: fit theta %v outside [0, 1]", sp.Theta)
+	}
+	if sp.Clients <= 0 {
+		return fmt.Errorf("workload: fit clients must be positive, got %d", sp.Clients)
+	}
+	if !(sp.Sess >= 1) || math.IsInf(sp.Sess, 0) {
+		return fmt.Errorf("workload: fit mean session length %v must be >= 1 and finite", sp.Sess)
+	}
+	if sp.ThinkMicros < 1 {
+		return fmt.Errorf("workload: fit think must be >= 1µs, got %d", sp.ThinkMicros)
+	}
+	if sp.GapMicros < 1 {
+		return fmt.Errorf("workload: fit gap must be >= 1µs, got %d", sp.GapMicros)
+	}
+	if !(sp.RangedFrac >= 0 && sp.RangedFrac <= 1) {
+		return fmt.Errorf("workload: fit ranged fraction %v outside [0, 1]", sp.RangedFrac)
+	}
+	if !(sp.PrefixFrac >= 0 && sp.PrefixFrac <= 1) {
+		return fmt.Errorf("workload: fit prefix fraction %v outside [0, 1]", sp.PrefixFrac)
+	}
+	if !(sp.LengthFrac >= 0 && sp.LengthFrac <= 1) {
+		return fmt.Errorf("workload: fit length fraction %v outside [0, 1]", sp.LengthFrac)
+	}
+	return nil
+}
+
+// String renders the spec in ParseFit's syntax; a valid spec round-trips
+// exactly. The range terms are emitted only when RangedFrac > 0, matching
+// the fitter's output for unranged logs.
+func (sp FitSpec) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fit=clips=%d,theta=%s,clients=%d,sess=%s,think=%d,gap=%d",
+		sp.Clips, strconv.FormatFloat(sp.Theta, 'g', -1, 64), sp.Clients,
+		strconv.FormatFloat(sp.Sess, 'g', -1, 64), sp.ThinkMicros, sp.GapMicros)
+	if sp.RangedFrac > 0 {
+		fmt.Fprintf(&b, ",ranged=%s,prefix=%s,lenfrac=%s",
+			strconv.FormatFloat(sp.RangedFrac, 'g', -1, 64),
+			strconv.FormatFloat(sp.PrefixFrac, 'g', -1, 64),
+			strconv.FormatFloat(sp.LengthFrac, 'g', -1, 64))
+	}
+	return b.String()
+}
+
+// TimedRequest is a Request stamped with the issuing client and its
+// scheduled arrival time on the source's virtual clock.
+type TimedRequest struct {
+	Request
+	Client        string
+	ArrivalMicros int64
+}
+
+// sessionClient is one client stream's replay state.
+type sessionClient struct {
+	name        string
+	nextArrival int64
+	left        int // requests remaining in the current session
+}
+
+// SessionSource replays a FitSpec as an infinite deterministic stream of
+// timed requests: clients interleave in arrival order (ties broken by
+// client index), with all randomness drawn from Split-derived streams of
+// one seed, so two sources with the same (spec, repo, seed) emit
+// byte-identical streams. It implements both Source and TimedSource.
+type SessionSource struct {
+	spec    FitSpec
+	repo    *media.Repository
+	dist    *zipf.Distribution
+	clips   *randutil.Source // clip identity draws
+	times   *randutil.Source // think/gap/session-length draws
+	ranges  *randutil.Source // range shape draws
+	clients []sessionClient
+}
+
+// NewSessionSource builds the replay source. repo supplies clip sizes for
+// ranged requests and may be nil when spec.RangedFrac == 0; when present,
+// spec.Clips must not exceed repo.N().
+func NewSessionSource(spec FitSpec, repo *media.Repository, seed uint64) (*SessionSource, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.RangedFrac > 0 && repo == nil {
+		return nil, fmt.Errorf("workload: fit spec with ranged=%v needs a repository for clip sizes", spec.RangedFrac)
+	}
+	if repo != nil && spec.Clips > repo.N() {
+		return nil, fmt.Errorf("workload: fit spec draws %d identities but repository has %d clips", spec.Clips, repo.N())
+	}
+	dist, err := zipf.New(spec.Clips, spec.Theta)
+	if err != nil {
+		return nil, err
+	}
+	root := randutil.NewSource(seed).Split("session")
+	s := &SessionSource{
+		spec:    spec,
+		repo:    repo,
+		dist:    dist,
+		clips:   root.Split("clips"),
+		times:   root.Split("times"),
+		ranges:  root.Split("ranges"),
+		clients: make([]sessionClient, spec.Clients),
+	}
+	for i := range s.clients {
+		s.clients[i] = sessionClient{
+			name: fmt.Sprintf("c%d", i),
+			// Stagger first arrivals over one mean gap so the streams don't
+			// all wake at time zero.
+			nextArrival: s.exp(s.times, spec.GapMicros),
+		}
+	}
+	return s, nil
+}
+
+// exp draws an exponential duration with the given mean, floored at 1µs so
+// time always advances.
+func (s *SessionSource) exp(src *randutil.Source, mean int64) int64 {
+	d := int64(-float64(mean) * math.Log(1-src.Float64()))
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// NextTimed returns the next timed request: the earliest-scheduled client
+// emits, then advances its own schedule.
+func (s *SessionSource) NextTimed() (TimedRequest, bool) {
+	c := &s.clients[0]
+	for i := 1; i < len(s.clients); i++ {
+		if s.clients[i].nextArrival < c.nextArrival {
+			c = &s.clients[i]
+		}
+	}
+	if c.left == 0 {
+		// New session: geometric length with mean Sess (p = 1/Sess).
+		p := 1 / s.spec.Sess
+		u := s.times.Float64()
+		n := 1
+		if p < 1 {
+			n = 1 + int(math.Log(1-u)/math.Log(1-p))
+		}
+		if n < 1 {
+			n = 1
+		}
+		c.left = n
+	}
+	tr := TimedRequest{
+		Request:       Request{Clip: media.ClipID(s.dist.Sample(s.clips))},
+		Client:        c.name,
+		ArrivalMicros: c.nextArrival,
+	}
+	if s.spec.RangedFrac > 0 && s.ranges.Float64() < s.spec.RangedFrac {
+		tr.Request = s.rangeOf(tr.Clip)
+	}
+	c.left--
+	if c.left > 0 {
+		c.nextArrival += s.exp(s.times, s.spec.ThinkMicros)
+	} else {
+		c.nextArrival += s.exp(s.times, s.spec.GapMicros)
+	}
+	return tr, true
+}
+
+// rangeOf draws the byte range of a ranged reference to clip id per the
+// spec's prefix and length biases.
+func (s *SessionSource) rangeOf(id media.ClipID) Request {
+	clip, ok := s.repo.Lookup(id)
+	if !ok {
+		// The constructor proved every identity resolves.
+		panic(fmt.Sprintf("workload: clip %d vanished from repository", id))
+	}
+	var start media.Bytes
+	if s.ranges.Float64() >= s.spec.PrefixFrac {
+		start = media.Bytes(s.ranges.Float64() * float64(clip.Size))
+		if start >= clip.Size {
+			start = clip.Size - 1
+		}
+	}
+	// Uniform length fraction with mean LengthFrac: u in [0, 2·LengthFrac],
+	// clamped to the clip so heavy means saturate at full length.
+	frac := s.ranges.Float64() * 2 * s.spec.LengthFrac
+	length := media.Bytes(frac * float64(clip.Size))
+	if length < 1 {
+		length = 1
+	}
+	if length > clip.Size-start {
+		length = clip.Size - start
+	}
+	return Request{Clip: id, Ranged: true, Start: start, Length: length}
+}
+
+// Next implements Source.
+func (s *SessionSource) Next() (Request, bool) {
+	tr, ok := s.NextTimed()
+	return tr.Request, ok
+}
+
+// FitQuantile reads the exact q-quantile (nearest rank) of unsorted int64
+// samples; 0 when empty. Shared by the fitter and its round-trip tests.
+func FitQuantile(samples []int64, q float64) int64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := append([]int64(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

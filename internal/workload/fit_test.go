@@ -1,0 +1,247 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"mediacache/internal/media"
+)
+
+func fitSpec() FitSpec {
+	return FitSpec{
+		Clips: 100, Theta: 0.27, Clients: 4, Sess: 8,
+		ThinkMicros: 2000, GapMicros: 60000,
+		RangedFrac: 0.5, PrefixFrac: 0.75, LengthFrac: 0.4,
+	}
+}
+
+func TestParseFitRoundTrip(t *testing.T) {
+	for _, spec := range []FitSpec{
+		fitSpec(),
+		{Clips: 576, Theta: 0, Clients: 1, Sess: 1, ThinkMicros: 1, GapMicros: 1},
+		{Clips: 7, Theta: 1, Clients: 32, Sess: 2.5, ThinkMicros: 100, GapMicros: 999999,
+			RangedFrac: 1, PrefixFrac: 1, LengthFrac: 1},
+	} {
+		got, err := ParseFit(spec.String())
+		if err != nil {
+			t.Fatalf("ParseFit(%q): %v", spec.String(), err)
+		}
+		if got != spec {
+			t.Fatalf("round trip: got %+v, want %+v", got, spec)
+		}
+	}
+	// The fit= prefix is optional.
+	bare := strings.TrimPrefix(fitSpec().String(), "fit=")
+	if got, err := ParseFit(bare); err != nil || got != fitSpec() {
+		t.Fatalf("bare spec: got %+v, err %v", got, err)
+	}
+}
+
+func TestParseFitRejects(t *testing.T) {
+	for _, s := range []string{
+		"",
+		"fit=",
+		"clips=10", // missing required terms
+		"clips=0,theta=0.2,clients=1,sess=1,think=1,gap=1",
+		"clips=10,theta=1.5,clients=1,sess=1,think=1,gap=1",
+		"clips=10,theta=0.2,clients=0,sess=1,think=1,gap=1",
+		"clips=10,theta=0.2,clients=1,sess=0.5,think=1,gap=1",
+		"clips=10,theta=0.2,clients=1,sess=1,think=0,gap=1",
+		"clips=10,theta=0.2,clients=1,sess=1,think=1,gap=0",
+		"clips=10,theta=0.2,clients=1,sess=1,think=1,gap=1,ranged=2",
+		"clips=10,theta=0.2,clients=1,sess=1,think=1,gap=1,bogus=3",
+		"clips=10,clips=10,theta=0.2,clients=1,sess=1,think=1,gap=1",
+		"clips",
+		"clips=ten,theta=0.2,clients=1,sess=1,think=1,gap=1",
+	} {
+		if _, err := ParseFit(s); err == nil {
+			t.Errorf("ParseFit(%q) accepted invalid spec", s)
+		}
+	}
+}
+
+func FuzzParseFit(f *testing.F) {
+	f.Add(fitSpec().String())
+	f.Add("fit=clips=576,theta=0.27,clients=8,sess=12.5,think=2000,gap=120000")
+	f.Add("clips=1,theta=0,clients=1,sess=1,think=1,gap=1")
+	f.Add("fit=")
+	f.Add("ranged=0.5")
+	f.Add(strings.Repeat("clips=1,", 40))
+	f.Fuzz(func(t *testing.T, input string) {
+		spec, err := ParseFit(input)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Anything accepted must be valid and round-trip through String.
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("accepted spec fails validation: %v", err)
+		}
+		again, err := ParseFit(spec.String())
+		if err != nil {
+			t.Fatalf("re-parsing %q: %v", spec.String(), err)
+		}
+		if again != spec {
+			t.Fatalf("round trip changed spec: %+v -> %+v", spec, again)
+		}
+	})
+}
+
+func TestNewSessionSourceValidation(t *testing.T) {
+	repo := media.PaperRepository()
+	if _, err := NewSessionSource(FitSpec{}, repo, 1); err == nil {
+		t.Error("zero spec should fail")
+	}
+	if _, err := NewSessionSource(fitSpec(), nil, 1); err == nil {
+		t.Error("ranged spec without repository should fail")
+	}
+	big := fitSpec()
+	big.Clips = repo.N() + 1
+	if _, err := NewSessionSource(big, repo, 1); err == nil {
+		t.Error("spec drawing beyond the repository should fail")
+	}
+	unranged := fitSpec()
+	unranged.RangedFrac = 0
+	if _, err := NewSessionSource(unranged, nil, 1); err != nil {
+		t.Errorf("unranged spec without repository: %v", err)
+	}
+}
+
+func TestSessionSourceDeterministic(t *testing.T) {
+	repo := media.PaperRepository()
+	mk := func(seed uint64) *SessionSource {
+		s, err := NewSessionSource(fitSpec(), repo, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a, b, c := mk(42), mk(42), mk(43)
+	identical := true
+	for i := 0; i < 5000; i++ {
+		ra, _ := a.NextTimed()
+		rb, _ := b.NextTimed()
+		rc, _ := c.NextTimed()
+		if ra != rb {
+			t.Fatalf("event %d: same seed diverged: %+v vs %+v", i, ra, rb)
+		}
+		if ra != rc {
+			identical = false
+		}
+	}
+	if identical {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestSessionSourceShape(t *testing.T) {
+	repo := media.PaperRepository()
+	spec := FitSpec{
+		Clips: 200, Theta: 0.27, Clients: 6, Sess: 10,
+		ThinkMicros: 1000, GapMicros: 50000,
+		RangedFrac: 0.5, PrefixFrac: 0.75, LengthFrac: 0.4,
+	}
+	src, err := NewSessionSource(spec, repo, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50000
+	lastArrival := map[string]int64{}
+	ranged, prefix := 0, 0
+	for i := 0; i < n; i++ {
+		tr, ok := src.NextTimed()
+		if !ok {
+			t.Fatal("session source must be infinite")
+		}
+		if tr.Kind != EventRequest {
+			t.Fatalf("event %d: unexpected kind %v", i, tr.Kind)
+		}
+		if tr.Clip < 1 || int(tr.Clip) > spec.Clips {
+			t.Fatalf("event %d: clip %d outside 1..%d", i, tr.Clip, spec.Clips)
+		}
+		if prev, seen := lastArrival[tr.Client]; seen && tr.ArrivalMicros < prev {
+			t.Fatalf("event %d: client %s went back in time: %d < %d", i, tr.Client, tr.ArrivalMicros, prev)
+		}
+		lastArrival[tr.Client] = tr.ArrivalMicros
+		if tr.Ranged {
+			ranged++
+			clip := repo.Clip(tr.Clip)
+			if tr.Start < 0 || tr.Length < 1 || tr.Start+tr.Length > clip.Size {
+				t.Fatalf("event %d: range [%d, +%d) outside clip of %d bytes", i, tr.Start, tr.Length, clip.Size)
+			}
+			if tr.Start == 0 {
+				prefix++
+			}
+		}
+	}
+	if len(lastArrival) != spec.Clients {
+		t.Fatalf("saw %d clients, want %d", len(lastArrival), spec.Clients)
+	}
+	rangedFrac := float64(ranged) / n
+	if math.Abs(rangedFrac-spec.RangedFrac) > 0.02 {
+		t.Errorf("ranged fraction %.3f, want ~%.2f", rangedFrac, spec.RangedFrac)
+	}
+	// Prefix fraction is over ranged requests only, and uniform starts can
+	// also land on zero, so only a lower bound is meaningful.
+	if frac := float64(prefix) / float64(ranged); frac < spec.PrefixFrac-0.03 {
+		t.Errorf("prefix fraction %.3f, want >= ~%.2f", frac, spec.PrefixFrac)
+	}
+}
+
+// TestSessionSourceMeanSessionLength checks the geometric session-length
+// draw: session boundaries are visible as gaps much longer than think times.
+func TestSessionSourceMeanSessionLength(t *testing.T) {
+	spec := FitSpec{
+		Clips: 50, Theta: 0.2, Clients: 3, Sess: 12,
+		ThinkMicros: 500, GapMicros: 200000,
+	}
+	src, err := NewSessionSource(spec, nil, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 60000
+	// Split per-client streams on gaps > 20x think — unambiguous because the
+	// mean gap is 400x the mean think.
+	last := map[string]int64{}
+	counts := map[string]int{}
+	sessions, requests := 0, 0
+	for i := 0; i < n; i++ {
+		tr, _ := src.NextTimed()
+		if prev, seen := last[tr.Client]; !seen || tr.ArrivalMicros-prev > 20*spec.ThinkMicros {
+			if seen {
+				sessions++
+				requests += counts[tr.Client]
+			}
+			counts[tr.Client] = 0
+		}
+		counts[tr.Client]++
+		last[tr.Client] = tr.ArrivalMicros
+	}
+	if sessions < 100 {
+		t.Fatalf("only %d completed sessions in %d requests", sessions, n)
+	}
+	mean := float64(requests) / float64(sessions)
+	if math.Abs(mean-spec.Sess) > spec.Sess*0.15 {
+		t.Errorf("mean session length %.2f, want ~%.1f", mean, spec.Sess)
+	}
+}
+
+func TestFitQuantile(t *testing.T) {
+	samples := []int64{5, 1, 9, 3, 7}
+	if got := FitQuantile(samples, 0.5); got != 5 {
+		t.Errorf("p50 = %d, want 5", got)
+	}
+	if got := FitQuantile(samples, 0.99); got != 9 {
+		t.Errorf("p99 = %d, want 9", got)
+	}
+	if got := FitQuantile(samples, 0); got != 1 {
+		t.Errorf("p0 = %d, want 1", got)
+	}
+	if got := FitQuantile(nil, 0.5); got != 0 {
+		t.Errorf("empty = %d, want 0", got)
+	}
+	// The input must not be reordered.
+	if samples[0] != 5 || samples[4] != 7 {
+		t.Error("FitQuantile mutated its input")
+	}
+}

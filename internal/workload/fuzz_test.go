@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"mediacache/internal/media"
 	"mediacache/internal/zipf"
 )
 
@@ -18,6 +19,21 @@ func FuzzReadCSV(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(seedBuf.String())
+	var v2Buf bytes.Buffer
+	v2 := &Trace{
+		Name:     "seed-v2",
+		NumClips: 20,
+		Requests: []media.ClipID{3, 11},
+		Clients:  []string{"c0", "c1"},
+		Ticks:    []int64{10, 250},
+	}
+	if err := v2.WriteCSV(&v2Buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v2Buf.String())
+	f.Add("#name,x\n#clips,5\nseq,clip,client,tick,rangeStart,rangeLen\n0,1,c0,7,0,1024\n")
+	f.Add("#name,x\n#clips,5\nseq,clip,client,tick,rangeStart,rangeLen\n0,1,,,,\n")
+	f.Add("#name,x\n#clips,5\nseq,clip,client,tick,rangeStart,rangeLen\n0,1,c0,-7,0,0\n")
 	f.Add("")
 	f.Add("#name,x\n#clips,5\nseq,clip\n0,1\n")
 	f.Add("#name,x\n#clips,5\nseq,clip\n0,6\n")

@@ -1,0 +1,188 @@
+package workload
+
+// source.go unifies the package's divergent generators — Generator (whole
+// clips), RangeGenerator (byte ranges) and Churn (publish/perish streams) —
+// behind one face (ISSUE 10): a Source emits Request events, so drivers
+// (cmd/loadgen, cmd/cachesim, cmd/tracegen, internal/sim) consume any
+// workload shape through the same loop, and fitted specs distilled from
+// measured traffic (FitSpec) can replace a synthetic generator without the
+// caller noticing. The adapters are thin: every draw still comes from the
+// wrapped generator's own stream, so a generator and its Source emit
+// byte-identical sequences at the same seed (pinned by TestSourceAdapters
+// MatchGenerators).
+
+import (
+	"mediacache/internal/media"
+)
+
+// EventKind classifies one workload event.
+type EventKind uint8
+
+const (
+	// EventRequest: a client references the clip (the common case).
+	EventRequest EventKind = iota
+	// EventPublish: the clip (re-)enters the live catalog (churn streams).
+	EventPublish
+	// EventPerish: the clip leaves the catalog; caches should purge it.
+	EventPerish
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EventRequest:
+		return "request"
+	case EventPublish:
+		return "publish"
+	case EventPerish:
+		return "perish"
+	default:
+		return "EventKind(?)"
+	}
+}
+
+// Request is the unified workload event: a clip reference, optionally
+// narrowed to a byte range, or a publish/perish catalog marker. The zero
+// Kind is a plain whole-clip request, so generators that know nothing of
+// ranges or churn fill only Clip.
+type Request struct {
+	Kind EventKind
+	Clip media.ClipID
+	// Ranged reports that Start/Length select a byte range of the clip;
+	// false means the whole clip is referenced.
+	Ranged bool
+	Start  media.Bytes
+	Length media.Bytes
+}
+
+// Source is the single face every workload generator presents: a
+// deterministic stream of Requests. ok is false once a finite source
+// (traces, churn schedules, bounded schedules) is exhausted; infinite
+// sources always return true. Sources are not safe for concurrent use.
+type Source interface {
+	Next() (Request, bool)
+}
+
+// Take appends up to n events from src to dst and returns it; fewer when
+// src exhausts first.
+func Take(dst []Request, src Source, n int) []Request {
+	for i := 0; i < n; i++ {
+		req, ok := src.Next()
+		if !ok {
+			break
+		}
+		dst = append(dst, req)
+	}
+	return dst
+}
+
+// generatorSource adapts Generator: an infinite whole-clip request stream.
+type generatorSource struct{ g *Generator }
+
+func (s generatorSource) Next() (Request, bool) {
+	return Request{Clip: s.g.Next()}, true
+}
+
+// Source returns the generator's unified-stream face. The clip sequence is
+// the generator's own: interleaving Next calls on the generator and its
+// Source drains one shared stream.
+func (g *Generator) Source() Source { return generatorSource{g} }
+
+// rangeSource adapts RangeGenerator: an infinite ranged request stream.
+type rangeSource struct{ g *RangeGenerator }
+
+func (s rangeSource) Next() (Request, bool) {
+	rr := s.g.Next()
+	return Request{Clip: rr.Clip, Ranged: true, Start: rr.Start, Length: rr.Length}, true
+}
+
+// Source returns the range generator's unified-stream face.
+func (g *RangeGenerator) Source() Source { return rangeSource{g} }
+
+// churnSource adapts Churn: a finite request stream with publish/perish
+// markers.
+type churnSource struct{ c *Churn }
+
+func (s churnSource) Next() (Request, bool) {
+	ev, ok := s.c.Next()
+	if !ok {
+		return Request{}, false
+	}
+	switch ev.Kind {
+	case ChurnPublish:
+		return Request{Kind: EventPublish, Clip: ev.Clip}, true
+	case ChurnPerish:
+		return Request{Kind: EventPerish, Clip: ev.Clip}, true
+	default:
+		return Request{Clip: ev.Clip}, true
+	}
+}
+
+// Source returns the churn schedule's unified-stream face.
+func (c *Churn) Source() Source { return churnSource{c} }
+
+// traceSource replays a recorded Trace: a finite stream carrying the v2
+// range columns when present.
+type traceSource struct {
+	t   *Trace
+	pos int
+}
+
+func (s *traceSource) Next() (Request, bool) {
+	if s.pos >= len(s.t.Requests) {
+		return Request{}, false
+	}
+	i := s.pos
+	s.pos++
+	req := Request{Clip: s.t.Requests[i]}
+	if s.t.RangeLens != nil && s.t.RangeLens[i] > 0 {
+		req.Ranged = true
+		req.Length = s.t.RangeLens[i]
+		if s.t.RangeStarts != nil {
+			req.Start = s.t.RangeStarts[i]
+		}
+	}
+	return req, true
+}
+
+// Source returns a replay face over the trace. Each call starts a fresh
+// replay from the first request.
+func (t *Trace) Source() Source { return &traceSource{t: t} }
+
+// scheduleSource drives a Generator through a Schedule phase by phase: the
+// shift is set at each phase boundary, and the stream ends after the
+// schedule's total request count — the evolving-access-pattern workloads of
+// Section 4.4.1 behind the same face as everything else.
+type scheduleSource struct {
+	g     *Generator
+	sched Schedule
+	phase int
+	left  int
+}
+
+// NewScheduleSource returns a finite Source emitting sched.TotalRequests()
+// references from gen with the per-phase identity shifts applied.
+func NewScheduleSource(g *Generator, sched Schedule) (Source, error) {
+	if err := sched.Validate(); err != nil {
+		return nil, err
+	}
+	return &scheduleSource{g: g, sched: sched, phase: -1}, nil
+}
+
+func (s *scheduleSource) Next() (Request, bool) {
+	for s.left == 0 {
+		s.phase++
+		if s.phase >= len(s.sched) {
+			return Request{}, false
+		}
+		// Validate proved every shift is applicable to the generator's
+		// distribution range at construction of the schedule; SetShift can
+		// still reject shifts exceeding N, which surfaces as stream end.
+		if err := s.g.SetShift(s.sched[s.phase].Shift); err != nil {
+			return Request{}, false
+		}
+		s.left = s.sched[s.phase].Requests
+	}
+	s.left--
+	return Request{Clip: s.g.Next()}, true
+}

@@ -1,0 +1,171 @@
+package workload
+
+import (
+	"testing"
+
+	"mediacache/internal/media"
+	"mediacache/internal/zipf"
+)
+
+// TestSourceAdaptersMatchGenerators pins ISSUE 10's compatibility
+// guarantee: every generator emits a byte-identical stream through its
+// Source adapter at the same seed, because the adapter drains the wrapped
+// generator's own PRNG stream.
+func TestSourceAdaptersMatchGenerators(t *testing.T) {
+	t.Run("generator", func(t *testing.T) {
+		direct := MustNewGenerator(dist(t), 42)
+		src := MustNewGenerator(dist(t), 42).Source()
+		for i := 0; i < 2000; i++ {
+			req, ok := src.Next()
+			if !ok {
+				t.Fatal("generator source must be infinite")
+			}
+			if want := direct.Next(); req.Clip != want || req.Kind != EventRequest || req.Ranged {
+				t.Fatalf("request %d: source %+v, generator clip %d", i, req, want)
+			}
+		}
+	})
+
+	t.Run("range-generator", func(t *testing.T) {
+		repo := media.PaperRepository()
+		mk := func() *RangeGenerator {
+			g, err := NewRangeGenerator(repo, dist(t), 99, DefaultRangeConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return g
+		}
+		direct, src := mk(), mk().Source()
+		for i := 0; i < 2000; i++ {
+			req, ok := src.Next()
+			if !ok {
+				t.Fatal("range source must be infinite")
+			}
+			want := direct.Next()
+			if !req.Ranged || req.Clip != want.Clip || req.Start != want.Start || req.Length != want.Length {
+				t.Fatalf("request %d: source %+v, generator %+v", i, req, want)
+			}
+		}
+	})
+
+	t.Run("churn", func(t *testing.T) {
+		spec := ChurnSpec{Rate: 0.02, Life: 400, Horizon: 3000}
+		mk := func() *Churn {
+			c, err := NewChurn(200, zipf.DefaultMean, spec, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return c
+		}
+		direct, src := mk(), mk().Source()
+		n := 0
+		for {
+			want, wantOK := direct.Next()
+			req, ok := src.Next()
+			if ok != wantOK {
+				t.Fatalf("event %d: source ok=%v, churn ok=%v", n, ok, wantOK)
+			}
+			if !ok {
+				break
+			}
+			var wantKind EventKind
+			switch want.Kind {
+			case ChurnPublish:
+				wantKind = EventPublish
+			case ChurnPerish:
+				wantKind = EventPerish
+			default:
+				wantKind = EventRequest
+			}
+			if req.Clip != want.Clip || req.Kind != wantKind {
+				t.Fatalf("event %d: source %+v, churn %+v", n, req, want)
+			}
+			n++
+		}
+		if n == 0 {
+			t.Fatal("churn stream was empty")
+		}
+	})
+
+	t.Run("schedule", func(t *testing.T) {
+		sched := Schedule{{Shift: 0, Requests: 500}, {Shift: 100, Requests: 500}, {Shift: 200, Requests: 500}}
+		direct := MustNewGenerator(dist(t), 13)
+		src, err := NewScheduleSource(MustNewGenerator(dist(t), 13), sched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want []media.ClipID
+		for _, ph := range sched {
+			if err := direct.SetShift(ph.Shift); err != nil {
+				t.Fatal(err)
+			}
+			want = direct.Generate(want, ph.Requests)
+		}
+		got := Take(nil, src, len(want)+1)
+		if len(got) != len(want) {
+			t.Fatalf("schedule source emitted %d events, want %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Clip != want[i] {
+				t.Fatalf("request %d: source clip %d, phased generator clip %d", i, got[i].Clip, want[i])
+			}
+		}
+		if _, ok := src.Next(); ok {
+			t.Fatal("schedule source must end after TotalRequests")
+		}
+	})
+}
+
+func TestTraceSourceReplay(t *testing.T) {
+	tr := &Trace{
+		Name:        "replay",
+		NumClips:    10,
+		Requests:    []media.ClipID{3, 7, 1},
+		Clients:     []string{"a", "b", "a"},
+		Ticks:       []int64{10, 20, 30},
+		RangeStarts: []media.Bytes{0, 512, 0},
+		RangeLens:   []media.Bytes{0, 1024, 2048},
+	}
+	got := Take(nil, tr.Source(), 10)
+	want := []Request{
+		{Clip: 3},
+		{Clip: 7, Ranged: true, Start: 512, Length: 1024},
+		{Clip: 1, Ranged: true, Start: 0, Length: 2048},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	// Each Source() call restarts the replay.
+	again := Take(nil, tr.Source(), 1)
+	if len(again) != 1 || again[0] != want[0] {
+		t.Fatalf("fresh source should restart: got %+v", again)
+	}
+}
+
+func TestScheduleSourceRejectsInvalid(t *testing.T) {
+	if _, err := NewScheduleSource(MustNewGenerator(dist(t), 1), Schedule{}); err == nil {
+		t.Fatal("empty schedule should be rejected")
+	}
+	if _, err := NewScheduleSource(MustNewGenerator(dist(t), 1), Schedule{{Shift: -1, Requests: 10}}); err == nil {
+		t.Fatal("negative shift should be rejected")
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	cases := map[EventKind]string{
+		EventRequest:  "request",
+		EventPublish:  "publish",
+		EventPerish:   "perish",
+		EventKind(99): "EventKind(?)",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("EventKind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}

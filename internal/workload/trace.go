@@ -13,6 +13,15 @@ import (
 
 // Trace is a recorded reference string that can be replayed against any
 // cache configuration, making comparisons across techniques exact.
+//
+// Two schema versions share the type. A v1 trace records only the clip
+// sequence. A v2 trace (ISSUE 10) adds per-request columns — the requesting
+// client, the arrival tick and an optional byte range — so recorded traffic
+// is sessionizable by cmd/traceql. The v2 columns are parallel slices: nil
+// when the trace predates them (or never carried them), else exactly
+// len(Requests) long. Writers emit the v1 byte format whenever every v2
+// column is nil, so pre-v2 traces round-trip byte-identical (pinned by
+// TestTraceV1GoldenBytes).
 type Trace struct {
 	// Name labels the trace (e.g. "paper-fig2-seed42").
 	Name string
@@ -20,9 +29,19 @@ type Trace struct {
 	NumClips int
 	// Requests is the ordered sequence of referenced clip identities.
 	Requests []media.ClipID
+
+	// Clients names the requesting client per request ("" = unknown).
+	Clients []string
+	// Ticks is the arrival time per request, in whatever unit the recorder
+	// used (virtual ticks or microseconds); 0 = unknown.
+	Ticks []int64
+	// RangeStarts/RangeLens select a byte range per request; a zero
+	// RangeLens entry means the whole clip was referenced.
+	RangeStarts []media.Bytes
+	RangeLens   []media.Bytes
 }
 
-// Record captures n references from gen into a new Trace.
+// Record captures n references from gen into a new (v1) Trace.
 func Record(name string, gen *Generator, n int) *Trace {
 	return &Trace{
 		Name:     name,
@@ -31,7 +50,55 @@ func Record(name string, gen *Generator, n int) *Trace {
 	}
 }
 
-// Validate checks that every request references a clip in 1..NumClips.
+// TimedSource is a Source that also stamps each event with the issuing
+// client and its scheduled arrival time (SessionSource implements it).
+type TimedSource interface {
+	Source
+	NextTimed() (TimedRequest, bool)
+}
+
+// RecordTimed captures n request events from src into a v2 Trace carrying
+// the client, tick and range columns. Publish/perish markers are skipped:
+// a trace is a reference string, not a catalog schedule.
+func RecordTimed(name string, src TimedSource, numClips, n int) *Trace {
+	t := &Trace{
+		Name:        name,
+		NumClips:    numClips,
+		Requests:    make([]media.ClipID, 0, n),
+		Clients:     make([]string, 0, n),
+		Ticks:       make([]int64, 0, n),
+		RangeStarts: make([]media.Bytes, 0, n),
+		RangeLens:   make([]media.Bytes, 0, n),
+	}
+	for len(t.Requests) < n {
+		tr, ok := src.NextTimed()
+		if !ok {
+			break
+		}
+		if tr.Kind != EventRequest {
+			continue
+		}
+		t.Requests = append(t.Requests, tr.Clip)
+		t.Clients = append(t.Clients, tr.Client)
+		t.Ticks = append(t.Ticks, tr.ArrivalMicros)
+		if tr.Ranged {
+			t.RangeStarts = append(t.RangeStarts, tr.Start)
+			t.RangeLens = append(t.RangeLens, tr.Length)
+		} else {
+			t.RangeStarts = append(t.RangeStarts, 0)
+			t.RangeLens = append(t.RangeLens, 0)
+		}
+	}
+	return t
+}
+
+// V2 reports whether the trace carries any of the sessionizable columns.
+func (t *Trace) V2() bool {
+	return t.Clients != nil || t.Ticks != nil || t.RangeStarts != nil || t.RangeLens != nil
+}
+
+// Validate checks that every request references a clip in 1..NumClips and
+// that every present v2 column is request-parallel and well formed.
 func (t *Trace) Validate() error {
 	if t.NumClips <= 0 {
 		return fmt.Errorf("workload: trace %q has non-positive clip count %d", t.Name, t.NumClips)
@@ -42,8 +109,35 @@ func (t *Trace) Validate() error {
 				t.Name, i, id, t.NumClips)
 		}
 	}
+	n := len(t.Requests)
+	if t.Clients != nil && len(t.Clients) != n {
+		return fmt.Errorf("workload: trace %q has %d client entries for %d requests", t.Name, len(t.Clients), n)
+	}
+	if t.Ticks != nil && len(t.Ticks) != n {
+		return fmt.Errorf("workload: trace %q has %d tick entries for %d requests", t.Name, len(t.Ticks), n)
+	}
+	if t.RangeStarts != nil && len(t.RangeStarts) != n {
+		return fmt.Errorf("workload: trace %q has %d rangeStart entries for %d requests", t.Name, len(t.RangeStarts), n)
+	}
+	if t.RangeLens != nil && len(t.RangeLens) != n {
+		return fmt.Errorf("workload: trace %q has %d rangeLen entries for %d requests", t.Name, len(t.RangeLens), n)
+	}
+	for i := 0; i < n; i++ {
+		if t.Ticks != nil && t.Ticks[i] < 0 {
+			return fmt.Errorf("workload: trace %q request %d has negative tick %d", t.Name, i, t.Ticks[i])
+		}
+		if t.RangeStarts != nil && t.RangeStarts[i] < 0 {
+			return fmt.Errorf("workload: trace %q request %d has negative rangeStart %d", t.Name, i, t.RangeStarts[i])
+		}
+		if t.RangeLens != nil && t.RangeLens[i] < 0 {
+			return fmt.Errorf("workload: trace %q request %d has negative rangeLen %d", t.Name, i, t.RangeLens[i])
+		}
+	}
 	return nil
 }
+
+// v2Header is the column header of the extended CSV schema.
+var v2Header = []string{"seq", "clip", "client", "tick", "rangeStart", "rangeLen"}
 
 // WriteCSV emits the trace as CSV with a two-line header:
 //
@@ -52,18 +146,47 @@ func (t *Trace) Validate() error {
 //	seq,clip
 //	0,17
 //	...
+//
+// A trace carrying any v2 column writes the extended column header
+// seq,clip,client,tick,rangeStart,rangeLen instead, with zero values for
+// columns the trace does not carry. A trace with no v2 columns writes the
+// v1 format byte-for-byte.
 func (t *Trace) WriteCSV(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	if _, err := fmt.Fprintf(bw, "#name,%s\n#clips,%d\n", t.Name, t.NumClips); err != nil {
 		return err
 	}
 	cw := csv.NewWriter(bw)
-	if err := cw.Write([]string{"seq", "clip"}); err != nil {
-		return err
-	}
-	for i, id := range t.Requests {
-		if err := cw.Write([]string{strconv.Itoa(i), strconv.Itoa(int(id))}); err != nil {
+	if !t.V2() {
+		if err := cw.Write([]string{"seq", "clip"}); err != nil {
 			return err
+		}
+		for i, id := range t.Requests {
+			if err := cw.Write([]string{strconv.Itoa(i), strconv.Itoa(int(id))}); err != nil {
+				return err
+			}
+		}
+	} else {
+		if err := cw.Write(v2Header); err != nil {
+			return err
+		}
+		for i, id := range t.Requests {
+			row := []string{strconv.Itoa(i), strconv.Itoa(int(id)), "", "0", "0", "0"}
+			if t.Clients != nil {
+				row[2] = t.Clients[i]
+			}
+			if t.Ticks != nil {
+				row[3] = strconv.FormatInt(t.Ticks[i], 10)
+			}
+			if t.RangeStarts != nil {
+				row[4] = strconv.FormatInt(int64(t.RangeStarts[i]), 10)
+			}
+			if t.RangeLens != nil {
+				row[5] = strconv.FormatInt(int64(t.RangeLens[i]), 10)
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
 		}
 	}
 	cw.Flush()
@@ -73,7 +196,8 @@ func (t *Trace) WriteCSV(w io.Writer) error {
 	return bw.Flush()
 }
 
-// ReadCSV parses a trace written by WriteCSV.
+// ReadCSV parses a trace written by WriteCSV, accepting both the v1 and
+// the extended v2 column header.
 func ReadCSV(r io.Reader) (*Trace, error) {
 	br := bufio.NewReader(r)
 	t := &Trace{}
@@ -99,16 +223,49 @@ func ReadCSV(r io.Reader) (*Trace, error) {
 	if err != nil {
 		return nil, fmt.Errorf("workload: reading trace body: %w", err)
 	}
-	if len(rows) == 0 || len(rows[0]) != 2 || rows[0][0] != "seq" || rows[0][1] != "clip" {
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("workload: missing trace column header")
+	}
+	v2 := false
+	switch {
+	case len(rows[0]) == 2 && rows[0][0] == "seq" && rows[0][1] == "clip":
+	case columnsEqual(rows[0], v2Header):
+		v2 = true
+	default:
 		return nil, fmt.Errorf("workload: missing trace column header")
 	}
 	t.Requests = make([]media.ClipID, 0, len(rows)-1)
+	if v2 {
+		t.Clients = make([]string, 0, len(rows)-1)
+		t.Ticks = make([]int64, 0, len(rows)-1)
+		t.RangeStarts = make([]media.Bytes, 0, len(rows)-1)
+		t.RangeLens = make([]media.Bytes, 0, len(rows)-1)
+	}
 	for i, row := range rows[1:] {
 		id, err := strconv.Atoi(row[1])
 		if err != nil {
 			return nil, fmt.Errorf("workload: row %d: bad clip id %q: %w", i, row[1], err)
 		}
 		t.Requests = append(t.Requests, media.ClipID(id))
+		if !v2 {
+			continue
+		}
+		t.Clients = append(t.Clients, row[2])
+		tick, err := parseTraceInt(row[3])
+		if err != nil {
+			return nil, fmt.Errorf("workload: row %d: bad tick %q: %w", i, row[3], err)
+		}
+		t.Ticks = append(t.Ticks, tick)
+		start, err := parseTraceInt(row[4])
+		if err != nil {
+			return nil, fmt.Errorf("workload: row %d: bad rangeStart %q: %w", i, row[4], err)
+		}
+		t.RangeStarts = append(t.RangeStarts, media.Bytes(start))
+		length, err := parseTraceInt(row[5])
+		if err != nil {
+			return nil, fmt.Errorf("workload: row %d: bad rangeLen %q: %w", i, row[5], err)
+		}
+		t.RangeLens = append(t.RangeLens, media.Bytes(length))
 	}
 	if err := t.Validate(); err != nil {
 		return nil, err
@@ -116,13 +273,38 @@ func ReadCSV(r io.Reader) (*Trace, error) {
 	return t, nil
 }
 
+// parseTraceInt parses a v2 numeric cell; an empty cell reads as zero
+// ("column present, value unknown").
+func parseTraceInt(s string) (int64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	return strconv.ParseInt(s, 10, 64)
+}
+
+// columnsEqual reports whether a header row matches want exactly.
+func columnsEqual(row, want []string) bool {
+	if len(row) != len(want) {
+		return false
+	}
+	for i := range row {
+		if row[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // WriteBinary encodes the trace with encoding/gob — compact and fast for
-// large traces.
+// large traces. The v2 columns ride along when present; gob matches struct
+// fields by name and skips unknowns, so pre-v2 readers decode v2 streams
+// (dropping the columns) and v2 readers decode pre-v2 streams (columns
+// nil).
 func (t *Trace) WriteBinary(w io.Writer) error {
 	return gob.NewEncoder(w).Encode(t)
 }
 
-// ReadBinary decodes a trace written by WriteBinary.
+// ReadBinary decodes a trace written by WriteBinary (either version).
 func ReadBinary(r io.Reader) (*Trace, error) {
 	t := &Trace{}
 	if err := gob.NewDecoder(r).Decode(t); err != nil {

@@ -1,0 +1,188 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mediacache/internal/media"
+)
+
+// TestTraceV1GoldenBytes freezes the v1 CSV byte format: a trace carrying
+// no v2 column must serialize exactly as it did before ISSUE 10, so
+// archived traces and their checksums stay valid.
+func TestTraceV1GoldenBytes(t *testing.T) {
+	tr := &Trace{Name: "golden", NumClips: 5, Requests: []media.ClipID{3, 1, 5}}
+	const want = "#name,golden\n#clips,5\nseq,clip\n0,3\n1,1\n2,5\n"
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != want {
+		t.Fatalf("v1 bytes changed:\ngot  %q\nwant %q", buf.String(), want)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.V2() {
+		t.Fatal("v1 trace read back as v2")
+	}
+}
+
+func TestTraceV2CSVRoundTrip(t *testing.T) {
+	tr := &Trace{
+		Name:        "v2",
+		NumClips:    10,
+		Requests:    []media.ClipID{3, 7, 1},
+		Clients:     []string{"c0", "c1", ""},
+		Ticks:       []int64{100, 250, 9000},
+		RangeStarts: []media.Bytes{0, 4096, 0},
+		RangeLens:   []media.Bytes{0, 8192, 0},
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "seq,clip,client,tick,rangeStart,rangeLen") {
+		t.Fatalf("v2 trace missing extended header:\n%s", buf.String())
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.V2() {
+		t.Fatal("v2 trace read back as v1")
+	}
+	assertTracesEqual(t, back, tr)
+}
+
+// TestTraceV2PartialColumns: a trace carrying only some v2 columns writes
+// zero values for the rest and reads back with every column materialized.
+func TestTraceV2PartialColumns(t *testing.T) {
+	tr := &Trace{
+		Name:     "partial",
+		NumClips: 4,
+		Requests: []media.ClipID{2, 4},
+		Clients:  []string{"a", "b"},
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Clients[0] != "a" || back.Clients[1] != "b" {
+		t.Fatalf("clients = %v", back.Clients)
+	}
+	for i := range back.Requests {
+		if back.Ticks[i] != 0 || back.RangeStarts[i] != 0 || back.RangeLens[i] != 0 {
+			t.Fatalf("absent columns should read as zero, got row %d: tick=%d start=%d len=%d",
+				i, back.Ticks[i], back.RangeStarts[i], back.RangeLens[i])
+		}
+	}
+}
+
+func TestTraceV2BinaryRoundTrip(t *testing.T) {
+	tr := &Trace{
+		Name:        "gob",
+		NumClips:    8,
+		Requests:    []media.ClipID{1, 8},
+		Clients:     []string{"x", "y"},
+		Ticks:       []int64{5, 6},
+		RangeStarts: []media.Bytes{0, 100},
+		RangeLens:   []media.Bytes{0, 200},
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTracesEqual(t, back, tr)
+}
+
+func TestTraceValidateV2Columns(t *testing.T) {
+	base := func() *Trace {
+		return &Trace{Name: "v", NumClips: 5, Requests: []media.ClipID{1, 2}}
+	}
+	tr := base()
+	tr.Clients = []string{"only-one"}
+	if err := tr.Validate(); err == nil {
+		t.Error("short client column should fail validation")
+	}
+	tr = base()
+	tr.Ticks = []int64{0, -1}
+	if err := tr.Validate(); err == nil {
+		t.Error("negative tick should fail validation")
+	}
+	tr = base()
+	tr.RangeLens = []media.Bytes{0, -2}
+	if err := tr.Validate(); err == nil {
+		t.Error("negative rangeLen should fail validation")
+	}
+}
+
+func TestRecordTimed(t *testing.T) {
+	spec := FitSpec{
+		Clips: 50, Theta: 0.27, Clients: 3, Sess: 5,
+		ThinkMicros: 1000, GapMicros: 30000,
+		RangedFrac: 0.5, PrefixFrac: 0.75, LengthFrac: 0.4,
+	}
+	src, err := NewSessionSource(spec, media.PaperRepository(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := RecordTimed("timed", src, spec.Clips, 500)
+	if len(tr.Requests) != 500 {
+		t.Fatalf("recorded %d requests, want 500", len(tr.Requests))
+	}
+	if !tr.V2() {
+		t.Fatal("RecordTimed must produce a v2 trace")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sawRange, sawClient := false, false
+	for i := range tr.Requests {
+		if tr.RangeLens[i] > 0 {
+			sawRange = true
+		}
+		if tr.Clients[i] != "" {
+			sawClient = true
+		}
+	}
+	if !sawRange || !sawClient {
+		t.Fatalf("timed trace should carry ranges and clients (range=%v client=%v)", sawRange, sawClient)
+	}
+	// The recorded trace replays through its Source face.
+	reqs := Take(nil, tr.Source(), 600)
+	if len(reqs) != 500 {
+		t.Fatalf("replayed %d events, want 500", len(reqs))
+	}
+}
+
+func assertTracesEqual(t *testing.T, got, want *Trace) {
+	t.Helper()
+	if got.Name != want.Name || got.NumClips != want.NumClips {
+		t.Fatalf("header: got %q/%d, want %q/%d", got.Name, got.NumClips, want.Name, want.NumClips)
+	}
+	if len(got.Requests) != len(want.Requests) {
+		t.Fatalf("length: got %d, want %d", len(got.Requests), len(want.Requests))
+	}
+	for i := range want.Requests {
+		if got.Requests[i] != want.Requests[i] ||
+			got.Clients[i] != want.Clients[i] ||
+			got.Ticks[i] != want.Ticks[i] ||
+			got.RangeStarts[i] != want.RangeStarts[i] ||
+			got.RangeLens[i] != want.RangeLens[i] {
+			t.Fatalf("row %d differs: got (%d,%s,%d,%d,%d), want (%d,%s,%d,%d,%d)",
+				i, got.Requests[i], got.Clients[i], got.Ticks[i], got.RangeStarts[i], got.RangeLens[i],
+				want.Requests[i], want.Clients[i], want.Ticks[i], want.RangeStarts[i], want.RangeLens[i])
+		}
+	}
+}
